@@ -1,0 +1,451 @@
+//! Satisfiability of comparison conjunctions over a dense linear order.
+//!
+//! Algorithm: union–find on `=`; an order graph whose nodes are the
+//! equivalence classes of variables and constants, with non-strict (`≤`) and
+//! strict (`<`) edges; implicit strict edges between the distinct constants
+//! present (they are totally ordered by their values); then
+//!
+//! * **unsat** iff some strongly connected component contains a strict edge
+//!   (a `<`-cycle), two distinct constants fall into one class/SCC, or a
+//!   `<>` pair is forced equal (same class/SCC).
+//!
+//! Over a dense order this test is exact: collapsing each SCC to a point
+//! yields a DAG; assigning strictly increasing rationals along a topological
+//! order, pinning classes that contain a constant to that constant and
+//! slotting the rest into the (dense, hence nonempty) gaps, realizes every
+//! remaining constraint, and distinct classes receive distinct values so all
+//! surviving `<>` constraints hold.
+
+use ccpi_ir::{CompOp, Comparison, Term, Value};
+use std::collections::HashMap;
+
+/// A node of the constraint graph: a variable name or a constant value.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Node {
+    Var(ccpi_ir::Var),
+    Const(Value),
+}
+
+fn node(t: &Term) -> Node {
+    match t {
+        Term::Var(v) => Node::Var(v.clone()),
+        Term::Const(c) => Node::Const(c.clone()),
+    }
+}
+
+/// Simple union–find over `usize` ids.
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    pub(crate) fn find(&mut self, x: usize) -> usize {
+        let mut r = x;
+        while self.parent[r] != r {
+            r = self.parent[r];
+        }
+        // Path compression.
+        let mut c = x;
+        while self.parent[c] != r {
+            let next = self.parent[c];
+            self.parent[c] = r;
+            c = next;
+        }
+        r
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// The interned constraint graph shared by the dense solver and the
+/// preorder enumerator.
+pub(crate) struct Interner {
+    ids: HashMap<Node, usize>,
+    nodes: Vec<Node>,
+}
+
+impl Interner {
+    pub(crate) fn new() -> Self {
+        Interner {
+            ids: HashMap::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    pub(crate) fn intern(&mut self, t: &Term) -> usize {
+        let n = node(t);
+        if let Some(&id) = self.ids.get(&n) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.ids.insert(n.clone(), id);
+        self.nodes.push(n);
+        id
+    }
+
+    fn constants(&self) -> Vec<(usize, &Value)> {
+        let mut out: Vec<(usize, &Value)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n {
+                Node::Const(v) => Some((i, v)),
+                Node::Var(_) => None,
+            })
+            .collect();
+        out.sort_by(|a, b| a.1.cmp(b.1));
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn is_const(&self, id: usize) -> bool {
+        matches!(self.nodes[id], Node::Const(_))
+    }
+}
+
+/// Decides satisfiability of a conjunction over the dense order.
+pub fn sat_dense(comparisons: &[Comparison]) -> bool {
+    let mut interner = Interner::new();
+    // (from, to, strict) meaning from ≤ to / from < to.
+    let mut le_edges: Vec<(usize, usize, bool)> = Vec::new();
+    let mut ne_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut eq_pairs: Vec<(usize, usize)> = Vec::new();
+
+    for c in comparisons {
+        // Ground comparisons are decided immediately (also catches mixed
+        // int/string constants, which the node graph would not order
+        // against variables correctly otherwise — Value is totally ordered
+        // so eval_ground works).
+        if let Some(v) = c.eval_ground() {
+            if v {
+                continue;
+            }
+            return false;
+        }
+        let l = interner.intern(&c.lhs);
+        let r = interner.intern(&c.rhs);
+        match c.op {
+            CompOp::Lt => le_edges.push((l, r, true)),
+            CompOp::Le => le_edges.push((l, r, false)),
+            CompOp::Gt => le_edges.push((r, l, true)),
+            CompOp::Ge => le_edges.push((r, l, false)),
+            CompOp::Eq => eq_pairs.push((l, r)),
+            CompOp::Ne => ne_pairs.push((l, r)),
+        }
+    }
+
+    // Implicit strict chain between the distinct constants present.
+    let consts = interner.constants();
+    for w in consts.windows(2) {
+        let ((a, va), (b, vb)) = (w[0], w[1]);
+        debug_assert!(va < vb);
+        le_edges.push((a, b, true));
+    }
+
+    let n = interner.len();
+    let mut uf = UnionFind::new(n);
+    for (a, b) in eq_pairs {
+        uf.union(a, b);
+    }
+    // Two distinct constants merged by `=` is immediately unsat.
+    for w in consts.windows(2) {
+        if uf.find(w[0].0) == uf.find(w[1].0) {
+            return false;
+        }
+    }
+
+    // Condense to representatives and run SCC.
+    let mut adj: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n];
+    for (a, b, strict) in &le_edges {
+        let (ra, rb) = (uf.find(*a), uf.find(*b));
+        if ra == rb {
+            if *strict {
+                return false; // x < x
+            }
+            continue;
+        }
+        adj[ra].push((rb, *strict));
+    }
+
+    let scc = tarjan_scc(n, &adj);
+
+    // A strict edge inside an SCC is a `<`-cycle.
+    for (a, edges) in adj.iter().enumerate() {
+        for &(b, strict) in edges {
+            if strict && scc[a] == scc[b] {
+                return false;
+            }
+        }
+    }
+
+    // Two distinct constants in the same SCC are forced equal.
+    let mut const_scc: HashMap<usize, usize> = HashMap::new();
+    for (id, _) in &consts {
+        let comp = scc[uf.find(*id)];
+        if let Some(prev) = const_scc.insert(comp, *id) {
+            if interner.is_const(prev) {
+                return false;
+            }
+        }
+    }
+
+    // `<>` between nodes forced equal is unsat.
+    for (a, b) in ne_pairs {
+        let (ra, rb) = (uf.find(a), uf.find(b));
+        if ra == rb || scc[ra] == scc[rb] {
+            return false;
+        }
+    }
+
+    true
+}
+
+/// Tarjan's SCC; returns the component index of each node.
+fn tarjan_scc(n: usize, adj: &[Vec<(usize, bool)>]) -> Vec<usize> {
+    #[derive(Clone, Copy)]
+    struct Frame {
+        node: usize,
+        edge: usize,
+    }
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<Frame> = vec![Frame { node: start, edge: 0 }];
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(frame) = call.last_mut() {
+            let u = frame.node;
+            if frame.edge < adj[u].len() {
+                let (v, _) = adj[u][frame.edge];
+                frame.edge += 1;
+                if index[v] == usize::MAX {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    call.push(Frame { node: v, edge: 0 });
+                } else if on_stack[v] {
+                    lowlink[u] = lowlink[u].min(index[v]);
+                }
+            } else {
+                call.pop();
+                if let Some(parent) = call.last() {
+                    let p = parent.node;
+                    lowlink[p] = lowlink[p].min(lowlink[u]);
+                }
+                if lowlink[u] == index[u] {
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == u {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_ir::Term;
+
+    fn cmp(l: Term, op: CompOp, r: Term) -> Comparison {
+        Comparison::new(l, op, r)
+    }
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+    fn i(x: i64) -> Term {
+        Term::int(x)
+    }
+
+    #[test]
+    fn empty_conjunction_is_sat() {
+        assert!(sat_dense(&[]));
+    }
+
+    #[test]
+    fn simple_chains_are_sat() {
+        assert!(sat_dense(&[
+            cmp(v("X"), CompOp::Le, v("Z")),
+            cmp(v("Z"), CompOp::Le, v("Y")),
+        ]));
+    }
+
+    #[test]
+    fn strict_cycle_is_unsat() {
+        assert!(!sat_dense(&[
+            cmp(v("X"), CompOp::Lt, v("Y")),
+            cmp(v("Y"), CompOp::Lt, v("X")),
+        ]));
+        assert!(!sat_dense(&[cmp(v("X"), CompOp::Lt, v("X")),]));
+    }
+
+    #[test]
+    fn nonstrict_cycle_forces_equality() {
+        // X <= Y & Y <= X is sat (X = Y)…
+        assert!(sat_dense(&[
+            cmp(v("X"), CompOp::Le, v("Y")),
+            cmp(v("Y"), CompOp::Le, v("X")),
+        ]));
+        // …but adding X <> Y makes it unsat.
+        assert!(!sat_dense(&[
+            cmp(v("X"), CompOp::Le, v("Y")),
+            cmp(v("Y"), CompOp::Le, v("X")),
+            cmp(v("X"), CompOp::Ne, v("Y")),
+        ]));
+    }
+
+    #[test]
+    fn equality_merges_classes() {
+        assert!(!sat_dense(&[
+            cmp(v("X"), CompOp::Eq, v("Y")),
+            cmp(v("Y"), CompOp::Eq, v("Z")),
+            cmp(v("X"), CompOp::Ne, v("Z")),
+        ]));
+        assert!(!sat_dense(&[
+            cmp(v("X"), CompOp::Eq, v("Y")),
+            cmp(v("X"), CompOp::Lt, v("Y")),
+        ]));
+    }
+
+    #[test]
+    fn constants_are_ordered() {
+        assert!(!sat_dense(&[
+            cmp(i(2), CompOp::Le, v("X")),
+            cmp(v("X"), CompOp::Le, i(1)),
+        ]));
+        assert!(sat_dense(&[
+            cmp(i(1), CompOp::Le, v("X")),
+            cmp(v("X"), CompOp::Le, i(2)),
+        ]));
+    }
+
+    #[test]
+    fn dense_domain_allows_values_between_adjacent_integers() {
+        // Over ℚ, 1 < X < 2 is satisfiable (the integer solver disagrees).
+        assert!(sat_dense(&[
+            cmp(i(1), CompOp::Lt, v("X")),
+            cmp(v("X"), CompOp::Lt, i(2)),
+        ]));
+    }
+
+    #[test]
+    fn variable_pinned_to_constant() {
+        // 5 <= X <= 5 forces X = 5; X <> 5 then contradicts.
+        assert!(!sat_dense(&[
+            cmp(i(5), CompOp::Le, v("X")),
+            cmp(v("X"), CompOp::Le, i(5)),
+            cmp(v("X"), CompOp::Ne, i(5)),
+        ]));
+    }
+
+    #[test]
+    fn two_constants_cannot_be_equated() {
+        assert!(!sat_dense(&[cmp(i(1), CompOp::Eq, i(2))]));
+        assert!(!sat_dense(&[
+            cmp(v("X"), CompOp::Eq, i(1)),
+            cmp(v("X"), CompOp::Eq, i(2)),
+        ]));
+        assert!(!sat_dense(&[
+            cmp(Term::sym("shoe"), CompOp::Eq, Term::sym("toy"))
+        ]));
+    }
+
+    #[test]
+    fn ground_comparisons_evaluated() {
+        assert!(sat_dense(&[cmp(i(1), CompOp::Lt, i(2))]));
+        assert!(!sat_dense(&[cmp(i(2), CompOp::Lt, i(1))]));
+        assert!(sat_dense(&[cmp(Term::sym("a"), CompOp::Ne, Term::sym("b"))]));
+    }
+
+    #[test]
+    fn string_constants_order_lexicographically() {
+        assert!(!sat_dense(&[
+            cmp(Term::sym("toy"), CompOp::Le, v("D")),
+            cmp(v("D"), CompOp::Lt, Term::sym("shoe")),
+        ]));
+        assert!(sat_dense(&[
+            cmp(Term::sym("shoe"), CompOp::Lt, v("D")),
+            cmp(v("D"), CompOp::Lt, Term::sym("toy")),
+        ]));
+    }
+
+    #[test]
+    fn example_5_1_simplification_target() {
+        // U=T ∧ V=S is sat; it implies U<=V ∨ S<=T (checked in implication
+        // tests); here just make sure the premise is handled.
+        assert!(sat_dense(&[
+            cmp(v("U"), CompOp::Eq, v("T")),
+            cmp(v("V"), CompOp::Eq, v("S")),
+        ]));
+    }
+
+    #[test]
+    fn gt_and_ge_are_flipped_correctly() {
+        assert!(!sat_dense(&[
+            cmp(v("X"), CompOp::Gt, v("Y")),
+            cmp(v("Y"), CompOp::Ge, v("X")),
+        ]));
+        assert!(sat_dense(&[
+            cmp(v("X"), CompOp::Ge, v("Y")),
+            cmp(v("Y"), CompOp::Ge, v("X")),
+        ]));
+    }
+
+    #[test]
+    fn long_chain_with_back_edge() {
+        let mut cs: Vec<Comparison> = (0..50)
+            .map(|k| cmp(v(&format!("X{k}")), CompOp::Le, v(&format!("X{}", k + 1))))
+            .collect();
+        assert!(sat_dense(&cs));
+        cs.push(cmp(v("X50"), CompOp::Lt, v("X0")));
+        assert!(!sat_dense(&cs));
+    }
+
+    #[test]
+    fn ne_between_unrelated_vars_is_sat() {
+        assert!(sat_dense(&[cmp(v("X"), CompOp::Ne, v("Y"))]));
+        // Both within [1,2] and mutually distinct: fine over ℚ.
+        assert!(sat_dense(&[
+            cmp(i(1), CompOp::Le, v("X")),
+            cmp(v("X"), CompOp::Le, i(2)),
+            cmp(i(1), CompOp::Le, v("Y")),
+            cmp(v("Y"), CompOp::Le, i(2)),
+            cmp(v("X"), CompOp::Ne, v("Y")),
+        ]));
+    }
+}

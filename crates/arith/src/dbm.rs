@@ -1,0 +1,288 @@
+//! Integer-domain satisfiability via difference-bound reasoning.
+//!
+//! Over ℤ every comparison is a difference bound: `x < y` is `x − y ≤ −1`,
+//! `x ≤ y` is `x − y ≤ 0`, and a constant `c` pins a node to the distance
+//! `c` from a synthetic zero node. A conjunction of such bounds is
+//! satisfiable iff the bound graph has no negative cycle (Bellman–Ford).
+//! `<>` constraints are handled exactly by case-splitting into `<` / `>`.
+//!
+//! Symbolic (string) constants have no integer embedding; when one occurs
+//! anywhere in the conjunction, we fall back to the dense solver
+//! ([`crate::sat_dense`]), which is conservative for implication checking
+//! (see the crate docs).
+
+use crate::conj::sat_dense;
+use ccpi_ir::{CompOp, Comparison, Term, Value, Var};
+use std::collections::HashMap;
+
+/// Maximum number of `<>` splits before the solver falls back to the dense
+/// approximation (2^24 branches would be absurd for real constraints; the
+/// guard keeps the worst case bounded).
+const MAX_NE_SPLITS: usize = 24;
+
+/// Decides satisfiability of a conjunction over the integers.
+pub fn sat_int(comparisons: &[Comparison]) -> bool {
+    // Fall back to dense when symbolic constants are present.
+    let has_sym = comparisons.iter().any(|c| {
+        matches!(c.lhs, Term::Const(Value::Str(_))) || matches!(c.rhs, Term::Const(Value::Str(_)))
+    });
+    if has_sym {
+        return sat_dense(comparisons);
+    }
+
+    let mut bounds: Vec<(NodeId, NodeId, i64)> = Vec::new(); // a - b <= w
+    let mut nes: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut graph = Graph::new();
+
+    for c in comparisons {
+        if let Some(v) = c.eval_ground() {
+            if v {
+                continue;
+            }
+            return false;
+        }
+        let a = graph.node(&c.lhs);
+        let b = graph.node(&c.rhs);
+        match c.op {
+            CompOp::Lt => bounds.push((a, b, -1)),
+            CompOp::Le => bounds.push((a, b, 0)),
+            CompOp::Gt => bounds.push((b, a, -1)),
+            CompOp::Ge => bounds.push((b, a, 0)),
+            CompOp::Eq => {
+                bounds.push((a, b, 0));
+                bounds.push((b, a, 0));
+            }
+            CompOp::Ne => nes.push((a, b)),
+        }
+    }
+
+    if nes.len() > MAX_NE_SPLITS {
+        return sat_dense(comparisons);
+    }
+
+    split_ne(&graph, &bounds, &nes)
+}
+
+type NodeId = usize;
+
+struct Graph {
+    ids: HashMap<Var, NodeId>,
+    n: usize,
+    /// Pinned constants: (node, value). Node 0 is the synthetic zero.
+    pins: Vec<(NodeId, i64)>,
+}
+
+impl Graph {
+    fn new() -> Self {
+        Graph {
+            ids: HashMap::new(),
+            n: 1, // node 0 = zero
+            pins: Vec::new(),
+        }
+    }
+
+    fn node(&mut self, t: &Term) -> NodeId {
+        match t {
+            Term::Var(v) => {
+                if let Some(&id) = self.ids.get(v) {
+                    id
+                } else {
+                    let id = self.n;
+                    self.n += 1;
+                    self.ids.insert(v.clone(), id);
+                    id
+                }
+            }
+            Term::Const(Value::Int(c)) => {
+                // One node per distinct constant, pinned to zero.
+                if let Some(&(id, _)) = self.pins.iter().find(|(_, v)| v == c) {
+                    id
+                } else {
+                    let id = self.n;
+                    self.n += 1;
+                    self.pins.push((id, *c));
+                    id
+                }
+            }
+            Term::Const(Value::Str(_)) => unreachable!("symbolic constants filtered by caller"),
+        }
+    }
+}
+
+/// Case-splits the `<>` constraints and Bellman–Fords each branch.
+fn split_ne(graph: &Graph, bounds: &[(NodeId, NodeId, i64)], nes: &[(NodeId, NodeId)]) -> bool {
+    match nes.split_first() {
+        None => no_negative_cycle(graph, bounds),
+        Some((&(a, b), rest)) => {
+            if a == b {
+                return false; // x <> x
+            }
+            let mut with_lt = bounds.to_vec();
+            with_lt.push((a, b, -1));
+            if split_ne(graph, &with_lt, rest) {
+                return true;
+            }
+            let mut with_gt = bounds.to_vec();
+            with_gt.push((b, a, -1));
+            split_ne(graph, &with_gt, rest)
+        }
+    }
+}
+
+fn no_negative_cycle(graph: &Graph, bounds: &[(NodeId, NodeId, i64)]) -> bool {
+    let n = graph.n;
+    // Edge (a, b, w): a - b <= w, i.e. dist edge b -> a with weight w.
+    let mut edges: Vec<(NodeId, NodeId, i64)> = bounds
+        .iter()
+        .map(|&(a, b, w)| (b, a, w))
+        .collect();
+    for &(id, c) in &graph.pins {
+        // node = zero + c:  node - zero <= c  and zero - node <= -c.
+        edges.push((0, id, c));
+        edges.push((id, 0, 0i64.saturating_sub(c)));
+    }
+
+    // Bellman–Ford from a virtual source connected to all nodes with 0.
+    let mut dist = vec![0i64; n];
+    for _ in 0..n {
+        let mut changed = false;
+        for &(u, v, w) in &edges {
+            // Saturating add guards against i64 overflow on adversarial
+            // constants; bounds are small in practice.
+            let cand = dist[u].saturating_add(w);
+            if cand < dist[v] {
+                dist[v] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+    // One more relaxation round detects a negative cycle.
+    for &(u, v, w) in &edges {
+        if dist[u].saturating_add(w) < dist[v] {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp(l: Term, op: CompOp, r: Term) -> Comparison {
+        Comparison::new(l, op, r)
+    }
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+    fn i(x: i64) -> Term {
+        Term::int(x)
+    }
+
+    #[test]
+    fn agrees_with_dense_on_basic_cases() {
+        assert!(sat_int(&[]));
+        assert!(sat_int(&[cmp(v("X"), CompOp::Lt, v("Y"))]));
+        assert!(!sat_int(&[
+            cmp(v("X"), CompOp::Lt, v("Y")),
+            cmp(v("Y"), CompOp::Lt, v("X")),
+        ]));
+    }
+
+    #[test]
+    fn integer_gap_reasoning() {
+        // 1 < X < 2 has no integer solution.
+        assert!(!sat_int(&[
+            cmp(i(1), CompOp::Lt, v("X")),
+            cmp(v("X"), CompOp::Lt, i(2)),
+        ]));
+        // 1 < X < 3 does (X = 2).
+        assert!(sat_int(&[
+            cmp(i(1), CompOp::Lt, v("X")),
+            cmp(v("X"), CompOp::Lt, i(3)),
+        ]));
+    }
+
+    #[test]
+    fn strict_chains_tighten() {
+        // X < Y < Z with X >= 0, Z <= 1 is unsat over ℤ (needs a gap of 2).
+        assert!(!sat_int(&[
+            cmp(v("X"), CompOp::Lt, v("Y")),
+            cmp(v("Y"), CompOp::Lt, v("Z")),
+            cmp(v("X"), CompOp::Ge, i(0)),
+            cmp(v("Z"), CompOp::Le, i(1)),
+        ]));
+        // Over a width-2 window it is sat (0,1,2).
+        assert!(sat_int(&[
+            cmp(v("X"), CompOp::Lt, v("Y")),
+            cmp(v("Y"), CompOp::Lt, v("Z")),
+            cmp(v("X"), CompOp::Ge, i(0)),
+            cmp(v("Z"), CompOp::Le, i(2)),
+        ]));
+    }
+
+    #[test]
+    fn ne_splits_are_exact_over_integers() {
+        // X in [1,2], X<>1, X<>2: unsat over ℤ (dense would say sat).
+        assert!(!sat_int(&[
+            cmp(i(1), CompOp::Le, v("X")),
+            cmp(v("X"), CompOp::Le, i(2)),
+            cmp(v("X"), CompOp::Ne, i(1)),
+            cmp(v("X"), CompOp::Ne, i(2)),
+        ]));
+        // X in [1,3] with both endpoints excluded leaves X = 2.
+        assert!(sat_int(&[
+            cmp(i(1), CompOp::Le, v("X")),
+            cmp(v("X"), CompOp::Le, i(3)),
+            cmp(v("X"), CompOp::Ne, i(1)),
+            cmp(v("X"), CompOp::Ne, i(3)),
+        ]));
+    }
+
+    #[test]
+    fn equality_is_two_bounds() {
+        assert!(!sat_int(&[
+            cmp(v("X"), CompOp::Eq, v("Y")),
+            cmp(v("X"), CompOp::Lt, v("Y")),
+        ]));
+        assert!(!sat_int(&[
+            cmp(v("X"), CompOp::Eq, i(1)),
+            cmp(v("X"), CompOp::Eq, i(2)),
+        ]));
+    }
+
+    #[test]
+    fn ne_same_term_is_unsat() {
+        assert!(!sat_int(&[cmp(v("X"), CompOp::Ne, v("X"))]));
+    }
+
+    #[test]
+    fn symbolic_constants_fall_back_to_dense() {
+        assert!(sat_int(&[
+            cmp(Term::sym("shoe"), CompOp::Lt, v("D")),
+            cmp(v("D"), CompOp::Lt, Term::sym("toy")),
+        ]));
+        assert!(!sat_int(&[
+            cmp(Term::sym("toy"), CompOp::Lt, v("D")),
+            cmp(v("D"), CompOp::Lt, Term::sym("shoe")),
+        ]));
+    }
+
+    #[test]
+    fn ground_comparisons() {
+        assert!(sat_int(&[cmp(i(1), CompOp::Ne, i(2))]));
+        assert!(!sat_int(&[cmp(i(1), CompOp::Gt, i(2))]));
+    }
+
+    #[test]
+    fn overflow_guard_on_extreme_constants() {
+        // Should terminate without panicking.
+        assert!(sat_int(&[
+            cmp(i(i64::MIN + 1), CompOp::Le, v("X")),
+            cmp(v("X"), CompOp::Le, i(i64::MAX - 1)),
+        ]));
+    }
+}

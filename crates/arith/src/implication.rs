@@ -1,0 +1,372 @@
+//! The implication test `A ⇒ D₁ ∨ … ∨ Dₖ`.
+//!
+//! Theorem 5.1 requires deciding whether the conjunction `A(C₁)` logically
+//! implies a disjunction of conjunctions `⋁_h h(A(C₂))`. We decide by
+//! refutation:
+//!
+//! ```text
+//! A ⇒ ⋁ᵢ Dᵢ   iff   A ∧ ¬D₁ ∧ … ∧ ¬Dₖ is unsatisfiable
+//! ```
+//!
+//! Each `¬Dᵢ` is a disjunction of negated atoms, so the refutation problem
+//! is a conjunction of clauses; we search DPLL-style over the choice of one
+//! negated atom per disjunct, pruning any branch whose partial conjunction
+//! is already unsatisfiable. The branch count is `∏ᵢ |Dᵢ|` in the worst
+//! case — exponential in the size of the *contained* query only, matching
+//! the paper's complexity discussion ("our [test] … is exponential only in
+//! the number of variables, that is, in the size of C₁" for the
+//! satisfiability checks, with the containment-mapping count supplying the
+//! disjuncts).
+
+use crate::Solver;
+use ccpi_ir::Comparison;
+
+/// Decides `premise ⇒ ⋁ disjuncts` under the given solver's domain.
+///
+/// An empty `disjuncts` slice denotes the empty (false) disjunction; the
+/// implication then holds iff `premise` is unsatisfiable.
+pub fn implies_with(solver: Solver, premise: &[Comparison], disjuncts: &[Vec<Comparison>]) -> bool {
+    if !solver.sat(premise) {
+        return true;
+    }
+    // A disjunct that is the empty conjunction is `true`: implication holds.
+    if disjuncts.iter().any(|d| d.is_empty()) {
+        return true;
+    }
+    // Relevance filter: a disjunct inconsistent with the premise covers
+    // nothing of the premise's models, so dropping it changes neither
+    // direction of the answer. This keeps the search proportional to the
+    // *overlapping* disjuncts — crucial when Theorem 5.2 turns a large
+    // local relation into one disjunct per tuple.
+    let mut order: Vec<&Vec<Comparison>> = Vec::with_capacity(disjuncts.len());
+    for d in disjuncts {
+        let mut both = premise.to_vec();
+        both.extend_from_slice(d);
+        if solver.sat(&both) && !order.contains(&d) {
+            order.push(d);
+        }
+    }
+    if order.is_empty() {
+        return false;
+    }
+    // Ascending length: small disjuncts branch least and prune earliest.
+    order.sort_by_key(|d| d.len());
+    refute(solver, premise.to_vec(), &order)
+}
+
+/// Returns `true` iff `conj ∧ ⋀_{D ∈ remaining} ¬D` is unsatisfiable.
+fn refute(solver: Solver, conj: Vec<Comparison>, remaining: &[&Vec<Comparison>]) -> bool {
+    if !solver.sat(&conj) {
+        return true;
+    }
+    let Some((d, rest)) = remaining.split_first() else {
+        // All negations absorbed and still satisfiable: counter-model exists.
+        return false;
+    };
+    // conj ∧ ¬D ∧ rest is unsat  iff  every choice of a falsified atom of D
+    // leads to an unsat branch.
+    for atom in d.iter() {
+        // Ground atoms decide their branch without recursion.
+        let neg = atom.negated();
+        if let Some(v) = neg.eval_ground() {
+            if !v {
+                continue; // branch contains `false`: already refuted
+            }
+            // `true` adds nothing; recurse without extending.
+            if !refute(solver, conj.clone(), rest) {
+                return false;
+            }
+            continue;
+        }
+        let mut next = conj.clone();
+        next.push(neg);
+        if !refute(solver, next, rest) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Solver;
+    use ccpi_ir::{CompOp, Comparison, Term};
+
+    fn cmp(l: Term, op: CompOp, r: Term) -> Comparison {
+        Comparison::new(l, op, r)
+    }
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+    fn i(x: i64) -> Term {
+        Term::int(x)
+    }
+
+    /// Example 5.1: `U=T ∧ V=S  ⇒  U<=V ∨ S<=T` — "true assuming ≤ is a
+    /// total order". This is the exact implication Theorem 5.1 produces for
+    /// Ullman's Example 14.7, and the single-mapping version fails.
+    #[test]
+    fn example_5_1_implication_holds() {
+        let s = Solver::dense();
+        let premise = vec![
+            cmp(v("U"), CompOp::Eq, v("T")),
+            cmp(v("V"), CompOp::Eq, v("S")),
+        ];
+        let h1 = vec![cmp(v("U"), CompOp::Le, v("V"))];
+        let h2 = vec![cmp(v("S"), CompOp::Le, v("T"))];
+        assert!(s.implies(&premise, &[h1.clone(), h2.clone()]));
+        // Neither single mapping suffices (the Ullman [1989] test's gap).
+        assert!(!s.implies(&premise, &[h1]));
+        assert!(!s.implies(&premise, &[h2]));
+    }
+
+    #[test]
+    fn unsat_premise_implies_anything() {
+        let s = Solver::dense();
+        let premise = vec![
+            cmp(v("X"), CompOp::Lt, v("Y")),
+            cmp(v("Y"), CompOp::Lt, v("X")),
+        ];
+        assert!(s.implies(&premise, &[]));
+        assert!(s.implies(&premise, &[vec![cmp(v("A"), CompOp::Lt, v("A"))]]));
+    }
+
+    #[test]
+    fn empty_disjunction_requires_unsat_premise() {
+        let s = Solver::dense();
+        assert!(!s.implies(&[cmp(v("X"), CompOp::Lt, v("Y"))], &[]));
+        assert!(!s.implies(&[], &[]));
+    }
+
+    #[test]
+    fn empty_disjunct_is_trivially_true() {
+        let s = Solver::dense();
+        assert!(s.implies(&[cmp(v("X"), CompOp::Lt, v("Y"))], &[vec![]]));
+    }
+
+    #[test]
+    fn simple_transitivity() {
+        let s = Solver::dense();
+        let premise = vec![
+            cmp(v("X"), CompOp::Lt, v("Y")),
+            cmp(v("Y"), CompOp::Lt, v("Z")),
+        ];
+        assert!(s.implies(&premise, &[vec![cmp(v("X"), CompOp::Lt, v("Z"))]]));
+        assert!(!s.implies(&premise, &[vec![cmp(v("Z"), CompOp::Lt, v("X"))]]));
+    }
+
+    #[test]
+    fn strictness_matters() {
+        let s = Solver::dense();
+        let le = vec![cmp(v("X"), CompOp::Le, v("Y"))];
+        assert!(!s.implies(&le, &[vec![cmp(v("X"), CompOp::Lt, v("Y"))]]));
+        assert!(s.implies(
+            &[cmp(v("X"), CompOp::Lt, v("Y"))],
+            &[vec![cmp(v("X"), CompOp::Le, v("Y"))]]
+        ));
+    }
+
+    #[test]
+    fn total_order_dichotomy() {
+        // ⊨ X<=Y ∨ Y<=X with no premise.
+        let s = Solver::dense();
+        assert!(s.implies(
+            &[],
+            &[
+                vec![cmp(v("X"), CompOp::Le, v("Y"))],
+                vec![cmp(v("Y"), CompOp::Le, v("X"))]
+            ]
+        ));
+        // But not X<Y ∨ Y<X (they may be equal).
+        assert!(!s.implies(
+            &[],
+            &[
+                vec![cmp(v("X"), CompOp::Lt, v("Y"))],
+                vec![cmp(v("Y"), CompOp::Lt, v("X"))]
+            ]
+        ));
+        // Adding X<>Y restores it.
+        assert!(s.implies(
+            &[cmp(v("X"), CompOp::Ne, v("Y"))],
+            &[
+                vec![cmp(v("X"), CompOp::Lt, v("Y"))],
+                vec![cmp(v("Y"), CompOp::Lt, v("X"))]
+            ]
+        ));
+    }
+
+    #[test]
+    fn constants_participate() {
+        let s = Solver::dense();
+        // X < 5 ⇒ X < 10.
+        assert!(s.implies(
+            &[cmp(v("X"), CompOp::Lt, i(5))],
+            &[vec![cmp(v("X"), CompOp::Lt, i(10))]]
+        ));
+        // X < 10 does not imply X < 5.
+        assert!(!s.implies(
+            &[cmp(v("X"), CompOp::Lt, i(10))],
+            &[vec![cmp(v("X"), CompOp::Lt, i(5))]]
+        ));
+    }
+
+    #[test]
+    fn forbidden_interval_union_cover() {
+        // The arithmetic core of Example 5.3: 4<=Z<=8 ⇒ (3<=Z<=6) ∨ (5<=Z<=10).
+        let s = Solver::dense();
+        let premise = vec![
+            cmp(i(4), CompOp::Le, v("Z")),
+            cmp(v("Z"), CompOp::Le, i(8)),
+        ];
+        let d1 = vec![
+            cmp(i(3), CompOp::Le, v("Z")),
+            cmp(v("Z"), CompOp::Le, i(6)),
+        ];
+        let d2 = vec![
+            cmp(i(5), CompOp::Le, v("Z")),
+            cmp(v("Z"), CompOp::Le, i(10)),
+        ];
+        assert!(s.implies(&premise, &[d1.clone(), d2.clone()]));
+        // No single interval covers [4,8] (the union phenomenon the paper
+        // highlights: containment in a union without containment in any
+        // single member).
+        assert!(!s.implies(&premise, &[d1]));
+        assert!(!s.implies(&premise, &[d2]));
+    }
+
+    #[test]
+    fn gap_cover_fails_over_dense_but_holds_over_integers() {
+        // [4,8] ⊆ [3,6] ∪ [7,10]? Over ℚ no (6.5 uncovered); over ℤ yes.
+        let premise = vec![
+            cmp(i(4), CompOp::Le, v("Z")),
+            cmp(v("Z"), CompOp::Le, i(8)),
+        ];
+        let d1 = vec![
+            cmp(i(3), CompOp::Le, v("Z")),
+            cmp(v("Z"), CompOp::Le, i(6)),
+        ];
+        let d2 = vec![
+            cmp(i(7), CompOp::Le, v("Z")),
+            cmp(v("Z"), CompOp::Le, i(10)),
+        ];
+        assert!(!Solver::dense().implies(&premise, &[d1.clone(), d2.clone()]));
+        assert!(Solver::integer().implies(&premise, &[d1, d2]));
+    }
+
+    #[test]
+    fn equivalence_helper() {
+        let s = Solver::dense();
+        let a = vec![cmp(v("X"), CompOp::Lt, v("Y"))];
+        let b = vec![cmp(v("Y"), CompOp::Gt, v("X"))];
+        assert!(s.equivalent(&a, &b));
+        let c = vec![cmp(v("X"), CompOp::Le, v("Y"))];
+        assert!(!s.equivalent(&a, &c));
+    }
+
+    #[test]
+    fn many_disjuncts_scale() {
+        // X in [0,100] implied by the union of [k, k+1] for k=0..100.
+        let s = Solver::dense();
+        let premise = vec![
+            cmp(i(0), CompOp::Le, v("X")),
+            cmp(v("X"), CompOp::Le, i(100)),
+        ];
+        let disjuncts: Vec<Vec<Comparison>> = (0..100)
+            .map(|k| {
+                vec![
+                    cmp(i(k), CompOp::Le, v("X")),
+                    cmp(v("X"), CompOp::Le, i(k + 1)),
+                ]
+            })
+            .collect();
+        assert!(s.implies(&premise, &disjuncts));
+        // Removing the middle interval breaks the cover.
+        let mut gap = disjuncts.clone();
+        gap.remove(50);
+        assert!(!s.implies(&premise, &gap));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::oracle::sat_dense_brute;
+    use crate::Solver;
+    use ccpi_ir::{CompOp, Comparison, Term};
+    use proptest::prelude::*;
+
+    fn comparison() -> impl Strategy<Value = Comparison> {
+        let term = prop_oneof![
+            (0usize..3).prop_map(|k| Term::var(format!("V{k}"))),
+            (0i64..3).prop_map(Term::int),
+        ];
+        (
+            term.clone(),
+            prop_oneof![
+                Just(CompOp::Lt),
+                Just(CompOp::Le),
+                Just(CompOp::Eq),
+                Just(CompOp::Ne),
+            ],
+            term,
+        )
+            .prop_map(|(l, op, r)| Comparison { lhs: l, op, rhs: r })
+    }
+
+    /// Semantic implication oracle by refutation through the brute-force
+    /// model finder: A ⇒ ⋁D iff A ∧ (¬d for one d per D) is unsat for
+    /// every selection — evaluated by exhaustive selection here.
+    fn implies_brute(premise: &[Comparison], disjuncts: &[Vec<Comparison>]) -> bool {
+        fn go(base: &mut Vec<Comparison>, rest: &[Vec<Comparison>]) -> bool {
+            match rest.split_first() {
+                None => !sat_dense_brute(base),
+                Some((d, tail)) => d.iter().all(|atom| {
+                    base.push(atom.negated());
+                    let ok = go(base, tail);
+                    base.pop();
+                    ok
+                }),
+            }
+        }
+        if disjuncts.iter().any(Vec::is_empty) {
+            return true;
+        }
+        go(&mut premise.to_vec(), disjuncts)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The DPLL implication decision agrees with the brute-force
+        /// semantic oracle on random instances.
+        #[test]
+        fn implies_matches_brute_force(
+            premise in prop::collection::vec(comparison(), 0..4),
+            disjuncts in prop::collection::vec(
+                prop::collection::vec(comparison(), 1..3), 0..3),
+        ) {
+            let fast = Solver::dense().implies(&premise, &disjuncts);
+            let slow = implies_brute(&premise, &disjuncts);
+            prop_assert_eq!(fast, slow, "{:?} => {:?}", premise, disjuncts);
+        }
+
+        /// Adding a disjunct never falsifies an implication (monotonicity),
+        /// and every disjunct is implied by itself.
+        #[test]
+        fn implication_monotonicity(
+            premise in prop::collection::vec(comparison(), 0..4),
+            disjuncts in prop::collection::vec(
+                prop::collection::vec(comparison(), 1..3), 1..3),
+            extra in prop::collection::vec(comparison(), 1..3),
+        ) {
+            let solver = Solver::dense();
+            if solver.implies(&premise, &disjuncts) {
+                let mut more = disjuncts.clone();
+                more.push(extra);
+                prop_assert!(solver.implies(&premise, &more));
+            }
+            for d in &disjuncts {
+                prop_assert!(solver.implies(d, std::slice::from_ref(d)));
+            }
+        }
+    }
+}

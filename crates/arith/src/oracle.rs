@@ -1,0 +1,235 @@
+//! Brute-force model finders used to cross-validate the solvers.
+//!
+//! These are deliberately *independent* implementations: they search a
+//! finite candidate grid that is provably sufficient for the respective
+//! domain, instead of reasoning about constraint graphs. Property tests in
+//! this crate (and differential tests elsewhere) compare them against
+//! [`crate::sat_dense`] / [`crate::sat_int`].
+//!
+//! Not intended for production use — exponential in the number of
+//! variables by construction.
+
+use ccpi_ir::{Comparison, Term, Value, Var};
+use std::collections::BTreeSet;
+
+fn collect(comparisons: &[Comparison]) -> (Vec<Var>, Vec<Value>) {
+    let mut vars: Vec<Var> = Vec::new();
+    let mut consts: BTreeSet<Value> = BTreeSet::new();
+    for c in comparisons {
+        for t in [&c.lhs, &c.rhs] {
+            match t {
+                Term::Var(v) => {
+                    if !vars.contains(v) {
+                        vars.push(v.clone());
+                    }
+                }
+                Term::Const(v) => {
+                    consts.insert(v.clone());
+                }
+            }
+        }
+    }
+    (vars, consts.into_iter().collect())
+}
+
+/// Brute-force dense-order satisfiability.
+///
+/// Grid argument: over a dense order only the *relative order* of values
+/// matters, and each gap between consecutive constants (and each unbounded
+/// end) can host at most `n` distinct variable values. We therefore map the
+/// `k` sorted constants to `L, 2L, …, kL` with `L = n + 2`, and let each
+/// variable range over every constant value plus `n + 1` offsets inside
+/// every gap. Exponential: `O(grid^n)`.
+pub fn sat_dense_brute(comparisons: &[Comparison]) -> bool {
+    let (vars, consts) = collect(comparisons);
+    let n = vars.len();
+    let l = (n + 2) as i64;
+
+    // Rank map for constants: constant i (in Value order) sits at (i+1)*L.
+    let const_pos = |v: &Value| -> i64 {
+        let i = consts.iter().position(|c| c == v).expect("constant seen") as i64;
+        (i + 1) * l
+    };
+
+    // Candidate grid for variables.
+    let mut grid: Vec<i64> = Vec::new();
+    let k = consts.len() as i64;
+    for d in 1..=(n as i64 + 1) {
+        grid.push(l - d); // below the least constant (or anywhere if none)
+        grid.push(k * l + d); // above the greatest constant
+    }
+    for i in 0..consts.len() as i64 {
+        grid.push((i + 1) * l); // the constant itself
+        if i + 1 < k {
+            for d in 1..=(n as i64 + 1) {
+                grid.push((i + 1) * l + d); // inside the gap to the next one
+            }
+        }
+    }
+    if grid.is_empty() {
+        grid.push(0);
+    }
+    grid.sort_unstable();
+    grid.dedup();
+
+    let eval = |assign: &[i64]| -> bool {
+        comparisons.iter().all(|c| {
+            let val = |t: &Term| -> i64 {
+                match t {
+                    Term::Var(v) => assign[vars.iter().position(|w| w == v).unwrap()],
+                    Term::Const(c) => const_pos(c),
+                }
+            };
+            c.op.eval(&val(&c.lhs), &val(&c.rhs))
+        })
+    };
+
+    let mut assign = vec![0i64; n];
+    search(&grid, &mut assign, 0, &eval)
+}
+
+/// Brute-force integer satisfiability. Requires all constants to be
+/// integers (panics otherwise — the differential tests only generate such
+/// inputs). Variables range over `[min_c − n − 1, max_c + n + 1]`, which is
+/// sufficient: any ℤ-model can be compressed into that window while
+/// preserving order and unit gaps.
+pub fn sat_int_brute(comparisons: &[Comparison]) -> bool {
+    let (vars, consts) = collect(comparisons);
+    let n = vars.len() as i64;
+    let ints: Vec<i64> = consts
+        .iter()
+        .map(|v| v.as_int().expect("integer constants only"))
+        .collect();
+    let lo = ints.iter().copied().min().unwrap_or(0) - n - 1;
+    let hi = ints.iter().copied().max().unwrap_or(0) + n + 1;
+    let grid: Vec<i64> = (lo..=hi).collect();
+
+    let eval = |assign: &[i64]| -> bool {
+        comparisons.iter().all(|c| {
+            let val = |t: &Term| -> i64 {
+                match t {
+                    Term::Var(v) => assign[vars.iter().position(|w| w == v).unwrap()],
+                    Term::Const(c) => c.as_int().unwrap(),
+                }
+            };
+            c.op.eval(&val(&c.lhs), &val(&c.rhs))
+        })
+    };
+
+    let mut assign = vec![0i64; vars.len()];
+    search(&grid, &mut assign, 0, &eval)
+}
+
+fn search(grid: &[i64], assign: &mut Vec<i64>, i: usize, eval: &impl Fn(&[i64]) -> bool) -> bool {
+    if i == assign.len() {
+        return eval(assign);
+    }
+    for &g in grid {
+        assign[i] = g;
+        if search(grid, assign, i + 1, eval) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sat_dense, sat_int};
+    use ccpi_ir::CompOp;
+    use proptest::prelude::*;
+
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+    fn i(x: i64) -> Term {
+        Term::int(x)
+    }
+    fn cmp(l: Term, op: CompOp, r: Term) -> Comparison {
+        Comparison::new(l, op, r)
+    }
+
+    #[test]
+    fn oracle_basic_sanity() {
+        assert!(sat_dense_brute(&[]));
+        assert!(sat_dense_brute(&[cmp(v("X"), CompOp::Lt, v("Y"))]));
+        assert!(!sat_dense_brute(&[
+            cmp(v("X"), CompOp::Lt, v("Y")),
+            cmp(v("Y"), CompOp::Lt, v("X")),
+        ]));
+        // Dense: value between adjacent integers exists.
+        assert!(sat_dense_brute(&[
+            cmp(i(1), CompOp::Lt, v("X")),
+            cmp(v("X"), CompOp::Lt, i(2)),
+        ]));
+        // Integer: it does not.
+        assert!(!sat_int_brute(&[
+            cmp(i(1), CompOp::Lt, v("X")),
+            cmp(v("X"), CompOp::Lt, i(2)),
+        ]));
+    }
+
+    /// Random-comparison strategy over ≤ 4 variables and small constants.
+    fn comparison_strategy() -> impl Strategy<Value = Comparison> {
+        let term = prop_oneof![
+            (0usize..4).prop_map(|k| Term::var(format!("V{k}"))),
+            (-2i64..=2).prop_map(Term::int),
+        ];
+        (
+            term.clone(),
+            prop_oneof![
+                Just(CompOp::Lt),
+                Just(CompOp::Le),
+                Just(CompOp::Eq),
+                Just(CompOp::Ne),
+                Just(CompOp::Ge),
+                Just(CompOp::Gt)
+            ],
+            term,
+        )
+            .prop_map(|(l, op, r)| Comparison { lhs: l, op, rhs: r })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The graph-based dense solver agrees with the brute-force grid
+        /// search on every random conjunction.
+        #[test]
+        fn dense_solver_matches_oracle(cs in prop::collection::vec(comparison_strategy(), 0..6)) {
+            prop_assert_eq!(sat_dense(&cs), sat_dense_brute(&cs), "{:?}", cs);
+        }
+
+        /// The DBM-based integer solver agrees with the brute-force window
+        /// search on every random conjunction.
+        #[test]
+        fn integer_solver_matches_oracle(cs in prop::collection::vec(comparison_strategy(), 0..6)) {
+            prop_assert_eq!(sat_int(&cs), sat_int_brute(&cs), "{:?}", cs);
+        }
+
+        /// Integer-sat implies dense-sat (ℤ ⊂ ℚ).
+        #[test]
+        fn integer_sat_implies_dense_sat(cs in prop::collection::vec(comparison_strategy(), 0..6)) {
+            if sat_int(&cs) {
+                prop_assert!(sat_dense(&cs));
+            }
+        }
+
+        /// The weak-order enumerator agrees with the dense solver:
+        /// a consistent weak order exists iff the conjunction is satisfiable.
+        #[test]
+        fn preorder_enumeration_matches_dense_sat(cs in prop::collection::vec(comparison_strategy(), 0..4)) {
+            let mut terms: Vec<Term> = Vec::new();
+            for c in &cs {
+                for t in [&c.lhs, &c.rhs] {
+                    if !terms.contains(t) {
+                        terms.push(t.clone());
+                    }
+                }
+            }
+            let orders = crate::preorder::enumerate(&terms, &cs);
+            prop_assert_eq!(!orders.is_empty(), sat_dense(&cs), "{:?}", cs);
+        }
+    }
+}

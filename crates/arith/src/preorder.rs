@@ -1,0 +1,350 @@
+//! Total-preorder (weak-order) enumeration — the engine of Klug's method.
+//!
+//! Klug \[1988\] decides containment of CQCs by considering "all orders
+//! consistent with the arithmetic constraints" of the containing side's
+//! canonical databases. A *weak order* partitions the terms into blocks of
+//! equals and linearly orders the blocks; over a dense domain, the
+//! conjunctions of comparisons that can hold of a tuple of terms are in 1-1
+//! correspondence with weak orders.
+//!
+//! [`enumerate`] generates every weak order of a term set that is
+//! consistent with a given conjunction (and with the fixed order of the
+//! constants in the set). The count is bounded by the ordered Bell numbers
+//! (1, 1, 3, 13, 75, 541, 4683, 47293, …) — the exponential blowup the
+//! paper's §5 "Comparison With Klug's Approach" attributes to Klug's
+//! method and that the `thm51_vs_klug` benchmark measures.
+
+use ccpi_ir::{Comparison, Term, Value};
+use std::collections::HashMap;
+
+/// A weak order over a set of terms: `blocks[i]` holds the terms of rank
+/// `i`; lower rank = smaller value. Terms within a block are equal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WeakOrder {
+    /// Blocks of mutually equal terms, in increasing order.
+    pub blocks: Vec<Vec<Term>>,
+}
+
+impl WeakOrder {
+    /// The rank of a term, if present.
+    pub fn rank(&self, t: &Term) -> Option<usize> {
+        self.blocks
+            .iter()
+            .position(|b| b.iter().any(|u| u == t))
+    }
+
+    /// Evaluates a comparison under this weak order. Both terms must be
+    /// present (ground comparisons are evaluated directly even when the
+    /// constants are absent from the order).
+    ///
+    /// Returns `None` if a term is missing.
+    pub fn eval(&self, c: &Comparison) -> Option<bool> {
+        if let Some(v) = c.eval_ground() {
+            return Some(v);
+        }
+        let l = self.rank(&c.lhs)?;
+        let r = self.rank(&c.rhs)?;
+        Some(c.op.eval(&l, &r))
+    }
+
+    /// Evaluates a conjunction; `None` if any term is missing.
+    pub fn eval_all(&self, cs: &[Comparison]) -> Option<bool> {
+        let mut out = true;
+        for c in cs {
+            out &= self.eval(c)?;
+        }
+        Some(out)
+    }
+
+    /// Number of terms in the order.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when the order covers no terms.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Enumerates every weak order of `terms` (duplicates ignored) that
+/// * keeps distinct constants in distinct blocks, ordered by value, and
+/// * satisfies every comparison in `constraint` whose terms are all drawn
+///   from `terms` (comparisons mentioning other terms are ignored —
+///   callers should pass the full relevant term set).
+///
+/// Dense-domain semantics: any gap between constants can host blocks. (For
+/// integer semantics Klug's correspondence between weak orders and
+/// satisfiable conjunctions breaks — e.g. no block fits strictly between
+/// 1 and 2 — so the Klug baseline in `ccpi-containment` is dense-only,
+/// exactly like the original paper.)
+pub fn enumerate(terms: &[Term], constraint: &[Comparison]) -> Vec<WeakOrder> {
+    // Deduplicate, keeping first-occurrence order.
+    let mut uniq: Vec<Term> = Vec::new();
+    for t in terms {
+        if !uniq.contains(t) {
+            uniq.push(t.clone());
+        }
+    }
+    // A constraint is relevant when all its *variables* are in the term
+    // set; constants it mentions are auto-added to the set so the
+    // constraint is actually enforced.
+    let relevant: Vec<&Comparison> = constraint
+        .iter()
+        .filter(|c| {
+            [&c.lhs, &c.rhs]
+                .into_iter()
+                .all(|t| t.is_const() || uniq.contains(t))
+        })
+        .collect();
+    for c in &relevant {
+        for t in [&c.lhs, &c.rhs] {
+            if t.is_const() && !uniq.contains(t) {
+                uniq.push(t.clone());
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut current = WeakOrder { blocks: Vec::new() };
+    place(&uniq, 0, &relevant, &mut current, &mut out);
+    out
+}
+
+fn place(
+    terms: &[Term],
+    next: usize,
+    constraint: &[&Comparison],
+    current: &mut WeakOrder,
+    out: &mut Vec<WeakOrder>,
+) {
+    if next == terms.len() {
+        if consistent(current, constraint, true) {
+            out.push(current.clone());
+        }
+        return;
+    }
+    let t = &terms[next];
+    // Join an existing block…
+    for i in 0..current.blocks.len() {
+        current.blocks[i].push(t.clone());
+        if consistent(current, constraint, false) {
+            place(terms, next + 1, constraint, current, out);
+        }
+        current.blocks[i].pop();
+    }
+    // …or open a new block at any position.
+    for i in 0..=current.blocks.len() {
+        current.blocks.insert(i, vec![t.clone()]);
+        if consistent(current, constraint, false) {
+            place(terms, next + 1, constraint, current, out);
+        }
+        current.blocks.remove(i);
+    }
+}
+
+/// Checks constant ordering and (partially placed) constraints.
+fn consistent(order: &WeakOrder, constraint: &[&Comparison], complete: bool) -> bool {
+    // Constants: at most one distinct value per block, blocks ordered.
+    let mut last_const: Option<&Value> = None;
+    for block in &order.blocks {
+        let mut block_const: Option<&Value> = None;
+        for t in block {
+            if let Term::Const(v) = t {
+                match block_const {
+                    Some(prev) if prev != v => return false,
+                    _ => block_const = Some(v),
+                }
+            }
+        }
+        if let Some(v) = block_const {
+            if let Some(prev) = last_const {
+                if prev >= v {
+                    return false;
+                }
+            }
+            last_const = Some(v);
+        }
+    }
+    // Constraints whose terms are all placed must hold.
+    let mut ranks: HashMap<&Term, usize> = HashMap::new();
+    for (i, block) in order.blocks.iter().enumerate() {
+        for t in block {
+            ranks.insert(t, i);
+        }
+    }
+    for c in constraint {
+        if let Some(v) = c.eval_ground() {
+            if complete && !v {
+                return false;
+            }
+            continue;
+        }
+        let (Some(&l), Some(&r)) = (ranks.get(&c.lhs), ranks.get(&c.rhs)) else {
+            continue;
+        };
+        if !c.op.eval(&l, &r) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The number of weak orders of an `n`-set (ordered Bell / Fubini numbers).
+/// Provided for tests and the Klug benchmark's expected-work computation.
+pub fn fubini(n: usize) -> u128 {
+    // a(n) = sum_{k=1..n} C(n,k) a(n-k); a(0)=1.
+    let mut a = vec![0u128; n + 1];
+    a[0] = 1;
+    for m in 1..=n {
+        let mut total = 0u128;
+        let mut binom = 1u128; // C(m,1) built incrementally
+        for k in 1..=m {
+            binom = if k == 1 {
+                m as u128
+            } else {
+                binom * ((m - k + 1) as u128) / (k as u128)
+            };
+            total += binom * a[m - k];
+        }
+        a[m] = total;
+    }
+    a[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_ir::CompOp;
+
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+    fn i(x: i64) -> Term {
+        Term::int(x)
+    }
+    fn cmp(l: Term, op: CompOp, r: Term) -> Comparison {
+        Comparison::new(l, op, r)
+    }
+
+    #[test]
+    fn fubini_numbers() {
+        assert_eq!(fubini(0), 1);
+        assert_eq!(fubini(1), 1);
+        assert_eq!(fubini(2), 3);
+        assert_eq!(fubini(3), 13);
+        assert_eq!(fubini(4), 75);
+        assert_eq!(fubini(5), 541);
+        assert_eq!(fubini(6), 4683);
+    }
+
+    #[test]
+    fn unconstrained_enumeration_counts_fubini() {
+        for n in 0..5 {
+            let terms: Vec<Term> = (0..n).map(|k| v(&format!("X{k}"))).collect();
+            let orders = enumerate(&terms, &[]);
+            assert_eq!(orders.len() as u128, fubini(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn two_variables_three_orders() {
+        let orders = enumerate(&[v("X"), v("Y")], &[]);
+        assert_eq!(orders.len(), 3); // X<Y, X=Y, X>Y
+    }
+
+    #[test]
+    fn constraint_filters_orders() {
+        let orders = enumerate(&[v("X"), v("Y")], &[cmp(v("X"), CompOp::Lt, v("Y"))]);
+        assert_eq!(orders.len(), 1);
+        let o = &orders[0];
+        assert!(o.rank(&v("X")).unwrap() < o.rank(&v("Y")).unwrap());
+    }
+
+    #[test]
+    fn le_keeps_two_orders() {
+        let orders = enumerate(&[v("X"), v("Y")], &[cmp(v("X"), CompOp::Le, v("Y"))]);
+        assert_eq!(orders.len(), 2); // X<Y and X=Y
+    }
+
+    #[test]
+    fn constants_fixed_in_place() {
+        // X with constants 1 and 2: X<1, X=1, 1<X<2, X=2, X>2 → 5 orders.
+        let orders = enumerate(&[v("X"), i(1), i(2)], &[]);
+        assert_eq!(orders.len(), 5);
+        for o in &orders {
+            assert!(o.rank(&i(1)).unwrap() < o.rank(&i(2)).unwrap());
+        }
+    }
+
+    #[test]
+    fn constants_cannot_share_block() {
+        let orders = enumerate(&[i(1), i(2)], &[]);
+        assert_eq!(orders.len(), 1);
+        assert_eq!(orders[0].blocks.len(), 2);
+    }
+
+    #[test]
+    fn eval_under_order() {
+        let orders = enumerate(
+            &[v("X"), v("Y")],
+            &[cmp(v("X"), CompOp::Lt, v("Y"))],
+        );
+        let o = &orders[0];
+        assert_eq!(o.eval(&cmp(v("X"), CompOp::Lt, v("Y"))), Some(true));
+        assert_eq!(o.eval(&cmp(v("Y"), CompOp::Le, v("X"))), Some(false));
+        assert_eq!(o.eval(&cmp(v("X"), CompOp::Ne, v("Y"))), Some(true));
+        // Missing term.
+        assert_eq!(o.eval(&cmp(v("X"), CompOp::Lt, v("Z"))), None);
+        // Ground comparisons need no placement.
+        assert_eq!(o.eval(&cmp(i(1), CompOp::Lt, i(2))), Some(true));
+    }
+
+    #[test]
+    fn unsat_constraint_gives_no_orders() {
+        let orders = enumerate(
+            &[v("X"), v("Y")],
+            &[
+                cmp(v("X"), CompOp::Lt, v("Y")),
+                cmp(v("Y"), CompOp::Lt, v("X")),
+            ],
+        );
+        assert!(orders.is_empty());
+    }
+
+    #[test]
+    fn enumeration_agrees_with_solver_on_satisfiability() {
+        // For a batch of small conjunctions: enumerate() nonempty iff dense-sat.
+        use crate::sat_dense;
+        let cases: Vec<Vec<Comparison>> = vec![
+            vec![cmp(v("X"), CompOp::Le, v("Y")), cmp(v("Y"), CompOp::Le, v("X"))],
+            vec![cmp(v("X"), CompOp::Lt, v("Y")), cmp(v("Y"), CompOp::Lt, v("X"))],
+            vec![cmp(v("X"), CompOp::Le, i(1)), cmp(i(2), CompOp::Le, v("X"))],
+            vec![cmp(i(1), CompOp::Lt, v("X")), cmp(v("X"), CompOp::Lt, i(2))],
+            vec![cmp(v("X"), CompOp::Ne, v("Y"))],
+            vec![
+                cmp(v("X"), CompOp::Le, v("Y")),
+                cmp(v("Y"), CompOp::Le, v("X")),
+                cmp(v("X"), CompOp::Ne, v("Y")),
+            ],
+        ];
+        for cs in cases {
+            let mut terms: Vec<Term> = Vec::new();
+            for c in &cs {
+                for t in [&c.lhs, &c.rhs] {
+                    if !terms.contains(t) {
+                        terms.push(t.clone());
+                    }
+                }
+            }
+            let orders = enumerate(&terms, &cs);
+            assert_eq!(!orders.is_empty(), sat_dense(&cs), "{cs:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_terms_are_deduped() {
+        let orders = enumerate(&[v("X"), v("X"), v("Y")], &[]);
+        assert_eq!(orders.len(), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! E7 — substrate: semi-naive vs naive fixpoint on the recursive `boss`
+//! closure of Example 2.4 (a chain of n departments).
+
+use ccpi_datalog::{naive::run_naive, Engine};
+use ccpi_parser::parse_program;
+use ccpi_storage::{tuple, Database, Locality};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn chain_db(n: i64) -> Database {
+    let mut db = Database::new();
+    db.declare("e", 2, Locality::Local).unwrap();
+    for k in 0..n {
+        db.insert("e", tuple![k, k + 1]).unwrap();
+    }
+    db
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datalog/transitive_closure");
+    g.sample_size(10);
+    let program = parse_program(
+        "path(X,Y) :- e(X,Y).\n\
+         path(X,Z) :- path(X,Y) & e(Y,Z).",
+    )
+    .unwrap();
+    for n in [20i64, 50, 100] {
+        let db = chain_db(n);
+        let engine = Engine::new(program.clone()).unwrap();
+        g.bench_with_input(BenchmarkId::new("semi_naive", n), &n, |b, _| {
+            b.iter(|| black_box(engine.run(&db).total_tuples()))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(run_naive(&program, &db).unwrap().total_tuples()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E5 — Theorem 6.1 / Fig. 6.1: the three equivalent forbidden-interval
+//! tests (interval-set sweep, generated recursive datalog, Theorem 5.2
+//! containment), swept over the local relation size.
+
+use ccpi_arith::{Domain, Solver};
+use ccpi_bench::forbidden_intervals;
+use ccpi_localtest::{complete_local_test, DatalogIntervalTest, IcqTest};
+use ccpi_storage::tuple;
+use ccpi_workload::windows::{local_relation, WindowConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_intervals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("intervals/local_size");
+    g.sample_size(10);
+    let cqc = forbidden_intervals();
+    let icq = IcqTest::new(&cqc, Domain::Dense).unwrap();
+    let datalog = DatalogIntervalTest::new(icq.clone()).unwrap();
+
+    for n in [10usize, 50, 100, 1_000] {
+        let cfg = WindowConfig {
+            windows: n,
+            horizon: 10_000,
+            width: (10, 200),
+        };
+        let windows = local_relation(&cfg, &mut ccpi_workload::rng(2));
+        let probe = tuple![5_000, 5_050];
+        g.bench_with_input(BenchmarkId::new("interval_set", n), &n, |b, _| {
+            b.iter(|| black_box(icq.test(&probe, &windows)));
+        });
+        // The Fig. 6.1 program materializes O(|L|^2) merged intervals —
+        // it demonstrates expressibility (Theorem 6.1), not efficiency —
+        // so its sweep is capped.
+        if n <= 50 {
+            g.bench_with_input(BenchmarkId::new("fig61_datalog", n), &n, |b, _| {
+                b.iter(|| black_box(datalog.test(&probe, &windows)));
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("thm52_containment", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(complete_local_test(&cqc, &probe, &windows, Solver::dense()))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_intervals);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E3 — the headline claim: the complete local test's cost is independent
+//! of the remote data size, while a full re-check grows with it. Sweeps
+//! the remote relation size at a fixed local relation.
+
+use ccpi_arith::{Domain, Solver};
+use ccpi_bench::{forbidden_intervals, forbidden_intervals_cq, interval_database};
+use ccpi_datalog::Engine;
+use ccpi_ir::{Constraint, Program};
+use ccpi_localtest::{complete_local_test, IcqTest};
+use ccpi_storage::tuple;
+use ccpi_workload::windows::{local_relation, WindowConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_remote_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_vs_full/remote_size");
+    g.sample_size(10);
+
+    let cqc = forbidden_intervals();
+    let icq = IcqTest::new(&cqc, Domain::Dense).unwrap();
+    let cfg = WindowConfig {
+        windows: 200,
+        horizon: 100_000,
+        width: (10, 500),
+    };
+    let windows = local_relation(&cfg, &mut ccpi_workload::rng(1));
+    let probe = tuple![50_000, 50_001];
+
+    let constraint = Constraint::single(forbidden_intervals_cq().to_rule()).unwrap();
+    let engine = Engine::new(Program::from(
+        constraint.panic_rules().next().unwrap().clone(),
+    ))
+    .unwrap();
+
+    for remote in [100usize, 1_000, 10_000, 50_000] {
+        let db = interval_database(&windows, remote);
+        g.bench_with_input(
+            BenchmarkId::new("local_test_interval", remote),
+            &remote,
+            |b, _| {
+                b.iter(|| black_box(icq.test(&probe, &windows)));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("local_test_thm52", remote),
+            &remote,
+            |b, _| {
+                b.iter(|| {
+                    black_box(complete_local_test(&cqc, &probe, &windows, Solver::dense()))
+                });
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("full_recheck", remote), &remote, |b, _| {
+            b.iter(|| {
+                let mut after = db.clone();
+                after.insert("l", probe.clone()).unwrap();
+                black_box(engine.run(&after).derives_panic())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_remote_sweep);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E6 — the end-to-end escalation ladder: per-update checking cost when
+//! the update is discharged at each stage.
+
+use ccpi::prelude::*;
+use ccpi_workload::emp::{database, EmpConfig};
+use ccpi_workload::rng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn manager() -> ConstraintManager {
+    let cfg = EmpConfig {
+        employees: 500,
+        departments: 12,
+        dangling_fraction: 0.0,
+        salary_range: (10, 200),
+    };
+    let db = database(&cfg, &mut rng(11));
+    let mut mgr = ConstraintManager::new(db);
+    mgr.add_constraint("referential", "panic :- emp(E,D,S) & not dept(D).")
+        .unwrap();
+    mgr.add_constraint(
+        "pay-floor",
+        "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.",
+    )
+    .unwrap();
+    mgr
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline/stage");
+    g.sample_size(10);
+
+    // Discharged at stage 2 (independent): inserting a department.
+    let mut mgr = manager();
+    let independent = Update::insert("dept", tuple!["d0"]);
+    g.bench_function("independent", |b| {
+        b.iter(|| black_box(mgr.check_update(&independent).unwrap()))
+    });
+
+    // Discharged at stage 3 (local test): duplicate employee insert.
+    let mut mgr = manager();
+    let existing = mgr
+        .database()
+        .relation("emp")
+        .unwrap()
+        .iter()
+        .next()
+        .unwrap()
+        .clone();
+    let local = Update::insert("emp", existing);
+    g.bench_function("local_test", |b| {
+        b.iter(|| black_box(mgr.check_update(&local).unwrap()))
+    });
+
+    // Falls through to stage 4 (full check): a fresh well-paid hire.
+    let mut mgr = manager();
+    let full = Update::insert("emp", tuple!["newhire", "d3", 77]);
+    g.bench_function("full_check", |b| {
+        b.iter(|| black_box(mgr.check_update(&full).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

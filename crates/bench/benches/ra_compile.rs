@@ -1,0 +1,38 @@
+//! E4 — Theorem 5.3: plan construction is exponential in the query but
+//! independent of the data; plan evaluation scales with |L| only.
+
+use ccpi_bench::duplicated_remote_cqc;
+use ccpi_localtest::compile_ra;
+use ccpi_storage::{tuple, Relation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ra_compile/query_size");
+    g.sample_size(10);
+    for k in [1usize, 2, 3, 4, 5, 6] {
+        let cqc = duplicated_remote_cqc(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(compile_ra(&cqc).unwrap().mapping_count()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ra_compile/eval_vs_L");
+    g.sample_size(10);
+    let cqc = duplicated_remote_cqc(3);
+    let plan = compile_ra(&cqc).unwrap();
+    for n in [100i64, 1_000, 10_000] {
+        let local = Relation::from_tuples(2, (0..n).map(|k| tuple![k, k + 1]));
+        let t = tuple![n / 2, n / 2 + 1];
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(plan.test(&t, &local)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_eval);
+criterion_main!(benches);

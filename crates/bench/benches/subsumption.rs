@@ -1,0 +1,49 @@
+//! E1 — §3: constraint subsumption latency ("'only' NP-complete … since
+//! constraints tend to be short, the exponential complexity … may not
+//! present a bar"). Sweeps subgoal count and duplicate-predicate
+//! multiplicity.
+
+use ccpi_arith::Solver;
+use ccpi_containment::subsume::subsumes;
+use ccpi_ir::Constraint;
+use ccpi_workload::queries::{containment_pair, CqcConfig};
+use ccpi_workload::rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_subsumption(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subsumption/subgoals");
+    g.sample_size(10);
+    for subgoals in [2usize, 3, 4, 5] {
+        let cfg = CqcConfig {
+            subgoals,
+            duplication: 2,
+            comparisons: 0,
+            variables: subgoals + 1,
+            ..CqcConfig::default()
+        };
+        let mut r = rng(9_000 + subgoals as u64);
+        let batch: Vec<(Constraint, Constraint)> = (0..8)
+            .map(|_| {
+                let (a, b) = containment_pair(&cfg, &mut r);
+                (
+                    Constraint::single(a.to_rule()).unwrap(),
+                    Constraint::single(b.to_rule()).unwrap(),
+                )
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(subgoals), &subgoals, |b, _| {
+            b.iter(|| {
+                for (tight, loose) in &batch {
+                    black_box(
+                        subsumes(std::slice::from_ref(loose), tight, Solver::dense()).unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_subsumption);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E2 — §5 "Comparison With Klug's Approach": Theorem 5.1's single
+//! implication versus Klug's weak-order enumeration, on the same
+//! containment instances. Sweeps the variable count (which drives Klug's
+//! ordered-Bell blowup) via the cycle family, and the duplicate-predicate
+//! multiplicity (which drives |H|) via the random generator.
+
+use ccpi_arith::Solver;
+use ccpi_containment::klug::cqc_contained_in_union_klug;
+use ccpi_containment::thm51::cqc_contained_in_union;
+use ccpi_workload::queries::{containment_pair, cycle_family, CqcConfig};
+use ccpi_workload::rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cycle_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm51_vs_klug/cycle_k");
+    g.sample_size(10);
+    for k in [2usize, 3, 4, 5] {
+        let (c1, c2) = cycle_family(k);
+        let union = std::slice::from_ref(&c2);
+        g.bench_with_input(BenchmarkId::new("thm51", k), &k, |b, _| {
+            b.iter(|| {
+                let r = cqc_contained_in_union(black_box(&c1), union, Solver::dense()).unwrap();
+                assert!(r);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("klug", k), &k, |b, _| {
+            b.iter(|| {
+                let r = cqc_contained_in_union_klug(black_box(&c1), union).unwrap();
+                assert!(r);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_duplication(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm51_vs_klug/duplication");
+    g.sample_size(10);
+    for dup in [1usize, 2, 3] {
+        let cfg = CqcConfig {
+            subgoals: 3,
+            duplication: dup,
+            variables: 4,
+            comparisons: 2,
+            ..CqcConfig::default()
+        };
+        // A fixed batch of instances per configuration.
+        let mut r = rng(7_000 + dup as u64);
+        let batch: Vec<_> = (0..8).map(|_| containment_pair(&cfg, &mut r)).collect();
+        g.bench_with_input(BenchmarkId::new("thm51", dup), &dup, |b, _| {
+            b.iter(|| {
+                for (c1, c2) in &batch {
+                    black_box(
+                        cqc_contained_in_union(c1, std::slice::from_ref(c2), Solver::dense())
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("klug", dup), &dup, |b, _| {
+            b.iter(|| {
+                for (c1, c2) in &batch {
+                    black_box(cqc_contained_in_union_klug(c1, std::slice::from_ref(c2)).unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cycle_family, bench_duplication);
+criterion_main!(benches);

@@ -1,0 +1,465 @@
+//! The experiments driver: regenerates every figure-table and the
+//! measured claims recorded in EXPERIMENTS.md.
+//!
+//! Usage:
+//! ```text
+//! experiments                # all tables
+//! experiments --table f21    # one table (f21|f41|f42|f61|examples|e2|e3|e4|e5|e6)
+//! ```
+
+use ccpi::prelude::*;
+use ccpi_arith::{Domain, Solver};
+use ccpi_bench::{duplicated_remote_cqc, forbidden_intervals, forbidden_intervals_cq, interval_database};
+use ccpi_containment::klug::{cqc_contained_in_union_klug, order_count};
+use ccpi_containment::thm51::{cqc_contained_in_union, mapping_count};
+use ccpi_datalog::Engine;
+use ccpi_ir::class::{classify, ConstraintClass};
+use ccpi_ir::Program;
+use ccpi_localtest::{compile_ra, complete_local_test, DatalogIntervalTest, IcqTest};
+use ccpi_rewrite::closure::{representative, verify_figure, UpdateKind};
+use ccpi_workload::emp::{database as emp_database, update_stream, EmpConfig};
+use ccpi_workload::queries::cycle_family;
+use ccpi_workload::rng;
+use ccpi_workload::windows::{local_relation, WindowConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let table = args
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let all = table.is_none();
+    let want = |t: &str| all || table == Some(t);
+
+    if want("f21") {
+        table_f21();
+    }
+    if want("f41") {
+        table_closure(UpdateKind::Insertion);
+    }
+    if want("f42") {
+        table_closure(UpdateKind::Deletion);
+    }
+    if want("f61") {
+        table_f61();
+    }
+    if want("examples") {
+        table_examples();
+    }
+    if want("e2") {
+        table_e2();
+    }
+    if want("e3") {
+        table_e3();
+    }
+    if want("e4") {
+        table_e4();
+    }
+    if want("e5") {
+        table_e5();
+    }
+    if want("e6") {
+        table_e6();
+    }
+    if want("e1") {
+        table_e1();
+    }
+    if want("e7") {
+        table_e7();
+    }
+}
+
+fn heading(s: &str) {
+    println!("\n=== {s} ===");
+}
+
+/// Fig. 2.1 — the twelve classes, with a machine-classified representative
+/// each and the paper's §2 examples placed.
+fn table_f21() {
+    heading("F2.1  The twelve constraint classes (Fig. 2.1)");
+    println!("{:<24} {:<18} {:>9} {:>9}", "class", "shape", "arith", "neg");
+    for class in ConstraintClass::all() {
+        let rep = representative(class);
+        assert_eq!(classify(rep.program()), class);
+        println!(
+            "{:<24} {:<18} {:>9} {:>9}",
+            class.short_name(),
+            class.shape.label(),
+            class.arithmetic,
+            class.negation
+        );
+    }
+    println!("\nexample placements (§2):");
+    for (name, src) in [
+        ("Example 2.1", "panic :- emp(E,sales) & emp(E,accounting)."),
+        ("Example 2.2", "panic :- emp(E,D,S) & not dept(D) & S < 100."),
+        (
+            "Example 2.3",
+            "panic :- emp(E,D,S) & salRange(D,L,H) & S < L.\npanic :- emp(E,D,S) & salRange(D,L,H) & S > H.",
+        ),
+        (
+            "Example 2.4",
+            "panic :- boss(E,E).\nboss(E,M) :- emp(E,D,S) & manager(D,M).\nboss(E,F) :- boss(E,G) & boss(G,F).",
+        ),
+    ] {
+        let c = parse_constraint(src).unwrap();
+        println!("  {name}: {}", classify(c.program()).short_name());
+    }
+}
+
+/// Figs. 4.1 / 4.2 — closure under insertion/deletion, verified by
+/// actually rewriting a representative of every class.
+fn table_closure(kind: UpdateKind) {
+    let (label, figure) = match kind {
+        UpdateKind::Insertion => ("insertion", "F4.1"),
+        UpdateKind::Deletion => ("deletion", "F4.2"),
+    };
+    heading(&format!("{figure}  Classes preserved under {label}"));
+    println!(
+        "{:<24} {:>8} {:<24} {:>9}",
+        "class", "circled", "rewrite lands in", "verified"
+    );
+    let mut circled = 0;
+    for row in verify_figure(kind) {
+        if row.claimed_closed {
+            circled += 1;
+        }
+        println!(
+            "{:<24} {:>8} {:<24} {:>9}",
+            row.class.short_name(),
+            if row.claimed_closed { "yes" } else { "-" },
+            row.achieved_class.short_name(),
+            if row.claimed_closed {
+                if row.verified { "ok" } else { "FAIL" }
+            } else {
+                "-"
+            }
+        );
+    }
+    println!("circled classes: {circled} (paper: {})", match kind {
+        UpdateKind::Insertion => 8,
+        UpdateKind::Deletion => 6,
+    });
+}
+
+/// Fig. 6.1 — the generated datalog test and its behaviour on Example 5.3.
+fn table_f61() {
+    heading("F6.1  Generated recursive-datalog complete local test");
+    let cqc = forbidden_intervals();
+    let icq = IcqTest::new(&cqc, Domain::Dense).unwrap();
+    let test = DatalogIntervalTest::new(icq).unwrap();
+    println!("for C: {}", cqc);
+    println!("\n{}", test.program());
+    let local = Relation::from_tuples(2, [tuple![3, 6], tuple![5, 10]]);
+    println!("\nL = {{(3,6), (5,10)}}:");
+    for (a, b) in [(4i64, 8i64), (2, 8), (4, 11)] {
+        let v = test.test(&tuple![a, b], &local);
+        println!("  insert ({a},{b}): {}", if v.holds() { "ok(a,b) derived — safe" } else { "not derived — ask remote" });
+    }
+}
+
+/// The worked examples, each checked to reproduce the paper's outcome.
+fn table_examples() {
+    heading("T-EX  Paper examples reproduced");
+    let solver = Solver::dense();
+
+    let checks: Vec<(&str, bool)> = vec![
+        ("Ex 2.1-2.4 parse & classify into Fig 2.1 classes", {
+            ["panic :- emp(E,sales) & emp(E,accounting).",
+             "panic :- emp(E,D,S) & not dept(D) & S < 100."]
+            .iter()
+            .all(|s| parse_constraint(s).is_ok())
+        }),
+        ("Ex 4.1: C3 ⊆ C1 (C2 not needed)", {
+            let c3 = parse_cq("panic :- emp(E,D,S) & not dept(D) & D <> toy.").unwrap();
+            let c1 = parse_cq("panic :- emp(E,D,S) & not dept(D).").unwrap();
+            ccpi_containment::negation::contained_sufficient(&c3, &c1, solver).is_yes()
+        }),
+        ("Ex 5.1: r(U,V)&r(V,U) ⊆ r(A,B)&A<=B (both mappings needed)", {
+            let c1 = parse_cq("panic :- r(U,V) & r(V,U).").unwrap();
+            let c2 = parse_cq("panic :- r(A,B) & A <= B.").unwrap();
+            cqc_contained_in_union(&c1, std::slice::from_ref(&c2), solver).unwrap()
+        }),
+        ("Ex 5.3: RED((4,8)) ⊆ RED((3,6)) ∪ RED((5,10))", {
+            let cqc = forbidden_intervals();
+            let local = Relation::from_tuples(2, [tuple![3, 6], tuple![5, 10]]);
+            complete_local_test(&cqc, &tuple![4, 8], &local, solver).holds()
+        }),
+        ("Ex 5.3: …but in neither reduction alone", {
+            let cqc = forbidden_intervals();
+            let one = Relation::from_tuples(2, [tuple![3, 6]]);
+            let two = Relation::from_tuples(2, [tuple![5, 10]]);
+            !complete_local_test(&cqc, &tuple![4, 8], &one, solver).holds()
+                && !complete_local_test(&cqc, &tuple![4, 8], &two, solver).holds()
+        }),
+        ("Ex 5.4: RED((a,b,c)) does not exist; σ-test for (a,b,b)", {
+            let cqc = ccpi_localtest::Cqc::with_local(
+                parse_cq("panic :- l(X,Y,Y) & r(Y,Z,X).").unwrap(),
+                "l",
+            )
+            .unwrap();
+            let plan = compile_ra(&cqc).unwrap();
+            let mut local = Relation::new(3);
+            local.insert(tuple!["a", "b", "b"]);
+            cqc.red(&tuple!["a", "b", "c"]).is_none()
+                && plan.test(&tuple!["a", "b", "b"], &local).holds()
+        }),
+        ("Ex 6.1: Fig 6.1 program decides coverage", {
+            let cqc = forbidden_intervals();
+            let t = DatalogIntervalTest::new(IcqTest::new(&cqc, Domain::Dense).unwrap()).unwrap();
+            let local = Relation::from_tuples(2, [tuple![3, 6], tuple![5, 10]]);
+            t.test(&tuple![4, 8], &local).holds() && !t.test(&tuple![2, 8], &local).holds()
+        }),
+    ];
+    for (name, ok) in checks {
+        println!("  [{}] {name}", if ok { "ok" } else { "FAIL" });
+        assert!(ok, "{name}");
+    }
+}
+
+/// E2 — Theorem 5.1 vs Klug, measured.
+fn table_e2() {
+    heading("E2  Theorem 5.1 vs Klug [1988] (cycle family, contained in r(A,B)&A<=B)");
+    println!(
+        "{:<4} {:>10} {:>12} {:>14} {:>14}",
+        "k", "mappings", "weak orders", "thm5.1 (µs)", "klug (µs)"
+    );
+    for k in [2usize, 3, 4, 5] {
+        let (c1, c2) = cycle_family(k);
+        let union = std::slice::from_ref(&c2);
+        let m = mapping_count(&c1, union).unwrap();
+        let w = order_count(&c1, union).unwrap();
+        let t1 = time_us(|| {
+            assert!(cqc_contained_in_union(&c1, union, Solver::dense()).unwrap());
+        });
+        let t2 = time_us(|| {
+            assert!(cqc_contained_in_union_klug(&c1, union).unwrap());
+        });
+        println!("{k:<4} {m:>10} {w:>12} {t1:>14.1} {t2:>14.1}");
+    }
+}
+
+/// E3 — local test flat in remote size; full check grows.
+fn table_e3() {
+    heading("E3  Local test vs full re-check as remote data grows");
+    let cqc = forbidden_intervals();
+    let icq = IcqTest::new(&cqc, Domain::Dense).unwrap();
+    let cfg = WindowConfig {
+        windows: 200,
+        horizon: 100_000,
+        width: (10, 500),
+    };
+    let windows = local_relation(&cfg, &mut rng(1));
+    let probe = tuple![50_000, 50_001];
+    let engine = Engine::new(Program::from(forbidden_intervals_cq().to_rule())).unwrap();
+    println!(
+        "{:<12} {:>16} {:>16} {:>14}",
+        "remote |r|", "local test (µs)", "full check (µs)", "remote reads"
+    );
+    for remote in [100usize, 1_000, 10_000, 50_000] {
+        let db = interval_database(&windows, remote);
+        let t_local = time_us(|| {
+            let _ = icq.test(&probe, &windows);
+        });
+        let t_full = time_us(|| {
+            let mut after = db.clone();
+            after.insert("l", probe.clone()).unwrap();
+            let _ = engine.run(&after).derives_panic();
+        });
+        println!("{remote:<12} {t_local:>16.1} {t_full:>16.1} {remote:>14}");
+    }
+}
+
+/// E4 — Theorem 5.3: compile cost vs query size, eval cost vs |L|.
+fn table_e4() {
+    heading("E4  Theorem 5.3 compile (exponential in query, data-independent)");
+    println!("{:<4} {:>10} {:>16}", "k", "mappings", "compile (µs)");
+    for k in [1usize, 2, 3, 4, 5, 6] {
+        let cqc = duplicated_remote_cqc(k);
+        let mut mappings = 0usize;
+        let t = time_us(|| {
+            mappings = compile_ra(&cqc).unwrap().mapping_count();
+        });
+        println!("{k:<4} {mappings:>10} {t:>16.1}");
+    }
+    println!("\nplan evaluation vs |L| (k = 3):");
+    println!("{:<10} {:>14}", "|L|", "eval (µs)");
+    let plan = compile_ra(&duplicated_remote_cqc(3)).unwrap();
+    for n in [100i64, 1_000, 10_000] {
+        let local = Relation::from_tuples(2, (0..n).map(|k| tuple![k, k + 1]));
+        let t = tuple![n / 2, n / 2 + 1];
+        let us = time_us(|| {
+            let _ = plan.test(&t, &local);
+        });
+        println!("{n:<10} {us:>14.1}");
+    }
+}
+
+/// E5 — the three interval tests vs |L|.
+fn table_e5() {
+    heading("E5  Forbidden intervals: interval-set vs Fig 6.1 datalog vs Thm 5.2");
+    let cqc = forbidden_intervals();
+    let icq = IcqTest::new(&cqc, Domain::Dense).unwrap();
+    let datalog = DatalogIntervalTest::new(icq.clone()).unwrap();
+    println!(
+        "{:<8} {:>16} {:>16} {:>16}",
+        "|L|", "intervals (µs)", "fig 6.1 (µs)", "thm 5.2 (µs)"
+    );
+    // The generated datalog program materializes O(|L|^2) merged
+    // intervals (expressibility, not efficiency, is Theorem 6.1's claim),
+    // so its column is capped at 50 windows.
+    for n in [10usize, 25, 50, 100, 1_000] {
+        let cfg = WindowConfig {
+            windows: n,
+            horizon: 10_000,
+            width: (10, 200),
+        };
+        let windows = local_relation(&cfg, &mut rng(2));
+        let probe = tuple![5_000, 5_050];
+        let t1 = time_us(|| {
+            let _ = icq.test(&probe, &windows);
+        });
+        let t2 = (n <= 50).then(|| {
+            time_us(|| {
+                let _ = datalog.test(&probe, &windows);
+            })
+        });
+        let t3 = time_us(|| {
+            let _ = complete_local_test(&cqc, &probe, &windows, Solver::dense());
+        });
+        let t2 = t2.map_or("-".to_string(), |v| format!("{v:.1}"));
+        println!("{n:<8} {t1:>16.1} {t2:>16} {t3:>16.1}");
+    }
+}
+
+/// E6 — the pipeline on a realistic stream: method mix & remote traffic.
+fn table_e6() {
+    heading("E6  Escalation-ladder mix on a 200-update employee stream");
+    let cfg = EmpConfig {
+        employees: 500,
+        departments: 12,
+        dangling_fraction: 0.0,
+        salary_range: (10, 200),
+    };
+    let mut r = rng(42);
+    let db = emp_database(&cfg, &mut r);
+    let mut mgr = ConstraintManager::new(db);
+    mgr.add_constraint("referential", "panic :- emp(E,D,S) & not dept(D).")
+        .unwrap();
+    mgr.add_constraint(
+        "pay-floor",
+        "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.",
+    )
+    .unwrap();
+    mgr.add_constraint(
+        "pay-ceiling",
+        "panic :- emp(E,D,S) & salRange(D,Low,High) & S > High.",
+    )
+    .unwrap();
+
+    let stream = update_stream(&cfg, &mut r, 200);
+    let mut hist: Vec<(String, usize)> = Vec::new();
+    let (mut violations, mut remote) = (0usize, 0usize);
+    let start = Instant::now();
+    for update in &stream {
+        let report = mgr.check_update(update).unwrap();
+        for (m, n) in report.method_histogram() {
+            if n == 0 {
+                continue;
+            }
+            let key = m.to_string();
+            match hist.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, total)) => *total += n,
+                None => hist.push((key, n)),
+            }
+        }
+        violations += report.violations().len();
+        remote += report.remote_tuples_read;
+        if report.all_hold() {
+            mgr.database_mut().apply(update).unwrap();
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let total: usize = hist.iter().map(|(_, n)| n).sum::<usize>() + violations;
+    println!("{:<26} {:>8} {:>8}", "method", "checks", "%");
+    for (m, n) in &hist {
+        println!("{m:<26} {n:>8} {:>7.1}%", 100.0 * *n as f64 / total as f64);
+    }
+    println!("{:<26} {violations:>8}", "violations");
+    println!("\nremote tuples read: {remote}; wall time: {elapsed:.2}s");
+}
+
+/// E1 — §3 subsumption latency vs constraint size.
+fn table_e1() {
+    heading("E1  Subsumption latency vs constraint size (NP-complete, 'short constraints')");
+    use ccpi_containment::subsume::subsumes;
+    use ccpi_ir::Constraint;
+    use ccpi_workload::queries::{containment_pair, CqcConfig};
+    println!("{:<10} {:>18}", "subgoals", "per check (µs)");
+    for subgoals in [2usize, 3, 4, 5, 6] {
+        let cfg = CqcConfig {
+            subgoals,
+            duplication: 2,
+            comparisons: 0,
+            variables: subgoals + 1,
+            ..CqcConfig::default()
+        };
+        let mut r = rng(9_000 + subgoals as u64);
+        let batch: Vec<(Constraint, Constraint)> = (0..16)
+            .map(|_| {
+                let (a, b) = containment_pair(&cfg, &mut r);
+                (
+                    Constraint::single(a.to_rule()).unwrap(),
+                    Constraint::single(b.to_rule()).unwrap(),
+                )
+            })
+            .collect();
+        let us = time_us(|| {
+            for (tight, loose) in &batch {
+                let _ = subsumes(std::slice::from_ref(loose), tight, Solver::dense()).unwrap();
+            }
+        }) / batch.len() as f64;
+        println!("{subgoals:<10} {us:>18.1}");
+    }
+}
+
+/// E7 — substrate: semi-naive vs naive datalog on transitive closure.
+fn table_e7() {
+    heading("E7  Datalog engine: semi-naive vs naive on a chain closure");
+    use ccpi_datalog::naive::run_naive;
+    let program = ccpi_parser::parse_program(
+        "path(X,Y) :- e(X,Y).\npath(X,Z) :- path(X,Y) & e(Y,Z).",
+    )
+    .unwrap();
+    println!("{:<8} {:>10} {:>18} {:>14}", "chain n", "|path|", "semi-naive (µs)", "naive (µs)");
+    for n in [20i64, 50, 100] {
+        let mut db = Database::new();
+        db.declare("e", 2, ccpi_storage::Locality::Local).unwrap();
+        for k in 0..n {
+            db.insert("e", tuple![k, k + 1]).unwrap();
+        }
+        let engine = Engine::new(program.clone()).unwrap();
+        let size = engine.run(&db).total_tuples();
+        let t_semi = time_us(|| {
+            let _ = engine.run(&db).total_tuples();
+        });
+        let t_naive = time_us(|| {
+            let _ = run_naive(&program, &db).unwrap().total_tuples();
+        });
+        println!("{n:<8} {size:>10} {t_semi:>18.1} {t_naive:>14.1}");
+    }
+}
+
+fn time_us(mut f: impl FnMut()) -> f64 {
+    // Warm up once; spend fewer iterations on slow operations.
+    let warm = Instant::now();
+    f();
+    let iters = if warm.elapsed().as_secs_f64() > 0.5 { 1 } else { 5 };
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}

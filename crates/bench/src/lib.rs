@@ -1,0 +1,50 @@
+//! # `ccpi-bench` — shared fixtures for benchmarks and experiments
+//!
+//! The Criterion benches (one per experiment in DESIGN.md §8) and the
+//! `experiments` table binary share the workload constructions here, so
+//! that the numbers in EXPERIMENTS.md and the bench reports come from
+//! identical inputs.
+
+use ccpi_ir::Cq;
+use ccpi_localtest::Cqc;
+use ccpi_parser::parse_cq;
+use ccpi_storage::{tuple, Database, Locality, Relation};
+
+/// The forbidden-intervals CQC of Example 5.3 (local predicate `l`).
+pub fn forbidden_intervals() -> Cqc {
+    let cq = parse_cq("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.").expect("parses");
+    Cqc::with_local(cq, "l").expect("valid CQC")
+}
+
+/// The same constraint as a raw CQ.
+pub fn forbidden_intervals_cq() -> Cq {
+    parse_cq("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.").expect("parses")
+}
+
+/// A database holding `windows` local windows and `remote` remote points,
+/// none of the points inside any window (so the constraint holds).
+pub fn interval_database(windows: &Relation, remote_points: usize) -> Database {
+    let mut db = Database::new();
+    db.declare("l", 2, Locality::Local).unwrap();
+    db.declare("r", 1, Locality::Remote).unwrap();
+    let mut max_hi = 0i64;
+    for w in windows.iter() {
+        max_hi = max_hi.max(w[1].as_int().unwrap_or(0));
+        db.insert("l", w.clone()).unwrap();
+    }
+    // Remote points safely above every window.
+    for k in 0..remote_points {
+        db.insert("r", tuple![max_hi + 1 + k as i64]).unwrap();
+    }
+    db
+}
+
+/// An arithmetic-free CQC whose remote part has `k` subgoals over the
+/// same predicate — drives the Theorem 5.3 plan size exponentially.
+pub fn duplicated_remote_cqc(k: usize) -> Cqc {
+    let remotes: Vec<String> = (0..k)
+        .map(|i| format!("r(V{},W{})", i % 2, i))
+        .collect();
+    let src = format!("panic :- l(V0,V1) & {}.", remotes.join(" & "));
+    Cqc::with_local(parse_cq(&src).expect("parses"), "l").expect("valid CQC")
+}

@@ -1,0 +1,187 @@
+//! Canonical ("frozen") databases.
+//!
+//! Freezing a CQ turns each variable into a distinct fresh constant and
+//! materializes the positive subgoals as a database — the classic tool
+//! behind Chandra–Merlin containment and the Only-If direction of
+//! Theorem 5.1's proof ("Let D be the database consisting of exactly those
+//! tuples that are formed by applying g to the ordinary subgoals of C₁").
+
+use ccpi_ir::{Cq, Subst, Sym, Term, Value};
+use ccpi_storage::{Database, Locality, Tuple};
+use std::collections::BTreeMap;
+
+/// Reserved prefix for frozen-variable constants; parser identifiers can
+/// never produce it, so frozen constants cannot collide with real ones.
+pub const FROZEN_PREFIX: &str = "$frozen_";
+
+/// The result of freezing a query.
+pub struct Frozen {
+    /// The canonical database (every relation [`Locality::Local`]).
+    pub db: Database,
+    /// Variable → fresh-constant substitution used.
+    pub assignment: Subst,
+    /// The frozen head tuple (for checking derivations).
+    pub head: Tuple,
+}
+
+/// Freezes `cq`: maps each variable to a distinct fresh symbolic constant
+/// and loads the frozen positive subgoals into a fresh database.
+///
+/// Negated subgoals and comparisons are *not* represented — callers that
+/// need them (the negation tests) handle presence/absence themselves.
+pub fn freeze(cq: &Cq) -> Frozen {
+    let assignment = freeze_assignment(cq);
+    let db = materialize(cq, &assignment);
+    let head = Tuple::from(
+        cq.head
+            .args
+            .iter()
+            .map(|t| term_to_value(t, &assignment))
+            .collect::<Vec<Value>>(),
+    );
+    Frozen {
+        db,
+        assignment,
+        head,
+    }
+}
+
+/// The identity freezing assignment: variable `i` (in first-occurrence
+/// order) ↦ `$frozen_i`.
+pub fn freeze_assignment(cq: &Cq) -> Subst {
+    Subst::from_pairs(cq.vars().into_iter().enumerate().map(|(i, v)| {
+        (
+            v,
+            Term::Const(Value::Str(Sym::new(format!("{FROZEN_PREFIX}{i}")))),
+        )
+    }))
+}
+
+/// Materializes the positive subgoals of `cq` under `assignment` as a
+/// database (declaring each predicate with its arity).
+pub fn materialize(cq: &Cq, assignment: &Subst) -> Database {
+    let mut db = Database::new();
+    let mut arities: BTreeMap<&str, usize> = BTreeMap::new();
+    for a in &cq.positives {
+        arities.insert(a.pred.as_str(), a.arity());
+    }
+    for (name, arity) in arities {
+        db.declare(name, arity, Locality::Local)
+            .expect("fresh database");
+    }
+    for a in &cq.positives {
+        let t: Vec<Value> = a
+            .args
+            .iter()
+            .map(|t| term_to_value(t, assignment))
+            .collect();
+        db.insert(a.pred.as_str(), Tuple::from(t))
+            .expect("declared just above");
+    }
+    db
+}
+
+fn term_to_value(t: &Term, assignment: &Subst) -> Value {
+    match t {
+        Term::Const(c) => c.clone(),
+        Term::Var(v) => match assignment.get(v) {
+            Some(Term::Const(c)) => c.clone(),
+            _ => panic!("freeze assignment must bind every variable (missing {v})"),
+        },
+    }
+}
+
+/// Convenience for tests: a fresh frozen constant by index.
+pub fn frozen_const(i: usize) -> Value {
+    Value::Str(Sym::new(format!("{FROZEN_PREFIX}{i}")))
+}
+
+/// All distinct values used by `freeze` for `cq` (frozen vars + constants
+/// appearing in the query) — the "frozen domain" of the negation tests.
+pub fn frozen_domain(cq: &Cq) -> Vec<Value> {
+    let mut out: Vec<Value> = (0..cq.vars().len()).map(frozen_const).collect();
+    for c in cq.constants() {
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Helper used across crates' tests: evaluates a CQ (with negation and
+/// comparisons) on a database via the datalog engine and returns the result
+/// tuples of its head predicate.
+pub fn eval_cq(cq: &Cq, db: &Database) -> Vec<Tuple> {
+    let program = ccpi_ir::Program::from(cq.to_rule());
+    let engine = ccpi_datalog::Engine::new(program).expect("valid cq");
+    let out = engine.run(db);
+    out.relation(cq.head.pred.as_str())
+        .map(|r| r.iter().cloned().collect())
+        .unwrap_or_default()
+}
+
+/// Does `cq` derive the given head tuple on `db`?
+pub fn derives(cq: &Cq, db: &Database, head: &Tuple) -> bool {
+    eval_cq(cq, db).iter().any(|t| t == head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_parser::parse_cq;
+
+    #[test]
+    fn freeze_builds_canonical_database() {
+        let cq = parse_cq("panic :- emp(E,D,S) & dept(D).").unwrap();
+        let f = freeze(&cq);
+        assert_eq!(f.db.relation("emp").unwrap().len(), 1);
+        assert_eq!(f.db.relation("dept").unwrap().len(), 1);
+        assert_eq!(f.head.arity(), 0);
+        // The shared variable D freezes to the same constant in both atoms.
+        let emp: Vec<Tuple> = f.db.relation("emp").unwrap().iter().cloned().collect();
+        let dept: Vec<Tuple> = f.db.relation("dept").unwrap().iter().cloned().collect();
+        assert_eq!(emp[0][1], dept[0][0]);
+    }
+
+    #[test]
+    fn constants_freeze_to_themselves() {
+        let cq = parse_cq("panic :- emp(E,sales).").unwrap();
+        let f = freeze(&cq);
+        let emp: Vec<Tuple> = f.db.relation("emp").unwrap().iter().cloned().collect();
+        assert_eq!(emp[0][1], Value::str("sales"));
+    }
+
+    #[test]
+    fn chandra_merlin_on_canonical_db() {
+        // q1 ⊆ q2 iff q2 derives the frozen head of q1 on freeze(q1):
+        // check the classic direction by evaluation.
+        let q1 = parse_cq("panic :- r(U,V) & r(V,U).").unwrap();
+        let q2 = parse_cq("panic :- r(A,B).").unwrap();
+        let f = freeze(&q1);
+        assert!(derives(&q2, &f.db, &f.head));
+        // And the converse fails: freeze(q2) does not satisfy q1.
+        let g = freeze(&q2);
+        assert!(!derives(&q1, &g.db, &g.head));
+    }
+
+    #[test]
+    fn frozen_domain_includes_constants() {
+        let cq = parse_cq("panic :- emp(E,sales) & E <> jones.").unwrap();
+        let dom = frozen_domain(&cq);
+        assert!(dom.contains(&Value::str("sales")));
+        assert!(dom.contains(&Value::str("jones")));
+        assert!(dom.contains(&frozen_const(0)));
+        assert_eq!(dom.len(), 3);
+    }
+
+    #[test]
+    fn eval_cq_with_nontrivial_head() {
+        let q = parse_cq("pair(X,Y) :- r(X,Y) & X < Y.").unwrap();
+        let mut db = Database::new();
+        db.declare("r", 2, Locality::Local).unwrap();
+        db.insert("r", ccpi_storage::tuple![1, 2]).unwrap();
+        db.insert("r", ccpi_storage::tuple![3, 2]).unwrap();
+        let out = eval_cq(&q, &db);
+        assert_eq!(out, vec![ccpi_storage::tuple![1, 2]]);
+    }
+}

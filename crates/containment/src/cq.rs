@@ -1,0 +1,182 @@
+//! Containment of pure conjunctive queries and unions thereof.
+//!
+//! * Chandra–Merlin \[1977\]: `Q₁ ⊆ Q₂` iff a containment mapping exists from
+//!   `Q₂` to `Q₁` (NP-complete; "since constraints tend to be short, the
+//!   exponential complexity … may not present a bar to solution" — §3).
+//! * Sagiv–Yannakakis \[1981\]: for unions of CQs, `⋃ᵢ Pᵢ ⊆ ⋃ⱼ Qⱼ` iff each
+//!   `Pᵢ` is contained in **some single** `Qⱼ` — the union collapses, which
+//!   is exactly what *fails* once arithmetic comparisons appear
+//!   (Example 5.3's forbidden intervals; see [`crate::thm51`]).
+
+use crate::mapping::mapping_exists;
+use ccpi_ir::{Cq, IrError};
+
+/// Validates that a CQ is "pure": no negation, no comparisons.
+fn check_pure(q: &Cq) -> Result<(), IrError> {
+    if !q.is_negation_free() {
+        return Err(IrError::UnexpectedNegation);
+    }
+    if !q.is_arithmetic_free() {
+        return Err(IrError::UnexpectedArithmetic);
+    }
+    Ok(())
+}
+
+/// Chandra–Merlin containment `q1 ⊆ q2` for pure CQs.
+pub fn cq_contained(q1: &Cq, q2: &Cq) -> Result<bool, IrError> {
+    check_pure(q1)?;
+    check_pure(q2)?;
+    Ok(mapping_exists(q2, q1))
+}
+
+/// `q1 ⊆ q2_union` for pure CQs: by Sagiv–Yannakakis, containment in a
+/// union of CQs is containment in one member.
+pub fn cq_contained_in_union(q1: &Cq, q2_union: &[Cq]) -> Result<bool, IrError> {
+    check_pure(q1)?;
+    for q2 in q2_union {
+        check_pure(q2)?;
+    }
+    Ok(q2_union.iter().any(|q2| mapping_exists(q2, q1)))
+}
+
+/// Union-vs-union containment (member-wise, Sagiv–Yannakakis).
+pub fn ucq_contained(u1: &[Cq], u2: &[Cq]) -> Result<bool, IrError> {
+    for q1 in u1 {
+        if !cq_contained_in_union(q1, u2)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Two pure CQs are equivalent iff they contain each other.
+pub fn cq_equivalent(q1: &Cq, q2: &Cq) -> Result<bool, IrError> {
+    Ok(cq_contained(q1, q2)? && cq_contained(q2, q1)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::{derives, freeze};
+    use ccpi_parser::parse_cq;
+    use proptest::prelude::*;
+
+    fn cq(src: &str) -> Cq {
+        parse_cq(src).unwrap()
+    }
+
+    #[test]
+    fn more_subgoals_contained_in_fewer() {
+        // r(U,V) & r(V,U) ⊆ r(A,B) but not conversely.
+        let tight = cq("panic :- r(U,V) & r(V,U).");
+        let loose = cq("panic :- r(A,B).");
+        assert!(cq_contained(&tight, &loose).unwrap());
+        assert!(!cq_contained(&loose, &tight).unwrap());
+    }
+
+    #[test]
+    fn identical_queries_are_equivalent() {
+        let a = cq("panic :- emp(E,sales) & emp(E,accounting).");
+        let b = cq("panic :- emp(X,sales) & emp(X,accounting).");
+        assert!(cq_equivalent(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn redundant_subgoals_are_equivalent() {
+        // p(X,Y) & p(X,Z) ≡ p(X,Y) (Z projects away; head 0-ary).
+        let a = cq("panic :- p(X,Y) & p(X,Z).");
+        let b = cq("panic :- p(X,Y).");
+        assert!(cq_equivalent(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn head_variables_matter() {
+        let a = cq("q(X) :- p(X,Y).");
+        let b = cq("q(Y) :- p(X,Y).");
+        assert!(!cq_contained(&a, &b).unwrap());
+        assert!(!cq_contained(&b, &a).unwrap());
+    }
+
+    #[test]
+    fn constants_break_containment() {
+        let sales = cq("panic :- emp(E,sales).");
+        let any = cq("panic :- emp(E,D).");
+        assert!(cq_contained(&sales, &any).unwrap());
+        assert!(!cq_contained(&any, &sales).unwrap());
+    }
+
+    #[test]
+    fn union_containment_is_member_wise() {
+        let q = cq("panic :- emp(E,sales).");
+        let u = vec![
+            cq("panic :- emp(E,accounting)."),
+            cq("panic :- emp(E,D)."),
+        ];
+        assert!(cq_contained_in_union(&q, &u).unwrap());
+        let u2 = vec![
+            cq("panic :- emp(E,accounting)."),
+            cq("panic :- emp(E,marketing)."),
+        ];
+        assert!(!cq_contained_in_union(&q, &u2).unwrap());
+    }
+
+    #[test]
+    fn ucq_containment() {
+        let u1 = vec![cq("panic :- emp(E,sales)."), cq("panic :- emp(E,accounting).")];
+        let u2 = vec![cq("panic :- emp(E,D).")];
+        assert!(ucq_contained(&u1, &u2).unwrap());
+        assert!(!ucq_contained(&u2, &u1).unwrap());
+        assert!(ucq_contained(&[], &u1).unwrap()); // empty union ⊆ anything
+    }
+
+    #[test]
+    fn rejects_non_pure_queries() {
+        let neg = cq("panic :- p(X) & not q(X).");
+        let arith = cq("panic :- p(X) & X < 5.");
+        let pure = cq("panic :- p(X).");
+        assert!(matches!(
+            cq_contained(&neg, &pure),
+            Err(IrError::UnexpectedNegation)
+        ));
+        assert!(matches!(
+            cq_contained(&pure, &arith),
+            Err(IrError::UnexpectedArithmetic)
+        ));
+    }
+
+    /// Random pure CQs: the mapping test must agree with the canonical-
+    /// database semantics (Chandra–Merlin's theorem itself, checked
+    /// empirically): q1 ⊆ q2 iff q2 derives the frozen head on freeze(q1).
+    fn small_cq() -> impl Strategy<Value = Cq> {
+        // Up to 3 subgoals over predicates p/2, q/1 with up to 3 vars.
+        let atom = prop_oneof![
+            ((0usize..3), (0usize..3)).prop_map(|(a, b)| format!("p(V{a},V{b})")),
+            (0usize..3).prop_map(|a| format!("q(V{a})")),
+        ];
+        prop::collection::vec(atom, 1..4).prop_map(|atoms| {
+            let src = format!("panic :- {}.", atoms.join(" & "));
+            parse_cq(&src).unwrap()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn mapping_test_agrees_with_canonical_semantics(q1 in small_cq(), q2 in small_cq()) {
+            let by_mapping = cq_contained(&q1, &q2).unwrap();
+            let f = freeze(&q1);
+            let by_semantics = derives(&q2, &f.db, &f.head);
+            prop_assert_eq!(by_mapping, by_semantics);
+        }
+
+        #[test]
+        fn containment_is_reflexive_and_transitive(
+            q1 in small_cq(), q2 in small_cq(), q3 in small_cq()
+        ) {
+            prop_assert!(cq_contained(&q1, &q1).unwrap());
+            if cq_contained(&q1, &q2).unwrap() && cq_contained(&q2, &q3).unwrap() {
+                prop_assert!(cq_contained(&q1, &q3).unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Klug \[1988\]'s containment method — the baseline of §5's "Comparison
+//! With Klug's Approach".
+//!
+//! Klug decides `C₁ ⊆ C₂` by considering **every total preorder** of
+//! `C₁`'s terms consistent with `A(C₁)`: each such order induces a
+//! canonical database for `C₁`, and containment holds iff on each of them
+//! some containment mapping from `C₂` lands with its arithmetic satisfied
+//! under the order. "Klug's approach in the worst case requires an
+//! exponential number of tests" — the number of consistent weak orders —
+//! whereas Theorem 5.1 runs one implication. The `thm51_vs_klug` benchmark
+//! measures exactly this trade-off on the same inputs.
+//!
+//! Dense-domain only (the setting of Klug's theorem; see
+//! [`ccpi_arith::preorder`]).
+
+use crate::mapping::containment_mappings;
+use crate::thm51;
+use ccpi_arith::preorder::{enumerate, WeakOrder};
+use ccpi_ir::rectify::rectify;
+use ccpi_ir::{Comparison, Cq, IrError, Term};
+
+/// Exact containment `c1 ⊆ c2` by Klug's method (dense domain).
+pub fn cqc_contained_klug(c1: &Cq, c2: &Cq) -> Result<bool, IrError> {
+    cqc_contained_in_union_klug(c1, std::slice::from_ref(c2))
+}
+
+/// Exact containment of a CQC in a union of CQCs by Klug's method.
+pub fn cqc_contained_in_union_klug(c1: &Cq, union: &[Cq]) -> Result<bool, IrError> {
+    if !c1.is_negation_free() || union.iter().any(|c| !c.is_negation_free()) {
+        return Err(IrError::UnexpectedNegation);
+    }
+    let r1 = rectify(c1);
+
+    // Terms whose order matters: C1's variables and every constant in
+    // sight (C1's and the members' — a member comparison like `X < 5`
+    // must see where 5 sits relative to C1's terms).
+    let mut terms: Vec<Term> = r1.vars().into_iter().map(Term::Var).collect();
+    for c in r1.constants() {
+        push_unique(&mut terms, Term::Const(c));
+    }
+
+    // Rectify/rename the members once, collect their mapped arithmetic.
+    let mut mapped: Vec<Vec<Comparison>> = Vec::new();
+    for (k, member) in union.iter().enumerate() {
+        let (fresh, _) = rectify(member).freshen(&format!("k{k}_"));
+        for c in fresh.constants() {
+            push_unique(&mut terms, Term::Const(c));
+        }
+        for h in containment_mappings(&fresh, &r1) {
+            mapped.push(fresh.comparisons.iter().map(|c| h.apply_cmp(c)).collect());
+        }
+    }
+
+    // Klug: for every consistent order, some mapping's arithmetic holds.
+    for order in enumerate(&terms, &r1.comparisons) {
+        if !mapped.iter().any(|conj| satisfied(&order, conj)) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// The number of consistent weak orders Klug's method enumerates for `c1`
+/// against `union` — exposed for the comparison experiment.
+pub fn order_count(c1: &Cq, union: &[Cq]) -> Result<usize, IrError> {
+    let r1 = rectify(c1);
+    let mut terms: Vec<Term> = r1.vars().into_iter().map(Term::Var).collect();
+    for c in r1.constants() {
+        push_unique(&mut terms, Term::Const(c));
+    }
+    for (k, member) in union.iter().enumerate() {
+        let (fresh, _) = rectify(member).freshen(&format!("k{k}_"));
+        for c in fresh.constants() {
+            push_unique(&mut terms, Term::Const(c));
+        }
+    }
+    Ok(enumerate(&terms, &r1.comparisons).len())
+}
+
+fn satisfied(order: &WeakOrder, conj: &[Comparison]) -> bool {
+    // A mapped comparison mentioning a term missing from the order (which
+    // cannot happen after the term collection above) counts as unsatisfied.
+    order.eval_all(conj).unwrap_or(false)
+}
+
+fn push_unique(v: &mut Vec<Term>, t: Term) {
+    if !v.contains(&t) {
+        v.push(t);
+    }
+}
+
+/// Differential helper: run both Theorem 5.1 and Klug and assert they
+/// agree, returning the shared verdict. Used by property tests and the
+/// experiments binary.
+pub fn both_methods(c1: &Cq, union: &[Cq]) -> Result<bool, IrError> {
+    let a = thm51::cqc_contained_in_union(c1, union, ccpi_arith::Solver::dense())?;
+    let b = cqc_contained_in_union_klug(c1, union)?;
+    assert_eq!(
+        a, b,
+        "Theorem 5.1 and Klug disagree on {c1} ⊆ union{union:?}"
+    );
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_ir::CompOp;
+    use ccpi_parser::parse_cq;
+    use proptest::prelude::*;
+
+    fn cq(src: &str) -> Cq {
+        parse_cq(src).unwrap()
+    }
+
+    #[test]
+    fn example_5_1_by_klug() {
+        let c1 = cq("panic :- r(U,V) & r(V,U).");
+        let c2 = cq("panic :- r(A,B) & A <= B.");
+        assert!(cqc_contained_klug(&c1, &c2).unwrap());
+        assert!(!cqc_contained_klug(&c2, &c1).unwrap());
+    }
+
+    #[test]
+    fn example_5_3_union_by_klug() {
+        let inserted = cq("panic :- r(Z) & 4 <= Z & Z <= 8.");
+        let red36 = cq("panic :- r(Z) & 3 <= Z & Z <= 6.");
+        let red510 = cq("panic :- r(Z) & 5 <= Z & Z <= 10.");
+        assert!(cqc_contained_in_union_klug(&inserted, &[red36.clone(), red510.clone()]).unwrap());
+        assert!(!cqc_contained_klug(&inserted, &red36).unwrap());
+    }
+
+    #[test]
+    fn order_count_grows_exponentially() {
+        // One variable + two constants: 5 orders; more variables blow up.
+        let c1 = cq("panic :- r(Z) & 4 <= Z & Z <= 8.");
+        let n1 = order_count(&c1, &[]).unwrap();
+        let c2 = cq("panic :- r(Z) & r(W) & 4 <= Z & Z <= 8.");
+        let n2 = order_count(&c2, &[]).unwrap();
+        assert!(n1 >= 1);
+        assert!(n2 > n1);
+    }
+
+    /// Random small CQCs: Klug's method and Theorem 5.1 agree everywhere.
+    fn small_cqc() -> impl Strategy<Value = Cq> {
+        let atom = prop_oneof![
+            ((0usize..3), (0usize..3)).prop_map(|(a, b)| format!("r(V{a},V{b})")),
+            (0usize..3).prop_map(|a| format!("s(V{a})")),
+        ];
+        let ops = prop_oneof![
+            Just(CompOp::Lt),
+            Just(CompOp::Le),
+            Just(CompOp::Eq),
+            Just(CompOp::Ne)
+        ];
+        let term = prop_oneof![
+            (0usize..3).prop_map(|k| format!("V{k}")),
+            (0i64..3).prop_map(|k| k.to_string()),
+        ];
+        let cmp = (term.clone(), ops, term).prop_map(|(l, op, r)| format!("{l} {} {r}", op.symbol()));
+        (
+            prop::collection::vec(atom, 1..3),
+            prop::collection::vec(cmp, 0..3),
+        )
+            .prop_map(|(atoms, cmps)| {
+                let mut parts = atoms;
+                parts.extend(cmps);
+                parse_cq(&format!("panic :- {}.", parts.join(" & "))).unwrap()
+            })
+            .prop_filter("safe rule", |cq| {
+                ccpi_ir::safety::check_rule(&cq.to_rule()).is_ok()
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn klug_agrees_with_theorem_5_1(c1 in small_cqc(), c2 in small_cqc()) {
+            // both_methods panics on disagreement.
+            let _ = both_methods(&c1, std::slice::from_ref(&c2)).unwrap();
+        }
+
+        #[test]
+        fn klug_agrees_on_unions(c1 in small_cqc(), c2 in small_cqc(), c3 in small_cqc()) {
+            let _ = both_methods(&c1, &[c2, c3]).unwrap();
+        }
+    }
+}

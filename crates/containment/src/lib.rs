@@ -1,0 +1,61 @@
+//! # `ccpi-containment` — query containment & constraint subsumption
+//!
+//! Implements the containment machinery GSUW'94 builds on and contributes
+//! to:
+//!
+//! * [`mapping`] — containment-mapping enumeration (Ullman \[1989\] §14);
+//! * [`cq`] — Chandra–Merlin containment of conjunctive queries and the
+//!   Sagiv–Yannakakis member-wise test for unions of CQs;
+//! * [`thm51`] — **Theorem 5.1**: exact containment of CQCs (conjunctive
+//!   queries with arithmetic comparisons) via *all* containment mappings
+//!   and one arithmetic implication, generalized to unions;
+//! * [`klug`] — Klug \[1988\]'s method (enumerate all consistent total
+//!   preorders of the contained query's terms), the baseline the paper
+//!   compares against;
+//! * [`negation`] — containment for CQs with negated subgoals: an exact
+//!   small-model test for the arithmetic-free case (Levy–Sagiv \[1993\]) and
+//!   a sound mapping-based test for the general case;
+//! * [`subsume`] — §3 constraint subsumption: Theorem 3.1 (subsumption =
+//!   containment in the union), Theorem 3.2's reduction of containment to
+//!   subsumption, and uniform containment for recursive programs (sound,
+//!   incomplete — see DESIGN.md §9);
+//! * [`canonical`] — canonical ("frozen") databases, used by the exact
+//!   tests and by differential property tests.
+//!
+//! Sound-but-incomplete paths never answer "yes" wrongly: they return
+//! [`Answer::Unknown`] instead of a wrong verdict, matching the paper's
+//! test discipline ("whenever it says 'yes', the constraint does hold").
+
+pub mod canonical;
+pub mod cq;
+pub mod klug;
+pub mod mapping;
+pub mod negation;
+pub mod subsume;
+pub mod thm51;
+pub mod unfold;
+
+/// The verdict of a *sound* (possibly incomplete) test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Answer {
+    /// Definitely holds.
+    Yes,
+    /// Could not be established (may or may not hold).
+    Unknown,
+}
+
+impl Answer {
+    /// `true` for [`Answer::Yes`].
+    pub fn is_yes(self) -> bool {
+        matches!(self, Answer::Yes)
+    }
+
+    /// Converts an exact boolean into an answer.
+    pub fn from_exact(b: bool) -> Self {
+        if b {
+            Answer::Yes
+        } else {
+            Answer::Unknown
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Containment-mapping enumeration.
+//!
+//! A containment mapping from `Q₂` to `Q₁` is a substitution on `Q₂`'s
+//! variables that maps `Q₂`'s head to `Q₁`'s head and every ordinary
+//! positive subgoal of `Q₂` onto *some* ordinary positive subgoal of `Q₁`
+//! (Ullman \[1989\]; restated in GSUW'94 Theorem 5.1: "mappings from
+//! variables to variables that map head to head and subgoals into
+//! subgoals"). Theorem 5.1 needs **all** of them — Example 5.1 shows a
+//! single mapping is not enough — so the enumerator returns the complete
+//! set `H`.
+
+use ccpi_ir::subst::match_atom;
+use ccpi_ir::{Atom, Cq, Subst};
+
+/// Enumerates all containment mappings from `from` to `into`.
+///
+/// Only the ordinary **positive** subgoals participate; comparisons are the
+/// business of Theorem 5.1's implication and negated subgoals the business
+/// of the [`crate::negation`] module.
+pub fn containment_mappings(from: &Cq, into: &Cq) -> Vec<Subst> {
+    let mut out = Vec::new();
+    for_each_mapping(from, into, &mut |s| {
+        out.push(s.clone());
+        true
+    });
+    out
+}
+
+/// `true` if at least one containment mapping exists (early exit).
+pub fn mapping_exists(from: &Cq, into: &Cq) -> bool {
+    let mut found = false;
+    for_each_mapping(from, into, &mut |_| {
+        found = true;
+        false // stop
+    });
+    found
+}
+
+/// Visits every containment mapping from `from` to `into`; the callback
+/// returns `false` to stop the enumeration.
+pub fn for_each_mapping(from: &Cq, into: &Cq, visit: &mut dyn FnMut(&Subst) -> bool) {
+    // Head must map to head.
+    let mut seed = Subst::new();
+    if !match_atom(&mut seed, &from.head, &into.head) {
+        return;
+    }
+    // Candidate targets per subgoal of `from`, grouped by signature.
+    let candidates: Vec<Vec<&Atom>> = from
+        .positives
+        .iter()
+        .map(|a| {
+            into.positives
+                .iter()
+                .filter(|b| a.same_signature(b))
+                .collect()
+        })
+        .collect();
+    // Some subgoal with no possible target means H is empty
+    // (Theorem 5.1 then treats the disjunction as false).
+    if candidates.iter().any(Vec::is_empty) {
+        return;
+    }
+    backtrack(&from.positives, &candidates, 0, seed, visit);
+}
+
+fn backtrack(
+    subgoals: &[Atom],
+    candidates: &[Vec<&Atom>],
+    depth: usize,
+    current: Subst,
+    visit: &mut dyn FnMut(&Subst) -> bool,
+) -> bool {
+    if depth == subgoals.len() {
+        return visit(&current);
+    }
+    for target in &candidates[depth] {
+        let mut next = current.clone();
+        if match_atom(&mut next, &subgoals[depth], target)
+            && !backtrack(subgoals, candidates, depth + 1, next, visit)
+        {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_parser::parse_cq;
+
+    fn cq(src: &str) -> Cq {
+        parse_cq(src).unwrap()
+    }
+
+    /// Example 5.1: exactly two containment mappings from C2's ordinary
+    /// subgoals to C1's (h and g in the paper).
+    #[test]
+    fn example_5_1_two_mappings() {
+        let c1 = cq("panic :- r(U,V) & r(S,T) & U = T & V = S.");
+        let c2 = cq("panic :- r(A,B) & A <= B.");
+        let h = containment_mappings(&c2, &c1);
+        assert_eq!(h.len(), 2);
+        let rendered: Vec<String> = h.iter().map(|s| s.to_string()).collect();
+        assert!(rendered.contains(&"{A -> U, B -> V}".to_string()));
+        assert!(rendered.contains(&"{A -> S, B -> T}".to_string()));
+    }
+
+    #[test]
+    fn mapping_respects_head_arguments() {
+        let q1 = cq("q(X) :- p(X,Y).");
+        let q2 = cq("q(A) :- p(A,B).");
+        let h = containment_mappings(&q2, &q1);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].to_string(), "{A -> X, B -> Y}");
+        // Head mismatch: q(A) cannot map to head q(c) unless A ↦ c is
+        // consistent with the body mapping.
+        let q3 = cq("q(c) :- p(c,Y).");
+        assert!(mapping_exists(&q2, &q3));
+        let q4 = cq("q(c) :- p(d,Y).");
+        assert!(!mapping_exists(&q2, &q4));
+    }
+
+    #[test]
+    fn repeated_variables_constrain_targets() {
+        let q1 = cq("panic :- p(X,X).");
+        let q2 = cq("panic :- p(A,B).");
+        // q2 -> q1: A,B ↦ X,X — fine.
+        assert_eq!(containment_mappings(&q2, &q1).len(), 1);
+        // q1 -> q2: X must map to both A and B — impossible.
+        assert!(!mapping_exists(&q1, &q2));
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let q1 = cq("panic :- emp(E,sales).");
+        let q2 = cq("panic :- emp(E,D).");
+        assert!(mapping_exists(&q2, &q1)); // D ↦ sales
+        assert!(!mapping_exists(&q1, &q2)); // sales has no counterpart
+    }
+
+    #[test]
+    fn missing_predicate_gives_empty_h() {
+        let c1 = cq("panic :- r(U,V).");
+        let c2 = cq("panic :- s(A).");
+        assert!(containment_mappings(&c2, &c1).is_empty());
+    }
+
+    #[test]
+    fn mapping_count_is_product_of_duplicates() {
+        // k copies of r(X_i, Y_i) in the target, one r(A,B) in the source:
+        // k mappings.
+        let c1 = cq("panic :- r(X1,Y1) & r(X2,Y2) & r(X3,Y3).");
+        let c2 = cq("panic :- r(A,B).");
+        assert_eq!(containment_mappings(&c2, &c1).len(), 3);
+        // Two source subgoals: 3 × 3 = 9 mappings (no constraints link them).
+        let c3 = cq("panic :- r(A,B) & r(C,D).");
+        assert_eq!(containment_mappings(&c3, &c1).len(), 9);
+    }
+
+    #[test]
+    fn early_exit_enumeration() {
+        let c1 = cq("panic :- r(X1,Y1) & r(X2,Y2).");
+        let c2 = cq("panic :- r(A,B).");
+        let mut seen = 0;
+        for_each_mapping(&c2, &c1, &mut |_| {
+            seen += 1;
+            false
+        });
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn zero_subgoal_query_has_identity_mapping() {
+        // panic :- (empty body) into anything: one (empty) mapping.
+        let c1 = cq("panic :- r(X,Y).");
+        let empty = Cq {
+            head: ccpi_ir::Atom::new("panic", vec![]),
+            positives: vec![],
+            negatives: vec![],
+            comparisons: vec![],
+        };
+        let h = containment_mappings(&empty, &c1);
+        assert_eq!(h.len(), 1);
+        assert!(h[0].is_empty());
+    }
+}

@@ -1,0 +1,396 @@
+//! Containment for conjunctive queries with negated subgoals.
+//!
+//! Two tests, per Levy–Sagiv \[1993\] (the paper's citation for CQ¬
+//! containment):
+//!
+//! * [`contained_sufficient`] — a **sound** mapping-based test that also
+//!   handles arithmetic: find containment mappings of the containing query
+//!   whose negated subgoals land *syntactically* on negated subgoals of
+//!   the contained query, and whose mapped arithmetic is implied. This is
+//!   the test that certifies Example 4.1's `C₃ ⊆ C₁` ("The methods of
+//!   Levy and Sagiv \[1993\] suffice").
+//! * [`contained_exact`] — an exact (Π₂ᵖ-style) small-model test for the
+//!   **arithmetic-free** case: for every assignment of the contained
+//!   query's variables into a bounded domain, and every extension of the
+//!   induced canonical database with atoms over the predicates the
+//!   containing side negates, the containing query must derive the head.
+//!   Guarded by a work limit — above it the test refuses rather than
+//!   answering wrongly ([`NegationGuard`]).
+//!
+//! Why extensions over the *containing* side's negated predicates suffice:
+//! given a counterexample `(D, τ)` (the contained query `C₁` derives
+//! `τ(head)` but `C₂` does not), let
+//! `D' = τ(P₁) ∪ (D ∩ {atoms over C₂-negated predicates × domain})`.
+//! Any `C₂`-derivation on `D'` has its positive atoms in `D`, and its
+//! negated ground atoms range over `D'`'s domain with predicates on which
+//! `D'` agrees with `D` — so it would be a derivation on `D` too,
+//! contradiction. Hence `D'` is a counterexample of the enumerated shape.
+
+use crate::mapping::for_each_mapping;
+use crate::Answer;
+use ccpi_arith::Solver;
+use ccpi_ir::rectify::rectify;
+use ccpi_ir::{Atom, Comparison, Cq, IrError, Subst, Sym, Term, Value, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The exact test's work estimate exceeded the limit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NegationGuard {
+    /// Estimated number of (assignment, extension) pairs.
+    pub estimated_work: u128,
+    /// The configured limit.
+    pub limit: u128,
+}
+
+impl fmt::Display for NegationGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exact CQ-with-negation containment refused: estimated work {} exceeds limit {}",
+            self.estimated_work, self.limit
+        )
+    }
+}
+
+impl std::error::Error for NegationGuard {}
+
+/// Errors from the exact test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExactError {
+    /// Precondition violation (arithmetic present).
+    Ir(IrError),
+    /// Work limit exceeded.
+    Guard(NegationGuard),
+}
+
+impl fmt::Display for ExactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExactError::Ir(e) => write!(f, "{e}"),
+            ExactError::Guard(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+/// Sound (incomplete) containment test `c1 ⊆ c2` for CQs with negation
+/// and arithmetic.
+///
+/// Soundness: for a database and an instantiation `g` making `C₁`'s body
+/// true, `g∘h` makes `C₂`'s positives true (they land on `C₁`'s, which are
+/// present), its negated atoms false (they land syntactically on `C₁`'s
+/// negated atoms, which are absent), and its comparisons true (by the
+/// arithmetic implication over the filtered mapping set).
+pub fn contained_sufficient(c1: &Cq, c2: &Cq, solver: Solver) -> Answer {
+    let r1 = rectify(c1);
+    let (fresh2, _) = rectify(c2).freshen("n_");
+    let mut disjuncts: Vec<Vec<Comparison>> = Vec::new();
+    for_each_mapping(&fresh2, &r1, &mut |h| {
+        let negs_ok = fresh2.negatives.iter().all(|n| {
+            let mapped = h.apply_atom(n);
+            r1.negatives.contains(&mapped)
+        });
+        if negs_ok {
+            disjuncts.push(fresh2.comparisons.iter().map(|c| h.apply_cmp(c)).collect());
+        }
+        true
+    });
+    Answer::from_exact(solver.implies(&r1.comparisons, &disjuncts))
+}
+
+/// Exact containment `c1 ⊆ c2` for **arithmetic-free** CQs with safe
+/// negation, by small-model enumeration (see module docs for the
+/// completeness argument).
+pub fn contained_exact(c1: &Cq, c2: &Cq, limit: u128) -> Result<bool, ExactError> {
+    contained_exact_union(c1, std::slice::from_ref(c2), limit)
+}
+
+/// Exact containment of an arithmetic-free CQ¬ in a **union** of
+/// arithmetic-free CQ¬s. Note that unlike the pure-CQ case
+/// (Sagiv–Yannakakis), union containment with negation does **not** reduce
+/// to member-wise containment, so the small-model enumeration asks "does
+/// *some* member derive the head" on every candidate database.
+pub fn contained_exact_union(c1: &Cq, union: &[Cq], limit: u128) -> Result<bool, ExactError> {
+    if !c1.is_arithmetic_free() || union.iter().any(|c| !c.is_arithmetic_free()) {
+        return Err(ExactError::Ir(IrError::UnexpectedArithmetic));
+    }
+    let union: Vec<Cq> = union
+        .iter()
+        .enumerate()
+        .map(|(k, c)| c.freshen(&format!("x{k}_")).0)
+        .collect();
+
+    let vars: Vec<Var> = c1.vars();
+    let n = vars.len();
+    let mut domain: Vec<Value> = (0..n)
+        .map(|i| Value::str(format!("$neg_fresh_{i}")))
+        .collect();
+    for c in c1
+        .constants()
+        .into_iter()
+        .chain(union.iter().flat_map(Cq::constants))
+    {
+        if !domain.contains(&c) {
+            domain.push(c);
+        }
+    }
+    let d = domain.len() as u128;
+
+    // Predicates occurring negated in any union member, with arities.
+    let neg_preds: BTreeSet<(Sym, usize)> = union
+        .iter()
+        .flat_map(|c| c.negatives.iter())
+        .map(|a| (a.pred.clone(), a.arity()))
+        .collect();
+    let mut ext_atoms: u128 = 0;
+    for &(_, arity) in &neg_preds {
+        ext_atoms = ext_atoms.saturating_add(d.saturating_pow(arity as u32));
+    }
+    let assignments = d.saturating_pow(n as u32);
+    if ext_atoms > 24 {
+        return Err(ExactError::Guard(NegationGuard {
+            estimated_work: u128::MAX,
+            limit,
+        }));
+    }
+    let work = assignments.saturating_mul(1u128 << ext_atoms as u32);
+    if work > limit {
+        return Err(ExactError::Guard(NegationGuard {
+            estimated_work: work,
+            limit,
+        }));
+    }
+
+    for a in 0..assignments {
+        // Decode assignment index `a` into τ.
+        let mut rem = a;
+        let tau = Subst::from_pairs(vars.iter().map(|v| {
+            let digit = (rem % d) as usize;
+            rem /= d;
+            (v.clone(), Term::Const(domain[digit].clone()))
+        }));
+        if !check_assignment(c1, &union, &tau, &domain, &neg_preds) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// All ground atoms `pred(domain^arity)`.
+fn all_atoms(pred: &Sym, arity: usize, domain: &[Value]) -> Vec<Atom> {
+    let d = domain.len();
+    let total = d.pow(arity as u32);
+    (0..total)
+        .map(|mut rem| {
+            let args = (0..arity)
+                .map(|_| {
+                    let digit = rem % d;
+                    rem /= d;
+                    Term::Const(domain[digit].clone())
+                })
+                .collect();
+            Atom {
+                pred: pred.clone(),
+                args,
+            }
+        })
+        .collect()
+}
+
+fn check_assignment(
+    c1: &Cq,
+    union: &[Cq],
+    tau: &Subst,
+    domain: &[Value],
+    neg_preds: &BTreeSet<(Sym, usize)>,
+) -> bool {
+    let pos: BTreeSet<Atom> = c1.positives.iter().map(|a| tau.apply_atom(a)).collect();
+    let neg: BTreeSet<Atom> = c1.negatives.iter().map(|a| tau.apply_atom(a)).collect();
+    // τ must actually be a derivation of C1 on its own canonical DB.
+    if pos.iter().any(|p| neg.contains(p)) {
+        return true;
+    }
+    let head = tau.apply_atom(&c1.head);
+
+    let mut candidates: Vec<Atom> = Vec::new();
+    for (p, arity) in neg_preds {
+        for atom in all_atoms(p, *arity, domain) {
+            if !pos.contains(&atom) && !neg.contains(&atom) {
+                candidates.push(atom);
+            }
+        }
+    }
+    debug_assert!(candidates.len() <= 24);
+
+    for mask in 0u64..(1u64 << candidates.len()) {
+        let mut facts: BTreeSet<&Atom> = pos.iter().collect();
+        for (i, a) in candidates.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                facts.insert(a);
+            }
+        }
+        if !union.iter().any(|c2| derives_ground(c2, &facts, &head)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Does `q` derive `head` on the ground fact set, by direct backtracking?
+/// (No engine: these fact sets are tiny and this runs in a hot loop.)
+fn derives_ground(q: &Cq, facts: &BTreeSet<&Atom>, head: &Atom) -> bool {
+    fn go(q: &Cq, facts: &BTreeSet<&Atom>, head: &Atom, i: usize, s: &mut Subst) -> bool {
+        if i == q.positives.len() {
+            let negs_ok = q
+                .negatives
+                .iter()
+                .all(|n| !facts.contains(&s.apply_atom(n)));
+            return negs_ok && s.apply_atom(&q.head) == *head;
+        }
+        let pat = &q.positives[i];
+        for f in facts.iter() {
+            if !pat.same_signature(f) {
+                continue;
+            }
+            let snapshot = s.clone();
+            if ccpi_ir::subst::match_atom(s, pat, f) && go(q, facts, head, i + 1, s) {
+                return true;
+            }
+            *s = snapshot;
+        }
+        false
+    }
+    let mut s = Subst::new();
+    go(q, facts, head, 0, &mut s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_parser::parse_cq;
+
+    fn cq(src: &str) -> Cq {
+        parse_cq(src).unwrap()
+    }
+    const LIMIT: u128 = 1 << 26;
+
+    /// Example 4.1: C3 (single-rule form) ⊆ C1 — "This happens to be the
+    /// case, and in fact, C2 is not needed in the containment."
+    #[test]
+    fn example_4_1_c3_contained_in_c1() {
+        let c3 = cq("panic :- emp(E,D,S) & not dept(D) & D <> toy.");
+        let c1 = cq("panic :- emp(E,D,S) & not dept(D).");
+        assert!(contained_sufficient(&c3, &c1, Solver::dense()).is_yes());
+        // The converse is NOT certified (C1 can panic on D = toy).
+        assert!(!contained_sufficient(&c1, &c3, Solver::dense()).is_yes());
+    }
+
+    #[test]
+    fn sufficient_test_handles_pure_negation() {
+        let tight = cq("panic :- p(X) & q(X) & not r(X).");
+        let loose = cq("panic :- p(X) & not r(X).");
+        assert!(contained_sufficient(&tight, &loose, Solver::dense()).is_yes());
+        assert!(!contained_sufficient(&loose, &tight, Solver::dense()).is_yes());
+    }
+
+    #[test]
+    fn exact_matches_intuition_on_basic_pairs() {
+        let tight = cq("panic :- p(X) & not r(X).");
+        let loose = cq("panic :- p(X).");
+        assert!(contained_exact(&tight, &loose, LIMIT).unwrap());
+        // p(X) ⊄ p(X) & not r(X): a DB with p(a), r(a) separates them.
+        assert!(!contained_exact(&loose, &tight, LIMIT).unwrap());
+    }
+
+    #[test]
+    fn exact_detects_subtle_non_containment() {
+        let q1 = cq("panic :- p(X) & not r(X,X).");
+        let q2 = cq("panic :- p(X) & p(Y) & not r(X,Y).");
+        // q2 ⊄ q1: DB {p(a),p(b),r(a,a),r(b,b)} panics q2 (pair (a,b)) but
+        // not q1 (every p-element has a self-loop).
+        assert!(!contained_exact(&q2, &q1, LIMIT).unwrap());
+        // q1 ⊆ q2: a missing self-loop is a missing pair.
+        assert!(contained_exact(&q1, &q2, LIMIT).unwrap());
+    }
+
+    #[test]
+    fn sufficient_yes_implies_exact_yes() {
+        let cases = [
+            (
+                "panic :- p(X) & q(X) & not r(X).",
+                "panic :- p(X) & not r(X).",
+            ),
+            ("panic :- p(X) & not r(X).", "panic :- p(X) & not r(X)."),
+            (
+                "panic :- p(X) & p(Y) & not r(X,Y).",
+                "panic :- p(X) & not r(X,X).",
+            ),
+        ];
+        for (a, b) in cases {
+            let (qa, qb) = (cq(a), cq(b));
+            if contained_sufficient(&qa, &qb, Solver::dense()).is_yes() {
+                assert!(contained_exact(&qa, &qb, LIMIT).unwrap(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pure_cq_special_case_agrees_with_chandra_merlin() {
+        let pairs = [
+            ("panic :- r(U,V) & r(V,U).", "panic :- r(A,B)."),
+            ("panic :- r(A,B).", "panic :- r(U,V) & r(V,U)."),
+            ("panic :- emp(E,sales).", "panic :- emp(E,D)."),
+            ("panic :- emp(E,D).", "panic :- emp(E,sales)."),
+        ];
+        for (a, b) in pairs {
+            let (qa, qb) = (cq(a), cq(b));
+            assert_eq!(
+                contained_exact(&qa, &qb, LIMIT).unwrap(),
+                crate::cq::cq_contained(&qa, &qb).unwrap(),
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_refuses_oversized_inputs() {
+        let q1 = cq("panic :- p(A,B,C,D,E) & q(F,G).");
+        let q2 = cq("panic :- p(A,B,C,D,E) & not big(A,B,C).");
+        let err = contained_exact(&q1, &q2, 1 << 10).unwrap_err();
+        assert!(matches!(err, ExactError::Guard(_)));
+    }
+
+    #[test]
+    fn arithmetic_is_rejected_by_exact() {
+        let q1 = cq("panic :- p(X) & X < 5.");
+        let q2 = cq("panic :- p(X).");
+        assert!(matches!(
+            contained_exact(&q1, &q2, LIMIT),
+            Err(ExactError::Ir(IrError::UnexpectedArithmetic))
+        ));
+    }
+
+    /// Theorem 4.1's proof mechanics: the post-insertion constraint is not
+    /// equivalent to any single negation-only CQ candidate from the proof.
+    #[test]
+    fn theorem_4_1_candidates_fail() {
+        let c3 = cq("panic :- emp(E,D,S) & not dept(D) & D <> toy.");
+        let cand = cq("panic :- emp(E,D,S) & not dept(D).");
+        // cand ⊄ c3 (cand panics on D = toy where c3 must not).
+        assert!(!contained_sufficient(&cand, &c3, Solver::dense()).is_yes());
+        // c3 ⊆ cand does hold.
+        assert!(contained_sufficient(&c3, &cand, Solver::dense()).is_yes());
+    }
+
+    #[test]
+    fn constants_participate_in_exact_domain() {
+        // q1 panics on any p-atom except p(toy); q2 on any p-atom.
+        let q1 = cq("panic :- p(X) & not istoy(X).");
+        let q2 = cq("panic :- p(X).");
+        assert!(contained_exact(&q1, &q2, LIMIT).unwrap());
+        // q2 ⊄ q1: DB {p(a), istoy(a)}.
+        assert!(!contained_exact(&q2, &q1, LIMIT).unwrap());
+    }
+}

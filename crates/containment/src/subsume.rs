@@ -1,0 +1,442 @@
+//! §3 — Constraint subsumption.
+//!
+//! "If `C` is a constraint query, and `𝒞 = {C₁,…,Cₙ}` is a set of
+//! constraint queries, we say `𝒞` subsumes `C` if whenever `C` is violated,
+//! some `Cᵢ` in `𝒞` is also violated. In that case, there is no need to
+//! check `C`."
+//!
+//! * **Theorem 3.1**: `𝒞` subsumes `C` iff, viewed as programs,
+//!   `C ⊆ C₁ ∪ ⋯ ∪ Cₙ` — so every containment test in this crate doubles
+//!   as a subsumption test. [`subsumes`] dispatches on the constraint
+//!   classes: exact for unions of CQCs (Theorem 5.1) and for
+//!   arithmetic-free CQ¬ within the small-model guard; sound-but-
+//!   incomplete (mapping-based / uniform containment) beyond.
+//! * **Theorem 3.2**: containment reduces back to constraint subsumption —
+//!   [`reduce_containment_to_subsumption`] implements the `Q ↦ Q′`
+//!   construction (`panic :- h & B`), giving the lower bound the paper
+//!   uses to argue subsumption is as hard as containment.
+
+use crate::negation::{contained_exact_union, contained_sufficient, ExactError};
+use crate::thm51::cqc_contained_in_union;
+use crate::unfold::{unfold_constraint, UnfoldError};
+use crate::Answer;
+use ccpi_arith::Solver;
+use ccpi_datalog::{DatalogError, Engine};
+use ccpi_ir::{Atom, Constraint, Cq, IrError, Program, Rule, Sym, PANIC};
+use std::fmt;
+
+/// The outcome of a subsumption check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Subsumption {
+    /// The verdict (sound: `Yes` is always correct).
+    pub answer: Answer,
+    /// `true` when the deciding path was exact, so `Unknown` really means
+    /// "not subsumed"; `false` when a sound-incomplete path was used.
+    pub exact: bool,
+}
+
+/// Errors raised by the subsumption dispatcher.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubsumeError {
+    /// IR-level validation problem.
+    Ir(IrError),
+    /// Engine validation problem (used by uniform containment).
+    Datalog(DatalogError),
+}
+
+impl fmt::Display for SubsumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubsumeError::Ir(e) => write!(f, "{e}"),
+            SubsumeError::Datalog(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubsumeError {}
+
+impl From<IrError> for SubsumeError {
+    fn from(e: IrError) -> Self {
+        SubsumeError::Ir(e)
+    }
+}
+
+impl From<DatalogError> for SubsumeError {
+    fn from(e: DatalogError) -> Self {
+        SubsumeError::Datalog(e)
+    }
+}
+
+/// Work limit handed to the exact CQ¬ small-model test.
+const NEG_LIMIT: u128 = 1 << 26;
+
+/// Does the set `others` subsume `c`? (Theorem 3.1: containment of `c`'s
+/// program in the union of the others'.)
+pub fn subsumes(others: &[Constraint], c: &Constraint, solver: Solver) -> Result<Subsumption, SubsumeError> {
+    // Normalize every program into a union of CQ(¬,C)s when possible.
+    let c_union = unfold_constraint(c.program());
+    let others_union: Result<Vec<Vec<Cq>>, UnfoldError> = others
+        .iter()
+        .map(|o| unfold_constraint(o.program()))
+        .collect();
+
+    match (c_union, others_union) {
+        (Ok(cu), Ok(ou)) => {
+            let all: Vec<Cq> = ou.into_iter().flatten().collect();
+            subsumes_unions(&cu, &all, solver)
+        }
+        // Recursive (or otherwise non-unfoldable) programs: fall back to
+        // uniform containment, which is sound for containment and hence
+        // (Theorem 3.1) for subsumption.
+        _ => {
+            let union_prog = merged_program(others);
+            match uniform_contained(c.program(), &union_prog) {
+                Ok(true) => Ok(Subsumption {
+                    answer: Answer::Yes,
+                    exact: false,
+                }),
+                Ok(false) | Err(_) => Ok(Subsumption {
+                    answer: Answer::Unknown,
+                    exact: false,
+                }),
+            }
+        }
+    }
+}
+
+/// Subsumption between unfolded unions.
+fn subsumes_unions(cu: &[Cq], all: &[Cq], solver: Solver) -> Result<Subsumption, SubsumeError> {
+    let negation_free =
+        cu.iter().all(Cq::is_negation_free) && all.iter().all(Cq::is_negation_free);
+    if negation_free {
+        // Pure CQs: Chandra–Merlin mapping search (member-wise by
+        // Sagiv–Yannakakis) is exact and much faster than routing the
+        // rectification equalities through the arithmetic implication.
+        let arithmetic_free =
+            cu.iter().all(Cq::is_arithmetic_free) && all.iter().all(Cq::is_arithmetic_free);
+        for q in cu {
+            let contained = if arithmetic_free {
+                crate::cq::cq_contained_in_union(q, all)?
+            } else {
+                cqc_contained_in_union(q, all, solver)?
+            };
+            if !contained {
+                return Ok(Subsumption {
+                    answer: Answer::Unknown,
+                    exact: true,
+                });
+            }
+        }
+        return Ok(Subsumption {
+            answer: Answer::Yes,
+            exact: true,
+        });
+    }
+
+    let arithmetic_free =
+        cu.iter().all(Cq::is_arithmetic_free) && all.iter().all(Cq::is_arithmetic_free);
+    if arithmetic_free {
+        // Exact small-model CQ¬ test, unless the guard trips.
+        let mut all_exact = true;
+        for q in cu {
+            match contained_exact_union(q, all, NEG_LIMIT) {
+                Ok(true) => {}
+                Ok(false) => {
+                    return Ok(Subsumption {
+                        answer: Answer::Unknown,
+                        exact: true,
+                    })
+                }
+                Err(ExactError::Guard(_)) => {
+                    all_exact = false;
+                    if !sufficient_somewhere(q, all, solver) {
+                        return Ok(Subsumption {
+                            answer: Answer::Unknown,
+                            exact: false,
+                        });
+                    }
+                }
+                Err(ExactError::Ir(e)) => return Err(e.into()),
+            }
+        }
+        return Ok(Subsumption {
+            answer: Answer::Yes,
+            exact: all_exact,
+        });
+    }
+
+    // Negation + arithmetic: sound member-wise mapping test.
+    for q in cu {
+        if !sufficient_somewhere(q, all, solver) {
+            return Ok(Subsumption {
+                answer: Answer::Unknown,
+                exact: false,
+            });
+        }
+    }
+    Ok(Subsumption {
+        answer: Answer::Yes,
+        exact: false,
+    })
+}
+
+fn sufficient_somewhere(q: &Cq, all: &[Cq], solver: Solver) -> bool {
+    all.iter()
+        .any(|m| contained_sufficient(q, m, solver).is_yes())
+}
+
+/// Merges constraint programs into one union program.
+///
+/// An IDB predicate of constraint `k` keeps its name unless some *other*
+/// constraint with a **different** program also defines it — in that case
+/// both copies are renamed apart (`p__ck`). Sharing identically-defined
+/// predicates is semantics-preserving; sharing differently-defined ones
+/// would let derivations mix across constraints and make the union larger
+/// than `C₁ ∪ … ∪ Cₙ`, which would be unsound for subsumption.
+pub fn merged_program(constraints: &[Constraint]) -> Program {
+    let mut rules = Vec::new();
+    for (k, c) in constraints.iter().enumerate() {
+        let idb: Vec<Sym> = c
+            .program()
+            .idb_predicates()
+            .into_iter()
+            .filter(|p| p != PANIC)
+            .filter(|p| {
+                constraints.iter().enumerate().any(|(j, other)| {
+                    j != k
+                        && other.program() != c.program()
+                        && other.program().idb_predicates().contains(p)
+                })
+            })
+            .collect();
+        let rename = |a: &Atom| -> Atom {
+            if idb.contains(&a.pred) {
+                Atom {
+                    pred: Sym::new(format!("{}__c{k}", a.pred)),
+                    args: a.args.clone(),
+                }
+            } else {
+                a.clone()
+            }
+        };
+        for r in &c.program().rules {
+            rules.push(Rule::new(
+                rename(&r.head),
+                r.body
+                    .iter()
+                    .map(|l| match l {
+                        ccpi_ir::Literal::Pos(a) => ccpi_ir::Literal::Pos(rename(a)),
+                        ccpi_ir::Literal::Neg(a) => ccpi_ir::Literal::Neg(rename(a)),
+                        cmp => cmp.clone(),
+                    })
+                    .collect(),
+            ));
+        }
+    }
+    Program::new(rules)
+}
+
+/// Sound uniform-containment test `p ⊑ᵤ q` for **positive,
+/// arithmetic-free** programs (Sagiv \[1988\]; the paper: "Theorem 5.1 is
+/// generalized to uniform containment of recursive programs in Levy and
+/// Sagiv \[1993\]"). Uniform containment implies containment.
+///
+/// Test: for each rule of `p`, freeze its body atoms into facts, add them
+/// to `q`, evaluate, and require the frozen head.
+pub fn uniform_contained(p: &Program, q: &Program) -> Result<bool, SubsumeError> {
+    if p.has_negation() || q.has_negation() || p.has_arithmetic() || q.has_arithmetic() {
+        // Outside the sound fragment.
+        return Ok(false);
+    }
+    for rule in &p.rules {
+        let cq = Cq::from_rule(rule);
+        let frozen = crate::canonical::freeze(&cq);
+        let mut rules = q.rules.clone();
+        // Frozen body atoms become facts of the combined program.
+        for a in &cq.positives {
+            rules.push(Rule::fact(frozen.assignment.apply_atom(a)));
+        }
+        let program = Program::new(rules);
+        let engine = Engine::new(program).map_err(SubsumeError::Datalog)?;
+        let out = engine.run(&ccpi_storage::Database::new());
+        let ok = out
+            .relation(rule.head.pred.as_str())
+            .is_some_and(|r| r.contains(&frozen.head));
+        if !ok {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// **Theorem 3.2**: the reduction from CQ containment to constraint
+/// subsumption. Given a CQ `q` with head `h(X̄) :- B`, produces the
+/// constraint `panic :- h′(X̄) & B` where `h′` is a fresh copy of the head
+/// predicate (renamed so it cannot collide with body predicates). For any
+/// two CQs `Q, R` (same head signature): `Q ⊆ R` iff `Q′ ⊆ R′`.
+pub fn to_constraint(q: &Cq) -> Constraint {
+    let head_pred = Sym::new(format!("{}__goal", q.head.pred));
+    let moved = Atom {
+        pred: head_pred,
+        args: q.head.args.clone(),
+    };
+    let mut body: Vec<ccpi_ir::Literal> = vec![ccpi_ir::Literal::Pos(moved)];
+    body.extend(q.to_rule().body);
+    Constraint::single(Rule::new(Atom::new(PANIC, vec![]), body)).expect("panic head by construction")
+}
+
+/// Convenience pairing for Theorem 3.2 round-trip tests and docs.
+pub fn reduce_containment_to_subsumption(q: &Cq, r: &Cq) -> (Constraint, Constraint) {
+    (to_constraint(q), to_constraint(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_parser::{parse_constraint, parse_cq};
+    use proptest::prelude::*;
+
+    fn c(src: &str) -> Constraint {
+        parse_constraint(src).unwrap()
+    }
+    fn dense() -> Solver {
+        Solver::dense()
+    }
+
+    #[test]
+    fn tighter_constraint_subsumed_by_looser() {
+        // "No employee in both sales and accounting" is subsumed by
+        // "no employee in two departments at once".
+        let tight = c("panic :- emp(E,sales) & emp(E,accounting).");
+        let loose = c("panic :- emp(E,D1) & emp(E,D2).");
+        let s = subsumes(std::slice::from_ref(&loose), &tight, dense()).unwrap();
+        assert!(s.answer.is_yes());
+        assert!(s.exact);
+        // Not conversely.
+        let s = subsumes(&[tight], &loose, dense()).unwrap();
+        assert!(!s.answer.is_yes());
+        assert!(s.exact);
+    }
+
+    #[test]
+    fn subsumption_by_a_set_uses_the_union() {
+        // Example 2.3-style: the two-sided range constraint subsumes the
+        // one-sided one only via the matching disjunct.
+        let low = c("panic :- emp(E,D,S) & salRange(D,L,H) & S < L.");
+        let both = c(
+            "panic :- emp(E,D,S) & salRange(D,L,H) & S < L.\n\
+             panic :- emp(E,D,S) & salRange(D,L,H) & S > H.",
+        );
+        assert!(subsumes(std::slice::from_ref(&both), &low, dense()).unwrap().answer.is_yes());
+        assert!(!subsumes(&[low], &both, dense()).unwrap().answer.is_yes());
+    }
+
+    #[test]
+    fn union_phenomenon_with_arithmetic() {
+        // Containment in a union without containment in any member
+        // (Example 5.3's shape) — the subsumption dispatcher must find it.
+        let mid = c("panic :- r(Z) & 4 <= Z & Z <= 8.");
+        let left = c("panic :- r(Z) & 3 <= Z & Z <= 6.");
+        let right = c("panic :- r(Z) & 5 <= Z & Z <= 10.");
+        let s = subsumes(&[left.clone(), right.clone()], &mid, dense()).unwrap();
+        assert!(s.answer.is_yes() && s.exact);
+        assert!(!subsumes(std::slice::from_ref(&left), &mid, dense()).unwrap().answer.is_yes());
+        assert!(!subsumes(&[right], &mid, dense()).unwrap().answer.is_yes());
+    }
+
+    #[test]
+    fn negation_subsumption_exact_path() {
+        let tight = c("panic :- p(X) & q(X) & not r(X).");
+        let loose = c("panic :- p(X) & not r(X).");
+        let s = subsumes(std::slice::from_ref(&loose), &tight, dense()).unwrap();
+        assert!(s.answer.is_yes());
+        assert!(s.exact);
+        let s = subsumes(&[tight], &loose, dense()).unwrap();
+        assert!(!s.answer.is_yes());
+    }
+
+    #[test]
+    fn negation_plus_arithmetic_uses_sound_path() {
+        // Example 4.1's C3 ⊆ C1.
+        let c3 = c("panic :- emp(E,D,S) & not dept(D) & D <> toy.");
+        let c1 = c("panic :- emp(E,D,S) & not dept(D).");
+        let s = subsumes(&[c1], &c3, dense()).unwrap();
+        assert!(s.answer.is_yes());
+        assert!(!s.exact); // sound mapping-based path
+    }
+
+    #[test]
+    fn recursive_subsumed_side_via_uniform_containment() {
+        // boss-cycle constraint is subsumed by itself (uniform containment
+        // certifies reflexivity).
+        let rec = c(
+            "panic :- boss(E,E).\n\
+             boss(E,M) :- emp(E,D,S) & manager(D,M).\n\
+             boss(E,F) :- boss(E,G) & boss(G,F).",
+        );
+        let s = subsumes(std::slice::from_ref(&rec), &rec, dense()).unwrap();
+        assert!(s.answer.is_yes());
+        assert!(!s.exact);
+        // And is not (soundly) subsumed by an unrelated constraint.
+        let other = c("panic :- widget(W).");
+        let s = subsumes(&[other], &rec, dense()).unwrap();
+        assert!(!s.answer.is_yes());
+    }
+
+    #[test]
+    fn uniform_containment_direct() {
+        use ccpi_parser::parse_program;
+        let p = parse_program(
+            "panic :- path(X,X).\n\
+             path(X,Y) :- e(X,Y).\n\
+             path(X,Z) :- path(X,Y) & e(Y,Z).",
+        )
+        .unwrap();
+        // p ⊑u p.
+        assert!(uniform_contained(&p, &p).unwrap());
+        // A single-step variant is uniformly contained in the closure…
+        let one = parse_program("panic :- e(X,X).").unwrap();
+        let mut merged = p.rules.clone();
+        let q = Program::new(std::mem::take(&mut merged));
+        assert!(uniform_contained(&one, &q).unwrap());
+        // …but not conversely.
+        assert!(!uniform_contained(&q, &one).unwrap());
+    }
+
+    #[test]
+    fn theorem_3_2_reduction_shape() {
+        let q = parse_cq("q(X) :- p(X,Y) & q(Y).").unwrap();
+        let c = to_constraint(&q);
+        assert_eq!(
+            c.to_string(),
+            "panic :- q__goal(X) & p(X,Y) & q(Y)."
+        );
+    }
+
+    // Theorem 3.2: Q ⊆ R iff Q′ ⊆ R′ — verified on random CQ pairs using
+    // Chandra–Merlin on both sides of the reduction.
+    fn headed_cq() -> impl Strategy<Value = Cq> {
+        let atom = prop_oneof![
+            ((0usize..3), (0usize..3)).prop_map(|(a, b)| format!("p(V{a},V{b})")),
+            (0usize..3).prop_map(|a| format!("q(V{a})")),
+        ];
+        (prop::collection::vec(atom, 1..4), 0usize..3).prop_map(|(atoms, h)| {
+            // Ensure the head variable occurs in the body (safety).
+            let mut atoms = atoms;
+            atoms.push(format!("q(V{h})"));
+            parse_cq(&format!("ans(V{h}) :- {}.", atoms.join(" & "))).unwrap()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        #[test]
+        fn theorem_3_2_preserves_containment(q in headed_cq(), r in headed_cq()) {
+            let direct = crate::cq::cq_contained(&q, &r).unwrap();
+            let (qc, rc) = reduce_containment_to_subsumption(&q, &r);
+            let via_subsumption = subsumes(&[rc], &qc, dense()).unwrap();
+            prop_assert!(via_subsumption.exact);
+            prop_assert_eq!(direct, via_subsumption.answer.is_yes());
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! **Theorem 5.1** — containment of CQCs via all containment mappings and
+//! one arithmetic implication.
+//!
+//! > Let `C₁` and `C₂` be CQCs. Then `C₁ ⊆ C₂` if and only if the following
+//! > holds. Let `H` be the set of all containment mappings from `O(C₂)` to
+//! > `O(C₁)`. Then `H` is nonempty, and `A(C₁)` logically implies
+//! > `⋁_{h∈H} h(A(C₂))`.
+//!
+//! Preconditions (§5): no repeated variables and no constants among the
+//! ordinary subgoals — we establish them by [`ccpi_ir::rectify`]ing both
+//! sides first, which Example 5.2 shows is necessary. The theorem
+//! "generalizes to the containment of `C₁` in a union of CQCs in the
+//! obvious way. We must include containment mappings from any member of
+//! the union" — that union form is exactly what Theorem 5.2's complete
+//! local test consumes.
+
+use crate::mapping::containment_mappings;
+use ccpi_arith::Solver;
+use ccpi_ir::rectify::rectify;
+use ccpi_ir::{Comparison, Cq, IrError};
+
+/// Exact containment `c1 ⊆ c2` for conjunctive queries with arithmetic
+/// comparisons (no negation).
+pub fn cqc_contained(c1: &Cq, c2: &Cq, solver: Solver) -> Result<bool, IrError> {
+    cqc_contained_in_union(c1, std::slice::from_ref(c2), solver)
+}
+
+/// Exact containment of a CQC in a **union** of CQCs.
+pub fn cqc_contained_in_union(c1: &Cq, union: &[Cq], solver: Solver) -> Result<bool, IrError> {
+    let (r1, disjuncts) = prepare(c1, union)?;
+    Ok(solver.implies(&r1.comparisons, &disjuncts))
+}
+
+/// The shared preparation: rectify both sides, rename the union members
+/// apart, enumerate every containment mapping, and instantiate each
+/// member's arithmetic through its mappings. Returns the rectified `c1`
+/// and the disjuncts `h(A(Cₘ))`.
+pub(crate) fn prepare(c1: &Cq, union: &[Cq]) -> Result<(Cq, Vec<Vec<Comparison>>), IrError> {
+    if !c1.is_negation_free() || union.iter().any(|c| !c.is_negation_free()) {
+        return Err(IrError::UnexpectedNegation);
+    }
+    let r1 = rectify(c1);
+    let mut disjuncts: Vec<Vec<Comparison>> = Vec::new();
+    for (k, member) in union.iter().enumerate() {
+        // Rename apart so member variables cannot collide with c1's.
+        let (fresh, _) = rectify(member).freshen(&format!("m{k}_"));
+        for h in containment_mappings(&fresh, &r1) {
+            disjuncts.push(fresh.comparisons.iter().map(|c| h.apply_cmp(c)).collect());
+        }
+    }
+    Ok((r1, disjuncts))
+}
+
+/// The number of containment mappings Theorem 5.1 considers for
+/// `c1 ⊆ ⋃ union` — the quantity the paper argues stays small in practice
+/// ("there will tend to be few containment mappings"). Exposed for the
+/// Klug-comparison experiment.
+pub fn mapping_count(c1: &Cq, union: &[Cq]) -> Result<usize, IrError> {
+    Ok(prepare(c1, union)?.1.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_parser::parse_cq;
+
+    fn cq(src: &str) -> Cq {
+        parse_cq(src).unwrap()
+    }
+    fn dense() -> Solver {
+        Solver::dense()
+    }
+
+    /// Example 5.1 (= Ullman's Example 14.7): C1 ⊆ C2 holds, and needs both
+    /// containment mappings.
+    #[test]
+    fn example_5_1_containment_holds() {
+        let c1 = cq("panic :- r(U,V) & r(V,U).");
+        let c2 = cq("panic :- r(A,B) & A <= B.");
+        assert!(cqc_contained(&c1, &c2, dense()).unwrap());
+        // Converse direction fails.
+        assert!(!cqc_contained(&c2, &c1, dense()).unwrap());
+    }
+
+    /// Example 5.2 first pair: p(X,X) vs p(X,Y) & X=Y — equivalent, and the
+    /// rectifying implementation certifies both directions (the raw
+    /// Theorem 5.1 condition fails without rectification, which is the
+    /// example's point).
+    #[test]
+    fn example_5_2_repeated_variables() {
+        let c1 = cq("panic :- p(X,X).");
+        let c2 = cq("panic :- p(X,Y) & X = Y.");
+        assert!(cqc_contained(&c1, &c2, dense()).unwrap());
+        assert!(cqc_contained(&c2, &c1, dense()).unwrap());
+    }
+
+    /// Example 5.2 second pair: p(0,X) vs p(Z,X) & Z=0.
+    #[test]
+    fn example_5_2_constants() {
+        let c1 = cq("panic :- p(0,X).");
+        let c2 = cq("panic :- p(Z,X) & Z = 0.");
+        assert!(cqc_contained(&c1, &c2, dense()).unwrap());
+        assert!(cqc_contained(&c2, &c1, dense()).unwrap());
+    }
+
+    /// Example 5.3: RED((4,8)) ⊆ RED((3,6)) ∪ RED((5,10)) — containment in
+    /// a union without containment in any single member.
+    #[test]
+    fn example_5_3_union_containment() {
+        let inserted = cq("panic :- r(Z) & 4 <= Z & Z <= 8.");
+        let red36 = cq("panic :- r(Z) & 3 <= Z & Z <= 6.");
+        let red510 = cq("panic :- r(Z) & 5 <= Z & Z <= 10.");
+        assert!(cqc_contained_in_union(
+            &inserted,
+            &[red36.clone(), red510.clone()],
+            dense()
+        )
+        .unwrap());
+        assert!(!cqc_contained(&inserted, &red36, dense()).unwrap());
+        assert!(!cqc_contained(&inserted, &red510, dense()).unwrap());
+    }
+
+    #[test]
+    fn interval_narrowing() {
+        // r(Z) & 2<=Z<=3 ⊆ r(Z) & 1<=Z<=5.
+        let narrow = cq("panic :- r(Z) & 2 <= Z & Z <= 3.");
+        let wide = cq("panic :- r(Z) & 1 <= Z & Z <= 5.");
+        assert!(cqc_contained(&narrow, &wide, dense()).unwrap());
+        assert!(!cqc_contained(&wide, &narrow, dense()).unwrap());
+    }
+
+    #[test]
+    fn unsat_premise_is_contained_in_anything() {
+        let never = cq("panic :- r(Z) & Z < 1 & Z > 2.");
+        let other = cq("panic :- s(W).");
+        // H is empty but A(C1) is unsatisfiable: contained.
+        assert!(cqc_contained(&never, &other, dense()).unwrap());
+    }
+
+    #[test]
+    fn missing_predicate_with_satisfiable_arithmetic_is_not_contained() {
+        let c1 = cq("panic :- r(Z) & Z > 1.");
+        let c2 = cq("panic :- s(W).");
+        assert!(!cqc_contained(&c1, &c2, dense()).unwrap());
+    }
+
+    #[test]
+    fn pure_cq_special_case_agrees_with_chandra_merlin() {
+        let pairs = [
+            ("panic :- r(U,V) & r(V,U).", "panic :- r(A,B)."),
+            ("panic :- r(A,B).", "panic :- r(U,V) & r(V,U)."),
+            ("panic :- p(X,Y) & p(X,Z).", "panic :- p(A,B)."),
+            ("panic :- emp(E,sales).", "panic :- emp(E,D)."),
+            ("panic :- emp(E,D).", "panic :- emp(E,sales)."),
+        ];
+        for (a, b) in pairs {
+            let (qa, qb) = (cq(a), cq(b));
+            assert_eq!(
+                cqc_contained(&qa, &qb, dense()).unwrap(),
+                crate::cq::cq_contained(&qa, &qb).unwrap(),
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_count_grows_with_duplication() {
+        let c1 = cq("panic :- r(A1,B1) & r(A2,B2) & A1 <= B2.");
+        let c2 = cq("panic :- r(X,Y) & X <= Y.");
+        // 2 targets for the one source subgoal.
+        assert_eq!(mapping_count(&c1, std::slice::from_ref(&c2)).unwrap(), 2);
+        let c3 = cq("panic :- r(X,Y) & r(W,Z) & X <= Z.");
+        // 2 × 2 = 4.
+        assert_eq!(mapping_count(&c1, &[c3]).unwrap(), 4);
+    }
+
+    #[test]
+    fn strictness_asymmetry() {
+        let strict = cq("panic :- r(Z) & 0 < Z.");
+        let loose = cq("panic :- r(Z) & 0 <= Z.");
+        assert!(cqc_contained(&strict, &loose, dense()).unwrap());
+        assert!(!cqc_contained(&loose, &strict, dense()).unwrap());
+    }
+
+    #[test]
+    fn negation_is_rejected() {
+        let n = cq("panic :- p(X) & not q(X).");
+        let p = cq("panic :- p(X).");
+        assert!(matches!(
+            cqc_contained(&n, &p, dense()),
+            Err(IrError::UnexpectedNegation)
+        ));
+        assert!(matches!(
+            cqc_contained(&p, &n, dense()),
+            Err(IrError::UnexpectedNegation)
+        ));
+    }
+
+    #[test]
+    fn integer_domain_tightens_containment() {
+        // Over ℤ: r(Z) & 0<Z<3 ⊆ r(Z) & 1<=Z<=2; over ℚ it is not.
+        let c1 = cq("panic :- r(Z) & 0 < Z & Z < 3.");
+        let c2 = cq("panic :- r(Z) & 1 <= Z & Z <= 2.");
+        assert!(cqc_contained(&c1, &c2, Solver::integer()).unwrap());
+        assert!(!cqc_contained(&c1, &c2, Solver::dense()).unwrap());
+    }
+}

@@ -1,0 +1,286 @@
+//! Unfolding nonrecursive datalog into unions of conjunctive queries.
+//!
+//! "Unions of CQ's … are equivalent to nonrecursive datalog programs"
+//! (§2, citing Sagiv–Yannakakis \[1981\]). The subsumption machinery
+//! normalizes nonrecursive constraint programs into that union form by
+//! repeatedly replacing IDB subgoals with the bodies of their defining
+//! rules (one disjunct per choice of rules).
+//!
+//! Negated **IDB** subgoals cannot be unfolded into a union without
+//! complementation, so they are reported as [`UnfoldError::NegatedIdb`];
+//! recursive programs as [`UnfoldError::Recursive`].
+
+use ccpi_ir::{Atom, Cq, Literal, Program, Rule, Subst, Sym, Term, PANIC};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a program could not be unfolded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnfoldError {
+    /// The program is recursive.
+    Recursive,
+    /// A negated subgoal uses an IDB predicate.
+    NegatedIdb(Sym),
+    /// The expansion exceeded the disjunct budget.
+    TooManyDisjuncts(usize),
+}
+
+impl fmt::Display for UnfoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnfoldError::Recursive => write!(f, "cannot unfold a recursive program"),
+            UnfoldError::NegatedIdb(p) => {
+                write!(f, "cannot unfold negated IDB predicate `{p}` into a union")
+            }
+            UnfoldError::TooManyDisjuncts(n) => {
+                write!(f, "unfolding produced more than {n} disjuncts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnfoldError {}
+
+/// Hard cap on the number of disjuncts an unfolding may produce.
+pub const MAX_DISJUNCTS: usize = 4096;
+
+/// Unfolds the `panic` rules of a nonrecursive program into a union of
+/// CQs (possibly with negation on EDB predicates and with comparisons).
+pub fn unfold_constraint(program: &Program) -> Result<Vec<Cq>, UnfoldError> {
+    unfold_goal(program, PANIC)
+}
+
+/// Unfolds the rules for `goal` into a union of CQs.
+pub fn unfold_goal(program: &Program, goal: &str) -> Result<Vec<Cq>, UnfoldError> {
+    if program.is_recursive() {
+        return Err(UnfoldError::Recursive);
+    }
+    let idb: BTreeSet<Sym> = program.idb_predicates();
+    let mut out = Vec::new();
+    let mut counter = 0usize;
+    for rule in program.rules_for(goal) {
+        expand(rule.clone(), program, &idb, &mut counter, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn expand(
+    rule: Rule,
+    program: &Program,
+    idb: &BTreeSet<Sym>,
+    counter: &mut usize,
+    out: &mut Vec<Cq>,
+) -> Result<(), UnfoldError> {
+    // Reject negated IDB subgoals anywhere in the current body.
+    for lit in &rule.body {
+        if let Literal::Neg(a) = lit {
+            if idb.contains(&a.pred) {
+                return Err(UnfoldError::NegatedIdb(a.pred.clone()));
+            }
+        }
+    }
+    // Find the first positive IDB subgoal.
+    let target = rule.body.iter().position(
+        |l| matches!(l, Literal::Pos(a) if idb.contains(&a.pred)),
+    );
+    let Some(pos) = target else {
+        if out.len() >= MAX_DISJUNCTS {
+            return Err(UnfoldError::TooManyDisjuncts(MAX_DISJUNCTS));
+        }
+        out.push(Cq::from_rule(&rule));
+        return Ok(());
+    };
+    let Literal::Pos(atom) = rule.body[pos].clone() else {
+        unreachable!()
+    };
+    for def in program.rules_for(atom.pred.as_str()) {
+        // Rename the defining rule apart from the host rule.
+        *counter += 1;
+        let renaming = Subst::from_pairs(def.vars().into_iter().enumerate().map(|(i, v)| {
+            (v, Term::Var(ccpi_ir::Var::fresh(&format!("u{counter}_"), i)))
+        }));
+        let def = renaming.apply_rule(def);
+        // Unify the subgoal with the (renamed) head.
+        let Some(mgu) = unify_atoms(&atom, &def.head) else {
+            continue;
+        };
+        let mut body: Vec<Literal> = Vec::with_capacity(rule.body.len() - 1 + def.body.len());
+        for (i, lit) in rule.body.iter().enumerate() {
+            if i == pos {
+                body.extend(def.body.iter().map(|l| mgu.apply_literal(l)));
+            } else {
+                body.push(mgu.apply_literal(lit));
+            }
+        }
+        let new_rule = Rule::new(mgu.apply_atom(&rule.head), body);
+        expand(new_rule, program, idb, counter, out)?;
+    }
+    Ok(())
+}
+
+/// Most general unifier of two atoms (no function symbols, so plain
+/// var-elimination suffices). Returns `None` if not unifiable.
+pub fn unify_atoms(a: &Atom, b: &Atom) -> Option<Subst> {
+    if !a.same_signature(b) {
+        return None;
+    }
+    let mut s = Subst::new();
+    for (x, y) in a.args.iter().zip(&b.args) {
+        let (x, y) = (s.apply_term(x), s.apply_term(y));
+        match (x, y) {
+            (Term::Const(c), Term::Const(d)) => {
+                if c != d {
+                    return None;
+                }
+            }
+            (Term::Var(v), t) | (t, Term::Var(v)) => {
+                if t != Term::Var(v.clone()) {
+                    // Eliminate v everywhere in the current substitution.
+                    let elim = Subst::from_pairs([(v, t)]);
+                    s = s.then(&elim);
+                }
+            }
+        }
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_parser::{parse_cq, parse_program};
+
+    #[test]
+    fn single_rule_unfolds_to_itself() {
+        let p = parse_program("panic :- emp(E,sales) & emp(E,accounting).").unwrap();
+        let u = unfold_constraint(&p).unwrap();
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0], parse_cq("panic :- emp(E,sales) & emp(E,accounting).").unwrap());
+    }
+
+    #[test]
+    fn union_program_unfolds_member_wise() {
+        let p = parse_program(
+            "panic :- emp(E,D,S) & salRange(D,L,H) & S < L.\n\
+             panic :- emp(E,D,S) & salRange(D,L,H) & S > H.",
+        )
+        .unwrap();
+        let u = unfold_constraint(&p).unwrap();
+        assert_eq!(u.len(), 2);
+    }
+
+    /// Example 4.1's C3: the dept1 auxiliary predicate cannot be unfolded
+    /// because it occurs negated.
+    #[test]
+    fn negated_idb_is_rejected() {
+        let p = parse_program(
+            "dept1(D) :- dept(D).\n\
+             dept1(toy).\n\
+             panic :- emp(E,D,S) & not dept1(D).",
+        )
+        .unwrap();
+        assert_eq!(
+            unfold_constraint(&p),
+            Err(UnfoldError::NegatedIdb(Sym::new("dept1")))
+        );
+    }
+
+    /// Example 4.2's emp1: positive IDB with three defining rules unfolds
+    /// into three disjuncts per occurrence.
+    #[test]
+    fn example_4_2_emp1_unfolds() {
+        let p = parse_program(
+            "emp1(E,D,S) :- emp(E,D,S) & E <> jones.\n\
+             emp1(E,D,S) :- emp(E,D,S) & D <> shoe.\n\
+             emp1(E,D,S) :- emp(E,D,S) & S <> 50.\n\
+             panic :- emp1(E,D,S) & S > 100.",
+        )
+        .unwrap();
+        let u = unfold_constraint(&p).unwrap();
+        assert_eq!(u.len(), 3);
+        for cq in &u {
+            assert_eq!(cq.positives.len(), 1);
+            assert_eq!(cq.positives[0].pred.as_str(), "emp");
+            assert_eq!(cq.comparisons.len(), 2);
+        }
+    }
+
+    #[test]
+    fn facts_unify_constants_into_the_host() {
+        let p = parse_program(
+            "dept1(D) :- dept(D).\n\
+             dept1(toy).\n\
+             panic :- emp(E,D) & dept1(D).",
+        )
+        .unwrap();
+        let u = unfold_constraint(&p).unwrap();
+        assert_eq!(u.len(), 2);
+        // One disjunct joins dept, the other pins D = toy.
+        let rendered: Vec<String> = u.iter().map(|c| c.to_string()).collect();
+        assert!(rendered.iter().any(|s| s.contains("dept(")), "{rendered:?}");
+        assert!(rendered.iter().any(|s| s.contains("emp(E,toy)")), "{rendered:?}");
+    }
+
+    #[test]
+    fn nested_unfolding_multiplies() {
+        let p = parse_program(
+            "a(X) :- p(X).\n\
+             a(X) :- q(X).\n\
+             b(X) :- a(X) & r(X).\n\
+             panic :- b(X) & b(Y).",
+        )
+        .unwrap();
+        let u = unfold_constraint(&p).unwrap();
+        // b has 2 expansions; two b subgoals → 4 disjuncts.
+        assert_eq!(u.len(), 4);
+    }
+
+    #[test]
+    fn recursive_programs_are_rejected() {
+        let p = parse_program(
+            "panic :- boss(E,E).\n\
+             boss(E,F) :- boss(E,G) & boss(G,F).\n\
+             boss(E,M) :- emp(E,M).",
+        )
+        .unwrap();
+        assert_eq!(unfold_constraint(&p), Err(UnfoldError::Recursive));
+    }
+
+    #[test]
+    fn unify_atoms_handles_shared_variables() {
+        use ccpi_ir::Term;
+        // p(X, X) with p(a, Y): X ↦ a, Y ↦ a.
+        let a = Atom::new("p", vec![Term::var("X"), Term::var("X")]);
+        let b = Atom::new("p", vec![Term::sym("a"), Term::var("Y")]);
+        let s = unify_atoms(&a, &b).unwrap();
+        assert_eq!(s.apply_term(&Term::var("X")), Term::sym("a"));
+        assert_eq!(s.apply_term(&Term::var("Y")), Term::sym("a"));
+        // Mismatched constants do not unify.
+        let c = Atom::new("p", vec![Term::sym("a"), Term::sym("b")]);
+        let d = Atom::new("p", vec![Term::var("Z"), Term::var("Z")]);
+        assert!(unify_atoms(&c, &d).is_none());
+    }
+
+    #[test]
+    fn unfolded_union_is_semantically_equivalent() {
+        use crate::canonical::eval_cq;
+        use ccpi_storage::{tuple, Database, Locality};
+        let p = parse_program(
+            "emp1(E,D) :- emp(E,D) & E <> jones.\n\
+             panic :- emp1(E,D) & D <> toy.",
+        )
+        .unwrap();
+        let u = unfold_constraint(&p).unwrap();
+        assert_eq!(u.len(), 1);
+        let mut db = Database::new();
+        db.declare("emp", 2, Locality::Local).unwrap();
+        db.insert("emp", tuple!["jones", "shoe"]).unwrap();
+        db.insert("emp", tuple!["smith", "shoe"]).unwrap();
+        // Original program via engine:
+        let engine = ccpi_datalog::Engine::new(p).unwrap();
+        let orig = engine.run(&db).derives_panic();
+        let unfolded = !eval_cq(&u[0], &db).is_empty();
+        assert_eq!(orig, unfolded);
+        assert!(orig); // smith/shoe triggers
+    }
+}

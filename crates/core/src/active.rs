@@ -1,0 +1,205 @@
+//! §2's second application: active databases.
+//!
+//! > "A related problem concerns active databases, where we have a
+//! > collection of rules of the form 'if C holds, then perform action A.'
+//! > We can see such a rule as a constraint `panic :- C` with the action A
+//! > performed in response to deriving panic. … Unlike (1), we cannot
+//! > assume that all 'constraints' (the conditions in the rules) hold
+//! > prior to an action."
+//!
+//! Consequently the §3 subsumption stage is **disabled** here (it relies
+//! on the held-before assumption), but the §4 independence test remains
+//! sound: if an update cannot *introduce* a condition match, a rule whose
+//! condition did not fire before cannot start firing because of it.
+
+use ccpi_arith::Solver;
+use ccpi_datalog::Engine;
+use ccpi_ir::Constraint;
+use ccpi_rewrite::independence::independent_of_update;
+use ccpi_storage::{Database, Update};
+
+/// An active rule: a condition (a constraint query) and an action label.
+pub struct ActiveRule {
+    /// Rule name.
+    pub name: String,
+    /// The condition, as a `panic :- …` constraint.
+    pub condition: Constraint,
+    /// Opaque action label (applications interpret it).
+    pub action: String,
+    engine: Engine,
+}
+
+impl ActiveRule {
+    /// Builds a rule from a condition source string.
+    pub fn new(name: &str, condition_src: &str, action: &str) -> Result<Self, crate::ManagerError> {
+        let condition = ccpi_parser::parse_constraint(condition_src)?;
+        let engine = Engine::new(condition.program().clone())?;
+        Ok(ActiveRule {
+            name: name.to_string(),
+            condition,
+            action: action.to_string(),
+            engine,
+        })
+    }
+
+    /// Does the condition hold (i.e. would the rule fire) on `db`?
+    pub fn fires(&self, db: &Database) -> bool {
+        self.engine.run(db).derives_panic()
+    }
+}
+
+/// A set of active rules processed against updates.
+#[derive(Default)]
+pub struct ActiveRuleSet {
+    rules: Vec<ActiveRule>,
+    solver: Solver,
+}
+
+impl ActiveRuleSet {
+    /// An empty rule set (dense solver).
+    pub fn new() -> Self {
+        ActiveRuleSet::default()
+    }
+
+    /// Adds a rule.
+    pub fn add(&mut self, rule: ActiveRule) {
+        self.rules.push(rule);
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when no rules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Applies `update` to `db` and returns the actions of the rules that
+    /// fire afterwards, along with how many condition evaluations the §4
+    /// independence test avoided.
+    ///
+    /// For a rule that was not firing before the update and whose
+    /// condition is independent of the update, the condition cannot fire
+    /// afterwards — no evaluation needed. (Without the held-before
+    /// assumption we must know the rule was quiescent; callers pass
+    /// `quiescent = true` when they know no conditions held, e.g. right
+    /// after all pending actions were processed.)
+    pub fn react(
+        &self,
+        db: &mut Database,
+        update: &Update,
+        quiescent: bool,
+    ) -> Result<Reaction, ccpi_storage::StorageError> {
+        let mut skipped = 0usize;
+        let mut candidates: Vec<&ActiveRule> = Vec::new();
+        for rule in &self.rules {
+            let independent = quiescent
+                && independent_of_update(&rule.condition, &[], update, self.solver)
+                    .map(|a| a.is_yes())
+                    .unwrap_or(false);
+            if independent {
+                skipped += 1;
+            } else {
+                candidates.push(rule);
+            }
+        }
+        db.apply(update)?;
+        let fired: Vec<(String, String)> = candidates
+            .iter()
+            .filter(|r| r.fires(db))
+            .map(|r| (r.name.clone(), r.action.clone()))
+            .collect();
+        Ok(Reaction {
+            fired,
+            evaluations_avoided: skipped,
+        })
+    }
+}
+
+/// What happened when an update was processed.
+#[derive(Clone, Debug)]
+pub struct Reaction {
+    /// (rule name, action) pairs that fired, in registration order.
+    pub fired: Vec<(String, String)>,
+    /// Rules whose evaluation the independence test avoided.
+    pub evaluations_avoided: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_storage::{tuple, Locality};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.declare("stock", 2, Locality::Local).unwrap();
+        db.declare("order_q", 2, Locality::Local).unwrap();
+        db
+    }
+
+    #[test]
+    fn rules_fire_on_matching_updates() {
+        let mut db = db();
+        let mut rules = ActiveRuleSet::new();
+        rules.add(
+            ActiveRule::new(
+                "reorder",
+                "panic :- stock(Item,Qty) & Qty < 10.",
+                "place-reorder",
+            )
+            .unwrap(),
+        );
+        assert_eq!(rules.len(), 1);
+        let r = rules
+            .react(&mut db, &Update::insert("stock", tuple!["bolts", 5]), true)
+            .unwrap();
+        assert_eq!(r.fired.len(), 1);
+        assert_eq!(r.fired[0].1, "place-reorder");
+    }
+
+    #[test]
+    fn independence_avoids_evaluations_when_quiescent() {
+        let mut db = db();
+        let mut rules = ActiveRuleSet::new();
+        rules.add(
+            ActiveRule::new(
+                "reorder",
+                "panic :- stock(Item,Qty) & Qty < 10.",
+                "place-reorder",
+            )
+            .unwrap(),
+        );
+        // An update to an unrelated relation cannot make the rule fire.
+        let r = rules
+            .react(&mut db, &Update::insert("order_q", tuple!["x", 1]), true)
+            .unwrap();
+        assert!(r.fired.is_empty());
+        assert_eq!(r.evaluations_avoided, 1);
+        // Without quiescence the optimization is off.
+        let r = rules
+            .react(&mut db, &Update::insert("order_q", tuple!["y", 1]), false)
+            .unwrap();
+        assert_eq!(r.evaluations_avoided, 0);
+    }
+
+    #[test]
+    fn high_stock_insert_is_independent() {
+        let mut db = db();
+        let mut rules = ActiveRuleSet::new();
+        rules.add(
+            ActiveRule::new(
+                "reorder",
+                "panic :- stock(Item,Qty) & Qty < 10.",
+                "place-reorder",
+            )
+            .unwrap(),
+        );
+        let r = rules
+            .react(&mut db, &Update::insert("stock", tuple!["nuts", 100]), true)
+            .unwrap();
+        assert!(r.fired.is_empty());
+        assert_eq!(r.evaluations_avoided, 1);
+    }
+}

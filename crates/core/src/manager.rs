@@ -1,0 +1,555 @@
+//! The constraint manager and its checking pipeline.
+
+use crate::report::{CheckReport, LocalTestKind, Method, Outcome};
+use ccpi_arith::Solver;
+use ccpi_containment::subsume::subsumes;
+use ccpi_datalog::{DatalogError, Engine};
+use ccpi_ir::class::{classify, ConstraintClass};
+use ccpi_ir::{Constraint, Cq};
+use ccpi_localtest::{
+    complete_local_test_with, compile_ra, Cqc, IcqTest, LocalTestPlan,
+};
+use ccpi_parser::ParseError;
+use ccpi_rewrite::independence::independent_of_update;
+use ccpi_storage::{Database, Locality, StorageError, Update};
+use std::fmt;
+
+/// Errors from manager operations.
+#[derive(Debug)]
+pub enum ManagerError {
+    /// Constraint source failed to parse/validate.
+    Parse(ParseError),
+    /// The constraint program failed engine validation.
+    Datalog(DatalogError),
+    /// A storage-level problem (unknown relation, arity mismatch).
+    Storage(StorageError),
+    /// Duplicate constraint name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagerError::Parse(e) => write!(f, "{e}"),
+            ManagerError::Datalog(e) => write!(f, "{e}"),
+            ManagerError::Storage(e) => write!(f, "{e}"),
+            ManagerError::DuplicateName(n) => write!(f, "constraint `{n}` already registered"),
+        }
+    }
+}
+
+impl std::error::Error for ManagerError {}
+
+impl From<ParseError> for ManagerError {
+    fn from(e: ParseError) -> Self {
+        ManagerError::Parse(e)
+    }
+}
+impl From<DatalogError> for ManagerError {
+    fn from(e: DatalogError) -> Self {
+        ManagerError::Datalog(e)
+    }
+}
+impl From<StorageError> for ManagerError {
+    fn from(e: StorageError) -> Self {
+        ManagerError::Storage(e)
+    }
+}
+
+/// A registered constraint and its precompiled artifacts.
+struct Registered {
+    name: String,
+    constraint: Constraint,
+    class: ConstraintClass,
+    engine: Engine,
+    /// §5 form, when the constraint is a single CQC with one local subgoal.
+    cqc: Option<Cqc>,
+    /// Theorem 5.3 compiled plan (arithmetic-free CQCs).
+    ra_plan: Option<LocalTestPlan>,
+    /// Theorem 6.1 interval test (single-remote-variable ICQs).
+    icq: Option<IcqTest>,
+    /// §3: subsumed by the other registered constraints.
+    subsumed: bool,
+}
+
+/// The constraint manager: owns the database, registers constraints, and
+/// walks the paper's escalation ladder on every update.
+pub struct ConstraintManager {
+    db: Database,
+    solver: Solver,
+    constraints: Vec<Registered>,
+}
+
+impl ConstraintManager {
+    /// Creates a manager over a database (whose catalog carries the
+    /// local/remote split). Uses the dense-order solver, the paper's
+    /// setting; see [`ConstraintManager::with_solver`].
+    pub fn new(db: Database) -> Self {
+        ConstraintManager {
+            db,
+            solver: Solver::dense(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Creates a manager with an explicit solver domain (e.g.
+    /// [`ccpi_arith::Domain::Integer`] for integer-typed schemas).
+    pub fn with_solver(db: Database, solver: Solver) -> Self {
+        ConstraintManager {
+            db,
+            solver,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Read access to the database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Write access to the database (bulk loading).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Registers a constraint from source text.
+    pub fn add_constraint(&mut self, name: &str, source: &str) -> Result<(), ManagerError> {
+        let c = ccpi_parser::parse_constraint(source)?;
+        self.add(name, c)
+    }
+
+    /// Registers an already-built constraint.
+    pub fn add(&mut self, name: &str, constraint: Constraint) -> Result<(), ManagerError> {
+        if self.constraints.iter().any(|r| r.name == name) {
+            return Err(ManagerError::DuplicateName(name.to_string()));
+        }
+        let class = classify(constraint.program());
+        let engine = Engine::new(constraint.program().clone())?;
+
+        // §5 form?
+        let cqc = if constraint.is_single_rule() {
+            let rule = constraint.panic_rules().next().expect("validated");
+            let cq = Cq::from_rule(rule);
+            Cqc::new(cq, |p| self.db.locality(p)).ok()
+        } else {
+            None
+        };
+        let ra_plan = cqc.as_ref().and_then(|c| compile_ra(c).ok());
+        let domain = self.solver.domain;
+        let icq = cqc.as_ref().and_then(|c| IcqTest::new(c, domain).ok());
+
+        self.constraints.push(Registered {
+            name: name.to_string(),
+            constraint,
+            class,
+            engine,
+            cqc,
+            ra_plan,
+            icq,
+            subsumed: false,
+        });
+        self.recompute_subsumption();
+        Ok(())
+    }
+
+    /// §3: recompute which constraints are subsumed by the rest.
+    fn recompute_subsumption(&mut self) {
+        let all: Vec<Constraint> = self
+            .constraints
+            .iter()
+            .map(|r| r.constraint.clone())
+            .collect();
+        for (i, reg) in self.constraints.iter_mut().enumerate() {
+            let others: Vec<Constraint> = all
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, c)| c.clone())
+                .collect();
+            reg.subsumed = !others.is_empty()
+                && subsumes(&others, &reg.constraint, self.solver)
+                    .map(|s| s.answer.is_yes())
+                    .unwrap_or(false);
+        }
+    }
+
+    /// The registered constraint names, with their Fig. 2.1 classes.
+    pub fn constraints(&self) -> Vec<(&str, ConstraintClass)> {
+        self.constraints
+            .iter()
+            .map(|r| (r.name.as_str(), r.class))
+            .collect()
+    }
+
+    /// Is the named constraint subsumed by the others (§3)?
+    pub fn is_subsumed(&self, name: &str) -> Option<bool> {
+        self.constraints
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.subsumed)
+    }
+
+    /// Checks one update against every constraint **without applying it**.
+    /// Assumes all constraints hold on the current database (the paper's
+    /// standing assumption, §2).
+    pub fn check_update(&mut self, update: &Update) -> Result<CheckReport, ManagerError> {
+        let mut report = CheckReport::default();
+
+        // Collect extra reductions per local predicate for the
+        // multi-constraint Theorem 5.2 extension: the other held
+        // constraints' reductions by all tuples of the same local relation.
+        let solver = self.solver;
+        let n = self.constraints.len();
+        for i in 0..n {
+            // Stage 1 — subsumption.
+            if self.constraints[i].subsumed {
+                report
+                    .outcomes
+                    .push((self.constraints[i].name.clone(), Outcome::Holds(Method::Subsumed)));
+                continue;
+            }
+
+            // Stage 2 — query independent of update.
+            let others: Vec<Constraint> = self
+                .constraints
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, r)| r.constraint.clone())
+                .collect();
+            let independent = independent_of_update(
+                &self.constraints[i].constraint,
+                &others,
+                update,
+                solver,
+            )
+            .map(|a| a.is_yes())
+            .unwrap_or(false);
+            if independent {
+                report.outcomes.push((
+                    self.constraints[i].name.clone(),
+                    Outcome::Holds(Method::IndependentOfUpdate),
+                ));
+                continue;
+            }
+
+            // Stage 3 — complete local test (insertions into the
+            // constraint's local relation).
+            if let Update::Insert { pred, tuple } = update {
+                if let Some(kind) = self.try_local_test(i, pred.as_str(), tuple) {
+                    report.outcomes.push((
+                        self.constraints[i].name.clone(),
+                        Outcome::Holds(Method::LocalTest(kind)),
+                    ));
+                    continue;
+                }
+            }
+
+            // Stage 4 — full check (reads remote data).
+            let (outcome, tuples, bytes) = self.full_check(i, update)?;
+            report.remote_tuples_read += tuples;
+            report.remote_bytes_read += bytes;
+            report.full_checks += 1;
+            report
+                .outcomes
+                .push((self.constraints[i].name.clone(), outcome));
+        }
+        Ok(report)
+    }
+
+    /// Checks, then applies the update (even when violations are found —
+    /// callers who want to reject can consult the report first).
+    pub fn process(&mut self, update: &Update) -> Result<CheckReport, ManagerError> {
+        let report = self.check_update(update)?;
+        self.db.apply(update)?;
+        Ok(report)
+    }
+
+    fn try_local_test(&self, i: usize, pred: &str, tuple: &ccpi_storage::Tuple) -> Option<LocalTestKind> {
+        let reg = &self.constraints[i];
+        let cqc = reg.cqc.as_ref()?;
+        if cqc.local_pred().as_str() != pred {
+            return None;
+        }
+        let local = self.db.relation(pred)?;
+        if tuple.arity() != local.arity() {
+            return None;
+        }
+        // Multi-constraint extension (Theorem 5.2's "add to the union …
+        // the reductions of the other constraints by all tuples in L").
+        let mut extra: Vec<Cq> = Vec::new();
+        for (j, other) in self.constraints.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            if let Some(ocqc) = &other.cqc {
+                if ocqc.local_pred().as_str() == pred {
+                    for s in local.iter() {
+                        if let Some(r) = ocqc.red(s) {
+                            extra.push(r);
+                        }
+                    }
+                }
+            }
+        }
+        // With no sibling reductions, the compiled artifacts are complete:
+        // a negative answer settles the local test. With siblings, a
+        // negative compiled answer may still be rescued by the extended
+        // union, so fall through to the containment test.
+        if extra.is_empty() {
+            if let Some(plan) = &reg.ra_plan {
+                return plan.test(tuple, local).holds().then_some(LocalTestKind::RaPlan);
+            }
+            if let Some(icq) = &reg.icq {
+                return icq
+                    .test(tuple, local)
+                    .holds()
+                    .then_some(LocalTestKind::Interval);
+            }
+        } else {
+            if let Some(plan) = &reg.ra_plan {
+                if plan.test(tuple, local).holds() {
+                    return Some(LocalTestKind::RaPlan);
+                }
+            }
+            if let Some(icq) = &reg.icq {
+                if icq.test(tuple, local).holds() {
+                    return Some(LocalTestKind::Interval);
+                }
+            }
+        }
+        complete_local_test_with(cqc, tuple, local, &extra, self.solver)
+            .holds()
+            .then_some(LocalTestKind::Containment)
+    }
+
+    /// Full evaluation of the constraint on the post-update database.
+    fn full_check(
+        &mut self,
+        i: usize,
+        update: &Update,
+    ) -> Result<(Outcome, usize, usize), ManagerError> {
+        // Remote cost: every remote relation the constraint mentions must
+        // be consulted.
+        let mut tuples = 0usize;
+        let mut bytes = 0usize;
+        let program = self.constraints[i].constraint.program();
+        for pred in program.edb_predicates() {
+            if self.db.locality(pred.as_str()) == Some(Locality::Remote) {
+                if let Some(rel) = self.db.relation(pred.as_str()) {
+                    tuples += rel.len();
+                    bytes += rel.iter().map(|t| t.transfer_bytes()).sum::<usize>();
+                }
+            }
+        }
+        let changed = self.db.apply(update)?;
+        let violated = self.constraints[i].engine.run(&self.db).derives_panic();
+        if changed {
+            self.db.undo(update)?;
+        }
+        Ok((
+            if violated {
+                Outcome::Violated
+            } else {
+                Outcome::Holds(Method::FullCheck)
+            },
+            tuples,
+            bytes,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_storage::tuple;
+
+    fn intervals_mgr() -> ConstraintManager {
+        let mut db = Database::new();
+        db.declare("l", 2, Locality::Local).unwrap();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        db.insert("l", tuple![3, 6]).unwrap();
+        db.insert("l", tuple![5, 10]).unwrap();
+        let mut mgr = ConstraintManager::new(db);
+        mgr.add_constraint(
+            "intervals",
+            "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.",
+        )
+        .unwrap();
+        mgr
+    }
+
+    #[test]
+    fn local_test_certifies_example_5_3_with_zero_remote_reads() {
+        let mut mgr = intervals_mgr();
+        let report = mgr
+            .check_update(&Update::insert("l", tuple![4, 8]))
+            .unwrap();
+        assert!(matches!(
+            report.outcome("intervals"),
+            Some(Outcome::Holds(Method::LocalTest(LocalTestKind::Interval)))
+        ));
+        assert_eq!(report.remote_tuples_read, 0);
+        assert_eq!(report.full_checks, 0);
+    }
+
+    #[test]
+    fn uncovered_insert_falls_through_to_full_check() {
+        let mut mgr = intervals_mgr();
+        // Remote has a point at 20; inserting (15,25) forbids it.
+        mgr.database_mut().insert("r", tuple![20]).unwrap();
+        let report = mgr
+            .check_update(&Update::insert("l", tuple![15, 25]))
+            .unwrap();
+        assert_eq!(report.outcome("intervals"), Some(Outcome::Violated));
+        assert!(report.remote_tuples_read > 0);
+        // The database is unchanged by check_update.
+        assert_eq!(mgr.database().relation("l").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn uncovered_but_unviolated_insert_passes_full_check() {
+        let mut mgr = intervals_mgr();
+        let report = mgr
+            .check_update(&Update::insert("l", tuple![15, 25]))
+            .unwrap();
+        assert!(matches!(
+            report.outcome("intervals"),
+            Some(Outcome::Holds(Method::FullCheck))
+        ));
+        assert_eq!(report.full_checks, 1);
+    }
+
+    #[test]
+    fn independence_stage_fires_for_unrelated_updates() {
+        let mut db = Database::new();
+        db.declare("emp", 3, Locality::Local).unwrap();
+        db.declare("dept", 1, Locality::Remote).unwrap();
+        let mut mgr = ConstraintManager::new(db);
+        mgr.add_constraint("ri", "panic :- emp(E,D,S) & not dept(D).")
+            .unwrap();
+        // Inserting a department can only shrink the violation set.
+        let report = mgr
+            .check_update(&Update::insert("dept", tuple!["toy"]))
+            .unwrap();
+        assert!(matches!(
+            report.outcome("ri"),
+            Some(Outcome::Holds(Method::IndependentOfUpdate))
+        ));
+    }
+
+    #[test]
+    fn subsumption_stage_skips_redundant_constraints() {
+        let mut db = Database::new();
+        db.declare("emp", 2, Locality::Local).unwrap();
+        let mut mgr = ConstraintManager::new(db);
+        mgr.add_constraint("loose", "panic :- emp(E,D1) & emp(E,D2).")
+            .unwrap();
+        mgr.add_constraint(
+            "tight",
+            "panic :- emp(E,sales) & emp(E,accounting).",
+        )
+        .unwrap();
+        assert_eq!(mgr.is_subsumed("tight"), Some(true));
+        assert_eq!(mgr.is_subsumed("loose"), Some(false));
+        let report = mgr
+            .check_update(&Update::insert("emp", tuple!["x", "sales"]))
+            .unwrap();
+        assert!(matches!(
+            report.outcome("tight"),
+            Some(Outcome::Holds(Method::Subsumed))
+        ));
+    }
+
+    #[test]
+    fn ra_plan_stage_fires_for_arithmetic_free_cqcs() {
+        let mut db = Database::new();
+        db.declare("l", 2, Locality::Local).unwrap();
+        db.declare("r", 2, Locality::Remote).unwrap();
+        db.insert("l", tuple![1, 2]).unwrap();
+        let mut mgr = ConstraintManager::new(db);
+        mgr.add_constraint("af", "panic :- l(X,Y) & r(X,Y).").unwrap();
+        // Duplicate insert: covered by the existing row via the RA plan.
+        let report = mgr
+            .check_update(&Update::insert("l", tuple![1, 2]))
+            .unwrap();
+        assert!(matches!(
+            report.outcome("af"),
+            Some(Outcome::Holds(Method::LocalTest(LocalTestKind::RaPlan)))
+        ));
+    }
+
+    #[test]
+    fn process_applies_the_update() {
+        let mut mgr = intervals_mgr();
+        mgr.process(&Update::insert("l", tuple![4, 8])).unwrap();
+        assert_eq!(mgr.database().relation("l").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut mgr = intervals_mgr();
+        let err = mgr
+            .add_constraint("intervals", "panic :- r(Z).")
+            .unwrap_err();
+        assert!(matches!(err, ManagerError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn multi_constraint_reductions_extend_the_union() {
+        // Two interval constraints over the same local relation; the
+        // second's reductions help cover the first's insert.
+        let mut db = Database::new();
+        db.declare("l", 2, Locality::Local).unwrap();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        db.insert("l", tuple![3, 6]).unwrap();
+        let mut mgr = ConstraintManager::new(db);
+        // A non-ICQ-compilable variant to force the containment path:
+        // two remote subgoals sharing Z is still handled by thm52.
+        mgr.add_constraint("a", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+            .unwrap();
+        // "b" forbids r-points in [5,10] whenever ANY l-row exists with
+        // first component <= 5 — gives reductions covering [5,10].
+        mgr.add_constraint("b", "panic :- l(X,Y) & r(Z) & 5 <= Z & Z <= 10 & X <= 5.")
+            .unwrap();
+        let report = mgr
+            .check_update(&Update::insert("l", tuple![5, 8]))
+            .unwrap();
+        // Constraint "a" alone can't cover [5,8] from [3,6], but b's
+        // reduction [5,10] (valid since l has (3,6) with 3 <= 5) does.
+        let a = report.outcome("a").unwrap();
+        assert!(
+            a.holds() && a.method() != Some(Method::FullCheck),
+            "{a:?}"
+        );
+    }
+
+    #[test]
+    fn violation_detection_is_sound_end_to_end() {
+        // Randomized pipeline soundness: whatever the method, Holds must
+        // agree with ground truth on the post-update database.
+        use ccpi_datalog::constraint_violated;
+        let mut mgr = intervals_mgr();
+        mgr.database_mut().insert("r", tuple![7]).unwrap();
+        // r(7) is inside the forbidden union [3,10]! The standing
+        // assumption (constraints hold now) is violated; fix the data
+        // first by removing the point.
+        mgr.database_mut().delete("r", &tuple![7]).unwrap();
+        mgr.database_mut().insert("r", tuple![20]).unwrap();
+
+        let cases = [(4i64, 8i64), (15, 25), (18, 19), (20, 20), (21, 30)];
+        for (a, b) in cases {
+            let upd = Update::insert("l", tuple![a, b]);
+            let report = mgr.check_update(&upd).unwrap();
+            let outcome = report.outcome("intervals").unwrap();
+            let mut after = mgr.database().clone();
+            after.apply(&upd).unwrap();
+            let c = ccpi_parser::parse_constraint(
+                "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.",
+            )
+            .unwrap();
+            let truth = constraint_violated(&c, &after).unwrap();
+            assert_eq!(!outcome.holds(), truth, "insert ({a},{b})");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Check reports: which method settled each constraint, at what cost.
+
+use std::fmt;
+
+/// Which complete local test certified the constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LocalTestKind {
+    /// The compiled Theorem 5.3 relational-algebra plan.
+    RaPlan,
+    /// The Theorem 6.1 forbidden-interval test.
+    Interval,
+    /// The general Theorem 5.2 reduction-containment test.
+    Containment,
+}
+
+/// How a constraint was discharged.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Method {
+    /// §3: subsumed by the other registered constraints — never checked.
+    Subsumed,
+    /// §4: the update provably cannot introduce a violation.
+    IndependentOfUpdate,
+    /// §5–6: a complete local test succeeded (zero remote reads).
+    LocalTest(LocalTestKind),
+    /// Full evaluation touching remote data.
+    FullCheck,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Method::Subsumed => write!(f, "subsumed"),
+            Method::IndependentOfUpdate => write!(f, "independent-of-update"),
+            Method::LocalTest(LocalTestKind::RaPlan) => write!(f, "local-test(ra)"),
+            Method::LocalTest(LocalTestKind::Interval) => write!(f, "local-test(interval)"),
+            Method::LocalTest(LocalTestKind::Containment) => {
+                write!(f, "local-test(containment)")
+            }
+            Method::FullCheck => write!(f, "full-check"),
+        }
+    }
+}
+
+/// The verdict for one constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The constraint still holds; `Method` says how we know.
+    Holds(Method),
+    /// The update would violate the constraint (established by the full
+    /// check — the only stage that can say "no").
+    Violated,
+}
+
+impl Outcome {
+    /// `true` unless the update violates the constraint.
+    pub fn holds(&self) -> bool {
+        matches!(self, Outcome::Holds(_))
+    }
+
+    /// The discharging method, if the constraint holds.
+    pub fn method(&self) -> Option<Method> {
+        match self {
+            Outcome::Holds(m) => Some(*m),
+            Outcome::Violated => None,
+        }
+    }
+}
+
+/// The result of checking one update against every registered constraint.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Per-constraint outcomes, in registration order.
+    pub outcomes: Vec<(String, Outcome)>,
+    /// Remote tuples that had to be read (only the full-check stage reads
+    /// remote data).
+    pub remote_tuples_read: usize,
+    /// Remote bytes transferred (per the tuple transfer-size model).
+    pub remote_bytes_read: usize,
+    /// Number of constraints that needed the full check.
+    pub full_checks: usize,
+}
+
+impl CheckReport {
+    /// The outcome for a constraint by name.
+    pub fn outcome(&self, name: &str) -> Option<Outcome> {
+        self.outcomes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, o)| *o)
+    }
+
+    /// `true` when no constraint is violated.
+    pub fn all_hold(&self) -> bool {
+        self.outcomes.iter().all(|(_, o)| o.holds())
+    }
+
+    /// Names of violated constraints.
+    pub fn violations(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| !o.holds())
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// How many constraints each method discharged.
+    pub fn method_histogram(&self) -> Vec<(Method, usize)> {
+        let methods = [
+            Method::Subsumed,
+            Method::IndependentOfUpdate,
+            Method::LocalTest(LocalTestKind::RaPlan),
+            Method::LocalTest(LocalTestKind::Interval),
+            Method::LocalTest(LocalTestKind::Containment),
+            Method::FullCheck,
+        ];
+        methods
+            .into_iter()
+            .map(|m| {
+                let n = self
+                    .outcomes
+                    .iter()
+                    .filter(|(_, o)| o.method() == Some(m))
+                    .count();
+                (m, n)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, outcome) in &self.outcomes {
+            match outcome {
+                Outcome::Holds(m) => writeln!(f, "  {name}: holds [{m}]")?,
+                Outcome::Violated => writeln!(f, "  {name}: VIOLATED")?,
+            }
+        }
+        write!(
+            f,
+            "  remote reads: {} tuples / {} bytes; full checks: {}",
+            self.remote_tuples_read, self.remote_bytes_read, self.full_checks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accessors() {
+        let r = CheckReport {
+            outcomes: vec![
+                ("a".into(), Outcome::Holds(Method::Subsumed)),
+                ("b".into(), Outcome::Violated),
+            ],
+            remote_tuples_read: 5,
+            remote_bytes_read: 80,
+            full_checks: 1,
+        };
+        assert!(!r.all_hold());
+        assert_eq!(r.violations(), vec!["b"]);
+        assert_eq!(r.outcome("a"), Some(Outcome::Holds(Method::Subsumed)));
+        assert_eq!(r.outcome("missing"), None);
+        let hist = r.method_histogram();
+        assert_eq!(hist.iter().map(|(_, n)| n).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn display_mentions_violations() {
+        let r = CheckReport {
+            outcomes: vec![("x".into(), Outcome::Violated)],
+            ..CheckReport::default()
+        };
+        assert!(r.to_string().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let h = Outcome::Holds(Method::FullCheck);
+        assert!(h.holds());
+        assert_eq!(h.method(), Some(Method::FullCheck));
+        assert!(!Outcome::Violated.holds());
+        assert_eq!(Outcome::Violated.method(), None);
+    }
+}

@@ -1,0 +1,464 @@
+//! The semi-naive engine and its public API.
+
+use crate::join::{eval_rule, Store};
+use crate::stratify::{stratify, NotStratifiable, Strata};
+use ccpi_ir::{safety, Constraint, IrError, Program, Rule, Sym, PANIC};
+use ccpi_storage::{Database, Relation};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised when building or running an engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatalogError {
+    /// Signature or safety violation.
+    Ir(IrError),
+    /// Negation through recursion.
+    NotStratifiable(NotStratifiable),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Ir(e) => write!(f, "{e}"),
+            DatalogError::NotStratifiable(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl From<IrError> for DatalogError {
+    fn from(e: IrError) -> Self {
+        DatalogError::Ir(e)
+    }
+}
+
+impl From<NotStratifiable> for DatalogError {
+    fn from(e: NotStratifiable) -> Self {
+        DatalogError::NotStratifiable(e)
+    }
+}
+
+/// The result of a bottom-up evaluation: every IDB relation.
+#[derive(Clone, Debug, Default)]
+pub struct Output {
+    relations: BTreeMap<Sym, Relation>,
+}
+
+impl Output {
+    /// The computed relation for an IDB predicate (empty relations may be
+    /// absent).
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// `true` iff the 0-ary `panic` goal was derived.
+    pub fn derives_panic(&self) -> bool {
+        self.relations
+            .get(PANIC)
+            .is_some_and(|r| !r.is_empty())
+    }
+
+    /// Iterates over the computed relations, sorted by predicate name.
+    pub fn iter(&self) -> impl Iterator<Item = (&Sym, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Total number of derived tuples.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    pub(crate) fn from_store(store: Store, idb: impl IntoIterator<Item = Sym>) -> Output {
+        let mut relations = BTreeMap::new();
+        for p in idb {
+            if let Some(r) = store.rels.get(&p) {
+                relations.insert(p, r.clone());
+            }
+        }
+        Output { relations }
+    }
+}
+
+/// A validated, stratified datalog program ready to evaluate.
+pub struct Engine {
+    program: Program,
+    strata: Strata,
+    sig: BTreeMap<Sym, usize>,
+}
+
+impl Engine {
+    /// Validates the program: consistent predicate arities, safe rules,
+    /// stratified negation.
+    pub fn new(program: Program) -> Result<Self, DatalogError> {
+        let sig = program.signature()?;
+        safety::check_program(&program)?;
+        let strata = stratify(&program)?;
+        Ok(Engine {
+            program,
+            strata,
+            sig,
+        })
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The stratification.
+    pub fn strata(&self) -> &Strata {
+        &self.strata
+    }
+
+    /// Evaluates the program against `edb` (semi-naive, stratum by
+    /// stratum). EDB relations missing from the database read as empty; an
+    /// IDB predicate shadows any same-named stored relation.
+    pub fn run(&self, edb: &Database) -> Output {
+        let idb = self.program.idb_predicates();
+        let mut full = Store::default();
+        // Load EDB relations referenced by the program.
+        for p in self.program.edb_predicates() {
+            if let Some(r) = edb.relation(p.as_str()) {
+                full.rels.insert(p.clone(), r.clone());
+            }
+        }
+        // Pre-create empty IDB relations so arity is fixed.
+        for p in &idb {
+            full.rels.insert(p.clone(), Relation::new(self.sig[p]));
+        }
+
+        for level in 0..self.strata.count {
+            let rules: Vec<&Rule> = self
+                .program
+                .rules
+                .iter()
+                .filter(|r| self.strata.level[&r.head.pred] == level)
+                .collect();
+            let here: Vec<Sym> = self.strata.preds_at(level);
+            self.eval_stratum(&rules, &here, &mut full);
+        }
+        Output::from_store(full, idb)
+    }
+
+    /// Semi-naive fixpoint for one stratum.
+    fn eval_stratum(&self, rules: &[&Rule], here: &[Sym], full: &mut Store) {
+        // Initialization: evaluate every rule once against the current
+        // store (recursive predicates are still empty or partially filled
+        // by earlier strata — here always empty since IDB is per-stratum).
+        let mut delta = Store::default();
+        for rule in rules {
+            let arity = self.sig[&rule.head.pred];
+            let mut fresh: Vec<ccpi_storage::Tuple> = Vec::new();
+            eval_rule(rule, full, None, &mut |t| fresh.push(t));
+            for t in fresh {
+                if full.insert(&rule.head.pred, arity, t.clone()) {
+                    delta.insert(&rule.head.pred, arity, t);
+                }
+            }
+        }
+
+        // Iterate: each round, require the designated recursive subgoal to
+        // come from the previous round's delta.
+        loop {
+            let mut next_delta = Store::default();
+            for rule in rules {
+                let arity = self.sig[&rule.head.pred];
+                let rec_positions: Vec<usize> = rule
+                    .positive_subgoals()
+                    .enumerate()
+                    .filter(|(_, a)| here.contains(&a.pred))
+                    .map(|(i, _)| i)
+                    .collect();
+                for &pos in &rec_positions {
+                    let mut fresh: Vec<ccpi_storage::Tuple> = Vec::new();
+                    eval_rule(rule, full, Some((&delta, pos)), &mut |t| fresh.push(t));
+                    for t in fresh {
+                        if !full.contains(&rule.head.pred, &t) {
+                            next_delta.insert(&rule.head.pred, arity, t);
+                        }
+                    }
+                }
+            }
+            if next_delta.rels.values().all(Relation::is_empty) {
+                break;
+            }
+            for (p, r) in &next_delta.rels {
+                let arity = r.arity();
+                for t in r.iter() {
+                    full.insert(p, arity, t.clone());
+                }
+            }
+            delta = next_delta;
+        }
+    }
+}
+
+/// Runs a constraint program and reports whether it is **violated**
+/// (i.e. `panic` is derivable) on the database.
+pub fn constraint_violated(c: &Constraint, db: &Database) -> Result<bool, DatalogError> {
+    let engine = Engine::new(c.program().clone())?;
+    Ok(engine.run(db).derives_panic())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_parser::{parse_constraint, parse_program};
+    use ccpi_storage::{tuple, Locality};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.declare("emp", 3, Locality::Local).unwrap();
+        db.declare("dept", 1, Locality::Remote).unwrap();
+        db.declare("salRange", 3, Locality::Remote).unwrap();
+        db.declare("manager", 2, Locality::Remote).unwrap();
+        db
+    }
+
+    /// Example 2.2: referential integrity + salary floor.
+    #[test]
+    fn example_2_2_detects_violation() {
+        let mut db = db();
+        db.insert("emp", tuple!["jones", "shoe", 50]).unwrap();
+        let c =
+            parse_constraint("panic :- emp(E,D,S) & not dept(D) & S < 100.").unwrap();
+        // shoe not in dept and 50 < 100 → panic.
+        assert!(constraint_violated(&c, &db).unwrap());
+        // Add the department → satisfied.
+        db.insert("dept", tuple!["shoe"]).unwrap();
+        assert!(!constraint_violated(&c, &db).unwrap());
+    }
+
+    /// Example 2.3: salary ranges (union of CQs with arithmetic).
+    #[test]
+    fn example_2_3_salary_ranges() {
+        let mut db = db();
+        db.insert("emp", tuple!["jones", "shoe", 50]).unwrap();
+        db.insert("salRange", tuple!["shoe", 60, 120]).unwrap();
+        let c = parse_constraint(
+            "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.\n\
+             panic :- emp(E,D,S) & salRange(D,Low,High) & S > High.",
+        )
+        .unwrap();
+        assert!(constraint_violated(&c, &db).unwrap()); // 50 < 60
+        let mut ok = db.clone();
+        ok.delete("emp", &tuple!["jones", "shoe", 50]).unwrap();
+        ok.insert("emp", tuple!["jones", "shoe", 80]).unwrap();
+        assert!(!constraint_violated(&c, &ok).unwrap());
+    }
+
+    /// Example 2.4: the recursive `boss` constraint.
+    #[test]
+    fn example_2_4_no_self_boss() {
+        let mut db = db();
+        db.insert("emp", tuple!["ann", "sales", 100]).unwrap();
+        db.insert("emp", tuple!["bob", "mktg", 90]).unwrap();
+        db.insert("manager", tuple!["sales", "bob"]).unwrap();
+        db.insert("manager", tuple!["mktg", "ann"]).unwrap();
+        let c = parse_constraint(
+            "panic :- boss(E,E).\n\
+             boss(E,M) :- emp(E,D,S) & manager(D,M).\n\
+             boss(E,F) :- boss(E,G) & boss(G,F).",
+        )
+        .unwrap();
+        // ann → bob → ann: transitive closure derives boss(ann,ann).
+        assert!(constraint_violated(&c, &db).unwrap());
+        // Break the cycle.
+        db.delete("manager", &tuple!["mktg", "ann"]).unwrap();
+        assert!(!constraint_violated(&c, &db).unwrap());
+    }
+
+    #[test]
+    fn transitive_closure_computed_fully() {
+        let mut db = Database::new();
+        db.declare("e", 2, Locality::Local).unwrap();
+        for k in 0..20 {
+            db.insert("e", tuple![k, k + 1]).unwrap();
+        }
+        let p = parse_program(
+            "path(X,Y) :- e(X,Y).\n\
+             path(X,Z) :- path(X,Y) & e(Y,Z).",
+        )
+        .unwrap();
+        let out = Engine::new(p).unwrap().run(&db);
+        // 21 nodes in a chain: 21*20/2 = 210 pairs.
+        assert_eq!(out.relation("path").unwrap().len(), 210);
+        assert_eq!(out.total_tuples(), 210);
+    }
+
+    #[test]
+    fn stratified_negation_evaluates_lower_stratum_first() {
+        // Example 4.1's C3: dept1 must be complete before panic's negation.
+        let mut db = db();
+        db.insert("emp", tuple!["smith", "toy", 80]).unwrap();
+        let c = parse_constraint(
+            "dept1(D) :- dept(D).\n\
+             dept1(toy).\n\
+             panic :- emp(E,D,S) & not dept1(D).",
+        )
+        .unwrap();
+        // toy is in dept1 via the fact → no panic.
+        assert!(!constraint_violated(&c, &db).unwrap());
+        let mut db2 = db.clone();
+        db2.insert("emp", tuple!["o", "garden", 10]).unwrap();
+        assert!(constraint_violated(&c, &db2).unwrap());
+    }
+
+    #[test]
+    fn unsafe_program_rejected() {
+        let p = parse_program("q(Y) :- p(X).").unwrap();
+        assert!(matches!(Engine::new(p), Err(DatalogError::Ir(_))));
+    }
+
+    #[test]
+    fn unstratifiable_program_rejected() {
+        let p = parse_program("win(X) :- move(X,Y) & not win(Y).").unwrap();
+        assert!(matches!(
+            Engine::new(p),
+            Err(DatalogError::NotStratifiable(_))
+        ));
+    }
+
+    #[test]
+    fn facts_materialize() {
+        let p = parse_program("dept1(toy).\ndept1(shoe).").unwrap();
+        let out = Engine::new(p).unwrap().run(&Database::new());
+        assert_eq!(out.relation("dept1").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_edb_reads_empty() {
+        let c = parse_constraint("panic :- ghost(X).").unwrap();
+        assert!(!constraint_violated(&c, &Database::new()).unwrap());
+    }
+
+    #[test]
+    fn diamond_recursion_terminates() {
+        // Mutually recursive even/odd-style reachability.
+        let mut db = Database::new();
+        db.declare("e", 2, Locality::Local).unwrap();
+        db.insert("e", tuple![0, 1]).unwrap();
+        db.insert("e", tuple![1, 0]).unwrap();
+        let p = parse_program(
+            "even(X) :- start(X).\n\
+             even(Z) :- odd(Y) & e(Y,Z).\n\
+             odd(Z) :- even(Y) & e(Y,Z).\n\
+             start(0).",
+        )
+        .unwrap();
+        let out = Engine::new(p).unwrap().run(&db);
+        assert!(out.relation("even").unwrap().contains(&tuple![0]));
+        assert!(out.relation("odd").unwrap().contains(&tuple![1]));
+        assert!(out.relation("even").unwrap().contains(&tuple![0]));
+    }
+
+    #[test]
+    fn idb_shadows_same_named_edb() {
+        let mut db = Database::new();
+        db.declare("p", 1, Locality::Local).unwrap();
+        db.insert("p", tuple![1]).unwrap();
+        // `p` has a rule, so the stored `p` is ignored.
+        let prog = parse_program("p(2).\nq(X) :- p(X).").unwrap();
+        let out = Engine::new(prog).unwrap().run(&db);
+        assert_eq!(out.relation("q").unwrap().len(), 1);
+        assert!(out.relation("q").unwrap().contains(&tuple![2]));
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+    use ccpi_parser::{parse_constraint, parse_program};
+    use ccpi_storage::{tuple, Locality};
+
+    /// Comparisons inside a recursive rule (the shape the Theorem 6.1
+    /// generated programs rely on): same-generation-with-guard.
+    #[test]
+    fn comparisons_in_recursive_rules() {
+        let mut db = Database::new();
+        db.declare("iv", 2, Locality::Local).unwrap();
+        for (a, b) in [(0i64, 4i64), (3, 8), (7, 12), (20, 25)] {
+            db.insert("iv", tuple![a, b]).unwrap();
+        }
+        let p = parse_program(
+            "span(X,Y) :- iv(X,Y).\n\
+             span(X,Y) :- span(X,W) & span(Z,Y) & Z <= W.",
+        )
+        .unwrap();
+        let out = Engine::new(p).unwrap().run(&db);
+        let span = out.relation("span").unwrap();
+        // The three overlapping intervals merge into (0,12) spans; the
+        // isolated (20,25) stays alone.
+        assert!(span.contains(&tuple![0, 12]));
+        assert!(span.contains(&tuple![0, 8]));
+        assert!(span.contains(&tuple![3, 12]));
+        assert!(!span.contains(&tuple![0, 25]));
+        assert!(!span.contains(&tuple![7, 25]));
+    }
+
+    /// A wide join with constants and repeated variables under load.
+    #[test]
+    fn wide_join_with_constants() {
+        let mut db = Database::new();
+        db.declare("edge", 2, Locality::Local).unwrap();
+        db.declare("color", 2, Locality::Local).unwrap();
+        for k in 0..60i64 {
+            db.insert("edge", tuple![k, (k + 1) % 60]).unwrap();
+            db.insert("color", tuple![k, if k % 2 == 0 { "red" } else { "blue" }])
+                .unwrap();
+        }
+        let c = parse_constraint(
+            "panic :- edge(X,Y) & color(X,red) & color(Y,red).",
+        )
+        .unwrap();
+        // A 60-cycle alternates colors: no red-red edge.
+        assert!(!constraint_violated(&c, &db).unwrap());
+        // Break the alternation.
+        db.insert("edge", tuple![0, 2]).unwrap();
+        assert!(constraint_violated(&c, &db).unwrap());
+    }
+
+    /// Deep stratification (alternating negation chain) is evaluated in
+    /// order.
+    #[test]
+    fn deep_stratification_chain() {
+        let mut db = Database::new();
+        db.declare("base", 1, Locality::Local).unwrap();
+        db.insert("base", tuple![1]).unwrap();
+        db.insert("base", tuple![2]).unwrap();
+        let p = parse_program(
+            "l0(X) :- base(X) & X < 2.\n\
+             l1(X) :- base(X) & not l0(X).\n\
+             l2(X) :- base(X) & not l1(X).\n\
+             l3(X) :- base(X) & not l2(X).\n\
+             panic :- l3(X) & X > 1.",
+        )
+        .unwrap();
+        let engine = Engine::new(p).unwrap();
+        assert_eq!(engine.strata().count, 4);
+        let out = engine.run(&db);
+        // l0 = {1}; l1 = {2}; l2 = {1}; l3 = {2} → panic (2 > 1).
+        assert!(out.relation("l1").unwrap().contains(&tuple![2]));
+        assert!(out.relation("l3").unwrap().contains(&tuple![2]));
+        assert!(out.derives_panic());
+    }
+
+    /// Large-ish TC as a smoke test for the semi-naive loop (cycle graph).
+    #[test]
+    fn transitive_closure_on_cycle() {
+        let mut db = Database::new();
+        db.declare("e", 2, Locality::Local).unwrap();
+        let n = 40i64;
+        for k in 0..n {
+            db.insert("e", tuple![k, (k + 1) % n]).unwrap();
+        }
+        let p = parse_program(
+            "path(X,Y) :- e(X,Y).\n\
+             path(X,Z) :- path(X,Y) & e(Y,Z).",
+        )
+        .unwrap();
+        let out = Engine::new(p).unwrap().run(&db);
+        assert_eq!(out.relation("path").unwrap().len(), (n * n) as usize);
+    }
+}

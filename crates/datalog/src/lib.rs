@@ -1,0 +1,39 @@
+//! # `ccpi-datalog` — a stratified datalog engine
+//!
+//! GSUW'94 constraints are datalog programs with a 0-ary `panic` goal, in
+//! any of the twelve classes of Fig. 2.1 — up to *recursive datalog with
+//! negated subgoals and arithmetic comparisons* (Example 2.4's `boss`
+//! program; the Theorem 6.1 interval tests). This crate evaluates all of
+//! them bottom-up:
+//!
+//! * validation: consistent signatures, range restriction (safety), and
+//!   **stratified negation** (negation through recursion is rejected);
+//! * **semi-naive** fixpoint evaluation per stratum with index-backed atom
+//!   matching ([`Engine`]);
+//! * a deliberately simple **naive** evaluator ([`naive::run_naive`]) used
+//!   for differential testing and as the baseline in the `datalog` bench;
+//! * conveniences for constraints: [`constraint_violated`] runs a
+//!   constraint program and reports whether `panic` was derived.
+//!
+//! # Example
+//! ```
+//! use ccpi_datalog::constraint_violated;
+//! use ccpi_parser::parse_constraint;
+//! use ccpi_storage::{tuple, Database, Locality};
+//!
+//! let mut db = Database::new();
+//! db.declare("emp", 2, Locality::Local).unwrap();
+//! db.insert("emp", tuple!["meyer", "sales"]).unwrap();
+//! db.insert("emp", tuple!["meyer", "accounting"]).unwrap();
+//!
+//! let c = parse_constraint("panic :- emp(E,sales) & emp(E,accounting).").unwrap();
+//! assert!(constraint_violated(&c, &db).unwrap());
+//! ```
+
+mod engine;
+mod join;
+pub mod naive;
+mod stratify;
+
+pub use engine::{constraint_violated, DatalogError, Engine, Output};
+pub use stratify::{stratify, Strata};

@@ -1,0 +1,136 @@
+//! Naive (non-incremental) fixpoint evaluation.
+//!
+//! Re-evaluates every rule against the full store until no rule derives a
+//! new tuple. Kept as (a) a differential-testing oracle for the semi-naive
+//! [`crate::Engine`], and (b) the baseline of the `datalog` benchmark,
+//! which reproduces the classical semi-naive-vs-naive gap on recursive
+//! programs like Example 2.4's `boss`.
+
+use crate::engine::{DatalogError, Output};
+use crate::join::{eval_rule, Store};
+use crate::stratify::stratify;
+use ccpi_ir::{safety, Program, Rule};
+use ccpi_storage::{Database, Relation};
+
+/// Evaluates `program` naively against `edb`.
+pub fn run_naive(program: &Program, edb: &Database) -> Result<Output, DatalogError> {
+    let sig = program.signature()?;
+    safety::check_program(program)?;
+    let strata = stratify(program)?;
+
+    let idb = program.idb_predicates();
+    let mut full = Store::default();
+    for p in program.edb_predicates() {
+        if let Some(r) = edb.relation(p.as_str()) {
+            full.rels.insert(p.clone(), r.clone());
+        }
+    }
+    for p in &idb {
+        full.rels.insert(p.clone(), Relation::new(sig[p]));
+    }
+
+    for level in 0..strata.count {
+        let rules: Vec<&Rule> = program
+            .rules
+            .iter()
+            .filter(|r| strata.level[&r.head.pred] == level)
+            .collect();
+        loop {
+            let mut changed = false;
+            for rule in &rules {
+                let arity = sig[&rule.head.pred];
+                let mut fresh: Vec<ccpi_storage::Tuple> = Vec::new();
+                eval_rule(rule, &full, None, &mut |t| fresh.push(t));
+                for t in fresh {
+                    changed |= full.insert(&rule.head.pred, arity, t);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    Ok(Output::from_store(full, idb))
+}
+
+/// Convenience: does the naive evaluation derive `panic`?
+pub fn violated_naive(program: &Program, edb: &Database) -> Result<bool, DatalogError> {
+    Ok(run_naive(program, edb)?.derives_panic())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use ccpi_parser::parse_program;
+    use ccpi_storage::{tuple, Locality};
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_semi_naive_on_transitive_closure() {
+        let mut db = Database::new();
+        db.declare("e", 2, Locality::Local).unwrap();
+        for k in 0..15 {
+            db.insert("e", tuple![k, k + 1]).unwrap();
+        }
+        db.insert("e", tuple![15, 0]).unwrap(); // a cycle for good measure
+        let p = parse_program(
+            "path(X,Y) :- e(X,Y).\n\
+             path(X,Z) :- path(X,Y) & e(Y,Z).",
+        )
+        .unwrap();
+        let naive = run_naive(&p, &db).unwrap();
+        let semi = Engine::new(p).unwrap().run(&db);
+        assert_eq!(
+            naive.relation("path").unwrap(),
+            semi.relation("path").unwrap()
+        );
+        // Full cycle: 16 × 16 pairs.
+        assert_eq!(naive.relation("path").unwrap().len(), 256);
+    }
+
+    #[test]
+    fn matches_on_stratified_negation() {
+        let mut db = Database::new();
+        db.declare("emp", 2, Locality::Local).unwrap();
+        db.declare("dept", 1, Locality::Local).unwrap();
+        db.insert("emp", tuple!["a", "sales"]).unwrap();
+        db.insert("emp", tuple!["b", "ghost"]).unwrap();
+        db.insert("dept", tuple!["sales"]).unwrap();
+        let p = parse_program(
+            "dept1(D) :- dept(D).\n\
+             dept1(toy).\n\
+             panic :- emp(E,D) & not dept1(D).",
+        )
+        .unwrap();
+        let naive = run_naive(&p, &db).unwrap();
+        let semi = Engine::new(p).unwrap().run(&db);
+        assert_eq!(naive.derives_panic(), semi.derives_panic());
+        assert!(naive.derives_panic());
+    }
+
+    // Differential test: random edge sets, same-generation queries.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn naive_equals_semi_naive_on_random_graphs(
+            edges in prop::collection::btree_set((0i64..8, 0i64..8), 0..24)
+        ) {
+            let mut db = Database::new();
+            db.declare("e", 2, Locality::Local).unwrap();
+            for (a, b) in &edges {
+                db.insert("e", tuple![*a, *b]).unwrap();
+            }
+            let p = parse_program(
+                "path(X,Y) :- e(X,Y).\n\
+                 path(X,Z) :- path(X,Y) & e(Y,Z).\n\
+                 sg(X,Y) :- path(X,Y) & path(Y,X).",
+            )
+            .unwrap();
+            let naive = run_naive(&p, &db).unwrap();
+            let semi = Engine::new(p).unwrap().run(&db);
+            prop_assert_eq!(naive.relation("path").unwrap(), semi.relation("path").unwrap());
+            prop_assert_eq!(naive.relation("sg").unwrap(), semi.relation("sg").unwrap());
+        }
+    }
+}

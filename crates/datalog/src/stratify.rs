@@ -1,0 +1,277 @@
+//! Predicate dependency analysis and stratification.
+//!
+//! Negation must not occur through recursion ("when both the subsuming and
+//! subsumed constraints are recursive datalog, the problem becomes
+//! undecidable" — we stay in the decidable, stratified fragment, which
+//! covers every program the paper constructs).
+
+use ccpi_ir::{Program, Sym};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Stratification result: each IDB predicate's stratum level, and the
+/// levels in evaluation order.
+#[derive(Clone, Debug)]
+pub struct Strata {
+    /// IDB predicate → stratum level (0-based).
+    pub level: BTreeMap<Sym, usize>,
+    /// Number of strata.
+    pub count: usize,
+}
+
+impl Strata {
+    /// Predicates of a given level, sorted.
+    pub fn preds_at(&self, lvl: usize) -> Vec<Sym> {
+        self.level
+            .iter()
+            .filter(|&(_, &l)| l == lvl)
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+}
+
+/// Stratification failure: some predicate depends negatively on itself
+/// through recursion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotStratifiable {
+    /// A predicate on the offending cycle.
+    pub pred: Sym,
+}
+
+impl fmt::Display for NotStratifiable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program is not stratifiable: `{}` depends on itself through negation",
+            self.pred
+        )
+    }
+}
+
+impl std::error::Error for NotStratifiable {}
+
+/// Computes strata for a program's IDB predicates.
+pub fn stratify(program: &Program) -> Result<Strata, NotStratifiable> {
+    let idb: BTreeSet<Sym> = program.idb_predicates();
+    let preds: Vec<Sym> = idb.iter().cloned().collect();
+    let id_of: BTreeMap<&Sym, usize> = preds.iter().enumerate().map(|(i, p)| (p, i)).collect();
+    let n = preds.len();
+
+    // Edges head -> body-idb-pred with polarity (true = negated).
+    let mut edges: Vec<(usize, usize, bool)> = Vec::new();
+    for r in &program.rules {
+        let h = id_of[&r.head.pred];
+        for a in r.positive_subgoals() {
+            if let Some(&b) = id_of.get(&a.pred) {
+                edges.push((h, b, false));
+            }
+        }
+        for a in r.negated_subgoals() {
+            if let Some(&b) = id_of.get(&a.pred) {
+                edges.push((h, b, true));
+            }
+        }
+    }
+
+    // SCCs of the dependency graph (ignoring polarity).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v, _) in &edges {
+        adj[u].push(v);
+    }
+    let comp = scc(n, &adj);
+
+    // Negative edge within an SCC → not stratifiable.
+    for &(u, v, neg) in &edges {
+        if neg && comp[u] == comp[v] {
+            return Err(NotStratifiable {
+                pred: preds[u].clone(),
+            });
+        }
+    }
+
+    // Level per SCC: longest path where negative edges count 1, positive 0.
+    // level(u) >= level(v) for positive u->v, >= level(v)+1 for negative.
+    let ncomp = comp.iter().copied().max().map_or(0, |m| m + 1);
+    let mut cadj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); ncomp]; // (dest, weight)
+    for &(u, v, neg) in &edges {
+        let (cu, cv) = (comp[u], comp[v]);
+        if cu != cv {
+            cadj[cu].push((cv, usize::from(neg)));
+        } else if !neg {
+            // intra-SCC positive edge: no level effect
+        }
+    }
+    // Memoized longest-path on the DAG of components.
+    let mut memo: Vec<Option<usize>> = vec![None; ncomp];
+    fn level_of(c: usize, cadj: &[Vec<(usize, usize)>], memo: &mut Vec<Option<usize>>) -> usize {
+        if let Some(l) = memo[c] {
+            return l;
+        }
+        // Mark to guard against (impossible) cycles in the condensation.
+        memo[c] = Some(0);
+        let mut best = 0;
+        for &(d, w) in &cadj[c] {
+            best = best.max(level_of(d, cadj, memo) + w);
+        }
+        memo[c] = Some(best);
+        best
+    }
+    let mut level = BTreeMap::new();
+    let mut count = 0;
+    for (i, p) in preds.iter().enumerate() {
+        let l = level_of(comp[i], &cadj, &mut memo);
+        count = count.max(l + 1);
+        level.insert(p.clone(), l);
+    }
+    if preds.is_empty() {
+        count = 0;
+    }
+    Ok(Strata { level, count })
+}
+
+/// Iterative Tarjan SCC over an unlabelled adjacency list.
+fn scc(n: usize, adj: &[Vec<usize>]) -> Vec<usize> {
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on = vec![false; n];
+    let mut stack = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let (mut next, mut ncomp) = (0usize, 0usize);
+
+    for s in 0..n {
+        if index[s] != usize::MAX {
+            continue;
+        }
+        let mut call = vec![(s, 0usize)];
+        index[s] = next;
+        low[s] = next;
+        next += 1;
+        stack.push(s);
+        on[s] = true;
+        while let Some(&mut (u, ref mut ei)) = call.last_mut() {
+            if *ei < adj[u].len() {
+                let v = adj[u][*ei];
+                *ei += 1;
+                if index[v] == usize::MAX {
+                    index[v] = next;
+                    low[v] = next;
+                    next += 1;
+                    stack.push(v);
+                    on[v] = true;
+                    call.push((v, 0));
+                } else if on[v] {
+                    low[u] = low[u].min(index[v]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    low[p] = low[p].min(low[u]);
+                }
+                if low[u] == index[u] {
+                    while let Some(w) = stack.pop() {
+                        on[w] = false;
+                        comp[w] = ncomp;
+                        if w == u {
+                            break;
+                        }
+                    }
+                    ncomp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_parser::parse_program;
+
+    #[test]
+    fn single_rule_is_one_stratum() {
+        let p = parse_program("panic :- emp(E,sales) & emp(E,accounting).").unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.level["panic"], 0);
+    }
+
+    #[test]
+    fn negation_on_edb_needs_one_stratum() {
+        let p = parse_program("panic :- emp(E,D,S) & not dept(D).").unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn negation_on_idb_adds_a_stratum() {
+        let p = parse_program(
+            "dept1(D) :- dept(D).\n\
+             dept1(toy).\n\
+             panic :- emp(E,D,S) & not dept1(D).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.level["dept1"], 0);
+        assert_eq!(s.level["panic"], 1);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.preds_at(0), vec![ccpi_ir::Sym::new("dept1")]);
+    }
+
+    #[test]
+    fn recursive_program_is_single_stratum() {
+        let p = parse_program(
+            "panic :- boss(E,E).\n\
+             boss(E,M) :- emp(E,D,S) & manager(D,M).\n\
+             boss(E,F) :- boss(E,G) & boss(G,F).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.level["boss"], 0);
+        assert_eq!(s.level["panic"], 0);
+    }
+
+    #[test]
+    fn negation_through_recursion_rejected() {
+        let p = parse_program(
+            "win(X) :- move(X,Y) & not win(Y).",
+        )
+        .unwrap();
+        let err = stratify(&p).unwrap_err();
+        assert_eq!(err.pred.as_str(), "win");
+        assert!(err.to_string().contains("not stratifiable"));
+    }
+
+    #[test]
+    fn mutual_recursion_through_negation_rejected() {
+        let p = parse_program(
+            "p(X) :- e(X) & not q(X).\n\
+             q(X) :- e(X) & p(X).",
+        )
+        .unwrap();
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn deep_negation_chain_stacks_levels() {
+        let p = parse_program(
+            "a(X) :- e(X).\n\
+             b(X) :- e(X) & not a(X).\n\
+             c(X) :- e(X) & not b(X).\n\
+             panic :- c(X).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.level["a"], 0);
+        assert_eq!(s.level["b"], 1);
+        assert_eq!(s.level["c"], 2);
+        assert_eq!(s.level["panic"], 2);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn empty_program() {
+        let s = stratify(&ccpi_ir::Program::default()).unwrap();
+        assert_eq!(s.count, 0);
+    }
+}

@@ -1,0 +1,368 @@
+//! The twelve-class lattice of constraint languages (Fig. 2.1).
+//!
+//! The paper organizes constraint languages along three axes:
+//!
+//! 1. **Shape**: a single conjunctive query, a union of CQs (equivalently,
+//!    nonrecursive datalog), or recursive datalog;
+//! 2. **arithmetic comparisons** allowed or not;
+//! 3. **negated subgoals** allowed or not.
+//!
+//! "There are actually 12 combinations of features, organized as suggested
+//! in Fig. 2.1." This module materializes the lattice: classification of a
+//! program into its *least* class, the partial order between classes, joins,
+//! and rendering of the figure.
+
+use crate::program::Program;
+use std::fmt;
+
+/// The shape axis of Fig. 2.1.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum LangShape {
+    /// One conjunctive query (a single rule over EDB predicates).
+    SingleCq,
+    /// A union of CQs — equivalent to nonrecursive datalog (the paper cites
+    /// Sagiv–Yannakakis \[1981\] for the equivalence).
+    UnionCq,
+    /// Recursive datalog.
+    Recursive,
+}
+
+impl LangShape {
+    /// All shapes in increasing expressiveness order.
+    pub const ALL: [LangShape; 3] = [LangShape::SingleCq, LangShape::UnionCq, LangShape::Recursive];
+
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            LangShape::SingleCq => "one CQ",
+            LangShape::UnionCq => "union of CQ's",
+            LangShape::Recursive => "recursive datalog",
+        }
+    }
+}
+
+/// A point in the twelve-class lattice of Fig. 2.1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ConstraintClass {
+    /// Shape axis.
+    pub shape: LangShape,
+    /// Whether arithmetic-comparison subgoals are used/allowed.
+    pub arithmetic: bool,
+    /// Whether negated subgoals are used/allowed.
+    pub negation: bool,
+}
+
+impl ConstraintClass {
+    /// Builds a class.
+    pub const fn new(shape: LangShape, arithmetic: bool, negation: bool) -> Self {
+        ConstraintClass {
+            shape,
+            arithmetic,
+            negation,
+        }
+    }
+
+    /// Pure conjunctive queries: the bottom of the lattice.
+    pub const CQ: ConstraintClass = ConstraintClass::new(LangShape::SingleCq, false, false);
+
+    /// All twelve classes, in a canonical order (shape-major, then
+    /// arithmetic, then negation).
+    pub fn all() -> [ConstraintClass; 12] {
+        let mut out = [ConstraintClass::CQ; 12];
+        let mut i = 0;
+        for shape in LangShape::ALL {
+            for arithmetic in [false, true] {
+                for negation in [false, true] {
+                    out[i] = ConstraintClass::new(shape, arithmetic, negation);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// The lattice order: `self ≤ other` iff every feature of `self` is
+    /// allowed by `other`. (E.g. every single CQ is a union of CQs; every
+    /// union of CQs is a recursive-datalog program.)
+    pub fn le(self, other: ConstraintClass) -> bool {
+        self.shape <= other.shape
+            && (!self.arithmetic || other.arithmetic)
+            && (!self.negation || other.negation)
+    }
+
+    /// Least upper bound of two classes.
+    pub fn join(self, other: ConstraintClass) -> ConstraintClass {
+        ConstraintClass {
+            shape: self.shape.max(other.shape),
+            arithmetic: self.arithmetic || other.arithmetic,
+            negation: self.negation || other.negation,
+        }
+    }
+
+    /// `true` when the class can express the result of rewriting one of its
+    /// constraints to reflect an **insertion** (Theorem 4.2 / Fig. 4.1):
+    /// exactly the eight classes whose shape allows adding rules.
+    pub fn closed_under_insertion(self) -> bool {
+        self.shape != LangShape::SingleCq
+    }
+
+    /// `true` when the class can express the result of rewriting one of its
+    /// constraints to reflect a **deletion** (Theorem 4.3 / Fig. 4.2): the
+    /// six classes that allow adding rules *and* have at least one of
+    /// arithmetic or negation available to express the "all but this tuple"
+    /// predicate (Example 4.2 and the `isJones` trick).
+    pub fn closed_under_deletion(self) -> bool {
+        self.shape != LangShape::SingleCq && (self.arithmetic || self.negation)
+    }
+
+    /// A compact name, e.g. `CQ`, `UCQ+arith`, `RecDatalog+arith+neg`.
+    pub fn short_name(self) -> String {
+        let base = match self.shape {
+            LangShape::SingleCq => "CQ",
+            LangShape::UnionCq => "UCQ",
+            LangShape::Recursive => "RecDatalog",
+        };
+        let mut s = String::from(base);
+        if self.arithmetic {
+            s.push_str("+arith");
+        }
+        if self.negation {
+            s.push_str("+neg");
+        }
+        s
+    }
+}
+
+impl fmt::Display for ConstraintClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.short_name())
+    }
+}
+
+/// Classifies a program into its least class in the Fig. 2.1 lattice,
+/// *syntactically*: shape by rule count / recursion, features by occurrence.
+///
+/// (Semantic minimization — e.g. recognizing that a listed union is really
+/// a single CQ — is intentionally not attempted; the paper's classes are
+/// syntactic language classes.)
+pub fn classify(program: &Program) -> ConstraintClass {
+    let shape = if program.is_recursive() {
+        LangShape::Recursive
+    } else if program.rules.len() == 1 {
+        LangShape::SingleCq
+    } else {
+        LangShape::UnionCq
+    };
+    ConstraintClass {
+        shape,
+        arithmetic: program.has_arithmetic(),
+        negation: program.has_negation(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, CompOp, Comparison, Literal};
+    use crate::program::Rule;
+    use crate::term::Term;
+    use crate::PANIC;
+
+    fn pos(pred: &str, args: Vec<Term>) -> Literal {
+        Literal::Pos(Atom::new(pred, args))
+    }
+
+    #[test]
+    fn twelve_distinct_classes() {
+        let all = ConstraintClass::all();
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                assert_eq!(a == b, i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_order_is_a_partial_order_with_bottom() {
+        let all = ConstraintClass::all();
+        let bottom = ConstraintClass::CQ;
+        let top = ConstraintClass::new(LangShape::Recursive, true, true);
+        for a in all {
+            assert!(bottom.le(a));
+            assert!(a.le(top));
+            assert!(a.le(a));
+            for b in all {
+                // antisymmetry
+                if a.le(b) && b.le(a) {
+                    assert_eq!(a, b);
+                }
+                // join is an upper bound and least
+                let j = a.join(b);
+                assert!(a.le(j) && b.le(j));
+                for c in all {
+                    if a.le(c) && b.le(c) {
+                        assert!(j.le(c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig_4_1_exactly_eight_classes_closed_under_insertion() {
+        let closed: Vec<_> = ConstraintClass::all()
+            .into_iter()
+            .filter(|c| c.closed_under_insertion())
+            .collect();
+        assert_eq!(closed.len(), 8);
+        assert!(closed.iter().all(|c| c.shape != LangShape::SingleCq));
+    }
+
+    #[test]
+    fn fig_4_2_exactly_six_classes_closed_under_deletion() {
+        let closed: Vec<_> = ConstraintClass::all()
+            .into_iter()
+            .filter(|c| c.closed_under_deletion())
+            .collect();
+        assert_eq!(closed.len(), 6);
+        for c in &closed {
+            assert!(c.shape != LangShape::SingleCq);
+            assert!(c.arithmetic || c.negation);
+        }
+        // Deletion-closed is a subset of insertion-closed.
+        assert!(closed.iter().all(|c| c.closed_under_insertion()));
+    }
+
+    /// Example 2.1 is a plain CQ.
+    #[test]
+    fn classify_example_2_1() {
+        let p = Program::new(vec![Rule::new(
+            Atom::new(PANIC, vec![]),
+            vec![
+                pos("emp", vec![Term::var("E"), Term::sym("sales")]),
+                pos("emp", vec![Term::var("E"), Term::sym("accounting")]),
+            ],
+        )]);
+        assert_eq!(classify(&p), ConstraintClass::CQ);
+    }
+
+    /// Example 2.2 is a CQ with negation and arithmetic.
+    #[test]
+    fn classify_example_2_2() {
+        let p = Program::new(vec![Rule::new(
+            Atom::new(PANIC, vec![]),
+            vec![
+                pos("emp", vec![Term::var("E"), Term::var("D"), Term::var("S")]),
+                Literal::Neg(Atom::new("dept", vec![Term::var("D")])),
+                Literal::Cmp(Comparison::new(Term::var("S"), CompOp::Lt, Term::int(100))),
+            ],
+        )]);
+        assert_eq!(
+            classify(&p),
+            ConstraintClass::new(LangShape::SingleCq, true, true)
+        );
+    }
+
+    /// Example 2.3 is a union of CQs with arithmetic (nonrecursive datalog).
+    #[test]
+    fn classify_example_2_3() {
+        let emp = || pos("emp", vec![Term::var("E"), Term::var("D"), Term::var("S")]);
+        let sal = || {
+            pos(
+                "salRange",
+                vec![Term::var("D"), Term::var("Low"), Term::var("High")],
+            )
+        };
+        let p = Program::new(vec![
+            Rule::new(
+                Atom::new(PANIC, vec![]),
+                vec![
+                    emp(),
+                    sal(),
+                    Literal::Cmp(Comparison::new(Term::var("S"), CompOp::Lt, Term::var("Low"))),
+                ],
+            ),
+            Rule::new(
+                Atom::new(PANIC, vec![]),
+                vec![
+                    emp(),
+                    sal(),
+                    Literal::Cmp(Comparison::new(
+                        Term::var("S"),
+                        CompOp::Gt,
+                        Term::var("High"),
+                    )),
+                ],
+            ),
+        ]);
+        assert_eq!(
+            classify(&p),
+            ConstraintClass::new(LangShape::UnionCq, true, false)
+        );
+    }
+
+    /// Example 2.4 is recursive datalog (pure).
+    #[test]
+    fn classify_example_2_4() {
+        let p = Program::new(vec![
+            Rule::new(
+                Atom::new(PANIC, vec![]),
+                vec![pos("boss", vec![Term::var("E"), Term::var("E")])],
+            ),
+            Rule::new(
+                Atom::new("boss", vec![Term::var("E"), Term::var("M")]),
+                vec![
+                    pos("emp", vec![Term::var("E"), Term::var("D"), Term::var("S")]),
+                    pos("manager", vec![Term::var("D"), Term::var("M")]),
+                ],
+            ),
+            Rule::new(
+                Atom::new("boss", vec![Term::var("E"), Term::var("F")]),
+                vec![
+                    pos("boss", vec![Term::var("E"), Term::var("G")]),
+                    pos("boss", vec![Term::var("G"), Term::var("F")]),
+                ],
+            ),
+        ]);
+        assert_eq!(
+            classify(&p),
+            ConstraintClass::new(LangShape::Recursive, false, false)
+        );
+    }
+
+    #[test]
+    fn multi_rule_nonrecursive_is_union_shape() {
+        // C3 from Example 4.1: dept1 as auxiliary predicate.
+        let p = Program::new(vec![
+            Rule::new(
+                Atom::new("dept1", vec![Term::var("D")]),
+                vec![pos("dept", vec![Term::var("D")])],
+            ),
+            Rule::fact(Atom::new("dept1", vec![Term::sym("toy")])),
+            Rule::new(
+                Atom::new(PANIC, vec![]),
+                vec![
+                    pos("emp", vec![Term::var("E"), Term::var("D"), Term::var("S")]),
+                    Literal::Neg(Atom::new("dept1", vec![Term::var("D")])),
+                ],
+            ),
+        ]);
+        assert_eq!(
+            classify(&p),
+            ConstraintClass::new(LangShape::UnionCq, false, true)
+        );
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(ConstraintClass::CQ.short_name(), "CQ");
+        assert_eq!(
+            ConstraintClass::new(LangShape::Recursive, true, true).short_name(),
+            "RecDatalog+arith+neg"
+        );
+        assert_eq!(
+            ConstraintClass::new(LangShape::UnionCq, true, false).short_name(),
+            "UCQ+arith"
+        );
+    }
+}

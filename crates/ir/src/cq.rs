@@ -1,0 +1,280 @@
+//! The conjunctive-query view of a single rule.
+//!
+//! A [`Cq`] splits a rule body into its ordinary positive subgoals
+//! (`O(C)` in Theorem 5.1), negated subgoals, and arithmetic comparisons
+//! (`A(C)`). Most of the containment and local-test machinery works on this
+//! view rather than on raw rules.
+
+use crate::atom::{Atom, Comparison, Literal};
+use crate::program::Rule;
+use crate::subst::Subst;
+use crate::term::{Term, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A conjunctive query with (optional) negated subgoals and (optional)
+/// arithmetic comparisons — one rule, structurally decomposed.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Cq {
+    /// The head atom (0-ary `panic` for constraints, but any head works;
+    /// Theorem 5.1 "also holds for general CQ's with arithmetic").
+    pub head: Atom,
+    /// Ordinary positive subgoals — `O(C)`.
+    pub positives: Vec<Atom>,
+    /// Negated subgoals.
+    pub negatives: Vec<Atom>,
+    /// Arithmetic comparisons — `A(C)`.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl Cq {
+    /// Decomposes a rule into the CQ view.
+    pub fn from_rule(rule: &Rule) -> Self {
+        let mut positives = Vec::new();
+        let mut negatives = Vec::new();
+        let mut comparisons = Vec::new();
+        for lit in &rule.body {
+            match lit {
+                Literal::Pos(a) => positives.push(a.clone()),
+                Literal::Neg(a) => negatives.push(a.clone()),
+                Literal::Cmp(c) => comparisons.push(c.clone()),
+            }
+        }
+        Cq {
+            head: rule.head.clone(),
+            positives,
+            negatives,
+            comparisons,
+        }
+    }
+
+    /// Reassembles the rule (positives, then negatives, then comparisons).
+    pub fn to_rule(&self) -> Rule {
+        let mut body: Vec<Literal> = Vec::with_capacity(
+            self.positives.len() + self.negatives.len() + self.comparisons.len(),
+        );
+        body.extend(self.positives.iter().cloned().map(Literal::Pos));
+        body.extend(self.negatives.iter().cloned().map(Literal::Neg));
+        body.extend(self.comparisons.iter().cloned().map(Literal::Cmp));
+        Rule::new(self.head.clone(), body)
+    }
+
+    /// `true` if the query has no negated subgoals.
+    pub fn is_negation_free(&self) -> bool {
+        self.negatives.is_empty()
+    }
+
+    /// `true` if the query has no comparisons — "arithmetic-free" in
+    /// Theorem 5.3's sense.
+    pub fn is_arithmetic_free(&self) -> bool {
+        self.comparisons.is_empty()
+    }
+
+    /// All distinct variables, in first-occurrence order
+    /// (head, positives, negatives, comparisons).
+    pub fn vars(&self) -> Vec<Var> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        let mut push = |v: &Var| {
+            if seen.insert(v.clone()) {
+                out.push(v.clone());
+            }
+        };
+        for v in self.head.vars() {
+            push(v);
+        }
+        for a in &self.positives {
+            for v in a.vars() {
+                push(v);
+            }
+        }
+        for a in &self.negatives {
+            for v in a.vars() {
+                push(v);
+            }
+        }
+        for c in &self.comparisons {
+            for v in c.vars() {
+                push(v);
+            }
+        }
+        out
+    }
+
+    /// All constants appearing anywhere in the query.
+    pub fn constants(&self) -> BTreeSet<crate::value::Value> {
+        let mut out = BTreeSet::new();
+        let mut push = |t: &Term| {
+            if let Term::Const(c) = t {
+                out.insert(c.clone());
+            }
+        };
+        for t in &self.head.args {
+            push(t);
+        }
+        for a in self.positives.iter().chain(&self.negatives) {
+            for t in &a.args {
+                push(t);
+            }
+        }
+        for c in &self.comparisons {
+            push(&c.lhs);
+            push(&c.rhs);
+        }
+        out
+    }
+
+    /// Applies a substitution to the whole query.
+    pub fn apply(&self, s: &Subst) -> Cq {
+        Cq {
+            head: s.apply_atom(&self.head),
+            positives: self.positives.iter().map(|a| s.apply_atom(a)).collect(),
+            negatives: self.negatives.iter().map(|a| s.apply_atom(a)).collect(),
+            comparisons: self.comparisons.iter().map(|c| s.apply_cmp(c)).collect(),
+        }
+    }
+
+    /// Renames every variable to a fresh one with the given stem, returning
+    /// the renamed query and the renaming. Used to take two queries apart
+    /// before computing containment mappings.
+    pub fn freshen(&self, stem: &str) -> (Cq, Subst) {
+        let renaming = Subst::from_pairs(
+            self.vars()
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (v, Term::Var(Var::fresh(stem, i)))),
+        );
+        (self.apply(&renaming), renaming)
+    }
+
+    /// `true` if some variable occurs more than once among the ordinary
+    /// positive subgoals — disallowed by Theorem 5.1's preconditions (fix
+    /// with [`crate::rectify::rectify`]).
+    pub fn has_repeated_positive_vars(&self) -> bool {
+        let mut seen: BTreeSet<&Var> = BTreeSet::new();
+        for a in &self.positives {
+            for v in a.vars() {
+                if !seen.insert(v) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// `true` if any constant occurs among the ordinary positive subgoals —
+    /// also disallowed by Theorem 5.1's preconditions.
+    pub fn has_positive_constants(&self) -> bool {
+        self.positives
+            .iter()
+            .any(|a| a.args.iter().any(Term::is_const))
+    }
+}
+
+impl fmt::Display for Cq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_rule(), f)
+    }
+}
+
+impl fmt::Debug for Cq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::CompOp;
+    use crate::PANIC;
+
+    /// Example 5.3's forbidden-intervals constraint:
+    /// `panic :- l(X,Y) & r(Z) & X<=Z & Z<=Y`
+    fn forbidden_intervals() -> Cq {
+        Cq {
+            head: Atom::new(PANIC, vec![]),
+            positives: vec![
+                Atom::new("l", vec![Term::var("X"), Term::var("Y")]),
+                Atom::new("r", vec![Term::var("Z")]),
+            ],
+            negatives: vec![],
+            comparisons: vec![
+                Comparison::new(Term::var("X"), CompOp::Le, Term::var("Z")),
+                Comparison::new(Term::var("Z"), CompOp::Le, Term::var("Y")),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_through_rule() {
+        let cq = forbidden_intervals();
+        let rule = cq.to_rule();
+        assert_eq!(
+            rule.to_string(),
+            "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."
+        );
+        assert_eq!(Cq::from_rule(&rule), cq);
+    }
+
+    #[test]
+    fn vars_in_order_and_flags() {
+        let cq = forbidden_intervals();
+        let names: Vec<_> = cq.vars().into_iter().map(|v| v.name().to_string()).collect();
+        assert_eq!(names, vec!["X", "Y", "Z"]);
+        assert!(cq.is_negation_free());
+        assert!(!cq.is_arithmetic_free());
+        assert!(!cq.has_repeated_positive_vars());
+        assert!(!cq.has_positive_constants());
+    }
+
+    #[test]
+    fn detects_theorem_5_1_precondition_violations() {
+        // Example 5.2: panic :- p(X,X) — repeated variable.
+        let repeated = Cq {
+            head: Atom::new(PANIC, vec![]),
+            positives: vec![Atom::new("p", vec![Term::var("X"), Term::var("X")])],
+            negatives: vec![],
+            comparisons: vec![],
+        };
+        assert!(repeated.has_repeated_positive_vars());
+
+        // Example 5.2 (second): panic :- p(0,X) — constant in subgoal.
+        let constant = Cq {
+            head: Atom::new(PANIC, vec![]),
+            positives: vec![Atom::new("p", vec![Term::int(0), Term::var("X")])],
+            negatives: vec![],
+            comparisons: vec![],
+        };
+        assert!(constant.has_positive_constants());
+    }
+
+    #[test]
+    fn freshen_renames_apart() {
+        let cq = forbidden_intervals();
+        let (fresh, renaming) = cq.freshen("a");
+        let orig: BTreeSet<_> = cq.vars().into_iter().collect();
+        let new: BTreeSet<_> = fresh.vars().into_iter().collect();
+        assert!(orig.is_disjoint(&new));
+        assert_eq!(renaming.len(), 3);
+        assert!(fresh.vars().iter().all(Var::is_generated));
+        // Structure preserved.
+        assert_eq!(fresh.positives.len(), 2);
+        assert_eq!(fresh.comparisons.len(), 2);
+    }
+
+    #[test]
+    fn constants_collects_everywhere() {
+        let cq = Cq {
+            head: Atom::new(PANIC, vec![]),
+            positives: vec![Atom::new("emp", vec![Term::var("E"), Term::sym("sales")])],
+            negatives: vec![Atom::new("dept", vec![Term::sym("toy")])],
+            comparisons: vec![Comparison::new(Term::var("S"), CompOp::Lt, Term::int(100))],
+        };
+        let cs = cq.constants();
+        assert_eq!(cs.len(), 3);
+        assert!(cs.contains(&crate::value::Value::int(100)));
+        assert!(cs.contains(&crate::value::Value::str("sales")));
+        assert!(cs.contains(&crate::value::Value::str("toy")));
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for the IR layer.
+
+use crate::sym::Sym;
+use std::fmt;
+
+/// Errors raised while building or validating IR objects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IrError {
+    /// A predicate was used with two different arities.
+    ArityMismatch {
+        /// The predicate name.
+        pred: Sym,
+        /// Arity seen first.
+        first: usize,
+        /// Conflicting arity.
+        second: usize,
+    },
+    /// A constraint program has no rule for the `panic` goal.
+    MissingPanic,
+    /// A rule violates range restriction (safety).
+    Unsafe {
+        /// The offending variable.
+        var: Sym,
+        /// Rendering of the offending rule.
+        rule: String,
+        /// Where the variable occurs unsafely.
+        place: UnsafePlace,
+    },
+    /// A query was expected to be a single conjunctive-query rule.
+    NotSingleRule,
+    /// A conversion expected a CQ without negation.
+    UnexpectedNegation,
+    /// A conversion expected a CQ without arithmetic comparisons.
+    UnexpectedArithmetic,
+}
+
+/// Where an unsafe variable occurred.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnsafePlace {
+    /// In the rule head.
+    Head,
+    /// In a negated subgoal.
+    NegatedSubgoal,
+    /// In a comparison subgoal.
+    Comparison,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::ArityMismatch { pred, first, second } => write!(
+                f,
+                "predicate `{pred}` used with conflicting arities {first} and {second}"
+            ),
+            IrError::MissingPanic => {
+                write!(f, "constraint program defines no 0-ary `panic` goal")
+            }
+            IrError::Unsafe { var, rule, place } => {
+                let where_ = match place {
+                    UnsafePlace::Head => "the head",
+                    UnsafePlace::NegatedSubgoal => "a negated subgoal",
+                    UnsafePlace::Comparison => "a comparison",
+                };
+                write!(
+                    f,
+                    "variable `{var}` occurs in {where_} of `{rule}` but in no positive ordinary subgoal"
+                )
+            }
+            IrError::NotSingleRule => write!(f, "expected a single-rule conjunctive query"),
+            IrError::UnexpectedNegation => write!(f, "conjunctive query has negated subgoals"),
+            IrError::UnexpectedArithmetic => {
+                write!(f, "conjunctive query has arithmetic comparisons")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = IrError::ArityMismatch {
+            pred: Sym::new("emp"),
+            first: 2,
+            second: 3,
+        };
+        assert!(e.to_string().contains("emp"));
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('3'));
+
+        let e = IrError::Unsafe {
+            var: Sym::new("Z"),
+            rule: "panic :- l(X) & Z < X.".into(),
+            place: UnsafePlace::Comparison,
+        };
+        assert!(e.to_string().contains('Z'));
+        assert!(e.to_string().contains("comparison"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # `ccpi-ir` — logical intermediate representation
+//!
+//! The shared IR for the `ccpi` workspace, a reproduction of
+//! *Gupta, Sagiv, Ullman, Widom — "Constraint Checking with Partial
+//! Information", PODS 1994* (GSUW'94 below).
+//!
+//! The paper models constraints as datalog-style queries with a 0-ary goal
+//! predicate `panic`: a database satisfies the constraint iff the query
+//! result is empty. This crate provides:
+//!
+//! * [`Value`], [`Term`], [`Atom`], [`Comparison`], [`Literal`] — the term
+//!   language (Section 2 of the paper),
+//! * [`Rule`], [`Program`], [`Constraint`] — rules and constraint programs,
+//! * [`Cq`] — the single-rule conjunctive-query view with arithmetic
+//!   comparisons and negated subgoals,
+//! * [`class`] — the twelve-class lattice of Fig. 2.1 and the classifier,
+//! * [`subst`] — substitutions and unification,
+//! * [`rectify`] — the normal form required by Theorem 5.1 (no repeated
+//!   variables or constants in ordinary subgoals),
+//! * [`safety`] — range-restriction checking.
+//!
+//! Naming follows the paper's Prolog convention: identifiers starting with a
+//! lower-case letter are constants and predicate names; identifiers starting
+//! with a capital letter are variables.
+
+pub mod atom;
+pub mod class;
+pub mod cq;
+pub mod error;
+pub mod program;
+pub mod rectify;
+pub mod safety;
+pub mod subst;
+pub mod sym;
+pub mod term;
+pub mod value;
+
+pub use atom::{Atom, CompOp, Comparison, Literal};
+pub use class::{ConstraintClass, LangShape};
+pub use cq::Cq;
+pub use error::IrError;
+pub use program::{Constraint, Program, Rule};
+pub use subst::Subst;
+pub use sym::Sym;
+pub use term::{Term, Var};
+pub use value::Value;
+
+/// The distinguished 0-ary goal predicate of every constraint (GSUW'94 §2).
+pub const PANIC: &str = "panic";

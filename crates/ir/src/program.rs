@@ -1,0 +1,483 @@
+//! Rules, programs, and constraints.
+
+use crate::atom::{Atom, Literal};
+use crate::error::IrError;
+use crate::sym::Sym;
+use crate::term::Var;
+use crate::PANIC;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A single rule `head :- body` (facts have an empty body).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The body literals, conjoined with `&`.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Builds a rule.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Self {
+        Rule { head, body }
+    }
+
+    /// Builds a fact (rule with empty body; must be ground to be safe).
+    pub fn fact(head: Atom) -> Self {
+        Rule { head, body: vec![] }
+    }
+
+    /// `true` if the rule is a fact.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// All distinct variables of the rule, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        let mut push = |v: &Var| {
+            if seen.insert(v.clone()) {
+                out.push(v.clone());
+            }
+        };
+        for v in self.head.vars() {
+            push(v);
+        }
+        for lit in &self.body {
+            for v in lit.vars() {
+                push(v);
+            }
+        }
+        out
+    }
+
+    /// Positive ordinary subgoals of the body.
+    pub fn positive_subgoals(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Pos(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Negated subgoals of the body.
+    pub fn negated_subgoals(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Neg(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Comparison subgoals of the body.
+    pub fn comparisons(&self) -> impl Iterator<Item = &crate::atom::Comparison> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Cmp(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// `true` if the body mentions any comparison subgoal.
+    pub fn has_arithmetic(&self) -> bool {
+        self.comparisons().next().is_some()
+    }
+
+    /// `true` if the body mentions any negated subgoal.
+    pub fn has_negation(&self) -> bool {
+        self.negated_subgoals().next().is_some()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, lit) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                write!(f, "{lit}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A datalog program: an ordered list of rules.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Builds a program from rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Program { rules }
+    }
+
+    /// Predicates defined by some rule head (the IDB predicates).
+    pub fn idb_predicates(&self) -> BTreeSet<Sym> {
+        self.rules.iter().map(|r| r.head.pred.clone()).collect()
+    }
+
+    /// Predicates that occur in bodies but are never defined (EDB predicates).
+    pub fn edb_predicates(&self) -> BTreeSet<Sym> {
+        let idb = self.idb_predicates();
+        let mut edb = BTreeSet::new();
+        for r in &self.rules {
+            for lit in &r.body {
+                if let Some(a) = lit.atom() {
+                    if !idb.contains(&a.pred) {
+                        edb.insert(a.pred.clone());
+                    }
+                }
+            }
+        }
+        edb
+    }
+
+    /// All predicates (head or body), mapped to their arity.
+    ///
+    /// Returns an error if a predicate is used with two different arities —
+    /// the paper assumes "a predicate has a unique number of arguments".
+    pub fn signature(&self) -> Result<BTreeMap<Sym, usize>, IrError> {
+        let mut sig: BTreeMap<Sym, usize> = BTreeMap::new();
+        let mut note = |a: &Atom| -> Result<(), IrError> {
+            match sig.get(&a.pred) {
+                Some(&ar) if ar != a.arity() => Err(IrError::ArityMismatch {
+                    pred: a.pred.clone(),
+                    first: ar,
+                    second: a.arity(),
+                }),
+                Some(_) => Ok(()),
+                None => {
+                    sig.insert(a.pred.clone(), a.arity());
+                    Ok(())
+                }
+            }
+        };
+        for r in &self.rules {
+            note(&r.head)?;
+            for lit in &r.body {
+                if let Some(a) = lit.atom() {
+                    note(a)?;
+                }
+            }
+        }
+        Ok(sig)
+    }
+
+    /// Rules whose head predicate is `pred`.
+    pub fn rules_for<'a>(&'a self, pred: &'a str) -> impl Iterator<Item = &'a Rule> + 'a {
+        self.rules.iter().filter(move |r| r.head.pred == pred)
+    }
+
+    /// `true` if any rule body mentions arithmetic comparisons.
+    pub fn has_arithmetic(&self) -> bool {
+        self.rules.iter().any(Rule::has_arithmetic)
+    }
+
+    /// `true` if any rule body mentions negated subgoals.
+    pub fn has_negation(&self) -> bool {
+        self.rules.iter().any(Rule::has_negation)
+    }
+
+    /// `true` if the IDB dependency graph has a cycle (recursive program).
+    ///
+    /// Edges: `p → q` when a rule with head predicate `p` has a body
+    /// subgoal (positive or negated) with IDB predicate `q`.
+    pub fn is_recursive(&self) -> bool {
+        let idb = self.idb_predicates();
+        // adjacency over idb preds
+        let mut adj: BTreeMap<&Sym, BTreeSet<&Sym>> = BTreeMap::new();
+        for r in &self.rules {
+            for lit in &r.body {
+                if let Some(a) = lit.atom() {
+                    if let Some(q) = idb.get(&a.pred) {
+                        adj.entry(&r.head.pred).or_default().insert(q);
+                    }
+                }
+            }
+        }
+        // DFS cycle detection (colors: 0 unvisited, 1 on stack, 2 done).
+        let mut color: BTreeMap<&Sym, u8> = BTreeMap::new();
+        fn dfs<'a>(
+            u: &'a Sym,
+            adj: &BTreeMap<&'a Sym, BTreeSet<&'a Sym>>,
+            color: &mut BTreeMap<&'a Sym, u8>,
+        ) -> bool {
+            color.insert(u, 1);
+            if let Some(next) = adj.get(u) {
+                for &v in next {
+                    match color.get(v).copied().unwrap_or(0) {
+                        1 => return true,
+                        0
+                            if dfs(v, adj, color) => {
+                                return true;
+                            }
+                        _ => {}
+                    }
+                }
+            }
+            color.insert(u, 2);
+            false
+        }
+        for p in &idb {
+            if color.get(p).copied().unwrap_or(0) == 0 && dfs(p, &adj, &mut color) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<Rule> for Program {
+    fn from(r: Rule) -> Self {
+        Program::new(vec![r])
+    }
+}
+
+/// A constraint: a program whose goal is the 0-ary predicate `panic`
+/// (GSUW'94 §2: "a constraint is a query whose result is a 0-ary predicate
+/// that we call `panic`"). The database satisfies the constraint iff
+/// evaluating the program derives no `panic` fact.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Constraint {
+    program: Program,
+}
+
+impl Constraint {
+    /// Wraps a program as a constraint, validating that:
+    /// * at least one rule defines `panic`,
+    /// * `panic` is 0-ary everywhere,
+    /// * predicate arities are consistent.
+    pub fn new(program: Program) -> Result<Self, IrError> {
+        let sig = program.signature()?;
+        match sig.get(PANIC) {
+            None => return Err(IrError::MissingPanic),
+            Some(&0) => {}
+            Some(&n) => {
+                return Err(IrError::ArityMismatch {
+                    pred: Sym::new(PANIC),
+                    first: 0,
+                    second: n,
+                })
+            }
+        }
+        if !program.rules.iter().any(|r| r.head.pred == PANIC) {
+            return Err(IrError::MissingPanic);
+        }
+        Ok(Constraint { program })
+    }
+
+    /// Builds a constraint from a single `panic` rule.
+    pub fn single(rule: Rule) -> Result<Self, IrError> {
+        Constraint::new(Program::from(rule))
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Consumes the constraint, returning the program.
+    pub fn into_program(self) -> Program {
+        self.program
+    }
+
+    /// The rules defining `panic`.
+    pub fn panic_rules(&self) -> impl Iterator<Item = &Rule> {
+        self.program.rules_for(PANIC)
+    }
+
+    /// `true` if the constraint is a single rule directly over EDB
+    /// predicates (the "single CQ" shape of Fig. 2.1).
+    pub fn is_single_rule(&self) -> bool {
+        self.program.rules.len() == 1
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.program, f)
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{CompOp, Comparison};
+    use crate::term::Term;
+
+    fn lit_pos(pred: &str, args: Vec<Term>) -> Literal {
+        Literal::Pos(Atom::new(pred, args))
+    }
+
+    /// Example 2.1: panic :- emp(E,sales) & emp(E,accounting)
+    fn example_2_1() -> Rule {
+        Rule::new(
+            Atom::new(PANIC, vec![]),
+            vec![
+                lit_pos("emp", vec![Term::var("E"), Term::sym("sales")]),
+                lit_pos("emp", vec![Term::var("E"), Term::sym("accounting")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn rule_display_matches_paper() {
+        assert_eq!(
+            example_2_1().to_string(),
+            "panic :- emp(E,sales) & emp(E,accounting)."
+        );
+        assert_eq!(
+            Rule::fact(Atom::new("dept1", vec![Term::sym("toy")])).to_string(),
+            "dept1(toy)."
+        );
+    }
+
+    #[test]
+    fn rule_vars_in_first_occurrence_order() {
+        let r = Rule::new(
+            Atom::new(PANIC, vec![]),
+            vec![
+                lit_pos("emp", vec![Term::var("E"), Term::var("D"), Term::var("S")]),
+                Literal::Neg(Atom::new("dept", vec![Term::var("D")])),
+                Literal::Cmp(Comparison::new(Term::var("S"), CompOp::Lt, Term::int(100))),
+            ],
+        );
+        let names: Vec<_> = r.vars().into_iter().map(|v| v.name().to_string()).collect();
+        assert_eq!(names, vec!["E", "D", "S"]);
+        assert!(r.has_negation());
+        assert!(r.has_arithmetic());
+    }
+
+    #[test]
+    fn program_idb_edb_split() {
+        // Example 2.4: recursive boss program.
+        let p = Program::new(vec![
+            Rule::new(
+                Atom::new(PANIC, vec![]),
+                vec![lit_pos("boss", vec![Term::var("E"), Term::var("E")])],
+            ),
+            Rule::new(
+                Atom::new("boss", vec![Term::var("E"), Term::var("M")]),
+                vec![
+                    lit_pos("emp", vec![Term::var("E"), Term::var("D"), Term::var("S")]),
+                    lit_pos("manager", vec![Term::var("D"), Term::var("M")]),
+                ],
+            ),
+            Rule::new(
+                Atom::new("boss", vec![Term::var("E"), Term::var("F")]),
+                vec![
+                    lit_pos("boss", vec![Term::var("E"), Term::var("G")]),
+                    lit_pos("boss", vec![Term::var("G"), Term::var("F")]),
+                ],
+            ),
+        ]);
+        let idb: Vec<_> = p.idb_predicates().into_iter().map(|s| s.as_str().to_string()).collect();
+        assert_eq!(idb, vec!["boss", "panic"]);
+        let edb: Vec<_> = p.edb_predicates().into_iter().map(|s| s.as_str().to_string()).collect();
+        assert_eq!(edb, vec!["emp", "manager"]);
+        assert!(p.is_recursive());
+    }
+
+    #[test]
+    fn nonrecursive_program_detected() {
+        let p = Program::new(vec![
+            Rule::new(
+                Atom::new(PANIC, vec![]),
+                vec![lit_pos("d1", vec![Term::var("X")])],
+            ),
+            Rule::new(
+                Atom::new("d1", vec![Term::var("X")]),
+                vec![lit_pos("dept", vec![Term::var("X")])],
+            ),
+        ]);
+        assert!(!p.is_recursive());
+    }
+
+    #[test]
+    fn signature_rejects_arity_clash() {
+        let p = Program::new(vec![
+            Rule::new(
+                Atom::new(PANIC, vec![]),
+                vec![lit_pos("emp", vec![Term::var("E")])],
+            ),
+            Rule::new(
+                Atom::new(PANIC, vec![]),
+                vec![lit_pos("emp", vec![Term::var("E"), Term::var("D")])],
+            ),
+        ]);
+        assert!(matches!(p.signature(), Err(IrError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn constraint_requires_panic_goal() {
+        let ok = Constraint::single(example_2_1());
+        assert!(ok.is_ok());
+        assert!(ok.unwrap().is_single_rule());
+
+        let no_panic = Program::new(vec![Rule::new(
+            Atom::new("q", vec![Term::var("X")]),
+            vec![lit_pos("p", vec![Term::var("X")])],
+        )]);
+        assert!(matches!(Constraint::new(no_panic), Err(IrError::MissingPanic)));
+    }
+
+    #[test]
+    fn constraint_rejects_nonzero_arity_panic() {
+        let p = Program::new(vec![Rule::new(
+            Atom::new(PANIC, vec![Term::var("X")]),
+            vec![lit_pos("p", vec![Term::var("X")])],
+        )]);
+        assert!(matches!(
+            Constraint::new(p),
+            Err(IrError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn program_display_is_multiline() {
+        let p = Program::new(vec![
+            Rule::new(
+                Atom::new("dept1", vec![Term::var("D")]),
+                vec![lit_pos("dept", vec![Term::var("D")])],
+            ),
+            Rule::fact(Atom::new("dept1", vec![Term::sym("toy")])),
+        ]);
+        assert_eq!(p.to_string(), "dept1(D) :- dept(D).\ndept1(toy).");
+    }
+}

@@ -1,0 +1,252 @@
+//! Safety (range restriction) checking.
+//!
+//! A rule is *safe* when every variable occurring in the head, in a negated
+//! subgoal, or in a comparison is **limited**: bound by a positive ordinary
+//! subgoal, or transitively equated (via `=` comparisons) to a limited
+//! variable or to a constant. Safe rules have finite answers and can be
+//! evaluated bottom-up; the datalog engine requires safety.
+//!
+//! The paper's CQC condition "Variables in the `cᵢ`'s must also appear in
+//! `l` or one of the `rᵢ`'s" is the comparison part of this check (with
+//! equality-propagation generalizing it harmlessly).
+
+use crate::atom::Literal;
+use crate::error::{IrError, UnsafePlace};
+use crate::program::{Program, Rule};
+use crate::term::{Term, Var};
+use std::collections::BTreeSet;
+
+/// Returns the set of limited variables of a rule body: variables in
+/// positive ordinary subgoals, closed under `=` chains to limited variables
+/// or constants.
+pub fn limited_vars(rule: &Rule) -> BTreeSet<Var> {
+    let mut limited: BTreeSet<Var> = BTreeSet::new();
+    for lit in &rule.body {
+        if let Literal::Pos(a) = lit {
+            for v in a.vars() {
+                limited.insert(v.clone());
+            }
+        }
+    }
+    // Propagate through equality comparisons until fixpoint.
+    loop {
+        let mut changed = false;
+        for lit in &rule.body {
+            if let Literal::Cmp(c) = lit {
+                if c.op == crate::atom::CompOp::Eq {
+                    let l_ok = match &c.lhs {
+                        Term::Const(_) => true,
+                        Term::Var(v) => limited.contains(v),
+                    };
+                    let r_ok = match &c.rhs {
+                        Term::Const(_) => true,
+                        Term::Var(v) => limited.contains(v),
+                    };
+                    if l_ok && !r_ok {
+                        if let Term::Var(v) = &c.rhs {
+                            limited.insert(v.clone());
+                            changed = true;
+                        }
+                    } else if r_ok && !l_ok {
+                        if let Term::Var(v) = &c.lhs {
+                            limited.insert(v.clone());
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return limited;
+        }
+    }
+}
+
+/// Checks that a rule is safe; returns the first violation found.
+pub fn check_rule(rule: &Rule) -> Result<(), IrError> {
+    let limited = limited_vars(rule);
+    let bad = |v: &Var, place: UnsafePlace| IrError::Unsafe {
+        var: v.0.clone(),
+        rule: rule.to_string(),
+        place,
+    };
+    for v in rule.head.vars() {
+        if !limited.contains(v) {
+            return Err(bad(v, UnsafePlace::Head));
+        }
+    }
+    for lit in &rule.body {
+        match lit {
+            Literal::Neg(a) => {
+                for v in a.vars() {
+                    if !limited.contains(v) {
+                        return Err(bad(v, UnsafePlace::NegatedSubgoal));
+                    }
+                }
+            }
+            Literal::Cmp(c) => {
+                for v in c.vars() {
+                    if !limited.contains(v) {
+                        return Err(bad(v, UnsafePlace::Comparison));
+                    }
+                }
+            }
+            Literal::Pos(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Checks every rule of a program.
+pub fn check_program(program: &Program) -> Result<(), IrError> {
+    program.rules.iter().try_for_each(check_rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, CompOp, Comparison};
+    use crate::PANIC;
+
+    fn pos(pred: &str, args: Vec<Term>) -> Literal {
+        Literal::Pos(Atom::new(pred, args))
+    }
+
+    #[test]
+    fn paper_constraints_are_safe() {
+        // Example 2.2.
+        let r = Rule::new(
+            Atom::new(PANIC, vec![]),
+            vec![
+                pos("emp", vec![Term::var("E"), Term::var("D"), Term::var("S")]),
+                Literal::Neg(Atom::new("dept", vec![Term::var("D")])),
+                Literal::Cmp(Comparison::new(Term::var("S"), CompOp::Lt, Term::int(100))),
+            ],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn unbound_head_var_is_unsafe() {
+        let r = Rule::new(
+            Atom::new("q", vec![Term::var("Y")]),
+            vec![pos("p", vec![Term::var("X")])],
+        );
+        let err = check_rule(&r).unwrap_err();
+        assert!(matches!(
+            err,
+            IrError::Unsafe {
+                place: UnsafePlace::Head,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unbound_negated_var_is_unsafe() {
+        let r = Rule::new(
+            Atom::new(PANIC, vec![]),
+            vec![
+                pos("p", vec![Term::var("X")]),
+                Literal::Neg(Atom::new("q", vec![Term::var("Y")])),
+            ],
+        );
+        let err = check_rule(&r).unwrap_err();
+        assert!(matches!(
+            err,
+            IrError::Unsafe {
+                place: UnsafePlace::NegatedSubgoal,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unbound_comparison_var_is_unsafe() {
+        let r = Rule::new(
+            Atom::new(PANIC, vec![]),
+            vec![
+                pos("p", vec![Term::var("X")]),
+                Literal::Cmp(Comparison::new(Term::var("X"), CompOp::Lt, Term::var("Z"))),
+            ],
+        );
+        let err = check_rule(&r).unwrap_err();
+        assert!(matches!(
+            err,
+            IrError::Unsafe {
+                place: UnsafePlace::Comparison,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn equality_to_constant_limits_a_variable() {
+        // panic :- p(X) & Y = 5 & Y < X   is safe: Y is limited by Y=5.
+        let r = Rule::new(
+            Atom::new(PANIC, vec![]),
+            vec![
+                pos("p", vec![Term::var("X")]),
+                Literal::Cmp(Comparison::new(Term::var("Y"), CompOp::Eq, Term::int(5))),
+                Literal::Cmp(Comparison::new(Term::var("Y"), CompOp::Lt, Term::var("X"))),
+            ],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn equality_chains_propagate() {
+        // Z limited through Y: p(X) & Y = X & Z = Y.
+        let r = Rule::new(
+            Atom::new("q", vec![Term::var("Z")]),
+            vec![
+                pos("p", vec![Term::var("X")]),
+                Literal::Cmp(Comparison::new(Term::var("Y"), CompOp::Eq, Term::var("X"))),
+                Literal::Cmp(Comparison::new(Term::var("Z"), CompOp::Eq, Term::var("Y"))),
+            ],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn inequality_does_not_limit() {
+        // Y < 5 does not bind Y.
+        let r = Rule::new(
+            Atom::new(PANIC, vec![]),
+            vec![
+                pos("p", vec![Term::var("X")]),
+                Literal::Cmp(Comparison::new(Term::var("Y"), CompOp::Lt, Term::int(5))),
+            ],
+        );
+        assert!(check_rule(&r).is_err());
+    }
+
+    #[test]
+    fn rectified_queries_remain_safe() {
+        use crate::cq::Cq;
+        use crate::rectify::rectify;
+        let cq = Cq {
+            head: Atom::new(PANIC, vec![]),
+            positives: vec![Atom::new("p", vec![Term::int(0), Term::var("X"), Term::var("X")])],
+            negatives: vec![],
+            comparisons: vec![],
+        };
+        let r = rectify(&cq);
+        assert!(check_rule(&r.to_rule()).is_ok());
+    }
+
+    #[test]
+    fn check_program_reports_any_bad_rule() {
+        let p = Program::new(vec![
+            Rule::new(
+                Atom::new("ok", vec![Term::var("X")]),
+                vec![pos("p", vec![Term::var("X")])],
+            ),
+            Rule::new(
+                Atom::new("bad", vec![Term::var("Y")]),
+                vec![pos("p", vec![Term::var("X")])],
+            ),
+        ]);
+        assert!(check_program(&p).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Substitutions and unification.
+//!
+//! A [`Subst`] maps variables to terms. Substitutions drive everything in
+//! the paper's machinery: containment mappings (§5), reductions
+//! `RED(t, l, C)` (§5), and rewriting for updates (§4).
+
+use crate::atom::{Atom, Comparison, Literal};
+use crate::program::Rule;
+use crate::term::{Term, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite mapping from variables to terms.
+///
+/// Uses a `BTreeMap` so iteration (and therefore all derived artifacts,
+/// e.g. generated rules) is deterministic.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: BTreeMap<Var, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    /// Builds a substitution from pairs. Later pairs overwrite earlier ones.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, Term)>) -> Self {
+        Subst {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Binds `v ↦ t`, returning the previous binding if any.
+    pub fn bind(&mut self, v: Var, t: Term) -> Option<Term> {
+        self.map.insert(v, t)
+    }
+
+    /// Looks up the binding of `v`.
+    pub fn get(&self, v: &Var) -> Option<&Term> {
+        self.map.get(v)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over the bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Term)> {
+        self.map.iter()
+    }
+
+    /// Applies the substitution to a term (non-recursive: bindings map to
+    /// final terms, as is the case for matching/containment mappings).
+    pub fn apply_term(&self, t: &Term) -> Term {
+        match t {
+            Term::Var(v) => self.map.get(v).cloned().unwrap_or_else(|| t.clone()),
+            Term::Const(_) => t.clone(),
+        }
+    }
+
+    /// Applies the substitution to an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        Atom {
+            pred: a.pred.clone(),
+            args: a.args.iter().map(|t| self.apply_term(t)).collect(),
+        }
+    }
+
+    /// Applies the substitution to a comparison.
+    pub fn apply_cmp(&self, c: &Comparison) -> Comparison {
+        Comparison {
+            lhs: self.apply_term(&c.lhs),
+            op: c.op,
+            rhs: self.apply_term(&c.rhs),
+        }
+    }
+
+    /// Applies the substitution to a literal.
+    pub fn apply_literal(&self, l: &Literal) -> Literal {
+        match l {
+            Literal::Pos(a) => Literal::Pos(self.apply_atom(a)),
+            Literal::Neg(a) => Literal::Neg(self.apply_atom(a)),
+            Literal::Cmp(c) => Literal::Cmp(self.apply_cmp(c)),
+        }
+    }
+
+    /// Applies the substitution to a rule.
+    pub fn apply_rule(&self, r: &Rule) -> Rule {
+        Rule {
+            head: self.apply_atom(&r.head),
+            body: r.body.iter().map(|l| self.apply_literal(l)).collect(),
+        }
+    }
+
+    /// Composes with another substitution: `(self.then(g))(x) = g(self(x))`,
+    /// and variables bound only by `g` keep their `g` binding.
+    ///
+    /// This is the composition used in Theorem 5.1's proof (`f = g ∘ h`).
+    pub fn then(&self, g: &Subst) -> Subst {
+        let mut out = BTreeMap::new();
+        for (v, t) in &self.map {
+            out.insert(v.clone(), g.apply_term(t));
+        }
+        for (v, t) in &g.map {
+            out.entry(v.clone()).or_insert_with(|| t.clone());
+        }
+        Subst { map: out }
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} -> {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Extends substitution `s` so that `s(pattern) = target`, treating
+/// variables in `pattern` as match variables and `target` as fixed.
+/// Returns `false` (leaving `s` possibly extended; callers should clone or
+/// roll back) if matching fails.
+///
+/// This is one-way matching, the operation needed both for containment
+/// mappings ("any mapping is legal as long as it preserves predicates") and
+/// for reductions `RED(t, l, C)`.
+pub fn match_term(s: &mut Subst, pattern: &Term, target: &Term) -> bool {
+    match pattern {
+        Term::Const(c) => matches!(target, Term::Const(d) if c == d),
+        Term::Var(v) => match s.get(v) {
+            Some(bound) => bound == target,
+            None => {
+                s.bind(v.clone(), target.clone());
+                true
+            }
+        },
+    }
+}
+
+/// One-way matching of atoms: extends `s` with `s(pattern) = target`.
+pub fn match_atom(s: &mut Subst, pattern: &Atom, target: &Atom) -> bool {
+    if !pattern.same_signature(target) {
+        return false;
+    }
+    pattern
+        .args
+        .iter()
+        .zip(&target.args)
+        .all(|(p, t)| match_term(s, p, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    #[test]
+    fn apply_respects_bindings() {
+        let s = Subst::from_pairs([(v("X"), Term::sym("a")), (v("Y"), Term::var("Z"))]);
+        let a = Atom::new("p", vec![Term::var("X"), Term::var("Y"), Term::var("W")]);
+        assert_eq!(s.apply_atom(&a).to_string(), "p(a,Z,W)");
+    }
+
+    #[test]
+    fn match_atom_builds_consistent_mapping() {
+        let pat = Atom::new("r", vec![Term::var("U"), Term::var("V")]);
+        let tgt = Atom::new("r", vec![Term::sym("a"), Term::sym("b")]);
+        let mut s = Subst::new();
+        assert!(match_atom(&mut s, &pat, &tgt));
+        assert_eq!(s.get(&v("U")), Some(&Term::sym("a")));
+        assert_eq!(s.get(&v("V")), Some(&Term::sym("b")));
+    }
+
+    #[test]
+    fn match_atom_rejects_inconsistent_repeats() {
+        // p(X,X) cannot match p(a,b).
+        let pat = Atom::new("p", vec![Term::var("X"), Term::var("X")]);
+        let tgt = Atom::new("p", vec![Term::sym("a"), Term::sym("b")]);
+        let mut s = Subst::new();
+        assert!(!match_atom(&mut s, &pat, &tgt));
+    }
+
+    #[test]
+    fn match_atom_rejects_signature_mismatch() {
+        let pat = Atom::new("p", vec![Term::var("X")]);
+        let tgt = Atom::new("q", vec![Term::sym("a")]);
+        let mut s = Subst::new();
+        assert!(!match_atom(&mut s, &pat, &tgt));
+        let tgt2 = Atom::new("p", vec![Term::sym("a"), Term::sym("b")]);
+        assert!(!match_atom(&mut s, &pat, &tgt2));
+    }
+
+    #[test]
+    fn match_constant_pattern_requires_equality() {
+        let mut s = Subst::new();
+        assert!(match_term(&mut s, &Term::sym("toy"), &Term::sym("toy")));
+        assert!(!match_term(&mut s, &Term::sym("toy"), &Term::sym("shoe")));
+        assert!(!match_term(&mut s, &Term::sym("toy"), &Term::var("X")));
+    }
+
+    #[test]
+    fn composition_matches_theorem_5_1_usage() {
+        // h maps U -> S; g instantiates S -> 3. Then h.then(g) maps U -> 3.
+        let h = Subst::from_pairs([(v("U"), Term::var("S"))]);
+        let g = Subst::from_pairs([(v("S"), Term::int(3))]);
+        let gh = h.then(&g);
+        assert_eq!(gh.apply_term(&Term::var("U")), Term::int(3));
+        // Variables bound only in g survive.
+        assert_eq!(gh.apply_term(&Term::var("S")), Term::int(3));
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let s = Subst::from_pairs([
+            (v("B"), Term::int(2)),
+            (v("A"), Term::int(1)),
+        ]);
+        assert_eq!(s.to_string(), "{A -> 1, B -> 2}");
+    }
+}

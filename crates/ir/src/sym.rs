@@ -1,0 +1,117 @@
+//! Cheaply clonable interned-ish symbols.
+//!
+//! Predicate names, constants and variable names are all short strings that
+//! are cloned pervasively (substitution, rewriting, reduction). [`Sym`] wraps
+//! an `Arc<str>` so clones are a refcount bump, while comparisons and hashing
+//! remain by string content.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A cheaply clonable immutable string symbol.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(Arc<str>);
+
+impl Sym {
+    /// Creates a symbol from anything string-like.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Sym(Arc::from(s.as_ref()))
+    }
+
+    /// The underlying string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Self {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Self {
+        Sym(Arc::from(s))
+    }
+}
+
+impl From<&Sym> for Sym {
+    fn from(s: &Sym) -> Self {
+        s.clone()
+    }
+}
+
+impl Borrow<str> for Sym {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Sym {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sym_equality_is_by_content() {
+        let a = Sym::new("emp");
+        let b = Sym::new(String::from("emp"));
+        assert_eq!(a, b);
+        assert_eq!(a, "emp");
+        assert_ne!(a, Sym::new("dept"));
+    }
+
+    #[test]
+    fn sym_hashes_like_str() {
+        let mut set = HashSet::new();
+        set.insert(Sym::new("emp"));
+        // Borrow<str> allows lookup by &str.
+        assert!(set.contains("emp"));
+        assert!(!set.contains("dept"));
+    }
+
+    #[test]
+    fn sym_orders_lexicographically() {
+        assert!(Sym::new("a") < Sym::new("b"));
+        assert!(Sym::new("ab") < Sym::new("b"));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Sym::new("toy");
+        assert_eq!(format!("{s}"), "toy");
+        assert_eq!(format!("{s:?}"), "\"toy\"");
+    }
+}

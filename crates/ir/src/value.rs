@@ -1,0 +1,173 @@
+//! Constant values.
+//!
+//! The paper's arithmetic comparisons assume a *totally ordered* domain
+//! (§5, Theorem 5.1 uses "assuming that ≤ is a total order"). We support two
+//! kinds of constants — integers and symbolic constants (the paper's
+//! lower-case identifiers such as `toy`, `jones`). A single total order over
+//! all values is defined by ordering integers before symbols and each kind
+//! internally: this keeps the order-theoretic machinery of `ccpi-arith`
+//! simple and total. Comparisons that mix kinds are legal but almost always
+//! indicate a modelling error; `Value::same_kind` lets callers lint that.
+
+use crate::sym::Sym;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A constant of the ordered domain.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// An integer constant, e.g. `100` in `S < 100`.
+    Int(i64),
+    /// A symbolic constant, e.g. `toy`, `jones`. Ordered lexicographically.
+    Str(Sym),
+}
+
+impl Value {
+    /// Builds a symbolic constant.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Sym::new(s))
+    }
+
+    /// Builds an integer constant.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// `true` if both values are of the same kind (both integers or both
+    /// symbols). Cross-kind comparisons are ordered (see type docs) but are
+    /// usually schema bugs.
+    pub fn same_kind(&self, other: &Value) -> bool {
+        matches!(
+            (self, other),
+            (Value::Int(_), Value::Int(_)) | (Value::Str(_), Value::Str(_))
+        )
+    }
+
+    /// Returns the integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the symbol payload, if this is a symbolic constant.
+    pub fn as_sym(&self) -> Option<&Sym> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: all integers precede all symbols; integers order
+    /// numerically; symbols order lexicographically.
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Int(_), Value::Str(_)) => Ordering::Less,
+            (Value::Str(_), Value::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Sym::from(s))
+    }
+}
+
+impl From<Sym> for Value {
+    fn from(s: Sym) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_order_is_numeric() {
+        assert!(Value::int(-3) < Value::int(0));
+        assert!(Value::int(5) < Value::int(100));
+    }
+
+    #[test]
+    fn str_order_is_lexicographic() {
+        assert!(Value::str("accounting") < Value::str("sales"));
+    }
+
+    #[test]
+    fn cross_kind_order_is_total_ints_first() {
+        assert!(Value::int(i64::MAX) < Value::str(""));
+        let mut v = vec![Value::str("b"), Value::int(2), Value::str("a"), Value::int(1)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Value::int(1), Value::int(2), Value::str("a"), Value::str("b")]
+        );
+    }
+
+    #[test]
+    fn same_kind_detects_mixed_comparisons() {
+        assert!(Value::int(1).same_kind(&Value::int(2)));
+        assert!(Value::str("x").same_kind(&Value::str("y")));
+        assert!(!Value::int(1).same_kind(&Value::str("x")));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::str("d").as_int(), None);
+        assert_eq!(Value::str("d").as_sym().unwrap().as_str(), "d");
+        assert!(Value::int(7).as_sym().is_none());
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::str("toy").to_string(), "toy");
+    }
+}

@@ -1,0 +1,288 @@
+//! The §5 constraint form and reductions.
+//!
+//! > We focus on conjunctive query constraints (CQC's) of the following
+//! > form: `panic :- l & r₁ & … & rₙ & c₁ & … & cₖ`. Here, `l` is the one
+//! > subgoal with a local predicate … Each of the `rᵢ`'s is a subgoal with
+//! > a remote predicate, and each of the `cᵢ`'s is an arithmetic
+//! > comparison.
+//!
+//! [`Cqc::red`] computes `RED(t, l, C)`, "obtained by substituting the
+//! components of `t` for the corresponding variables in the arguments of
+//! `l`, and then eliminating `l`" (Example 5.3). When `l` has repeated
+//! variables or constants that `t` does not match, the reduction does not
+//! exist (Example 5.4's `RED((a,b,c))`) and the insertion can never
+//! violate the constraint.
+
+use ccpi_ir::subst::match_atom;
+use ccpi_ir::{Atom, Cq, Subst, Sym, Term, PANIC};
+use ccpi_storage::{Locality, Tuple};
+use std::fmt;
+
+/// A validated conjunctive-query constraint with one local subgoal.
+#[derive(Clone, Debug)]
+pub struct Cqc {
+    /// The whole constraint as a CQ (head `panic`).
+    cq: Cq,
+    /// Index of the local subgoal within `cq.positives`.
+    local_idx: usize,
+}
+
+/// Why a CQ is not a usable CQC.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CqcError {
+    /// The head is not the 0-ary `panic`.
+    NotAConstraint,
+    /// Negated subgoals are outside the §5 form.
+    HasNegation,
+    /// No subgoal uses a local predicate.
+    NoLocalSubgoal,
+    /// More than one subgoal uses a local predicate (the paper folds a
+    /// local conjunction into one subgoal; we require that normalization
+    /// up front).
+    MultipleLocalSubgoals,
+    /// A comparison variable appears in no ordinary subgoal (safety).
+    Unsafe(Sym),
+}
+
+impl fmt::Display for CqcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqcError::NotAConstraint => write!(f, "head must be the 0-ary `panic`"),
+            CqcError::HasNegation => write!(f, "CQCs may not contain negated subgoals"),
+            CqcError::NoLocalSubgoal => write!(f, "no subgoal uses a local predicate"),
+            CqcError::MultipleLocalSubgoals => {
+                write!(f, "more than one subgoal uses a local predicate")
+            }
+            CqcError::Unsafe(v) => write!(
+                f,
+                "comparison variable `{v}` appears in no ordinary subgoal"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CqcError {}
+
+impl Cqc {
+    /// Validates `cq` as a CQC, locating the local subgoal via `locality`.
+    pub fn new(
+        cq: Cq,
+        locality: impl Fn(&str) -> Option<Locality>,
+    ) -> Result<Self, CqcError> {
+        if cq.head.pred != PANIC || cq.head.arity() != 0 {
+            return Err(CqcError::NotAConstraint);
+        }
+        if !cq.is_negation_free() {
+            return Err(CqcError::HasNegation);
+        }
+        let local_positions: Vec<usize> = cq
+            .positives
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(locality(a.pred.as_str()), Some(Locality::Local)))
+            .map(|(i, _)| i)
+            .collect();
+        let local_idx = match local_positions.as_slice() {
+            [] => return Err(CqcError::NoLocalSubgoal),
+            [i] => *i,
+            _ => return Err(CqcError::MultipleLocalSubgoals),
+        };
+        // Safety: every comparison variable must occur in some subgoal
+        // ("Variables in the c's must also appear in l or one of the r's").
+        for c in &cq.comparisons {
+            for v in c.vars() {
+                if !cq.positives.iter().any(|a| a.vars().any(|w| w == v)) {
+                    return Err(CqcError::Unsafe(v.0.clone()));
+                }
+            }
+        }
+        Ok(Cqc { cq, local_idx })
+    }
+
+    /// Validates with an explicitly named local predicate.
+    pub fn with_local(cq: Cq, local_pred: &str) -> Result<Self, CqcError> {
+        Cqc::new(cq, |p| {
+            Some(if p == local_pred {
+                Locality::Local
+            } else {
+                Locality::Remote
+            })
+        })
+    }
+
+    /// The underlying CQ.
+    pub fn cq(&self) -> &Cq {
+        &self.cq
+    }
+
+    /// The local subgoal `l`.
+    pub fn local_atom(&self) -> &Atom {
+        &self.cq.positives[self.local_idx]
+    }
+
+    /// The local predicate's name.
+    pub fn local_pred(&self) -> &Sym {
+        &self.local_atom().pred
+    }
+
+    /// The remote subgoals `r₁ … rₙ`.
+    pub fn remotes(&self) -> impl Iterator<Item = &Atom> {
+        self.cq
+            .positives
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| *i != self.local_idx)
+            .map(|(_, a)| a)
+    }
+
+    /// Variables of the constraint that do **not** occur in the local
+    /// subgoal — the paper's *remote variables* (§6).
+    pub fn remote_vars(&self) -> Vec<ccpi_ir::Var> {
+        let local: Vec<&ccpi_ir::Var> = self.local_atom().vars().collect();
+        self.cq
+            .vars()
+            .into_iter()
+            .filter(|v| !local.contains(&v))
+            .collect()
+    }
+
+    /// `RED(t, l, C)` — the reduction of the constraint by tuple `t` in
+    /// the local subgoal. `None` when `t` does not unify with `l`
+    /// (Example 5.4: "there is no condition under which the insertion of
+    /// `t` could invalidate `C`").
+    pub fn red(&self, t: &Tuple) -> Option<Cq> {
+        let ground = Atom {
+            pred: self.local_pred().clone(),
+            args: t.iter().cloned().map(Term::Const).collect(),
+        };
+        let mut s = Subst::new();
+        if !match_atom(&mut s, self.local_atom(), &ground) {
+            return None;
+        }
+        Some(Cq {
+            head: self.cq.head.clone(),
+            positives: self.remotes().map(|a| s.apply_atom(a)).collect(),
+            negatives: vec![],
+            comparisons: self.cq.comparisons.iter().map(|c| s.apply_cmp(c)).collect(),
+        })
+    }
+}
+
+impl fmt::Display for Cqc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.cq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_parser::parse_cq;
+    use ccpi_storage::tuple;
+
+    /// Example 5.3's forbidden-intervals constraint with `l` local.
+    fn forbidden() -> Cqc {
+        let cq = parse_cq("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.").unwrap();
+        Cqc::with_local(cq, "l").unwrap()
+    }
+
+    #[test]
+    fn validates_and_splits() {
+        let c = forbidden();
+        assert_eq!(c.local_pred().as_str(), "l");
+        assert_eq!(c.remotes().count(), 1);
+        let rv = c.remote_vars();
+        assert_eq!(rv.len(), 1);
+        assert_eq!(rv[0].name(), "Z");
+    }
+
+    /// Example 5.3: RED((3,6)) = r(Z) & 3<=Z & Z<=6, etc.
+    #[test]
+    fn example_5_3_reductions() {
+        let c = forbidden();
+        let red = c.red(&tuple![3, 6]).unwrap();
+        assert_eq!(red.to_string(), "panic :- r(Z) & 3 <= Z & Z <= 6.");
+        let red = c.red(&tuple![5, 10]).unwrap();
+        assert_eq!(red.to_string(), "panic :- r(Z) & 5 <= Z & Z <= 10.");
+        let red = c.red(&tuple![4, 8]).unwrap();
+        assert_eq!(red.to_string(), "panic :- r(Z) & 4 <= Z & Z <= 8.");
+    }
+
+    /// Example 5.4: l(X,Y,Y) — the reduction by (a,b,c) does not exist,
+    /// the reduction by (a,b,b) does.
+    #[test]
+    fn example_5_4_reduction_existence() {
+        let cq = parse_cq("panic :- l(X,Y,Y) & r(Y,Z,X).").unwrap();
+        let c = Cqc::with_local(cq, "l").unwrap();
+        assert!(c.red(&tuple!["a", "b", "c"]).is_none());
+        let red = c.red(&tuple!["a", "b", "b"]).unwrap();
+        assert_eq!(red.to_string(), "panic :- r(b,Z,a).");
+    }
+
+    #[test]
+    fn constants_in_local_subgoal_constrain_reductions() {
+        let cq = parse_cq("panic :- l(X,toy) & r(X).").unwrap();
+        let c = Cqc::with_local(cq, "l").unwrap();
+        assert!(c.red(&tuple![1, "shoe"]).is_none());
+        assert_eq!(
+            c.red(&tuple![1, "toy"]).unwrap().to_string(),
+            "panic :- r(1)."
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_cqcs() {
+        let not_panic = parse_cq("q(X) :- l(X) & r(X).").unwrap();
+        assert_eq!(
+            Cqc::with_local(not_panic, "l").unwrap_err(),
+            CqcError::NotAConstraint
+        );
+
+        let negated = parse_cq("panic :- l(X) & not r(X).").unwrap();
+        assert_eq!(
+            Cqc::with_local(negated, "l").unwrap_err(),
+            CqcError::HasNegation
+        );
+
+        let no_local = parse_cq("panic :- r(X) & s(X).").unwrap();
+        assert_eq!(
+            Cqc::with_local(no_local, "l").unwrap_err(),
+            CqcError::NoLocalSubgoal
+        );
+
+        let two_local = parse_cq("panic :- l(X) & l(Y) & r(X,Y).").unwrap();
+        assert_eq!(
+            Cqc::with_local(two_local, "l").unwrap_err(),
+            CqcError::MultipleLocalSubgoals
+        );
+
+        let unsafe_cmp = parse_cq("panic :- l(X) & X < W.").unwrap();
+        assert!(matches!(
+            Cqc::with_local(unsafe_cmp, "l").unwrap_err(),
+            CqcError::Unsafe(_)
+        ));
+    }
+
+    #[test]
+    fn locality_function_drives_selection() {
+        use ccpi_storage::{Database, Locality};
+        let mut db = Database::new();
+        db.declare("inv", 2, Locality::Local).unwrap();
+        db.declare("cat", 1, Locality::Remote).unwrap();
+        let cq = parse_cq("panic :- inv(I,Q) & cat(I) & Q < 0.").unwrap();
+        let c = Cqc::new(cq, |p| db.locality(p)).unwrap();
+        assert_eq!(c.local_pred().as_str(), "inv");
+    }
+
+    #[test]
+    fn remote_vars_exclude_local_ones() {
+        let cq = parse_cq("panic :- l(X,Y) & r(X,Z) & r(W,W2) & Z < Y.").unwrap();
+        let c = Cqc::with_local(cq, "l").unwrap();
+        let names: Vec<String> = c
+            .remote_vars()
+            .iter()
+            .map(|v| v.name().to_string())
+            .collect();
+        assert_eq!(names, vec!["Z", "W", "W2"]);
+    }
+}

@@ -1,0 +1,426 @@
+//! Interval unions with open/closed/unbounded endpoints.
+//!
+//! The direct data structure behind the forbidden-intervals local test
+//! (Example 5.3 / §6): a set of intervals over the ordered domain,
+//! normalized into disjoint maximal intervals, answering *coverage*
+//! queries — exactly what Fig. 6.1's recursive datalog program computes,
+//! here as an `O(n log n)` sweep. The Theorem 6.1 proof sketch's endpoint
+//! zoo ("intervals may be open to infinity … open or closed at either
+//! end") is represented by [`Bound`].
+//!
+//! Both the dense and the integer interpretation are supported: over ℤ,
+//! open integer bounds normalize to closed ones (`(1,…` ⇒ `[2,…`) and
+//! adjacent intervals (`…,2]` + `[3,…`) merge.
+
+use ccpi_arith::Domain;
+use ccpi_ir::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An interval endpoint.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Bound {
+    /// `-∞` (only valid as a lower bound).
+    NegInf,
+    /// Closed endpoint (value included).
+    Incl(Value),
+    /// Open endpoint (value excluded).
+    Excl(Value),
+    /// `+∞` (only valid as an upper bound).
+    PosInf,
+}
+
+impl Bound {
+    /// Orders two *lower* bounds by inclusiveness: smaller = covers more.
+    pub fn lo_cmp(&self, other: &Bound) -> Ordering {
+        lo_key(self).cmp(&lo_key(other))
+    }
+
+    /// Orders two *upper* bounds by inclusiveness: larger = covers more.
+    pub fn hi_cmp(&self, other: &Bound) -> Ordering {
+        hi_key(self).cmp(&hi_key(other))
+    }
+}
+
+/// (rank, value, strictness) key for lower bounds.
+fn lo_key(b: &Bound) -> (u8, Option<&Value>, u8) {
+    match b {
+        Bound::NegInf => (0, None, 0),
+        Bound::Incl(v) => (1, Some(v), 0),
+        Bound::Excl(v) => (1, Some(v), 1),
+        Bound::PosInf => (2, None, 0),
+    }
+}
+
+/// Key for upper bounds: open sorts *below* closed at the same value.
+fn hi_key(b: &Bound) -> (u8, Option<&Value>, u8) {
+    match b {
+        Bound::NegInf => (0, None, 0),
+        Bound::Excl(v) => (1, Some(v), 0),
+        Bound::Incl(v) => (1, Some(v), 1),
+        Bound::PosInf => (2, None, 0),
+    }
+}
+
+/// An interval of the ordered domain.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Interval {
+    /// Lower bound (`NegInf`, `Incl`, or `Excl`).
+    pub lo: Bound,
+    /// Upper bound (`Incl`, `Excl`, or `PosInf`).
+    pub hi: Bound,
+}
+
+impl Interval {
+    /// Builds an interval; panics on `PosInf` lower / `NegInf` upper.
+    pub fn new(lo: Bound, hi: Bound) -> Self {
+        assert!(!matches!(lo, Bound::PosInf), "+∞ is not a lower bound");
+        assert!(!matches!(hi, Bound::NegInf), "-∞ is not an upper bound");
+        Interval { lo, hi }
+    }
+
+    /// `[a, b]`.
+    pub fn closed(a: impl Into<Value>, b: impl Into<Value>) -> Self {
+        Interval::new(Bound::Incl(a.into()), Bound::Incl(b.into()))
+    }
+
+    /// `(a, b)`.
+    pub fn open(a: impl Into<Value>, b: impl Into<Value>) -> Self {
+        Interval::new(Bound::Excl(a.into()), Bound::Excl(b.into()))
+    }
+
+    /// `(-∞, ∞)` — the whole domain.
+    pub fn everything() -> Self {
+        Interval::new(Bound::NegInf, Bound::PosInf)
+    }
+
+    /// The single point `[v, v]`.
+    pub fn point(v: impl Into<Value>) -> Self {
+        let v = v.into();
+        Interval::new(Bound::Incl(v.clone()), Bound::Incl(v))
+    }
+
+    /// Is the interval empty under the given domain?
+    pub fn is_empty(&self, domain: Domain) -> bool {
+        let iv = self.normalized(domain);
+        match (&iv.lo, &iv.hi) {
+            (Bound::NegInf, _) | (_, Bound::PosInf) => false,
+            (Bound::Incl(a), Bound::Incl(b)) => a > b,
+            (Bound::Incl(a), Bound::Excl(b)) | (Bound::Excl(a), Bound::Incl(b)) => a >= b,
+            (Bound::Excl(a), Bound::Excl(b)) => {
+                // Dense: (a,b) nonempty iff a < b. (Integer open bounds
+                // were normalized away unless the values are symbolic.)
+                a >= b
+            }
+            _ => unreachable!("constructor invariants"),
+        }
+    }
+
+    /// Does the interval contain the value?
+    pub fn contains(&self, v: &Value) -> bool {
+        let lo_ok = match &self.lo {
+            Bound::NegInf => true,
+            Bound::Incl(a) => a <= v,
+            Bound::Excl(a) => a < v,
+            Bound::PosInf => false,
+        };
+        let hi_ok = match &self.hi {
+            Bound::PosInf => true,
+            Bound::Incl(b) => v <= b,
+            Bound::Excl(b) => v < b,
+            Bound::NegInf => false,
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Integer normalization: `(1, …` ⇒ `[2, …` and `…, 5)` ⇒ `…, 4]`
+    /// (only for integer values; symbolic endpoints stay as-is).
+    pub fn normalized(&self, domain: Domain) -> Interval {
+        if domain != Domain::Integer {
+            return self.clone();
+        }
+        let lo = match &self.lo {
+            Bound::Excl(Value::Int(a)) => Bound::Incl(Value::Int(a.saturating_add(1))),
+            other => other.clone(),
+        };
+        let hi = match &self.hi {
+            Bound::Excl(Value::Int(b)) => Bound::Incl(Value::Int(b.saturating_sub(1))),
+            other => other.clone(),
+        };
+        Interval { lo, hi }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.lo {
+            Bound::NegInf => write!(f, "(-inf,")?,
+            Bound::Incl(v) => write!(f, "[{v},")?,
+            Bound::Excl(v) => write!(f, "({v},")?,
+            Bound::PosInf => unreachable!(),
+        }
+        match &self.hi {
+            Bound::PosInf => write!(f, "inf)"),
+            Bound::Incl(v) => write!(f, "{v}]"),
+            Bound::Excl(v) => write!(f, "{v})"),
+            Bound::NegInf => unreachable!(),
+        }
+    }
+}
+
+/// A normalized union of intervals: disjoint, maximal, sorted.
+#[derive(Clone, Debug, Default)]
+pub struct IntervalSet {
+    domain: Domain,
+    /// Disjoint maximal intervals in increasing order.
+    ivs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// An empty set under the given domain.
+    pub fn new(domain: Domain) -> Self {
+        IntervalSet {
+            domain,
+            ivs: Vec::new(),
+        }
+    }
+
+    /// Builds from any iterator of intervals.
+    pub fn from_intervals(domain: Domain, ivs: impl IntoIterator<Item = Interval>) -> Self {
+        let mut s = IntervalSet::new(domain);
+        for iv in ivs {
+            s.insert(iv);
+        }
+        s
+    }
+
+    /// The disjoint maximal intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.ivs
+    }
+
+    /// `true` when nothing is covered.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Adds an interval, re-normalizing.
+    pub fn insert(&mut self, iv: Interval) {
+        let iv = iv.normalized(self.domain);
+        if iv.is_empty(self.domain) {
+            return;
+        }
+        self.ivs.push(iv);
+        self.normalize();
+    }
+
+    fn normalize(&mut self) {
+        self.ivs
+            .sort_by(|a, b| a.lo.lo_cmp(&b.lo).then(a.hi.hi_cmp(&b.hi)));
+        let mut out: Vec<Interval> = Vec::with_capacity(self.ivs.len());
+        for iv in self.ivs.drain(..) {
+            match out.last_mut() {
+                Some(last) if touches_or_overlaps(&last.hi, &iv.lo, self.domain) => {
+                    if last.hi.hi_cmp(&iv.hi) == Ordering::Less {
+                        last.hi = iv.hi;
+                    }
+                }
+                _ => out.push(iv),
+            }
+        }
+        self.ivs = out;
+    }
+
+    /// Does the union cover the whole of `iv`?
+    ///
+    /// Because the set is normalized into disjoint maximal intervals, `iv`
+    /// is covered iff a single member contains it.
+    pub fn covers(&self, iv: &Interval) -> bool {
+        let iv = iv.normalized(self.domain);
+        if iv.is_empty(self.domain) {
+            return true;
+        }
+        self.ivs.iter().any(|m| {
+            m.lo.lo_cmp(&iv.lo) != Ordering::Greater && m.hi.hi_cmp(&iv.hi) != Ordering::Less
+        })
+    }
+
+    /// Does the union contain the point `v`?
+    pub fn contains(&self, v: &Value) -> bool {
+        self.ivs.iter().any(|m| m.contains(v))
+    }
+}
+
+/// Is the union of `…, hi` and `lo, …` contiguous (no gap)?
+fn touches_or_overlaps(hi: &Bound, lo: &Bound, domain: Domain) -> bool {
+    match (hi, lo) {
+        (Bound::PosInf, _) | (_, Bound::NegInf) => true,
+        (Bound::Incl(a), Bound::Incl(b)) => {
+            if domain == Domain::Integer {
+                if let (Value::Int(a), Value::Int(b)) = (a, b) {
+                    // …,a] ∪ [b,… contiguous over ℤ iff b ≤ a + 1.
+                    return *b <= a.saturating_add(1);
+                }
+            }
+            b <= a
+        }
+        (Bound::Incl(a), Bound::Excl(b)) => b <= a,
+        (Bound::Excl(a), Bound::Incl(b)) => b <= a,
+        // …,a) ∪ (b,… leaves the point a uncovered when b == a.
+        (Bound::Excl(a), Bound::Excl(b)) => b < a,
+        _ => unreachable!("constructor invariants"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dense(ivs: &[Interval]) -> IntervalSet {
+        IntervalSet::from_intervals(Domain::Dense, ivs.iter().cloned())
+    }
+
+    #[test]
+    fn example_5_3_coverage() {
+        // {[3,6], [5,10]} covers [4,8] but not [2,8] or [4,11].
+        let s = dense(&[Interval::closed(3, 6), Interval::closed(5, 10)]);
+        assert_eq!(s.intervals().len(), 1); // merged into [3,10]
+        assert!(s.covers(&Interval::closed(4, 8)));
+        assert!(!s.covers(&Interval::closed(2, 8)));
+        assert!(!s.covers(&Interval::closed(4, 11)));
+    }
+
+    #[test]
+    fn disjoint_intervals_stay_disjoint() {
+        let s = dense(&[Interval::closed(1, 2), Interval::closed(5, 6)]);
+        assert_eq!(s.intervals().len(), 2);
+        assert!(!s.covers(&Interval::closed(2, 5)));
+        assert!(s.covers(&Interval::closed(5, 6)));
+    }
+
+    #[test]
+    fn touching_closed_intervals_merge() {
+        let s = dense(&[Interval::closed(1, 3), Interval::closed(3, 6)]);
+        assert_eq!(s.intervals().len(), 1);
+        assert!(s.covers(&Interval::closed(1, 6)));
+    }
+
+    #[test]
+    fn open_touch_leaves_a_hole() {
+        // [1,3) ∪ (3,6]: the point 3 is uncovered.
+        let s = dense(&[
+            Interval::new(Bound::Incl(Value::int(1)), Bound::Excl(Value::int(3))),
+            Interval::new(Bound::Excl(Value::int(3)), Bound::Incl(Value::int(6))),
+        ]);
+        assert_eq!(s.intervals().len(), 2);
+        assert!(!s.covers(&Interval::closed(2, 4)));
+        assert!(!s.contains(&Value::int(3)));
+        assert!(s.contains(&Value::int(2)));
+    }
+
+    #[test]
+    fn half_open_touch_merges() {
+        // [1,3) ∪ [3,6] = [1,6].
+        let s = dense(&[
+            Interval::new(Bound::Incl(Value::int(1)), Bound::Excl(Value::int(3))),
+            Interval::closed(3, 6),
+        ]);
+        assert_eq!(s.intervals().len(), 1);
+        assert!(s.covers(&Interval::closed(1, 6)));
+    }
+
+    #[test]
+    fn unbounded_ends() {
+        let s = dense(&[
+            Interval::new(Bound::NegInf, Bound::Incl(Value::int(0))),
+            Interval::new(Bound::Incl(Value::int(10)), Bound::PosInf),
+        ]);
+        assert!(s.covers(&Interval::closed(-100, -1)));
+        assert!(s.covers(&Interval::new(Bound::Incl(Value::int(11)), Bound::PosInf)));
+        assert!(!s.covers(&Interval::closed(0, 10)));
+        let all = dense(&[Interval::everything()]);
+        assert!(all.covers(&Interval::everything()));
+    }
+
+    #[test]
+    fn integer_adjacency_merges() {
+        let s = IntervalSet::from_intervals(
+            Domain::Integer,
+            [Interval::closed(1, 2), Interval::closed(3, 5)],
+        );
+        assert_eq!(s.intervals().len(), 1);
+        assert!(s.covers(&Interval::closed(1, 5)));
+        // Dense does not merge them.
+        let d = dense(&[Interval::closed(1, 2), Interval::closed(3, 5)]);
+        assert!(!d.covers(&Interval::closed(1, 5)));
+    }
+
+    #[test]
+    fn integer_open_bounds_normalize() {
+        // (1,4) over ℤ is [2,3].
+        let iv = Interval::open(1, 4).normalized(Domain::Integer);
+        assert_eq!(iv, Interval::closed(2, 3));
+        // (1,2) over ℤ is empty.
+        assert!(Interval::open(1, 2).is_empty(Domain::Integer));
+        assert!(!Interval::open(1, 2).is_empty(Domain::Dense));
+    }
+
+    #[test]
+    fn empty_intervals_are_ignored() {
+        let s = dense(&[Interval::closed(5, 4)]);
+        assert!(s.is_empty());
+        assert!(s.covers(&Interval::closed(5, 4))); // empty ⊆ anything
+    }
+
+    #[test]
+    fn point_intervals() {
+        let s = dense(&[Interval::point(7)]);
+        assert!(s.contains(&Value::int(7)));
+        assert!(!s.contains(&Value::int(8)));
+        assert!(s.covers(&Interval::point(7)));
+        assert!(!s.covers(&Interval::closed(7, 8)));
+    }
+
+    #[test]
+    fn string_valued_endpoints() {
+        let s = dense(&[Interval::closed("apple", "mango")]);
+        assert!(s.contains(&Value::str("banana")));
+        assert!(!s.contains(&Value::str("zebra")));
+        assert!(s.covers(&Interval::closed("banana", "kiwi")));
+    }
+
+    // Differential test: IntervalSet::covers agrees with brute-force
+    // point sampling over the integer domain.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn integer_coverage_matches_pointwise(
+            base in prop::collection::vec((0i64..20, 0i64..20), 0..6),
+            q in (0i64..20, 0i64..20),
+        ) {
+            let s = IntervalSet::from_intervals(
+                Domain::Integer,
+                base.iter().map(|&(a, b)| Interval::closed(a, b)),
+            );
+            let query = Interval::closed(q.0, q.1);
+            let brute = (q.0..=q.1).all(|z| {
+                base.iter().any(|&(a, b)| a <= z && z <= b)
+            });
+            prop_assert_eq!(s.covers(&query), brute, "{:?} covers {:?}", base, q);
+        }
+
+        #[test]
+        fn contains_matches_member_intervals(
+            base in prop::collection::vec((0i64..20, 0i64..20), 0..6),
+            z in 0i64..20,
+        ) {
+            let s = IntervalSet::from_intervals(
+                Domain::Dense,
+                base.iter().map(|&(a, b)| Interval::closed(a, b)),
+            );
+            let brute = base.iter().any(|&(a, b)| a <= z && z <= b);
+            prop_assert_eq!(s.contains(&Value::int(z)), brute);
+        }
+    }
+}

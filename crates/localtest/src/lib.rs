@@ -1,0 +1,39 @@
+//! # `ccpi-localtest` — complete local tests (GSUW'94 §5–§6)
+//!
+//! The paper's main contribution: deciding that a constraint still holds
+//! after an update **using only the local data** — and proving the test
+//! *complete* (when it says "I don't know", some state of the unseen
+//! remote data really would violate the constraint).
+//!
+//! * [`Cqc`] — validated conjunctive-query constraints of the §5 form
+//!   `panic :- l & r₁ & … & rₙ & c₁ & … & cₖ` (one local subgoal, remote
+//!   subgoals, comparisons), with [`Cqc::red`] computing the reduction
+//!   `RED(t, l, C)` (Example 5.3/5.4);
+//! * [`thm52`] — **Theorem 5.2**: the complete local test for inserting
+//!   `t` into the local relation `L` is
+//!   `RED(t,l,C) ⊆ ⋃_{s∈L} RED(s,l,C)`, decided exactly with the
+//!   Theorem 5.1 union containment;
+//! * [`thm53`] — **Theorem 5.3**: for arithmetic-free CQCs, a compiler
+//!   producing (in time exponential in the query, *independent of the
+//!   data*) a parameterized relational-algebra expression over `L` whose
+//!   nonemptiness is the complete local test;
+//! * [`intervals`] — an interval-union runtime (open/closed/unbounded
+//!   endpoints, dense or integer domain) — the direct data structure
+//!   behind the forbidden-intervals test;
+//! * [`icq`] — **Theorem 6.1**: independently constrained queries; the
+//!   forbidden-interval extraction, the `IntervalSet`-based complete local
+//!   test, and the generator of the recursive-datalog test program of
+//!   Fig. 6.1 (basis rules, recursive merge rule, `ok` coverage rule).
+
+pub mod cqc;
+pub mod icq;
+pub mod intervals;
+pub mod thm52;
+pub mod thm53;
+
+pub use cqc::{Cqc, CqcError};
+pub use thm52::{complete_local_test, complete_local_test_with, LocalTestResult};
+pub use thm53::{compile_ra, LocalTestPlan};
+
+pub use icq::{DatalogIntervalTest, IcqTest};
+pub use intervals::{Bound, Interval, IntervalSet};

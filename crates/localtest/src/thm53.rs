@@ -1,0 +1,568 @@
+//! **Theorem 5.3** — compiling arithmetic-free complete local tests to
+//! relational algebra.
+//!
+//! > In time at most exponential in the size of an arithmetic-free CQC it
+//! > is possible to construct an expression of relational algebra whose
+//! > nonemptiness is the complete local test for preservation of the CQC
+//! > after an insertion to the local relation.
+//!
+//! The construction follows the proof sketch: let `ω` be a tuple of
+//! variables of `L`'s arity; we ask for a containment mapping from
+//! `RED(ω,l,C)` to `RED(t,l,C)`, and "each containment mapping provides a
+//! set of constraints on the variables in `ω`", which translate into a
+//! selection on `L`. Because `t` is only known at update time, the
+//! compiler works **symbolically**: the plan stores, per mapping,
+//!
+//! * conditions on `t` itself (the mapping only applies to matching
+//!   inserts), and
+//! * selection predicates on `L` mixing `#i = t_j` and `#i = constant`
+//!   (plus the pattern conditions of `l` — Example 5.4's
+//!   `σ_{#1=a ∧ #2=b ∧ #3=b}(L)`).
+//!
+//! "Here we can allow constants and repeated variables to appear in the
+//! local and remote predicates" — the compiler supports both; the
+//! arithmetic-free assumption is what makes the union collapse
+//! (containment in the union ⇔ containment in one member, by
+//! Sagiv–Yannakakis), so the test is a union of selections, evaluated
+//! row-at-a-time.
+
+use crate::cqc::Cqc;
+use crate::thm52::LocalTestResult;
+use ccpi_ir::{CompOp, IrError, Sym, Term, Value, Var};
+use ccpi_ra::{Expr, SelPred};
+use ccpi_storage::{Relation, Tuple};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A pattern condition shared by `l`-matching rows and candidate inserts.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PatCond {
+    /// Components `i` and `j` must be equal (repeated variable in `l`).
+    Eq(usize, usize),
+    /// Component `i` must equal a constant (constant in `l`).
+    EqConst(usize, Value),
+}
+
+impl PatCond {
+    fn check(&self, t: &Tuple) -> bool {
+        match self {
+            PatCond::Eq(i, j) => t[*i] == t[*j],
+            PatCond::EqConst(i, c) => t[*i] == *c,
+        }
+    }
+
+    fn sel(&self) -> SelPred {
+        match self {
+            PatCond::Eq(i, j) => SelPred::col_col(*i, CompOp::Eq, *j),
+            PatCond::EqConst(i, c) => SelPred::col_const(*i, CompOp::Eq, c.clone()),
+        }
+    }
+}
+
+/// A selection predicate with the insert's components as parameters.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SymbolicSel {
+    /// `#i = t_j` — column `i` of `L` equals component `j` of the insert.
+    ColT(usize, usize),
+    /// `#i = c`.
+    ColConst(usize, Value),
+}
+
+impl SymbolicSel {
+    fn instantiate(&self, t: &Tuple) -> SelPred {
+        match self {
+            SymbolicSel::ColT(i, j) => SelPred::col_const(*i, CompOp::Eq, t[*j].clone()),
+            SymbolicSel::ColConst(i, c) => SelPred::col_const(*i, CompOp::Eq, c.clone()),
+        }
+    }
+
+    fn check(&self, row: &Tuple, t: &Tuple) -> bool {
+        match self {
+            SymbolicSel::ColT(i, j) => row[*i] == t[*j],
+            SymbolicSel::ColConst(i, c) => row[*i] == *c,
+        }
+    }
+}
+
+/// One containment mapping's contribution to the plan.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MappingPlan {
+    /// Conditions the insert must satisfy for this mapping to exist.
+    pub t_conditions: Vec<PatCond>,
+    /// The selection on `L` (pattern conditions are added separately).
+    pub selections: Vec<SymbolicSel>,
+}
+
+/// The compiled, parameterized complete local test of Theorem 5.3.
+#[derive(Clone, Debug)]
+pub struct LocalTestPlan {
+    local_pred: Sym,
+    arity: usize,
+    /// Conditions a row of `L` must meet to produce a reduction at all.
+    pub l_pattern: Vec<PatCond>,
+    /// The same conditions on the insert (no reduction ⇒ trivially safe).
+    pub t_pattern: Vec<PatCond>,
+    /// One entry per containment-mapping shape.
+    pub mappings: Vec<MappingPlan>,
+}
+
+/// Compiles the plan for an **arithmetic-free** CQC.
+pub fn compile_ra(cqc: &Cqc) -> Result<LocalTestPlan, IrError> {
+    if !cqc.cq().is_arithmetic_free() {
+        return Err(IrError::UnexpectedArithmetic);
+    }
+    let l = cqc.local_atom();
+    let arity = l.arity();
+
+    // Pattern conditions from `l`'s own shape.
+    let mut pattern: Vec<PatCond> = Vec::new();
+    let mut first_pos: BTreeMap<&Var, usize> = BTreeMap::new();
+    for (i, arg) in l.args.iter().enumerate() {
+        match arg {
+            Term::Const(c) => pattern.push(PatCond::EqConst(i, c.clone())),
+            Term::Var(v) => {
+                if let Some(&j) = first_pos.get(v) {
+                    pattern.push(PatCond::Eq(j, i));
+                } else {
+                    first_pos.insert(v, i);
+                }
+            }
+        }
+    }
+
+    // Source (ω-side) and target (t-side) views of the remote subgoals.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    enum Src {
+        Omega(usize),
+        RemoteVar(Var),
+        Const(Value),
+    }
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    enum Tgt {
+        T(usize),
+        RemoteVar(Var),
+        Const(Value),
+    }
+    let classify_src = |t: &Term| -> Src {
+        match t {
+            Term::Const(c) => Src::Const(c.clone()),
+            Term::Var(v) => match first_pos.get(v) {
+                Some(&i) => Src::Omega(i),
+                None => Src::RemoteVar(v.clone()),
+            },
+        }
+    };
+    let classify_tgt = |t: &Term| -> Tgt {
+        match t {
+            Term::Const(c) => Tgt::Const(c.clone()),
+            Term::Var(v) => match first_pos.get(v) {
+                Some(&i) => Tgt::T(i),
+                None => Tgt::RemoteVar(v.clone()),
+            },
+        }
+    };
+    let remotes: Vec<(&Sym, Vec<Src>, Vec<Tgt>)> = cqc
+        .remotes()
+        .map(|a| {
+            (
+                &a.pred,
+                a.args.iter().map(&classify_src).collect(),
+                a.args.iter().map(&classify_tgt).collect(),
+            )
+        })
+        .collect();
+
+    // Backtracking enumeration of all symbolic containment mappings from
+    // the ω-side remotes into the t-side remotes.
+    #[derive(Clone, Default)]
+    struct State {
+        bindings: Vec<(Var, Tgt)>,
+        t_conditions: Vec<PatCond>,
+        selections: Vec<SymbolicSel>,
+    }
+    fn push_unique<T: PartialEq>(v: &mut Vec<T>, x: T) {
+        if !v.contains(&x) {
+            v.push(x);
+        }
+    }
+    fn unify_targets(a: &Tgt, b: &Tgt, st: &mut State) -> bool
+    where
+        Tgt: PartialEq,
+    {
+        match (a, b) {
+            (Tgt::T(j), Tgt::T(k)) => {
+                if j != k {
+                    let (j, k) = (*j.min(k), *j.max(k));
+                    push_unique(&mut st.t_conditions, PatCond::Eq(j, k));
+                }
+                true
+            }
+            (Tgt::T(j), Tgt::Const(c)) | (Tgt::Const(c), Tgt::T(j)) => {
+                push_unique(&mut st.t_conditions, PatCond::EqConst(*j, c.clone()));
+                true
+            }
+            (Tgt::Const(c), Tgt::Const(d)) => c == d,
+            (Tgt::RemoteVar(u), Tgt::RemoteVar(w)) => u == w,
+            _ => false,
+        }
+    }
+    fn align(src: &Src, tgt: &Tgt, st: &mut State) -> bool {
+        match (src, tgt) {
+            (Src::Omega(i), Tgt::T(j)) => {
+                push_unique(&mut st.selections, SymbolicSel::ColT(*i, *j));
+                true
+            }
+            (Src::Omega(i), Tgt::Const(c)) => {
+                push_unique(&mut st.selections, SymbolicSel::ColConst(*i, c.clone()));
+                true
+            }
+            (Src::Omega(_), Tgt::RemoteVar(_)) => false,
+            (Src::Const(c), Tgt::T(j)) => {
+                push_unique(&mut st.t_conditions, PatCond::EqConst(*j, c.clone()));
+                true
+            }
+            (Src::Const(c), Tgt::Const(d)) => c == d,
+            (Src::Const(_), Tgt::RemoteVar(_)) => false,
+            (Src::RemoteVar(x), tgt) => {
+                if let Some((_, bound)) = st.bindings.iter().find(|(v, _)| v == x) {
+                    let bound = bound.clone();
+                    unify_targets(&bound, tgt, st)
+                } else {
+                    st.bindings.push((x.clone(), tgt.clone()));
+                    true
+                }
+            }
+        }
+    }
+    fn backtrack(
+        remotes: &[(&Sym, Vec<Src>, Vec<Tgt>)],
+        depth: usize,
+        st: State,
+        out: &mut Vec<MappingPlan>,
+    ) {
+        if depth == remotes.len() {
+            let plan = MappingPlan {
+                t_conditions: st.t_conditions,
+                selections: st.selections,
+            };
+            if !out.contains(&plan) {
+                out.push(plan);
+            }
+            return;
+        }
+        let (pred, src_args, _) = &remotes[depth];
+        for (tpred, _, tgt_args) in remotes {
+            if tpred != pred || tgt_args.len() != src_args.len() {
+                continue;
+            }
+            let mut next = st.clone();
+            if src_args
+                .iter()
+                .zip(tgt_args)
+                .all(|(s, t)| align(s, t, &mut next))
+            {
+                backtrack(remotes, depth + 1, next, out);
+            }
+        }
+    }
+    let mut mappings = Vec::new();
+    backtrack(&remotes, 0, State::default(), &mut mappings);
+
+    Ok(LocalTestPlan {
+        local_pred: cqc.local_pred().clone(),
+        arity,
+        l_pattern: pattern.clone(),
+        t_pattern: pattern,
+        mappings,
+    })
+}
+
+impl LocalTestPlan {
+    /// The local predicate the plan scans.
+    pub fn local_pred(&self) -> &Sym {
+        &self.local_pred
+    }
+
+    /// Number of containment-mapping shapes in the plan.
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// The relational-algebra expression for a concrete insert, or `None`
+    /// when the insert has no reduction / no applicable mapping exists —
+    /// `None` with `trivial == true` means the test trivially holds.
+    pub fn to_ra(&self, t: &Tuple) -> RaInstance {
+        assert_eq!(t.arity(), self.arity, "insert arity mismatch");
+        if !self.t_pattern.iter().all(|p| p.check(t)) {
+            return RaInstance::TriviallyHolds;
+        }
+        let mut arms: Vec<Expr> = Vec::new();
+        for m in &self.mappings {
+            if !m.t_conditions.iter().all(|p| p.check(t)) {
+                continue;
+            }
+            let mut preds: Vec<SelPred> = self.l_pattern.iter().map(PatCond::sel).collect();
+            preds.extend(m.selections.iter().map(|s| s.instantiate(t)));
+            arms.push(Expr::scan(self.local_pred.as_str()).select(preds));
+        }
+        match Expr::union_all(arms) {
+            Some(e) => RaInstance::Test(e),
+            None => RaInstance::NoApplicableMapping,
+        }
+    }
+
+    /// Direct evaluation of the compiled test (no RA materialization):
+    /// `Holds` iff some row of `local` satisfies some applicable mapping.
+    pub fn test(&self, t: &Tuple, local: &Relation) -> LocalTestResult {
+        assert_eq!(t.arity(), self.arity, "insert arity mismatch");
+        if !self.t_pattern.iter().all(|p| p.check(t)) {
+            return LocalTestResult::Holds;
+        }
+        let applicable: Vec<&MappingPlan> = self
+            .mappings
+            .iter()
+            .filter(|m| m.t_conditions.iter().all(|p| p.check(t)))
+            .collect();
+        if applicable.is_empty() {
+            return LocalTestResult::Unknown;
+        }
+        for row in local.iter() {
+            if !self.l_pattern.iter().all(|p| p.check(row)) {
+                continue;
+            }
+            for m in &applicable {
+                if m.selections.iter().all(|s| s.check(row, t)) {
+                    return LocalTestResult::Holds;
+                }
+            }
+        }
+        LocalTestResult::Unknown
+    }
+}
+
+/// The instantiated form of the compiled test for one insert.
+#[derive(Clone, Debug)]
+pub enum RaInstance {
+    /// The insert has no reduction: safe without looking at anything.
+    TriviallyHolds,
+    /// No containment-mapping shape applies: the test is `false` — the
+    /// insertion needs a remote check no matter what `L` holds.
+    NoApplicableMapping,
+    /// Evaluate this expression; nonempty ⇔ the constraint is preserved.
+    Test(Expr),
+}
+
+impl fmt::Display for LocalTestPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan over {}/{} ({} mappings):",
+            self.local_pred, self.arity, self.mappings.len()
+        )?;
+        for (k, m) in self.mappings.iter().enumerate() {
+            write!(f, "  [{k}] σ[")?;
+            let mut first = true;
+            for p in self.l_pattern.iter() {
+                if !first {
+                    write!(f, " ∧ ")?;
+                }
+                first = false;
+                match p {
+                    PatCond::Eq(i, j) => write!(f, "#{} = #{}", i + 1, j + 1)?,
+                    PatCond::EqConst(i, c) => write!(f, "#{} = {c}", i + 1)?,
+                }
+            }
+            for s in &m.selections {
+                if !first {
+                    write!(f, " ∧ ")?;
+                }
+                first = false;
+                match s {
+                    SymbolicSel::ColT(i, j) => write!(f, "#{} = t{}", i + 1, j + 1)?,
+                    SymbolicSel::ColConst(i, c) => write!(f, "#{} = {c}", i + 1)?,
+                }
+            }
+            write!(f, "]({})", self.local_pred)?;
+            if !m.t_conditions.is_empty() {
+                write!(f, "  when ")?;
+                for (n, p) in m.t_conditions.iter().enumerate() {
+                    if n > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    match p {
+                        PatCond::Eq(i, j) => write!(f, "t{} = t{}", i + 1, j + 1)?,
+                        PatCond::EqConst(i, c) => write!(f, "t{} = {c}", i + 1)?,
+                    }
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_parser::parse_cq;
+    use ccpi_storage::{tuple, Database, Locality};
+
+    fn cqc(src: &str) -> Cqc {
+        Cqc::with_local(parse_cq(src).unwrap(), "l").unwrap()
+    }
+
+    /// Example 5.4: C1: panic :- l(X,Y,Y) & r(Y,Z,X).
+    #[test]
+    fn example_5_4_plan() {
+        let plan = compile_ra(&cqc("panic :- l(X,Y,Y) & r(Y,Z,X).")).unwrap();
+        // One mapping; pattern #2 = #3.
+        assert_eq!(plan.mapping_count(), 1);
+        assert_eq!(plan.l_pattern, vec![PatCond::Eq(1, 2)]);
+        // t = (a,b,c): no reduction — trivially holds.
+        let inst = plan.to_ra(&tuple!["a", "b", "c"]);
+        assert!(matches!(inst, RaInstance::TriviallyHolds));
+        // t = (a,b,b): σ_{#1=a ∧ #2=b ∧ #3=b... } — as the paper puts it,
+        // "the complete local test is whether this tuple already exists in
+        // L, not a very useful test, but one that technically should be
+        // made."
+        let RaInstance::Test(e) = plan.to_ra(&tuple!["a", "b", "b"]) else {
+            panic!("expected a test expression");
+        };
+        // Equivalent to the paper's σ_{#1=a ∧ #2=b ∧ #3=b}(L): the pattern
+        // condition #2 = #3 together with #2 = b entails #3 = b.
+        assert_eq!(e.to_string(), "σ[#2 = #3 ∧ #2 = b ∧ #1 = a](l)");
+
+        // Evaluate it end-to-end.
+        let mut db = Database::new();
+        db.declare("l", 3, Locality::Local).unwrap();
+        db.insert("l", tuple!["a", "b", "b"]).unwrap();
+        assert!(e.nonempty(&db).unwrap());
+        db.delete("l", &tuple!["a", "b", "b"]).unwrap();
+        assert!(!e.nonempty(&db).unwrap());
+    }
+
+    #[test]
+    fn plan_test_equals_direct_membership_for_example_5_4() {
+        let plan = compile_ra(&cqc("panic :- l(X,Y,Y) & r(Y,Z,X).")).unwrap();
+        let mut local = Relation::new(3);
+        local.insert(tuple!["a", "b", "b"]);
+        assert!(plan.test(&tuple!["a", "b", "b"], &local).holds());
+        assert!(!plan.test(&tuple!["a", "c", "c"], &local).holds());
+        assert!(plan.test(&tuple!["x", "y", "z"], &local).holds()); // no reduction
+    }
+
+    #[test]
+    fn duplicate_remote_subgoals_multiply_mappings() {
+        let p1 = compile_ra(&cqc("panic :- l(X) & r(X,Z).")).unwrap();
+        assert_eq!(p1.mapping_count(), 1);
+        // r(X,Z) & r(X,W): all four shape combinations collapse to the
+        // same selection after dedup.
+        let p2 = compile_ra(&cqc("panic :- l(X) & r(X,Z) & r(X,W).")).unwrap();
+        assert_eq!(p2.mapping_count(), 1);
+        // Distinct selections survive: r(X,Z) & r(Y,Z) can map each source
+        // atom to either target column pattern.
+        let p3 = compile_ra(&cqc("panic :- l(X,Y) & r(X,Z) & r(Y,Z).")).unwrap();
+        assert!(p3.mapping_count() >= 2, "{}", p3.mapping_count());
+    }
+
+    #[test]
+    fn remote_constants_become_t_conditions() {
+        // C: panic :- l(X) & r(X, alert): the reduction of t has r(t1,
+        // alert); a tuple s covers it iff s1 = t1.
+        let plan = compile_ra(&cqc("panic :- l(X) & r(X,alert).")).unwrap();
+        assert_eq!(plan.mapping_count(), 1);
+        let mut local = Relation::new(1);
+        local.insert(tuple![7]);
+        assert!(plan.test(&tuple![7], &local).holds());
+        assert!(!plan.test(&tuple![8], &local).holds());
+    }
+
+    #[test]
+    fn arithmetic_is_rejected() {
+        let c = cqc("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.");
+        assert!(matches!(
+            compile_ra(&c),
+            Err(IrError::UnexpectedArithmetic)
+        ));
+    }
+
+    #[test]
+    fn source_var_to_distinct_remote_vars_is_one_shape() {
+        // r(Z) & s(Z): Z must map consistently.
+        let plan = compile_ra(&cqc("panic :- l(X) & r(X,Z) & s(Z).")).unwrap();
+        assert_eq!(plan.mapping_count(), 1);
+        let mut local = Relation::new(1);
+        local.insert(tuple![1]);
+        assert!(plan.test(&tuple![1], &local).holds());
+        assert!(!plan.test(&tuple![2], &local).holds());
+    }
+
+    /// Ground truth: the compiled plan agrees with the Theorem 5.2
+    /// containment test on an exhaustive grid of small workloads, for a
+    /// battery of plan shapes (repeated vars, constants, shared remote
+    /// vars, duplicate predicates).
+    #[test]
+    fn plan_agrees_with_theorem_5_2() {
+        use crate::thm52::complete_local_test;
+        use ccpi_arith::Solver;
+        let shapes = [
+            "panic :- l(X,Y) & r(X) & s(Y).",
+            "panic :- l(X,X) & r(X).",
+            "panic :- l(X,Y) & r(X,Z) & r(Y,Z).",
+            "panic :- l(X,c) & r(X).",
+            "panic :- l(X,Y) & r(X,W) & s(W).",
+            "panic :- l(X,Y) & r(a,X).",
+        ];
+        // Small value domain: exhaustive relations of ≤ 2 tuples.
+        let vals: Vec<Value> = vec![Value::int(1), Value::int(2), Value::str("c"), Value::str("a")];
+        let mut pairs: Vec<Tuple> = Vec::new();
+        for a in &vals {
+            for b in &vals {
+                pairs.push(Tuple::from(vec![a.clone(), b.clone()]));
+            }
+        }
+        for shape in shapes {
+            let c = cqc(shape);
+            let plan = compile_ra(&c).unwrap();
+            // Relations: empty, singletons, and a few pairs.
+            let mut relations: Vec<Relation> = vec![Relation::new(2)];
+            for p in &pairs {
+                relations.push(Relation::from_tuples(2, [p.clone()]));
+            }
+            for (i, p) in pairs.iter().enumerate().step_by(3) {
+                let q = &pairs[(i + 5) % pairs.len()];
+                relations.push(Relation::from_tuples(2, [p.clone(), q.clone()]));
+            }
+            for local in &relations {
+                for t in pairs.iter() {
+                    let by_plan = plan.test(t, local).holds();
+                    let by_thm52 =
+                        complete_local_test(&c, t, local, Solver::dense()).holds();
+                    assert_eq!(
+                        by_plan, by_thm52,
+                        "{shape} insert {t} into {local:?}\nplan: {plan}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_display_is_informative() {
+        let plan = compile_ra(&cqc("panic :- l(X,Y,Y) & r(Y,Z,X).")).unwrap();
+        let s = plan.to_string();
+        assert!(s.contains("σ["));
+        assert!(s.contains("#2 = #3"));
+    }
+
+    #[test]
+    fn compile_is_data_independent() {
+        // The same plan object serves any relation contents — compile
+        // once, test many (this is the claim the ra_compile bench times).
+        let plan = compile_ra(&cqc("panic :- l(X,Y) & r(X) & s(Y).")).unwrap();
+        for n in [0i64, 10, 100] {
+            let local = Relation::from_tuples(2, (0..n).map(|k| tuple![k, k + 1]));
+            let _ = plan.test(&tuple![5, 6], &local);
+        }
+    }
+}

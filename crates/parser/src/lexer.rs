@@ -1,0 +1,372 @@
+//! Tokenizer for the paper's rule syntax.
+
+use std::fmt;
+
+/// Kinds of tokens.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Lower-case identifier: predicate name or symbolic constant.
+    LowerIdent(String),
+    /// Capitalized identifier: a variable.
+    UpperIdent(String),
+    /// An integer literal (possibly negative).
+    Int(i64),
+    /// `:-`
+    Implies,
+    /// `&`
+    Amp,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `not`
+    Not,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::LowerIdent(s) => format!("identifier `{s}`"),
+            TokenKind::UpperIdent(s) => format!("variable `{s}`"),
+            TokenKind::Int(i) => format!("integer `{i}`"),
+            TokenKind::Implies => "`:-`".into(),
+            TokenKind::Amp => "`&`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Not => "`not`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Ne => "`<>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Gt => "`>`".into(),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// A lexing error with position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src` fully.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            let (_, c) = chars.next().unwrap();
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&(_, c)) = chars.peek() {
+        let (tl, tc) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '%' => {
+                // Line comment.
+                while let Some(&(_, c)) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '(' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::LParen, line: tl, col: tc });
+            }
+            ')' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::RParen, line: tl, col: tc });
+            }
+            ',' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::Comma, line: tl, col: tc });
+            }
+            '&' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::Amp, line: tl, col: tc });
+            }
+            '.' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::Dot, line: tl, col: tc });
+            }
+            '=' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::Eq, line: tl, col: tc });
+            }
+            '<' => {
+                bump!();
+                let kind = match chars.peek() {
+                    Some(&(_, '=')) => {
+                        bump!();
+                        TokenKind::Le
+                    }
+                    Some(&(_, '>')) => {
+                        bump!();
+                        TokenKind::Ne
+                    }
+                    _ => TokenKind::Lt,
+                };
+                tokens.push(Token { kind, line: tl, col: tc });
+            }
+            '>' => {
+                bump!();
+                let kind = match chars.peek() {
+                    Some(&(_, '=')) => {
+                        bump!();
+                        TokenKind::Ge
+                    }
+                    _ => TokenKind::Gt,
+                };
+                tokens.push(Token { kind, line: tl, col: tc });
+            }
+            ':' => {
+                bump!();
+                match chars.peek() {
+                    Some(&(_, '-')) => {
+                        bump!();
+                        tokens.push(Token { kind: TokenKind::Implies, line: tl, col: tc });
+                    }
+                    _ => {
+                        return Err(LexError {
+                            message: "expected `-` after `:`".into(),
+                            line: tl,
+                            col: tc,
+                        })
+                    }
+                }
+            }
+            '-' | '0'..='9' => {
+                let neg = c == '-';
+                if neg {
+                    bump!();
+                    match chars.peek() {
+                        Some(&(_, d)) if d.is_ascii_digit() => {}
+                        _ => {
+                            return Err(LexError {
+                                message: "expected digit after `-`".into(),
+                                line: tl,
+                                col: tc,
+                            })
+                        }
+                    }
+                }
+                let mut n: i64 = 0;
+                while let Some(&(_, d)) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        bump!();
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(i64::from(digit)))
+                            .ok_or_else(|| LexError {
+                                message: "integer literal overflows i64".into(),
+                                line: tl,
+                                col: tc,
+                            })?;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Int(if neg { -n } else { n }),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        ident.push(bump!());
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if ident == "not" {
+                    TokenKind::Not
+                } else if ident.chars().next().is_some_and(|c| c.is_uppercase() || c == '_') {
+                    TokenKind::UpperIdent(ident)
+                } else {
+                    TokenKind::LowerIdent(ident)
+                };
+                tokens.push(Token { kind, line: tl, col: tc });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line: tl,
+                    col: tc,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_paper_rule() {
+        let ks = kinds("panic :- emp(E,D,S) & S < 100.");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::LowerIdent("panic".into()),
+                TokenKind::Implies,
+                TokenKind::LowerIdent("emp".into()),
+                TokenKind::LParen,
+                TokenKind::UpperIdent("E".into()),
+                TokenKind::Comma,
+                TokenKind::UpperIdent("D".into()),
+                TokenKind::Comma,
+                TokenKind::UpperIdent("S".into()),
+                TokenKind::RParen,
+                TokenKind::Amp,
+                TokenKind::UpperIdent("S".into()),
+                TokenKind::Lt,
+                TokenKind::Int(100),
+                TokenKind::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_all_comparison_operators() {
+        assert_eq!(
+            kinds("< <= = <> >= >"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ge,
+                TokenKind::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_not_and_identifiers() {
+        assert_eq!(
+            kinds("not dept(D)"),
+            vec![
+                TokenKind::Not,
+                TokenKind::LowerIdent("dept".into()),
+                TokenKind::LParen,
+                TokenKind::UpperIdent("D".into()),
+                TokenKind::RParen,
+            ]
+        );
+        // `notx` is an identifier, not the keyword.
+        assert_eq!(kinds("notx"), vec![TokenKind::LowerIdent("notx".into())]);
+    }
+
+    #[test]
+    fn lexes_negative_integers() {
+        assert_eq!(kinds("-42"), vec![TokenKind::Int(-42)]);
+        assert_eq!(kinds("0"), vec![TokenKind::Int(0)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("% full-line comment\npanic. % trailing");
+        assert_eq!(
+            ks,
+            vec![TokenKind::LowerIdent("panic".into()), TokenKind::Dot]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let ts = lex("p(X).\nq(Y).").unwrap();
+        let q = ts.iter().find(|t| t.kind == TokenKind::LowerIdent("q".into())).unwrap();
+        assert_eq!((q.line, q.col), (2, 1));
+    }
+
+    #[test]
+    fn errors_on_bad_characters() {
+        let err = lex("p(#)").unwrap_err();
+        assert!(err.message.contains('#'));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn errors_on_lone_colon_and_dash() {
+        assert!(lex("p : q").is_err());
+        assert!(lex("p - q").is_err());
+    }
+
+    #[test]
+    fn errors_on_integer_overflow() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn underscore_leading_names_are_variables() {
+        assert_eq!(kinds("_x"), vec![TokenKind::UpperIdent("_x".into())]);
+    }
+}

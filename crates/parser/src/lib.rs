@@ -1,0 +1,54 @@
+//! # `ccpi-parser` — the paper's concrete syntax
+//!
+//! Parses the datalog-style syntax used throughout GSUW'94:
+//!
+//! ```text
+//! panic :- emp(E,D,S) & not dept(D) & S < 100.
+//! dept1(D) :- dept(D).
+//! dept1(toy).
+//! ```
+//!
+//! Conventions (paper §2): names beginning with a lower-case letter are
+//! constants and predicate names, names beginning with a capital letter are
+//! variables; `&` conjoins subgoals; `not` negates; the comparison operators
+//! are `<  <=  =  <>  >=  >`; `%` starts a line comment; every rule ends
+//! with `.`.
+//!
+//! # Example
+//! ```
+//! use ccpi_parser::parse_constraint;
+//! let c = parse_constraint("panic :- emp(E,sales) & emp(E,accounting).").unwrap();
+//! assert_eq!(c.program().rules.len(), 1);
+//! ```
+
+mod lexer;
+mod parse;
+
+pub use lexer::{LexError, Token, TokenKind};
+pub use parse::{ParseError, Parser};
+
+use ccpi_ir::{Constraint, Cq, Program, Rule};
+
+/// Parses a whole program (a sequence of `.`-terminated rules).
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    Parser::new(src)?.program()
+}
+
+/// Parses a single rule.
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let mut p = Parser::new(src)?;
+    let r = p.rule()?;
+    p.expect_eof()?;
+    Ok(r)
+}
+
+/// Parses a program and validates it as a constraint (goal = 0-ary `panic`).
+pub fn parse_constraint(src: &str) -> Result<Constraint, ParseError> {
+    let program = parse_program(src)?;
+    Constraint::new(program).map_err(ParseError::from_ir)
+}
+
+/// Parses a single rule as a conjunctive query (with comparisons/negation).
+pub fn parse_cq(src: &str) -> Result<Cq, ParseError> {
+    Ok(Cq::from_rule(&parse_rule(src)?))
+}

@@ -1,0 +1,478 @@
+//! Recursive-descent parser over the token stream.
+
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use ccpi_ir::{Atom, CompOp, Comparison, IrError, Literal, Program, Rule, Term};
+use std::fmt;
+
+/// A parse error with source position (when available).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based line, when known.
+    pub line: Option<usize>,
+    /// 1-based column, when known.
+    pub col: Option<usize>,
+}
+
+impl ParseError {
+    fn at(message: impl Into<String>, tok: Option<&Token>) -> Self {
+        ParseError {
+            message: message.into(),
+            line: tok.map(|t| t.line),
+            col: tok.map(|t| t.col),
+        }
+    }
+
+    /// Wraps a semantic (IR-level) validation error.
+    pub fn from_ir(e: IrError) -> Self {
+        ParseError {
+            message: e.to_string(),
+            line: None,
+            col: None,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.line, self.col) {
+            (Some(l), Some(c)) => write!(f, "parse error at {l}:{c}: {}", self.message),
+            _ => write!(f, "parse error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: Some(e.line),
+            col: Some(e.col),
+        }
+    }
+}
+
+/// The parser. Construct with [`Parser::new`], then call [`Parser::program`]
+/// or [`Parser::rule`].
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Tokenizes `src` and readies the parser.
+    pub fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        match self.peek() {
+            Some(t) if &t.kind == kind => Ok(self.next().unwrap()),
+            t => Err(ParseError::at(
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    t.map_or("end of input".to_string(), |t| t.kind.describe())
+                ),
+                t,
+            )),
+        }
+    }
+
+    /// Errors unless the whole input has been consumed.
+    pub fn expect_eof(&self) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(ParseError::at(
+                format!("unexpected {} after end of rule", t.kind.describe()),
+                Some(t),
+            )),
+        }
+    }
+
+    /// Parses the rest of the input as a program.
+    pub fn program(&mut self) -> Result<Program, ParseError> {
+        let mut rules = Vec::new();
+        while self.peek().is_some() {
+            rules.push(self.rule()?);
+        }
+        Ok(Program::new(rules))
+    }
+
+    /// Parses one rule, consuming its trailing `.` (the dot may be omitted
+    /// at end of input).
+    pub fn rule(&mut self) -> Result<Rule, ParseError> {
+        let head = self.atom()?;
+        let mut body = Vec::new();
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Implies)) {
+            self.next();
+            body.push(self.literal()?);
+            while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Amp)) {
+                self.next();
+                body.push(self.literal()?);
+            }
+        }
+        match self.peek() {
+            Some(t) if t.kind == TokenKind::Dot => {
+                self.next();
+            }
+            None => {}
+            Some(t) => {
+                return Err(ParseError::at(
+                    format!("expected `.` or `&`, found {}", t.kind.describe()),
+                    Some(t),
+                ))
+            }
+        }
+        Ok(Rule::new(head, body))
+    }
+
+    /// Parses one body literal: `not atom`, an atom, or a comparison.
+    pub fn literal(&mut self) -> Result<Literal, ParseError> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Not) => {
+                self.next();
+                Ok(Literal::Neg(self.atom()?))
+            }
+            Some(TokenKind::LowerIdent(_)) => {
+                // Could be an atom (`dept(D)`, `panic`) or the left side of
+                // a comparison with a constant lhs (`toy <> D`). Disambiguate
+                // on the following token.
+                match self.peek2().map(|t| &t.kind) {
+                    Some(TokenKind::LParen) => Ok(Literal::Pos(self.atom()?)),
+                    Some(k) if comp_op(k).is_some() => self.comparison().map(Literal::Cmp),
+                    _ => Ok(Literal::Pos(self.atom()?)),
+                }
+            }
+            Some(TokenKind::UpperIdent(_)) | Some(TokenKind::Int(_)) => {
+                self.comparison().map(Literal::Cmp)
+            }
+            t => Err(ParseError::at(
+                format!(
+                    "expected a subgoal, found {}",
+                    t.map_or("end of input".to_string(), |k| k.describe())
+                ),
+                self.peek(),
+            )),
+        }
+    }
+
+    /// Parses an atom: `ident` or `ident(term, ...)`.
+    pub fn atom(&mut self) -> Result<Atom, ParseError> {
+        let tok = self.peek().cloned();
+        match tok.map(|t| t.kind) {
+            Some(TokenKind::LowerIdent(name)) => {
+                self.next();
+                let mut args = Vec::new();
+                if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+                    self.next();
+                    args.push(self.term()?);
+                    while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Comma)) {
+                        self.next();
+                        args.push(self.term()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+                Ok(Atom::new(name, args))
+            }
+            _ => Err(ParseError::at(
+                format!(
+                    "expected a predicate name, found {}",
+                    self.peek()
+                        .map_or("end of input".to_string(), |t| t.kind.describe())
+                ),
+                self.peek(),
+            )),
+        }
+    }
+
+    /// Parses a term: variable, integer, or symbolic constant.
+    pub fn term(&mut self) -> Result<Term, ParseError> {
+        let tok = self.peek().cloned();
+        match tok.map(|t| t.kind) {
+            Some(TokenKind::UpperIdent(v)) => {
+                self.next();
+                Ok(Term::var(v))
+            }
+            Some(TokenKind::Int(i)) => {
+                self.next();
+                Ok(Term::int(i))
+            }
+            Some(TokenKind::LowerIdent(s)) => {
+                self.next();
+                Ok(Term::sym(s))
+            }
+            _ => Err(ParseError::at(
+                format!(
+                    "expected a term, found {}",
+                    self.peek()
+                        .map_or("end of input".to_string(), |t| t.kind.describe())
+                ),
+                self.peek(),
+            )),
+        }
+    }
+
+    /// Parses a comparison `term op term`.
+    pub fn comparison(&mut self) -> Result<Comparison, ParseError> {
+        let lhs = self.term()?;
+        let op_tok = self.next();
+        let op = op_tok
+            .as_ref()
+            .and_then(|t| comp_op(&t.kind))
+            .ok_or_else(|| {
+                ParseError::at(
+                    format!(
+                        "expected a comparison operator, found {}",
+                        op_tok
+                            .as_ref()
+                            .map_or("end of input".to_string(), |t| t.kind.describe())
+                    ),
+                    op_tok.as_ref(),
+                )
+            })?;
+        let rhs = self.term()?;
+        Ok(Comparison { lhs, op, rhs })
+    }
+}
+
+fn comp_op(k: &TokenKind) -> Option<CompOp> {
+    match k {
+        TokenKind::Lt => Some(CompOp::Lt),
+        TokenKind::Le => Some(CompOp::Le),
+        TokenKind::Eq => Some(CompOp::Eq),
+        TokenKind::Ne => Some(CompOp::Ne),
+        TokenKind::Ge => Some(CompOp::Ge),
+        TokenKind::Gt => Some(CompOp::Gt),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::{parse_constraint, parse_cq, parse_program, parse_rule};
+
+    #[test]
+    fn parses_example_2_1() {
+        let r = parse_rule("panic :- emp(E,sales) & emp(E,accounting).").unwrap();
+        assert_eq!(r.to_string(), "panic :- emp(E,sales) & emp(E,accounting).");
+    }
+
+    #[test]
+    fn parses_example_2_2() {
+        let r = parse_rule("panic :- emp(E,D,S) & not dept(D) & S < 100.").unwrap();
+        assert_eq!(
+            r.to_string(),
+            "panic :- emp(E,D,S) & not dept(D) & S < 100."
+        );
+        assert!(r.has_negation());
+        assert!(r.has_arithmetic());
+    }
+
+    #[test]
+    fn parses_example_2_3_as_union() {
+        let p = parse_program(
+            "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.\n\
+             panic :- emp(E,D,S) & salRange(D,Low,High) & S > High.",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(!p.is_recursive());
+    }
+
+    #[test]
+    fn parses_example_2_4_recursive() {
+        let p = parse_program(
+            "panic :- boss(E,E).\n\
+             boss(E,M) :- emp(E,D,S) & manager(D,M).\n\
+             boss(E,F) :- boss(E,G) & boss(G,F).",
+        )
+        .unwrap();
+        assert!(p.is_recursive());
+        assert_eq!(p.rules.len(), 3);
+    }
+
+    #[test]
+    fn parses_facts_and_constants() {
+        let p = parse_program("dept1(D) :- dept(D).\ndept1(toy).").unwrap();
+        assert!(p.rules[1].is_fact());
+        assert_eq!(p.rules[1].head.to_string(), "dept1(toy)");
+    }
+
+    #[test]
+    fn parses_inequality_rewrites_of_example_4_2() {
+        let p = parse_program(
+            "emp1(E,D,S) :- emp(E,D,S) & E <> jones.\n\
+             emp1(E,D,S) :- emp(E,D,S) & D <> shoe.\n\
+             emp1(E,D,S) :- emp(E,D,S) & S <> 50.",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 3);
+        let cmp: Vec<_> = p.rules[2].comparisons().collect();
+        assert_eq!(cmp[0].to_string(), "S <> 50");
+    }
+
+    #[test]
+    fn parses_forbidden_intervals() {
+        let cq = parse_cq("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.").unwrap();
+        assert_eq!(cq.positives.len(), 2);
+        assert_eq!(cq.comparisons.len(), 2);
+    }
+
+    #[test]
+    fn parses_constant_on_left_of_comparison() {
+        let r = parse_rule("panic :- p(D) & toy <> D.").unwrap();
+        let c: Vec<_> = r.comparisons().collect();
+        assert_eq!(c[0].to_string(), "toy <> D");
+    }
+
+    #[test]
+    fn parses_zero_ary_atoms() {
+        let r = parse_rule("panic :- alarm.").unwrap();
+        assert_eq!(r.body.len(), 1);
+        assert_eq!(r.body[0].to_string(), "alarm");
+    }
+
+    #[test]
+    fn trailing_dot_optional_at_eof() {
+        assert!(parse_rule("panic :- p(X)").is_ok());
+    }
+
+    #[test]
+    fn constraint_validation_is_applied() {
+        assert!(parse_constraint("q(X) :- p(X).").is_err());
+        assert!(parse_constraint("panic :- p(X).").is_ok());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse_rule("panic :- & p(X).").unwrap_err();
+        assert_eq!(e.line, Some(1));
+        assert!(e.message.contains("subgoal"));
+    }
+
+    #[test]
+    fn rejects_garbage_after_rule() {
+        let e = parse_rule("panic :- p(X). q(Y).").unwrap_err();
+        assert!(e.message.contains("after end of rule"));
+    }
+
+    #[test]
+    fn rejects_missing_paren() {
+        assert!(parse_rule("panic :- p(X.").is_err());
+    }
+
+    #[test]
+    fn rejects_comparison_without_operator() {
+        assert!(parse_rule("panic :- p(X) & X 100.").is_err());
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        // Anything we print must re-parse to the same thing.
+        let sources = [
+            "panic :- emp(E,D,S) & not dept(D) & S < 100.",
+            "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.",
+            "dept1(toy).",
+            "boss(E,F) :- boss(E,G) & boss(G,F).",
+            "panic :- p(X) & X <> -5.",
+        ];
+        for src in sources {
+            let r = parse_rule(src).unwrap();
+            let r2 = parse_rule(&r.to_string()).unwrap();
+            assert_eq!(r, r2, "{src}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::{parse_program, parse_rule};
+    use proptest::prelude::*;
+
+    /// A strategy for random rules built from the full grammar surface.
+    fn rule_source() -> impl Strategy<Value = String> {
+        let term = prop_oneof![
+            (0usize..4).prop_map(|k| format!("V{k}")),
+            (-5i64..100).prop_map(|k| k.to_string()),
+            prop_oneof![Just("toy"), Just("shoe"), Just("jones")].prop_map(String::from),
+        ];
+        let atom = (prop_oneof![Just("emp"), Just("dept"), Just("p")], prop::collection::vec(term.clone(), 0..3))
+            .prop_map(|(p, args)| {
+                if args.is_empty() {
+                    p.to_string()
+                } else {
+                    format!("{p}({})", args.join(","))
+                }
+            });
+        let op = prop_oneof![
+            Just("<"), Just("<="), Just("="), Just("<>"), Just(">="), Just(">")
+        ];
+        let lit = prop_oneof![
+            atom.clone().prop_map(|a| a),
+            atom.clone().prop_map(|a| format!("not {a}")),
+            (term.clone(), op, term).prop_map(|(l, o, r)| format!("{l} {o} {r}")),
+        ];
+        (atom, prop::collection::vec(lit, 0..5)).prop_map(|(head, body)| {
+            if body.is_empty() {
+                format!("{head}.")
+            } else {
+                format!("{head} :- {}.", body.join(" & "))
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Display ∘ parse is the identity on everything the grammar
+        /// produces (pretty-printing round-trips).
+        #[test]
+        fn parse_display_round_trip(src in rule_source()) {
+            let rule = parse_rule(&src).unwrap();
+            let printed = rule.to_string();
+            let reparsed = parse_rule(&printed).unwrap();
+            prop_assert_eq!(rule, reparsed, "{}", printed);
+        }
+
+        /// Multi-rule programs round-trip as wholes.
+        #[test]
+        fn program_round_trip(rules in prop::collection::vec(rule_source(), 1..5)) {
+            let src = rules.join("\n");
+            let program = parse_program(&src).unwrap();
+            let printed = program.to_string();
+            let reparsed = parse_program(&printed).unwrap();
+            prop_assert_eq!(program, reparsed);
+        }
+
+        /// The lexer/parser never panic on arbitrary input — they return
+        /// errors.
+        #[test]
+        fn parser_is_panic_free(src in "\\PC*") {
+            let _ = parse_program(&src);
+        }
+    }
+}

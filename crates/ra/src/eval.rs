@@ -1,0 +1,471 @@
+//! Evaluation of relational-algebra expressions against a database.
+
+use crate::expr::Expr;
+use ccpi_ir::{Sym, Value};
+use ccpi_storage::{Database, Relation, Tuple};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised during type checking / evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaError {
+    /// Scan of an undeclared relation.
+    UnknownRelation(Sym),
+    /// A column index exceeds the input arity.
+    ColumnOutOfRange {
+        /// The offending column (0-based).
+        col: usize,
+        /// The input arity.
+        arity: usize,
+        /// Rendering of the offending expression node.
+        expr: String,
+    },
+    /// Union/difference of inputs with different arities.
+    ArityMismatch {
+        /// Left arity.
+        left: usize,
+        /// Right arity.
+        right: usize,
+        /// Rendering of the offending expression node.
+        expr: String,
+    },
+    /// A constant relation contains a row of the wrong arity.
+    BadConstRow,
+}
+
+impl fmt::Display for RaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
+            RaError::ColumnOutOfRange { col, arity, expr } => {
+                write!(f, "column #{} out of range for arity {arity} in {expr}", col + 1)
+            }
+            RaError::ArityMismatch { left, right, expr } => {
+                write!(f, "arity mismatch {left} vs {right} in {expr}")
+            }
+            RaError::BadConstRow => write!(f, "constant relation row has wrong arity"),
+        }
+    }
+}
+
+impl std::error::Error for RaError {}
+
+impl Expr {
+    /// The output arity, checking column references along the way.
+    pub fn arity(&self, db: &Database) -> Result<usize, RaError> {
+        match self {
+            Expr::Scan(name) => db
+                .relation(name.as_str())
+                .map(Relation::arity)
+                .ok_or_else(|| RaError::UnknownRelation(name.clone())),
+            Expr::Const { arity, rows } => {
+                if rows.iter().any(|r| r.arity() != *arity) {
+                    return Err(RaError::BadConstRow);
+                }
+                Ok(*arity)
+            }
+            Expr::Select { input, preds } => {
+                let a = input.arity(db)?;
+                for p in preds {
+                    if p.max_col() >= a {
+                        return Err(RaError::ColumnOutOfRange {
+                            col: p.max_col(),
+                            arity: a,
+                            expr: self.to_string(),
+                        });
+                    }
+                }
+                Ok(a)
+            }
+            Expr::Project { input, cols } => {
+                let a = input.arity(db)?;
+                if let Some(&c) = cols.iter().find(|&&c| c >= a) {
+                    return Err(RaError::ColumnOutOfRange {
+                        col: c,
+                        arity: a,
+                        expr: self.to_string(),
+                    });
+                }
+                Ok(cols.len())
+            }
+            Expr::Product { left, right } => Ok(left.arity(db)? + right.arity(db)?),
+            Expr::Join { left, right, on } => {
+                let (la, ra) = (left.arity(db)?, right.arity(db)?);
+                for &(l, r) in on {
+                    if l >= la || r >= ra {
+                        return Err(RaError::ColumnOutOfRange {
+                            col: l.max(r),
+                            arity: la.max(ra),
+                            expr: self.to_string(),
+                        });
+                    }
+                }
+                Ok(la + ra)
+            }
+            Expr::Union { left, right } | Expr::Difference { left, right } => {
+                let (la, ra) = (left.arity(db)?, right.arity(db)?);
+                if la != ra {
+                    return Err(RaError::ArityMismatch {
+                        left: la,
+                        right: ra,
+                        expr: self.to_string(),
+                    });
+                }
+                Ok(la)
+            }
+        }
+    }
+
+    /// Evaluates the expression to a materialized relation.
+    pub fn eval(&self, db: &Database) -> Result<Relation, RaError> {
+        // Type-check up front so evaluation can index freely.
+        let out_arity = self.arity(db)?;
+        let rel = self.eval_inner(db)?;
+        debug_assert_eq!(rel.arity(), out_arity);
+        Ok(rel)
+    }
+
+    /// `true` iff the result is nonempty — the form Theorem 5.3's test is
+    /// consumed in ("an expression … whose nonemptiness is the complete
+    /// local test"). Short-circuits unions.
+    pub fn nonempty(&self, db: &Database) -> Result<bool, RaError> {
+        match self {
+            Expr::Union { left, right } => {
+                Ok(left.nonempty(db)? || right.nonempty(db)?)
+            }
+            Expr::Select { .. } | Expr::Scan(_) | Expr::Const { .. } | Expr::Project { .. } => {
+                Ok(!self.eval(db)?.is_empty())
+            }
+            _ => Ok(!self.eval(db)?.is_empty()),
+        }
+    }
+
+    fn eval_inner(&self, db: &Database) -> Result<Relation, RaError> {
+        match self {
+            Expr::Scan(name) => Ok(db
+                .relation(name.as_str())
+                .ok_or_else(|| RaError::UnknownRelation(name.clone()))?
+                .clone()),
+            Expr::Const { arity, rows } => Ok(Relation::from_tuples(*arity, rows.iter().cloned())),
+            Expr::Select { input, preds } => {
+                let rel = input.eval_inner(db)?;
+                let arity = rel.arity();
+                Ok(Relation::from_tuples(
+                    arity,
+                    rel.iter()
+                        .filter(|t| preds.iter().all(|p| p.eval(t)))
+                        .cloned(),
+                ))
+            }
+            Expr::Project { input, cols } => {
+                let rel = input.eval_inner(db)?;
+                Ok(Relation::from_tuples(
+                    cols.len(),
+                    rel.iter().map(|t| {
+                        cols.iter().map(|&c| t[c].clone()).collect::<Tuple>()
+                    }),
+                ))
+            }
+            Expr::Product { left, right } => {
+                let (l, r) = (left.eval_inner(db)?, right.eval_inner(db)?);
+                let arity = l.arity() + r.arity();
+                let mut out = Relation::new(arity);
+                for lt in l.iter() {
+                    for rt in r.iter() {
+                        out.insert(lt.iter().chain(rt.iter()).cloned().collect());
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Join { left, right, on } => {
+                let (l, r) = (left.eval_inner(db)?, right.eval_inner(db)?);
+                let arity = l.arity() + r.arity();
+                let mut out = Relation::new(arity);
+                if on.is_empty() {
+                    for lt in l.iter() {
+                        for rt in r.iter() {
+                            out.insert(lt.iter().chain(rt.iter()).cloned().collect());
+                        }
+                    }
+                    return Ok(out);
+                }
+                // Hash join: build on the right side.
+                let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+                for rt in r.iter() {
+                    let key: Vec<Value> = on.iter().map(|&(_, rc)| rt[rc].clone()).collect();
+                    table.entry(key).or_default().push(rt);
+                }
+                for lt in l.iter() {
+                    let key: Vec<Value> = on.iter().map(|&(lc, _)| lt[lc].clone()).collect();
+                    if let Some(matches) = table.get(&key) {
+                        for rt in matches {
+                            out.insert(lt.iter().chain(rt.iter()).cloned().collect());
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Union { left, right } => {
+                let mut l = left.eval_inner(db)?;
+                for t in right.eval_inner(db)?.iter() {
+                    l.insert(t.clone());
+                }
+                Ok(l)
+            }
+            Expr::Difference { left, right } => {
+                let l = left.eval_inner(db)?;
+                let r = right.eval_inner(db)?;
+                Ok(Relation::from_tuples(
+                    l.arity(),
+                    l.iter().filter(|t| !r.contains(t)).cloned(),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::SelPred;
+    use ccpi_ir::CompOp;
+    use ccpi_storage::{tuple, Locality};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.declare("emp", 3, Locality::Local).unwrap();
+        db.declare("dept", 1, Locality::Remote).unwrap();
+        db.insert("emp", tuple!["jones", "shoe", 50]).unwrap();
+        db.insert("emp", tuple!["smith", "toy", 120]).unwrap();
+        db.insert("emp", tuple!["brown", "toy", 90]).unwrap();
+        db.insert("dept", tuple!["shoe"]).unwrap();
+        db.insert("dept", tuple!["toy"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn scan_and_select() {
+        let db = db();
+        let e = Expr::scan("emp").select(vec![SelPred::col_const(
+            2,
+            CompOp::Gt,
+            Value::int(100),
+        )]);
+        let r = e.eval(&db).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&tuple!["smith", "toy", 120]));
+    }
+
+    #[test]
+    fn project_dedupes() {
+        let db = db();
+        let e = Expr::scan("emp").project(vec![1]);
+        let r = e.eval(&db).unwrap();
+        assert_eq!(r.len(), 2); // shoe, toy
+        assert_eq!(r.arity(), 1);
+    }
+
+    #[test]
+    fn project_can_repeat_columns() {
+        let db = db();
+        let e = Expr::scan("dept").project(vec![0, 0]);
+        let r = e.eval(&db).unwrap();
+        assert!(r.contains(&tuple!["toy", "toy"]));
+        assert_eq!(r.arity(), 2);
+    }
+
+    #[test]
+    fn product_counts() {
+        let db = db();
+        let e = Expr::scan("emp").product(Expr::scan("dept"));
+        assert_eq!(e.eval(&db).unwrap().len(), 6);
+        assert_eq!(e.arity(&db).unwrap(), 4);
+    }
+
+    #[test]
+    fn join_matches_pairs() {
+        let db = db();
+        let e = Expr::scan("emp").join(Expr::scan("dept"), vec![(1, 0)]);
+        let r = e.eval(&db).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&tuple!["jones", "shoe", 50, "shoe"]));
+    }
+
+    #[test]
+    fn join_empty_key_is_product() {
+        let db = db();
+        let j = Expr::scan("emp").join(Expr::scan("dept"), vec![]);
+        let p = Expr::scan("emp").product(Expr::scan("dept"));
+        assert_eq!(j.eval(&db).unwrap(), p.eval(&db).unwrap());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let db = db();
+        let toy = Expr::scan("emp").select(vec![SelPred::col_const(
+            1,
+            CompOp::Eq,
+            Value::str("toy"),
+        )]);
+        let low = Expr::scan("emp").select(vec![SelPred::col_const(
+            2,
+            CompOp::Lt,
+            Value::int(100),
+        )]);
+        assert_eq!(toy.clone().union(low.clone()).eval(&db).unwrap().len(), 3);
+        let diff = toy.difference(low).eval(&db).unwrap();
+        assert_eq!(diff.len(), 1);
+        assert!(diff.contains(&tuple!["smith", "toy", 120]));
+    }
+
+    #[test]
+    fn nonempty_short_circuits_unions() {
+        let db = db();
+        let e = Expr::scan("emp").union(Expr::scan("bogus_union_arm").select(vec![]));
+        // Left arm nonempty; right arm would error — nonempty() must still
+        // be well-defined. Our implementation checks the left arm first.
+        assert!(e.nonempty(&db).unwrap());
+    }
+
+    #[test]
+    fn errors_unknown_relation() {
+        let db = db();
+        assert!(matches!(
+            Expr::scan("nope").eval(&db),
+            Err(RaError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn errors_column_out_of_range() {
+        let db = db();
+        let e = Expr::scan("dept").project(vec![3]);
+        assert!(matches!(e.eval(&db), Err(RaError::ColumnOutOfRange { .. })));
+        let e = Expr::scan("dept").select(vec![SelPred::col_col(0, CompOp::Eq, 5)]);
+        assert!(matches!(e.eval(&db), Err(RaError::ColumnOutOfRange { .. })));
+    }
+
+    #[test]
+    fn errors_union_arity_mismatch() {
+        let db = db();
+        let e = Expr::scan("emp").union(Expr::scan("dept"));
+        assert!(matches!(e.eval(&db), Err(RaError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn const_relation_round_trip() {
+        let db = db();
+        let e = Expr::constant(2, vec![tuple![1, 2]]);
+        assert_eq!(e.eval(&db).unwrap().len(), 1);
+        let bad = Expr::constant(2, vec![tuple![1]]);
+        assert!(matches!(bad.eval(&db), Err(RaError::BadConstRow)));
+    }
+
+    #[test]
+    fn example_5_4_plan_shape() {
+        // Insert (a,b,b): complete local test is σ_{#1=a ∧ #2=b ∧ #3=b}(L).
+        let mut db = Database::new();
+        db.declare("l", 3, Locality::Local).unwrap();
+        db.insert("l", tuple!["a", "b", "b"]).unwrap();
+        let e = Expr::scan("l").select(vec![
+            SelPred::col_const(0, CompOp::Eq, Value::str("a")),
+            SelPred::col_const(1, CompOp::Eq, Value::str("b")),
+            SelPred::col_const(2, CompOp::Eq, Value::str("b")),
+        ]);
+        assert!(e.nonempty(&db).unwrap());
+        db.delete("l", &tuple!["a", "b", "b"]).unwrap();
+        assert!(!e.nonempty(&db).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::expr::SelPred;
+    use ccpi_ir::CompOp;
+    use ccpi_storage::{tuple, Locality};
+    use proptest::prelude::*;
+
+    fn small_db(rows_a: &[(i64, i64)], rows_b: &[(i64, i64)]) -> Database {
+        let mut db = Database::new();
+        db.declare("a", 2, Locality::Local).unwrap();
+        db.declare("b", 2, Locality::Local).unwrap();
+        for &(x, y) in rows_a {
+            db.insert("a", tuple![x, y]).unwrap();
+        }
+        for &(x, y) in rows_b {
+            db.insert("b", tuple![x, y]).unwrap();
+        }
+        db
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Classic algebraic laws, checked on random instances:
+        /// σ-composition = conjunction, ∪/− interplay, join = σ(×).
+        #[test]
+        fn algebraic_laws(
+            rows_a in prop::collection::btree_set((0i64..4, 0i64..4), 0..8),
+            rows_b in prop::collection::btree_set((0i64..4, 0i64..4), 0..8),
+            k in 0i64..4,
+        ) {
+            let rows_a: Vec<_> = rows_a.into_iter().collect();
+            let rows_b: Vec<_> = rows_b.into_iter().collect();
+            let db = small_db(&rows_a, &rows_b);
+            let p1 = SelPred::col_const(0, CompOp::Le, Value::int(k));
+            let p2 = SelPred::col_col(0, CompOp::Lt, 1);
+
+            // σ[p1](σ[p2](a)) = σ[p1 ∧ p2](a)
+            let nested = Expr::scan("a").select(vec![p2.clone()]).select(vec![p1.clone()]);
+            let flat = Expr::scan("a").select(vec![p1.clone(), p2.clone()]);
+            prop_assert_eq!(nested.eval(&db).unwrap(), flat.eval(&db).unwrap());
+
+            // a − (a − b) = a ∩ b (via difference).
+            let inter1 = Expr::scan("a")
+                .difference(Expr::scan("a").difference(Expr::scan("b")));
+            let inter2 = Expr::scan("b")
+                .difference(Expr::scan("b").difference(Expr::scan("a")));
+            prop_assert_eq!(inter1.eval(&db).unwrap(), inter2.eval(&db).unwrap());
+
+            // a ⋈[#1=#1] b = σ[#1 = #3](a × b).
+            let join = Expr::scan("a").join(Expr::scan("b"), vec![(0, 0)]);
+            let product = Expr::scan("a")
+                .product(Expr::scan("b"))
+                .select(vec![SelPred::col_col(0, CompOp::Eq, 2)]);
+            prop_assert_eq!(join.eval(&db).unwrap(), product.eval(&db).unwrap());
+
+            // Union is commutative and idempotent.
+            let u1 = Expr::scan("a").union(Expr::scan("b"));
+            let u2 = Expr::scan("b").union(Expr::scan("a"));
+            prop_assert_eq!(u1.eval(&db).unwrap(), u2.eval(&db).unwrap());
+            let uu = Expr::scan("a").union(Expr::scan("a"));
+            prop_assert_eq!(uu.eval(&db).unwrap(), Expr::scan("a").eval(&db).unwrap());
+
+            // Projection after union = union of projections.
+            let pu = Expr::scan("a").union(Expr::scan("b")).project(vec![1]);
+            let up = Expr::scan("a")
+                .project(vec![1])
+                .union(Expr::scan("b").project(vec![1]));
+            prop_assert_eq!(pu.eval(&db).unwrap(), up.eval(&db).unwrap());
+        }
+
+        /// `nonempty` agrees with full evaluation everywhere.
+        #[test]
+        fn nonempty_agrees_with_eval(
+            rows_a in prop::collection::btree_set((0i64..3, 0i64..3), 0..5),
+            rows_b in prop::collection::btree_set((0i64..3, 0i64..3), 0..5),
+        ) {
+            let rows_a: Vec<_> = rows_a.into_iter().collect();
+            let rows_b: Vec<_> = rows_b.into_iter().collect();
+            let db = small_db(&rows_a, &rows_b);
+            for e in [
+                Expr::scan("a").union(Expr::scan("b")),
+                Expr::scan("a").difference(Expr::scan("b")),
+                Expr::scan("a").join(Expr::scan("b"), vec![(1, 0)]),
+            ] {
+                prop_assert_eq!(e.nonempty(&db).unwrap(), !e.eval(&db).unwrap().is_empty());
+            }
+        }
+    }
+}

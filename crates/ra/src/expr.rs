@@ -1,0 +1,334 @@
+//! The relational-algebra AST.
+
+use ccpi_ir::{CompOp, Sym, Value};
+use ccpi_storage::Tuple;
+use std::fmt;
+
+/// A selection predicate over the columns of the input (0-based indexes;
+/// displayed 1-based as `#1`, `#2`, … like the paper).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SelPred {
+    /// `#left op #right`.
+    ColCol {
+        /// Left column (0-based).
+        left: usize,
+        /// Operator.
+        op: CompOp,
+        /// Right column (0-based).
+        right: usize,
+    },
+    /// `#left op value`.
+    ColConst {
+        /// Column (0-based).
+        left: usize,
+        /// Operator.
+        op: CompOp,
+        /// Constant.
+        value: Value,
+    },
+}
+
+impl SelPred {
+    /// Column-to-column predicate.
+    pub fn col_col(left: usize, op: CompOp, right: usize) -> Self {
+        SelPred::ColCol { left, op, right }
+    }
+
+    /// Column-to-constant predicate.
+    pub fn col_const(left: usize, op: CompOp, value: Value) -> Self {
+        SelPred::ColConst { left, op, value }
+    }
+
+    /// Evaluates the predicate on a tuple.
+    pub fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            SelPred::ColCol { left, op, right } => op.eval(&t[*left], &t[*right]),
+            SelPred::ColConst { left, op, value } => op.eval(&t[*left], value),
+        }
+    }
+
+    /// Largest column index referenced.
+    pub fn max_col(&self) -> usize {
+        match self {
+            SelPred::ColCol { left, right, .. } => (*left).max(*right),
+            SelPred::ColConst { left, .. } => *left,
+        }
+    }
+}
+
+impl fmt::Display for SelPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelPred::ColCol { left, op, right } => {
+                write!(f, "#{} {} #{}", left + 1, op, right + 1)
+            }
+            SelPred::ColConst { left, op, value } => {
+                write!(f, "#{} {} {}", left + 1, op, value)
+            }
+        }
+    }
+}
+
+/// A relational-algebra expression (set semantics).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// A stored relation.
+    Scan(Sym),
+    /// An inline constant relation.
+    Const {
+        /// Arity of the rows.
+        arity: usize,
+        /// The rows.
+        rows: Vec<Tuple>,
+    },
+    /// `σ[preds](input)` — keep tuples satisfying every predicate.
+    Select {
+        /// Input expression.
+        input: Box<Expr>,
+        /// Conjunction of predicates.
+        preds: Vec<SelPred>,
+    },
+    /// `π[cols](input)` — positional projection (may repeat/reorder).
+    Project {
+        /// Input expression.
+        input: Box<Expr>,
+        /// Output columns as indexes into the input.
+        cols: Vec<usize>,
+    },
+    /// Cartesian product; columns of `right` follow those of `left`.
+    Product {
+        /// Left input.
+        left: Box<Expr>,
+        /// Right input.
+        right: Box<Expr>,
+    },
+    /// Equijoin on column pairs `(left_col, right_col)`; output columns are
+    /// all of `left` followed by all of `right` (like a filtered product).
+    Join {
+        /// Left input.
+        left: Box<Expr>,
+        /// Right input.
+        right: Box<Expr>,
+        /// Join keys.
+        on: Vec<(usize, usize)>,
+    },
+    /// Set union (arity must agree).
+    Union {
+        /// Left input.
+        left: Box<Expr>,
+        /// Right input.
+        right: Box<Expr>,
+    },
+    /// Set difference `left − right` (arity must agree).
+    Difference {
+        /// Left input.
+        left: Box<Expr>,
+        /// Right input.
+        right: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Scans a stored relation.
+    pub fn scan(name: impl AsRef<str>) -> Expr {
+        Expr::Scan(Sym::new(name))
+    }
+
+    /// An inline constant relation.
+    pub fn constant(arity: usize, rows: Vec<Tuple>) -> Expr {
+        Expr::Const { arity, rows }
+    }
+
+    /// The empty relation of a given arity.
+    pub fn empty(arity: usize) -> Expr {
+        Expr::Const { arity, rows: vec![] }
+    }
+
+    /// Wraps in a selection (no-op if `preds` is empty).
+    pub fn select(self, preds: Vec<SelPred>) -> Expr {
+        if preds.is_empty() {
+            self
+        } else {
+            Expr::Select {
+                input: Box::new(self),
+                preds,
+            }
+        }
+    }
+
+    /// Wraps in a projection.
+    pub fn project(self, cols: Vec<usize>) -> Expr {
+        Expr::Project {
+            input: Box::new(self),
+            cols,
+        }
+    }
+
+    /// Cartesian product.
+    pub fn product(self, right: Expr) -> Expr {
+        Expr::Product {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Equijoin.
+    pub fn join(self, right: Expr, on: Vec<(usize, usize)>) -> Expr {
+        Expr::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+        }
+    }
+
+    /// Set union.
+    pub fn union(self, right: Expr) -> Expr {
+        Expr::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Union of several expressions of equal arity; `None` if empty input.
+    pub fn union_all(mut exprs: Vec<Expr>) -> Option<Expr> {
+        let first = if exprs.is_empty() {
+            return None;
+        } else {
+            exprs.remove(0)
+        };
+        Some(exprs.into_iter().fold(first, |acc, e| acc.union(e)))
+    }
+
+    /// Set difference.
+    pub fn difference(self, right: Expr) -> Expr {
+        Expr::Difference {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Number of AST nodes — used to report compiled-plan sizes in the
+    /// Theorem 5.3 experiments.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Scan(_) | Expr::Const { .. } => 1,
+            Expr::Select { input, .. } | Expr::Project { input, .. } => 1 + input.size(),
+            Expr::Product { left, right }
+            | Expr::Join { left, right, .. }
+            | Expr::Union { left, right }
+            | Expr::Difference { left, right } => 1 + left.size() + right.size(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Scan(name) => write!(f, "{name}"),
+            Expr::Const { rows, .. } => {
+                write!(f, "{{")?;
+                for (i, r) in rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, "}}")
+            }
+            Expr::Select { input, preds } => {
+                write!(f, "σ[")?;
+                for (i, p) in preds.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "]({input})")
+            }
+            Expr::Project { input, cols } => {
+                write!(f, "π[")?;
+                for (i, c) in cols.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "#{}", c + 1)?;
+                }
+                write!(f, "]({input})")
+            }
+            Expr::Product { left, right } => write!(f, "({left} × {right})"),
+            Expr::Join { left, right, on } => {
+                write!(f, "({left} ⋈[")?;
+                for (i, (l, r)) in on.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "#{}=#{}", l + 1, r + 1)?;
+                }
+                write!(f, "] {right})")
+            }
+            Expr::Union { left, right } => write!(f, "({left} ∪ {right})"),
+            Expr::Difference { left, right } => write!(f, "({left} − {right})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_storage::tuple;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        // Example 5.4's complete local test: σ_{#1=a ∧ #2=b ∧ #3=b}(L).
+        let e = Expr::scan("l").select(vec![
+            SelPred::col_const(0, CompOp::Eq, Value::str("a")),
+            SelPred::col_const(1, CompOp::Eq, Value::str("b")),
+            SelPred::col_const(2, CompOp::Eq, Value::str("b")),
+        ]);
+        assert_eq!(e.to_string(), "σ[#1 = a ∧ #2 = b ∧ #3 = b](l)");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let e = Expr::scan("emp")
+            .join(Expr::scan("dept"), vec![(1, 0)])
+            .project(vec![0])
+            .select(vec![SelPred::col_const(0, CompOp::Ne, Value::str("x"))]);
+        assert_eq!(
+            e.to_string(),
+            "σ[#1 <> x](π[#1]((emp ⋈[#2=#1] dept)))"
+        );
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn select_with_no_preds_is_identity() {
+        let e = Expr::scan("l").select(vec![]);
+        assert_eq!(e, Expr::scan("l"));
+    }
+
+    #[test]
+    fn union_all_folds() {
+        assert!(Expr::union_all(vec![]).is_none());
+        let one = Expr::union_all(vec![Expr::scan("a")]).unwrap();
+        assert_eq!(one, Expr::scan("a"));
+        let three =
+            Expr::union_all(vec![Expr::scan("a"), Expr::scan("b"), Expr::scan("c")]).unwrap();
+        assert_eq!(three.to_string(), "((a ∪ b) ∪ c)");
+    }
+
+    #[test]
+    fn selpred_eval() {
+        let t = tuple![3, 6, 3];
+        assert!(SelPred::col_col(0, CompOp::Eq, 2).eval(&t));
+        assert!(!SelPred::col_col(0, CompOp::Eq, 1).eval(&t));
+        assert!(SelPred::col_const(1, CompOp::Gt, Value::int(5)).eval(&t));
+        assert_eq!(SelPred::col_col(0, CompOp::Le, 2).max_col(), 2);
+    }
+
+    #[test]
+    fn const_display() {
+        let e = Expr::constant(2, vec![tuple![1, 2], tuple![3, 4]]);
+        assert_eq!(e.to_string(), "{(1,2), (3,4)}");
+    }
+}

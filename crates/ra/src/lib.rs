@@ -1,0 +1,33 @@
+//! # `ccpi-ra` — relational algebra
+//!
+//! Theorem 5.3 of GSUW'94 compiles the complete local test of an
+//! arithmetic-free CQC into "an expression of relational algebra whose
+//! nonemptiness is the complete local test". This crate supplies the target
+//! language: a positional relational-algebra AST ([`Expr`]) with selection,
+//! projection, product, equijoin, union and difference, an evaluator
+//! against [`ccpi_storage::Database`], and a σ/π/⋈ pretty-printer matching
+//! the paper's `σ_{#1=a ∧ #2=b ∧ #3=b}(L)` notation (Example 5.4; columns
+//! are displayed 1-based like the paper, but indexed 0-based in the API).
+//!
+//! # Example
+//! ```
+//! use ccpi_ra::{Expr, SelPred};
+//! use ccpi_ir::{CompOp, Value};
+//! use ccpi_storage::{tuple, Database, Locality};
+//!
+//! let mut db = Database::new();
+//! db.declare("l", 2, Locality::Local).unwrap();
+//! db.insert("l", tuple![3, 6]).unwrap();
+//! db.insert("l", tuple![5, 10]).unwrap();
+//!
+//! // σ_{#1 = 5}(l)
+//! let e = Expr::scan("l").select(vec![SelPred::col_const(0, CompOp::Eq, Value::int(5))]);
+//! assert_eq!(e.eval(&db).unwrap().len(), 1);
+//! assert_eq!(e.to_string(), "σ[#1 = 5](l)");
+//! ```
+
+mod eval;
+mod expr;
+
+pub use eval::RaError;
+pub use expr::{Expr, SelPred};

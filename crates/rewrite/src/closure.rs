@@ -1,0 +1,216 @@
+//! Theorems 4.2 / 4.3 — class closure under updates (Figs. 4.1, 4.2).
+//!
+//! * **Theorem 4.2 / Fig. 4.1**: the eight classes whose shape allows
+//!   adding rules (everything except the four single-CQ classes) can
+//!   express any constraint after an **insertion**, in the same language.
+//! * **Theorem 4.3 / Fig. 4.2**: the six classes that additionally have
+//!   arithmetic or negation can express constraints after a **deletion**
+//!   ("It does not appear to be possible to avoid using one of negation
+//!   and arithmetic comparisons").
+//!
+//! [`verify_figure`] machine-checks the claims constructively: for each of
+//! the twelve classes it builds a representative constraint exercising all
+//! the class's features, rewrites it for an insertion/deletion with the
+//! style appropriate to the class, classifies the result, and compares
+//! against the figure. This is the generator behind the `f41`/`f42`
+//! experiment tables.
+
+use crate::rules::{rewrite, RewriteStyle, RewrittenConstraint};
+use ccpi_ir::class::{classify, ConstraintClass, LangShape};
+use ccpi_parser::parse_constraint;
+use ccpi_storage::{tuple, Update};
+use ccpi_ir::Constraint;
+
+/// Which update kind a closure row talks about.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UpdateKind {
+    /// Single-tuple insertion (Fig. 4.1).
+    Insertion,
+    /// Single-tuple deletion (Fig. 4.2).
+    Deletion,
+}
+
+/// One row of the machine-checked closure table.
+#[derive(Clone, Debug)]
+pub struct ClosureRow {
+    /// The class under test.
+    pub class: ConstraintClass,
+    /// Whether the figure circles this class (claims closure).
+    pub claimed_closed: bool,
+    /// The class of the actual rewrite we produced.
+    pub achieved_class: ConstraintClass,
+    /// `true` when `achieved_class ≤ class` — i.e. the rewrite stayed in
+    /// the language, confirming closure constructively.
+    pub verified: bool,
+}
+
+/// A representative constraint for each class, exercising exactly the
+/// class's features over the schema `p/2`, `q/1` (plus IDB helpers).
+pub fn representative(class: ConstraintClass) -> Constraint {
+    let mut body_extras = String::new();
+    if class.arithmetic {
+        body_extras.push_str(" & X < 7");
+    }
+    if class.negation {
+        body_extras.push_str(" & not q(Y)");
+    }
+    let src = match class.shape {
+        LangShape::SingleCq => format!("panic :- p(X,Y){body_extras}."),
+        LangShape::UnionCq => format!(
+            "panic :- p(X,Y){body_extras}.\n\
+             panic :- aux(X,Y).\n\
+             aux(A,B) :- p(A,B) & p(B,A)."
+        ),
+        LangShape::Recursive => format!(
+            "panic :- reach(X,Y){body_extras}.\n\
+             reach(A,B) :- p(A,B).\n\
+             reach(A,C) :- reach(A,B) & p(B,C)."
+        ),
+    };
+    parse_constraint(&src).expect("representative parses")
+}
+
+/// Rewrites a class representative for the given update kind, choosing the
+/// style that stays inside the class when the figure claims closure:
+/// insertions use the pure auxiliary-predicate technique; deletions use
+/// the `<>` technique when the class has arithmetic, the negated-helper
+/// technique when it has (only) negation, and default to arithmetic
+/// otherwise (escalating the class, as Theorem 4.3 predicts).
+pub fn rewrite_representative(
+    class: ConstraintClass,
+    kind: UpdateKind,
+) -> RewrittenConstraint {
+    let c = representative(class);
+    let (update, style) = match kind {
+        UpdateKind::Insertion => (
+            Update::insert("p", tuple![1, 2]),
+            RewriteStyle::Auxiliary,
+        ),
+        UpdateKind::Deletion => (
+            Update::delete("p", tuple![1, 2]),
+            if class.arithmetic || !class.negation {
+                RewriteStyle::Auxiliary
+            } else {
+                RewriteStyle::AuxiliaryNegation
+            },
+        ),
+    };
+    rewrite(&c, &update, style).expect("representatives rewrite cleanly")
+}
+
+/// Machine-checks one figure: returns a row per class.
+pub fn verify_figure(kind: UpdateKind) -> Vec<ClosureRow> {
+    ConstraintClass::all()
+        .into_iter()
+        .map(|class| {
+            let claimed = match kind {
+                UpdateKind::Insertion => class.closed_under_insertion(),
+                UpdateKind::Deletion => class.closed_under_deletion(),
+            };
+            let r = rewrite_representative(class, kind);
+            let achieved = classify(r.constraint.program());
+            ClosureRow {
+                class,
+                claimed_closed: claimed,
+                achieved_class: achieved,
+                verified: achieved.le(class),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representatives_classify_as_their_class() {
+        for class in ConstraintClass::all() {
+            let c = representative(class);
+            assert_eq!(classify(c.program()), class, "{class}");
+        }
+    }
+
+    /// Fig. 4.1, constructive direction: every class the figure circles
+    /// really re-expresses its post-insertion constraints within itself.
+    #[test]
+    fn fig_4_1_closure_verified_constructively() {
+        for row in verify_figure(UpdateKind::Insertion) {
+            if row.claimed_closed {
+                assert!(
+                    row.verified,
+                    "{} claimed closed under insertion but rewrite landed in {}",
+                    row.class, row.achieved_class
+                );
+            }
+        }
+    }
+
+    /// Fig. 4.1, counting: exactly the four single-CQ classes escalate.
+    #[test]
+    fn fig_4_1_non_closed_classes_escalate_to_union() {
+        let rows = verify_figure(UpdateKind::Insertion);
+        let escalated: Vec<_> = rows.iter().filter(|r| !r.claimed_closed).collect();
+        assert_eq!(escalated.len(), 4);
+        for r in escalated {
+            assert_eq!(r.class.shape, LangShape::SingleCq);
+            assert_eq!(r.achieved_class.shape, LangShape::UnionCq);
+            // The escalation is *only* in shape: no new features.
+            assert_eq!(r.achieved_class.arithmetic, r.class.arithmetic);
+            assert_eq!(r.achieved_class.negation, r.class.negation);
+        }
+    }
+
+    /// Fig. 4.2: the six circled classes verify constructively.
+    #[test]
+    fn fig_4_2_closure_verified_constructively() {
+        for row in verify_figure(UpdateKind::Deletion) {
+            if row.claimed_closed {
+                assert!(
+                    row.verified,
+                    "{} claimed closed under deletion but rewrite landed in {}",
+                    row.class, row.achieved_class
+                );
+            }
+        }
+    }
+
+    /// Fig. 4.2: classes without arithmetic or negation must pick one up —
+    /// deletion rewrites cannot stay pure (Theorem 4.3's "does not appear
+    /// possible" direction, witnessed by our constructions).
+    #[test]
+    fn fig_4_2_pure_classes_gain_a_feature() {
+        for row in verify_figure(UpdateKind::Deletion) {
+            if !row.class.arithmetic && !row.class.negation {
+                assert!(
+                    row.achieved_class.arithmetic || row.achieved_class.negation,
+                    "{}",
+                    row.class
+                );
+            }
+        }
+    }
+
+    /// Every rewrite row (closed or not) lands within the minimal
+    /// enclosing class predicted by the theorems: join with UnionCq shape
+    /// for insertion; plus arithmetic-or-negation for deletion.
+    #[test]
+    fn all_rewrites_land_in_predicted_enclosing_class() {
+        for row in verify_figure(UpdateKind::Insertion) {
+            let bound = ConstraintClass::new(
+                row.class.shape.max(LangShape::UnionCq),
+                row.class.arithmetic,
+                row.class.negation,
+            );
+            assert!(row.achieved_class.le(bound), "{}", row.class);
+        }
+        for row in verify_figure(UpdateKind::Deletion) {
+            let bound = ConstraintClass::new(
+                row.class.shape.max(LangShape::UnionCq),
+                true, // deletion defaults to the arithmetic technique
+                row.class.negation,
+            );
+            assert!(row.achieved_class.le(bound), "{}", row.class);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # `ccpi-rewrite` — rewriting constraints to reflect updates (§4)
+//!
+//! "We take a constraint `C` and an update, and we try to construct a new
+//! constraint `C′` that holds before the update if and only if `C` holds
+//! after the update. The test for whether `C` holds after the update …
+//! is to see whether `C′` is contained in `C ∪ C₁ ∪ ⋯ ∪ Cₙ`."
+//!
+//! * [`rewrite`] — builds `C′` for single-tuple insertions (Example 4.1's
+//!   auxiliary-predicate technique: `p1(X̄) :- p(X̄).  p1(t̄).`) and
+//!   deletions (Example 4.2's arity-way `<>` split, or the negated
+//!   `isJones`-style auxiliary), in several styles ([`RewriteStyle`]);
+//! * [`closure`] — Theorems 4.2/4.3: which of the twelve classes of
+//!   Fig. 2.1 are closed under insertion (Fig. 4.1) and deletion
+//!   (Fig. 4.2), including machine verification that each produced rewrite
+//!   classifies where the figure says;
+//! * [`independence`] — the query-independent-of-update test (Elkan
+//!   \[1990\], Levy–Sagiv \[1993\]): `C′ ⊆ C ∪ C₁ ∪ ⋯ ∪ Cₙ` via the
+//!   containment stack.
+
+pub mod closure;
+pub mod independence;
+mod rules;
+
+pub use rules::{rewrite, RewriteStyle, RewrittenConstraint};

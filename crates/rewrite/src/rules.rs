@@ -1,0 +1,678 @@
+//! Construction of the post-update constraint `C′` (§4).
+//!
+//! `C′` holds on the database *before* the update iff `C` holds *after* it.
+//! Three construction styles are provided, matching the paper's toolbox:
+//!
+//! * [`RewriteStyle::Auxiliary`] — Example 4.1 / 4.2: define `p1` that
+//!   denotes the post-update relation and substitute it for `p`. For
+//!   insertions `p1` needs only pure rules (`p1(X̄) :- p(X̄).  p1(t̄).`);
+//!   for deletions the defining rules carry `<>` comparisons
+//!   (`emp1(E,D,S) :- emp(E,D,S) & E <> jones.` …).
+//! * [`RewriteStyle::AuxiliaryNegation`] — Example 4.2's second trick:
+//!   deletions expressed with negated membership tests (`not isJones(E)`)
+//!   instead of `<>`, for classes that have negation but no arithmetic.
+//! * [`RewriteStyle::Inline`] — no auxiliary predicates: occurrences of
+//!   `p` are expanded in place (a positive occurrence of an inserted tuple
+//!   becomes a choice "matches the old relation ∨ equals `t`"; a negated
+//!   occurrence picks up disequalities, Example 4.1's
+//!   `panic :- emp(E,D,S) & not dept(D) & D <> toy`). Produces a union of
+//!   CQs in the general case — Theorem 4.1 proves no single-CQ form exists.
+
+use ccpi_ir::class::{classify, ConstraintClass};
+use ccpi_ir::{Atom, CompOp, Comparison, Constraint, IrError, Literal, Program, Rule, Sym, Term};
+use ccpi_storage::{Tuple, Update};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How to express the post-update constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RewriteStyle {
+    /// Auxiliary predicate; deletions use `<>` comparisons.
+    Auxiliary,
+    /// Auxiliary predicate; deletions use negated membership helpers.
+    AuxiliaryNegation,
+    /// In-place expansion into a union of rules (no auxiliary predicate).
+    Inline,
+}
+
+/// The result of rewriting a constraint for an update.
+#[derive(Clone, Debug)]
+pub struct RewrittenConstraint {
+    /// The post-update constraint `C′`.
+    pub constraint: Constraint,
+    /// Class of the input constraint (Fig. 2.1).
+    pub class_before: ConstraintClass,
+    /// Class of `C′`.
+    pub class_after: ConstraintClass,
+    /// The style used.
+    pub style: RewriteStyle,
+}
+
+/// Errors from rewriting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The update's arity does not match the predicate's use in `C`.
+    ArityMismatch {
+        /// The updated predicate.
+        pred: Sym,
+        /// Arity inferred from the constraint.
+        expected: usize,
+        /// The update tuple's arity.
+        got: usize,
+    },
+    /// Inline expansion exceeded the rule budget.
+    TooManyRules(usize),
+    /// IR-level validation failure when assembling `C′`.
+    Ir(IrError),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::ArityMismatch { pred, expected, got } => write!(
+                f,
+                "update tuple arity {got} does not match `{pred}`'s arity {expected} in the constraint"
+            ),
+            RewriteError::TooManyRules(n) => {
+                write!(f, "inline rewrite produced more than {n} rules")
+            }
+            RewriteError::Ir(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<IrError> for RewriteError {
+    fn from(e: IrError) -> Self {
+        RewriteError::Ir(e)
+    }
+}
+
+/// Hard cap on inline-expansion output size.
+pub const MAX_REWRITE_RULES: usize = 4096;
+
+/// Builds `C′` for `update` in the requested style.
+///
+/// If the updated predicate does not occur in the constraint, `C′ = C`
+/// (the constraint is trivially independent of the update).
+pub fn rewrite(
+    c: &Constraint,
+    update: &Update,
+    style: RewriteStyle,
+) -> Result<RewrittenConstraint, RewriteError> {
+    let class_before = classify(c.program());
+    let pred = update.pred();
+    let tuple = update.tuple();
+
+    // Check the predicate's arity as used in the constraint.
+    let sig = c.program().signature()?;
+    if let Some(&arity) = sig.get(pred.as_str()) {
+        if arity != tuple.arity() {
+            return Err(RewriteError::ArityMismatch {
+                pred: pred.clone(),
+                expected: arity,
+                got: tuple.arity(),
+            });
+        }
+    } else {
+        // Predicate not mentioned: C is unaffected.
+        return Ok(RewrittenConstraint {
+            constraint: c.clone(),
+            class_before,
+            class_after: class_before,
+            style,
+        });
+    }
+
+    let program = match (style, update) {
+        (RewriteStyle::Auxiliary, Update::Insert { .. }) => {
+            auxiliary_insert(c.program(), pred, tuple)
+        }
+        (RewriteStyle::AuxiliaryNegation, Update::Insert { .. }) => {
+            auxiliary_insert(c.program(), pred, tuple)
+        }
+        (RewriteStyle::Auxiliary, Update::Delete { .. }) => {
+            auxiliary_delete_arith(c.program(), pred, tuple)
+        }
+        (RewriteStyle::AuxiliaryNegation, Update::Delete { .. }) => {
+            auxiliary_delete_neg(c.program(), pred, tuple)
+        }
+        (RewriteStyle::Inline, Update::Insert { .. }) => {
+            inline_rewrite(c.program(), pred, tuple, true)?
+        }
+        (RewriteStyle::Inline, Update::Delete { .. }) => {
+            inline_rewrite(c.program(), pred, tuple, false)?
+        }
+    };
+    let constraint = Constraint::new(program)?;
+    let class_after = classify(constraint.program());
+    Ok(RewrittenConstraint {
+        constraint,
+        class_before,
+        class_after,
+        style,
+    })
+}
+
+/// A name for the auxiliary predicate that does not collide with any
+/// predicate of the program.
+fn fresh_pred(program: &Program, base: &str) -> Sym {
+    let used = program.signature().map(|s| s.into_keys().collect::<BTreeSet<_>>());
+    let used = used.unwrap_or_default();
+    let mut name = format!("{base}1");
+    let mut k = 1;
+    while used.contains(name.as_str()) {
+        k += 1;
+        name = format!("{base}{k}");
+    }
+    Sym::new(name)
+}
+
+fn rename_occurrences(program: &Program, from: &Sym, to: &Sym) -> Vec<Rule> {
+    let rename = |a: &Atom| -> Atom {
+        if a.pred == *from {
+            Atom {
+                pred: to.clone(),
+                args: a.args.clone(),
+            }
+        } else {
+            a.clone()
+        }
+    };
+    program
+        .rules
+        .iter()
+        .map(|r| {
+            Rule::new(
+                // Heads never use the updated (EDB) predicate in valid
+                // constraints; rename defensively anyway.
+                rename(&r.head),
+                r.body
+                    .iter()
+                    .map(|l| match l {
+                        Literal::Pos(a) => Literal::Pos(rename(a)),
+                        Literal::Neg(a) => Literal::Neg(rename(a)),
+                        cmp => cmp.clone(),
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn generic_args(arity: usize) -> Vec<Term> {
+    (0..arity)
+        .map(|i| Term::Var(ccpi_ir::Var::new(format!("W{i}"))))
+        .collect()
+}
+
+fn tuple_terms(t: &Tuple) -> Vec<Term> {
+    t.iter().cloned().map(Term::Const).collect()
+}
+
+/// Example 4.1: `p1(X̄) :- p(X̄).  p1(t̄).` and substitute.
+fn auxiliary_insert(program: &Program, pred: &Sym, t: &Tuple) -> Program {
+    let p1 = fresh_pred(program, pred.as_str());
+    let mut rules = vec![
+        Rule::new(
+            Atom {
+                pred: p1.clone(),
+                args: generic_args(t.arity()),
+            },
+            vec![Literal::Pos(Atom {
+                pred: pred.clone(),
+                args: generic_args(t.arity()),
+            })],
+        ),
+        Rule::fact(Atom {
+            pred: p1.clone(),
+            args: tuple_terms(t),
+        }),
+    ];
+    rules.extend(rename_occurrences(program, pred, &p1));
+    Program::new(rules)
+}
+
+/// Example 4.2: one defining rule per component with a `<>` comparison.
+fn auxiliary_delete_arith(program: &Program, pred: &Sym, t: &Tuple) -> Program {
+    let p1 = fresh_pred(program, pred.as_str());
+    let args = generic_args(t.arity());
+    let mut rules: Vec<Rule> = (0..t.arity())
+        .map(|i| {
+            Rule::new(
+                Atom {
+                    pred: p1.clone(),
+                    args: args.clone(),
+                },
+                vec![
+                    Literal::Pos(Atom {
+                        pred: pred.clone(),
+                        args: args.clone(),
+                    }),
+                    Literal::Cmp(Comparison::new(
+                        args[i].clone(),
+                        CompOp::Ne,
+                        Term::Const(t[i].clone()),
+                    )),
+                ],
+            )
+        })
+        .collect();
+    rules.extend(rename_occurrences(program, pred, &p1));
+    Program::new(rules)
+}
+
+/// Example 4.2's `isJones` variant: negated membership helpers instead of
+/// `<>` comparisons.
+fn auxiliary_delete_neg(program: &Program, pred: &Sym, t: &Tuple) -> Program {
+    let p1 = fresh_pred(program, pred.as_str());
+    let args = generic_args(t.arity());
+    let mut rules = Vec::new();
+    for i in 0..t.arity() {
+        let helper = Sym::new(format!("{p1}_is{i}"));
+        rules.push(Rule::new(
+            Atom {
+                pred: p1.clone(),
+                args: args.clone(),
+            },
+            vec![
+                Literal::Pos(Atom {
+                    pred: pred.clone(),
+                    args: args.clone(),
+                }),
+                Literal::Neg(Atom {
+                    pred: helper.clone(),
+                    args: vec![args[i].clone()],
+                }),
+            ],
+        ));
+        rules.push(Rule::fact(Atom {
+            pred: helper,
+            args: vec![Term::Const(t[i].clone())],
+        }));
+    }
+    rules.extend(rename_occurrences(program, pred, &p1));
+    Program::new(rules)
+}
+
+/// In-place expansion; `insert = true` for insertions.
+fn inline_rewrite(
+    program: &Program,
+    pred: &Sym,
+    t: &Tuple,
+    insert: bool,
+) -> Result<Program, RewriteError> {
+    let mut rules: Vec<Rule> = Vec::new();
+    for rule in &program.rules {
+        expand_rule(rule, pred, t, insert, &mut rules)?;
+        if rules.len() > MAX_REWRITE_RULES {
+            return Err(RewriteError::TooManyRules(MAX_REWRITE_RULES));
+        }
+    }
+    Ok(Program::new(rules))
+}
+
+/// Expands one rule into the disjunction of its post-update variants.
+///
+/// Literals are processed left to right; the processed prefix (`done`) is
+/// final and never re-expanded (kept occurrences of the updated predicate
+/// denote the *old* relation). When a unification with the update tuple
+/// occurs, the substitution is applied to the head, to `done` (which stays
+/// final), and to the unprocessed suffix (which continues to expand).
+fn expand_rule(
+    rule: &Rule,
+    pred: &Sym,
+    t: &Tuple,
+    insert: bool,
+    out: &mut Vec<Rule>,
+) -> Result<(), RewriteError> {
+    // Work queue of partial expansions: (head, done, remaining).
+    let mut queue: Vec<(Atom, Vec<Literal>, Vec<Literal>)> =
+        vec![(rule.head.clone(), Vec::new(), rule.body.clone())];
+    while let Some((head, done, mut rest)) = queue.pop() {
+        let Some(lit) = rest.first().cloned() else {
+            out.push(Rule::new(head, done));
+            if out.len() > MAX_REWRITE_RULES {
+                return Err(RewriteError::TooManyRules(MAX_REWRITE_RULES));
+            }
+            continue;
+        };
+        rest.remove(0);
+        match (&lit, insert) {
+            // Positive occurrence of the inserted predicate:
+            // p_new(a) = p(a) OR a = t.
+            (Literal::Pos(a), true) if a.pred == *pred => {
+                // Variant 1: matches the old relation.
+                let mut d1 = done.clone();
+                d1.push(lit.clone());
+                queue.push((head.clone(), d1, rest.clone()));
+                // Variant 2: equals the inserted tuple.
+                if let Some(mgu) = ccpi_containment::unfold::unify_atoms(
+                    a,
+                    &Atom {
+                        pred: pred.clone(),
+                        args: tuple_terms(t),
+                    },
+                ) {
+                    let d2 = done.iter().map(|l| mgu.apply_literal(l)).collect();
+                    let r2 = rest.iter().map(|l| mgu.apply_literal(l)).collect();
+                    queue.push((mgu.apply_atom(&head), d2, r2));
+                }
+            }
+            // Positive occurrence of the deleted predicate:
+            // p_new(a) = p(a) AND a != t.
+            (Literal::Pos(a), false) if a.pred == *pred => {
+                if static_mismatch(a, t).is_some() {
+                    // A constant already differs from t: a != t always holds.
+                    let mut d = done.clone();
+                    d.push(lit.clone());
+                    queue.push((head.clone(), d, rest.clone()));
+                } else {
+                    for (i, arg) in a.args.iter().enumerate() {
+                        if arg.is_var() {
+                            let mut d = done.clone();
+                            d.push(lit.clone());
+                            d.push(Literal::Cmp(Comparison::new(
+                                arg.clone(),
+                                CompOp::Ne,
+                                Term::Const(t[i].clone()),
+                            )));
+                            queue.push((head.clone(), d, rest.clone()));
+                        }
+                        // Constant equal to t[i]: that disjunct is false.
+                    }
+                }
+            }
+            // Negated occurrence, insertion:
+            // not p_new(a) = not p(a) AND a != t.
+            (Literal::Neg(a), true) if a.pred == *pred => {
+                if static_mismatch(a, t).is_some() {
+                    let mut d = done.clone();
+                    d.push(lit.clone());
+                    queue.push((head.clone(), d, rest.clone()));
+                } else {
+                    for (i, arg) in a.args.iter().enumerate() {
+                        if arg.is_var() {
+                            let mut d = done.clone();
+                            d.push(lit.clone());
+                            d.push(Literal::Cmp(Comparison::new(
+                                arg.clone(),
+                                CompOp::Ne,
+                                Term::Const(t[i].clone()),
+                            )));
+                            queue.push((head.clone(), d, rest.clone()));
+                        }
+                    }
+                }
+            }
+            // Negated occurrence, deletion:
+            // not p_new(a) = not p(a) OR a = t.
+            (Literal::Neg(a), false) if a.pred == *pred => {
+                let mut d1 = done.clone();
+                d1.push(lit.clone());
+                queue.push((head.clone(), d1, rest.clone()));
+                if let Some(mgu) = ccpi_containment::unfold::unify_atoms(
+                    a,
+                    &Atom {
+                        pred: pred.clone(),
+                        args: tuple_terms(t),
+                    },
+                ) {
+                    let d2 = done.iter().map(|l| mgu.apply_literal(l)).collect();
+                    let r2 = rest.iter().map(|l| mgu.apply_literal(l)).collect();
+                    queue.push((mgu.apply_atom(&head), d2, r2));
+                }
+            }
+            _ => {
+                let mut d = done.clone();
+                d.push(lit.clone());
+                queue.push((head.clone(), d, rest.clone()));
+            }
+        }
+        if out.len() + queue.len() > MAX_REWRITE_RULES {
+            return Err(RewriteError::TooManyRules(MAX_REWRITE_RULES));
+        }
+    }
+    Ok(())
+}
+
+fn static_mismatch(a: &Atom, t: &Tuple) -> Option<usize> {
+    a.args.iter().enumerate().find_map(|(i, arg)| match arg {
+        Term::Const(c) if *c != t[i] => Some(i),
+        _ => None,
+    })
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_datalog::constraint_violated;
+    use ccpi_parser::parse_constraint;
+    use ccpi_storage::{tuple, Database, Locality};
+    use proptest::prelude::*;
+
+    fn c(src: &str) -> Constraint {
+        parse_constraint(src).unwrap()
+    }
+
+    /// Example 4.1: insertion of `toy` into `dept`, auxiliary style.
+    #[test]
+    fn example_4_1_auxiliary_form() {
+        let c1 = c("panic :- emp(E,D,S) & not dept(D).");
+        let upd = Update::insert("dept", tuple!["toy"]);
+        let r = rewrite(&c1, &upd, RewriteStyle::Auxiliary).unwrap();
+        assert_eq!(
+            r.constraint.to_string(),
+            "dept1(W0) :- dept(W0).\ndept1(toy).\npanic :- emp(E,D,S) & not dept1(D)."
+        );
+        use ccpi_ir::class::LangShape;
+        assert_eq!(r.class_before.shape, LangShape::SingleCq);
+        assert_eq!(r.class_after.shape, LangShape::UnionCq);
+    }
+
+    /// Example 4.1's single-rule form: `D <> toy` via inline style.
+    #[test]
+    fn example_4_1_inline_form() {
+        let c1 = c("panic :- emp(E,D,S) & not dept(D).");
+        let upd = Update::insert("dept", tuple!["toy"]);
+        let r = rewrite(&c1, &upd, RewriteStyle::Inline).unwrap();
+        assert_eq!(
+            r.constraint.to_string(),
+            "panic :- emp(E,D,S) & not dept(D) & D <> toy."
+        );
+        // Stays a single CQ, gaining arithmetic (the paper's point).
+        use ccpi_ir::class::LangShape;
+        assert_eq!(r.class_after.shape, LangShape::SingleCq);
+        assert!(r.class_after.arithmetic);
+    }
+
+    /// Example 4.2: deletion of (jones,shoe,50), arithmetic auxiliary.
+    #[test]
+    fn example_4_2_arithmetic_form() {
+        let c2 = c("panic :- emp(E,D,S) & S > 100.");
+        let upd = Update::delete("emp", tuple!["jones", "shoe", 50]);
+        let r = rewrite(&c2, &upd, RewriteStyle::Auxiliary).unwrap();
+        let text = r.constraint.to_string();
+        assert!(text.contains("emp1(W0,W1,W2) :- emp(W0,W1,W2) & W0 <> jones."));
+        assert!(text.contains("emp1(W0,W1,W2) :- emp(W0,W1,W2) & W1 <> shoe."));
+        assert!(text.contains("emp1(W0,W1,W2) :- emp(W0,W1,W2) & W2 <> 50."));
+        assert!(text.contains("panic :- emp1(E,D,S) & S > 100."));
+    }
+
+    /// Example 4.2's negated variant (the `isJones` trick).
+    #[test]
+    fn example_4_2_negation_form() {
+        let c2 = c("panic :- emp(E,D,S) & S > 100.");
+        let upd = Update::delete("emp", tuple!["jones", "shoe", 50]);
+        let r = rewrite(&c2, &upd, RewriteStyle::AuxiliaryNegation).unwrap();
+        let text = r.constraint.to_string();
+        assert!(text.contains("not emp1_is0(W0)"));
+        assert!(text.contains("emp1_is0(jones)."));
+        assert!(!r.class_after.arithmetic || r.class_before.arithmetic);
+        assert!(r.class_after.negation);
+    }
+
+    #[test]
+    fn unaffected_constraint_is_unchanged() {
+        let c1 = c("panic :- emp(E,sales) & emp(E,accounting).");
+        let upd = Update::insert("dept", tuple!["toy"]);
+        let r = rewrite(&c1, &upd, RewriteStyle::Inline).unwrap();
+        assert_eq!(r.constraint, c1);
+        assert_eq!(r.class_before, r.class_after);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let c1 = c("panic :- dept(D) & dept(D).");
+        let upd = Update::insert("dept", tuple!["toy", "extra"]);
+        assert!(matches!(
+            rewrite(&c1, &upd, RewriteStyle::Auxiliary),
+            Err(RewriteError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inline_insert_positive_occurrence_expands() {
+        let c1 = c("panic :- emp(E,sales) & emp(E,accounting).");
+        let upd = Update::insert("emp", tuple!["meyer", "sales"]);
+        let r = rewrite(&c1, &upd, RewriteStyle::Inline).unwrap();
+        // Variants: (old,old), (t,old with E=meyer), (old,t fails: sales<>accounting)
+        // (t,t fails).
+        let text = r.constraint.to_string();
+        assert!(text.contains("panic :- emp(E,sales) & emp(E,accounting)."));
+        assert!(text.contains("panic :- emp(meyer,accounting)."));
+        assert_eq!(r.constraint.program().rules.len(), 2);
+    }
+
+    /// Semantics check harness: C'(D) == C(D after update), on a matrix of
+    /// small databases.
+    fn check_equivalence(c_src: &str, upd: &Update, style: RewriteStyle, dbs: &[Database]) {
+        let c0 = c(c_src);
+        let r = rewrite(&c0, upd, style).unwrap();
+        for db in dbs {
+            let mut after = db.clone();
+            after.apply(upd).unwrap();
+            let lhs = constraint_violated(&r.constraint, db).unwrap();
+            let rhs = constraint_violated(&c0, &after).unwrap();
+            assert_eq!(
+                lhs, rhs,
+                "style {style:?}: C'({db:?}) = {lhs} but C(after) = {rhs} for {upd}"
+            );
+        }
+    }
+
+    fn emp_dept_dbs() -> Vec<Database> {
+        // A small matrix of databases over emp/2 and dept/1.
+        let emps = [
+            vec![],
+            vec![("jones", "shoe")],
+            vec![("jones", "toy")],
+            vec![("jones", "shoe"), ("smith", "toy")],
+            vec![("meyer", "sales"), ("meyer", "accounting")],
+        ];
+        let depts = [vec![], vec!["shoe"], vec!["toy"], vec!["shoe", "toy"]];
+        let mut out = Vec::new();
+        for es in &emps {
+            for ds in &depts {
+                let mut db = Database::new();
+                db.declare("emp", 2, Locality::Local).unwrap();
+                db.declare("dept", 1, Locality::Remote).unwrap();
+                for (e, d) in es {
+                    db.insert("emp", tuple![*e, *d]).unwrap();
+                }
+                for d in ds {
+                    db.insert("dept", tuple![*d]).unwrap();
+                }
+                out.push(db);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn all_styles_preserve_semantics_on_referential_integrity() {
+        let dbs = emp_dept_dbs();
+        let updates = [
+            Update::insert("dept", tuple!["toy"]),
+            Update::delete("dept", tuple!["toy"]),
+            Update::insert("emp", tuple!["jones", "toy"]),
+            Update::delete("emp", tuple!["jones", "shoe"]),
+        ];
+        for upd in &updates {
+            for style in [
+                RewriteStyle::Auxiliary,
+                RewriteStyle::AuxiliaryNegation,
+                RewriteStyle::Inline,
+            ] {
+                check_equivalence("panic :- emp(E,D) & not dept(D).", upd, style, &dbs);
+            }
+        }
+    }
+
+    #[test]
+    fn styles_preserve_semantics_with_constants_in_subgoals() {
+        let dbs = emp_dept_dbs();
+        let updates = [
+            Update::insert("emp", tuple!["meyer", "sales"]),
+            Update::delete("emp", tuple!["meyer", "sales"]),
+            Update::insert("emp", tuple!["meyer", "accounting"]),
+        ];
+        for upd in &updates {
+            for style in [
+                RewriteStyle::Auxiliary,
+                RewriteStyle::AuxiliaryNegation,
+                RewriteStyle::Inline,
+            ] {
+                check_equivalence(
+                    "panic :- emp(E,sales) & emp(E,accounting).",
+                    upd,
+                    style,
+                    &dbs,
+                );
+            }
+        }
+    }
+
+    // Random databases + random updates: every style is semantics-
+    // preserving on a constraint with repeated variables and comparisons.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn rewrite_equivalence_random(
+            emps in prop::collection::btree_set(((0i64..3), (0i64..3)), 0..6),
+            depts in prop::collection::btree_set(0i64..3, 0..3),
+            upd_pred in 0usize..2,
+            a in 0i64..3,
+            b in 0i64..3,
+            is_insert in any::<bool>(),
+        ) {
+            let mut db = Database::new();
+            db.declare("emp", 2, Locality::Local).unwrap();
+            db.declare("dept", 1, Locality::Remote).unwrap();
+            for (e, d) in &emps {
+                db.insert("emp", tuple![*e, *d]).unwrap();
+            }
+            for d in &depts {
+                db.insert("dept", tuple![*d]).unwrap();
+            }
+            let upd = match (upd_pred, is_insert) {
+                (0, true) => Update::insert("emp", tuple![a, b]),
+                (0, false) => Update::delete("emp", tuple![a, b]),
+                (_, true) => Update::insert("dept", tuple![a]),
+                (_, false) => Update::delete("dept", tuple![a]),
+            };
+            let src = "panic :- emp(E,D) & not dept(D) & E <> 0.";
+            let c0 = c(src);
+            let mut after = db.clone();
+            after.apply(&upd).unwrap();
+            let expected = constraint_violated(&c0, &after).unwrap();
+            for style in [RewriteStyle::Auxiliary, RewriteStyle::AuxiliaryNegation, RewriteStyle::Inline] {
+                let r = rewrite(&c0, &upd, style).unwrap();
+                let got = constraint_violated(&r.constraint, &db).unwrap();
+                prop_assert_eq!(got, expected, "style {:?} upd {}", style, upd);
+            }
+        }
+    }
+}

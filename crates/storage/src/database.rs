@@ -1,0 +1,352 @@
+//! Databases: a catalog of declared relations with locality metadata.
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::update::Update;
+use ccpi_ir::Sym;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where a relation's data lives, relative to the site processing updates
+/// (§5: "some 'local' predicates and some 'remote' predicates").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Locality {
+    /// Stored at the updating site; free to read during a local test.
+    #[default]
+    Local,
+    /// Stored elsewhere; reading it is what complete local tests avoid.
+    Remote,
+}
+
+/// A catalog entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationDecl {
+    /// Relation name (= predicate name in constraints).
+    pub name: Sym,
+    /// Arity.
+    pub arity: usize,
+    /// Local or remote.
+    pub locality: Locality,
+}
+
+/// Errors raised by database operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// The predicate is not declared.
+    UnknownRelation(Sym),
+    /// The tuple's arity does not match the declaration.
+    ArityMismatch {
+        /// Relation name.
+        name: Sym,
+        /// Declared arity.
+        declared: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// A relation was declared twice with different shapes.
+    ConflictingDeclaration(Sym),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
+            StorageError::ArityMismatch { name, declared, got } => write!(
+                f,
+                "relation `{name}` declared with arity {declared}, got tuple of arity {got}"
+            ),
+            StorageError::ConflictingDeclaration(n) => {
+                write!(f, "conflicting re-declaration of relation `{n}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// An in-memory database: declared relations and their instances.
+#[derive(Clone, Default)]
+pub struct Database {
+    decls: BTreeMap<Sym, RelationDecl>,
+    relations: BTreeMap<Sym, Relation>,
+}
+
+impl Database {
+    /// An empty database with no declarations.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Declares a relation. Re-declaring with identical shape is a no-op;
+    /// with a different shape it is an error.
+    pub fn declare(
+        &mut self,
+        name: impl AsRef<str>,
+        arity: usize,
+        locality: Locality,
+    ) -> Result<(), StorageError> {
+        let name = Sym::new(name);
+        let decl = RelationDecl {
+            name: name.clone(),
+            arity,
+            locality,
+        };
+        match self.decls.get(&name) {
+            Some(existing) if *existing != decl => {
+                Err(StorageError::ConflictingDeclaration(name))
+            }
+            Some(_) => Ok(()),
+            None => {
+                self.relations.insert(name.clone(), Relation::new(arity));
+                self.decls.insert(name, decl);
+                Ok(())
+            }
+        }
+    }
+
+    /// The declaration for `name`.
+    pub fn decl(&self, name: &str) -> Option<&RelationDecl> {
+        self.decls.get(name)
+    }
+
+    /// All declarations, sorted by name.
+    pub fn decls(&self) -> impl Iterator<Item = &RelationDecl> {
+        self.decls.values()
+    }
+
+    /// The locality of a declared relation.
+    pub fn locality(&self, name: &str) -> Option<Locality> {
+        self.decls.get(name).map(|d| d.locality)
+    }
+
+    /// Read access to a relation instance.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Write access to a relation instance.
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Inserts a tuple, validating the declaration. Returns `true` if new.
+    pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<bool, StorageError> {
+        self.validate(name, &tuple)?;
+        Ok(self.relations.get_mut(name).unwrap().insert(tuple))
+    }
+
+    /// Deletes a tuple. Returns `true` if it was present.
+    pub fn delete(&mut self, name: &str, tuple: &Tuple) -> Result<bool, StorageError> {
+        self.validate(name, tuple)?;
+        Ok(self.relations.get_mut(name).unwrap().remove(tuple))
+    }
+
+    /// Applies an update. Returns `true` if the database changed.
+    pub fn apply(&mut self, update: &Update) -> Result<bool, StorageError> {
+        match update {
+            Update::Insert { pred, tuple } => self.insert(pred.as_str(), tuple.clone()),
+            Update::Delete { pred, tuple } => self.delete(pred.as_str(), tuple),
+        }
+    }
+
+    /// Applies `update.inverse()` — undo.
+    pub fn undo(&mut self, update: &Update) -> Result<bool, StorageError> {
+        self.apply(&update.inverse())
+    }
+
+    /// Total number of stored tuples.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    fn validate(&self, name: &str, tuple: &Tuple) -> Result<(), StorageError> {
+        let decl = self
+            .decls
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownRelation(Sym::new(name)))?;
+        if decl.arity != tuple.arity() {
+            return Err(StorageError::ArityMismatch {
+                name: decl.name.clone(),
+                declared: decl.arity,
+                got: tuple.arity(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in &self.relations {
+            writeln!(f, "{name}/{}: {rel:?}", rel.arity())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn emp_db() -> Database {
+        let mut db = Database::new();
+        db.declare("emp", 3, Locality::Local).unwrap();
+        db.declare("dept", 1, Locality::Remote).unwrap();
+        db
+    }
+
+    #[test]
+    fn declare_and_insert() {
+        let mut db = emp_db();
+        assert!(db.insert("emp", tuple!["jones", "shoe", 50]).unwrap());
+        assert!(!db.insert("emp", tuple!["jones", "shoe", 50]).unwrap());
+        assert_eq!(db.relation("emp").unwrap().len(), 1);
+        assert_eq!(db.total_tuples(), 1);
+    }
+
+    #[test]
+    fn locality_metadata() {
+        let db = emp_db();
+        assert_eq!(db.locality("emp"), Some(Locality::Local));
+        assert_eq!(db.locality("dept"), Some(Locality::Remote));
+        assert_eq!(db.locality("nope"), None);
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let mut db = emp_db();
+        assert!(matches!(
+            db.insert("boss", tuple!["a", "b"]),
+            Err(StorageError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut db = emp_db();
+        assert!(matches!(
+            db.insert("dept", tuple!["toy", "extra"]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn redeclaration_rules() {
+        let mut db = emp_db();
+        // Identical re-declaration OK and preserves data.
+        db.insert("dept", tuple!["toy"]).unwrap();
+        db.declare("dept", 1, Locality::Remote).unwrap();
+        assert_eq!(db.relation("dept").unwrap().len(), 1);
+        // Conflicting re-declaration rejected.
+        assert!(matches!(
+            db.declare("dept", 2, Locality::Remote),
+            Err(StorageError::ConflictingDeclaration(_))
+        ));
+        assert!(matches!(
+            db.declare("dept", 1, Locality::Local),
+            Err(StorageError::ConflictingDeclaration(_))
+        ));
+    }
+
+    #[test]
+    fn apply_and_undo() {
+        let mut db = emp_db();
+        let u = Update::insert("dept", tuple!["toy"]);
+        assert!(db.apply(&u).unwrap());
+        assert!(db.relation("dept").unwrap().contains(&tuple!["toy"]));
+        assert!(db.undo(&u).unwrap());
+        assert!(db.relation("dept").unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_missing_is_false() {
+        let mut db = emp_db();
+        assert!(!db.delete("dept", &tuple!["toy"]).unwrap());
+    }
+
+    #[test]
+    fn clone_is_a_snapshot() {
+        let mut db = emp_db();
+        db.insert("dept", tuple!["toy"]).unwrap();
+        let snap = db.clone();
+        db.delete("dept", &tuple!["toy"]).unwrap();
+        assert!(snap.relation("dept").unwrap().contains(&tuple!["toy"]));
+        assert!(db.relation("dept").unwrap().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::tuple;
+    use proptest::prelude::*;
+
+    fn update_strategy() -> impl Strategy<Value = Update> {
+        let t = (0i64..4, 0i64..4).prop_map(|(a, b)| tuple![a, b]);
+        (t, any::<bool>()).prop_map(|(t, ins)| {
+            if ins {
+                Update::insert("p", t)
+            } else {
+                Update::delete("p", t)
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Applying a batch of updates and then undoing them in reverse
+        /// restores the exact database state.
+        #[test]
+        fn apply_then_undo_in_reverse_is_identity(
+            initial in prop::collection::btree_set((0i64..4, 0i64..4), 0..8),
+            updates in prop::collection::vec(update_strategy(), 0..12),
+        ) {
+            let mut db = Database::new();
+            db.declare("p", 2, Locality::Local).unwrap();
+            for (a, b) in &initial {
+                db.insert("p", tuple![*a, *b]).unwrap();
+            }
+            let snapshot = db.clone();
+            // Record which updates actually changed the state; undo only
+            // those (an insert of a present tuple must not be "undone" by
+            // deleting it).
+            let mut effective: Vec<&Update> = Vec::new();
+            for u in &updates {
+                if db.apply(u).unwrap() {
+                    effective.push(u);
+                }
+            }
+            for u in effective.into_iter().rev() {
+                assert!(db.undo(u).unwrap());
+            }
+            prop_assert_eq!(
+                db.relation("p").unwrap(),
+                snapshot.relation("p").unwrap()
+            );
+        }
+
+        /// Indexed lookups always agree with scans, across arbitrary
+        /// mutation sequences.
+        #[test]
+        fn index_agrees_with_scan(
+            updates in prop::collection::vec(update_strategy(), 0..20),
+            probe in 0i64..4,
+        ) {
+            let mut db = Database::new();
+            db.declare("p", 2, Locality::Local).unwrap();
+            for u in &updates {
+                let _ = db.apply(u).unwrap();
+            }
+            let rel = db.relation_mut("p").unwrap();
+            let val = ccpi_ir::Value::int(probe);
+            let mut indexed: Vec<Tuple> = rel.lookup(0, &val).to_vec();
+            indexed.sort();
+            let mut scanned: Vec<Tuple> =
+                rel.iter().filter(|t| t[0] == val).cloned().collect();
+            scanned.sort();
+            prop_assert_eq!(indexed, scanned);
+        }
+    }
+}

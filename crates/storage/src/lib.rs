@@ -1,0 +1,36 @@
+//! # `ccpi-storage` — in-memory relational storage
+//!
+//! The substrate the paper's tests run against: typed relations with set
+//! semantics, per-column hash indexes, a catalog with **locality** metadata
+//! (the paper's local/remote split of §5: "the database may be divided into
+//! 'local' and 'remote' data with respect to the site of the update"), and
+//! first-class [`Update`]s (insertions and deletions of single tuples, the
+//! update granularity of §4–§5).
+//!
+//! Relations iterate in sorted tuple order, so every evaluation result and
+//! experiment table in the workspace is deterministic.
+
+mod database;
+mod relation;
+mod tuple;
+mod update;
+
+pub use database::{Database, Locality, RelationDecl, StorageError};
+pub use relation::Relation;
+pub use tuple::Tuple;
+pub use update::Update;
+
+/// Builds a [`Tuple`] from a list of values convertible to
+/// [`ccpi_ir::Value`] (integers and `&str` work directly).
+///
+/// ```
+/// use ccpi_storage::{tuple, Tuple};
+/// let t: Tuple = tuple!["jones", "shoe", 50];
+/// assert_eq!(t.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::from(vec![$(::ccpi_ir::Value::from($v)),*])
+    };
+}

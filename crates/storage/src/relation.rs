@@ -1,0 +1,251 @@
+//! Relations: sets of same-arity tuples with lazy per-column hash indexes.
+
+use crate::tuple::Tuple;
+use ccpi_ir::Value;
+use std::collections::{BTreeSet, HashMap};
+
+/// A relation instance: a set of tuples of a fixed arity.
+///
+/// Tuples are stored in a `BTreeSet`, so iteration is in sorted order
+/// (deterministic results everywhere). Point lookups by column value go
+/// through lazily built hash indexes that are maintained incrementally once
+/// built.
+#[derive(Clone, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+    /// column → (value → tuples with that value in the column).
+    indexes: HashMap<usize, HashMap<Value, Vec<Tuple>>>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// Creates a relation from tuples (all must have the given arity).
+    pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut r = Relation::new(arity);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// If the tuple's arity differs from the relation's.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(
+            t.arity(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            t.arity(),
+            self.arity
+        );
+        let fresh = self.tuples.insert(t.clone());
+        if fresh {
+            for (col, index) in &mut self.indexes {
+                index.entry(t[*col].clone()).or_default().push(t.clone());
+            }
+        }
+        fresh
+    }
+
+    /// Removes a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        let had = self.tuples.remove(t);
+        if had {
+            for (col, index) in &mut self.indexes {
+                if let Some(bucket) = index.get_mut(&t[*col]) {
+                    bucket.retain(|u| u != t);
+                    if bucket.is_empty() {
+                        index.remove(&t[*col]);
+                    }
+                }
+            }
+        }
+        had
+    }
+
+    /// Iterates over the tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// All tuples whose component `col` equals `value`, via the (lazily
+    /// built) column index.
+    pub fn lookup(&mut self, col: usize, value: &Value) -> &[Tuple] {
+        assert!(col < self.arity, "column {col} out of range");
+        let index = self.indexes.entry(col).or_insert_with(|| {
+            let mut idx: HashMap<Value, Vec<Tuple>> = HashMap::new();
+            for t in &self.tuples {
+                idx.entry(t[col].clone()).or_default().push(t.clone());
+            }
+            idx
+        });
+        index.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Non-mutating point lookup: uses the index when already built, falls
+    /// back to a scan otherwise.
+    pub fn scan_eq(&self, col: usize, value: &Value) -> Vec<Tuple> {
+        if let Some(index) = self.indexes.get(&col) {
+            return index.get(value).cloned().unwrap_or_default();
+        }
+        self.tuples
+            .iter()
+            .filter(|t| &t[col] == value)
+            .cloned()
+            .collect()
+    }
+
+    /// Removes all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.indexes.clear();
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+impl std::fmt::Debug for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    /// Builds a relation inferring the arity from the first tuple
+    /// (empty iterator ⇒ arity 0).
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().map_or(0, Tuple::arity);
+        Relation::from_tuples(arity, it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn set_semantics() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(tuple![1, 2]));
+        assert!(!r.insert(tuple![1, 2]));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&tuple![1, 2]));
+        assert!(r.remove(&tuple![1, 2]));
+        assert!(!r.remove(&tuple![1, 2]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_enforced() {
+        let mut r = Relation::new(2);
+        r.insert(tuple![1]);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut r = Relation::new(1);
+        r.insert(tuple![3]);
+        r.insert(tuple![1]);
+        r.insert(tuple![2]);
+        let vals: Vec<i64> = r.iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lazy_index_lookup() {
+        let mut r = Relation::new(2);
+        r.insert(tuple!["a", 1]);
+        r.insert(tuple!["a", 2]);
+        r.insert(tuple!["b", 3]);
+        let hits = r.lookup(0, &ccpi_ir::Value::str("a"));
+        assert_eq!(hits.len(), 2);
+        let hits = r.lookup(0, &ccpi_ir::Value::str("c"));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn index_maintained_across_mutations() {
+        let mut r = Relation::new(2);
+        r.insert(tuple!["a", 1]);
+        // Build the index…
+        assert_eq!(r.lookup(0, &ccpi_ir::Value::str("a")).len(), 1);
+        // …then mutate and re-query.
+        r.insert(tuple!["a", 2]);
+        assert_eq!(r.lookup(0, &ccpi_ir::Value::str("a")).len(), 2);
+        r.remove(&tuple!["a", 1]);
+        assert_eq!(r.lookup(0, &ccpi_ir::Value::str("a")).len(), 1);
+        assert_eq!(r.scan_eq(0, &ccpi_ir::Value::str("a")).len(), 1);
+    }
+
+    #[test]
+    fn scan_eq_without_index() {
+        let mut r = Relation::new(2);
+        r.insert(tuple!["a", 1]);
+        r.insert(tuple!["b", 2]);
+        assert_eq!(r.scan_eq(1, &ccpi_ir::Value::int(2)).len(), 1);
+    }
+
+    #[test]
+    fn equality_ignores_indexes() {
+        let mut a = Relation::new(1);
+        a.insert(tuple![1]);
+        let mut b = Relation::new(1);
+        b.insert(tuple![1]);
+        let _ = a.lookup(0, &ccpi_ir::Value::int(1)); // builds an index in a only
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_iterator_infers_arity() {
+        let r: Relation = vec![tuple![1, 2], tuple![3, 4]].into_iter().collect();
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Single-tuple updates — the update granularity of the paper's §4–§5
+//! ("Suppose there is an update in which toy is added to the set of
+//! departments"; "suppose we delete the tuple (jones, shoe, 50)").
+
+use crate::tuple::Tuple;
+use ccpi_ir::Sym;
+use std::fmt;
+
+/// An update: insertion or deletion of one tuple in one relation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Update {
+    /// Insert `tuple` into `pred`.
+    Insert {
+        /// Target predicate.
+        pred: Sym,
+        /// The inserted tuple.
+        tuple: Tuple,
+    },
+    /// Delete `tuple` from `pred`.
+    Delete {
+        /// Target predicate.
+        pred: Sym,
+        /// The deleted tuple.
+        tuple: Tuple,
+    },
+}
+
+impl Update {
+    /// Builds an insertion.
+    pub fn insert(pred: impl AsRef<str>, tuple: Tuple) -> Self {
+        Update::Insert {
+            pred: Sym::new(pred),
+            tuple,
+        }
+    }
+
+    /// Builds a deletion.
+    pub fn delete(pred: impl AsRef<str>, tuple: Tuple) -> Self {
+        Update::Delete {
+            pred: Sym::new(pred),
+            tuple,
+        }
+    }
+
+    /// The target predicate.
+    pub fn pred(&self) -> &Sym {
+        match self {
+            Update::Insert { pred, .. } | Update::Delete { pred, .. } => pred,
+        }
+    }
+
+    /// The affected tuple.
+    pub fn tuple(&self) -> &Tuple {
+        match self {
+            Update::Insert { tuple, .. } | Update::Delete { tuple, .. } => tuple,
+        }
+    }
+
+    /// `true` for insertions.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::Insert { .. })
+    }
+
+    /// The inverse update (undo).
+    pub fn inverse(&self) -> Update {
+        match self {
+            Update::Insert { pred, tuple } => Update::Delete {
+                pred: pred.clone(),
+                tuple: tuple.clone(),
+            },
+            Update::Delete { pred, tuple } => Update::Insert {
+                pred: pred.clone(),
+                tuple: tuple.clone(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Update::Insert { pred, tuple } => write!(f, "+{pred}{tuple}"),
+            Update::Delete { pred, tuple } => write!(f, "-{pred}{tuple}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn accessors() {
+        let u = Update::insert("dept", tuple!["toy"]);
+        assert!(u.is_insert());
+        assert_eq!(u.pred().as_str(), "dept");
+        assert_eq!(u.tuple().arity(), 1);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let u = Update::delete("emp", tuple!["jones", "shoe", 50]);
+        assert!(!u.is_insert());
+        assert_eq!(u.inverse().inverse(), u);
+        assert!(u.inverse().is_insert());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Update::insert("dept", tuple!["toy"]).to_string(), "+dept(toy)");
+        assert_eq!(
+            Update::delete("emp", tuple!["jones", "shoe", 50]).to_string(),
+            "-emp(jones,shoe,50)"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! The paper's running employee schema, synthetically populated.
+//!
+//! Relations (arity, locality used by the distributed experiments):
+//! * `emp(Name, Dept, Salary)` — local (updates arrive here),
+//! * `dept(Dept)` — remote,
+//! * `salRange(Dept, Low, High)` — remote,
+//! * `manager(Dept, Mgr)` — remote (Example 2.4).
+
+use ccpi_storage::{tuple, Database, Locality, Tuple, Update};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct EmpConfig {
+    /// Number of employee tuples.
+    pub employees: usize,
+    /// Number of departments.
+    pub departments: usize,
+    /// Fraction of employees assigned to a department that is *not* in
+    /// `dept` (violations of referential integrity).
+    pub dangling_fraction: f64,
+    /// Salary range sampled uniformly.
+    pub salary_range: (i64, i64),
+}
+
+impl Default for EmpConfig {
+    fn default() -> Self {
+        EmpConfig {
+            employees: 1000,
+            departments: 20,
+            dangling_fraction: 0.0,
+            salary_range: (10, 200),
+        }
+    }
+}
+
+/// Generates the employee database.
+pub fn database(cfg: &EmpConfig, rng: &mut StdRng) -> Database {
+    let mut db = Database::new();
+    db.declare("emp", 3, Locality::Local).unwrap();
+    db.declare("dept", 1, Locality::Remote).unwrap();
+    db.declare("salRange", 3, Locality::Remote).unwrap();
+    db.declare("manager", 2, Locality::Remote).unwrap();
+
+    let mut ranges: Vec<(i64, i64)> = Vec::with_capacity(cfg.departments);
+    for d in 0..cfg.departments {
+        db.insert("dept", tuple![dept_name(d)]).unwrap();
+        let low = rng.random_range(cfg.salary_range.0..cfg.salary_range.1);
+        let high = rng.random_range(low..=cfg.salary_range.1);
+        ranges.push((low, high));
+        db.insert("salRange", tuple![dept_name(d), low, high])
+            .unwrap();
+        let mgr = format!("mgr{}", rng.random_range(0..cfg.departments.max(1)));
+        db.insert("manager", tuple![dept_name(d), mgr.as_str()])
+            .unwrap();
+    }
+    // Initial employees respect their department's salary range, so the
+    // generated database satisfies the paper's standing assumption ("all
+    // constraints hold prior to the most recent change") when
+    // `dangling_fraction` is zero. Stream updates (see [`employee`]) are
+    // unconstrained — violating inserts are part of the workload.
+    for e in 0..cfg.employees {
+        let dangling = rng.random_bool(cfg.dangling_fraction.clamp(0.0, 1.0));
+        let t = if dangling {
+            employee(cfg, rng, e)
+        } else {
+            let d = rng.random_range(0..cfg.departments.max(1));
+            let (low, high) = ranges.get(d).copied().unwrap_or(cfg.salary_range);
+            let salary = rng.random_range(low..=high);
+            tuple![format!("e{e}").as_str(), dept_name(d).as_str(), salary]
+        };
+        db.insert("emp", t).unwrap();
+    }
+    db
+}
+
+/// One random employee tuple.
+pub fn employee(cfg: &EmpConfig, rng: &mut StdRng, id: usize) -> Tuple {
+    let dangling = rng.random_bool(cfg.dangling_fraction.clamp(0.0, 1.0));
+    let dept = if dangling {
+        format!("ghost{}", rng.random_range(0..1000))
+    } else {
+        dept_name(rng.random_range(0..cfg.departments.max(1)))
+    };
+    let salary = rng.random_range(cfg.salary_range.0..=cfg.salary_range.1);
+    tuple![format!("e{id}").as_str(), dept.as_str(), salary]
+}
+
+/// A stream of random single-tuple updates against `emp` and `dept`.
+pub fn update_stream(cfg: &EmpConfig, rng: &mut StdRng, n: usize) -> Vec<Update> {
+    (0..n)
+        .map(|k| match rng.random_range(0..4u8) {
+            0 => Update::insert("emp", employee(cfg, rng, 1_000_000 + k)),
+            1 => {
+                let id = rng.random_range(0..cfg.employees.max(1));
+                Update::delete("emp", employee(cfg, rng, id))
+            }
+            2 => Update::insert("dept", tuple![dept_name(rng.random_range(0..cfg.departments.max(1) * 2))]),
+            _ => Update::delete("dept", tuple![dept_name(rng.random_range(0..cfg.departments.max(1) * 2))]),
+        })
+        .collect()
+}
+
+/// Deterministic department names `d0, d1, …`.
+pub fn dept_name(i: usize) -> String {
+    format!("d{i}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = EmpConfig::default();
+        let a = database(&cfg, &mut crate::rng(7));
+        let b = database(&cfg, &mut crate::rng(7));
+        assert_eq!(
+            a.relation("emp").unwrap().len(),
+            b.relation("emp").unwrap().len()
+        );
+        let ta: Vec<_> = a.relation("emp").unwrap().iter().cloned().collect();
+        let tb: Vec<_> = b.relation("emp").unwrap().iter().cloned().collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let cfg = EmpConfig {
+            employees: 50,
+            departments: 5,
+            ..EmpConfig::default()
+        };
+        let db = database(&cfg, &mut crate::rng(1));
+        assert_eq!(db.relation("emp").unwrap().len(), 50);
+        assert_eq!(db.relation("dept").unwrap().len(), 5);
+        assert_eq!(db.relation("salRange").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn zero_dangling_fraction_preserves_referential_integrity() {
+        let cfg = EmpConfig {
+            employees: 200,
+            departments: 4,
+            dangling_fraction: 0.0,
+            ..EmpConfig::default()
+        };
+        let db = database(&cfg, &mut crate::rng(3));
+        let dept = db.relation("dept").unwrap();
+        for e in db.relation("emp").unwrap().iter() {
+            assert!(dept.contains(&Tuple::from(vec![e[1].clone()])), "{e}");
+        }
+    }
+
+    #[test]
+    fn dangling_fraction_produces_violations() {
+        let cfg = EmpConfig {
+            employees: 200,
+            departments: 4,
+            dangling_fraction: 0.5,
+            ..EmpConfig::default()
+        };
+        let db = database(&cfg, &mut crate::rng(3));
+        let dept = db.relation("dept").unwrap();
+        let dangling = db
+            .relation("emp")
+            .unwrap()
+            .iter()
+            .filter(|e| !dept.contains(&Tuple::from(vec![e[1].clone()])))
+            .count();
+        assert!(dangling > 50, "{dangling}");
+    }
+
+    #[test]
+    fn update_stream_is_well_formed() {
+        let cfg = EmpConfig::default();
+        let mut rng = crate::rng(9);
+        let ups = update_stream(&cfg, &mut rng, 100);
+        assert_eq!(ups.len(), 100);
+        for u in &ups {
+            match u.pred().as_str() {
+                "emp" => assert_eq!(u.tuple().arity(), 3),
+                "dept" => assert_eq!(u.tuple().arity(), 1),
+                other => panic!("unexpected predicate {other}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # `ccpi-workload` — synthetic workload generators
+//!
+//! Deterministic (seeded) generators for the data and query families the
+//! experiments sweep over:
+//!
+//! * [`emp`] — the paper's running employee/department/salary-range schema
+//!   (Examples 2.1–2.4, 4.1, 4.2) with knobs for sizes and violation
+//!   rates;
+//! * [`windows`] — forbidden-interval workloads (Example 5.3 / §6):
+//!   maintenance windows with controllable overlap, plus probe streams
+//!   with a target covered fraction;
+//! * [`queries`] — random CQC generators with the knobs the paper's
+//!   complexity discussion cares about: number of subgoals, **duplicate
+//!   predicate multiplicity** (what drives the containment-mapping count
+//!   `|H|` in Theorem 5.1) and comparison density.
+//!
+//! All generators take explicit seeds so experiments are reproducible.
+
+pub mod emp;
+pub mod queries;
+pub mod windows;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A seeded RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

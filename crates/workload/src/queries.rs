@@ -1,0 +1,198 @@
+//! Random query generators for the containment experiments.
+//!
+//! §5's complexity discussion turns on one quantity: how many containment
+//! mappings `|H|` there are, which is governed by how often the same
+//! predicate repeats ("for constraint checking, it is likely that the
+//! conjunctive queries involved will have few duplicate predicates …
+//! Thus, there will tend to be few containment mappings in practice").
+//! [`CqcConfig::duplication`] is that knob; the `thm51_vs_klug` bench
+//! sweeps it, together with the variable count that drives Klug's
+//! weak-order enumeration.
+
+use ccpi_ir::{Atom, CompOp, Comparison, Cq, Term, PANIC};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Random-CQC parameters.
+#[derive(Clone, Debug)]
+pub struct CqcConfig {
+    /// Number of ordinary subgoals.
+    pub subgoals: usize,
+    /// Number of distinct predicate names to draw from; lower = more
+    /// duplication = more containment mappings.
+    pub duplication: usize,
+    /// Arity of every predicate.
+    pub arity: usize,
+    /// Number of distinct variables.
+    pub variables: usize,
+    /// Number of comparison subgoals.
+    pub comparisons: usize,
+    /// Number of distinct integer constants available to comparisons.
+    pub constants: i64,
+}
+
+impl Default for CqcConfig {
+    fn default() -> Self {
+        CqcConfig {
+            subgoals: 3,
+            duplication: 2,
+            arity: 2,
+            variables: 4,
+            comparisons: 2,
+            constants: 3,
+        }
+    }
+}
+
+fn var(i: usize) -> Term {
+    Term::var(format!("V{i}"))
+}
+
+/// Generates a random CQC with a 0-ary `panic` head. Every comparison only
+/// uses variables that occur in some subgoal, so the result is safe.
+pub fn random_cqc(cfg: &CqcConfig, rng: &mut StdRng) -> Cq {
+    let mut positives = Vec::with_capacity(cfg.subgoals);
+    let mut used_vars: Vec<usize> = Vec::new();
+    for _ in 0..cfg.subgoals {
+        let pred = format!("p{}", rng.random_range(0..cfg.duplication.max(1)));
+        let args: Vec<Term> = (0..cfg.arity)
+            .map(|_| {
+                let v = rng.random_range(0..cfg.variables.max(1));
+                if !used_vars.contains(&v) {
+                    used_vars.push(v);
+                }
+                var(v)
+            })
+            .collect();
+        positives.push(Atom::new(pred, args));
+    }
+    let ops = [CompOp::Lt, CompOp::Le, CompOp::Eq, CompOp::Ne];
+    let comparisons = (0..cfg.comparisons)
+        .map(|_| {
+            let lhs = var(used_vars[rng.random_range(0..used_vars.len())]);
+            let rhs = if rng.random_bool(0.4) {
+                Term::int(rng.random_range(0..cfg.constants.max(1)))
+            } else {
+                var(used_vars[rng.random_range(0..used_vars.len())])
+            };
+            Comparison::new(lhs, ops[rng.random_range(0..ops.len())], rhs)
+        })
+        .collect();
+    Cq {
+        head: Atom::new(PANIC, vec![]),
+        positives,
+        negatives: vec![],
+        comparisons,
+    }
+}
+
+/// A matched containment pair: a query and a relaxed variant likely (but
+/// not certain) to contain it — gives the benchmark a mix of positive and
+/// negative containment instances.
+pub fn containment_pair(cfg: &CqcConfig, rng: &mut StdRng) -> (Cq, Cq) {
+    let c1 = random_cqc(cfg, rng);
+    let mut c2 = c1.clone();
+    // Relax: drop a random subgoal (if >1) and a random comparison.
+    if c2.positives.len() > 1 {
+        let k = rng.random_range(0..c2.positives.len());
+        c2.positives.remove(k);
+    }
+    if !c2.comparisons.is_empty() && rng.random_bool(0.7) {
+        let k = rng.random_range(0..c2.comparisons.len());
+        c2.comparisons.remove(k);
+    }
+    // Occasionally perturb instead, producing likely-negative instances.
+    if rng.random_bool(0.3) && !c2.comparisons.is_empty() {
+        let k = rng.random_range(0..c2.comparisons.len());
+        c2.comparisons[k] = c2.comparisons[k].negated();
+    }
+    // Dropping a subgoal may have stranded comparison variables; remove
+    // comparisons that would make the query unsafe.
+    let bound: Vec<ccpi_ir::Var> = c2
+        .positives
+        .iter()
+        .flat_map(|a| a.vars().cloned().collect::<Vec<_>>())
+        .collect();
+    c2.comparisons.retain(|c| c.vars().all(|v| bound.contains(v)));
+    (c1, c2)
+}
+
+/// The Example 5.1 family scaled up: `C1(k): panic :- r(U1,V1) & … &
+/// r(Uk,Vk) & U1=V2 & U2=V3 & … (a cycle)`, contained in
+/// `C2: panic :- r(A,B) & A <= B` in a way that needs many mappings.
+pub fn cycle_family(k: usize) -> (Cq, Cq) {
+    let mut positives = Vec::with_capacity(k);
+    let mut comparisons = Vec::with_capacity(k);
+    for i in 0..k {
+        positives.push(Atom::new(
+            "r",
+            vec![Term::var(format!("U{i}")), Term::var(format!("V{i}"))],
+        ));
+        // V_i = U_{(i+1) mod k}: an r-cycle.
+        comparisons.push(Comparison::new(
+            Term::var(format!("V{i}")),
+            CompOp::Eq,
+            Term::var(format!("U{}", (i + 1) % k)),
+        ));
+    }
+    let c1 = Cq {
+        head: Atom::new(PANIC, vec![]),
+        positives,
+        negatives: vec![],
+        comparisons,
+    };
+    let c2 = Cq {
+        head: Atom::new(PANIC, vec![]),
+        positives: vec![Atom::new("r", vec![Term::var("A"), Term::var("B")])],
+        negatives: vec![],
+        comparisons: vec![Comparison::new(Term::var("A"), CompOp::Le, Term::var("B"))],
+    };
+    (c1, c2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_ir::safety::check_rule;
+
+    #[test]
+    fn random_cqcs_are_safe() {
+        let cfg = CqcConfig::default();
+        let mut rng = crate::rng(21);
+        for _ in 0..100 {
+            let cq = random_cqc(&cfg, &mut rng);
+            assert!(check_rule(&cq.to_rule()).is_ok(), "{cq}");
+            assert_eq!(cq.positives.len(), cfg.subgoals);
+        }
+    }
+
+    #[test]
+    fn duplication_knob_controls_predicates() {
+        let cfg = CqcConfig {
+            duplication: 1,
+            subgoals: 4,
+            ..CqcConfig::default()
+        };
+        let cq = random_cqc(&cfg, &mut crate::rng(2));
+        assert!(cq.positives.iter().all(|a| a.pred == "p0"));
+    }
+
+    #[test]
+    fn cycle_family_containment_holds_for_even_k() {
+        // The 2-cycle is Example 5.1 itself; verify with both methods.
+        let (c1, c2) = cycle_family(2);
+        let yes = ccpi_containment::klug::both_methods(&c1, std::slice::from_ref(&c2)).unwrap();
+        assert!(yes);
+    }
+
+    #[test]
+    fn containment_pairs_are_valid_queries() {
+        let cfg = CqcConfig::default();
+        let mut rng = crate::rng(33);
+        for _ in 0..50 {
+            let (a, b) = containment_pair(&cfg, &mut rng);
+            assert!(check_rule(&a.to_rule()).is_ok());
+            assert!(check_rule(&b.to_rule()).is_ok());
+        }
+    }
+}

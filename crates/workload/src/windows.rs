@@ -1,0 +1,135 @@
+//! Forbidden-interval ("maintenance window") workloads for §5–§6.
+//!
+//! The local relation `l(Lo, Hi)` holds windows during which remote events
+//! `r(Z)` are forbidden (Example 5.3). Generators control the number of
+//! windows, their width, and how much they overlap — the knob that decides
+//! how often an inserted window is already covered (the local test's hit
+//! rate).
+
+use ccpi_storage::{tuple, Relation, Tuple};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct WindowConfig {
+    /// Number of windows in the local relation.
+    pub windows: usize,
+    /// The timeline is `[0, horizon)`.
+    pub horizon: i64,
+    /// Window width range (inclusive).
+    pub width: (i64, i64),
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            windows: 1000,
+            horizon: 100_000,
+            width: (10, 500),
+        }
+    }
+}
+
+/// Generates the local relation of windows.
+pub fn local_relation(cfg: &WindowConfig, rng: &mut StdRng) -> Relation {
+    Relation::from_tuples(2, (0..cfg.windows).map(|_| window(cfg, rng)))
+}
+
+/// One random window tuple.
+pub fn window(cfg: &WindowConfig, rng: &mut StdRng) -> Tuple {
+    let w = rng.random_range(cfg.width.0..=cfg.width.1);
+    let lo = rng.random_range(0..(cfg.horizon - w).max(1));
+    tuple![lo, lo + w]
+}
+
+/// A stream of insert probes; roughly `covered_fraction` of them are
+/// sub-windows of an existing window (and therefore certainly covered),
+/// the rest are fresh random windows.
+pub fn probe_stream(
+    cfg: &WindowConfig,
+    local: &Relation,
+    covered_fraction: f64,
+    rng: &mut StdRng,
+    n: usize,
+) -> Vec<Tuple> {
+    let existing: Vec<Tuple> = local.iter().cloned().collect();
+    (0..n)
+        .map(|_| {
+            if !existing.is_empty() && rng.random_bool(covered_fraction.clamp(0.0, 1.0)) {
+                // Shrink an existing window: certainly covered.
+                let base = &existing[rng.random_range(0..existing.len())];
+                let (lo, hi) = (base[0].as_int().unwrap(), base[1].as_int().unwrap());
+                if hi - lo >= 2 {
+                    let a = rng.random_range(lo..hi);
+                    let b = rng.random_range(a..=hi);
+                    tuple![a, b]
+                } else {
+                    base.clone()
+                }
+            } else {
+                window(cfg, rng)
+            }
+        })
+        .collect()
+}
+
+/// A chain of `k` staggered windows `[2i, 2i+3]` — the §6 negative-result
+/// family: covering the probe `[1, 2(k−1)+2]` requires all `k` tuples.
+pub fn chain(k: usize) -> (Relation, Tuple) {
+    let rel = Relation::from_tuples(2, (0..k as i64).map(|i| tuple![2 * i, 2 * i + 3]));
+    let probe = tuple![1, 2 * (k as i64 - 1) + 2];
+    (rel, probe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_within_horizon_and_ordered() {
+        let cfg = WindowConfig::default();
+        let rel = local_relation(&cfg, &mut crate::rng(5));
+        assert!(rel.len() <= cfg.windows); // set semantics may dedup
+        for t in rel.iter() {
+            let (lo, hi) = (t[0].as_int().unwrap(), t[1].as_int().unwrap());
+            assert!(lo <= hi);
+            assert!(lo >= 0 && hi <= cfg.horizon + cfg.width.1);
+        }
+    }
+
+    #[test]
+    fn covered_probes_are_subwindows() {
+        let cfg = WindowConfig {
+            windows: 50,
+            ..WindowConfig::default()
+        };
+        let mut rng = crate::rng(11);
+        let rel = local_relation(&cfg, &mut rng);
+        let probes = probe_stream(&cfg, &rel, 1.0, &mut rng, 100);
+        for p in &probes {
+            let (a, b) = (p[0].as_int().unwrap(), p[1].as_int().unwrap());
+            assert!(
+                rel.iter().any(|t| {
+                    t[0].as_int().unwrap() <= a && b <= t[1].as_int().unwrap()
+                }),
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_probe_is_covered_only_by_the_full_chain() {
+        let (rel, probe) = chain(6);
+        assert_eq!(rel.len(), 6);
+        assert_eq!(probe, tuple![1, 12]);
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = WindowConfig::default();
+        let a: Vec<Tuple> = local_relation(&cfg, &mut crate::rng(2)).iter().cloned().collect();
+        let b: Vec<Tuple> = local_relation(&cfg, &mut crate::rng(2)).iter().cloned().collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,62 @@
+//! §2's active-database reading: rules "if C holds, perform A", with the
+//! §4 independence test pruning condition evaluations.
+//!
+//! Run with: `cargo run --example active_rules`
+
+use ccpi_suite::core::active::{ActiveRule, ActiveRuleSet};
+use ccpi_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+    db.declare("stock", 2, Locality::Local)?;
+    db.declare("order_q", 3, Locality::Local)?;
+    db.declare("supplier", 2, Locality::Local)?;
+
+    let mut rules = ActiveRuleSet::new();
+    rules.add(ActiveRule::new(
+        "low-stock",
+        "panic :- stock(Item,Qty) & Qty < 10.",
+        "place-reorder",
+    )?);
+    rules.add(ActiveRule::new(
+        "big-order",
+        "panic :- order_q(Id,Item,Qty) & Qty > 1000.",
+        "route-to-approval",
+    )?);
+    rules.add(ActiveRule::new(
+        "unsourced-item",
+        "panic :- stock(Item,Qty) & not supplier(Item,S2).",
+        "find-supplier",
+    )?);
+
+    db.insert("supplier", tuple!["bolts", "acme"])?;
+    db.insert("supplier", tuple!["nuts", "acme"])?;
+
+    let updates = [
+        Update::insert("stock", tuple!["bolts", 500]),
+        Update::insert("stock", tuple!["nuts", 3]),
+        Update::insert("order_q", tuple![1, "bolts", 200]),
+        Update::insert("order_q", tuple![2, "nuts", 5000]),
+        Update::insert("stock", tuple!["washers", 50]),
+    ];
+
+    let mut total_avoided = 0usize;
+    for update in &updates {
+        // `quiescent = true`: the demo drains all actions between updates.
+        let reaction = rules.react(&mut db, update, true)?;
+        total_avoided += reaction.evaluations_avoided;
+        println!("update {update}:");
+        if reaction.fired.is_empty() {
+            println!("  no rules fired ({} evaluations avoided)", reaction.evaluations_avoided);
+        }
+        for (rule, action) in &reaction.fired {
+            println!("  rule `{rule}` fired -> {action}");
+        }
+    }
+    println!(
+        "\n{} of {} condition evaluations avoided by the independence test",
+        total_avoided,
+        updates.len() * rules.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Forbidden intervals (Example 5.3 / §6) as a maintenance-window planner.
+//!
+//! The local relation `l(Lo,Hi)` holds maintenance windows during which no
+//! remote job `r(Z)` may be scheduled. Adding a new window is safe —
+//! certifiably, without asking the remote scheduler — iff it lies inside
+//! the union of existing windows (Theorem 5.2), a test this example runs
+//! three equivalent ways: the Theorem 5.1 containment machinery, the
+//! interval-set runtime, and the paper's own Fig. 6.1 recursive datalog
+//! program.
+//!
+//! Run with: `cargo run --example forbidden_intervals`
+
+use ccpi_suite::localtest::{
+    complete_local_test, Cqc, DatalogIntervalTest, IcqTest,
+};
+use ccpi_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cq = parse_cq("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")?;
+    let cqc = Cqc::with_local(cq, "l")?;
+
+    // Existing windows: Example 5.3's (3,6) and (5,10).
+    let local = Relation::from_tuples(2, [tuple![3, 6], tuple![5, 10]]);
+    println!("existing windows: (3,6), (5,10)\n");
+
+    // The three equivalent complete local tests.
+    let icq = IcqTest::new(&cqc, Domain::Dense)?;
+    let datalog = DatalogIntervalTest::new(icq.clone())?;
+
+    println!("the generated Fig. 6.1 program:\n{}\n", datalog.program());
+
+    let proposals = [(4i64, 8i64), (2, 8), (4, 11), (6, 6), (12, 15)];
+    println!("{:<10} {:>12} {:>12} {:>12}", "proposal", "thm 5.2", "intervals", "fig 6.1");
+    for (a, b) in proposals {
+        let t = tuple![a, b];
+        let v1 = complete_local_test(&cqc, &t, &local, Solver::dense());
+        let v2 = icq.test(&t, &local);
+        let v3 = datalog.test(&t, &local);
+        assert_eq!(v1, v2);
+        assert_eq!(v2, v3);
+        println!(
+            "({a:>2},{b:>3})  {:>12} {:>12} {:>12}",
+            verdict(v1.holds()),
+            verdict(v2.holds()),
+            verdict(v3.holds())
+        );
+    }
+
+    // The union phenomenon the paper highlights: (4,8) is covered by the
+    // union of the two windows but by neither alone.
+    let only_first = Relation::from_tuples(2, [tuple![3, 6]]);
+    let only_second = Relation::from_tuples(2, [tuple![5, 10]]);
+    println!(
+        "\n(4,8) vs {{(3,6)}} alone: {}",
+        verdict(icq.test(&tuple![4, 8], &only_first).holds())
+    );
+    println!(
+        "(4,8) vs {{(5,10)}} alone: {}",
+        verdict(icq.test(&tuple![4, 8], &only_second).holds())
+    );
+    println!(
+        "(4,8) vs the union:     {}",
+        verdict(icq.test(&tuple![4, 8], &local).holds())
+    );
+    Ok(())
+}
+
+fn verdict(holds: bool) -> &'static str {
+    if holds {
+        "safe"
+    } else {
+        "ask remote"
+    }
+}

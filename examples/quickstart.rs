@@ -1,0 +1,64 @@
+//! Quickstart: register constraints, process updates, watch the
+//! escalation ladder pick the cheapest sufficient check.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ccpi_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-site schema: employees live at this site; the department
+    // catalog and salary policy live at headquarters (remote).
+    let mut db = Database::new();
+    db.declare("emp", 3, Locality::Local)?;
+    db.declare("dept", 1, Locality::Remote)?;
+    db.declare("salRange", 3, Locality::Remote)?;
+
+    db.insert("emp", tuple!["jones", "shoe", 50])?;
+    db.insert("dept", tuple!["shoe"])?;
+    db.insert("dept", tuple!["toy"])?;
+    db.insert("salRange", tuple!["shoe", 40, 120])?;
+    db.insert("salRange", tuple!["toy", 30, 100])?;
+
+    let mut mgr = ConstraintManager::new(db);
+
+    // Example 2.2 (referential integrity) and Example 2.3 (salary range).
+    mgr.add_constraint("referential", "panic :- emp(E,D,S) & not dept(D).")?;
+    mgr.add_constraint(
+        "salary-range",
+        "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.\n\
+         panic :- emp(E,D,S) & salRange(D,Low,High) & S > High.",
+    )?;
+
+    let updates = [
+        // Adding a department can never violate either constraint: the
+        // §4 independence test certifies it without reading any data.
+        Update::insert("dept", tuple!["garden"]),
+        // Removing an employee is also safe for both.
+        Update::delete("emp", tuple!["jones", "shoe", 50]),
+        // Hiring into a known department with a plausible salary: the
+        // tests can't certify this locally (dept and salRange are
+        // remote), so the full check runs — and passes.
+        Update::insert("emp", tuple!["meyer", "toy", 60]),
+        // Hiring into a department that does not exist: violation.
+        Update::insert("emp", tuple!["quinn", "submarines", 55]),
+    ];
+
+    for update in &updates {
+        println!("update {update}:");
+        let report = mgr.check_update(update)?;
+        println!("{report}");
+        if report.all_hold() {
+            mgr.database_mut().apply(update)?;
+            println!("  -> applied\n");
+        } else {
+            println!("  -> rejected ({:?})\n", report.violations());
+        }
+    }
+
+    // The registered constraints and their Fig. 2.1 classes.
+    println!("registered constraints:");
+    for (name, class) in mgr.constraints() {
+        println!("  {name}: {class}");
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! `ccpi-suite` — the repository-level umbrella package.
+//!
+//! This package exists to host the top-level `examples/` and `tests/`
+//! directories required by the repository layout. All functionality lives in
+//! the `crates/` members; the umbrella re-exports the public facade so that
+//! examples and integration tests can write `use ccpi_suite::prelude::*;`.
+
+pub use ccpi as core;
+pub use ccpi_arith as arith;
+pub use ccpi_containment as containment;
+pub use ccpi_datalog as datalog;
+pub use ccpi_ir as ir;
+pub use ccpi_localtest as localtest;
+pub use ccpi_parser as parser;
+pub use ccpi_ra as ra;
+pub use ccpi_rewrite as rewrite;
+pub use ccpi_storage as storage;
+pub use ccpi_workload as workload;
+
+/// Convenience prelude for examples and integration tests.
+pub mod prelude {
+    pub use ccpi::prelude::*;
+}

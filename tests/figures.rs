@@ -1,0 +1,160 @@
+//! Machine verification of every figure in the paper.
+
+use ccpi_suite::ir::class::{classify, ConstraintClass, LangShape};
+use ccpi_suite::parser::parse_constraint;
+use ccpi_suite::rewrite::closure::{representative, verify_figure, UpdateKind};
+
+/// Fig. 2.1: twelve classes, organized by shape × arithmetic × negation,
+/// with the lattice order the figure's layout implies.
+#[test]
+fn fig_2_1_lattice() {
+    let all = ConstraintClass::all();
+    assert_eq!(all.len(), 12);
+    // Four per shape row.
+    for shape in LangShape::ALL {
+        assert_eq!(all.iter().filter(|c| c.shape == shape).count(), 4);
+    }
+    // The figure's axes: adding a feature moves strictly up.
+    for c in all {
+        let with_arith = ConstraintClass::new(c.shape, true, c.negation);
+        let with_neg = ConstraintClass::new(c.shape, c.arithmetic, true);
+        assert!(c.le(with_arith));
+        assert!(c.le(with_neg));
+    }
+    // Representatives classify into their own class (the classifier and
+    // the lattice agree).
+    for class in ConstraintClass::all() {
+        assert_eq!(classify(representative(class).program()), class);
+    }
+}
+
+/// Fig. 2.1's example placements from §2.
+#[test]
+fn fig_2_1_example_placements() {
+    let cases = [
+        (
+            "panic :- emp(E,sales) & emp(E,accounting).",
+            ConstraintClass::new(LangShape::SingleCq, false, false),
+        ),
+        (
+            "panic :- emp(E,D,S) & not dept(D) & S < 100.",
+            ConstraintClass::new(LangShape::SingleCq, true, true),
+        ),
+        (
+            "panic :- emp(E,D,S) & salRange(D,L,H) & S < L.\n\
+             panic :- emp(E,D,S) & salRange(D,L,H) & S > H.",
+            ConstraintClass::new(LangShape::UnionCq, true, false),
+        ),
+        (
+            "panic :- boss(E,E).\n\
+             boss(E,M) :- emp(E,D,S) & manager(D,M).\n\
+             boss(E,F) :- boss(E,G) & boss(G,F).",
+            ConstraintClass::new(LangShape::Recursive, false, false),
+        ),
+    ];
+    for (src, expected) in cases {
+        let c = parse_constraint(src).unwrap();
+        assert_eq!(classify(c.program()), expected, "{src}");
+    }
+}
+
+/// Fig. 4.1: exactly the eight non-single-CQ classes are closed under
+/// insertion, and our rewrites prove each closure constructively.
+#[test]
+fn fig_4_1_insertion_closure() {
+    let rows = verify_figure(UpdateKind::Insertion);
+    assert_eq!(rows.len(), 12);
+    let closed: Vec<_> = rows.iter().filter(|r| r.claimed_closed).collect();
+    assert_eq!(closed.len(), 8);
+    for r in &closed {
+        assert!(r.class.shape != LangShape::SingleCq);
+        assert!(
+            r.verified,
+            "{}: rewrite landed in {}",
+            r.class, r.achieved_class
+        );
+    }
+    // The four single-CQ classes all escalate only in shape.
+    for r in rows.iter().filter(|r| !r.claimed_closed) {
+        assert_eq!(r.class.shape, LangShape::SingleCq);
+        assert_eq!(r.achieved_class.shape, LangShape::UnionCq);
+    }
+}
+
+/// Fig. 4.2: exactly the six multi-rule classes with arithmetic or
+/// negation are closed under deletion.
+#[test]
+fn fig_4_2_deletion_closure() {
+    let rows = verify_figure(UpdateKind::Deletion);
+    let closed: Vec<_> = rows.iter().filter(|r| r.claimed_closed).collect();
+    assert_eq!(closed.len(), 6);
+    for r in &closed {
+        assert!(r.class.shape != LangShape::SingleCq);
+        assert!(r.class.arithmetic || r.class.negation);
+        assert!(
+            r.verified,
+            "{}: rewrite landed in {}",
+            r.class, r.achieved_class
+        );
+    }
+    // Theorem 4.3's other direction in our constructions: pure classes
+    // always pick up arithmetic or negation.
+    for r in rows.iter().filter(|r| !r.class.arithmetic && !r.class.negation) {
+        assert!(r.achieved_class.arithmetic || r.achieved_class.negation);
+    }
+}
+
+/// Fig. 4.2 ⊂ Fig. 4.1 (deletion-closed implies insertion-closed).
+#[test]
+fn fig_4_2_is_subset_of_fig_4_1() {
+    for class in ConstraintClass::all() {
+        if class.closed_under_deletion() {
+            assert!(class.closed_under_insertion(), "{class}");
+        }
+    }
+}
+
+/// Fig. 6.1: the generated program is exactly the figure for the
+/// forbidden-intervals CQC.
+#[test]
+fn fig_6_1_program_text() {
+    use ccpi_suite::arith::Domain;
+    use ccpi_suite::localtest::{Cqc, DatalogIntervalTest, IcqTest};
+    use ccpi_suite::parser::parse_cq;
+    let cqc = Cqc::with_local(
+        parse_cq("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.").unwrap(),
+        "l",
+    )
+    .unwrap();
+    let test = DatalogIntervalTest::new(IcqTest::new(&cqc, Domain::Dense).unwrap()).unwrap();
+    assert_eq!(
+        test.program().to_string(),
+        "interval(X,Y) :- l(X,Y) & X <= Y.\n\
+         interval(X,Y) :- interval(X,W) & interval(Z,Y) & Z <= W.\n\
+         ok :- probe(A,B) & interval(X,Y) & X <= A & B <= Y."
+    );
+}
+
+/// Theorem 4.1's negative result, exercised: the post-insertion
+/// constraint C3 is not equivalent to the plain C1 (the candidate the
+/// proof eliminates): the proof's witness database separates them.
+#[test]
+fn theorem_4_1_witness_database() {
+    use ccpi_suite::datalog::constraint_violated;
+    use ccpi_suite::prelude::*;
+    use ccpi_suite::storage::tuple;
+
+    let c3 = parse_constraint("panic :- emp(E,D,S) & not dept(D) & D <> toy.").unwrap();
+    let c1 = parse_constraint("panic :- emp(E,D,S) & not dept(D).").unwrap();
+
+    // The proof's database: emp(e,shoe,s), emp(e,toy,s), dept(shoe).
+    let mut db = Database::new();
+    db.declare("emp", 3, Locality::Local).unwrap();
+    db.declare("dept", 1, Locality::Remote).unwrap();
+    db.insert("emp", tuple!["e", "shoe", 1]).unwrap();
+    db.insert("emp", tuple!["e", "toy", 1]).unwrap();
+    db.insert("dept", tuple!["shoe"]).unwrap();
+    // C1 panics (toy not in dept) but C3 does not (D <> toy excludes it).
+    assert!(constraint_violated(&c1, &db).unwrap());
+    assert!(!constraint_violated(&c3, &db).unwrap());
+}

@@ -1,0 +1,239 @@
+//! Every numbered example of GSUW'94, reproduced end-to-end through the
+//! public API. Test names carry the example numbers.
+
+use ccpi_suite::arith::Solver;
+use ccpi_suite::containment::klug::cqc_contained_in_union_klug;
+use ccpi_suite::containment::negation::contained_sufficient;
+use ccpi_suite::containment::thm51::{cqc_contained, cqc_contained_in_union};
+use ccpi_suite::datalog::constraint_violated;
+use ccpi_suite::localtest::{complete_local_test, Cqc};
+use ccpi_suite::parser::{parse_constraint, parse_cq};
+use ccpi_suite::prelude::*;
+use ccpi_suite::rewrite::{rewrite, RewriteStyle};
+use ccpi_suite::storage::tuple;
+
+/// Example 2.1: no employee in both sales and accounting.
+#[test]
+fn example_2_1() {
+    let c = parse_constraint("panic :- emp(E,sales) & emp(E,accounting).").unwrap();
+    let mut db = Database::new();
+    db.declare("emp", 2, Locality::Local).unwrap();
+    db.insert("emp", tuple!["a", "sales"]).unwrap();
+    assert!(!constraint_violated(&c, &db).unwrap());
+    db.insert("emp", tuple!["a", "accounting"]).unwrap();
+    assert!(constraint_violated(&c, &db).unwrap());
+}
+
+/// Example 2.2: every employee under 100 must be in a known department.
+#[test]
+fn example_2_2() {
+    let c = parse_constraint("panic :- emp(E,D,S) & not dept(D) & S < 100.").unwrap();
+    let mut db = Database::new();
+    db.declare("emp", 3, Locality::Local).unwrap();
+    db.declare("dept", 1, Locality::Remote).unwrap();
+    db.insert("emp", tuple!["a", "ghost", 150]).unwrap();
+    // Salary 150: the S < 100 guard saves it.
+    assert!(!constraint_violated(&c, &db).unwrap());
+    db.insert("emp", tuple!["b", "ghost", 50]).unwrap();
+    assert!(constraint_violated(&c, &db).unwrap());
+}
+
+/// Example 2.3: salaries within the department's allowed range.
+#[test]
+fn example_2_3() {
+    let c = parse_constraint(
+        "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.\n\
+         panic :- emp(E,D,S) & salRange(D,Low,High) & S > High.",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    db.declare("emp", 3, Locality::Local).unwrap();
+    db.declare("salRange", 3, Locality::Remote).unwrap();
+    db.insert("salRange", tuple!["toy", 30, 100]).unwrap();
+    db.insert("emp", tuple!["a", "toy", 60]).unwrap();
+    assert!(!constraint_violated(&c, &db).unwrap());
+    db.insert("emp", tuple!["b", "toy", 20]).unwrap();
+    assert!(constraint_violated(&c, &db).unwrap());
+    db.delete("emp", &tuple!["b", "toy", 20]).unwrap();
+    db.insert("emp", tuple!["c", "toy", 150]).unwrap();
+    assert!(constraint_violated(&c, &db).unwrap());
+}
+
+/// Example 2.4: no employee is their own boss (recursive datalog).
+#[test]
+fn example_2_4() {
+    let c = parse_constraint(
+        "panic :- boss(E,E).\n\
+         boss(E,M) :- emp(E,D,S) & manager(D,M).\n\
+         boss(E,F) :- boss(E,G) & boss(G,F).",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    db.declare("emp", 3, Locality::Local).unwrap();
+    db.declare("manager", 2, Locality::Remote).unwrap();
+    db.insert("emp", tuple!["ann", "sales", 10]).unwrap();
+    db.insert("emp", tuple!["bob", "ops", 10]).unwrap();
+    db.insert("emp", tuple!["cat", "hr", 10]).unwrap();
+    db.insert("manager", tuple!["sales", "bob"]).unwrap();
+    db.insert("manager", tuple!["ops", "cat"]).unwrap();
+    assert!(!constraint_violated(&c, &db).unwrap());
+    // Close the managerial cycle ann -> bob -> cat -> ann.
+    db.insert("manager", tuple!["hr", "ann"]).unwrap();
+    assert!(constraint_violated(&c, &db).unwrap());
+}
+
+/// Example 4.1: rewriting C1 for the insertion of `toy` into `dept`, in
+/// both the auxiliary-predicate form and the single-rule `D <> toy` form,
+/// and the containment C3 ⊆ C1 that certifies independence.
+#[test]
+fn example_4_1() {
+    let c1 = parse_constraint("panic :- emp(E,D,S) & not dept(D).").unwrap();
+    let upd = Update::insert("dept", tuple!["toy"]);
+
+    let aux = rewrite(&c1, &upd, RewriteStyle::Auxiliary).unwrap();
+    assert_eq!(
+        aux.constraint.to_string(),
+        "dept1(W0) :- dept(W0).\ndept1(toy).\npanic :- emp(E,D,S) & not dept1(D)."
+    );
+
+    let inline = rewrite(&c1, &upd, RewriteStyle::Inline).unwrap();
+    assert_eq!(
+        inline.constraint.to_string(),
+        "panic :- emp(E,D,S) & not dept(D) & D <> toy."
+    );
+
+    // "we need to check C3 ⊆ C1 ∪ C2. This happens to be the case, and in
+    // fact, C2 is not needed in the containment."
+    let c3 = parse_cq("panic :- emp(E,D,S) & not dept(D) & D <> toy.").unwrap();
+    let c1_cq = parse_cq("panic :- emp(E,D,S) & not dept(D).").unwrap();
+    assert!(contained_sufficient(&c3, &c1_cq, Solver::dense()).is_yes());
+}
+
+/// Example 4.2: rewriting for the deletion of (jones, shoe, 50), in both
+/// the `<>` and the `isJones` styles; semantics preserved.
+#[test]
+fn example_4_2() {
+    let c2 = parse_constraint("panic :- emp(E,D,S) & S > 100.").unwrap();
+    let upd = Update::delete("emp", tuple!["jones", "shoe", 50]);
+
+    let arith = rewrite(&c2, &upd, RewriteStyle::Auxiliary).unwrap();
+    let text = arith.constraint.to_string();
+    for line in [
+        "emp1(W0,W1,W2) :- emp(W0,W1,W2) & W0 <> jones.",
+        "emp1(W0,W1,W2) :- emp(W0,W1,W2) & W1 <> shoe.",
+        "emp1(W0,W1,W2) :- emp(W0,W1,W2) & W2 <> 50.",
+    ] {
+        assert!(text.contains(line), "{text}");
+    }
+
+    let neg = rewrite(&c2, &upd, RewriteStyle::AuxiliaryNegation).unwrap();
+    assert!(neg.constraint.to_string().contains("emp1_is0(jones)."));
+
+    // Both rewrites agree with ground truth on a sample database.
+    let mut db = Database::new();
+    db.declare("emp", 3, Locality::Local).unwrap();
+    db.insert("emp", tuple!["jones", "shoe", 50]).unwrap();
+    db.insert("emp", tuple!["smith", "toy", 150]).unwrap();
+    let mut after = db.clone();
+    after.apply(&upd).unwrap();
+    let truth = constraint_violated(&c2, &after).unwrap();
+    assert_eq!(
+        constraint_violated(&arith.constraint, &db).unwrap(),
+        truth
+    );
+    assert_eq!(constraint_violated(&neg.constraint, &db).unwrap(), truth);
+}
+
+/// Example 5.1 (Ullman's 14.7): C1 ⊆ C2 holds and needs both mappings.
+#[test]
+fn example_5_1() {
+    let c1 = parse_cq("panic :- r(U,V) & r(V,U).").unwrap();
+    let c2 = parse_cq("panic :- r(A,B) & A <= B.").unwrap();
+    assert!(cqc_contained(&c1, &c2, Solver::dense()).unwrap());
+    assert!(!cqc_contained(&c2, &c1, Solver::dense()).unwrap());
+    // Klug's method agrees.
+    assert!(cqc_contained_in_union_klug(&c1, std::slice::from_ref(&c2)).unwrap());
+}
+
+/// Example 5.2: the rectification preconditions are necessary but the
+/// rectifying implementation certifies the equivalences.
+#[test]
+fn example_5_2() {
+    for (a, b) in [
+        ("panic :- p(X,X).", "panic :- p(X,Y) & X = Y."),
+        ("panic :- p(0,X).", "panic :- p(Z,X) & Z = 0."),
+    ] {
+        let (qa, qb) = (parse_cq(a).unwrap(), parse_cq(b).unwrap());
+        assert!(cqc_contained(&qa, &qb, Solver::dense()).unwrap(), "{a} ⊆ {b}");
+        assert!(cqc_contained(&qb, &qa, Solver::dense()).unwrap(), "{b} ⊆ {a}");
+    }
+}
+
+/// Example 5.3: the forbidden-intervals reductions and the union
+/// containment RED((4,8)) ⊆ RED((3,6)) ∪ RED((5,10)).
+#[test]
+fn example_5_3() {
+    let cqc = Cqc::with_local(
+        parse_cq("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.").unwrap(),
+        "l",
+    )
+    .unwrap();
+    let red36 = cqc.red(&tuple![3, 6]).unwrap();
+    let red510 = cqc.red(&tuple![5, 10]).unwrap();
+    let red48 = cqc.red(&tuple![4, 8]).unwrap();
+    assert_eq!(red36.to_string(), "panic :- r(Z) & 3 <= Z & Z <= 6.");
+    assert!(cqc_contained_in_union(
+        &red48,
+        &[red36.clone(), red510.clone()],
+        Solver::dense()
+    )
+    .unwrap());
+    assert!(!cqc_contained(&red48, &red36, Solver::dense()).unwrap());
+    assert!(!cqc_contained(&red48, &red510, Solver::dense()).unwrap());
+
+    // The runtime local test draws the same conclusions.
+    let local = Relation::from_tuples(2, [tuple![3, 6], tuple![5, 10]]);
+    assert!(complete_local_test(&cqc, &tuple![4, 8], &local, Solver::dense()).holds());
+}
+
+/// Example 5.4: reductions that do not exist, and the σ-test.
+#[test]
+fn example_5_4() {
+    use ccpi_suite::localtest::compile_ra;
+    let cqc = Cqc::with_local(parse_cq("panic :- l(X,Y,Y) & r(Y,Z,X).").unwrap(), "l").unwrap();
+    assert!(cqc.red(&tuple!["a", "b", "c"]).is_none());
+    assert_eq!(
+        cqc.red(&tuple!["a", "b", "b"]).unwrap().to_string(),
+        "panic :- r(b,Z,a)."
+    );
+    let plan = compile_ra(&cqc).unwrap();
+    let mut local = Relation::new(3);
+    local.insert(tuple!["a", "b", "b"]);
+    // "the complete local test is whether this tuple already exists in L".
+    assert!(plan.test(&tuple!["a", "b", "b"], &local).holds());
+    assert!(!plan.test(&tuple!["a", "c", "c"], &local).holds());
+}
+
+/// Example 6.1 / Fig. 6.1: the recursive datalog test.
+#[test]
+fn example_6_1() {
+    use ccpi_suite::arith::Domain;
+    use ccpi_suite::localtest::{DatalogIntervalTest, IcqTest};
+    let cqc = Cqc::with_local(
+        parse_cq("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.").unwrap(),
+        "l",
+    )
+    .unwrap();
+    let icq = IcqTest::new(&cqc, Domain::Dense).unwrap();
+    let test = DatalogIntervalTest::new(icq).unwrap();
+    let program = test.program().to_string();
+    // The three rules of Fig. 6.1 (basis, recursive merge, coverage).
+    assert!(program.contains("interval(X,Y) :- l(X,Y) & X <= Y."));
+    assert!(program.contains("interval(X,Y) :- interval(X,W) & interval(Z,Y) & Z <= W."));
+    assert!(program.contains("ok :- probe(A,B) & interval(X,Y) & X <= A & B <= Y."));
+    // "given an inserted tuple (a,b), we need only determine whether
+    // ok(a,b) is true."
+    let local = Relation::from_tuples(2, [tuple![3, 6], tuple![5, 10]]);
+    assert!(test.test(&tuple![4, 8], &local).holds());
+    assert!(!test.test(&tuple![2, 8], &local).holds());
+}

@@ -1,0 +1,276 @@
+//! End-to-end pipeline tests: the manager's verdicts are always sound
+//! against ground truth, local tests never read remote data, and the
+//! distributed split preserves behaviour.
+
+use ccpi_suite::core::distributed::SiteSplit;
+use ccpi_suite::core::report::{Method, Outcome};
+use ccpi_suite::datalog::constraint_violated;
+use ccpi_suite::prelude::*;
+use ccpi_suite::storage::tuple;
+use ccpi_suite::workload::emp::{database, update_stream, EmpConfig};
+use ccpi_suite::workload::rng;
+
+const CONSTRAINTS: [(&str, &str); 3] = [
+    ("referential", "panic :- emp(E,D,S) & not dept(D)."),
+    (
+        "pay-floor",
+        "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.",
+    ),
+    (
+        "pay-ceiling",
+        "panic :- emp(E,D,S) & salRange(D,Low,High) & S > High.",
+    ),
+];
+
+fn manager(db: Database) -> ConstraintManager {
+    let mut mgr = ConstraintManager::new(db);
+    for (name, src) in CONSTRAINTS {
+        mgr.add_constraint(name, src).unwrap();
+    }
+    mgr
+}
+
+/// The pipeline's verdicts match ground-truth full evaluation on a random
+/// update stream — regardless of which stage discharged the check.
+#[test]
+fn pipeline_verdicts_are_sound_on_random_stream() {
+    let cfg = EmpConfig {
+        employees: 60,
+        departments: 6,
+        dangling_fraction: 0.0,
+        salary_range: (10, 100),
+    };
+    let mut r = rng(1234);
+    let db = database(&cfg, &mut r);
+    let mut mgr = manager(db);
+
+    let parsed: Vec<(String, Constraint)> = CONSTRAINTS
+        .iter()
+        .map(|(n, s)| (n.to_string(), parse_constraint(s).unwrap()))
+        .collect();
+
+    // The standing assumption: all constraints hold initially.
+    for (name, c) in &parsed {
+        assert!(
+            !constraint_violated(c, mgr.database()).unwrap(),
+            "{name} violated initially"
+        );
+    }
+
+    let stream = update_stream(&cfg, &mut r, 60);
+    for update in &stream {
+        let report = mgr.check_update(update).unwrap();
+        let mut after = mgr.database().clone();
+        after.apply(update).unwrap();
+        for (name, c) in &parsed {
+            let truth = constraint_violated(c, &after).unwrap();
+            let verdict = report.outcome(name).unwrap();
+            assert_eq!(
+                !verdict.holds(),
+                truth,
+                "{name} on {update}: verdict {verdict:?} vs truth {truth}"
+            );
+        }
+        // Keep the invariant: only apply clean updates.
+        if report.all_hold() {
+            mgr.database_mut().apply(update).unwrap();
+        }
+    }
+}
+
+/// Local-test outcomes are identical with remote data hidden, and the
+/// stages before the full check report zero remote reads.
+#[test]
+fn local_stage_reads_no_remote_data() {
+    let cfg = EmpConfig {
+        employees: 40,
+        departments: 5,
+        dangling_fraction: 0.0,
+        salary_range: (10, 100),
+    };
+    let mut r = rng(77);
+    let db = database(&cfg, &mut r);
+    let mut full = manager(db.clone());
+    let mut blind = manager(SiteSplit::local_view(&db));
+
+    let stream = update_stream(&cfg, &mut r, 40);
+    for update in &stream {
+        let fr = full.check_update(update).unwrap();
+        let br = blind.check_update(update).unwrap();
+        for (name, outcome) in &fr.outcomes {
+            match outcome {
+                Outcome::Holds(Method::FullCheck) | Outcome::Violated => {
+                    // Only these stages may consult remote data; the blind
+                    // manager's verdicts can differ here.
+                }
+                other => {
+                    assert_eq!(
+                        br.outcome(name),
+                        Some(*other),
+                        "{name} on {update}: pre-full-check stages must not depend on remote data"
+                    );
+                }
+            }
+        }
+        // Apply to both so they stay in sync (only clean updates).
+        if fr.all_hold() {
+            full.database_mut().apply(update).unwrap();
+            blind.database_mut().apply(update).unwrap();
+        }
+    }
+}
+
+/// The split/merge round trip is lossless and the report's remote
+/// accounting is zero exactly when no full check ran.
+#[test]
+fn split_merge_and_accounting() {
+    let cfg = EmpConfig::default();
+    let db = database(&cfg, &mut rng(5));
+    let split = SiteSplit::of(&db);
+    let merged = split.merged();
+    for decl in db.decls() {
+        assert_eq!(
+            db.relation(decl.name.as_str()).unwrap(),
+            merged.relation(decl.name.as_str()).unwrap(),
+            "{}",
+            decl.name
+        );
+    }
+
+    let mut mgr = manager(db);
+    // An update certified at stage 2 reports zero remote reads.
+    let report = mgr
+        .check_update(&Update::insert("dept", tuple!["d0"]))
+        .unwrap();
+    assert!(report.full_checks == 0);
+    assert_eq!(report.remote_tuples_read, 0);
+    assert_eq!(report.remote_bytes_read, 0);
+}
+
+/// Interval constraints through the whole pipeline, including violations,
+/// across the three local-test implementations (plan/interval/containment
+/// are chosen automatically; all updates here go through the manager).
+#[test]
+fn interval_pipeline_scenario() {
+    let mut db = Database::new();
+    db.declare("l", 2, Locality::Local).unwrap();
+    db.declare("r", 1, Locality::Remote).unwrap();
+    db.insert("l", tuple![0, 10]).unwrap();
+    db.insert("r", tuple![50]).unwrap();
+
+    let mut mgr = ConstraintManager::new(db);
+    mgr.add_constraint("iv", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+        .unwrap();
+
+    // Covered: local test certifies.
+    let rep = mgr.check_update(&Update::insert("l", tuple![2, 8])).unwrap();
+    assert!(matches!(
+        rep.outcome("iv"),
+        Some(Outcome::Holds(Method::LocalTest(_)))
+    ));
+
+    // Uncovered and harmless: full check passes.
+    let rep = mgr.check_update(&Update::insert("l", tuple![20, 30])).unwrap();
+    assert!(matches!(rep.outcome("iv"), Some(Outcome::Holds(Method::FullCheck))));
+
+    // Uncovered and fatal: covers the remote point 50.
+    let rep = mgr.check_update(&Update::insert("l", tuple![40, 60])).unwrap();
+    assert_eq!(rep.outcome("iv"), Some(Outcome::Violated));
+
+    // Deleting a local tuple is handled (not by Theorem 5.2, which is for
+    // insertions — the independence/full-check stages cover it).
+    let rep = mgr.check_update(&Update::delete("l", tuple![0, 10])).unwrap();
+    assert!(rep.outcome("iv").unwrap().holds());
+}
+
+/// Registration-time artifacts: classes reported, subsumption flags kept
+/// current as constraints are added.
+#[test]
+fn registration_metadata() {
+    let mut db = Database::new();
+    db.declare("emp", 2, Locality::Local).unwrap();
+    let mut mgr = ConstraintManager::new(db);
+    mgr.add_constraint("tight", "panic :- emp(E,sales) & emp(E,accounting).")
+        .unwrap();
+    // Nothing else registered: not subsumed.
+    assert_eq!(mgr.is_subsumed("tight"), Some(false));
+    // Adding the generalization flips the flag.
+    mgr.add_constraint("loose", "panic :- emp(E,D1) & emp(E,D2).")
+        .unwrap();
+    assert_eq!(mgr.is_subsumed("tight"), Some(true));
+    assert_eq!(mgr.is_subsumed("loose"), Some(false));
+    let classes = mgr.constraints();
+    assert_eq!(classes.len(), 2);
+}
+
+/// The integer-domain solver end to end: adjacent integer windows merge,
+/// so a spanning insert is certified locally under `Domain::Integer` but
+/// needs the full check under the dense default.
+#[test]
+fn integer_domain_manager() {
+    use ccpi_suite::arith::Solver;
+    let build = |solver: Solver| {
+        let mut db = Database::new();
+        db.declare("l", 2, Locality::Local).unwrap();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        db.insert("l", tuple![3, 5]).unwrap();
+        db.insert("l", tuple![6, 10]).unwrap();
+        let mut mgr = ConstraintManager::with_solver(db, solver);
+        mgr.add_constraint("iv", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+            .unwrap();
+        mgr
+    };
+    let upd = Update::insert("l", tuple![4, 8]);
+
+    let mut int_mgr = build(Solver::integer());
+    let report = int_mgr.check_update(&upd).unwrap();
+    assert!(matches!(
+        report.outcome("iv"),
+        Some(Outcome::Holds(Method::LocalTest(_)))
+    ));
+    assert_eq!(report.remote_tuples_read, 0);
+
+    let mut dense_mgr = build(Solver::dense());
+    let report = dense_mgr.check_update(&upd).unwrap();
+    // Over ℚ the gap (5,6) is uncovered — the dense manager must not
+    // certify locally (and the full check passes, since r is empty).
+    assert!(matches!(
+        report.outcome("iv"),
+        Some(Outcome::Holds(Method::FullCheck))
+    ));
+}
+
+/// Report accounting invariants across a stream: remote reads are charged
+/// exactly to full-check/violation outcomes.
+#[test]
+fn accounting_invariants_on_stream() {
+    use ccpi_suite::workload::emp::{database, update_stream, EmpConfig};
+    use ccpi_suite::workload::rng;
+    let cfg = EmpConfig {
+        employees: 30,
+        departments: 4,
+        dangling_fraction: 0.0,
+        salary_range: (10, 60),
+    };
+    let mut r = rng(3);
+    let db = database(&cfg, &mut r);
+    let mut mgr = ConstraintManager::new(db);
+    mgr.add_constraint("referential", "panic :- emp(E,D,S) & not dept(D).")
+        .unwrap();
+    for upd in update_stream(&cfg, &mut r, 30) {
+        let report = mgr.check_update(&upd).unwrap();
+        let needs_remote = report
+            .outcomes
+            .iter()
+            .any(|(_, o)| matches!(o, Outcome::Holds(Method::FullCheck) | Outcome::Violated));
+        if !needs_remote {
+            assert_eq!(report.remote_tuples_read, 0, "{upd}");
+            assert_eq!(report.full_checks, 0, "{upd}");
+        } else {
+            assert!(report.full_checks > 0, "{upd}");
+        }
+        if report.all_hold() {
+            mgr.database_mut().apply(&upd).unwrap();
+        }
+    }
+}
