@@ -233,7 +233,10 @@ fn tarjan_scc(n: usize, adj: &[Vec<(usize, bool)>]) -> Vec<usize> {
         if index[start] != usize::MAX {
             continue;
         }
-        let mut call: Vec<Frame> = vec![Frame { node: start, edge: 0 }];
+        let mut call: Vec<Frame> = vec![Frame {
+            node: start,
+            edge: 0,
+        }];
         index[start] = next_index;
         lowlink[start] = next_index;
         next_index += 1;
@@ -380,16 +383,22 @@ mod tests {
             cmp(v("X"), CompOp::Eq, i(1)),
             cmp(v("X"), CompOp::Eq, i(2)),
         ]));
-        assert!(!sat_dense(&[
-            cmp(Term::sym("shoe"), CompOp::Eq, Term::sym("toy"))
-        ]));
+        assert!(!sat_dense(&[cmp(
+            Term::sym("shoe"),
+            CompOp::Eq,
+            Term::sym("toy")
+        )]));
     }
 
     #[test]
     fn ground_comparisons_evaluated() {
         assert!(sat_dense(&[cmp(i(1), CompOp::Lt, i(2))]));
         assert!(!sat_dense(&[cmp(i(2), CompOp::Lt, i(1))]));
-        assert!(sat_dense(&[cmp(Term::sym("a"), CompOp::Ne, Term::sym("b"))]));
+        assert!(sat_dense(&[cmp(
+            Term::sym("a"),
+            CompOp::Ne,
+            Term::sym("b")
+        )]));
     }
 
     #[test]

@@ -132,10 +132,7 @@ fn split_ne(graph: &Graph, bounds: &[(NodeId, NodeId, i64)], nes: &[(NodeId, Nod
 fn no_negative_cycle(graph: &Graph, bounds: &[(NodeId, NodeId, i64)]) -> bool {
     let n = graph.n;
     // Edge (a, b, w): a - b <= w, i.e. dist edge b -> a with weight w.
-    let mut edges: Vec<(NodeId, NodeId, i64)> = bounds
-        .iter()
-        .map(|&(a, b, w)| (b, a, w))
-        .collect();
+    let mut edges: Vec<(NodeId, NodeId, i64)> = bounds.iter().map(|&(a, b, w)| (b, a, w)).collect();
     for &(id, c) in &graph.pins {
         // node = zero + c:  node - zero <= c  and zero - node <= -c.
         edges.push((0, id, c));

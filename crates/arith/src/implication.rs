@@ -214,14 +214,8 @@ mod tests {
     fn forbidden_interval_union_cover() {
         // The arithmetic core of Example 5.3: 4<=Z<=8 ⇒ (3<=Z<=6) ∨ (5<=Z<=10).
         let s = Solver::dense();
-        let premise = vec![
-            cmp(i(4), CompOp::Le, v("Z")),
-            cmp(v("Z"), CompOp::Le, i(8)),
-        ];
-        let d1 = vec![
-            cmp(i(3), CompOp::Le, v("Z")),
-            cmp(v("Z"), CompOp::Le, i(6)),
-        ];
+        let premise = vec![cmp(i(4), CompOp::Le, v("Z")), cmp(v("Z"), CompOp::Le, i(8))];
+        let d1 = vec![cmp(i(3), CompOp::Le, v("Z")), cmp(v("Z"), CompOp::Le, i(6))];
         let d2 = vec![
             cmp(i(5), CompOp::Le, v("Z")),
             cmp(v("Z"), CompOp::Le, i(10)),
@@ -237,14 +231,8 @@ mod tests {
     #[test]
     fn gap_cover_fails_over_dense_but_holds_over_integers() {
         // [4,8] ⊆ [3,6] ∪ [7,10]? Over ℚ no (6.5 uncovered); over ℤ yes.
-        let premise = vec![
-            cmp(i(4), CompOp::Le, v("Z")),
-            cmp(v("Z"), CompOp::Le, i(8)),
-        ];
-        let d1 = vec![
-            cmp(i(3), CompOp::Le, v("Z")),
-            cmp(v("Z"), CompOp::Le, i(6)),
-        ];
+        let premise = vec![cmp(i(4), CompOp::Le, v("Z")), cmp(v("Z"), CompOp::Le, i(8))];
+        let d1 = vec![cmp(i(3), CompOp::Le, v("Z")), cmp(v("Z"), CompOp::Le, i(6))];
         let d2 = vec![
             cmp(i(7), CompOp::Le, v("Z")),
             cmp(v("Z"), CompOp::Le, i(10)),

@@ -69,12 +69,16 @@ pub struct Solver {
 impl Solver {
     /// A solver over the dense domain (the paper's default).
     pub fn dense() -> Self {
-        Solver { domain: Domain::Dense }
+        Solver {
+            domain: Domain::Dense,
+        }
     }
 
     /// A solver over the integers.
     pub fn integer() -> Self {
-        Solver { domain: Domain::Integer }
+        Solver {
+            domain: Domain::Integer,
+        }
     }
 
     /// Is the conjunction of `comparisons` satisfiable?

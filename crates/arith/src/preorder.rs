@@ -28,9 +28,7 @@ pub struct WeakOrder {
 impl WeakOrder {
     /// The rank of a term, if present.
     pub fn rank(&self, t: &Term) -> Option<usize> {
-        self.blocks
-            .iter()
-            .position(|b| b.iter().any(|u| u == t))
+        self.blocks.iter().position(|b| b.iter().any(|u| u == t))
     }
 
     /// Evaluates a comparison under this weak order. Both terms must be
@@ -286,10 +284,7 @@ mod tests {
 
     #[test]
     fn eval_under_order() {
-        let orders = enumerate(
-            &[v("X"), v("Y")],
-            &[cmp(v("X"), CompOp::Lt, v("Y"))],
-        );
+        let orders = enumerate(&[v("X"), v("Y")], &[cmp(v("X"), CompOp::Lt, v("Y"))]);
         let o = &orders[0];
         assert_eq!(o.eval(&cmp(v("X"), CompOp::Lt, v("Y"))), Some(true));
         assert_eq!(o.eval(&cmp(v("Y"), CompOp::Le, v("X"))), Some(false));
@@ -317,8 +312,14 @@ mod tests {
         // For a batch of small conjunctions: enumerate() nonempty iff dense-sat.
         use crate::sat_dense;
         let cases: Vec<Vec<Comparison>> = vec![
-            vec![cmp(v("X"), CompOp::Le, v("Y")), cmp(v("Y"), CompOp::Le, v("X"))],
-            vec![cmp(v("X"), CompOp::Lt, v("Y")), cmp(v("Y"), CompOp::Lt, v("X"))],
+            vec![
+                cmp(v("X"), CompOp::Le, v("Y")),
+                cmp(v("Y"), CompOp::Le, v("X")),
+            ],
+            vec![
+                cmp(v("X"), CompOp::Lt, v("Y")),
+                cmp(v("Y"), CompOp::Lt, v("X")),
+            ],
             vec![cmp(v("X"), CompOp::Le, i(1)), cmp(i(2), CompOp::Le, v("X"))],
             vec![cmp(i(1), CompOp::Lt, v("X")), cmp(v("X"), CompOp::Lt, i(2))],
             vec![cmp(v("X"), CompOp::Ne, v("Y"))],

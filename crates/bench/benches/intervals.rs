@@ -37,9 +37,7 @@ fn bench_intervals(c: &mut Criterion) {
             });
         }
         g.bench_with_input(BenchmarkId::new("thm52_containment", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(complete_local_test(&cqc, &probe, &windows, Solver::dense()))
-            });
+            b.iter(|| black_box(complete_local_test(&cqc, &probe, &windows, Solver::dense())));
         });
     }
     g.finish();

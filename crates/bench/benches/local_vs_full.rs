@@ -45,9 +45,7 @@ fn bench_remote_sweep(c: &mut Criterion) {
             BenchmarkId::new("local_test_thm52", remote),
             &remote,
             |b, _| {
-                b.iter(|| {
-                    black_box(complete_local_test(&cqc, &probe, &windows, Solver::dense()))
-                });
+                b.iter(|| black_box(complete_local_test(&cqc, &probe, &windows, Solver::dense())));
             },
         );
         g.bench_with_input(BenchmarkId::new("full_recheck", remote), &remote, |b, _| {

@@ -1,0 +1,70 @@
+//! E8 — the two-site ladder with a real transport: per-update check cost
+//! when the update resolves locally (zero wire messages) versus when it
+//! escalates to a full check over the channel and TCP transports.
+
+use ccpi::distributed::SiteSplit;
+use ccpi::prelude::*;
+use ccpi_site::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const INTERVALS: &str = "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.";
+
+fn full_db() -> Database {
+    let mut db = Database::new();
+    db.declare("l", 2, Locality::Local).unwrap();
+    db.declare("r", 1, Locality::Remote).unwrap();
+    db.insert("l", tuple![3, 6]).unwrap();
+    db.insert("l", tuple![5, 10]).unwrap();
+    for k in 0..64i64 {
+        db.insert("r", tuple![100 + 3 * k]).unwrap();
+    }
+    db
+}
+
+fn manager_over(client: SiteClient, db: &Database) -> DistributedManager {
+    let mut mgr = DistributedManager::for_local_site(db, client);
+    mgr.add_constraint("intervals", INTERVALS).unwrap();
+    mgr
+}
+
+fn bench_net_pipeline(c: &mut Criterion) {
+    let db = full_db();
+    let mut g = c.benchmark_group("net_pipeline");
+    g.sample_size(10);
+
+    let local = Update::insert("l", tuple![4, 8]);
+    let escalating = Update::insert("l", tuple![400, 410]);
+
+    // Channel transport.
+    let site = RemoteSite::new(SiteSplit::of(&db).remote);
+    let (transport, end) = ChannelTransport::pair();
+    site.serve_channel(end);
+    let mut mgr = manager_over(SiteClient::new(transport), &db);
+    g.bench_function("channel/local_test", |b| {
+        b.iter(|| black_box(mgr.check_update(&local).unwrap()))
+    });
+    g.bench_function("channel/full_check", |b| {
+        b.iter(|| black_box(mgr.check_update(&escalating).unwrap()))
+    });
+
+    // TCP transport (loopback).
+    let site = RemoteSite::new(SiteSplit::of(&db).remote);
+    let server = site.serve_tcp("127.0.0.1:0").unwrap();
+    let client =
+        SiteClient::new(TcpTransport::new(server.addr())).with_deadline(Duration::from_millis(500));
+    let mut mgr = manager_over(client, &db);
+    g.bench_function("tcp/local_test", |b| {
+        b.iter(|| black_box(mgr.check_update(&local).unwrap()))
+    });
+    g.bench_function("tcp/full_check", |b| {
+        b.iter(|| black_box(mgr.check_update(&escalating).unwrap()))
+    });
+    server.stop();
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_net_pipeline);
+criterion_main!(benches);

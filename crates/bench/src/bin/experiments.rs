@@ -4,12 +4,14 @@
 //! Usage:
 //! ```text
 //! experiments                # all tables
-//! experiments --table f21    # one table (f21|f41|f42|f61|examples|e2|e3|e4|e5|e6)
+//! experiments --table f21    # one table (f21|f41|f42|f61|examples|e1..e8)
 //! ```
 
 use ccpi::prelude::*;
 use ccpi_arith::{Domain, Solver};
-use ccpi_bench::{duplicated_remote_cqc, forbidden_intervals, forbidden_intervals_cq, interval_database};
+use ccpi_bench::{
+    duplicated_remote_cqc, forbidden_intervals, forbidden_intervals_cq, interval_database,
+};
 use ccpi_containment::klug::{cqc_contained_in_union_klug, order_count};
 use ccpi_containment::thm51::{cqc_contained_in_union, mapping_count};
 use ccpi_datalog::Engine;
@@ -69,6 +71,9 @@ fn main() {
     if want("e7") {
         table_e7();
     }
+    if want("e8") {
+        table_e8();
+    }
 }
 
 fn heading(s: &str) {
@@ -79,7 +84,10 @@ fn heading(s: &str) {
 /// each and the paper's §2 examples placed.
 fn table_f21() {
     heading("F2.1  The twelve constraint classes (Fig. 2.1)");
-    println!("{:<24} {:<18} {:>9} {:>9}", "class", "shape", "arith", "neg");
+    println!(
+        "{:<24} {:<18} {:>9} {:>9}",
+        "class", "shape", "arith", "neg"
+    );
     for class in ConstraintClass::all() {
         let rep = representative(class);
         assert_eq!(classify(rep.program()), class);
@@ -132,16 +140,23 @@ fn table_closure(kind: UpdateKind) {
             if row.claimed_closed { "yes" } else { "-" },
             row.achieved_class.short_name(),
             if row.claimed_closed {
-                if row.verified { "ok" } else { "FAIL" }
+                if row.verified {
+                    "ok"
+                } else {
+                    "FAIL"
+                }
             } else {
                 "-"
             }
         );
     }
-    println!("circled classes: {circled} (paper: {})", match kind {
-        UpdateKind::Insertion => 8,
-        UpdateKind::Deletion => 6,
-    });
+    println!(
+        "circled classes: {circled} (paper: {})",
+        match kind {
+            UpdateKind::Insertion => 8,
+            UpdateKind::Deletion => 6,
+        }
+    );
 }
 
 /// Fig. 6.1 — the generated datalog test and its behaviour on Example 5.3.
@@ -156,7 +171,14 @@ fn table_f61() {
     println!("\nL = {{(3,6), (5,10)}}:");
     for (a, b) in [(4i64, 8i64), (2, 8), (4, 11)] {
         let v = test.test(&tuple![a, b], &local);
-        println!("  insert ({a},{b}): {}", if v.holds() { "ok(a,b) derived — safe" } else { "not derived — ask remote" });
+        println!(
+            "  insert ({a},{b}): {}",
+            if v.holds() {
+                "ok(a,b) derived — safe"
+            } else {
+                "not derived — ask remote"
+            }
+        );
     }
 }
 
@@ -167,8 +189,10 @@ fn table_examples() {
 
     let checks: Vec<(&str, bool)> = vec![
         ("Ex 2.1-2.4 parse & classify into Fig 2.1 classes", {
-            ["panic :- emp(E,sales) & emp(E,accounting).",
-             "panic :- emp(E,D,S) & not dept(D) & S < 100."]
+            [
+                "panic :- emp(E,sales) & emp(E,accounting).",
+                "panic :- emp(E,D,S) & not dept(D) & S < 100.",
+            ]
             .iter()
             .all(|s| parse_constraint(s).is_ok())
         }),
@@ -177,11 +201,14 @@ fn table_examples() {
             let c1 = parse_cq("panic :- emp(E,D,S) & not dept(D).").unwrap();
             ccpi_containment::negation::contained_sufficient(&c3, &c1, solver).is_yes()
         }),
-        ("Ex 5.1: r(U,V)&r(V,U) ⊆ r(A,B)&A<=B (both mappings needed)", {
-            let c1 = parse_cq("panic :- r(U,V) & r(V,U).").unwrap();
-            let c2 = parse_cq("panic :- r(A,B) & A <= B.").unwrap();
-            cqc_contained_in_union(&c1, std::slice::from_ref(&c2), solver).unwrap()
-        }),
+        (
+            "Ex 5.1: r(U,V)&r(V,U) ⊆ r(A,B)&A<=B (both mappings needed)",
+            {
+                let c1 = parse_cq("panic :- r(U,V) & r(V,U).").unwrap();
+                let c2 = parse_cq("panic :- r(A,B) & A <= B.").unwrap();
+                cqc_contained_in_union(&c1, std::slice::from_ref(&c2), solver).unwrap()
+            },
+        ),
         ("Ex 5.3: RED((4,8)) ⊆ RED((3,6)) ∪ RED((5,10))", {
             let cqc = forbidden_intervals();
             let local = Relation::from_tuples(2, [tuple![3, 6], tuple![5, 10]]);
@@ -429,11 +456,13 @@ fn table_e1() {
 fn table_e7() {
     heading("E7  Datalog engine: semi-naive vs naive on a chain closure");
     use ccpi_datalog::naive::run_naive;
-    let program = ccpi_parser::parse_program(
-        "path(X,Y) :- e(X,Y).\npath(X,Z) :- path(X,Y) & e(Y,Z).",
-    )
-    .unwrap();
-    println!("{:<8} {:>10} {:>18} {:>14}", "chain n", "|path|", "semi-naive (µs)", "naive (µs)");
+    let program =
+        ccpi_parser::parse_program("path(X,Y) :- e(X,Y).\npath(X,Z) :- path(X,Y) & e(Y,Z).")
+            .unwrap();
+    println!(
+        "{:<8} {:>10} {:>18} {:>14}",
+        "chain n", "|path|", "semi-naive (µs)", "naive (µs)"
+    );
     for n in [20i64, 50, 100] {
         let mut db = Database::new();
         db.declare("e", 2, ccpi_storage::Locality::Local).unwrap();
@@ -452,11 +481,122 @@ fn table_e7() {
     }
 }
 
+/// E8 — the two-site subsystem: measured wire traffic and latency per
+/// ladder stage, on both transports, plus graceful degradation when the
+/// remote dies. Ends with a `CheckReport` exported as JSON (the serde
+/// feature in action).
+fn table_e8() {
+    heading("E8  Two-site subsystem: measured wire traffic per stage");
+    use ccpi::distributed::SiteSplit;
+    use ccpi_site::prelude::*;
+    use std::time::Duration;
+
+    let mut db = Database::new();
+    db.declare("l", 2, ccpi_storage::Locality::Local).unwrap();
+    db.declare("r", 1, ccpi_storage::Locality::Remote).unwrap();
+    db.insert("l", tuple![3, 6]).unwrap();
+    db.insert("l", tuple![5, 10]).unwrap();
+    for k in 0..64i64 {
+        db.insert("r", tuple![100 + 3 * k]).unwrap();
+    }
+    const INTERVALS: &str = "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.";
+    let cases: [(&str, Update); 3] = [
+        ("local-test", Update::insert("l", tuple![4, 8])),
+        ("full-check (holds)", Update::insert("l", tuple![400, 410])),
+        (
+            "full-check (violated)",
+            Update::insert("l", tuple![95, 300]),
+        ),
+    ];
+
+    println!(
+        "{:<9} {:<22} {:<28} {:>3} {:>8} {:>8} {:>9}",
+        "transport", "update", "outcome", "rt", "B out", "B in", "µs"
+    );
+    let mut sample_report = None;
+    for transport in ["channel", "tcp"] {
+        let site = RemoteSite::new(SiteSplit::of(&db).remote);
+        let (client, server) = match transport {
+            "channel" => {
+                let (t, end) = ChannelTransport::pair();
+                site.serve_channel(end);
+                (SiteClient::new(t), None)
+            }
+            _ => {
+                let server = site.serve_tcp("127.0.0.1:0").unwrap();
+                let t = TcpTransport::new(server.addr());
+                (SiteClient::new(t), Some(server))
+            }
+        };
+        let client = client
+            .with_deadline(Duration::from_millis(200))
+            .with_retry(RetryPolicy {
+                attempts: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(4),
+            });
+        let mut mgr = DistributedManager::for_local_site(&db, client);
+        mgr.add_constraint("intervals", INTERVALS).unwrap();
+        let mut before = mgr.wire_totals();
+        for (label, upd) in &cases {
+            let start = Instant::now();
+            let report = mgr.check_update(upd).unwrap();
+            let us = start.elapsed().as_secs_f64() * 1e6;
+            let wire = mgr.wire_totals().delta_since(&before);
+            before = mgr.wire_totals();
+            println!(
+                "{:<9} {:<22} {:<28} {:>3} {:>8} {:>8} {:>9.1}",
+                transport,
+                label,
+                format!("{:?}", report.outcome("intervals").unwrap()),
+                wire.round_trips,
+                wire.bytes_sent,
+                wire.bytes_received,
+                us
+            );
+            if label.starts_with("full-check (viol") && transport == "tcp" {
+                sample_report = Some(report);
+            }
+        }
+        // Kill the remote (TCP only — a channel server lives as long as
+        // its client) and repeat a full check: graceful degradation.
+        if let Some(server) = server {
+            server.stop();
+            let start = Instant::now();
+            let report = mgr
+                .check_update(&Update::insert("l", tuple![95, 300]))
+                .unwrap();
+            let us = start.elapsed().as_secs_f64() * 1e6;
+            let wire = mgr.wire_totals().delta_since(&before);
+            println!(
+                "{:<9} {:<22} {:<28} {:>3} {:>8} {:>8} {:>9.1}  ({} retries, {} timeouts)",
+                transport,
+                "full-check, site dead",
+                format!("{:?}", report.outcome("intervals").unwrap()),
+                wire.round_trips,
+                wire.bytes_sent,
+                wire.bytes_received,
+                us,
+                wire.retries,
+                wire.timeouts
+            );
+        }
+    }
+    if let Some(report) = sample_report {
+        println!("\nsample CheckReport as JSON (serde feature):");
+        println!("{}", serde::json::to_string(&report));
+    }
+}
+
 fn time_us(mut f: impl FnMut()) -> f64 {
     // Warm up once; spend fewer iterations on slow operations.
     let warm = Instant::now();
     f();
-    let iters = if warm.elapsed().as_secs_f64() > 0.5 { 1 } else { 5 };
+    let iters = if warm.elapsed().as_secs_f64() > 0.5 {
+        1
+    } else {
+        5
+    };
     let start = Instant::now();
     for _ in 0..iters {
         f();

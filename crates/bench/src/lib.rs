@@ -42,9 +42,7 @@ pub fn interval_database(windows: &Relation, remote_points: usize) -> Database {
 /// An arithmetic-free CQC whose remote part has `k` subgoals over the
 /// same predicate — drives the Theorem 5.3 plan size exponentially.
 pub fn duplicated_remote_cqc(k: usize) -> Cqc {
-    let remotes: Vec<String> = (0..k)
-        .map(|i| format!("r(V{},W{})", i % 2, i))
-        .collect();
+    let remotes: Vec<String> = (0..k).map(|i| format!("r(V{},W{})", i % 2, i)).collect();
     let src = format!("panic :- l(V0,V1) & {}.", remotes.join(" & "));
     Cqc::with_local(parse_cq(&src).expect("parses"), "l").expect("valid CQC")
 }

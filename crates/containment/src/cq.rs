@@ -108,10 +108,7 @@ mod tests {
     #[test]
     fn union_containment_is_member_wise() {
         let q = cq("panic :- emp(E,sales).");
-        let u = vec![
-            cq("panic :- emp(E,accounting)."),
-            cq("panic :- emp(E,D)."),
-        ];
+        let u = vec![cq("panic :- emp(E,accounting)."), cq("panic :- emp(E,D).")];
         assert!(cq_contained_in_union(&q, &u).unwrap());
         let u2 = vec![
             cq("panic :- emp(E,accounting)."),
@@ -122,7 +119,10 @@ mod tests {
 
     #[test]
     fn ucq_containment() {
-        let u1 = vec![cq("panic :- emp(E,sales)."), cq("panic :- emp(E,accounting).")];
+        let u1 = vec![
+            cq("panic :- emp(E,sales)."),
+            cq("panic :- emp(E,accounting)."),
+        ];
         let u2 = vec![cq("panic :- emp(E,D).")];
         assert!(ucq_contained(&u1, &u2).unwrap());
         assert!(!ucq_contained(&u2, &u1).unwrap());

@@ -157,7 +157,8 @@ mod tests {
             (0usize..3).prop_map(|k| format!("V{k}")),
             (0i64..3).prop_map(|k| k.to_string()),
         ];
-        let cmp = (term.clone(), ops, term).prop_map(|(l, op, r)| format!("{l} {} {r}", op.symbol()));
+        let cmp =
+            (term.clone(), ops, term).prop_map(|(l, op, r)| format!("{l} {} {r}", op.symbol()));
         (
             prop::collection::vec(atom, 1..3),
             prop::collection::vec(cmp, 0..3),

@@ -72,7 +72,11 @@ const NEG_LIMIT: u128 = 1 << 26;
 
 /// Does the set `others` subsume `c`? (Theorem 3.1: containment of `c`'s
 /// program in the union of the others'.)
-pub fn subsumes(others: &[Constraint], c: &Constraint, solver: Solver) -> Result<Subsumption, SubsumeError> {
+pub fn subsumes(
+    others: &[Constraint],
+    c: &Constraint,
+    solver: Solver,
+) -> Result<Subsumption, SubsumeError> {
     // Normalize every program into a union of CQ(¬,C)s when possible.
     let c_union = unfold_constraint(c.program());
     let others_union: Result<Vec<Vec<Cq>>, UnfoldError> = others
@@ -106,8 +110,7 @@ pub fn subsumes(others: &[Constraint], c: &Constraint, solver: Solver) -> Result
 
 /// Subsumption between unfolded unions.
 fn subsumes_unions(cu: &[Cq], all: &[Cq], solver: Solver) -> Result<Subsumption, SubsumeError> {
-    let negation_free =
-        cu.iter().all(Cq::is_negation_free) && all.iter().all(Cq::is_negation_free);
+    let negation_free = cu.iter().all(Cq::is_negation_free) && all.iter().all(Cq::is_negation_free);
     if negation_free {
         // Pure CQs: Chandra–Merlin mapping search (member-wise by
         // Sagiv–Yannakakis) is exact and much faster than routing the
@@ -282,7 +285,8 @@ pub fn to_constraint(q: &Cq) -> Constraint {
     };
     let mut body: Vec<ccpi_ir::Literal> = vec![ccpi_ir::Literal::Pos(moved)];
     body.extend(q.to_rule().body);
-    Constraint::single(Rule::new(Atom::new(PANIC, vec![]), body)).expect("panic head by construction")
+    Constraint::single(Rule::new(Atom::new(PANIC, vec![]), body))
+        .expect("panic head by construction")
 }
 
 /// Convenience pairing for Theorem 3.2 round-trip tests and docs.
@@ -323,11 +327,12 @@ mod tests {
         // Example 2.3-style: the two-sided range constraint subsumes the
         // one-sided one only via the matching disjunct.
         let low = c("panic :- emp(E,D,S) & salRange(D,L,H) & S < L.");
-        let both = c(
-            "panic :- emp(E,D,S) & salRange(D,L,H) & S < L.\n\
-             panic :- emp(E,D,S) & salRange(D,L,H) & S > H.",
-        );
-        assert!(subsumes(std::slice::from_ref(&both), &low, dense()).unwrap().answer.is_yes());
+        let both = c("panic :- emp(E,D,S) & salRange(D,L,H) & S < L.\n\
+             panic :- emp(E,D,S) & salRange(D,L,H) & S > H.");
+        assert!(subsumes(std::slice::from_ref(&both), &low, dense())
+            .unwrap()
+            .answer
+            .is_yes());
         assert!(!subsumes(&[low], &both, dense()).unwrap().answer.is_yes());
     }
 
@@ -340,7 +345,10 @@ mod tests {
         let right = c("panic :- r(Z) & 5 <= Z & Z <= 10.");
         let s = subsumes(&[left.clone(), right.clone()], &mid, dense()).unwrap();
         assert!(s.answer.is_yes() && s.exact);
-        assert!(!subsumes(std::slice::from_ref(&left), &mid, dense()).unwrap().answer.is_yes());
+        assert!(!subsumes(std::slice::from_ref(&left), &mid, dense())
+            .unwrap()
+            .answer
+            .is_yes());
         assert!(!subsumes(&[right], &mid, dense()).unwrap().answer.is_yes());
     }
 
@@ -369,11 +377,9 @@ mod tests {
     fn recursive_subsumed_side_via_uniform_containment() {
         // boss-cycle constraint is subsumed by itself (uniform containment
         // certifies reflexivity).
-        let rec = c(
-            "panic :- boss(E,E).\n\
+        let rec = c("panic :- boss(E,E).\n\
              boss(E,M) :- emp(E,D,S) & manager(D,M).\n\
-             boss(E,F) :- boss(E,G) & boss(G,F).",
-        );
+             boss(E,F) :- boss(E,G) & boss(G,F).");
         let s = subsumes(std::slice::from_ref(&rec), &rec, dense()).unwrap();
         assert!(s.answer.is_yes());
         assert!(!s.exact);
@@ -407,10 +413,7 @@ mod tests {
     fn theorem_3_2_reduction_shape() {
         let q = parse_cq("q(X) :- p(X,Y) & q(Y).").unwrap();
         let c = to_constraint(&q);
-        assert_eq!(
-            c.to_string(),
-            "panic :- q__goal(X) & p(X,Y) & q(Y)."
-        );
+        assert_eq!(c.to_string(), "panic :- q__goal(X) & p(X,Y) & q(Y).");
     }
 
     // Theorem 3.2: Q ⊆ R iff Q′ ⊆ R′ — verified on random CQ pairs using

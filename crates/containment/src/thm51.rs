@@ -110,12 +110,9 @@ mod tests {
         let inserted = cq("panic :- r(Z) & 4 <= Z & Z <= 8.");
         let red36 = cq("panic :- r(Z) & 3 <= Z & Z <= 6.");
         let red510 = cq("panic :- r(Z) & 5 <= Z & Z <= 10.");
-        assert!(cqc_contained_in_union(
-            &inserted,
-            &[red36.clone(), red510.clone()],
-            dense()
-        )
-        .unwrap());
+        assert!(
+            cqc_contained_in_union(&inserted, &[red36.clone(), red510.clone()], dense()).unwrap()
+        );
         assert!(!cqc_contained(&inserted, &red36, dense()).unwrap());
         assert!(!cqc_contained(&inserted, &red510, dense()).unwrap());
     }

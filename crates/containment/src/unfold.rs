@@ -80,9 +80,10 @@ fn expand(
         }
     }
     // Find the first positive IDB subgoal.
-    let target = rule.body.iter().position(
-        |l| matches!(l, Literal::Pos(a) if idb.contains(&a.pred)),
-    );
+    let target = rule
+        .body
+        .iter()
+        .position(|l| matches!(l, Literal::Pos(a) if idb.contains(&a.pred)));
     let Some(pos) = target else {
         if out.len() >= MAX_DISJUNCTS {
             return Err(UnfoldError::TooManyDisjuncts(MAX_DISJUNCTS));
@@ -97,7 +98,10 @@ fn expand(
         // Rename the defining rule apart from the host rule.
         *counter += 1;
         let renaming = Subst::from_pairs(def.vars().into_iter().enumerate().map(|(i, v)| {
-            (v, Term::Var(ccpi_ir::Var::fresh(&format!("u{counter}_"), i)))
+            (
+                v,
+                Term::Var(ccpi_ir::Var::fresh(&format!("u{counter}_"), i)),
+            )
         }));
         let def = renaming.apply_rule(def);
         // Unify the subgoal with the (renamed) head.
@@ -155,7 +159,10 @@ mod tests {
         let p = parse_program("panic :- emp(E,sales) & emp(E,accounting).").unwrap();
         let u = unfold_constraint(&p).unwrap();
         assert_eq!(u.len(), 1);
-        assert_eq!(u[0], parse_cq("panic :- emp(E,sales) & emp(E,accounting).").unwrap());
+        assert_eq!(
+            u[0],
+            parse_cq("panic :- emp(E,sales) & emp(E,accounting).").unwrap()
+        );
     }
 
     #[test]
@@ -218,7 +225,10 @@ mod tests {
         // One disjunct joins dept, the other pins D = toy.
         let rendered: Vec<String> = u.iter().map(|c| c.to_string()).collect();
         assert!(rendered.iter().any(|s| s.contains("dept(")), "{rendered:?}");
-        assert!(rendered.iter().any(|s| s.contains("emp(E,toy)")), "{rendered:?}");
+        assert!(
+            rendered.iter().any(|s| s.contains("emp(E,toy)")),
+            "{rendered:?}"
+        );
     }
 
     #[test]

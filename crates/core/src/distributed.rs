@@ -27,6 +27,9 @@ pub struct SiteSplit {
 
 impl SiteSplit {
     /// Splits `db` according to its catalog.
+    ///
+    /// Relation instances are shared copy-on-write with `db` (O(1) per
+    /// relation), not re-inserted tuple by tuple.
     pub fn of(db: &Database) -> SiteSplit {
         let mut local = Database::new();
         let mut remote = Database::new();
@@ -39,9 +42,9 @@ impl SiteSplit {
                 .declare(decl.name.as_str(), decl.arity, decl.locality)
                 .expect("fresh database");
             if let Some(rel) = db.relation(decl.name.as_str()) {
-                for t in rel.iter() {
-                    target.insert(decl.name.as_str(), t.clone()).expect("declared");
-                }
+                target
+                    .set_relation(decl.name.as_str(), rel.clone())
+                    .expect("declared");
             }
         }
         SiteSplit { local, remote }
@@ -49,6 +52,8 @@ impl SiteSplit {
 
     /// The local view: all relations declared, but remote ones empty —
     /// what the updating site can evaluate against without communication.
+    ///
+    /// Local relation instances are shared copy-on-write with `db`.
     pub fn local_view(db: &Database) -> Database {
         let mut view = Database::new();
         for decl in db.decls() {
@@ -56,25 +61,24 @@ impl SiteSplit {
                 .expect("fresh database");
             if decl.locality == Locality::Local {
                 if let Some(rel) = db.relation(decl.name.as_str()) {
-                    for t in rel.iter() {
-                        view.insert(decl.name.as_str(), t.clone()).expect("declared");
-                    }
+                    view.set_relation(decl.name.as_str(), rel.clone())
+                        .expect("declared");
                 }
             }
         }
         view
     }
 
-    /// Reassembles the full database.
+    /// Reassembles the full database (sharing relation storage with both
+    /// halves copy-on-write).
     pub fn merged(&self) -> Database {
         let mut out = self.local.clone();
         for decl in self.remote.decls() {
             out.declare(decl.name.as_str(), decl.arity, decl.locality)
                 .expect("compatible catalogs");
             if let Some(rel) = self.remote.relation(decl.name.as_str()) {
-                for t in rel.iter() {
-                    out.insert(decl.name.as_str(), t.clone()).expect("declared");
-                }
+                out.set_relation(decl.name.as_str(), rel.clone())
+                    .expect("declared");
             }
         }
         out
@@ -134,6 +138,27 @@ mod tests {
         assert!(split.local.relation("r").is_none());
         assert_eq!(split.remote.relation("r").unwrap().len(), 1);
         assert!(split.remote.relation("l").is_none());
+    }
+
+    #[test]
+    fn split_shares_relation_storage() {
+        let db = sample_db();
+        let split = SiteSplit::of(&db);
+        assert!(split
+            .local
+            .relation("l")
+            .unwrap()
+            .shares_storage_with(db.relation("l").unwrap()));
+        assert!(split
+            .remote
+            .relation("r")
+            .unwrap()
+            .shares_storage_with(db.relation("r").unwrap()));
+        let view = SiteSplit::local_view(&db);
+        assert!(view
+            .relation("l")
+            .unwrap()
+            .shares_storage_with(db.relation("l").unwrap()));
     }
 
     #[test]

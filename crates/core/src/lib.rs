@@ -48,17 +48,20 @@
 pub mod active;
 pub mod distributed;
 pub mod manager;
+pub mod remote;
 pub mod report;
 
 pub use manager::{ConstraintManager, ManagerError};
-pub use report::{CheckReport, LocalTestKind, Method, Outcome};
+pub use remote::{RemoteError, RemoteSource, UnreachableRemote};
+pub use report::{CheckReport, LocalTestKind, Method, Outcome, UnknownCause, WireStats};
 
 /// Convenient re-exports for applications.
 pub mod prelude {
     pub use crate::active::{ActiveRule, ActiveRuleSet};
     pub use crate::distributed::{CostModel, SiteSplit};
     pub use crate::manager::{ConstraintManager, ManagerError};
-    pub use crate::report::{CheckReport, LocalTestKind, Method, Outcome};
+    pub use crate::remote::{RemoteError, RemoteSource, UnreachableRemote};
+    pub use crate::report::{CheckReport, LocalTestKind, Method, Outcome, UnknownCause, WireStats};
     pub use ccpi_arith::{Domain, Solver};
     pub use ccpi_ir::{Constraint, Cq, Program, Rule};
     pub use ccpi_parser::{parse_constraint, parse_cq, parse_program, parse_rule};

@@ -1,14 +1,13 @@
 //! The constraint manager and its checking pipeline.
 
-use crate::report::{CheckReport, LocalTestKind, Method, Outcome};
+use crate::remote::RemoteSource;
+use crate::report::{CheckReport, LocalTestKind, Method, Outcome, UnknownCause};
 use ccpi_arith::Solver;
 use ccpi_containment::subsume::subsumes;
 use ccpi_datalog::{DatalogError, Engine};
 use ccpi_ir::class::{classify, ConstraintClass};
 use ccpi_ir::{Constraint, Cq};
-use ccpi_localtest::{
-    complete_local_test_with, compile_ra, Cqc, IcqTest, LocalTestPlan,
-};
+use ccpi_localtest::{compile_ra, complete_local_test_with, Cqc, IcqTest, LocalTestPlan};
 use ccpi_parser::ParseError;
 use ccpi_rewrite::independence::independent_of_update;
 use ccpi_storage::{Database, Locality, StorageError, Update};
@@ -193,7 +192,38 @@ impl ConstraintManager {
     /// Assumes all constraints hold on the current database (the paper's
     /// standing assumption, §2).
     pub fn check_update(&mut self, update: &Update) -> Result<CheckReport, ManagerError> {
+        self.check_update_inner(update, None)
+    }
+
+    /// Like [`check_update`](Self::check_update), but the manager's
+    /// database is a **local view** (remote relations declared, empty) and
+    /// stage 4 reads remote relations through `remote`.
+    ///
+    /// Each remote relation a full check needs is fetched at most once per
+    /// call (and re-fetched fresh on the next call). If a fetch fails the
+    /// affected constraints report
+    /// [`Outcome::Unknown`]`(`[`UnknownCause::RemoteUnavailable`]`)` — the
+    /// call itself still succeeds; unreachability is an answer, not an
+    /// error. Transport counters measured during the call land in
+    /// [`CheckReport::wire`].
+    pub fn check_update_with_remote(
+        &mut self,
+        update: &Update,
+        remote: &mut dyn RemoteSource,
+    ) -> Result<CheckReport, ManagerError> {
+        self.check_update_inner(update, Some(remote))
+    }
+
+    fn check_update_inner(
+        &mut self,
+        update: &Update,
+        mut remote: Option<&mut dyn RemoteSource>,
+    ) -> Result<CheckReport, ManagerError> {
         let mut report = CheckReport::default();
+        let stats_before = remote.as_deref().map(|r| r.wire_stats());
+        // Remote relations hydrated so far this call: pred → fetch ok?
+        let mut hydrated: std::collections::BTreeMap<String, bool> =
+            std::collections::BTreeMap::new();
 
         // Collect extra reductions per local predicate for the
         // multi-constraint Theorem 5.2 extension: the other held
@@ -203,9 +233,10 @@ impl ConstraintManager {
         for i in 0..n {
             // Stage 1 — subsumption.
             if self.constraints[i].subsumed {
-                report
-                    .outcomes
-                    .push((self.constraints[i].name.clone(), Outcome::Holds(Method::Subsumed)));
+                report.outcomes.push((
+                    self.constraints[i].name.clone(),
+                    Outcome::Holds(Method::Subsumed),
+                ));
                 continue;
             }
 
@@ -217,14 +248,10 @@ impl ConstraintManager {
                 .filter(|(j, _)| *j != i)
                 .map(|(_, r)| r.constraint.clone())
                 .collect();
-            let independent = independent_of_update(
-                &self.constraints[i].constraint,
-                &others,
-                update,
-                solver,
-            )
-            .map(|a| a.is_yes())
-            .unwrap_or(false);
+            let independent =
+                independent_of_update(&self.constraints[i].constraint, &others, update, solver)
+                    .map(|a| a.is_yes())
+                    .unwrap_or(false);
             if independent {
                 report.outcomes.push((
                     self.constraints[i].name.clone(),
@@ -245,7 +272,38 @@ impl ConstraintManager {
                 }
             }
 
-            // Stage 4 — full check (reads remote data).
+            // Stage 4 — full check (reads remote data). With a remote
+            // source, hydrate the remote relations the constraint mentions
+            // first; a failed fetch degrades the outcome to Unknown.
+            if let Some(src) = remote.as_deref_mut() {
+                let preds: Vec<String> = self.constraints[i]
+                    .constraint
+                    .program()
+                    .edb_predicates()
+                    .into_iter()
+                    .filter(|p| self.db.locality(p.as_str()) == Some(Locality::Remote))
+                    .map(|p| p.as_str().to_string())
+                    .collect();
+                let mut reachable = true;
+                for pred in preds {
+                    let ok = match hydrated.get(&pred) {
+                        Some(&ok) => ok,
+                        None => {
+                            let ok = self.hydrate_remote(src, &pred);
+                            hydrated.insert(pred.clone(), ok);
+                            ok
+                        }
+                    };
+                    reachable &= ok;
+                }
+                if !reachable {
+                    report.outcomes.push((
+                        self.constraints[i].name.clone(),
+                        Outcome::Unknown(UnknownCause::RemoteUnavailable),
+                    ));
+                    continue;
+                }
+            }
             let (outcome, tuples, bytes) = self.full_check(i, update)?;
             report.remote_tuples_read += tuples;
             report.remote_bytes_read += bytes;
@@ -254,7 +312,37 @@ impl ConstraintManager {
                 .outcomes
                 .push((self.constraints[i].name.clone(), outcome));
         }
+
+        if let Some(src) = remote.as_deref() {
+            // Restore the local view: drop the hydrated remote contents.
+            for (pred, ok) in &hydrated {
+                if *ok {
+                    if let Some(rel) = self.db.relation_mut(pred) {
+                        rel.clear();
+                    }
+                }
+            }
+            if let Some(before) = stats_before {
+                report.wire = src.wire_stats().delta_since(&before);
+            }
+        }
         Ok(report)
+    }
+
+    /// Fetches remote relation `pred` through `src` and installs it into
+    /// the database. Returns `false` (instead of erroring) when the fetch
+    /// fails or the payload doesn't match the declared shape.
+    fn hydrate_remote(&mut self, src: &mut dyn RemoteSource, pred: &str) -> bool {
+        let Some(arity) = self.db.decl(pred).map(|d| d.arity) else {
+            return false;
+        };
+        match src.fetch_relation(pred) {
+            Ok(rows) if rows.iter().all(|t| t.arity() == arity) => {
+                let rel = ccpi_storage::Relation::from_tuples(arity, rows);
+                self.db.set_relation(pred, rel).is_ok()
+            }
+            _ => false,
+        }
     }
 
     /// Checks, then applies the update (even when violations are found —
@@ -265,7 +353,12 @@ impl ConstraintManager {
         Ok(report)
     }
 
-    fn try_local_test(&self, i: usize, pred: &str, tuple: &ccpi_storage::Tuple) -> Option<LocalTestKind> {
+    fn try_local_test(
+        &self,
+        i: usize,
+        pred: &str,
+        tuple: &ccpi_storage::Tuple,
+    ) -> Option<LocalTestKind> {
         let reg = &self.constraints[i];
         let cqc = reg.cqc.as_ref()?;
         if cqc.local_pred().as_str() != pred {
@@ -298,7 +391,10 @@ impl ConstraintManager {
         // union, so fall through to the containment test.
         if extra.is_empty() {
             if let Some(plan) = &reg.ra_plan {
-                return plan.test(tuple, local).holds().then_some(LocalTestKind::RaPlan);
+                return plan
+                    .test(tuple, local)
+                    .holds()
+                    .then_some(LocalTestKind::RaPlan);
             }
             if let Some(icq) = &reg.icq {
                 return icq
@@ -371,11 +467,8 @@ mod tests {
         db.insert("l", tuple![3, 6]).unwrap();
         db.insert("l", tuple![5, 10]).unwrap();
         let mut mgr = ConstraintManager::new(db);
-        mgr.add_constraint(
-            "intervals",
-            "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.",
-        )
-        .unwrap();
+        mgr.add_constraint("intervals", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+            .unwrap();
         mgr
     }
 
@@ -445,11 +538,8 @@ mod tests {
         let mut mgr = ConstraintManager::new(db);
         mgr.add_constraint("loose", "panic :- emp(E,D1) & emp(E,D2).")
             .unwrap();
-        mgr.add_constraint(
-            "tight",
-            "panic :- emp(E,sales) & emp(E,accounting).",
-        )
-        .unwrap();
+        mgr.add_constraint("tight", "panic :- emp(E,sales) & emp(E,accounting).")
+            .unwrap();
         assert_eq!(mgr.is_subsumed("tight"), Some(true));
         assert_eq!(mgr.is_subsumed("loose"), Some(false));
         let report = mgr
@@ -468,7 +558,8 @@ mod tests {
         db.declare("r", 2, Locality::Remote).unwrap();
         db.insert("l", tuple![1, 2]).unwrap();
         let mut mgr = ConstraintManager::new(db);
-        mgr.add_constraint("af", "panic :- l(X,Y) & r(X,Y).").unwrap();
+        mgr.add_constraint("af", "panic :- l(X,Y) & r(X,Y).")
+            .unwrap();
         // Duplicate insert: covered by the existing row via the RA plan.
         let report = mgr
             .check_update(&Update::insert("l", tuple![1, 2]))
@@ -518,10 +609,116 @@ mod tests {
         // Constraint "a" alone can't cover [5,8] from [3,6], but b's
         // reduction [5,10] (valid since l has (3,6) with 3 <= 5) does.
         let a = report.outcome("a").unwrap();
-        assert!(
-            a.holds() && a.method() != Some(Method::FullCheck),
-            "{a:?}"
+        assert!(a.holds() && a.method() != Some(Method::FullCheck), "{a:?}");
+    }
+
+    #[test]
+    fn remote_source_hydrates_stage_four() {
+        use crate::distributed::SiteSplit;
+        use crate::remote::{RemoteError, RemoteSource};
+        use crate::report::WireStats;
+
+        /// Serves from a captured database and counts fetches.
+        struct DbSource {
+            remote: Database,
+            fetches: u64,
+        }
+        impl RemoteSource for DbSource {
+            fn fetch_relation(
+                &mut self,
+                pred: &str,
+            ) -> Result<Vec<ccpi_storage::Tuple>, RemoteError> {
+                self.fetches += 1;
+                self.remote
+                    .relation(pred)
+                    .map(|r| r.iter().cloned().collect())
+                    .ok_or_else(|| RemoteError::Protocol(format!("unknown relation {pred}")))
+            }
+            fn wire_stats(&self) -> WireStats {
+                WireStats {
+                    requests: self.fetches,
+                    round_trips: self.fetches,
+                    ..WireStats::default()
+                }
+            }
+        }
+
+        let mut db = Database::new();
+        db.declare("l", 2, Locality::Local).unwrap();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        db.insert("l", tuple![3, 6]).unwrap();
+        db.insert("l", tuple![5, 10]).unwrap();
+        db.insert("r", tuple![20]).unwrap();
+        let split = SiteSplit::of(&db);
+        let mut src = DbSource {
+            remote: split.remote,
+            fetches: 0,
+        };
+        let mut mgr = ConstraintManager::new(SiteSplit::local_view(&db));
+        mgr.add_constraint("intervals", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+            .unwrap();
+
+        // Covered insert: settled by stage 3, zero fetches.
+        let report = mgr
+            .check_update_with_remote(&Update::insert("l", tuple![4, 8]), &mut src)
+            .unwrap();
+        assert!(matches!(
+            report.outcome("intervals"),
+            Some(Outcome::Holds(Method::LocalTest(_)))
+        ));
+        assert_eq!(src.fetches, 0);
+        assert!(report.wire.is_zero());
+
+        // Violating insert: needs the remote point r(20).
+        let report = mgr
+            .check_update_with_remote(&Update::insert("l", tuple![15, 25]), &mut src)
+            .unwrap();
+        assert_eq!(report.outcome("intervals"), Some(Outcome::Violated));
+        assert_eq!(src.fetches, 1);
+        assert_eq!(report.wire.requests, 1);
+        assert!(report.remote_tuples_read > 0);
+        // The local view is restored: remote relations empty again.
+        assert!(mgr.database().relation("r").unwrap().is_empty());
+
+        // Safe-but-uncovered insert: full check passes via the wire.
+        let report = mgr
+            .check_update_with_remote(&Update::insert("l", tuple![21, 30]), &mut src)
+            .unwrap();
+        assert!(matches!(
+            report.outcome("intervals"),
+            Some(Outcome::Holds(Method::FullCheck))
+        ));
+    }
+
+    #[test]
+    fn unreachable_remote_degrades_to_unknown() {
+        use crate::remote::UnreachableRemote;
+        let mut db = Database::new();
+        db.declare("l", 2, Locality::Local).unwrap();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        db.insert("l", tuple![3, 6]).unwrap();
+        let mut mgr = ConstraintManager::new(db);
+        mgr.add_constraint("intervals", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+            .unwrap();
+        let mut dead = UnreachableRemote;
+
+        // Stage 3 still certifies covered inserts without the remote.
+        let report = mgr
+            .check_update_with_remote(&Update::insert("l", tuple![3, 6]), &mut dead)
+            .unwrap();
+        assert!(report.outcome("intervals").unwrap().holds());
+
+        // An uncovered insert cannot be settled: Unknown, not an error.
+        let report = mgr
+            .check_update_with_remote(&Update::insert("l", tuple![15, 25]), &mut dead)
+            .unwrap();
+        assert_eq!(
+            report.outcome("intervals"),
+            Some(Outcome::Unknown(UnknownCause::RemoteUnavailable))
         );
+        assert_eq!(report.unknowns(), vec!["intervals"]);
+        assert!(report.violations().is_empty());
+        assert_eq!(report.full_checks, 0);
     }
 
     #[test]
@@ -544,10 +741,8 @@ mod tests {
             let outcome = report.outcome("intervals").unwrap();
             let mut after = mgr.database().clone();
             after.apply(&upd).unwrap();
-            let c = ccpi_parser::parse_constraint(
-                "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.",
-            )
-            .unwrap();
+            let c =
+                ccpi_parser::parse_constraint("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.").unwrap();
             let truth = constraint_violated(&c, &after).unwrap();
             assert_eq!(!outcome.holds(), truth, "insert ({a},{b})");
         }

@@ -1,0 +1,66 @@
+//! The manager's hook for reading remote relations over a real transport.
+//!
+//! The escalation ladder is deliberately transport-agnostic: stages 1–3
+//! never read remote data, and stage 4 expresses its needs through
+//! [`RemoteSource`] — "give me the current contents of remote relation
+//! `p`". The `ccpi-site` crate provides networked implementations
+//! (in-process channels and TCP); tests can plug in anything, including
+//! sources that always fail.
+//!
+//! Failure is a first-class answer: when a fetch fails, the manager
+//! records [`Outcome::Unknown`](crate::report::Outcome) with
+//! [`UnknownCause::RemoteUnavailable`](crate::report::UnknownCause)
+//! instead of erroring — partial information, handled the way the paper
+//! frames it.
+
+use crate::report::WireStats;
+use ccpi_storage::Tuple;
+use std::fmt;
+
+/// Why a remote fetch failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The remote site could not be reached (connect failure, deadline
+    /// expired after retries, connection lost mid-exchange).
+    Unavailable(String),
+    /// The remote answered but the exchange was malformed (protocol
+    /// violation, unknown relation, arity mismatch).
+    Protocol(String),
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::Unavailable(m) => write!(f, "remote unavailable: {m}"),
+            RemoteError::Protocol(m) => write!(f, "remote protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// A source of remote relation contents, consulted only by stage 4.
+pub trait RemoteSource {
+    /// Fetches the current contents of remote relation `pred`.
+    fn fetch_relation(&mut self, pred: &str) -> Result<Vec<Tuple>, RemoteError>;
+
+    /// Cumulative transport counters since this source was created.
+    /// The manager snapshots these around a check to attribute per-check
+    /// deltas to the [`CheckReport`](crate::report::CheckReport).
+    fn wire_stats(&self) -> WireStats;
+}
+
+/// A [`RemoteSource`] that always fails — the "remote site is down"
+/// degenerate case, useful in tests and as the zero object of the trait.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnreachableRemote;
+
+impl RemoteSource for UnreachableRemote {
+    fn fetch_relation(&mut self, _pred: &str) -> Result<Vec<Tuple>, RemoteError> {
+        Err(RemoteError::Unavailable("unreachable remote".into()))
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        WireStats::default()
+    }
+}

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Which complete local test certified the constraint.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub enum LocalTestKind {
     /// The compiled Theorem 5.3 relational-algebra plan.
     RaPlan,
@@ -15,6 +16,7 @@ pub enum LocalTestKind {
 
 /// How a constraint was discharged.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub enum Method {
     /// §3: subsumed by the other registered constraints — never checked.
     Subsumed,
@@ -41,33 +43,131 @@ impl fmt::Display for Method {
     }
 }
 
+/// Why a constraint's status could not be determined.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub enum UnknownCause {
+    /// The full check needed remote data and the remote site could not be
+    /// reached (after retries/timeouts). The paper's partial-information
+    /// setting taken literally: "accessing remote data may be expensive
+    /// *or impossible*" — degrade gracefully rather than fail.
+    RemoteUnavailable,
+}
+
+impl fmt::Display for UnknownCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnknownCause::RemoteUnavailable => write!(f, "remote unavailable"),
+        }
+    }
+}
+
 /// The verdict for one constraint.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub enum Outcome {
     /// The constraint still holds; `Method` says how we know.
     Holds(Method),
     /// The update would violate the constraint (established by the full
     /// check — the only stage that can say "no").
     Violated,
+    /// Stages 1–3 could not certify the update and stage 4 could not run
+    /// (e.g. the remote site is unreachable). Not a violation — the caller
+    /// decides whether to block, queue, or optimistically apply.
+    Unknown(UnknownCause),
 }
 
 impl Outcome {
-    /// `true` unless the update violates the constraint.
+    /// `true` only when the constraint is positively certified to hold.
+    /// `Unknown` is *not* a certificate.
     pub fn holds(&self) -> bool {
         matches!(self, Outcome::Holds(_))
+    }
+
+    /// `true` when the status could not be determined.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Outcome::Unknown(_))
     }
 
     /// The discharging method, if the constraint holds.
     pub fn method(&self) -> Option<Method> {
         match self {
             Outcome::Holds(m) => Some(*m),
-            Outcome::Violated => None,
+            Outcome::Violated | Outcome::Unknown(_) => None,
         }
+    }
+}
+
+/// Transport-level counters measured by a remote source during a check.
+///
+/// These replace the synthetic [`CostModel`](crate::distributed::CostModel)
+/// arithmetic with observed numbers when a real transport is in play; all
+/// zeros in the single-site setting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct WireStats {
+    /// Individual requests issued (batched requests count each entry).
+    pub requests: u64,
+    /// Wire round trips (one per batch actually sent).
+    pub round_trips: u64,
+    /// Bytes written to the transport.
+    pub bytes_sent: u64,
+    /// Bytes read from the transport.
+    pub bytes_received: u64,
+    /// Re-sends after a failed/timed-out attempt.
+    pub retries: u64,
+    /// Attempts abandoned because the per-request deadline expired.
+    pub timeouts: u64,
+}
+
+impl WireStats {
+    /// Component-wise difference `self - earlier` (saturating), for
+    /// turning two cumulative snapshots into a per-check delta.
+    pub fn delta_since(&self, earlier: &WireStats) -> WireStats {
+        WireStats {
+            requests: self.requests.saturating_sub(earlier.requests),
+            round_trips: self.round_trips.saturating_sub(earlier.round_trips),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            retries: self.retries.saturating_sub(earlier.retries),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+        }
+    }
+
+    /// Component-wise accumulation.
+    pub fn absorb(&mut self, other: &WireStats) {
+        self.requests += other.requests;
+        self.round_trips += other.round_trips;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+    }
+
+    /// `true` when nothing touched the wire.
+    pub fn is_zero(&self) -> bool {
+        *self == WireStats::default()
+    }
+}
+
+impl fmt::Display for WireStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} req / {} rt / {}B out / {}B in / {} retries / {} timeouts",
+            self.requests,
+            self.round_trips,
+            self.bytes_sent,
+            self.bytes_received,
+            self.retries,
+            self.timeouts
+        )
     }
 }
 
 /// The result of checking one update against every registered constraint.
 #[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct CheckReport {
     /// Per-constraint outcomes, in registration order.
     pub outcomes: Vec<(String, Outcome)>,
@@ -78,6 +178,8 @@ pub struct CheckReport {
     pub remote_bytes_read: usize,
     /// Number of constraints that needed the full check.
     pub full_checks: usize,
+    /// Measured transport counters (all zeros without a remote source).
+    pub wire: WireStats,
 }
 
 impl CheckReport {
@@ -94,11 +196,20 @@ impl CheckReport {
         self.outcomes.iter().all(|(_, o)| o.holds())
     }
 
-    /// Names of violated constraints.
+    /// Names of violated constraints (`Unknown` is not a violation).
     pub fn violations(&self) -> Vec<&str> {
         self.outcomes
             .iter()
-            .filter(|(_, o)| !o.holds())
+            .filter(|(_, o)| matches!(o, Outcome::Violated))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Names of constraints whose status could not be determined.
+    pub fn unknowns(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| o.is_unknown())
             .map(|(n, _)| n.as_str())
             .collect()
     }
@@ -133,13 +244,18 @@ impl fmt::Display for CheckReport {
             match outcome {
                 Outcome::Holds(m) => writeln!(f, "  {name}: holds [{m}]")?,
                 Outcome::Violated => writeln!(f, "  {name}: VIOLATED")?,
+                Outcome::Unknown(c) => writeln!(f, "  {name}: UNKNOWN ({c})")?,
             }
         }
         write!(
             f,
             "  remote reads: {} tuples / {} bytes; full checks: {}",
             self.remote_tuples_read, self.remote_bytes_read, self.full_checks
-        )
+        )?;
+        if !self.wire.is_zero() {
+            write!(f, "\n  wire: {}", self.wire)?;
+        }
+        Ok(())
     }
 }
 
@@ -157,6 +273,7 @@ mod tests {
             remote_tuples_read: 5,
             remote_bytes_read: 80,
             full_checks: 1,
+            wire: WireStats::default(),
         };
         assert!(!r.all_hold());
         assert_eq!(r.violations(), vec!["b"]);
@@ -182,5 +299,80 @@ mod tests {
         assert_eq!(h.method(), Some(Method::FullCheck));
         assert!(!Outcome::Violated.holds());
         assert_eq!(Outcome::Violated.method(), None);
+        let u = Outcome::Unknown(UnknownCause::RemoteUnavailable);
+        assert!(!u.holds());
+        assert!(u.is_unknown());
+        assert_eq!(u.method(), None);
+    }
+
+    #[test]
+    fn unknown_is_not_a_violation() {
+        let r = CheckReport {
+            outcomes: vec![
+                ("a".into(), Outcome::Holds(Method::Subsumed)),
+                (
+                    "b".into(),
+                    Outcome::Unknown(UnknownCause::RemoteUnavailable),
+                ),
+            ],
+            ..CheckReport::default()
+        };
+        assert!(r.violations().is_empty());
+        assert_eq!(r.unknowns(), vec!["b"]);
+        assert!(!r.all_hold(), "unknown is not a certificate");
+        assert!(r.to_string().contains("UNKNOWN"));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn report_serializes_to_json() {
+        let r = CheckReport {
+            outcomes: vec![
+                (
+                    "a".into(),
+                    Outcome::Holds(Method::LocalTest(LocalTestKind::Interval)),
+                ),
+                (
+                    "b".into(),
+                    Outcome::Unknown(UnknownCause::RemoteUnavailable),
+                ),
+            ],
+            ..CheckReport::default()
+        };
+        let json = serde::json::to_string(&r);
+        assert!(json.contains("\"outcomes\""), "{json}");
+        assert!(json.contains("LocalTest"), "{json}");
+        assert!(json.contains("RemoteUnavailable"), "{json}");
+        assert!(json.contains("\"wire\""), "{json}");
+    }
+
+    #[test]
+    fn wire_stats_delta_and_absorb() {
+        let a = WireStats {
+            requests: 3,
+            round_trips: 2,
+            bytes_sent: 100,
+            bytes_received: 900,
+            retries: 1,
+            timeouts: 0,
+        };
+        let b = WireStats {
+            requests: 5,
+            round_trips: 3,
+            bytes_sent: 160,
+            bytes_received: 1000,
+            retries: 1,
+            timeouts: 1,
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.requests, 2);
+        assert_eq!(d.round_trips, 1);
+        assert_eq!(d.bytes_sent, 60);
+        assert_eq!(d.timeouts, 1);
+        let mut acc = a;
+        acc.absorb(&d);
+        assert_eq!(acc, b);
+        assert!(WireStats::default().is_zero());
+        assert!(!b.is_zero());
     }
 }

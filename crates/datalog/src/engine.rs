@@ -54,9 +54,7 @@ impl Output {
 
     /// `true` iff the 0-ary `panic` goal was derived.
     pub fn derives_panic(&self) -> bool {
-        self.relations
-            .get(PANIC)
-            .is_some_and(|r| !r.is_empty())
+        self.relations.get(PANIC).is_some_and(|r| !r.is_empty())
     }
 
     /// Iterates over the computed relations, sorted by predicate name.
@@ -221,8 +219,7 @@ mod tests {
     fn example_2_2_detects_violation() {
         let mut db = db();
         db.insert("emp", tuple!["jones", "shoe", 50]).unwrap();
-        let c =
-            parse_constraint("panic :- emp(E,D,S) & not dept(D) & S < 100.").unwrap();
+        let c = parse_constraint("panic :- emp(E,D,S) & not dept(D) & S < 100.").unwrap();
         // shoe not in dept and 50 < 100 → panic.
         assert!(constraint_violated(&c, &db).unwrap());
         // Add the department → satisfied.
@@ -408,10 +405,7 @@ mod stress_tests {
             db.insert("color", tuple![k, if k % 2 == 0 { "red" } else { "blue" }])
                 .unwrap();
         }
-        let c = parse_constraint(
-            "panic :- edge(X,Y) & color(X,red) & color(Y,red).",
-        )
-        .unwrap();
+        let c = parse_constraint("panic :- edge(X,Y) & color(X,red) & color(Y,red).").unwrap();
         // A 60-cycle alternates colors: no red-red edge.
         assert!(!constraint_violated(&c, &db).unwrap());
         // Break the alternation.

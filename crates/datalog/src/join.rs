@@ -139,9 +139,11 @@ fn search<'a>(
 
     if let Some(rel) = source_for(next) {
         // Use a point lookup on the first determined column if any.
-        let determined = atom.args.iter().enumerate().find_map(|(i, t)| {
-            term_value(t, bindings).map(|v| (i, v))
-        });
+        let determined = atom
+            .args
+            .iter()
+            .enumerate()
+            .find_map(|(i, t)| term_value(t, bindings).map(|v| (i, v)));
         let candidates: Vec<Tuple> = match determined {
             Some((col, val)) if rel.arity() > 0 => rel.scan_eq(col, &val),
             _ => rel.iter().cloned().collect(),
@@ -226,9 +228,7 @@ mod tests {
                 s.insert(&sym, *arity, t.clone());
             }
             // Ensure the relation exists even when empty.
-            s.rels
-                .entry(sym)
-                .or_insert_with(|| Relation::new(*arity));
+            s.rels.entry(sym).or_insert_with(|| Relation::new(*arity));
         }
         s
     }
@@ -279,11 +279,7 @@ mod tests {
 
     #[test]
     fn comparisons_filter() {
-        let s = store(&[(
-            "emp",
-            2,
-            vec![tuple!["a", 50], tuple!["b", 150]],
-        )]);
+        let s = store(&[("emp", 2, vec![tuple!["a", 50], tuple!["b", 150]])]);
         let out = run("q(E) :- emp(E,S) & S < 100.", &s);
         assert_eq!(out, vec![tuple!["a"]]);
     }

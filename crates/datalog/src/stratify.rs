@@ -233,10 +233,7 @@ mod tests {
 
     #[test]
     fn negation_through_recursion_rejected() {
-        let p = parse_program(
-            "win(X) :- move(X,Y) & not win(Y).",
-        )
-        .unwrap();
+        let p = parse_program("win(X) :- move(X,Y) & not win(Y).").unwrap();
         let err = stratify(&p).unwrap_err();
         assert_eq!(err.pred.as_str(), "win");
         assert!(err.to_string().contains("not stratifiable"));

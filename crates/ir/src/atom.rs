@@ -308,7 +308,10 @@ mod tests {
 
     #[test]
     fn atom_vars_and_groundness() {
-        let a = Atom::new("emp", vec![Term::sym("jones"), Term::var("D"), Term::int(50)]);
+        let a = Atom::new(
+            "emp",
+            vec![Term::sym("jones"), Term::var("D"), Term::int(50)],
+        );
         let vars: Vec<_> = a.vars().map(|v| v.name().to_string()).collect();
         assert_eq!(vars, vec!["D"]);
         assert!(!a.is_ground());

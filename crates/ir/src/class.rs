@@ -29,7 +29,11 @@ pub enum LangShape {
 
 impl LangShape {
     /// All shapes in increasing expressiveness order.
-    pub const ALL: [LangShape; 3] = [LangShape::SingleCq, LangShape::UnionCq, LangShape::Recursive];
+    pub const ALL: [LangShape; 3] = [
+        LangShape::SingleCq,
+        LangShape::UnionCq,
+        LangShape::Recursive,
+    ];
 
     /// Short label used in tables.
     pub fn label(self) -> &'static str {
@@ -279,7 +283,11 @@ mod tests {
                 vec![
                     emp(),
                     sal(),
-                    Literal::Cmp(Comparison::new(Term::var("S"), CompOp::Lt, Term::var("Low"))),
+                    Literal::Cmp(Comparison::new(
+                        Term::var("S"),
+                        CompOp::Lt,
+                        Term::var("Low"),
+                    )),
                 ],
             ),
             Rule::new(

@@ -220,7 +220,11 @@ mod tests {
     #[test]
     fn vars_in_order_and_flags() {
         let cq = forbidden_intervals();
-        let names: Vec<_> = cq.vars().into_iter().map(|v| v.name().to_string()).collect();
+        let names: Vec<_> = cq
+            .vars()
+            .into_iter()
+            .map(|v| v.name().to_string())
+            .collect();
         assert_eq!(names, vec!["X", "Y", "Z"]);
         assert!(cq.is_negation_free());
         assert!(!cq.is_arithmetic_free());

@@ -48,7 +48,11 @@ pub enum UnsafePlace {
 impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IrError::ArityMismatch { pred, first, second } => write!(
+            IrError::ArityMismatch {
+                pred,
+                first,
+                second,
+            } => write!(
                 f,
                 "predicate `{pred}` used with conflicting arities {first} and {second}"
             ),

@@ -219,10 +219,9 @@ impl Program {
                 for &v in next {
                     match color.get(v).copied().unwrap_or(0) {
                         1 => return true,
-                        0
-                            if dfs(v, adj, color) => {
-                                return true;
-                            }
+                        0 if dfs(v, adj, color) => {
+                            return true;
+                        }
                         _ => {}
                     }
                 }
@@ -407,9 +406,17 @@ mod tests {
                 ],
             ),
         ]);
-        let idb: Vec<_> = p.idb_predicates().into_iter().map(|s| s.as_str().to_string()).collect();
+        let idb: Vec<_> = p
+            .idb_predicates()
+            .into_iter()
+            .map(|s| s.as_str().to_string())
+            .collect();
         assert_eq!(idb, vec!["boss", "panic"]);
-        let edb: Vec<_> = p.edb_predicates().into_iter().map(|s| s.as_str().to_string()).collect();
+        let edb: Vec<_> = p
+            .edb_predicates()
+            .into_iter()
+            .map(|s| s.as_str().to_string())
+            .collect();
         assert_eq!(edb, vec!["emp", "manager"]);
         assert!(p.is_recursive());
     }
@@ -454,7 +461,10 @@ mod tests {
             Atom::new("q", vec![Term::var("X")]),
             vec![lit_pos("p", vec![Term::var("X")])],
         )]);
-        assert!(matches!(Constraint::new(no_panic), Err(IrError::MissingPanic)));
+        assert!(matches!(
+            Constraint::new(no_panic),
+            Err(IrError::MissingPanic)
+        ));
     }
 
     #[test]

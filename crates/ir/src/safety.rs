@@ -227,7 +227,10 @@ mod tests {
         use crate::rectify::rectify;
         let cq = Cq {
             head: Atom::new(PANIC, vec![]),
-            positives: vec![Atom::new("p", vec![Term::int(0), Term::var("X"), Term::var("X")])],
+            positives: vec![Atom::new(
+                "p",
+                vec![Term::int(0), Term::var("X"), Term::var("X")],
+            )],
             negatives: vec![],
             comparisons: vec![],
         };

@@ -233,10 +233,7 @@ mod tests {
 
     #[test]
     fn display_is_deterministic() {
-        let s = Subst::from_pairs([
-            (v("B"), Term::int(2)),
-            (v("A"), Term::int(1)),
-        ]);
+        let s = Subst::from_pairs([(v("B"), Term::int(2)), (v("A"), Term::int(1))]);
         assert_eq!(s.to_string(), "{A -> 1, B -> 2}");
     }
 }

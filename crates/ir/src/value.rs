@@ -142,11 +142,21 @@ mod tests {
     #[test]
     fn cross_kind_order_is_total_ints_first() {
         assert!(Value::int(i64::MAX) < Value::str(""));
-        let mut v = vec![Value::str("b"), Value::int(2), Value::str("a"), Value::int(1)];
+        let mut v = vec![
+            Value::str("b"),
+            Value::int(2),
+            Value::str("a"),
+            Value::int(1),
+        ];
         v.sort();
         assert_eq!(
             v,
-            vec![Value::int(1), Value::int(2), Value::str("a"), Value::str("b")]
+            vec![
+                Value::int(1),
+                Value::int(2),
+                Value::str("a"),
+                Value::str("b")
+            ]
         );
     }
 

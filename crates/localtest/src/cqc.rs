@@ -65,10 +65,7 @@ impl std::error::Error for CqcError {}
 
 impl Cqc {
     /// Validates `cq` as a CQC, locating the local subgoal via `locality`.
-    pub fn new(
-        cq: Cq,
-        locality: impl Fn(&str) -> Option<Locality>,
-    ) -> Result<Self, CqcError> {
+    pub fn new(cq: Cq, locality: impl Fn(&str) -> Option<Locality>) -> Result<Self, CqcError> {
         if cq.head.pred != PANIC || cq.head.arity() != 0 {
             return Err(CqcError::NotAConstraint);
         }

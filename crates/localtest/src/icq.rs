@@ -89,7 +89,10 @@ impl fmt::Display for IcqError {
                 write!(f, "a comparison links two remote variables (not an ICQ)")
             }
             IcqError::NotSingleRemoteVar(n) => {
-                write!(f, "compiled ICQ tests require exactly one remote variable, found {n}")
+                write!(
+                    f,
+                    "compiled ICQ tests require exactly one remote variable, found {n}"
+                )
             }
             IcqError::UnsupportedRemoteArgs(p) => write!(
                 f,
@@ -100,7 +103,10 @@ impl fmt::Display for IcqError {
                 "datalog generation requires uniform strictness per bound side"
             ),
             IcqError::HasDisequality => {
-                write!(f, "datalog generation does not support <> on the remote variable")
+                write!(
+                    f,
+                    "datalog generation does not support <> on the remote variable"
+                )
             }
         }
     }
@@ -169,9 +175,8 @@ impl IcqTest {
 
         // Map each local variable to its first position in `l`.
         let l_args = &cqc.local_atom().args;
-        let pos_of = |v: &Var| -> Option<usize> {
-            l_args.iter().position(|t| t.as_var() == Some(v))
-        };
+        let pos_of =
+            |v: &Var| -> Option<usize> { l_args.iter().position(|t| t.as_var() == Some(v)) };
         let src_of = |t: &Term| -> Option<BoundSrc> {
             match t {
                 Term::Const(c) => Some(BoundSrc::Const(c.clone())),
@@ -209,8 +214,8 @@ impl IcqTest {
                     } else {
                         (c.op.flip(), &c.lhs)
                     };
-                    let src = src_of(other)
-                        .expect("other side is local or constant by ICQ analysis");
+                    let src =
+                        src_of(other).expect("other side is local or constant by ICQ analysis");
                     match op {
                         CompOp::Lt => out.upper.push((src, true)),
                         CompOp::Le => out.upper.push((src, false)),
@@ -263,7 +268,11 @@ impl IcqTest {
         let mut lo = Bound::NegInf;
         for (src, strict) in &self.lower {
             let v = src.value(s);
-            let cand = if *strict { Bound::Excl(v) } else { Bound::Incl(v) };
+            let cand = if *strict {
+                Bound::Excl(v)
+            } else {
+                Bound::Incl(v)
+            };
             if cand.lo_cmp(&lo) == std::cmp::Ordering::Greater {
                 lo = cand;
             }
@@ -271,7 +280,11 @@ impl IcqTest {
         let mut hi = Bound::PosInf;
         for (src, strict) in &self.upper {
             let v = src.value(s);
-            let cand = if *strict { Bound::Excl(v) } else { Bound::Incl(v) };
+            let cand = if *strict {
+                Bound::Excl(v)
+            } else {
+                Bound::Incl(v)
+            };
             if cand.hi_cmp(&hi) == std::cmp::Ordering::Less {
                 hi = cand;
             }
@@ -526,7 +539,7 @@ fn generate_program(
             }
             let head_pred = match (lo_pick.is_some(), hi_pick.is_some()) {
                 (true, true) => INTERVAL,
-                (false, true) => LOWEND,  // (-∞, hi]: only the high end varies
+                (false, true) => LOWEND, // (-∞, hi]: only the high end varies
                 (true, false) => HIGHEND, // [lo, ∞)
                 (false, false) => NONEMPTY,
             };
@@ -743,8 +756,8 @@ mod tests {
         let t = IcqTest::new(&c, Domain::Dense).unwrap();
         let region = t.region_for(&tuple![5]).unwrap();
         assert_eq!(region.len(), 2); // (-∞,5) and (5,∞)
-        // Two tuples 5 and 6: union is everything (each covers the other's
-        // hole) — any insertion is safe.
+                                     // Two tuples 5 and 6: union is everything (each covers the other's
+                                     // hole) — any insertion is safe.
         let local = Relation::from_tuples(1, [tuple![5], tuple![6]]);
         assert!(t.test(&tuple![7], &local).holds());
         // One tuple only: inserting a different point is unsafe (its
@@ -786,8 +799,14 @@ mod tests {
         // Datalog basis has one rule per lower-bound choice.
         let d = DatalogIntervalTest::new(IcqTest::new(&c, Domain::Dense).unwrap()).unwrap();
         let text = d.program().to_string();
-        assert!(text.contains("interval(X,Y) :- l(X,W,Y) & W <= X & X <= Y."), "{text}");
-        assert!(text.contains("interval(W,Y) :- l(X,W,Y) & X <= W & W <= Y."), "{text}");
+        assert!(
+            text.contains("interval(X,Y) :- l(X,W,Y) & W <= X & X <= Y."),
+            "{text}"
+        );
+        assert!(
+            text.contains("interval(W,Y) :- l(X,W,Y) & X <= W & W <= Y."),
+            "{text}"
+        );
         let local = Relation::from_tuples(3, [tuple![1, 4, 9]]);
         assert!(d.test(&tuple![5, 5, 8], &local).holds());
         assert!(!d.test(&tuple![1, 1, 8], &local).holds());
@@ -825,18 +844,14 @@ mod tests {
         for k in 1..12usize {
             // Intervals [2i, 2i+3] for i = 0..k: the chain covers
             // [0, 2(k-1)+3]; dropping any one leaves a gap.
-            let chain: Vec<(i64, i64)> =
-                (0..k as i64).map(|i| (2 * i, 2 * i + 3)).collect();
+            let chain: Vec<(i64, i64)> = (0..k as i64).map(|i| (2 * i, 2 * i + 3)).collect();
             let local = rel(&chain);
             let probe = tuple![1, 2 * (k as i64 - 1) + 2];
             assert!(t.test(&probe, &local).holds(), "k={k}");
             for drop in 1..k.saturating_sub(1) {
                 let mut partial = chain.clone();
                 partial.remove(drop);
-                assert!(
-                    !t.test(&probe, &rel(&partial)).holds(),
-                    "k={k} drop={drop}"
-                );
+                assert!(!t.test(&probe, &rel(&partial)).holds(), "k={k} drop={drop}");
             }
         }
     }
@@ -864,8 +879,12 @@ mod tests {
         let text = d.program().to_string();
         assert!(text.contains("nonempty :- l(X) & X <= 5."), "{text}");
         assert!(text.contains("ok :- probe & nonempty."), "{text}");
-        assert!(d.test(&tuple![1], &Relation::from_tuples(1, [tuple![3]])).holds());
-        assert!(!d.test(&tuple![1], &Relation::from_tuples(1, [tuple![9]])).holds());
+        assert!(d
+            .test(&tuple![1], &Relation::from_tuples(1, [tuple![3]]))
+            .holds());
+        assert!(!d
+            .test(&tuple![1], &Relation::from_tuples(1, [tuple![9]]))
+            .holds());
     }
 
     /// The lowend shape: only upper bounds on Z, intervals (-inf, hi].

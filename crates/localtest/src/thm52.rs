@@ -171,14 +171,9 @@ mod tests {
         // Suppose another held constraint forbids r-points in [5,10]
         // outright (its reduction is data-independent here).
         let other = parse_cq("panic :- r(Z) & 5 <= Z & Z <= 10.").unwrap();
-        assert!(complete_local_test_with(
-            &c,
-            &tuple![5, 8],
-            &local,
-            &[other],
-            Solver::dense()
-        )
-        .holds());
+        assert!(
+            complete_local_test_with(&c, &tuple![5, 8], &local, &[other], Solver::dense()).holds()
+        );
     }
 
     /// Ground-truth cross-check: when the local test says Holds, no remote
@@ -193,8 +188,12 @@ mod tests {
 
         let c = forbidden();
         let constraint = Constraint::single(c.cq().to_rule()).unwrap();
-        let locals: Vec<Vec<(i64, i64)>> =
-            vec![vec![], vec![(3, 6)], vec![(3, 6), (5, 10)], vec![(3, 5), (7, 9)]];
+        let locals: Vec<Vec<(i64, i64)>> = vec![
+            vec![],
+            vec![(3, 6)],
+            vec![(3, 6), (5, 10)],
+            vec![(3, 5), (7, 9)],
+        ];
         let inserts = [(4i64, 8i64), (3, 6), (6, 9), (1, 2), (5, 5)];
         // Candidate remote points: enough to witness any uncovered gap in
         // this small integer workspace, including midpoints (dense check
@@ -204,8 +203,7 @@ mod tests {
         for l in &locals {
             let local_rel = rel(l);
             for &(a, b) in &inserts {
-                let verdict =
-                    complete_local_test(&c, &tuple![a, b], &local_rel, Solver::integer());
+                let verdict = complete_local_test(&c, &tuple![a, b], &local_rel, Solver::integer());
                 // Brute force: does some remote state violate C after the
                 // insert, given C held before? Single-point states suffice
                 // (the constraint is monotone in r).

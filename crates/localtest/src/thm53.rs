@@ -357,7 +357,9 @@ impl fmt::Display for LocalTestPlan {
         writeln!(
             f,
             "plan over {}/{} ({} mappings):",
-            self.local_pred, self.arity, self.mappings.len()
+            self.local_pred,
+            self.arity,
+            self.mappings.len()
         )?;
         for (k, m) in self.mappings.iter().enumerate() {
             write!(f, "  [{k}] σ[")?;
@@ -480,10 +482,7 @@ mod tests {
     #[test]
     fn arithmetic_is_rejected() {
         let c = cqc("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.");
-        assert!(matches!(
-            compile_ra(&c),
-            Err(IrError::UnexpectedArithmetic)
-        ));
+        assert!(matches!(compile_ra(&c), Err(IrError::UnexpectedArithmetic)));
     }
 
     #[test]
@@ -514,7 +513,12 @@ mod tests {
             "panic :- l(X,Y) & r(a,X).",
         ];
         // Small value domain: exhaustive relations of ≤ 2 tuples.
-        let vals: Vec<Value> = vec![Value::int(1), Value::int(2), Value::str("c"), Value::str("a")];
+        let vals: Vec<Value> = vec![
+            Value::int(1),
+            Value::int(2),
+            Value::str("c"),
+            Value::str("a"),
+        ];
         let mut pairs: Vec<Tuple> = Vec::new();
         for a in &vals {
             for b in &vals {
@@ -536,8 +540,7 @@ mod tests {
             for local in &relations {
                 for t in pairs.iter() {
                     let by_plan = plan.test(t, local).holds();
-                    let by_thm52 =
-                        complete_local_test(&c, t, local, Solver::dense()).holds();
+                    let by_thm52 = complete_local_test(&c, t, local, Solver::dense()).holds();
                     assert_eq!(
                         by_plan, by_thm52,
                         "{shape} insert {t} into {local:?}\nplan: {plan}"

@@ -87,7 +87,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -130,27 +134,51 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             '(' => {
                 bump!();
-                tokens.push(Token { kind: TokenKind::LParen, line: tl, col: tc });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line: tl,
+                    col: tc,
+                });
             }
             ')' => {
                 bump!();
-                tokens.push(Token { kind: TokenKind::RParen, line: tl, col: tc });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line: tl,
+                    col: tc,
+                });
             }
             ',' => {
                 bump!();
-                tokens.push(Token { kind: TokenKind::Comma, line: tl, col: tc });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line: tl,
+                    col: tc,
+                });
             }
             '&' => {
                 bump!();
-                tokens.push(Token { kind: TokenKind::Amp, line: tl, col: tc });
+                tokens.push(Token {
+                    kind: TokenKind::Amp,
+                    line: tl,
+                    col: tc,
+                });
             }
             '.' => {
                 bump!();
-                tokens.push(Token { kind: TokenKind::Dot, line: tl, col: tc });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    line: tl,
+                    col: tc,
+                });
             }
             '=' => {
                 bump!();
-                tokens.push(Token { kind: TokenKind::Eq, line: tl, col: tc });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    line: tl,
+                    col: tc,
+                });
             }
             '<' => {
                 bump!();
@@ -165,7 +193,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     }
                     _ => TokenKind::Lt,
                 };
-                tokens.push(Token { kind, line: tl, col: tc });
+                tokens.push(Token {
+                    kind,
+                    line: tl,
+                    col: tc,
+                });
             }
             '>' => {
                 bump!();
@@ -176,14 +208,22 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     }
                     _ => TokenKind::Gt,
                 };
-                tokens.push(Token { kind, line: tl, col: tc });
+                tokens.push(Token {
+                    kind,
+                    line: tl,
+                    col: tc,
+                });
             }
             ':' => {
                 bump!();
                 match chars.peek() {
                     Some(&(_, '-')) => {
                         bump!();
-                        tokens.push(Token { kind: TokenKind::Implies, line: tl, col: tc });
+                        tokens.push(Token {
+                            kind: TokenKind::Implies,
+                            line: tl,
+                            col: tc,
+                        });
                     }
                     _ => {
                         return Err(LexError {
@@ -242,12 +282,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let kind = if ident == "not" {
                     TokenKind::Not
-                } else if ident.chars().next().is_some_and(|c| c.is_uppercase() || c == '_') {
+                } else if ident
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_uppercase() || c == '_')
+                {
                     TokenKind::UpperIdent(ident)
                 } else {
                     TokenKind::LowerIdent(ident)
                 };
-                tokens.push(Token { kind, line: tl, col: tc });
+                tokens.push(Token {
+                    kind,
+                    line: tl,
+                    col: tc,
+                });
             }
             other => {
                 return Err(LexError {
@@ -343,7 +391,10 @@ mod tests {
     #[test]
     fn positions_track_lines_and_columns() {
         let ts = lex("p(X).\nq(Y).").unwrap();
-        let q = ts.iter().find(|t| t.kind == TokenKind::LowerIdent("q".into())).unwrap();
+        let q = ts
+            .iter()
+            .find(|t| t.kind == TokenKind::LowerIdent("q".into()))
+            .unwrap();
         assert_eq!((q.line, q.col), (2, 1));
     }
 

@@ -272,7 +272,7 @@ fn comp_op(k: &TokenKind) -> Option<CompOp> {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{parse_constraint, parse_cq, parse_program, parse_rule};
 
     #[test]
@@ -420,7 +420,10 @@ mod proptests {
             (-5i64..100).prop_map(|k| k.to_string()),
             prop_oneof![Just("toy"), Just("shoe"), Just("jones")].prop_map(String::from),
         ];
-        let atom = (prop_oneof![Just("emp"), Just("dept"), Just("p")], prop::collection::vec(term.clone(), 0..3))
+        let atom = (
+            prop_oneof![Just("emp"), Just("dept"), Just("p")],
+            prop::collection::vec(term.clone(), 0..3),
+        )
             .prop_map(|(p, args)| {
                 if args.is_empty() {
                     p.to_string()
@@ -429,7 +432,12 @@ mod proptests {
                 }
             });
         let op = prop_oneof![
-            Just("<"), Just("<="), Just("="), Just("<>"), Just(">="), Just(">")
+            Just("<"),
+            Just("<="),
+            Just("="),
+            Just("<>"),
+            Just(">="),
+            Just(">")
         ];
         let lit = prop_oneof![
             atom.clone().prop_map(|a| a),

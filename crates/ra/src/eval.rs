@@ -38,7 +38,11 @@ impl fmt::Display for RaError {
         match self {
             RaError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
             RaError::ColumnOutOfRange { col, arity, expr } => {
-                write!(f, "column #{} out of range for arity {arity} in {expr}", col + 1)
+                write!(
+                    f,
+                    "column #{} out of range for arity {arity} in {expr}",
+                    col + 1
+                )
             }
             RaError::ArityMismatch { left, right, expr } => {
                 write!(f, "arity mismatch {left} vs {right} in {expr}")
@@ -130,9 +134,7 @@ impl Expr {
     /// local test"). Short-circuits unions.
     pub fn nonempty(&self, db: &Database) -> Result<bool, RaError> {
         match self {
-            Expr::Union { left, right } => {
-                Ok(left.nonempty(db)? || right.nonempty(db)?)
-            }
+            Expr::Union { left, right } => Ok(left.nonempty(db)? || right.nonempty(db)?),
             Expr::Select { .. } | Expr::Scan(_) | Expr::Const { .. } | Expr::Project { .. } => {
                 Ok(!self.eval(db)?.is_empty())
             }
@@ -161,9 +163,8 @@ impl Expr {
                 let rel = input.eval_inner(db)?;
                 Ok(Relation::from_tuples(
                     cols.len(),
-                    rel.iter().map(|t| {
-                        cols.iter().map(|&c| t[c].clone()).collect::<Tuple>()
-                    }),
+                    rel.iter()
+                        .map(|t| cols.iter().map(|&c| t[c].clone()).collect::<Tuple>()),
                 ))
             }
             Expr::Product { left, right } => {
@@ -246,11 +247,7 @@ mod tests {
     #[test]
     fn scan_and_select() {
         let db = db();
-        let e = Expr::scan("emp").select(vec![SelPred::col_const(
-            2,
-            CompOp::Gt,
-            Value::int(100),
-        )]);
+        let e = Expr::scan("emp").select(vec![SelPred::col_const(2, CompOp::Gt, Value::int(100))]);
         let r = e.eval(&db).unwrap();
         assert_eq!(r.len(), 1);
         assert!(r.contains(&tuple!["smith", "toy", 120]));
@@ -302,16 +299,10 @@ mod tests {
     #[test]
     fn union_and_difference() {
         let db = db();
-        let toy = Expr::scan("emp").select(vec![SelPred::col_const(
-            1,
-            CompOp::Eq,
-            Value::str("toy"),
-        )]);
-        let low = Expr::scan("emp").select(vec![SelPred::col_const(
-            2,
-            CompOp::Lt,
-            Value::int(100),
-        )]);
+        let toy =
+            Expr::scan("emp").select(vec![SelPred::col_const(1, CompOp::Eq, Value::str("toy"))]);
+        let low =
+            Expr::scan("emp").select(vec![SelPred::col_const(2, CompOp::Lt, Value::int(100))]);
         assert_eq!(toy.clone().union(low.clone()).eval(&db).unwrap().len(), 3);
         let diff = toy.difference(low).eval(&db).unwrap();
         assert_eq!(diff.len(), 1);

@@ -141,7 +141,10 @@ impl Expr {
 
     /// The empty relation of a given arity.
     pub fn empty(arity: usize) -> Expr {
-        Expr::Const { arity, rows: vec![] }
+        Expr::Const {
+            arity,
+            rows: vec![],
+        }
     }
 
     /// Wraps in a selection (no-op if `preds` is empty).
@@ -294,10 +297,7 @@ mod tests {
             .join(Expr::scan("dept"), vec![(1, 0)])
             .project(vec![0])
             .select(vec![SelPred::col_const(0, CompOp::Ne, Value::str("x"))]);
-        assert_eq!(
-            e.to_string(),
-            "σ[#1 <> x](π[#1]((emp ⋈[#2=#1] dept)))"
-        );
+        assert_eq!(e.to_string(), "σ[#1 <> x](π[#1]((emp ⋈[#2=#1] dept)))");
         assert_eq!(e.size(), 5);
     }
 

@@ -17,9 +17,9 @@
 
 use crate::rules::{rewrite, RewriteStyle, RewrittenConstraint};
 use ccpi_ir::class::{classify, ConstraintClass, LangShape};
+use ccpi_ir::Constraint;
 use ccpi_parser::parse_constraint;
 use ccpi_storage::{tuple, Update};
-use ccpi_ir::Constraint;
 
 /// Which update kind a closure row talks about.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -76,16 +76,10 @@ pub fn representative(class: ConstraintClass) -> Constraint {
 /// the `<>` technique when the class has arithmetic, the negated-helper
 /// technique when it has (only) negation, and default to arithmetic
 /// otherwise (escalating the class, as Theorem 4.3 predicts).
-pub fn rewrite_representative(
-    class: ConstraintClass,
-    kind: UpdateKind,
-) -> RewrittenConstraint {
+pub fn rewrite_representative(class: ConstraintClass, kind: UpdateKind) -> RewrittenConstraint {
     let c = representative(class);
     let (update, style) = match kind {
-        UpdateKind::Insertion => (
-            Update::insert("p", tuple![1, 2]),
-            RewriteStyle::Auxiliary,
-        ),
+        UpdateKind::Insertion => (Update::insert("p", tuple![1, 2]), RewriteStyle::Auxiliary),
         UpdateKind::Deletion => (
             Update::delete("p", tuple![1, 2]),
             if class.arithmetic || !class.negation {

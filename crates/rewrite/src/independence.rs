@@ -199,10 +199,8 @@ mod tests {
     /// so deleting a row can only remove potential violations.
     #[test]
     fn salary_range_union_constraint() {
-        let c3 = c(
-            "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.\n\
-             panic :- emp(E,D,S) & salRange(D,Low,High) & S > High.",
-        );
+        let c3 = c("panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.\n\
+             panic :- emp(E,D,S) & salRange(D,Low,High) & S > High.");
         let del = Update::delete("salRange", tuple!["toy", 10, 20]);
         assert!(independent_of_update(&c3, &[], &del, dense())
             .unwrap()

@@ -158,7 +158,9 @@ pub fn rewrite(
 /// A name for the auxiliary predicate that does not collide with any
 /// predicate of the program.
 fn fresh_pred(program: &Program, base: &str) -> Sym {
-    let used = program.signature().map(|s| s.into_keys().collect::<BTreeSet<_>>());
+    let used = program
+        .signature()
+        .map(|s| s.into_keys().collect::<BTreeSet<_>>());
     let used = used.unwrap_or_default();
     let mut name = format!("{base}1");
     let mut k = 1;
@@ -443,7 +445,6 @@ fn static_mismatch(a: &Atom, t: &Tuple) -> Option<usize> {
         _ => None,
     })
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,303 @@
+//! The site client: batching, deadlines, bounded retry with exponential
+//! backoff, and measured transport counters.
+//!
+//! [`SiteClient`] is the crate's [`RemoteSource`] implementation: the
+//! constraint manager asks it for remote relations only when the
+//! escalation ladder reaches stage 4, and every wire interaction is
+//! counted so [`CheckReport::wire`](ccpi::report::CheckReport) carries
+//! *measured* numbers, not the synthetic
+//! [`CostModel`](ccpi::distributed::CostModel) arithmetic.
+
+use crate::transport::{Transport, TransportError};
+use crate::wire::{decode_responses, encode_requests, Request, Response};
+use ccpi::remote::{RemoteError, RemoteSource};
+use ccpi::report::WireStats;
+use ccpi_storage::Tuple;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Bounded retry with exponential backoff.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retries.
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms → 20 ms backoff.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// Cumulative transport counters, shared and thread-safe.
+///
+/// Counter semantics: `requests` counts protocol requests issued (each
+/// batch entry once, however many retries it takes); `round_trips` counts
+/// frames actually sent (so `round_trips - retries` is the number of
+/// distinct exchanges); bytes count framed payloads per attempt —
+/// retransmitted bytes are real bytes.
+#[derive(Debug, Default)]
+pub struct SiteMetrics {
+    requests: AtomicU64,
+    round_trips: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl SiteMetrics {
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> WireStats {
+        WireStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            round_trips: self.round_trips.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A client for one remote site.
+pub struct SiteClient {
+    transport: Box<dyn Transport>,
+    /// Per-round-trip deadline.
+    deadline: Duration,
+    retry: RetryPolicy,
+    metrics: Arc<SiteMetrics>,
+}
+
+impl SiteClient {
+    /// A client over any transport with the default deadline (1 s) and
+    /// retry policy.
+    pub fn new(transport: impl Transport + 'static) -> SiteClient {
+        SiteClient {
+            transport: Box::new(transport),
+            deadline: Duration::from_secs(1),
+            retry: RetryPolicy::default(),
+            metrics: Arc::new(SiteMetrics::default()),
+        }
+    }
+
+    /// Sets the per-round-trip deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> SiteClient {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> SiteClient {
+        self.retry = retry;
+        self
+    }
+
+    /// Shared handle to the cumulative counters.
+    pub fn metrics(&self) -> Arc<SiteMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Sends one batch; returns one response per request, in order.
+    ///
+    /// Retries the *whole batch* on timeout/disconnect (requests are
+    /// read-only, so replays are safe), sleeping an exponentially growing
+    /// backoff between attempts. When every attempt fails the batch
+    /// resolves to [`RemoteError::Unavailable`].
+    pub fn exchange(&mut self, reqs: &[Request]) -> Result<Vec<Response>, RemoteError> {
+        let payload = encode_requests(reqs);
+        self.metrics
+            .requests
+            .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+        let mut backoff = self.retry.base_backoff;
+        let mut last_err = TransportError::Disconnected("no attempts made".into());
+        for attempt in 0..self.retry.attempts.max(1) {
+            if attempt > 0 {
+                self.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(self.retry.max_backoff);
+            }
+            self.metrics.round_trips.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .bytes_sent
+                .fetch_add(self.transport.framed_len(&payload), Ordering::Relaxed);
+            match self.transport.round_trip(&payload, self.deadline) {
+                Ok(reply) => {
+                    self.metrics
+                        .bytes_received
+                        .fetch_add(self.transport.framed_len(&reply), Ordering::Relaxed);
+                    let resps = decode_responses(&reply)
+                        .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+                    if resps.len() != reqs.len() {
+                        return Err(RemoteError::Protocol(format!(
+                            "{} responses to {} requests",
+                            resps.len(),
+                            reqs.len()
+                        )));
+                    }
+                    return Ok(resps);
+                }
+                Err(TransportError::Timeout) => {
+                    self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                    last_err = TransportError::Timeout;
+                }
+                Err(TransportError::Protocol(m)) => {
+                    // The peer speaks, but wrongly; retrying won't help.
+                    return Err(RemoteError::Protocol(m));
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(RemoteError::Unavailable(last_err.to_string()))
+    }
+
+    /// Round-trip probe.
+    pub fn ping(&mut self) -> Result<(), RemoteError> {
+        match self.exchange(&[Request::Ping])?.pop() {
+            Some(Response::Pong) => Ok(()),
+            other => Err(RemoteError::Protocol(format!(
+                "expected Pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches several relations in **one** round trip; returns them in
+    /// request order.
+    pub fn scan_many(&mut self, preds: &[&str]) -> Result<Vec<Vec<Tuple>>, RemoteError> {
+        let reqs: Vec<Request> = preds
+            .iter()
+            .map(|p| Request::Scan {
+                pred: (*p).to_string(),
+            })
+            .collect();
+        self.exchange(&reqs)?
+            .into_iter()
+            .map(|resp| match resp {
+                Response::Rows { rows, .. } => Ok(rows),
+                Response::Error { message } => Err(RemoteError::Protocol(message)),
+                Response::Pong => Err(RemoteError::Protocol("unexpected Pong".into())),
+            })
+            .collect()
+    }
+}
+
+impl RemoteSource for SiteClient {
+    fn fetch_relation(&mut self, pred: &str) -> Result<Vec<Tuple>, RemoteError> {
+        Ok(self.scan_many(&[pred])?.pop().expect("one answer"))
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        self.metrics.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::RemoteSite;
+    use crate::transport::ChannelTransport;
+    use ccpi_storage::{tuple, Database, Locality};
+
+    fn spawn_site() -> (SiteClient, RemoteSite) {
+        let mut db = Database::new();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        db.insert("r", tuple![20]).unwrap();
+        let site = RemoteSite::new(db);
+        let (transport, end) = ChannelTransport::pair();
+        site.serve_channel(end);
+        (SiteClient::new(transport), site)
+    }
+
+    #[test]
+    fn scan_through_channel_counts_one_round_trip() {
+        let (mut client, _site) = spawn_site();
+        let rows = client.fetch_relation("r").unwrap();
+        assert_eq!(rows, vec![tuple![20]]);
+        let stats = client.wire_stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.round_trips, 1);
+        assert_eq!(stats.retries, 0);
+        assert!(stats.bytes_sent > 0 && stats.bytes_received > 0);
+    }
+
+    #[test]
+    fn batched_scans_share_a_round_trip() {
+        let mut db = Database::new();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        db.declare("s", 2, Locality::Remote).unwrap();
+        db.insert("r", tuple![1]).unwrap();
+        db.insert("s", tuple![1, 2]).unwrap();
+        let site = RemoteSite::new(db);
+        let (transport, end) = ChannelTransport::pair();
+        site.serve_channel(end);
+        let mut client = SiteClient::new(transport);
+        let both = client.scan_many(&["r", "s"]).unwrap();
+        assert_eq!(both[0], vec![tuple![1]]);
+        assert_eq!(both[1], vec![tuple![1, 2]]);
+        assert_eq!(client.wire_stats().requests, 2);
+        assert_eq!(client.wire_stats().round_trips, 1);
+        assert_eq!(site.batches_served(), 1);
+    }
+
+    #[test]
+    fn dead_transport_exhausts_retries_then_degrades() {
+        let (transport, end) = ChannelTransport::pair();
+        drop(end); // remote gone before the first call
+        let mut client = SiteClient::new(transport)
+            .with_deadline(Duration::from_millis(20))
+            .with_retry(RetryPolicy {
+                attempts: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            });
+        let err = client.fetch_relation("r").unwrap_err();
+        assert!(matches!(err, RemoteError::Unavailable(_)), "{err:?}");
+        let stats = client.wire_stats();
+        assert_eq!(stats.round_trips, 3);
+        assert_eq!(stats.retries, 2);
+    }
+
+    #[test]
+    fn silent_server_counts_timeouts() {
+        let (transport, _end) = ChannelTransport::pair(); // never answers
+        let mut client = SiteClient::new(transport)
+            .with_deadline(Duration::from_millis(10))
+            .with_retry(RetryPolicy {
+                attempts: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(1),
+            });
+        assert!(client.ping().is_err());
+        let stats = client.wire_stats();
+        assert_eq!(stats.timeouts, 2);
+        assert_eq!(stats.retries, 1);
+    }
+
+    #[test]
+    fn server_error_response_is_protocol_not_unavailable() {
+        let (mut client, _site) = spawn_site();
+        let err = client.fetch_relation("nope").unwrap_err();
+        assert!(matches!(err, RemoteError::Protocol(_)), "{err:?}");
+    }
+}

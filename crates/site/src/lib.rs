@@ -1,0 +1,69 @@
+//! # `ccpi-site` — a real two-site remote-access subsystem
+//!
+//! The paper's setting made concrete: the database is divided into local
+//! and remote halves, and "accessing remote data may be expensive or
+//! impossible". This crate supplies the *site* machinery around the
+//! [`ccpi`] escalation ladder:
+//!
+//! * a [`Transport`](transport::Transport) abstraction with an in-process
+//!   channel implementation and a TCP implementation (length-prefixed
+//!   frames, lazy reconnect);
+//! * a [`RemoteSite`](server::RemoteSite) server answering relation-scan
+//!   and filtered-fetch request **batches** over any number of
+//!   connections;
+//! * a [`SiteClient`](client::SiteClient) with per-request deadlines,
+//!   bounded retry with exponential backoff, and cumulative transport
+//!   counters — it implements [`ccpi::remote::RemoteSource`], so the core
+//!   manager can pull remote relations through it;
+//! * a [`DistributedManager`](manager::DistributedManager) that runs
+//!   stages 1–3 of the ladder purely locally and reaches for the wire
+//!   only on a full check, degrading to
+//!   `Outcome::Unknown(RemoteUnavailable)` when the remote site cannot be
+//!   reached.
+//!
+//! ```
+//! use ccpi::distributed::SiteSplit;
+//! use ccpi::prelude::*;
+//! use ccpi_site::prelude::*;
+//!
+//! // Full database, split by the catalog's locality metadata.
+//! let mut db = Database::new();
+//! db.declare("l", 2, Locality::Local).unwrap();
+//! db.declare("r", 1, Locality::Remote).unwrap();
+//! db.insert("l", tuple![3, 6]).unwrap();
+//! db.insert("r", tuple![20]).unwrap();
+//!
+//! // The remote half lives behind a server; here, in-process.
+//! let site = RemoteSite::new(SiteSplit::of(&db).remote);
+//! let (transport, end) = ChannelTransport::pair();
+//! site.serve_channel(end);
+//!
+//! let client = SiteClient::new(transport);
+//! let mut mgr = DistributedManager::for_local_site(&db, client);
+//! mgr.add_constraint("c", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.").unwrap();
+//!
+//! // Covered insert: certified locally, zero wire messages.
+//! let report = mgr.check_update(&Update::insert("l", tuple![3, 5])).unwrap();
+//! assert!(report.outcome("c").unwrap().holds());
+//! assert!(report.wire.is_zero());
+//! ```
+
+pub mod client;
+pub mod manager;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{RetryPolicy, SiteClient, SiteMetrics};
+pub use manager::DistributedManager;
+pub use server::{RemoteSite, ServerHandle};
+pub use transport::{ChannelTransport, TcpTransport, Transport, TransportError};
+
+/// Convenient re-exports for applications.
+pub mod prelude {
+    pub use crate::client::{RetryPolicy, SiteClient, SiteMetrics};
+    pub use crate::manager::DistributedManager;
+    pub use crate::server::{RemoteSite, ServerHandle};
+    pub use crate::transport::{ChannelTransport, TcpTransport, Transport, TransportError};
+    pub use crate::wire::{Request, Response};
+}

@@ -1,0 +1,180 @@
+//! The distributed manager: the escalation ladder at the updating site,
+//! the wire only at stage 4.
+//!
+//! [`DistributedManager`] owns a [`ConstraintManager`] over the **local
+//! view** (remote relations declared but empty) and a [`SiteClient`] to
+//! the remote site. Stages 1–3 run exactly as in the single-site setting
+//! and, by construction, touch the transport zero times; only a full
+//! check fetches remote relations — batched, deadline-bounded, retried —
+//! and an unreachable remote degrades those outcomes to
+//! `Unknown(RemoteUnavailable)` instead of failing the check.
+
+use crate::client::SiteClient;
+use ccpi::distributed::SiteSplit;
+use ccpi::manager::{ConstraintManager, ManagerError};
+use ccpi::report::{CheckReport, WireStats};
+use ccpi_storage::{Database, Update};
+
+/// A constraint manager for the updating site of a two-site split.
+pub struct DistributedManager {
+    mgr: ConstraintManager,
+    client: SiteClient,
+}
+
+impl DistributedManager {
+    /// A manager over an explicit local view (remote relations must be
+    /// declared and are treated as served by `client`).
+    pub fn new(local_view: Database, client: SiteClient) -> DistributedManager {
+        DistributedManager {
+            mgr: ConstraintManager::new(local_view),
+            client,
+        }
+    }
+
+    /// Convenience: derives the local view from a full database via
+    /// [`SiteSplit::local_view`] (the remote half's *contents* stay
+    /// behind — presumably at the site `client` talks to).
+    pub fn for_local_site(full_db: &Database, client: SiteClient) -> DistributedManager {
+        DistributedManager::new(SiteSplit::local_view(full_db), client)
+    }
+
+    /// Registers a constraint from source text.
+    pub fn add_constraint(&mut self, name: &str, source: &str) -> Result<(), ManagerError> {
+        self.mgr.add_constraint(name, source)
+    }
+
+    /// Checks an update without applying it. Stages 1–3 are wire-free;
+    /// stage 4 fetches the needed remote relations through the client.
+    pub fn check_update(&mut self, update: &Update) -> Result<CheckReport, ManagerError> {
+        self.mgr.check_update_with_remote(update, &mut self.client)
+    }
+
+    /// Checks, then applies the update to the local view (mirrors
+    /// [`ConstraintManager::process`]: applies even on violation — the
+    /// caller consults the report to reject).
+    pub fn process(&mut self, update: &Update) -> Result<CheckReport, ManagerError> {
+        let report = self.check_update(update)?;
+        self.mgr.database_mut().apply(update)?;
+        Ok(report)
+    }
+
+    /// Cumulative transport counters since the client was created.
+    pub fn wire_totals(&self) -> WireStats {
+        self.client.metrics().snapshot()
+    }
+
+    /// The underlying single-site manager (constraint listing, database
+    /// access).
+    pub fn manager(&self) -> &ConstraintManager {
+        &self.mgr
+    }
+
+    /// Mutable access to the underlying manager (bulk loading the local
+    /// view).
+    pub fn manager_mut(&mut self) -> &mut ConstraintManager {
+        &mut self.mgr
+    }
+
+    /// Direct access to the site client (pings, ad-hoc scans).
+    pub fn client_mut(&mut self) -> &mut SiteClient {
+        &mut self.client
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::RemoteSite;
+    use crate::transport::ChannelTransport;
+    use ccpi::report::{Method, Outcome, UnknownCause};
+    use ccpi_storage::{tuple, Locality};
+
+    fn full_db() -> Database {
+        let mut db = Database::new();
+        db.declare("l", 2, Locality::Local).unwrap();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        db.insert("l", tuple![3, 6]).unwrap();
+        db.insert("l", tuple![5, 10]).unwrap();
+        db.insert("r", tuple![20]).unwrap();
+        db
+    }
+
+    const INTERVALS: &str = "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.";
+
+    #[test]
+    fn ladder_over_channel_transport() {
+        let db = full_db();
+        let site = RemoteSite::new(SiteSplit::of(&db).remote);
+        let (transport, end) = ChannelTransport::pair();
+        site.serve_channel(end);
+        let mut dmgr = DistributedManager::for_local_site(&db, SiteClient::new(transport));
+        dmgr.add_constraint("intervals", INTERVALS).unwrap();
+
+        // Stage 3 settles the covered insert: zero wire traffic.
+        let report = dmgr
+            .check_update(&Update::insert("l", tuple![4, 8]))
+            .unwrap();
+        assert!(matches!(
+            report.outcome("intervals"),
+            Some(Outcome::Holds(Method::LocalTest(_)))
+        ));
+        assert!(report.wire.is_zero());
+        assert!(dmgr.wire_totals().is_zero());
+
+        // Stage 4 goes over the wire and sees the violation.
+        let report = dmgr
+            .check_update(&Update::insert("l", tuple![15, 25]))
+            .unwrap();
+        assert_eq!(report.outcome("intervals"), Some(Outcome::Violated));
+        assert_eq!(report.wire.round_trips, 1);
+        assert!(report.wire.bytes_received > 0);
+        assert_eq!(site.batches_served(), 1);
+    }
+
+    #[test]
+    fn dead_remote_degrades_only_stage_four() {
+        let db = full_db();
+        let (transport, end) = ChannelTransport::pair();
+        drop(end); // the remote site never existed
+        let client = SiteClient::new(transport)
+            .with_deadline(std::time::Duration::from_millis(20))
+            .with_retry(crate::client::RetryPolicy {
+                attempts: 2,
+                base_backoff: std::time::Duration::from_millis(1),
+                max_backoff: std::time::Duration::from_millis(1),
+            });
+        let mut dmgr = DistributedManager::for_local_site(&db, client);
+        dmgr.add_constraint("intervals", INTERVALS).unwrap();
+
+        // Local coverage still works with the remote down.
+        let report = dmgr
+            .check_update(&Update::insert("l", tuple![4, 8]))
+            .unwrap();
+        assert!(report.outcome("intervals").unwrap().holds());
+
+        // Full check degrades to Unknown; retries are visible.
+        let report = dmgr
+            .check_update(&Update::insert("l", tuple![15, 25]))
+            .unwrap();
+        assert_eq!(
+            report.outcome("intervals"),
+            Some(Outcome::Unknown(UnknownCause::RemoteUnavailable))
+        );
+        assert_eq!(report.wire.retries, 1);
+        assert_eq!(report.wire.round_trips, 2);
+    }
+
+    #[test]
+    fn process_applies_to_the_local_view() {
+        let db = full_db();
+        let site = RemoteSite::new(SiteSplit::of(&db).remote);
+        let (transport, end) = ChannelTransport::pair();
+        site.serve_channel(end);
+        let mut dmgr = DistributedManager::for_local_site(&db, SiteClient::new(transport));
+        dmgr.add_constraint("intervals", INTERVALS).unwrap();
+        dmgr.process(&Update::insert("l", tuple![4, 8])).unwrap();
+        assert_eq!(dmgr.manager().database().relation("l").unwrap().len(), 3);
+        // Remote relation stays empty locally — contents live at the site.
+        assert!(dmgr.manager().database().relation("r").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! The remote site: owns the remote half of the database and answers
+//! scan / filtered-fetch batches.
+//!
+//! One [`RemoteSite`] can serve any number of connections (TCP) or
+//! channel pairs concurrently; the database sits behind a mutex and each
+//! batch is answered under one lock acquisition, so a batch sees a
+//! consistent snapshot.
+
+use crate::transport::{read_frame, write_frame, ChannelServerEnd};
+use crate::wire::{decode_requests, encode_responses, Request, Response};
+use ccpi_storage::Database;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A site holding relations and answering protocol batches.
+#[derive(Clone)]
+pub struct RemoteSite {
+    db: Arc<Mutex<Database>>,
+    batches_served: Arc<AtomicU64>,
+}
+
+impl RemoteSite {
+    /// A site serving the given database (typically the `remote` half of
+    /// a [`SiteSplit`](ccpi::distributed::SiteSplit)).
+    pub fn new(db: Database) -> RemoteSite {
+        RemoteSite {
+            db: Arc::new(Mutex::new(db)),
+            batches_served: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Shared handle to the site's database (e.g. to mutate remote data
+    /// mid-test while the server is live).
+    pub fn database(&self) -> Arc<Mutex<Database>> {
+        Arc::clone(&self.db)
+    }
+
+    /// Number of request batches answered so far.
+    pub fn batches_served(&self) -> u64 {
+        self.batches_served.load(Ordering::Relaxed)
+    }
+
+    /// Answers one request batch (decoded payload in, encoded payload
+    /// out). Malformed frames yield a single-`Error` response batch
+    /// rather than killing the connection.
+    pub fn handle_frame(&self, payload: &[u8]) -> Vec<u8> {
+        let responses = match decode_requests(payload) {
+            Ok(reqs) => {
+                let db = self.db.lock().expect("site db lock");
+                reqs.iter().map(|r| answer(&db, r)).collect()
+            }
+            Err(e) => vec![Response::Error {
+                message: format!("bad request frame: {e}"),
+            }],
+        };
+        self.batches_served.fetch_add(1, Ordering::Relaxed);
+        encode_responses(&responses)
+    }
+
+    /// Serves one in-process channel on a background thread until the
+    /// client side hangs up.
+    pub fn serve_channel(&self, end: ChannelServerEnd) -> JoinHandle<()> {
+        let site = self.clone();
+        std::thread::spawn(move || {
+            while let Ok(frame) = end.requests.recv() {
+                if end.replies.send(site.handle_frame(&frame)).is_err() {
+                    break;
+                }
+            }
+        })
+    }
+
+    /// Binds `addr` and serves TCP connections on background threads
+    /// until the returned handle is stopped or dropped.
+    pub fn serve_tcp(&self, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let site = self.clone();
+        let stop2 = Arc::clone(&stop);
+        let accept_loop = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        stream.set_nodelay(true).ok();
+                        // Short read timeout so workers notice the stop
+                        // flag even on idle connections.
+                        stream
+                            .set_read_timeout(Some(Duration::from_millis(50)))
+                            .ok();
+                        let site = site.clone();
+                        let stop = Arc::clone(&stop2);
+                        workers.push(std::thread::spawn(move || {
+                            serve_connection(site, stream, stop)
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                w.join().ok();
+            }
+        });
+        Ok(ServerHandle {
+            addr: local_addr,
+            stop,
+            join: Some(accept_loop),
+        })
+    }
+}
+
+fn serve_connection(site: RemoteSite, mut stream: std::net::TcpStream, stop: Arc<AtomicBool>) {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match read_frame(&mut stream) {
+            Ok(Some(frame)) => {
+                let reply = site.handle_frame(&frame);
+                if write_frame(&mut stream, &reply).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean hang-up
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // idle; re-check the stop flag
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Evaluates one request against the site database.
+fn answer(db: &Database, req: &Request) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Scan { pred } => match db.relation(pred) {
+            Some(rel) => Response::Rows {
+                pred: pred.clone(),
+                rows: rel.iter().cloned().collect(),
+            },
+            None => Response::Error {
+                message: format!("unknown relation `{pred}`"),
+            },
+        },
+        Request::FetchFiltered { pred, col, value } => match db.relation(pred) {
+            Some(rel) if (*col as usize) < rel.arity() => Response::Rows {
+                pred: pred.clone(),
+                rows: rel.scan_eq(*col as usize, value),
+            },
+            Some(rel) => Response::Error {
+                message: format!(
+                    "column {col} out of range for `{pred}` (arity {})",
+                    rel.arity()
+                ),
+            },
+            None => Response::Error {
+                message: format!("unknown relation `{pred}`"),
+            },
+        },
+    }
+}
+
+/// A running TCP server. Stopping (or dropping) it shuts the accept loop
+/// and all connection workers down.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and waits for the server threads to exit.
+    /// Established connections are closed; this is how tests "kill the
+    /// remote mid-stream".
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            join.join().ok();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::encode_requests;
+    use ccpi_storage::{tuple, Locality};
+
+    fn remote_db() -> Database {
+        let mut db = Database::new();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        db.insert("r", tuple![20]).unwrap();
+        db.insert("r", tuple![42]).unwrap();
+        db
+    }
+
+    #[test]
+    fn batch_answers_positionally() {
+        let site = RemoteSite::new(remote_db());
+        let frame = encode_requests(&[
+            Request::Ping,
+            Request::Scan { pred: "r".into() },
+            Request::Scan {
+                pred: "nope".into(),
+            },
+        ]);
+        let reply = site.handle_frame(&frame);
+        let resps = crate::wire::decode_responses(&reply).unwrap();
+        assert_eq!(resps.len(), 3);
+        assert_eq!(resps[0], Response::Pong);
+        assert!(matches!(&resps[1], Response::Rows { rows, .. } if rows.len() == 2));
+        assert!(matches!(&resps[2], Response::Error { .. }));
+        assert_eq!(site.batches_served(), 1);
+    }
+
+    #[test]
+    fn filtered_fetch_and_bad_column() {
+        let site = RemoteSite::new(remote_db());
+        let frame = encode_requests(&[
+            Request::FetchFiltered {
+                pred: "r".into(),
+                col: 0,
+                value: ccpi_ir::Value::int(20),
+            },
+            Request::FetchFiltered {
+                pred: "r".into(),
+                col: 7,
+                value: ccpi_ir::Value::int(20),
+            },
+        ]);
+        let resps = crate::wire::decode_responses(&site.handle_frame(&frame)).unwrap();
+        assert!(matches!(&resps[0], Response::Rows { rows, .. } if rows == &vec![tuple![20]]));
+        assert!(matches!(&resps[1], Response::Error { .. }));
+    }
+
+    #[test]
+    fn malformed_frame_yields_error_response() {
+        let site = RemoteSite::new(remote_db());
+        let resps = crate::wire::decode_responses(&site.handle_frame(&[0xff, 0xff])).unwrap();
+        assert!(matches!(&resps[0], Response::Error { .. }));
+    }
+}

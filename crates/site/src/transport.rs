@@ -1,0 +1,306 @@
+//! Frame transports: how request/response frames physically move.
+//!
+//! A [`Transport`] does exactly one thing: send a payload, wait for the
+//! reply payload, within a deadline. Everything above (batching, retry,
+//! backoff, metrics) lives in [`SiteClient`](crate::client::SiteClient);
+//! everything below (length prefixes, sockets, channels) lives here.
+//!
+//! Two implementations:
+//!
+//! * [`ChannelTransport`] — in-process `mpsc` pair, for tests and for
+//!   colocated "two sites in one process" experiments. Zero serialization
+//!   is *not* skipped: frames still cross as bytes, so byte counters mean
+//!   the same thing on both transports.
+//! * [`TcpTransport`] — real sockets with a `u32` little-endian length
+//!   prefix per frame, lazy connection and automatic reconnect after an
+//!   error.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::time::{Duration, Instant};
+
+/// Largest frame either side will accept (hostile/corrupt length guard).
+pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// Transport-level failures, as the retry loop needs to distinguish them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The deadline expired before a reply arrived.
+    Timeout,
+    /// The peer is gone (connect refused, connection reset, channel
+    /// dropped). Retrying may reconnect.
+    Disconnected(String),
+    /// The peer sent bytes that violate the framing.
+    Protocol(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Timeout => write!(f, "deadline expired"),
+            TransportError::Disconnected(m) => write!(f, "disconnected: {m}"),
+            TransportError::Protocol(m) => write!(f, "framing violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Moves one frame to the remote site and returns the reply frame.
+pub trait Transport: Send {
+    /// Sends `payload` and waits for the reply payload. Must not take
+    /// longer than `deadline` (approximately; granularity is
+    /// implementation-defined).
+    fn round_trip(&mut self, payload: &[u8], deadline: Duration)
+        -> Result<Vec<u8>, TransportError>;
+
+    /// Bytes that `payload` costs on this transport, including framing
+    /// overhead. Used by the client's byte counters.
+    fn framed_len(&self, payload: &[u8]) -> u64 {
+        payload.len() as u64 + 4
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-process channel transport
+// ---------------------------------------------------------------------
+
+/// The server half of a channel pair: the request stream to read and the
+/// reply sender to answer on. Consumed by
+/// [`RemoteSite::serve_channel`](crate::server::RemoteSite::serve_channel).
+pub struct ChannelServerEnd {
+    /// Incoming request frames.
+    pub requests: Receiver<Vec<u8>>,
+    /// Outgoing reply frames.
+    pub replies: SyncSender<Vec<u8>>,
+}
+
+/// Client half of an in-process frame channel.
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl ChannelTransport {
+    /// Creates a connected pair: the client transport and the server end.
+    pub fn pair() -> (ChannelTransport, ChannelServerEnd) {
+        let (req_tx, req_rx) = std::sync::mpsc::channel();
+        let (rep_tx, rep_rx) = std::sync::mpsc::sync_channel(16);
+        (
+            ChannelTransport {
+                tx: req_tx,
+                rx: rep_rx,
+            },
+            ChannelServerEnd {
+                requests: req_rx,
+                replies: rep_tx,
+            },
+        )
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn round_trip(
+        &mut self,
+        payload: &[u8],
+        deadline: Duration,
+    ) -> Result<Vec<u8>, TransportError> {
+        self.tx
+            .send(payload.to_vec())
+            .map_err(|_| TransportError::Disconnected("server end dropped".into()))?;
+        match self.rx.recv_timeout(deadline) {
+            Ok(reply) => Ok(reply),
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Disconnected("server end dropped".into()))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------
+
+/// TCP transport with length-prefixed frames.
+///
+/// Connects lazily on first use; any error tears the connection down so
+/// the next attempt reconnects from scratch (a fresh stream, not a
+/// half-poisoned one).
+pub struct TcpTransport {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl TcpTransport {
+    /// A transport that will connect to `addr` on first use.
+    pub fn new(addr: SocketAddr) -> TcpTransport {
+        TcpTransport { addr, stream: None }
+    }
+
+    /// The remote address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn connected(&mut self, deadline: Duration) -> Result<&mut TcpStream, TransportError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, deadline)
+                .map_err(|e| TransportError::Disconnected(e.to_string()))?;
+            stream.set_nodelay(true).ok();
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn round_trip(
+        &mut self,
+        payload: &[u8],
+        deadline: Duration,
+    ) -> Result<Vec<u8>, TransportError> {
+        let start = Instant::now();
+        let result = (|| {
+            let stream = self.connected(deadline)?;
+            let remaining = deadline
+                .checked_sub(start.elapsed())
+                .ok_or(TransportError::Timeout)?;
+            stream
+                .set_write_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .ok();
+            write_frame(stream, payload).map_err(io_to_transport)?;
+            let remaining = deadline
+                .checked_sub(start.elapsed())
+                .ok_or(TransportError::Timeout)?;
+            stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .ok();
+            read_frame(stream).map_err(io_to_transport)?.ok_or_else(|| {
+                TransportError::Disconnected("connection closed mid-exchange".into())
+            })
+        })();
+        if result.is_err() {
+            // Drop the stream: unanswered frames would desynchronise the
+            // request/reply pairing on reuse.
+            self.stream = None;
+        }
+        result
+    }
+}
+
+fn io_to_transport(e: std::io::Error) -> TransportError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => TransportError::Timeout,
+        std::io::ErrorKind::InvalidData => TransportError::Protocol(e.to_string()),
+        _ => TransportError::Disconnected(e.to_string()),
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF before the
+/// length prefix (the peer hung up between frames).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_round_trip_echo() {
+        let (mut client, server) = ChannelTransport::pair();
+        let echo = std::thread::spawn(move || {
+            while let Ok(frame) = server.requests.recv() {
+                if server.replies.send(frame).is_err() {
+                    break;
+                }
+            }
+        });
+        let reply = client.round_trip(b"hello", Duration::from_secs(1)).unwrap();
+        assert_eq!(reply, b"hello");
+        drop(client);
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn channel_times_out_when_server_is_silent() {
+        let (mut client, _server) = ChannelTransport::pair();
+        let err = client
+            .round_trip(b"x", Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, TransportError::Timeout);
+    }
+
+    #[test]
+    fn channel_reports_disconnect() {
+        let (mut client, server) = ChannelTransport::pair();
+        drop(server);
+        let err = client
+            .round_trip(b"x", Duration::from_millis(20))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Disconnected(_)));
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abc").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"abc");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn tcp_connect_to_dead_port_is_disconnected() {
+        // Bind-then-drop gives us a port with (almost certainly) no
+        // listener.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut t = TcpTransport::new(addr);
+        let err = t.round_trip(b"x", Duration::from_millis(200)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TransportError::Disconnected(_) | TransportError::Timeout
+            ),
+            "{err:?}"
+        );
+    }
+}

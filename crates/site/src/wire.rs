@@ -1,0 +1,218 @@
+//! The site protocol: batched requests and responses in one frame each.
+//!
+//! A *frame* is the unit the transport moves: a `u32` little-endian length
+//! prefix followed by that many payload bytes (framing is the transport's
+//! job; this module encodes/decodes payloads). One request frame carries a
+//! **batch** of requests; the reply frame carries exactly one response per
+//! request, in order. Batching is how the client amortises round trips:
+//! a full check that needs three remote relations costs one round trip,
+//! not three.
+//!
+//! Payload grammar (on top of [`ccpi_storage::wirefmt`]):
+//!
+//! ```text
+//! request-batch  := u32 count, request*
+//! request        := 0x00                                  ; Ping
+//!                 | 0x01 str(pred)                        ; Scan
+//!                 | 0x02 str(pred) u32(col) value         ; FetchFiltered
+//! response-batch := u32 count, response*
+//! response       := 0x00                                  ; Pong
+//!                 | 0x01 str(pred) rows                   ; Rows
+//!                 | 0x02 str(message)                     ; Error
+//! ```
+
+use ccpi_ir::Value;
+use ccpi_storage::wirefmt::{
+    decode_rows, decode_str, decode_u32, decode_value, encode_rows, encode_str, encode_u32,
+    encode_value, WireError,
+};
+use ccpi_storage::Tuple;
+
+/// One request to a remote site.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness / round-trip probe.
+    Ping,
+    /// Full contents of a relation.
+    Scan {
+        /// Relation name.
+        pred: String,
+    },
+    /// Tuples of `pred` whose component `col` equals `value` — lets a
+    /// client pull a slice instead of the whole relation.
+    FetchFiltered {
+        /// Relation name.
+        pred: String,
+        /// Zero-based column index.
+        col: u32,
+        /// Required value at that column.
+        value: Value,
+    },
+}
+
+/// One response from a remote site (positionally paired with the request).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Tuples answering a scan or filtered fetch.
+    Rows {
+        /// Relation name (echoed).
+        pred: String,
+        /// Matching tuples.
+        rows: Vec<Tuple>,
+    },
+    /// The request could not be served (unknown relation, bad column).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Encodes a request batch into a frame payload.
+pub fn encode_requests(reqs: &[Request]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_u32(reqs.len() as u32, &mut out);
+    for r in reqs {
+        match r {
+            Request::Ping => out.push(0),
+            Request::Scan { pred } => {
+                out.push(1);
+                encode_str(pred, &mut out);
+            }
+            Request::FetchFiltered { pred, col, value } => {
+                out.push(2);
+                encode_str(pred, &mut out);
+                encode_u32(*col, &mut out);
+                encode_value(value, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a request batch from a frame payload.
+pub fn decode_requests(buf: &[u8]) -> Result<Vec<Request>, WireError> {
+    let mut pos = 0;
+    let count = decode_u32(buf, &mut pos)?;
+    let mut reqs = Vec::with_capacity(count.min(1024) as usize);
+    for _ in 0..count {
+        let tag = *buf.get(pos).ok_or(WireError::Truncated)?;
+        pos += 1;
+        reqs.push(match tag {
+            0 => Request::Ping,
+            1 => Request::Scan {
+                pred: decode_str(buf, &mut pos)?,
+            },
+            2 => Request::FetchFiltered {
+                pred: decode_str(buf, &mut pos)?,
+                col: decode_u32(buf, &mut pos)?,
+                value: decode_value(buf, &mut pos)?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        });
+    }
+    expect_end(buf, pos)?;
+    Ok(reqs)
+}
+
+/// Encodes a response batch into a frame payload.
+pub fn encode_responses(resps: &[Response]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_u32(resps.len() as u32, &mut out);
+    for r in resps {
+        match r {
+            Response::Pong => out.push(0),
+            Response::Rows { pred, rows } => {
+                out.push(1);
+                encode_str(pred, &mut out);
+                encode_rows(rows.iter(), &mut out);
+            }
+            Response::Error { message } => {
+                out.push(2);
+                encode_str(message, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a response batch from a frame payload.
+pub fn decode_responses(buf: &[u8]) -> Result<Vec<Response>, WireError> {
+    let mut pos = 0;
+    let count = decode_u32(buf, &mut pos)?;
+    let mut resps = Vec::with_capacity(count.min(1024) as usize);
+    for _ in 0..count {
+        let tag = *buf.get(pos).ok_or(WireError::Truncated)?;
+        pos += 1;
+        resps.push(match tag {
+            0 => Response::Pong,
+            1 => Response::Rows {
+                pred: decode_str(buf, &mut pos)?,
+                rows: decode_rows(buf, &mut pos)?,
+            },
+            2 => Response::Error {
+                message: decode_str(buf, &mut pos)?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        });
+    }
+    expect_end(buf, pos)?;
+    Ok(resps)
+}
+
+fn expect_end(buf: &[u8], pos: usize) -> Result<(), WireError> {
+    if pos == buf.len() {
+        Ok(())
+    } else {
+        // Trailing garbage means the frame is not what its count claims.
+        Err(WireError::Truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_storage::tuple;
+
+    #[test]
+    fn request_batches_round_trip() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Scan { pred: "r".into() },
+            Request::FetchFiltered {
+                pred: "dept".into(),
+                col: 1,
+                value: Value::str("toy"),
+            },
+        ];
+        let buf = encode_requests(&reqs);
+        assert_eq!(decode_requests(&buf).unwrap(), reqs);
+    }
+
+    #[test]
+    fn response_batches_round_trip() {
+        let resps = vec![
+            Response::Pong,
+            Response::Rows {
+                pred: "r".into(),
+                rows: vec![tuple![20], tuple![42]],
+            },
+            Response::Error {
+                message: "unknown relation q".into(),
+            },
+        ];
+        let buf = encode_responses(&resps);
+        assert_eq!(decode_responses(&buf).unwrap(), resps);
+    }
+
+    #[test]
+    fn garbage_frames_rejected() {
+        assert!(decode_requests(&[]).is_err());
+        assert!(decode_responses(&[9, 9, 9]).is_err());
+        // Valid batch with trailing garbage is rejected too.
+        let mut buf = encode_requests(&[Request::Ping]);
+        buf.push(0xaa);
+        assert!(decode_requests(&buf).is_err());
+    }
+}

@@ -51,7 +51,11 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
-            StorageError::ArityMismatch { name, declared, got } => write!(
+            StorageError::ArityMismatch {
+                name,
+                declared,
+                got,
+            } => write!(
                 f,
                 "relation `{name}` declared with arity {declared}, got tuple of arity {got}"
             ),
@@ -92,9 +96,7 @@ impl Database {
             locality,
         };
         match self.decls.get(&name) {
-            Some(existing) if *existing != decl => {
-                Err(StorageError::ConflictingDeclaration(name))
-            }
+            Some(existing) if *existing != decl => Err(StorageError::ConflictingDeclaration(name)),
             Some(_) => Ok(()),
             None => {
                 self.relations.insert(name.clone(), Relation::new(arity));
@@ -127,6 +129,27 @@ impl Database {
     /// Write access to a relation instance.
     pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
         self.relations.get_mut(name)
+    }
+
+    /// Replaces the instance of a declared relation wholesale.
+    ///
+    /// Because [`Relation`] clones are O(1) copy-on-write, this is the cheap
+    /// way to install data from another database (a site split, a wire
+    /// fetch) without re-inserting tuple by tuple.
+    pub fn set_relation(&mut self, name: &str, rel: Relation) -> Result<(), StorageError> {
+        let decl = self
+            .decls
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownRelation(Sym::new(name)))?;
+        if decl.arity != rel.arity() && !rel.is_empty() {
+            return Err(StorageError::ArityMismatch {
+                name: decl.name.clone(),
+                declared: decl.arity,
+                got: rel.arity(),
+            });
+        }
+        self.relations.insert(decl.name.clone(), rel);
+        Ok(())
     }
 
     /// Inserts a tuple, validating the declaration. Returns `true` if new.

@@ -14,6 +14,7 @@ mod database;
 mod relation;
 mod tuple;
 mod update;
+pub mod wirefmt;
 
 pub use database::{Database, Locality, RelationDecl, StorageError};
 pub use relation::Relation;

@@ -3,6 +3,7 @@
 use crate::tuple::Tuple;
 use ccpi_ir::Value;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// A relation instance: a set of tuples of a fixed arity.
 ///
@@ -10,12 +11,31 @@ use std::collections::{BTreeSet, HashMap};
 /// (deterministic results everywhere). Point lookups by column value go
 /// through lazily built hash indexes that are maintained incrementally once
 /// built.
-#[derive(Clone, Default)]
+///
+/// The tuple set sits behind an `Arc` with copy-on-write semantics:
+/// cloning a relation (and therefore a whole [`Database`](crate::Database),
+/// or taking a `SiteSplit` local view in `ccpi`) is O(1) and shares
+/// storage; the first mutation of a shared relation pays for one copy of
+/// the affected relation only. Index caches are per-instance and are *not*
+/// carried over by `clone` — they rebuild lazily on first lookup.
+#[derive(Default)]
 pub struct Relation {
     arity: usize,
-    tuples: BTreeSet<Tuple>,
+    tuples: Arc<BTreeSet<Tuple>>,
     /// column → (value → tuples with that value in the column).
     indexes: HashMap<usize, HashMap<Value, Vec<Tuple>>>,
+}
+
+impl Clone for Relation {
+    /// O(1): shares the tuple set; drops the (lazily rebuildable) index
+    /// caches instead of deep-copying them.
+    fn clone(&self) -> Self {
+        Relation {
+            arity: self.arity,
+            tuples: Arc::clone(&self.tuples),
+            indexes: HashMap::new(),
+        }
+    }
 }
 
 impl Relation {
@@ -23,7 +43,7 @@ impl Relation {
     pub fn new(arity: usize) -> Self {
         Relation {
             arity,
-            tuples: BTreeSet::new(),
+            tuples: Arc::new(BTreeSet::new()),
             indexes: HashMap::new(),
         }
     }
@@ -69,7 +89,7 @@ impl Relation {
             t.arity(),
             self.arity
         );
-        let fresh = self.tuples.insert(t.clone());
+        let fresh = Arc::make_mut(&mut self.tuples).insert(t.clone());
         if fresh {
             for (col, index) in &mut self.indexes {
                 index.entry(t[*col].clone()).or_default().push(t.clone());
@@ -80,7 +100,7 @@ impl Relation {
 
     /// Removes a tuple; returns `true` if it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        let had = self.tuples.remove(t);
+        let had = Arc::make_mut(&mut self.tuples).remove(t);
         if had {
             for (col, index) in &mut self.indexes {
                 if let Some(bucket) = index.get_mut(&t[*col]) {
@@ -105,7 +125,7 @@ impl Relation {
         assert!(col < self.arity, "column {col} out of range");
         let index = self.indexes.entry(col).or_insert_with(|| {
             let mut idx: HashMap<Value, Vec<Tuple>> = HashMap::new();
-            for t in &self.tuples {
+            for t in self.tuples.iter() {
                 idx.entry(t[col].clone()).or_default().push(t.clone());
             }
             idx
@@ -128,8 +148,19 @@ impl Relation {
 
     /// Removes all tuples.
     pub fn clear(&mut self) {
-        self.tuples.clear();
+        if self.tuples.is_empty() {
+            return;
+        }
+        // Start fresh rather than CoW-copying a set we are about to empty.
+        self.tuples = Arc::new(BTreeSet::new());
         self.indexes.clear();
+    }
+
+    /// `true` when both relations share the same underlying tuple storage
+    /// (clones that neither side has mutated since). Test/diagnostic aid
+    /// for the O(1)-clone guarantee.
+    pub fn shares_storage_with(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.tuples, &other.tuples)
     }
 }
 
@@ -240,6 +271,33 @@ mod tests {
         b.insert(tuple![1]);
         let _ = a.lookup(0, &ccpi_ir::Value::int(1)); // builds an index in a only
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clone_is_o1_and_copy_on_write() {
+        let mut r = Relation::new(2);
+        for k in 0..10 {
+            r.insert(tuple![k, k + 1]);
+        }
+        let snap = r.clone();
+        assert!(snap.shares_storage_with(&r), "clone shares storage");
+        // First mutation un-shares; the snapshot is unaffected.
+        r.insert(tuple![99, 100]);
+        assert!(!snap.shares_storage_with(&r));
+        assert_eq!(snap.len(), 10);
+        assert_eq!(r.len(), 11);
+    }
+
+    #[test]
+    fn cloned_relation_rebuilds_indexes_lazily() {
+        let mut r = Relation::new(2);
+        r.insert(tuple!["a", 1]);
+        r.insert(tuple!["a", 2]);
+        let _ = r.lookup(0, &ccpi_ir::Value::str("a")); // build an index
+        let mut c = r.clone();
+        // The clone dropped the cache but answers identically.
+        assert_eq!(c.lookup(0, &ccpi_ir::Value::str("a")).len(), 2);
+        assert_eq!(c.scan_eq(1, &ccpi_ir::Value::int(1)).len(), 1);
     }
 
     #[test]

@@ -138,7 +138,9 @@ mod tests {
 
     #[test]
     fn transfer_bytes_scale_with_content() {
-        assert!(crate::tuple!["a-long-department-name", 1].transfer_bytes()
-            > crate::tuple!["d", 1].transfer_bytes());
+        assert!(
+            crate::tuple!["a-long-department-name", 1].transfer_bytes()
+                > crate::tuple!["d", 1].transfer_bytes()
+        );
     }
 }

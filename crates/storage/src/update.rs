@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Update::insert("dept", tuple!["toy"]).to_string(), "+dept(toy)");
+        assert_eq!(
+            Update::insert("dept", tuple!["toy"]).to_string(),
+            "+dept(toy)"
+        );
         assert_eq!(
             Update::delete("emp", tuple!["jones", "shoe", 50]).to_string(),
             "-emp(jones,shoe,50)"

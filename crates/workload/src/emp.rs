@@ -96,8 +96,14 @@ pub fn update_stream(cfg: &EmpConfig, rng: &mut StdRng, n: usize) -> Vec<Update>
                 let id = rng.random_range(0..cfg.employees.max(1));
                 Update::delete("emp", employee(cfg, rng, id))
             }
-            2 => Update::insert("dept", tuple![dept_name(rng.random_range(0..cfg.departments.max(1) * 2))]),
-            _ => Update::delete("dept", tuple![dept_name(rng.random_range(0..cfg.departments.max(1) * 2))]),
+            2 => Update::insert(
+                "dept",
+                tuple![dept_name(rng.random_range(0..cfg.departments.max(1) * 2))],
+            ),
+            _ => Update::delete(
+                "dept",
+                tuple![dept_name(rng.random_range(0..cfg.departments.max(1) * 2))],
+            ),
         })
         .collect()
 }

@@ -113,7 +113,8 @@ pub fn containment_pair(cfg: &CqcConfig, rng: &mut StdRng) -> (Cq, Cq) {
         .iter()
         .flat_map(|a| a.vars().cloned().collect::<Vec<_>>())
         .collect();
-    c2.comparisons.retain(|c| c.vars().all(|v| bound.contains(v)));
+    c2.comparisons
+        .retain(|c| c.vars().all(|v| bound.contains(v)));
     (c1, c2)
 }
 

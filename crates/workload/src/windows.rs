@@ -110,9 +110,8 @@ mod tests {
         for p in &probes {
             let (a, b) = (p[0].as_int().unwrap(), p[1].as_int().unwrap());
             assert!(
-                rel.iter().any(|t| {
-                    t[0].as_int().unwrap() <= a && b <= t[1].as_int().unwrap()
-                }),
+                rel.iter()
+                    .any(|t| { t[0].as_int().unwrap() <= a && b <= t[1].as_int().unwrap() }),
                 "{p}"
             );
         }
@@ -128,8 +127,14 @@ mod tests {
     #[test]
     fn determinism() {
         let cfg = WindowConfig::default();
-        let a: Vec<Tuple> = local_relation(&cfg, &mut crate::rng(2)).iter().cloned().collect();
-        let b: Vec<Tuple> = local_relation(&cfg, &mut crate::rng(2)).iter().cloned().collect();
+        let a: Vec<Tuple> = local_relation(&cfg, &mut crate::rng(2))
+            .iter()
+            .cloned()
+            .collect();
+        let b: Vec<Tuple> = local_relation(&cfg, &mut crate::rng(2))
+            .iter()
+            .cloned()
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total_avoided += reaction.evaluations_avoided;
         println!("update {update}:");
         if reaction.fired.is_empty() {
-            println!("  no rules fired ({} evaluations avoided)", reaction.evaluations_avoided);
+            println!(
+                "  no rules fired ({} evaluations avoided)",
+                reaction.evaluations_avoided
+            );
         }
         for (rule, action) in &reaction.fired {
             println!("  rule `{rule}` fired -> {action}");

@@ -9,8 +9,8 @@
 //! Run with: `cargo run --example compiled_plans`
 
 use ccpi_suite::arith::Solver;
-use ccpi_suite::localtest::{compile_ra, complete_local_test, Cqc};
 use ccpi_suite::localtest::thm53::RaInstance;
+use ccpi_suite::localtest::{compile_ra, complete_local_test, Cqc};
 use ccpi_suite::parser::parse_cq;
 use ccpi_suite::prelude::*;
 use ccpi_suite::storage::tuple;
@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compile once — the plan depends only on the constraint.
     let plan = compile_ra(&cqc)?;
-    println!("compiled plan ({} mapping shape(s)):\n{plan}", plan.mapping_count());
+    println!(
+        "compiled plan ({} mapping shape(s)):\n{plan}",
+        plan.mapping_count()
+    );
 
     // A local relation of existing assignments.
     let local = Relation::from_tuples(
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let start = Instant::now();
-    let safe_plan = probes.iter().filter(|t| plan.test(t, &local).holds()).count();
+    let safe_plan = probes
+        .iter()
+        .filter(|t| plan.test(t, &local).holds())
+        .count();
     let plan_time = start.elapsed();
 
     let start = Instant::now();

@@ -57,16 +57,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let checks: usize = histogram.iter().map(|(_, n)| n).sum::<usize>() + violations;
-    println!("processed {} updates ({} constraint checks)", stream.len(), checks);
+    println!(
+        "processed {} updates ({} constraint checks)",
+        stream.len(),
+        checks
+    );
     println!("\ndischarged by method:");
     for (m, n) in &histogram {
         if *n > 0 {
-            println!("  {m:<24} {n:>6}  ({:.1}%)", 100.0 * *n as f64 / checks as f64);
+            println!(
+                "  {m:<24} {n:>6}  ({:.1}%)",
+                100.0 * *n as f64 / checks as f64
+            );
         }
     }
     println!("  {:<24} {violations:>6}", "violations (full check)");
     println!("\nremote tuples read: {remote_tuples}");
-    println!("simulated remote-communication cost: {:.1} ms", cost_us / 1000.0);
+    println!(
+        "simulated remote-communication cost: {:.1} ms",
+        cost_us / 1000.0
+    );
 
     // Counterfactual: a checker with no partial-information machinery
     // would run a full (remote-touching) check per constraint per update.

@@ -10,9 +10,7 @@
 //!
 //! Run with: `cargo run --example forbidden_intervals`
 
-use ccpi_suite::localtest::{
-    complete_local_test, Cqc, DatalogIntervalTest, IcqTest,
-};
+use ccpi_suite::localtest::{complete_local_test, Cqc, DatalogIntervalTest, IcqTest};
 use ccpi_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("the generated Fig. 6.1 program:\n{}\n", datalog.program());
 
     let proposals = [(4i64, 8i64), (2, 8), (4, 11), (6, 6), (12, 15)];
-    println!("{:<10} {:>12} {:>12} {:>12}", "proposal", "thm 5.2", "intervals", "fig 6.1");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "proposal", "thm 5.2", "intervals", "fig 6.1"
+    );
     for (a, b) in proposals {
         let t = tuple![a, b];
         let v1 = complete_local_test(&cqc, &t, &local, Solver::dense());

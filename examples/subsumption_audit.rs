@@ -7,14 +7,17 @@
 //!
 //! Run with: `cargo run --example subsumption_audit`
 
+use ccpi_suite::containment::klug::order_count;
 use ccpi_suite::containment::subsume::{subsumes, to_constraint};
 use ccpi_suite::containment::thm51::mapping_count;
-use ccpi_suite::containment::klug::order_count;
 use ccpi_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let catalog: Vec<(&str, &str)> = vec![
-        ("no-two-departments", "panic :- emp(E,D1) & emp(E,D2) & D1 <> D2."),
+        (
+            "no-two-departments",
+            "panic :- emp(E,D1) & emp(E,D2) & D1 <> D2.",
+        ),
         (
             "not-sales-and-accounting",
             "panic :- emp(E,sales) & emp(E,accounting).",
@@ -40,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|(_, (_, c))| c.clone())
             .collect();
         let s = subsumes(&others, c, Solver::dense())?;
-        let verdict = if s.answer.is_yes() { "redundant" } else { "needed" };
+        let verdict = if s.answer.is_yes() {
+            "redundant"
+        } else {
+            "needed"
+        };
         // Which single other constraint subsumes it, if any?
         let by: Vec<&str> = constraints
             .iter()

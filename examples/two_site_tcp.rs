@@ -1,0 +1,87 @@
+//! Two sites, one TCP connection: the escalation ladder with a *real*
+//! wire between the updating site and the remote data.
+//!
+//! The warehouse site owns the interval table `l`; the remote site owns
+//! the forbidden points `r` and serves them over TCP. The example streams
+//! updates through a [`DistributedManager`] and demonstrates the two
+//! headline behaviours of the subsystem:
+//!
+//! 1. updates certified by stages 1–3 generate **zero** wire messages
+//!    (asserted against the measured transport counters), and
+//! 2. killing the remote site mid-stream degrades full-check outcomes to
+//!    `Unknown(RemoteUnavailable)` — with retries and timeouts visible in
+//!    the metrics — instead of failing the stream.
+//!
+//! Run with: `cargo run --release --example two_site_tcp`
+
+use ccpi_suite::core::distributed::SiteSplit;
+use ccpi_suite::prelude::*;
+use ccpi_suite::site::prelude::*;
+use ccpi_suite::storage::tuple;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- The full database, split by locality ------------------------
+    let mut db = Database::new();
+    db.declare("l", 2, Locality::Local)?;
+    db.declare("r", 1, Locality::Remote)?;
+    db.insert("l", tuple![3, 6])?;
+    db.insert("l", tuple![5, 10])?;
+    db.insert("r", tuple![20])?;
+    db.insert("r", tuple![35])?;
+
+    // --- Remote site: serves the `r` relation over TCP ---------------
+    let site = RemoteSite::new(SiteSplit::of(&db).remote);
+    let server = site.serve_tcp("127.0.0.1:0")?;
+    println!("remote site listening on {}", server.addr());
+
+    // --- Updating site: ladder locally, wire only for stage 4 --------
+    let client = SiteClient::new(TcpTransport::new(server.addr()))
+        .with_deadline(Duration::from_millis(250))
+        .with_retry(RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(40),
+        });
+    let mut mgr = DistributedManager::for_local_site(&db, client);
+    mgr.add_constraint("intervals", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")?;
+
+    // --- Phase 1: locally certified updates → zero wire messages -----
+    println!("\n== phase 1: locally certified updates ==");
+    for (a, b) in [(4i64, 8i64), (3, 3), (6, 9), (5, 5)] {
+        let report = mgr.process(&Update::insert("l", tuple![a, b]))?;
+        let outcome = report.outcome("intervals").unwrap();
+        println!("  insert l({a},{b}): {outcome:?}  wire: {}", report.wire);
+        assert!(report.wire.is_zero(), "stage 1-3 outcome used the wire!");
+    }
+    assert!(mgr.wire_totals().is_zero());
+    println!("  total wire messages: 0 (asserted)");
+
+    // --- Phase 2: a full check actually crosses the wire --------------
+    println!("\n== phase 2: full checks over TCP ==");
+    for (a, b) in [(15i64, 25i64), (30, 40)] {
+        let report = mgr.check_update(&Update::insert("l", tuple![a, b]))?;
+        let outcome = report.outcome("intervals").unwrap();
+        println!("  insert l({a},{b}): {outcome:?}  wire: {}", report.wire);
+        assert!(report.wire.round_trips >= 1);
+    }
+
+    // --- Phase 3: kill the remote mid-stream --------------------------
+    println!("\n== phase 3: remote site killed mid-stream ==");
+    server.stop();
+    let report = mgr.check_update(&Update::insert("l", tuple![15, 25]))?;
+    let outcome = report.outcome("intervals").unwrap();
+    println!("  insert l(15,25): {outcome:?}");
+    println!("  wire during degraded check: {}", report.wire);
+    assert_eq!(outcome, Outcome::Unknown(UnknownCause::RemoteUnavailable));
+    assert!(report.wire.retries > 0, "retries should be visible");
+
+    // Local certification is unaffected by the outage.
+    let report = mgr.process(&Update::insert("l", tuple![7, 9]))?;
+    assert!(report.outcome("intervals").unwrap().holds());
+    assert!(report.wire.is_zero());
+    println!("  insert l(7,9): still certified locally, zero wire messages");
+
+    println!("\ncumulative transport counters: {}", mgr.wire_totals());
+    Ok(())
+}

@@ -99,7 +99,10 @@ fn fig_4_2_deletion_closure() {
     }
     // Theorem 4.3's other direction in our constructions: pure classes
     // always pick up arithmetic or negation.
-    for r in rows.iter().filter(|r| !r.class.arithmetic && !r.class.negation) {
+    for r in rows
+        .iter()
+        .filter(|r| !r.class.arithmetic && !r.class.negation)
+    {
         assert!(r.achieved_class.arithmetic || r.achieved_class.negation);
     }
 }

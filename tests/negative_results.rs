@@ -112,7 +112,10 @@ fn no_relational_algebra_test_for_intervals() {
                 .filter(|(i, _)| *i != drop)
                 .map(|(_, t)| t.clone())
                 .collect();
-            assert!(!icq.test(&probe, &partial).holds(), "k = {k}, drop = {drop}");
+            assert!(
+                !icq.test(&probe, &partial).holds(),
+                "k = {k}, drop = {drop}"
+            );
         }
     }
 }
@@ -128,9 +131,7 @@ fn union_containment_strictly_stronger_than_member_containment() {
     let mid = parse_cq("panic :- r(Z) & 4 <= Z & Z <= 8.").unwrap();
     let a = parse_cq("panic :- r(Z) & 3 <= Z & Z <= 6.").unwrap();
     let b = parse_cq("panic :- r(Z) & 5 <= Z & Z <= 10.").unwrap();
-    assert!(
-        cqc_contained_in_union(&mid, &[a.clone(), b.clone()], Solver::dense()).unwrap()
-    );
+    assert!(cqc_contained_in_union(&mid, &[a.clone(), b.clone()], Solver::dense()).unwrap());
     assert!(!cqc_contained(&mid, &a, Solver::dense()).unwrap());
     assert!(!cqc_contained(&mid, &b, Solver::dense()).unwrap());
 
@@ -141,8 +142,7 @@ fn union_containment_strictly_stronger_than_member_containment() {
     let p_a = parse_cq("panic :- r(Z).").unwrap();
     let p_b = parse_cq("panic :- s(W).").unwrap();
     let in_union = cq_contained_in_union(&p_mid, &[p_a.clone(), p_b.clone()]).unwrap();
-    let member_wise =
-        cq_contained(&p_mid, &p_a).unwrap() || cq_contained(&p_mid, &p_b).unwrap();
+    let member_wise = cq_contained(&p_mid, &p_a).unwrap() || cq_contained(&p_mid, &p_b).unwrap();
     assert_eq!(in_union, member_wise);
 }
 

@@ -137,10 +137,7 @@ fn example_4_2() {
     let mut after = db.clone();
     after.apply(&upd).unwrap();
     let truth = constraint_violated(&c2, &after).unwrap();
-    assert_eq!(
-        constraint_violated(&arith.constraint, &db).unwrap(),
-        truth
-    );
+    assert_eq!(constraint_violated(&arith.constraint, &db).unwrap(), truth);
     assert_eq!(constraint_violated(&neg.constraint, &db).unwrap(), truth);
 }
 
@@ -164,8 +161,14 @@ fn example_5_2() {
         ("panic :- p(0,X).", "panic :- p(Z,X) & Z = 0."),
     ] {
         let (qa, qb) = (parse_cq(a).unwrap(), parse_cq(b).unwrap());
-        assert!(cqc_contained(&qa, &qb, Solver::dense()).unwrap(), "{a} ⊆ {b}");
-        assert!(cqc_contained(&qb, &qa, Solver::dense()).unwrap(), "{b} ⊆ {a}");
+        assert!(
+            cqc_contained(&qa, &qb, Solver::dense()).unwrap(),
+            "{a} ⊆ {b}"
+        );
+        assert!(
+            cqc_contained(&qb, &qa, Solver::dense()).unwrap(),
+            "{b} ⊆ {a}"
+        );
     }
 }
 
@@ -182,12 +185,9 @@ fn example_5_3() {
     let red510 = cqc.red(&tuple![5, 10]).unwrap();
     let red48 = cqc.red(&tuple![4, 8]).unwrap();
     assert_eq!(red36.to_string(), "panic :- r(Z) & 3 <= Z & Z <= 6.");
-    assert!(cqc_contained_in_union(
-        &red48,
-        &[red36.clone(), red510.clone()],
-        Solver::dense()
-    )
-    .unwrap());
+    assert!(
+        cqc_contained_in_union(&red48, &[red36.clone(), red510.clone()], Solver::dense()).unwrap()
+    );
     assert!(!cqc_contained(&red48, &red36, Solver::dense()).unwrap());
     assert!(!cqc_contained(&red48, &red510, Solver::dense()).unwrap());
 

@@ -163,23 +163,34 @@ fn interval_pipeline_scenario() {
         .unwrap();
 
     // Covered: local test certifies.
-    let rep = mgr.check_update(&Update::insert("l", tuple![2, 8])).unwrap();
+    let rep = mgr
+        .check_update(&Update::insert("l", tuple![2, 8]))
+        .unwrap();
     assert!(matches!(
         rep.outcome("iv"),
         Some(Outcome::Holds(Method::LocalTest(_)))
     ));
 
     // Uncovered and harmless: full check passes.
-    let rep = mgr.check_update(&Update::insert("l", tuple![20, 30])).unwrap();
-    assert!(matches!(rep.outcome("iv"), Some(Outcome::Holds(Method::FullCheck))));
+    let rep = mgr
+        .check_update(&Update::insert("l", tuple![20, 30]))
+        .unwrap();
+    assert!(matches!(
+        rep.outcome("iv"),
+        Some(Outcome::Holds(Method::FullCheck))
+    ));
 
     // Uncovered and fatal: covers the remote point 50.
-    let rep = mgr.check_update(&Update::insert("l", tuple![40, 60])).unwrap();
+    let rep = mgr
+        .check_update(&Update::insert("l", tuple![40, 60]))
+        .unwrap();
     assert_eq!(rep.outcome("iv"), Some(Outcome::Violated));
 
     // Deleting a local tuple is handled (not by Theorem 5.2, which is for
     // insertions — the independence/full-check stages cover it).
-    let rep = mgr.check_update(&Update::delete("l", tuple![0, 10])).unwrap();
+    let rep = mgr
+        .check_update(&Update::delete("l", tuple![0, 10]))
+        .unwrap();
     assert!(rep.outcome("iv").unwrap().holds());
 }
 

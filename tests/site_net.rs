@@ -1,0 +1,179 @@
+//! Two-site networking integration tests: the escalation ladder keeps
+//! stages 1–3 off the wire entirely, and a dead remote degrades stage 4
+//! to `Unknown(RemoteUnavailable)` — no panics, no hangs.
+
+use ccpi_suite::core::distributed::SiteSplit;
+use ccpi_suite::prelude::*;
+use ccpi_suite::site::prelude::*;
+use ccpi_suite::storage::tuple;
+use std::time::Duration;
+
+/// Full two-site database: interval constraint plus a referential pair.
+fn full_db() -> Database {
+    let mut db = Database::new();
+    db.declare("l", 2, Locality::Local).unwrap();
+    db.declare("r", 1, Locality::Remote).unwrap();
+    db.declare("emp", 2, Locality::Local).unwrap();
+    db.declare("dept", 1, Locality::Remote).unwrap();
+    db.insert("l", tuple![3, 6]).unwrap();
+    db.insert("l", tuple![5, 10]).unwrap();
+    db.insert("r", tuple![20]).unwrap();
+    db.insert("dept", tuple!["toy"]).unwrap();
+    db
+}
+
+fn register_constraints(mgr: &mut DistributedManager) {
+    mgr.add_constraint("intervals", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+        .unwrap();
+    mgr.add_constraint("ri", "panic :- emp(E,D) & not dept(D).")
+        .unwrap();
+    // Subsumed by "intervals": same shape, strictly narrower comparisons.
+    mgr.add_constraint(
+        "intervals-tight",
+        "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y & X <= 0.",
+    )
+    .unwrap();
+}
+
+fn quick_retries() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 3,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+    }
+}
+
+/// Updates that stages 1–3 settle must generate ZERO transport messages —
+/// checked against both the client's counters and the server's.
+#[test]
+fn local_stages_send_zero_wire_messages() {
+    let db = full_db();
+    let site = RemoteSite::new(SiteSplit::of(&db).remote);
+    let server = site.serve_tcp("127.0.0.1:0").unwrap();
+    let client = SiteClient::new(TcpTransport::new(server.addr()))
+        .with_deadline(Duration::from_millis(500))
+        .with_retry(quick_retries());
+    let mut mgr = DistributedManager::for_local_site(&db, client);
+    register_constraints(&mut mgr);
+
+    // A stream of updates each settled by stage 1, 2, or 3.
+    let updates = [
+        Update::insert("l", tuple![4, 8]),         // local test (interval)
+        Update::insert("dept", tuple!["ski"]),     // independent of update
+        Update::insert("l", tuple![3, 3]),         // local test
+        Update::delete("emp", tuple!["x", "toy"]), // independent
+    ];
+    for upd in &updates {
+        let report = mgr.process(upd).unwrap();
+        for (name, outcome) in &report.outcomes {
+            assert!(
+                outcome.holds() && outcome.method() != Some(Method::FullCheck),
+                "{name} escalated on {upd:?}: {outcome:?}"
+            );
+        }
+        assert!(report.wire.is_zero(), "wire traffic for {upd:?}");
+    }
+    assert!(mgr.wire_totals().is_zero(), "client sent something");
+    assert_eq!(site.batches_served(), 0, "server saw something");
+    server.stop();
+}
+
+/// Stage 4 works over real TCP; killing the server mid-stream degrades
+/// subsequent full checks to Unknown(RemoteUnavailable) with retries and
+/// timeouts visible in the metrics, while local certification continues.
+#[test]
+fn killed_remote_degrades_to_unknown() {
+    let db = full_db();
+    let site = RemoteSite::new(SiteSplit::of(&db).remote);
+    let server = site.serve_tcp("127.0.0.1:0").unwrap();
+    let client = SiteClient::new(TcpTransport::new(server.addr()))
+        .with_deadline(Duration::from_millis(300))
+        .with_retry(quick_retries());
+    let mut mgr = DistributedManager::for_local_site(&db, client);
+    register_constraints(&mut mgr);
+
+    // While the remote is up, a full check crosses the wire and resolves.
+    let report = mgr
+        .check_update(&Update::insert("l", tuple![15, 25]))
+        .unwrap();
+    assert_eq!(report.outcome("intervals"), Some(Outcome::Violated));
+    assert!(report.wire.round_trips >= 1);
+    assert!(report.wire.bytes_received > 0);
+
+    // Kill the remote site.
+    server.stop();
+
+    // Full checks now come back Unknown — promptly (bounded by
+    // deadline × attempts), without error or panic.
+    let report = mgr
+        .check_update(&Update::insert("l", tuple![15, 25]))
+        .unwrap();
+    assert_eq!(
+        report.outcome("intervals"),
+        Some(Outcome::Unknown(UnknownCause::RemoteUnavailable))
+    );
+    assert!(report.violations().is_empty());
+    assert_eq!(report.unknowns(), vec!["intervals"]);
+    assert!(
+        report.wire.retries > 0,
+        "retries should be visible: {:?}",
+        report.wire
+    );
+
+    // Stages 1–3 still certify what they can.
+    let report = mgr
+        .check_update(&Update::insert("l", tuple![4, 8]))
+        .unwrap();
+    assert!(matches!(
+        report.outcome("intervals"),
+        Some(Outcome::Holds(Method::LocalTest(_)))
+    ));
+    assert!(report.wire.is_zero());
+}
+
+/// The channel transport behaves identically to TCP for the ladder —
+/// and one full check fetching two remote relations costs one round trip
+/// per relation-batch, not per tuple.
+#[test]
+fn channel_and_tcp_agree_on_the_ladder() {
+    let db = full_db();
+
+    let run = |mut mgr: DistributedManager| {
+        register_constraints(&mut mgr);
+        let safe = mgr
+            .check_update(&Update::insert("l", tuple![4, 8]))
+            .unwrap();
+        let bad = mgr
+            .check_update(&Update::insert("l", tuple![15, 25]))
+            .unwrap();
+        (
+            safe.outcome("intervals").unwrap(),
+            bad.outcome("intervals").unwrap(),
+            mgr.wire_totals(),
+        )
+    };
+
+    let site = RemoteSite::new(SiteSplit::of(&db).remote);
+    let (transport, end) = ChannelTransport::pair();
+    site.serve_channel(end);
+    let by_channel = run(DistributedManager::for_local_site(
+        &db,
+        SiteClient::new(transport),
+    ));
+
+    let site = RemoteSite::new(SiteSplit::of(&db).remote);
+    let server = site.serve_tcp("127.0.0.1:0").unwrap();
+    let by_tcp = run(DistributedManager::for_local_site(
+        &db,
+        SiteClient::new(TcpTransport::new(server.addr())).with_deadline(Duration::from_millis(500)),
+    ));
+    server.stop();
+
+    assert_eq!(by_channel.0, by_tcp.0);
+    assert_eq!(by_channel.1, by_tcp.1);
+    // Identical protocol traffic on both transports.
+    assert_eq!(by_channel.2.requests, by_tcp.2.requests);
+    assert_eq!(by_channel.2.round_trips, by_tcp.2.round_trips);
+    assert_eq!(by_channel.2.bytes_sent, by_tcp.2.bytes_sent);
+    assert_eq!(by_channel.2.bytes_received, by_tcp.2.bytes_received);
+}

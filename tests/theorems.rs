@@ -6,7 +6,7 @@ use ccpi_suite::arith::Solver;
 use ccpi_suite::containment::klug::cqc_contained_in_union_klug;
 use ccpi_suite::containment::subsume::{reduce_containment_to_subsumption, subsumes};
 use ccpi_suite::containment::thm51::cqc_contained_in_union;
-use ccpi_suite::localtest::{complete_local_test, compile_ra, Cqc, DatalogIntervalTest, IcqTest};
+use ccpi_suite::localtest::{compile_ra, complete_local_test, Cqc, DatalogIntervalTest, IcqTest};
 use ccpi_suite::parser::parse_cq;
 use ccpi_suite::prelude::*;
 use ccpi_suite::storage::tuple;
@@ -143,12 +143,15 @@ fn thm53_plan_equals_thm52_randomized() {
                 2,
                 (0..n).map(|_| {
                     tuple![
-                        vals[r.random_range(0..3)],
-                        vals[r.random_range(0..3)]
+                        vals[r.random_range(0..3usize)],
+                        vals[r.random_range(0..3usize)]
                     ]
                 }),
             );
-            let t = tuple![vals[r.random_range(0..3)], vals[r.random_range(0..3)]];
+            let t = tuple![
+                vals[r.random_range(0..3usize)],
+                vals[r.random_range(0..3usize)]
+            ];
             assert_eq!(
                 plan.test(&t, &local).holds(),
                 complete_local_test(&cqc, &t, &local, Solver::dense()).holds(),

@@ -1,0 +1,315 @@
+//! A vendored, dependency-free stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal serialization facility under the `serde` name: a
+//! [`Serialize`] trait writing through a [`json::JsonWriter`], impls for
+//! the std types the workspace serializes, and (behind the `derive`
+//! feature) a `#[derive(Serialize)]` proc macro for structs and enums.
+//!
+//! The JSON dialect matches what real `serde_json` would produce for the
+//! same shapes with serde's default representations: structs become
+//! objects, unit enum variants become strings, newtype/tuple variants
+//! become `{"Variant": value}` objects.
+//!
+//! This is **not** the crates.io `serde`; it exists so the workspace
+//! builds offline. Swap the `[workspace.dependencies]` path back to the
+//! registry version (plus `serde_json`) when network access is available.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Writes `self` into `w` as one JSON value.
+    fn serialize(&self, w: &mut json::JsonWriter);
+}
+
+pub mod json {
+    //! The built-in JSON writer (the `serde_json::to_string` stand-in).
+
+    use super::Serialize;
+
+    /// Serializes any value to a JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut w = JsonWriter::new();
+        value.serialize(&mut w);
+        w.into_string()
+    }
+
+    /// An append-only JSON token writer.
+    ///
+    /// Scalar writers emit raw tokens; containers track their own comma
+    /// placement, so `Serialize` impls never emit separators themselves.
+    pub struct JsonWriter {
+        buf: String,
+        /// One entry per open container: `true` once it has a member.
+        stack: Vec<bool>,
+    }
+
+    impl JsonWriter {
+        /// An empty writer.
+        pub fn new() -> Self {
+            JsonWriter {
+                buf: String::new(),
+                stack: Vec::new(),
+            }
+        }
+
+        /// The accumulated JSON text.
+        pub fn into_string(self) -> String {
+            self.buf
+        }
+
+        /// Opens a JSON object.
+        pub fn begin_object(&mut self) {
+            self.buf.push('{');
+            self.stack.push(false);
+        }
+
+        /// Writes one `"key": value` member of the open object.
+        pub fn field<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) {
+            self.comma();
+            self.push_escaped(key);
+            self.buf.push(':');
+            value.serialize(self);
+        }
+
+        /// Writes the `"key":` prefix of a member whose value the caller
+        /// emits next (used by derived struct-variant impls).
+        pub fn begin_field(&mut self, key: &str) {
+            self.comma();
+            self.push_escaped(key);
+            self.buf.push(':');
+        }
+
+        /// Closes the innermost object.
+        pub fn end_object(&mut self) {
+            self.stack.pop();
+            self.buf.push('}');
+        }
+
+        /// Opens a JSON array.
+        pub fn begin_array(&mut self) {
+            self.buf.push('[');
+            self.stack.push(false);
+        }
+
+        /// Writes one element of the open array.
+        pub fn element<T: Serialize + ?Sized>(&mut self, value: &T) {
+            self.comma();
+            value.serialize(self);
+        }
+
+        /// Closes the innermost array.
+        pub fn end_array(&mut self) {
+            self.stack.pop();
+            self.buf.push(']');
+        }
+
+        /// Writes an escaped JSON string token.
+        pub fn write_str(&mut self, s: &str) {
+            self.push_escaped(s);
+        }
+
+        /// Writes an integer token.
+        pub fn write_i64(&mut self, v: i64) {
+            self.buf.push_str(&v.to_string());
+        }
+
+        /// Writes an unsigned integer token.
+        pub fn write_u64(&mut self, v: u64) {
+            self.buf.push_str(&v.to_string());
+        }
+
+        /// Writes a number token (`null` for non-finite values, as JSON
+        /// has no NaN/Inf).
+        pub fn write_f64(&mut self, v: f64) {
+            if v.is_finite() {
+                self.buf.push_str(&format!("{v}"));
+            } else {
+                self.buf.push_str("null");
+            }
+        }
+
+        /// Writes a boolean token.
+        pub fn write_bool(&mut self, v: bool) {
+            self.buf.push_str(if v { "true" } else { "false" });
+        }
+
+        /// Writes a `null` token.
+        pub fn write_null(&mut self) {
+            self.buf.push_str("null");
+        }
+
+        fn comma(&mut self) {
+            if let Some(has_members) = self.stack.last_mut() {
+                if *has_members {
+                    self.buf.push(',');
+                }
+                *has_members = true;
+            }
+        }
+
+        fn push_escaped(&mut self, s: &str) {
+            self.buf.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => self.buf.push_str("\\\""),
+                    '\\' => self.buf.push_str("\\\\"),
+                    '\n' => self.buf.push_str("\\n"),
+                    '\r' => self.buf.push_str("\\r"),
+                    '\t' => self.buf.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => self.buf.push(c),
+                }
+            }
+            self.buf.push('"');
+        }
+    }
+
+    impl Default for JsonWriter {
+        fn default() -> Self {
+            JsonWriter::new()
+        }
+    }
+}
+
+use json::JsonWriter;
+
+macro_rules! serialize_ints {
+    ($($t:ty => $w:ident),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, w: &mut JsonWriter) {
+                w.$w(*self as _);
+            }
+        }
+    )*};
+}
+
+serialize_ints! {
+    i8 => write_i64, i16 => write_i64, i32 => write_i64, i64 => write_i64,
+    isize => write_i64,
+    u8 => write_u64, u16 => write_u64, u32 => write_u64, u64 => write_u64,
+    usize => write_u64,
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_f64(*self);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_f64(f64::from(*self));
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_bool(*self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_str(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, w: &mut JsonWriter) {
+        (**self).serialize(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        match self {
+            Some(v) => v.serialize(w),
+            None => w.write_null(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for v in self {
+            w.element(v);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        self.as_slice().serialize(w);
+    }
+}
+
+macro_rules! serialize_tuples {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self, w: &mut JsonWriter) {
+                w.begin_array();
+                $(w.element(&self.$n);)+
+                w.end_array();
+            }
+        }
+    )*};
+}
+
+serialize_tuples! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        for (k, v) in self {
+            w.field(k.as_ref(), v);
+        }
+        w.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json;
+
+    #[test]
+    fn scalars_and_collections() {
+        assert_eq!(json::to_string(&42i64), "42");
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json::to_string(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(
+            json::to_string(&vec![("x".to_string(), 1i64)]),
+            "[[\"x\",1]]"
+        );
+        assert_eq!(json::to_string(&Option::<i64>::None), "null");
+    }
+
+    #[test]
+    fn nested_objects_place_commas_correctly() {
+        let mut w = json::JsonWriter::new();
+        w.begin_object();
+        w.field("a", &1i64);
+        w.field("b", &vec![1i64, 2]);
+        w.field("c", &"s");
+        w.end_object();
+        assert_eq!(w.into_string(), "{\"a\":1,\"b\":[1,2],\"c\":\"s\"}");
+    }
+}

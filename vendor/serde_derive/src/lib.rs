@@ -1,0 +1,202 @@
+//! `#[derive(Serialize)]` for the vendored mini-serde.
+//!
+//! Supports what the workspace derives on: non-generic structs with named
+//! fields, and non-generic enums whose variants are unit, tuple (1–3
+//! fields) or struct-like. Parsing is a small hand-rolled scan over the
+//! token stream (no `syn`/`quote` — the build environment is offline), so
+//! unsupported shapes fail with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    /// `None` = unit, `Some(Tuple(n))` or `Some(Named(fields))`.
+    fields: Option<VariantFields>,
+}
+
+enum VariantFields {
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match ident_at(&tokens, i) {
+        Some(k) if k == "struct" || k == "enum" => k,
+        other => {
+            panic!("vendored #[derive(Serialize)] supports only structs and enums, found {other:?}")
+        }
+    };
+    i += 1;
+    let name = ident_at(&tokens, i).unwrap_or_else(|| panic!("expected type name after `{kind}`"));
+    i += 1;
+
+    // Reject generics: the workspace doesn't derive on generic types and
+    // supporting them would complicate the generated impl for no benefit.
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored #[derive(Serialize)] does not support generic types");
+    }
+
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("expected `{{ … }}` body for `{name}`"));
+
+    let code = if kind == "struct" {
+        let fields = parse_named_fields(body);
+        gen_struct(&name, &fields)
+    } else {
+        let variants = parse_variants(body);
+        gen_enum(&name, &variants)
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Skips leading `#[…]` attributes and a `pub` / `pub(…)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Splits a token stream on commas at angle-bracket depth zero. Commas
+/// inside `(…)`/`[…]`/`{…}` are invisible here (those are nested groups).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().unwrap().push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Field names of a named-field body: first identifier of each
+/// comma-separated chunk, after attributes and visibility.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    split_top_level(body)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            ident_at(&chunk, i).unwrap_or_else(|| panic!("expected a named field, got {chunk:?}"))
+        })
+        .collect()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    split_top_level(body)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = ident_at(&chunk, i)
+                .unwrap_or_else(|| panic!("expected a variant name, got {chunk:?}"));
+            let fields = chunk.get(i + 1).and_then(|t| match t {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    Some(VariantFields::Tuple(split_top_level(g.stream()).len()))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    Some(VariantFields::Named(parse_named_fields(g.stream())))
+                }
+                _ => None,
+            });
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+fn gen_struct(name: &str, fields: &[String]) -> String {
+    let mut body = String::from("__w.begin_object();\n");
+    for f in fields {
+        body.push_str(&format!("__w.field(\"{f}\", &self.{f});\n"));
+    }
+    body.push_str("__w.end_object();");
+    wrap_impl(name, &body)
+}
+
+fn gen_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            None => {
+                arms.push_str(&format!("{name}::{vn} => {{ __w.write_str(\"{vn}\"); }}\n"));
+            }
+            Some(VariantFields::Tuple(n)) => {
+                let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let pattern = binders.join(", ");
+                let value = if *n == 1 {
+                    "__f0".to_string()
+                } else {
+                    format!("&({})", binders.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({pattern}) => {{ __w.begin_object(); \
+                     __w.field(\"{vn}\", {value}); __w.end_object(); }}\n"
+                ));
+            }
+            Some(VariantFields::Named(fields)) => {
+                // {"Variant": {"field": …}} — serde's default external
+                // tagging for struct variants.
+                let pattern = fields.join(", ");
+                let mut inner = String::from("__w.begin_object();\n");
+                inner.push_str(&format!("__w.begin_field(\"{vn}\");\n"));
+                inner.push_str("__w.begin_object();\n");
+                for f in fields {
+                    inner.push_str(&format!("__w.field(\"{f}\", {f});\n"));
+                }
+                inner.push_str("__w.end_object();\n__w.end_object();");
+                arms.push_str(&format!("{name}::{vn} {{ {pattern} }} => {{ {inner} }}\n"));
+            }
+        }
+    }
+    wrap_impl(name, &format!("match self {{\n{arms}}}"))
+}
+
+fn wrap_impl(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize(&self, __w: &mut serde::json::JsonWriter) {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
