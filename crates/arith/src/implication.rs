@@ -19,7 +19,8 @@
 //! disjuncts).
 
 use crate::Solver;
-use ccpi_ir::Comparison;
+use ccpi_ir::{CompOp, Comparison, Term};
+use std::collections::{HashMap, HashSet};
 
 /// Decides `premise ⇒ ⋁ disjuncts` under the given solver's domain.
 ///
@@ -38,11 +39,31 @@ pub fn implies_with(solver: Solver, premise: &[Comparison], disjuncts: &[Vec<Com
     // direction of the answer. This keeps the search proportional to the
     // *overlapping* disjuncts — crucial when Theorem 5.2 turns a large
     // local relation into one disjunct per tuple.
+    // Ground-equality prefilter: the premise is satisfiable at this point,
+    // so a variable it equates to a constant can take no other value; a
+    // disjunct equating the same variable to a different constant is
+    // inconsistent with the premise without consulting the solver. This is
+    // the dominant shape Theorem 5.2 produces — every reduction pins the
+    // probed tuple's key columns — so it discharges most of a large union
+    // in a hash lookup per disjunct.
+    let pinned: HashMap<&Term, &Term> = premise.iter().filter_map(var_const_eq).collect();
+    let contradicts_pin = |d: &[Comparison]| {
+        d.iter()
+            .any(|c| var_const_eq(c).is_some_and(|(v, k)| pinned.get(v).is_some_and(|k0| *k0 != k)))
+    };
     let mut order: Vec<&Vec<Comparison>> = Vec::with_capacity(disjuncts.len());
+    let mut seen: HashSet<&Vec<Comparison>> = HashSet::new();
+    let mut both = premise.to_vec();
     for d in disjuncts {
-        let mut both = premise.to_vec();
+        if contradicts_pin(d) {
+            continue;
+        }
+        if !seen.insert(d) {
+            continue; // exact duplicate: covered by its first occurrence
+        }
+        both.truncate(premise.len());
         both.extend_from_slice(d);
-        if solver.sat(&both) && !order.contains(&d) {
+        if solver.sat(&both) {
             order.push(d);
         }
     }
@@ -52,6 +73,19 @@ pub fn implies_with(solver: Solver, premise: &[Comparison], disjuncts: &[Vec<Com
     // Ascending length: small disjuncts branch least and prune earliest.
     order.sort_by_key(|d| d.len());
     refute(solver, premise.to_vec(), &order)
+}
+
+/// `Some((var, const))` when `c` is an equality between a variable and a
+/// constant (either orientation).
+fn var_const_eq(c: &Comparison) -> Option<(&Term, &Term)> {
+    if c.op != CompOp::Eq {
+        return None;
+    }
+    match (&c.lhs, &c.rhs) {
+        (v @ Term::Var(_), k @ Term::Const(_)) => Some((v, k)),
+        (k @ Term::Const(_), v @ Term::Var(_)) => Some((v, k)),
+        _ => None,
+    }
 }
 
 /// Returns `true` iff `conj ∧ ⋀_{D ∈ remaining} ¬D` is unsatisfiable.

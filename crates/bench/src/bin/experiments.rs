@@ -3,8 +3,9 @@
 //!
 //! Usage:
 //! ```text
-//! experiments                # all tables
-//! experiments --table f21    # one table (f21|f41|f42|f61|examples|e1..e8)
+//! experiments                   # all tables
+//! experiments --table f21       # one table (f21|f41|f42|f61|examples|e1..e9)
+//! experiments --table e9 --smoke  # E9 at tiny sizes, no BENCH_joins.json
 //! ```
 
 use ccpi::prelude::*;
@@ -73,6 +74,9 @@ fn main() {
     }
     if want("e8") {
         table_e8();
+    }
+    if want("e9") {
+        table_e9(args.iter().any(|a| a == "--smoke"));
     }
 }
 
@@ -587,6 +591,107 @@ fn table_e8() {
         println!("{}", serde::json::to_string(&report));
     }
 }
+
+/// E9 — check throughput on the employee workload, before/after the
+/// compiled-plan engine. Writes `BENCH_joins.json` at the repo root unless
+/// running in `--smoke` mode (tiny sizes, no file).
+fn table_e9(smoke: bool) {
+    use ccpi_bench::throughput::{measure, ThroughputRow, FULL_SIZES, SMOKE_SIZES};
+
+    heading("E9  Check throughput (checks/sec), employee workload, 3 constraints");
+    let sizes: &[usize] = if smoke { &SMOKE_SIZES } else { &FULL_SIZES };
+    let rows = measure(sizes);
+    let baseline = baseline_rows();
+    println!(
+        "{:<10} {:>16} {:>14} {:>16} {:>14} {:>9}",
+        "|emp|", "full (µs/chk)", "full chk/s", "ladder (µs/chk)", "ladder chk/s", "speedup"
+    );
+    for row in &rows {
+        let speedup = baseline
+            .iter()
+            .find(|b| b.tuples == row.tuples)
+            .map(|b| format!("{:.1}x", b.full_check_us / row.full_check_us))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<10} {:>16.1} {:>14.1} {:>16.1} {:>14.1} {:>9}",
+            row.tuples,
+            row.full_check_us,
+            row.full_checks_per_sec,
+            row.ladder_check_us,
+            row.ladder_checks_per_sec,
+            speedup
+        );
+    }
+    if smoke {
+        println!("(--smoke: tiny sizes, BENCH_joins.json not written)");
+        return;
+    }
+
+    #[derive(serde::Serialize)]
+    struct BenchRun {
+        label: &'static str,
+        rows: Vec<ThroughputRow>,
+    }
+    #[derive(serde::Serialize)]
+    struct BenchFile {
+        bench: &'static str,
+        unit: &'static str,
+        workload: &'static str,
+        baseline: BenchRun,
+        current: BenchRun,
+    }
+    let file = BenchFile {
+        bench: "E9 joins-throughput",
+        unit: "checks/sec through ConstraintManager::check_update",
+        workload: "ccpi-workload emp generator, 50 departments, E6 constraint set \
+                   (referential + pay-floor + pay-ceiling); `full` = all-escalate probe, \
+                   `ladder` = mixed 4-kind update stream",
+        baseline: BenchRun {
+            label: BASELINE_LABEL,
+            rows: baseline,
+        },
+        current: BenchRun {
+            label: "this tree (compiled join plans + shared persistent indexes + \
+                    prepared stage-3 unions + parallel checking)",
+            rows,
+        },
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_joins.json");
+    std::fs::write(path, serde::json::to_string(&file) + "\n").unwrap();
+    println!("\nwrote {path}");
+}
+
+const BASELINE_LABEL: &str =
+    "commit ae0d959 (pre-PR2: interpreted joins, per-instance index caches dropped on clone)";
+
+/// The pre-PR-2 numbers, measured on this harness against the seed engine
+/// (substitution-map joins, `scan_eq` full scans, indexes lost on clone)
+/// before the compiled-plan work landed. Kept inline so every E9 run
+/// re-emits the same baseline next to fresh `current` numbers and future
+/// PRs have a fixed floor to defend.
+fn baseline_rows() -> Vec<ccpi_bench::throughput::ThroughputRow> {
+    use ccpi_bench::throughput::ThroughputRow;
+    BASELINE_RAW
+        .iter()
+        .map(
+            |&(tuples, full_check_us, ladder_check_us, ladder_full_checks)| ThroughputRow {
+                tuples,
+                full_check_us,
+                full_checks_per_sec: 1e6 / full_check_us,
+                ladder_check_us,
+                ladder_checks_per_sec: 1e6 / ladder_check_us,
+                ladder_full_checks,
+            },
+        )
+        .collect()
+}
+
+/// (tuples, full µs/check, ladder µs/check, ladder stage-4 escalations).
+const BASELINE_RAW: [(usize, f64, f64, usize); 3] = [
+    (10_000, 200_202.8, 62_115.6, 28),
+    (100_000, 2_212_468.1, 697_415.5, 28),
+    (1_000_000, 30_286_284.2, 7_996_690.9, 16),
+];
 
 fn time_us(mut f: impl FnMut()) -> f64 {
     // Warm up once; spend fewer iterations on slow operations.

@@ -10,6 +10,8 @@ use ccpi_localtest::Cqc;
 use ccpi_parser::parse_cq;
 use ccpi_storage::{tuple, Database, Locality, Relation};
 
+pub mod throughput;
+
 /// The forbidden-intervals CQC of Example 5.3 (local predicate `l`).
 pub fn forbidden_intervals() -> Cqc {
     let cq = parse_cq("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.").expect("parses");

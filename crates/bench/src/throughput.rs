@@ -1,0 +1,177 @@
+//! E9 — the check-throughput harness behind `BENCH_joins.json`.
+//!
+//! Measures `ConstraintManager::check_update` throughput on the employee
+//! workload at increasing database sizes, separating two regimes:
+//!
+//! * **full** — an insert with a dangling department and an out-of-range
+//!   salary, which no local test can certify: every registered constraint
+//!   escalates to stage 4 (a complete datalog evaluation over the
+//!   post-update database). This is the regime the compiled join plans and
+//!   shared persistent indexes target.
+//! * **ladder** — the mixed [`update_stream`] of inserts and deletes on
+//!   `emp` and `dept`, where most checks are discharged by the cheap
+//!   stages (§3 subsumption, §4 independence, §5–6 local tests) and only
+//!   a minority escalates.
+//!
+//! The same function backs the `experiments --table e9` table (full
+//! sizes, writes `BENCH_joins.json` at the repo root) and the smoke tests
+//! run under `cargo test` (tiny sizes, asserts shape only), so the
+//! committed numbers and the CI-guarded code path are identical.
+
+use ccpi::prelude::{ConstraintManager, Update};
+use ccpi_storage::tuple;
+use ccpi_workload::emp::{database as emp_database, update_stream, EmpConfig};
+use ccpi_workload::rng;
+use std::time::Instant;
+
+/// The three constraints of the E6 pipeline experiment, reused here so
+/// throughput numbers describe the same workload as the method-mix table.
+pub const CONSTRAINTS: [(&str, &str); 3] = [
+    ("referential", "panic :- emp(E,D,S) & not dept(D)."),
+    (
+        "pay-floor",
+        "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.",
+    ),
+    (
+        "pay-ceiling",
+        "panic :- emp(E,D,S) & salRange(D,Low,High) & S > High.",
+    ),
+];
+
+/// One measured database size.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ThroughputRow {
+    /// Employee tuples in the database.
+    pub tuples: usize,
+    /// Mean microseconds per all-constraints-escalate check.
+    pub full_check_us: f64,
+    /// Checks per second in the all-escalate regime.
+    pub full_checks_per_sec: f64,
+    /// Mean microseconds per mixed-stream check.
+    pub ladder_check_us: f64,
+    /// Checks per second on the mixed stream.
+    pub ladder_checks_per_sec: f64,
+    /// Stage-4 escalations observed across the mixed stream (sanity: the
+    /// stream exercises the full-check path too).
+    pub ladder_full_checks: usize,
+}
+
+/// Builds the manager for one size: `n` employees over 50 departments,
+/// referential integrity plus both salary-range constraints registered.
+pub fn manager_at(n: usize) -> ConstraintManager {
+    let cfg = config_at(n);
+    let db = emp_database(&cfg, &mut rng(7));
+    let mut mgr = ConstraintManager::new(db);
+    for (name, src) in CONSTRAINTS {
+        mgr.add_constraint(name, src).unwrap();
+    }
+    mgr
+}
+
+fn config_at(n: usize) -> EmpConfig {
+    EmpConfig {
+        employees: n,
+        departments: 50,
+        dangling_fraction: 0.0,
+        salary_range: (10, 200),
+    }
+}
+
+/// An update that defeats every stage but the full check: the department
+/// does not exist (referential violation) and the salary is below every
+/// range, so no reduction of the current local relation covers it.
+fn escalating_update() -> Update {
+    Update::insert("emp", tuple!["probe", "ghost", 5])
+}
+
+/// Measures one size. `full_reps` repeated all-escalate checks and a
+/// `stream_len`-update mixed stream, both timed end to end.
+pub fn measure_size(n: usize, full_reps: usize, stream_len: usize) -> ThroughputRow {
+    let mut mgr = manager_at(n);
+
+    // Warm one check so first-touch costs (lazy index builds after this
+    // PR; nothing before it) don't dominate the small-rep measurements.
+    let probe = escalating_update();
+    let warm = mgr.check_update(&probe).unwrap();
+    assert_eq!(
+        warm.full_checks,
+        CONSTRAINTS.len(),
+        "the probe update must escalate every constraint to stage 4"
+    );
+
+    let start = Instant::now();
+    for _ in 0..full_reps {
+        let report = mgr.check_update(&probe).unwrap();
+        assert_eq!(report.full_checks, CONSTRAINTS.len());
+    }
+    let full_check_us = start.elapsed().as_secs_f64() * 1e6 / full_reps as f64;
+
+    let stream = update_stream(&config_at(n), &mut rng(11), stream_len);
+    let mut ladder_full_checks = 0usize;
+    let start = Instant::now();
+    for update in &stream {
+        let report = mgr.check_update(update).unwrap();
+        ladder_full_checks += report.full_checks;
+    }
+    let ladder_check_us = start.elapsed().as_secs_f64() * 1e6 / stream.len() as f64;
+
+    ThroughputRow {
+        tuples: n,
+        full_check_us,
+        full_checks_per_sec: 1e6 / full_check_us,
+        ladder_check_us,
+        ladder_checks_per_sec: 1e6 / ladder_check_us,
+        ladder_full_checks,
+    }
+}
+
+/// Runs the harness over `sizes`, scaling repetitions down as databases
+/// grow so the large sizes stay affordable.
+pub fn measure(sizes: &[usize]) -> Vec<ThroughputRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let (reps, stream) = if n <= 10_000 {
+                (10, 40)
+            } else if n <= 100_000 {
+                (5, 40)
+            } else {
+                (2, 20)
+            };
+            measure_size(n, reps, stream)
+        })
+        .collect()
+}
+
+/// The full E9 sizes: 10k / 100k / 1M employee tuples.
+pub const FULL_SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
+
+/// Tiny sizes for the `--smoke` mode and the CI smoke test.
+pub const SMOKE_SIZES: [usize; 2] = [200, 1_000];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The smoke run CI exercises: tiny sizes through the identical code
+    /// path as the committed BENCH_joins.json numbers.
+    #[test]
+    fn smoke_harness_produces_sane_rows() {
+        let rows = measure_size(SMOKE_SIZES[0], 2, 8);
+        assert_eq!(rows.tuples, SMOKE_SIZES[0]);
+        assert!(rows.full_check_us > 0.0);
+        assert!(rows.full_checks_per_sec > 0.0);
+        assert!(rows.ladder_checks_per_sec > 0.0);
+    }
+
+    /// The escalating probe really defeats stages 1–3 for all three
+    /// constraints (otherwise the "full" regime measures the wrong thing).
+    #[test]
+    fn probe_update_escalates_every_constraint() {
+        let mut mgr = manager_at(300);
+        let report = mgr.check_update(&escalating_update()).unwrap();
+        assert_eq!(report.full_checks, CONSTRAINTS.len());
+        // And it is a genuine referential violation.
+        assert!(report.violations().contains(&"referential"));
+    }
+}

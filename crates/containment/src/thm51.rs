@@ -18,6 +18,7 @@ use crate::mapping::containment_mappings;
 use ccpi_arith::Solver;
 use ccpi_ir::rectify::rectify;
 use ccpi_ir::{Comparison, Cq, IrError};
+use std::collections::HashSet;
 
 /// Exact containment `c1 ⊆ c2` for conjunctive queries with arithmetic
 /// comparisons (no negation).
@@ -49,6 +50,97 @@ pub(crate) fn prepare(c1: &Cq, union: &[Cq]) -> Result<(Cq, Vec<Vec<Comparison>>
         }
     }
     Ok((r1, disjuncts))
+}
+
+/// A Theorem 5.1 union test prepared once and probed many times.
+///
+/// The expensive part of [`cqc_contained_in_union`] — rectifying each union
+/// member, renaming it apart, enumerating its containment mappings, and
+/// instantiating its arithmetic — depends on the left-hand side `C₁` only
+/// through its **rectified positive subgoals** (the mapping targets), never
+/// through its comparisons. Theorem 5.2 probes the same union with the
+/// reductions `RED(t)` of many different tuples `t`, and for a fixed CQC
+/// those all rectify to the *same* positives with the same (positional,
+/// deterministic) variable names — only the comparison constants vary. So
+/// the disjuncts can be prepared once per union and reused for every probe,
+/// turning each probe into a single arithmetic implication.
+///
+/// Members are added incrementally ([`PreparedUnion::add_member`]), which
+/// is what lets callers maintain a union alongside an evolving relation.
+/// Structurally identical disjuncts are deduplicated on entry; this is
+/// answer-preserving because the implication's relevance filter already
+/// drops exact duplicates.
+pub struct PreparedUnion {
+    /// Rectification of the probe shape: mapping target for every member.
+    shape: Cq,
+    /// `h(A(Cₘ))` for every member and mapping, first occurrence order.
+    disjuncts: Vec<Vec<Comparison>>,
+    /// Dedup set over `disjuncts`.
+    seen: HashSet<Vec<Comparison>>,
+    /// Members added so far — also the rename-apart counter, so member
+    /// variables never collide across incremental additions.
+    members: usize,
+}
+
+impl PreparedUnion {
+    /// Starts an empty union whose probes will all share `shape_of`'s
+    /// rectified positive subgoals (pass any representative probe, e.g.
+    /// the first `RED(t)` to be tested).
+    pub fn new(shape_of: &Cq) -> Result<Self, IrError> {
+        if !shape_of.is_negation_free() {
+            return Err(IrError::UnexpectedNegation);
+        }
+        Ok(PreparedUnion {
+            shape: rectify(shape_of),
+            disjuncts: Vec::new(),
+            seen: HashSet::new(),
+            members: 0,
+        })
+    }
+
+    /// Adds one union member: rectify, rename apart, enumerate every
+    /// containment mapping into the probe shape, and instantiate the
+    /// member's arithmetic through each.
+    pub fn add_member(&mut self, member: &Cq) -> Result<(), IrError> {
+        if !member.is_negation_free() {
+            return Err(IrError::UnexpectedNegation);
+        }
+        let k = self.members;
+        self.members += 1;
+        let (fresh, _) = rectify(member).freshen(&format!("m{k}_"));
+        for h in containment_mappings(&fresh, &self.shape) {
+            let d: Vec<Comparison> = fresh.comparisons.iter().map(|c| h.apply_cmp(c)).collect();
+            if self.seen.insert(d.clone()) {
+                self.disjuncts.push(d);
+            }
+        }
+        Ok(())
+    }
+
+    /// Members added so far.
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Distinct disjuncts currently held.
+    pub fn disjunct_count(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// Decides `c1 ⊆ ⋃ members`. `c1` **must** rectify to the same positive
+    /// subgoals as the shape this union was prepared for; reductions of a
+    /// fixed CQC always do.
+    pub fn contains(&self, c1: &Cq, solver: Solver) -> Result<bool, IrError> {
+        if !c1.is_negation_free() {
+            return Err(IrError::UnexpectedNegation);
+        }
+        let r1 = rectify(c1);
+        debug_assert_eq!(
+            r1.positives, self.shape.positives,
+            "PreparedUnion probed with a query of a different shape"
+        );
+        Ok(solver.implies(&r1.comparisons, &self.disjuncts))
+    }
 }
 
 /// The number of containment mappings Theorem 5.1 considers for
@@ -191,6 +283,63 @@ mod tests {
             cqc_contained(&p, &n, dense()),
             Err(IrError::UnexpectedNegation)
         ));
+    }
+
+    /// The prepared union answers exactly like the one-shot test, probed
+    /// with reductions of different tuples (same shape, different
+    /// constants) — the reuse Theorem 5.2's cache depends on.
+    #[test]
+    fn prepared_union_matches_one_shot_containment() {
+        let red36 = cq("panic :- r(Z) & 3 <= Z & Z <= 6.");
+        let red510 = cq("panic :- r(Z) & 5 <= Z & Z <= 10.");
+        let mut union = PreparedUnion::new(&cq("panic :- r(Z) & 4 <= Z & Z <= 8.")).unwrap();
+        union.add_member(&red36).unwrap();
+        union.add_member(&red510).unwrap();
+        assert_eq!(union.members(), 2);
+        for probe in [
+            "panic :- r(Z) & 4 <= Z & Z <= 8.",
+            "panic :- r(Z) & 2 <= Z & Z <= 8.",
+            "panic :- r(Z) & 5 <= Z & Z <= 6.",
+            "panic :- r(Z) & 9 <= Z & Z <= 11.",
+        ] {
+            let p = cq(probe);
+            assert_eq!(
+                union.contains(&p, dense()).unwrap(),
+                cqc_contained_in_union(&p, &[red36.clone(), red510.clone()], dense()).unwrap(),
+                "{probe}"
+            );
+        }
+    }
+
+    /// Members can arrive incrementally, and structural duplicates do not
+    /// grow the disjunct set.
+    #[test]
+    fn prepared_union_grows_incrementally_and_dedups() {
+        let probe = cq("panic :- r(Z) & 4 <= Z & Z <= 8.");
+        let mut union = PreparedUnion::new(&probe).unwrap();
+        assert!(!union.contains(&probe, dense()).unwrap());
+        union
+            .add_member(&cq("panic :- r(Z) & 3 <= Z & Z <= 6."))
+            .unwrap();
+        assert!(!union.contains(&probe, dense()).unwrap());
+        union
+            .add_member(&cq("panic :- r(Z) & 5 <= Z & Z <= 10."))
+            .unwrap();
+        assert!(union.contains(&probe, dense()).unwrap());
+        // A repeated member adds no disjuncts (they dedup away).
+        let before = union.disjunct_count();
+        union
+            .add_member(&cq("panic :- r(Z) & 3 <= Z & Z <= 6."))
+            .unwrap();
+        assert_eq!(union.disjunct_count(), before);
+        assert_eq!(union.members(), 3);
+    }
+
+    #[test]
+    fn prepared_union_rejects_negation() {
+        assert!(PreparedUnion::new(&cq("panic :- p(X) & not q(X).")).is_err());
+        let mut union = PreparedUnion::new(&cq("panic :- p(X).")).unwrap();
+        assert!(union.add_member(&cq("panic :- p(X) & not q(X).")).is_err());
     }
 
     #[test]

@@ -4,14 +4,16 @@ use crate::remote::RemoteSource;
 use crate::report::{CheckReport, LocalTestKind, Method, Outcome, UnknownCause};
 use ccpi_arith::Solver;
 use ccpi_containment::subsume::subsumes;
+use ccpi_containment::thm51::PreparedUnion;
 use ccpi_datalog::{DatalogError, Engine};
 use ccpi_ir::class::{classify, ConstraintClass};
 use ccpi_ir::{Constraint, Cq};
-use ccpi_localtest::{compile_ra, complete_local_test_with, Cqc, IcqTest, LocalTestPlan};
+use ccpi_localtest::{compile_ra, extend_union, prepare_union, Cqc, IcqTest, LocalTestPlan};
 use ccpi_parser::ParseError;
 use ccpi_rewrite::independence::independent_of_update;
-use ccpi_storage::{Database, Locality, StorageError, Update};
+use ccpi_storage::{Database, Locality, Relation, StorageError, TupleSnapshot, Update};
 use std::fmt;
+use std::sync::Mutex;
 
 /// Errors from manager operations.
 #[derive(Debug)]
@@ -69,6 +71,22 @@ struct Registered {
     icq: Option<IcqTest>,
     /// §3: subsumed by the other registered constraints.
     subsumed: bool,
+    /// Stage-3 cache: the Theorem 5.2 union (this constraint's reductions
+    /// plus its siblings' over the shared local relation), prepared once
+    /// per relation version and probed by every subsequent check. Interior
+    /// mutability because checks take `&self`; under the parallel checker
+    /// each scoped thread only ever touches its own constraint's slot.
+    union_cache: Mutex<Option<UnionCache>>,
+}
+
+/// One prepared Theorem 5.2 union plus its validity token.
+struct UnionCache {
+    /// Pin of the local relation's tuple set at preparation time. Pointer
+    /// equality against the live relation certifies the union still
+    /// matches the data (any mutation is forced through copy-on-write
+    /// while the pin is held, so stale hits are impossible).
+    snapshot: TupleSnapshot,
+    union: PreparedUnion,
 }
 
 /// The constraint manager: owns the database, registers constraints, and
@@ -77,6 +95,9 @@ pub struct ConstraintManager {
     db: Database,
     solver: Solver,
     constraints: Vec<Registered>,
+    /// `Some(v)` pins parallel checking on/off; `None` decides per call
+    /// (more than one constraint, more than one core, no remote source).
+    parallel_override: Option<bool>,
 }
 
 impl ConstraintManager {
@@ -88,6 +109,7 @@ impl ConstraintManager {
             db,
             solver: Solver::dense(),
             constraints: Vec::new(),
+            parallel_override: None,
         }
     }
 
@@ -98,7 +120,16 @@ impl ConstraintManager {
             db,
             solver,
             constraints: Vec::new(),
+            parallel_override: None,
         }
+    }
+
+    /// Pins parallel checking on or off; `None` restores the default
+    /// (parallel when several constraints are registered and the host has
+    /// more than one core). Checks through a remote source stay sequential
+    /// regardless — their stage-4 hydration mutates shared state.
+    pub fn set_parallel_checking(&mut self, enabled: Option<bool>) {
+        self.parallel_override = enabled;
     }
 
     /// Read access to the database.
@@ -146,7 +177,13 @@ impl ConstraintManager {
             ra_plan,
             icq,
             subsumed: false,
+            union_cache: Mutex::new(None),
         });
+        // A new constraint can contribute reductions to its siblings'
+        // stage-3 unions; any prepared union is now incomplete.
+        for r in &mut self.constraints {
+            *r.union_cache.get_mut().expect("union cache lock poisoned") = None;
+        }
         self.recompute_subsumption();
         Ok(())
     }
@@ -219,57 +256,31 @@ impl ConstraintManager {
         update: &Update,
         mut remote: Option<&mut dyn RemoteSource>,
     ) -> Result<CheckReport, ManagerError> {
+        // Independent constraints can be checked in parallel: stages 1–3
+        // are read-only, and stage 4 runs read-only against a shared
+        // post-update snapshot. The remote path stays sequential — its
+        // stage-4 hydration mutates the local view in place.
+        if remote.is_none() && self.parallel_wanted() {
+            return self.check_update_parallel(update);
+        }
         let mut report = CheckReport::default();
         let stats_before = remote.as_deref().map(|r| r.wire_stats());
         // Remote relations hydrated so far this call: pred → fetch ok?
         let mut hydrated: std::collections::BTreeMap<String, bool> =
             std::collections::BTreeMap::new();
+        // Post-update snapshot, built lazily on the first stage-4
+        // escalation and shared by the rest (reset when hydration changes
+        // the local view it was built from).
+        let mut after: Option<Database> = None;
 
-        // Collect extra reductions per local predicate for the
-        // multi-constraint Theorem 5.2 extension: the other held
-        // constraints' reductions by all tuples of the same local relation.
-        let solver = self.solver;
         let n = self.constraints.len();
         for i in 0..n {
-            // Stage 1 — subsumption.
-            if self.constraints[i].subsumed {
-                report.outcomes.push((
-                    self.constraints[i].name.clone(),
-                    Outcome::Holds(Method::Subsumed),
-                ));
+            // Stages 1–3 (subsumption, independence, complete local test).
+            if let Some(outcome) = self.try_cheap_stages(i, update) {
+                report
+                    .outcomes
+                    .push((self.constraints[i].name.clone(), outcome));
                 continue;
-            }
-
-            // Stage 2 — query independent of update.
-            let others: Vec<Constraint> = self
-                .constraints
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != i)
-                .map(|(_, r)| r.constraint.clone())
-                .collect();
-            let independent =
-                independent_of_update(&self.constraints[i].constraint, &others, update, solver)
-                    .map(|a| a.is_yes())
-                    .unwrap_or(false);
-            if independent {
-                report.outcomes.push((
-                    self.constraints[i].name.clone(),
-                    Outcome::Holds(Method::IndependentOfUpdate),
-                ));
-                continue;
-            }
-
-            // Stage 3 — complete local test (insertions into the
-            // constraint's local relation).
-            if let Update::Insert { pred, tuple } = update {
-                if let Some(kind) = self.try_local_test(i, pred.as_str(), tuple) {
-                    report.outcomes.push((
-                        self.constraints[i].name.clone(),
-                        Outcome::Holds(Method::LocalTest(kind)),
-                    ));
-                    continue;
-                }
             }
 
             // Stage 4 — full check (reads remote data). With a remote
@@ -291,6 +302,9 @@ impl ConstraintManager {
                         None => {
                             let ok = self.hydrate_remote(src, &pred);
                             hydrated.insert(pred.clone(), ok);
+                            // The shared snapshot no longer reflects the
+                            // hydrated local view.
+                            after = None;
                             ok
                         }
                     };
@@ -304,7 +318,7 @@ impl ConstraintManager {
                     continue;
                 }
             }
-            let (outcome, tuples, bytes) = self.full_check(i, update)?;
+            let (outcome, tuples, bytes) = self.full_check(i, update, &mut after)?;
             report.remote_tuples_read += tuples;
             report.remote_bytes_read += bytes;
             report.full_checks += 1;
@@ -329,6 +343,136 @@ impl ConstraintManager {
         Ok(report)
     }
 
+    /// Stages 1–3 of the escalation ladder for constraint `i`, all
+    /// read-only: §3 subsumption, §4 independence of the update, §5–6
+    /// complete local tests. `None` means escalate to a full check.
+    fn try_cheap_stages(&self, i: usize, update: &Update) -> Option<Outcome> {
+        // Stage 1 — subsumption.
+        if self.constraints[i].subsumed {
+            return Some(Outcome::Holds(Method::Subsumed));
+        }
+
+        // Stage 2 — query independent of update.
+        let others: Vec<Constraint> = self
+            .constraints
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, r)| r.constraint.clone())
+            .collect();
+        let independent = independent_of_update(
+            &self.constraints[i].constraint,
+            &others,
+            update,
+            self.solver,
+        )
+        .map(|a| a.is_yes())
+        .unwrap_or(false);
+        if independent {
+            return Some(Outcome::Holds(Method::IndependentOfUpdate));
+        }
+
+        // Stage 3 — complete local test (insertions into the constraint's
+        // local relation).
+        if let Update::Insert { pred, tuple } = update {
+            if let Some(kind) = self.try_local_test(i, pred.as_str(), tuple) {
+                return Some(Outcome::Holds(Method::LocalTest(kind)));
+            }
+        }
+        None
+    }
+
+    /// Should this check fan out across threads?
+    fn parallel_wanted(&self) -> bool {
+        match self.parallel_override {
+            Some(v) => v && self.constraints.len() > 1,
+            // Default: only when threads can actually overlap. On one core
+            // the sequential path is strictly better — it applies/undoes
+            // the update in place instead of snapshotting the database.
+            None => {
+                self.constraints.len() > 1
+                    && std::thread::available_parallelism().map_or(1, |n| n.get()) > 1
+            }
+        }
+    }
+
+    /// Checks every constraint with stage 4 fanned out over scoped
+    /// threads. Outcomes are merged back **in registration order**, so the
+    /// report is byte-identical to the sequential path's.
+    fn check_update_parallel(&mut self, update: &Update) -> Result<CheckReport, ManagerError> {
+        // One shared post-update snapshot; copy-on-write means only the
+        // updated relation's tuple set is physically copied, and the other
+        // relations keep sharing their index caches with `self.db`.
+        let mut after = self.db.clone();
+        after.apply(update)?;
+
+        let n = self.constraints.len();
+        let results: Vec<(Outcome, usize, usize, bool)> = std::thread::scope(|scope| {
+            let after = &after;
+            let this = &*self;
+            let handles: Vec<_> = (0..n)
+                .map(|i| scope.spawn(move || this.check_one_readonly(i, update, after)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("constraint checker thread panicked"))
+                .collect()
+        });
+
+        let mut report = CheckReport::default();
+        for (i, (outcome, tuples, bytes, full)) in results.into_iter().enumerate() {
+            report.remote_tuples_read += tuples;
+            report.remote_bytes_read += bytes;
+            report.full_checks += usize::from(full);
+            report
+                .outcomes
+                .push((self.constraints[i].name.clone(), outcome));
+        }
+        Ok(report)
+    }
+
+    /// One constraint's full ladder without mutating anything: stages 1–3
+    /// against the pre-update database, stage 4 against the shared
+    /// post-update snapshot. Returns the outcome, the remote tuples/bytes
+    /// consulted, and whether stage 4 ran.
+    fn check_one_readonly(
+        &self,
+        i: usize,
+        update: &Update,
+        after: &Database,
+    ) -> (Outcome, usize, usize, bool) {
+        if let Some(outcome) = self.try_cheap_stages(i, update) {
+            return (outcome, 0, 0, false);
+        }
+        // Remote cost accounting matches `full_check`: counted against the
+        // pre-update database.
+        let (tuples, bytes) = self.remote_cost(i);
+        let violated = self.constraints[i].engine.run(after).derives_panic();
+        let outcome = if violated {
+            Outcome::Violated
+        } else {
+            Outcome::Holds(Method::FullCheck)
+        };
+        (outcome, tuples, bytes, true)
+    }
+
+    /// Remote tuples/bytes a full check of constraint `i` consults: every
+    /// remote relation the constraint mentions, in full.
+    fn remote_cost(&self, i: usize) -> (usize, usize) {
+        let mut tuples = 0usize;
+        let mut bytes = 0usize;
+        let program = self.constraints[i].constraint.program();
+        for pred in program.edb_predicates() {
+            if self.db.locality(pred.as_str()) == Some(Locality::Remote) {
+                if let Some(rel) = self.db.relation(pred.as_str()) {
+                    tuples += rel.len();
+                    bytes += rel.iter().map(|t| t.transfer_bytes()).sum::<usize>();
+                }
+            }
+        }
+        (tuples, bytes)
+    }
+
     /// Fetches remote relation `pred` through `src` and installs it into
     /// the database. Returns `false` (instead of erroring) when the fetch
     /// fails or the payload doesn't match the declared shape.
@@ -349,8 +493,92 @@ impl ConstraintManager {
     /// callers who want to reject can consult the report first).
     pub fn process(&mut self, update: &Update) -> Result<CheckReport, ManagerError> {
         let report = self.check_update(update)?;
-        self.db.apply(update)?;
+        // An insert extends each affected Theorem 5.2 union by the new
+        // tuple's reductions, so a cache that is current at apply time can
+        // be maintained incrementally instead of rebuilt from scratch on
+        // the next check. (Deletes shrink unions and simply invalidate:
+        // the snapshot pin makes that automatic.) Currency must be judged
+        // against the pre-apply tuple set.
+        let current: Vec<bool> = match update {
+            Update::Insert { pred, .. } => self.current_union_caches(pred.as_str()),
+            Update::Delete { .. } => Vec::new(),
+        };
+        let changed = self.db.apply(update)?;
+        if changed {
+            if let Update::Insert { pred, tuple } = update {
+                self.extend_union_caches(pred.as_str(), tuple, &current);
+            }
+        }
         Ok(report)
+    }
+
+    /// Which constraints' union caches exist and match `pred`'s current
+    /// tuple set?
+    fn current_union_caches(&self, pred: &str) -> Vec<bool> {
+        let Some(rel) = self.db.relation(pred) else {
+            return vec![false; self.constraints.len()];
+        };
+        self.constraints
+            .iter()
+            .map(|r| {
+                r.union_cache
+                    .lock()
+                    .expect("union cache lock poisoned")
+                    .as_ref()
+                    .is_some_and(|c| c.snapshot.same_as(rel))
+            })
+            .collect()
+    }
+
+    /// After `tuple` was inserted into `pred`, appends its reductions to
+    /// every union cache that was current pre-insert (`current`) and
+    /// re-pins those caches to the post-insert tuple set.
+    fn extend_union_caches(&mut self, pred: &str, tuple: &ccpi_storage::Tuple, current: &[bool]) {
+        let Some(rel) = self.db.relation(pred) else {
+            return;
+        };
+        // The new tuple's reduction under each registered CQC over `pred`.
+        let reds: Vec<Option<Cq>> = self
+            .constraints
+            .iter()
+            .map(|r| {
+                r.cqc
+                    .as_ref()
+                    .filter(|c| c.local_pred().as_str() == pred)
+                    .and_then(|c| c.red(tuple))
+            })
+            .collect();
+        for i in 0..self.constraints.len() {
+            if !current.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let slot = self.constraints[i]
+                .union_cache
+                .get_mut()
+                .expect("union cache lock poisoned");
+            let Some(cache) = slot.as_mut() else {
+                continue;
+            };
+            // Own reduction first, then siblings' in registration order —
+            // the same grouping a from-scratch build uses.
+            let mut ok = true;
+            if let Some(r) = &reds[i] {
+                ok &= cache.union.add_member(r).is_ok();
+            }
+            for (j, red) in reds.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                if let Some(r) = red {
+                    ok &= cache.union.add_member(r).is_ok();
+                }
+            }
+            if ok {
+                cache.snapshot = rel.snapshot();
+            } else {
+                *slot = None;
+            }
+        }
     }
 
     fn try_local_test(
@@ -369,27 +597,19 @@ impl ConstraintManager {
             return None;
         }
         // Multi-constraint extension (Theorem 5.2's "add to the union …
-        // the reductions of the other constraints by all tuples in L").
-        let mut extra: Vec<Cq> = Vec::new();
-        for (j, other) in self.constraints.iter().enumerate() {
-            if j == i {
-                continue;
-            }
-            if let Some(ocqc) = &other.cqc {
-                if ocqc.local_pred().as_str() == pred {
-                    for s in local.iter() {
-                        if let Some(r) = ocqc.red(s) {
-                            extra.push(r);
-                        }
-                    }
-                }
-            }
-        }
+        // the reductions of the other constraints by all tuples in L"):
+        // does any sibling CQC share this local relation?
+        let has_siblings = self.constraints.iter().enumerate().any(|(j, o)| {
+            j != i
+                && o.cqc
+                    .as_ref()
+                    .is_some_and(|c| c.local_pred().as_str() == pred)
+        });
         // With no sibling reductions, the compiled artifacts are complete:
         // a negative answer settles the local test. With siblings, a
         // negative compiled answer may still be rescued by the extended
         // union, so fall through to the containment test.
-        if extra.is_empty() {
+        if !has_siblings {
             if let Some(plan) = &reg.ra_plan {
                 return plan
                     .test(tuple, local)
@@ -414,35 +634,83 @@ impl ConstraintManager {
                 }
             }
         }
-        complete_local_test_with(cqc, tuple, local, &extra, self.solver)
-            .holds()
-            .then_some(LocalTestKind::Containment)
+        // Example 5.4: no reduction — the insertion cannot violate C.
+        let Some(red_t) = cqc.red(tuple) else {
+            return Some(LocalTestKind::Containment);
+        };
+        // The containment test proper, through the prepared-union cache:
+        // reductions of a fixed CQC all share one rectified shape, so the
+        // union's disjuncts are tuple-independent and survive across
+        // checks until the relation itself changes.
+        let mut slot = reg.union_cache.lock().expect("union cache lock poisoned");
+        if !slot.as_ref().is_some_and(|c| c.snapshot.same_as(local)) {
+            *slot = self.build_union_cache(i, cqc, local, &red_t);
+        }
+        // A failed build (impossible for a validated CQC) is conservative:
+        // escalate to a full check.
+        let cache = slot.as_ref()?;
+        match cache.union.contains(&red_t, self.solver) {
+            Ok(true) => Some(LocalTestKind::Containment),
+            _ => None,
+        }
+    }
+
+    /// Prepares constraint `i`'s Theorem 5.2 union over `local`: its own
+    /// reductions first, then each sibling's (registration order), exactly
+    /// the union `complete_local_test_with` would assemble per check.
+    fn build_union_cache(
+        &self,
+        i: usize,
+        cqc: &Cqc,
+        local: &Relation,
+        red_t: &Cq,
+    ) -> Option<UnionCache> {
+        // Pin the tuple set *before* reading it, so a concurrent mutation
+        // (none exist today — checks share `&self` — but cheap insurance)
+        // could only invalidate, never falsely validate.
+        let snapshot = local.snapshot();
+        let mut union = prepare_union(cqc, red_t, local).ok()?;
+        for (j, other) in self.constraints.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let Some(ocqc) = other.cqc.as_ref() else {
+                continue;
+            };
+            if ocqc.local_pred() != cqc.local_pred() {
+                continue;
+            }
+            extend_union(&mut union, ocqc, local).ok()?;
+        }
+        Some(UnionCache { snapshot, union })
     }
 
     /// Full evaluation of the constraint on the post-update database.
+    ///
+    /// Evaluates against a copy-on-write snapshot rather than applying and
+    /// undoing in place: only the updated relation's tuple set is copied,
+    /// the others keep sharing storage and index caches with `self.db`,
+    /// and — crucially — the stage-3 union caches pinned to `self.db`'s
+    /// relations stay valid across the check. The snapshot is built into
+    /// `after` on first use so later escalations in the same check reuse it.
     fn full_check(
         &mut self,
         i: usize,
         update: &Update,
+        after: &mut Option<Database>,
     ) -> Result<(Outcome, usize, usize), ManagerError> {
         // Remote cost: every remote relation the constraint mentions must
         // be consulted.
-        let mut tuples = 0usize;
-        let mut bytes = 0usize;
-        let program = self.constraints[i].constraint.program();
-        for pred in program.edb_predicates() {
-            if self.db.locality(pred.as_str()) == Some(Locality::Remote) {
-                if let Some(rel) = self.db.relation(pred.as_str()) {
-                    tuples += rel.len();
-                    bytes += rel.iter().map(|t| t.transfer_bytes()).sum::<usize>();
-                }
+        let (tuples, bytes) = self.remote_cost(i);
+        let after = match after {
+            Some(db) => db,
+            None => {
+                let mut a = self.db.clone();
+                a.apply(update)?;
+                after.insert(a)
             }
-        }
-        let changed = self.db.apply(update)?;
-        let violated = self.constraints[i].engine.run(&self.db).derives_panic();
-        if changed {
-            self.db.undo(update)?;
-        }
+        };
+        let violated = self.constraints[i].engine.run(after).derives_panic();
         Ok((
             if violated {
                 Outcome::Violated
@@ -612,6 +880,126 @@ mod tests {
         assert!(a.holds() && a.method() != Some(Method::FullCheck), "{a:?}");
     }
 
+    /// Two interval constraints over one local relation: the compiled
+    /// shortcuts can't certify across constraints, so these go through the
+    /// prepared-union containment path (and therefore the cache).
+    fn siblings_mgr(rows: &[(i64, i64)]) -> ConstraintManager {
+        let mut db = Database::new();
+        db.declare("l", 2, Locality::Local).unwrap();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        for &(a, b) in rows {
+            db.insert("l", tuple![a, b]).unwrap();
+        }
+        let mut mgr = ConstraintManager::new(db);
+        mgr.add_constraint("a", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+            .unwrap();
+        mgr.add_constraint("b", "panic :- l(X,Y) & r(Z) & 5 <= Z & Z <= 10 & X <= 5.")
+            .unwrap();
+        mgr
+    }
+
+    /// `process` maintains the prepared union incrementally on inserts:
+    /// a tuple admitted after the cache was built must contribute its
+    /// reductions (own *and* sibling) to later local tests.
+    #[test]
+    fn process_insert_extends_the_union_cache() {
+        let mut mgr = siblings_mgr(&[]);
+        // Build `a`'s cache over the empty relation: nothing covers [5,8],
+        // so this escalates (and holds only because `r` is empty).
+        let r = mgr
+            .check_update(&Update::insert("l", tuple![5, 8]))
+            .unwrap();
+        assert!(matches!(
+            r.outcome("a"),
+            Some(Outcome::Holds(Method::FullCheck))
+        ));
+        // Admit (3,6). `a`'s union gains RED_a((3,6)) = [3,6] and — the
+        // multi-constraint extension — RED_b((3,6)) = [5,10].
+        mgr.process(&Update::insert("l", tuple![3, 6])).unwrap();
+        // [5,8] is covered only through sibling `b`'s reduction.
+        let r = mgr
+            .check_update(&Update::insert("l", tuple![5, 8]))
+            .unwrap();
+        assert!(matches!(
+            r.outcome("a"),
+            Some(Outcome::Holds(Method::LocalTest(
+                LocalTestKind::Containment
+            )))
+        ));
+    }
+
+    /// Deleting the tuple whose reductions covered an insert must
+    /// invalidate the prepared union: a stale cache would certify an
+    /// insert that is no longer safe.
+    #[test]
+    fn process_delete_invalidates_the_union_cache() {
+        let mut mgr = siblings_mgr(&[(3, 6)]);
+        // Warm `a`'s cache: [5,8] covered via sibling `b`'s [5,10].
+        let r = mgr
+            .check_update(&Update::insert("l", tuple![5, 8]))
+            .unwrap();
+        assert!(matches!(
+            r.outcome("a"),
+            Some(Outcome::Holds(Method::LocalTest(
+                LocalTestKind::Containment
+            )))
+        ));
+        // Remove (3,6): `b`'s reduction disappears with it.
+        mgr.process(&Update::delete("l", tuple![3, 6])).unwrap();
+        let r = mgr
+            .check_update(&Update::insert("l", tuple![5, 8]))
+            .unwrap();
+        // No longer locally certifiable: must escalate to stage 4.
+        assert!(matches!(
+            r.outcome("a"),
+            Some(Outcome::Holds(Method::FullCheck))
+        ));
+    }
+
+    /// Differential check: a long-lived manager (whose union caches are
+    /// built once and maintained across updates) reports exactly what a
+    /// from-scratch manager reports at every step of a mixed stream.
+    #[test]
+    fn cached_manager_matches_fresh_manager_across_a_stream() {
+        fn base_db() -> Database {
+            let mut db = Database::new();
+            db.declare("l", 2, Locality::Local).unwrap();
+            db.declare("r", 1, Locality::Remote).unwrap();
+            db
+        }
+        fn managers(db: &Database) -> ConstraintManager {
+            let mut mgr = ConstraintManager::new(db.clone());
+            mgr.add_constraint("a", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+                .unwrap();
+            mgr.add_constraint("b", "panic :- l(X,Y) & r(Z) & 5 <= Z & Z <= 10 & X <= 5.")
+                .unwrap();
+            mgr
+        }
+        let mut live = managers(&base_db());
+        // A deterministic mixed stream of interval inserts and deletes.
+        let mut seed = 0x2545f49_u64;
+        let mut next = move |m: u64| {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) % m
+        };
+        for _ in 0..40 {
+            let (a, w) = (next(12) as i64, next(8) as i64);
+            let t = tuple![a, a + w];
+            let update = if next(4) == 0 {
+                Update::delete("l", t)
+            } else {
+                Update::insert("l", t)
+            };
+            // A fresh manager over the same database has no caches at all.
+            let mut fresh = managers(live.database());
+            let want = fresh.check_update(&update).unwrap();
+            let got = live.process(&update).unwrap();
+            assert_eq!(got, want, "diverged on {update:?}");
+        }
+    }
+
     #[test]
     fn remote_source_hydrates_stage_four() {
         use crate::distributed::SiteSplit;
@@ -719,6 +1107,71 @@ mod tests {
         assert_eq!(report.unknowns(), vec!["intervals"]);
         assert!(report.violations().is_empty());
         assert_eq!(report.full_checks, 0);
+    }
+
+    /// A three-constraint employee schema with enough data that every
+    /// ladder stage is reachable.
+    fn emp_mgr() -> ConstraintManager {
+        let mut db = Database::new();
+        db.declare("emp", 3, Locality::Local).unwrap();
+        db.declare("dept", 1, Locality::Remote).unwrap();
+        db.declare("salRange", 3, Locality::Remote).unwrap();
+        for (e, d, s) in [("ann", "sales", 80i64), ("bob", "toys", 95)] {
+            db.insert("emp", tuple![e, d, s]).unwrap();
+        }
+        for d in ["sales", "toys"] {
+            db.insert("dept", tuple![d]).unwrap();
+            db.insert("salRange", tuple![d, 10, 200]).unwrap();
+        }
+        let mut mgr = ConstraintManager::new(db);
+        mgr.add_constraint("referential", "panic :- emp(E,D,S) & not dept(D).")
+            .unwrap();
+        mgr.add_constraint(
+            "pay-floor",
+            "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.",
+        )
+        .unwrap();
+        mgr.add_constraint(
+            "pay-ceiling",
+            "panic :- emp(E,D,S) & salRange(D,Low,High) & S > High.",
+        )
+        .unwrap();
+        mgr
+    }
+
+    #[test]
+    fn parallel_checking_matches_sequential_reports_exactly() {
+        let updates = [
+            Update::insert("emp", tuple!["carol", "sales", 50]), // holds
+            Update::insert("emp", tuple!["dave", "ghost", 50]),  // referential violation
+            Update::insert("emp", tuple!["erin", "toys", 5]),    // pay-floor violation
+            Update::insert("emp", tuple!["erin", "toys", 500]),  // pay-ceiling violation
+            Update::insert("dept", tuple!["garden"]),            // independent
+            Update::delete("emp", tuple!["ann", "sales", 80]),   // deletion
+        ];
+        let mut seq = emp_mgr();
+        seq.set_parallel_checking(Some(false));
+        let mut par = emp_mgr();
+        par.set_parallel_checking(Some(true));
+        for u in &updates {
+            let a = seq.check_update(u).unwrap();
+            let b = par.check_update(u).unwrap();
+            assert_eq!(a, b, "reports diverge on {u:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_checking_leaves_the_database_untouched() {
+        let mut mgr = emp_mgr();
+        mgr.set_parallel_checking(Some(true));
+        let before = mgr.database().total_tuples();
+        let report = mgr
+            .check_update(&Update::insert("emp", tuple!["dave", "ghost", 50]))
+            .unwrap();
+        assert_eq!(report.violations(), vec!["referential"]);
+        assert_eq!(report.full_checks, 3);
+        assert!(report.remote_tuples_read > 0);
+        assert_eq!(mgr.database().total_tuples(), before);
     }
 
     #[test]

@@ -166,7 +166,7 @@ impl fmt::Display for WireStats {
 }
 
 /// The result of checking one update against every registered constraint.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct CheckReport {
     /// Per-constraint outcomes, in registration order.

@@ -1,8 +1,9 @@
 //! The semi-naive engine and its public API.
 
-use crate::join::{eval_rule, Store};
+use crate::join::Store;
+use crate::plan::JoinPlan;
 use crate::stratify::{stratify, NotStratifiable, Strata};
-use ccpi_ir::{safety, Constraint, IrError, Program, Rule, Sym, PANIC};
+use ccpi_ir::{safety, Constraint, IrError, Program, Sym, PANIC};
 use ccpi_storage::{Database, Relation};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -79,23 +80,32 @@ impl Output {
 }
 
 /// A validated, stratified datalog program ready to evaluate.
+///
+/// Each rule is compiled **once**, here, into a [`JoinPlan`]: dense
+/// variable slots, a fixed subgoal order, guards attached to their
+/// earliest fully-bound level, and probe columns chosen ahead of time.
+/// `run` then only walks the precompiled plans.
 pub struct Engine {
     program: Program,
     strata: Strata,
     sig: BTreeMap<Sym, usize>,
+    /// One plan per rule, parallel to `program.rules`.
+    plans: Vec<JoinPlan>,
 }
 
 impl Engine {
     /// Validates the program: consistent predicate arities, safe rules,
-    /// stratified negation.
+    /// stratified negation. Then compiles every rule into a join plan.
     pub fn new(program: Program) -> Result<Self, DatalogError> {
         let sig = program.signature()?;
         safety::check_program(&program)?;
         let strata = stratify(&program)?;
+        let plans = program.rules.iter().map(JoinPlan::compile).collect();
         Ok(Engine {
             program,
             strata,
             sig,
+            plans,
         })
     }
 
@@ -127,28 +137,27 @@ impl Engine {
         }
 
         for level in 0..self.strata.count {
-            let rules: Vec<&Rule> = self
-                .program
-                .rules
-                .iter()
-                .filter(|r| self.strata.level[&r.head.pred] == level)
+            let rule_ids: Vec<usize> = (0..self.program.rules.len())
+                .filter(|&i| self.strata.level[&self.program.rules[i].head.pred] == level)
                 .collect();
             let here: Vec<Sym> = self.strata.preds_at(level);
-            self.eval_stratum(&rules, &here, &mut full);
+            self.eval_stratum(&rule_ids, &here, &mut full);
         }
         Output::from_store(full, idb)
     }
 
-    /// Semi-naive fixpoint for one stratum.
-    fn eval_stratum(&self, rules: &[&Rule], here: &[Sym], full: &mut Store) {
+    /// Semi-naive fixpoint for one stratum. `rule_ids` index both
+    /// `program.rules` and the parallel `plans`.
+    fn eval_stratum(&self, rule_ids: &[usize], here: &[Sym], full: &mut Store) {
         // Initialization: evaluate every rule once against the current
         // store (recursive predicates are still empty or partially filled
         // by earlier strata — here always empty since IDB is per-stratum).
         let mut delta = Store::default();
-        for rule in rules {
+        for &id in rule_ids {
+            let rule = &self.program.rules[id];
             let arity = self.sig[&rule.head.pred];
             let mut fresh: Vec<ccpi_storage::Tuple> = Vec::new();
-            eval_rule(rule, full, None, &mut |t| fresh.push(t));
+            self.plans[id].eval(full, None, &mut |t| fresh.push(t));
             for t in fresh {
                 if full.insert(&rule.head.pred, arity, t.clone()) {
                     delta.insert(&rule.head.pred, arity, t);
@@ -160,7 +169,9 @@ impl Engine {
         // come from the previous round's delta.
         loop {
             let mut next_delta = Store::default();
-            for rule in rules {
+            for &id in rule_ids {
+                let rule = &self.program.rules[id];
+                let plan = &self.plans[id];
                 let arity = self.sig[&rule.head.pred];
                 let rec_positions: Vec<usize> = rule
                     .positive_subgoals()
@@ -168,9 +179,10 @@ impl Engine {
                     .filter(|(_, a)| here.contains(&a.pred))
                     .map(|(i, _)| i)
                     .collect();
+                debug_assert!(rec_positions.iter().all(|&p| p < plan.positive_count()));
                 for &pos in &rec_positions {
                     let mut fresh: Vec<ccpi_storage::Tuple> = Vec::new();
-                    eval_rule(rule, full, Some((&delta, pos)), &mut |t| fresh.push(t));
+                    plan.eval(full, Some((&delta, pos)), &mut |t| fresh.push(t));
                     for t in fresh {
                         if !full.contains(&rule.head.pred, &t) {
                             next_delta.insert(&rule.head.pred, arity, t);

@@ -16,12 +16,17 @@ impl Store {
         self.rels.get(name)
     }
 
-    /// Inserts a tuple, creating the relation on demand.
+    /// Inserts a tuple, creating the relation on demand. The common case —
+    /// the relation already exists — avoids cloning the `Sym` key.
     pub(crate) fn insert(&mut self, name: &Sym, arity: usize, t: Tuple) -> bool {
-        self.rels
-            .entry(name.clone())
-            .or_insert_with(|| Relation::new(arity))
-            .insert(t)
+        match self.rels.get_mut(name) {
+            Some(rel) => rel.insert(t),
+            None => self
+                .rels
+                .entry(name.clone())
+                .or_insert_with(|| Relation::new(arity))
+                .insert(t),
+        }
     }
 
     pub(crate) fn contains(&self, name: &Sym, t: &Tuple) -> bool {

@@ -33,6 +33,7 @@
 mod engine;
 mod join;
 pub mod naive;
+mod plan;
 mod stratify;
 
 pub use engine::{constraint_violated, DatalogError, Engine, Output};

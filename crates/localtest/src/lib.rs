@@ -32,7 +32,9 @@ pub mod thm52;
 pub mod thm53;
 
 pub use cqc::{Cqc, CqcError};
-pub use thm52::{complete_local_test, complete_local_test_with, LocalTestResult};
+pub use thm52::{
+    complete_local_test, complete_local_test_with, extend_union, prepare_union, LocalTestResult,
+};
 pub use thm53::{compile_ra, LocalTestPlan};
 
 pub use icq::{DatalogIntervalTest, IcqTest};

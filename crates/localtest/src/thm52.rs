@@ -19,8 +19,8 @@
 
 use crate::cqc::Cqc;
 use ccpi_arith::Solver;
-use ccpi_containment::thm51::cqc_contained_in_union;
-use ccpi_ir::Cq;
+use ccpi_containment::thm51::PreparedUnion;
+use ccpi_ir::{Cq, IrError};
 use ccpi_storage::{Relation, Tuple};
 
 /// The verdict of a complete local test.
@@ -66,20 +66,47 @@ pub fn complete_local_test_with(
         // Example 5.4: no reduction — the insertion cannot violate C.
         return LocalTestResult::Holds;
     };
-    let mut union: Vec<Cq> = Vec::with_capacity(local.len() + extra_reductions.len());
-    for s in local.iter() {
-        if let Some(r) = cqc.red(s) {
-            union.push(r);
+    let decide = || -> Result<bool, IrError> {
+        let mut union = prepare_union(cqc, &red_t, local)?;
+        for r in extra_reductions {
+            union.add_member(r)?;
         }
-    }
-    union.extend_from_slice(extra_reductions);
-    match cqc_contained_in_union(&red_t, &union, solver) {
+        union.contains(&red_t, solver)
+    };
+    match decide() {
         Ok(true) => LocalTestResult::Holds,
         Ok(false) => LocalTestResult::Unknown,
         // Validation failures cannot happen for a validated CQC; be
         // conservative if they somehow do.
         Err(_) => LocalTestResult::Unknown,
     }
+}
+
+/// Prepares the Theorem 5.2 union `⋃_{s∈L} RED(s,l,C)` for probing with
+/// reductions of insertions into `local`. `shape_of` is any representative
+/// reduction of `cqc` (reductions of a fixed CQC all share one rectified
+/// shape, which is what makes the prepared union reusable across probes).
+///
+/// Callers that keep the result alongside the relation (see
+/// `ccpi::ConstraintManager`) can extend it with
+/// [`PreparedUnion::add_member`] as tuples are inserted instead of
+/// re-preparing per check.
+pub fn prepare_union(cqc: &Cqc, shape_of: &Cq, local: &Relation) -> Result<PreparedUnion, IrError> {
+    let mut union = PreparedUnion::new(shape_of)?;
+    extend_union(&mut union, cqc, local)?;
+    Ok(union)
+}
+
+/// Adds `RED(s,l,C)` for every `s` in `local` to an existing prepared
+/// union — Theorem 5.2's multi-constraint extension adds *other* held
+/// constraints' reductions this way.
+pub fn extend_union(union: &mut PreparedUnion, cqc: &Cqc, local: &Relation) -> Result<(), IrError> {
+    for s in local.iter() {
+        if let Some(r) = cqc.red(s) {
+            union.add_member(&r)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -362,9 +362,9 @@ mod proptests {
             for u in &updates {
                 let _ = db.apply(u).unwrap();
             }
-            let rel = db.relation_mut("p").unwrap();
+            let rel = db.relation("p").unwrap();
             let val = ccpi_ir::Value::int(probe);
-            let mut indexed: Vec<Tuple> = rel.lookup(0, &val).to_vec();
+            let mut indexed: Vec<Tuple> = rel.probe(0, &val).as_slice().to_vec();
             indexed.sort();
             let mut scanned: Vec<Tuple> =
                 rel.iter().filter(|t| t[0] == val).cloned().collect();

@@ -17,7 +17,7 @@ mod update;
 pub mod wirefmt;
 
 pub use database::{Database, Locality, RelationDecl, StorageError};
-pub use relation::Relation;
+pub use relation::{Candidates, Relation, TupleSnapshot};
 pub use tuple::Tuple;
 pub use update::Update;
 

@@ -1,9 +1,29 @@
-//! Relations: sets of same-arity tuples with lazy per-column hash indexes.
+//! Relations: sets of same-arity tuples with shared, persistent,
+//! lazily-built per-column indexes.
 
 use crate::tuple::Tuple;
 use ccpi_ir::Value;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+
+/// A bucket of tuples sharing one column value, kept in sorted order so
+/// membership/removal is a binary search and iteration stays deterministic.
+/// Buckets sit behind an `Arc` so a lookup can hand out a borrowable handle
+/// ([`Candidates`]) without cloning any tuple.
+type Bucket = Arc<Vec<Tuple>>;
+
+/// One column's index: value → sorted bucket of tuples with that value.
+type ColumnIndex = HashMap<Value, Bucket>;
+
+/// The shared index cache: column → its (lazily built) index.
+///
+/// Lives behind `Arc<RwLock<…>>` on each relation. Clones share the cache;
+/// a mutation detaches the mutating side first (see
+/// [`Relation::writable_indexes`]), so sharers always agree with their
+/// tuple storage. The `RwLock` makes lazy builds possible through `&self`,
+/// which is what lets the join evaluator and parallel constraint checks
+/// probe indexes on shared snapshots.
+type IndexCache = Arc<RwLock<HashMap<usize, ColumnIndex>>>;
 
 /// A relation instance: a set of tuples of a fixed arity.
 ///
@@ -12,30 +32,87 @@ use std::sync::Arc;
 /// through lazily built hash indexes that are maintained incrementally once
 /// built.
 ///
-/// The tuple set sits behind an `Arc` with copy-on-write semantics:
-/// cloning a relation (and therefore a whole [`Database`](crate::Database),
-/// or taking a `SiteSplit` local view in `ccpi`) is O(1) and shares
-/// storage; the first mutation of a shared relation pays for one copy of
-/// the affected relation only. Index caches are per-instance and are *not*
-/// carried over by `clone` — they rebuild lazily on first lookup.
+/// Both the tuple set and the index cache sit behind `Arc`s with
+/// copy-on-write semantics: cloning a relation (and therefore a whole
+/// [`Database`](crate::Database), or taking a `SiteSplit` local view in
+/// `ccpi`) is O(1), shares storage, **and keeps the indexes** — a clone
+/// that only reads answers point lookups at full speed immediately. The
+/// first mutation of a shared relation pays for one copy of the affected
+/// tuple set and detaches from the shared cache (sharers keep theirs);
+/// an unshared relation maintains its indexes incrementally in place.
 #[derive(Default)]
 pub struct Relation {
     arity: usize,
     tuples: Arc<BTreeSet<Tuple>>,
-    /// column → (value → tuples with that value in the column).
-    indexes: HashMap<usize, HashMap<Value, Vec<Tuple>>>,
+    indexes: IndexCache,
 }
 
 impl Clone for Relation {
-    /// O(1): shares the tuple set; drops the (lazily rebuildable) index
-    /// caches instead of deep-copying them.
+    /// O(1): shares the tuple set *and* the index cache. Indexes built by
+    /// either side benefit both until one of them mutates.
     fn clone(&self) -> Self {
         Relation {
             arity: self.arity,
             tuples: Arc::clone(&self.tuples),
-            indexes: HashMap::new(),
+            indexes: Arc::clone(&self.indexes),
         }
     }
+}
+
+/// A borrowable set of tuples matching a point lookup, returned by
+/// [`Relation::probe`]. Holds the index bucket alive; `as_slice` borrows
+/// the tuples without cloning them.
+#[derive(Clone, Debug, Default)]
+pub struct Candidates(Option<Bucket>);
+
+impl Candidates {
+    /// The matching tuples, in sorted order (empty when none match).
+    pub fn as_slice(&self) -> &[Tuple] {
+        self.0.as_deref().map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of matching tuples.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` when nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Iterates over the matching tuples by reference.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Candidates {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Inserts `t` into a sorted bucket, keeping order (no-op if present —
+/// callers only insert fresh tuples).
+fn bucket_insert(bucket: &mut Bucket, t: &Tuple) {
+    let b = Arc::make_mut(bucket);
+    if let Err(pos) = b.binary_search(t) {
+        b.insert(pos, t.clone());
+    }
+}
+
+/// Removes `t` from a sorted bucket by binary search; returns `true` when
+/// the bucket is left empty.
+fn bucket_remove(bucket: &mut Bucket, t: &Tuple) -> bool {
+    let b = Arc::make_mut(bucket);
+    if let Ok(pos) = b.binary_search(t) {
+        b.remove(pos);
+    }
+    b.is_empty()
 }
 
 impl Relation {
@@ -44,7 +121,7 @@ impl Relation {
         Relation {
             arity,
             tuples: Arc::new(BTreeSet::new()),
-            indexes: HashMap::new(),
+            indexes: Arc::default(),
         }
     }
 
@@ -77,6 +154,23 @@ impl Relation {
         self.tuples.contains(t)
     }
 
+    /// Pre-mutation hook for the index cache: when this relation is the
+    /// cache's sole owner the caller may maintain the indexes in place
+    /// (`Some`); when the cache is shared with clones, this relation
+    /// detaches onto a fresh empty cache (rebuilt lazily on next probe)
+    /// and the sharers keep the old one, which still matches *their*
+    /// unchanged tuple sets (`None`).
+    fn writable_indexes(&mut self) -> Option<&mut HashMap<usize, ColumnIndex>> {
+        if Arc::get_mut(&mut self.indexes).is_some() {
+            // Re-borrow through the Arc to work around the borrow checker
+            // (get_mut twice is fine: we hold the only strong reference).
+            Arc::get_mut(&mut self.indexes).map(|lock| lock.get_mut().expect("index lock poisoned"))
+        } else {
+            self.indexes = IndexCache::default();
+            None
+        }
+    }
+
     /// Inserts a tuple; returns `true` if it was new.
     ///
     /// # Panics
@@ -91,8 +185,10 @@ impl Relation {
         );
         let fresh = Arc::make_mut(&mut self.tuples).insert(t.clone());
         if fresh {
-            for (col, index) in &mut self.indexes {
-                index.entry(t[*col].clone()).or_default().push(t.clone());
+            if let Some(indexes) = self.writable_indexes() {
+                for (col, index) in indexes.iter_mut() {
+                    bucket_insert(index.entry(t[*col].clone()).or_default(), &t);
+                }
             }
         }
         fresh
@@ -102,11 +198,12 @@ impl Relation {
     pub fn remove(&mut self, t: &Tuple) -> bool {
         let had = Arc::make_mut(&mut self.tuples).remove(t);
         if had {
-            for (col, index) in &mut self.indexes {
-                if let Some(bucket) = index.get_mut(&t[*col]) {
-                    bucket.retain(|u| u != t);
-                    if bucket.is_empty() {
-                        index.remove(&t[*col]);
+            if let Some(indexes) = self.writable_indexes() {
+                for (col, index) in indexes.iter_mut() {
+                    if let Some(bucket) = index.get_mut(&t[*col]) {
+                        if bucket_remove(bucket, t) {
+                            index.remove(&t[*col]);
+                        }
                     }
                 }
             }
@@ -119,31 +216,48 @@ impl Relation {
         self.tuples.iter()
     }
 
-    /// All tuples whose component `col` equals `value`, via the (lazily
-    /// built) column index.
-    pub fn lookup(&mut self, col: usize, value: &Value) -> &[Tuple] {
+    /// Point lookup through the shared index: all tuples whose component
+    /// `col` equals `value`, as a borrowable [`Candidates`] handle — no
+    /// tuple is cloned. Builds the column index on first use (`&self`:
+    /// interior mutability through the cache lock), after which the index
+    /// persists across [`clone`](Clone::clone)s and is maintained
+    /// incrementally by [`insert`](Relation::insert) and
+    /// [`remove`](Relation::remove).
+    pub fn probe(&self, col: usize, value: &Value) -> Candidates {
         assert!(col < self.arity, "column {col} out of range");
-        let index = self.indexes.entry(col).or_insert_with(|| {
-            let mut idx: HashMap<Value, Vec<Tuple>> = HashMap::new();
+        {
+            let cache = self.indexes.read().expect("index lock poisoned");
+            if let Some(index) = cache.get(&col) {
+                return Candidates(index.get(value).cloned());
+            }
+        }
+        let mut cache = self.indexes.write().expect("index lock poisoned");
+        // Double-checked: another thread may have built it between locks.
+        let index = cache.entry(col).or_insert_with(|| {
+            let mut idx: ColumnIndex = HashMap::new();
             for t in self.tuples.iter() {
-                idx.entry(t[col].clone()).or_default().push(t.clone());
+                // BTreeSet iteration is sorted, so buckets come out sorted.
+                Arc::make_mut(idx.entry(t[col].clone()).or_default()).push(t.clone());
             }
             idx
         });
-        index.get(value).map(Vec::as_slice).unwrap_or(&[])
+        Candidates(index.get(value).cloned())
     }
 
-    /// Non-mutating point lookup: uses the index when already built, falls
-    /// back to a scan otherwise.
+    /// Point lookup returning owned tuples. Compatibility wrapper over
+    /// [`probe`](Relation::probe) — prefer `probe` in hot paths, it does
+    /// not clone the matching tuples.
     pub fn scan_eq(&self, col: usize, value: &Value) -> Vec<Tuple> {
-        if let Some(index) = self.indexes.get(&col) {
-            return index.get(value).cloned().unwrap_or_default();
-        }
-        self.tuples
-            .iter()
-            .filter(|t| &t[col] == value)
-            .cloned()
-            .collect()
+        self.probe(col, value).as_slice().to_vec()
+    }
+
+    /// `true` when the column index for `col` is currently materialized
+    /// (test/diagnostic aid for the laziness and persistence guarantees).
+    pub fn has_index(&self, col: usize) -> bool {
+        self.indexes
+            .read()
+            .expect("index lock poisoned")
+            .contains_key(&col)
     }
 
     /// Removes all tuples.
@@ -151,9 +265,9 @@ impl Relation {
         if self.tuples.is_empty() {
             return;
         }
-        // Start fresh rather than CoW-copying a set we are about to empty.
+        // Start fresh rather than CoW-copying state we are about to empty.
         self.tuples = Arc::new(BTreeSet::new());
-        self.indexes.clear();
+        self.indexes = IndexCache::default();
     }
 
     /// `true` when both relations share the same underlying tuple storage
@@ -161,6 +275,41 @@ impl Relation {
     /// for the O(1)-clone guarantee.
     pub fn shares_storage_with(&self, other: &Relation) -> bool {
         Arc::ptr_eq(&self.tuples, &other.tuples)
+    }
+
+    /// `true` when both relations share the same index cache (clones that
+    /// neither side has mutated since). Test/diagnostic aid for the
+    /// index-survives-clone guarantee.
+    pub fn shares_indexes_with(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.indexes, &other.indexes)
+    }
+
+    /// Pins the relation's current tuple set. While the snapshot is alive,
+    /// any mutation of this relation (or a clone sharing its storage) goes
+    /// through copy-on-write and leaves the pinned set behind, so
+    /// [`TupleSnapshot::same_as`] certifies by pointer equality that a
+    /// relation still holds exactly the snapshotted contents. Derived
+    /// artifacts (e.g. the manager's stage-3 union caches) use this as a
+    /// zero-cost validity token.
+    pub fn snapshot(&self) -> TupleSnapshot {
+        TupleSnapshot(Arc::clone(&self.tuples))
+    }
+}
+
+/// An owned pin of a relation's tuple set at one moment in time; see
+/// [`Relation::snapshot`].
+#[derive(Clone)]
+pub struct TupleSnapshot(Arc<BTreeSet<Tuple>>);
+
+impl TupleSnapshot {
+    /// `true` iff `rel` still holds exactly the snapshotted tuple set.
+    ///
+    /// Sound because every [`Relation`] mutation goes through
+    /// `Arc::make_mut`: while this snapshot holds a reference, a mutation
+    /// is forced to copy first, and the pinned allocation can never be
+    /// reused for different contents.
+    pub fn same_as(&self, rel: &Relation) -> bool {
+        Arc::ptr_eq(&self.0, &rel.tuples)
     }
 }
 
@@ -235,9 +384,11 @@ mod tests {
         r.insert(tuple!["a", 1]);
         r.insert(tuple!["a", 2]);
         r.insert(tuple!["b", 3]);
-        let hits = r.lookup(0, &ccpi_ir::Value::str("a"));
+        assert!(!r.has_index(0));
+        let hits = r.probe(0, &ccpi_ir::Value::str("a"));
         assert_eq!(hits.len(), 2);
-        let hits = r.lookup(0, &ccpi_ir::Value::str("c"));
+        assert!(r.has_index(0));
+        let hits = r.probe(0, &ccpi_ir::Value::str("c"));
         assert!(hits.is_empty());
     }
 
@@ -246,13 +397,29 @@ mod tests {
         let mut r = Relation::new(2);
         r.insert(tuple!["a", 1]);
         // Build the index…
-        assert_eq!(r.lookup(0, &ccpi_ir::Value::str("a")).len(), 1);
-        // …then mutate and re-query.
+        assert_eq!(r.probe(0, &ccpi_ir::Value::str("a")).len(), 1);
+        // …then mutate and re-query: maintained in place, not rebuilt.
         r.insert(tuple!["a", 2]);
-        assert_eq!(r.lookup(0, &ccpi_ir::Value::str("a")).len(), 2);
+        assert!(r.has_index(0));
+        assert_eq!(r.probe(0, &ccpi_ir::Value::str("a")).len(), 2);
         r.remove(&tuple!["a", 1]);
-        assert_eq!(r.lookup(0, &ccpi_ir::Value::str("a")).len(), 1);
+        assert_eq!(r.probe(0, &ccpi_ir::Value::str("a")).len(), 1);
         assert_eq!(r.scan_eq(0, &ccpi_ir::Value::str("a")).len(), 1);
+    }
+
+    #[test]
+    fn bucket_stays_sorted_under_mutation() {
+        let mut r = Relation::new(2);
+        for k in [5i64, 1, 9, 3, 7] {
+            r.insert(tuple!["a", k]);
+        }
+        let _ = r.probe(0, &ccpi_ir::Value::str("a")); // build
+        r.insert(tuple!["a", 4]);
+        r.insert(tuple!["a", 0]);
+        r.remove(&tuple!["a", 5]);
+        let hits = r.probe(0, &ccpi_ir::Value::str("a"));
+        let got: Vec<i64> = hits.iter().map(|t| t[1].as_int().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 3, 4, 7, 9]);
     }
 
     #[test]
@@ -269,7 +436,7 @@ mod tests {
         a.insert(tuple![1]);
         let mut b = Relation::new(1);
         b.insert(tuple![1]);
-        let _ = a.lookup(0, &ccpi_ir::Value::int(1)); // builds an index in a only
+        let _ = a.probe(0, &ccpi_ir::Value::int(1)); // builds an index in a only
         assert_eq!(a, b);
     }
 
@@ -289,15 +456,62 @@ mod tests {
     }
 
     #[test]
-    fn cloned_relation_rebuilds_indexes_lazily() {
+    fn clone_keeps_indexes_until_either_side_mutates() {
         let mut r = Relation::new(2);
         r.insert(tuple!["a", 1]);
         r.insert(tuple!["a", 2]);
-        let _ = r.lookup(0, &ccpi_ir::Value::str("a")); // build an index
-        let mut c = r.clone();
-        // The clone dropped the cache but answers identically.
-        assert_eq!(c.lookup(0, &ccpi_ir::Value::str("a")).len(), 2);
+        let _ = r.probe(0, &ccpi_ir::Value::str("a")); // build an index
+        let c = r.clone();
+        // The clone carries the cache: no rebuild, shared storage.
+        assert!(c.shares_indexes_with(&r));
+        assert!(c.has_index(0));
+        assert_eq!(c.probe(0, &ccpi_ir::Value::str("a")).len(), 2);
         assert_eq!(c.scan_eq(1, &ccpi_ir::Value::int(1)).len(), 1);
+    }
+
+    #[test]
+    fn index_built_through_one_clone_is_visible_to_the_other() {
+        let mut r = Relation::new(2);
+        r.insert(tuple!["a", 1]);
+        let c = r.clone();
+        // Build through the clone…
+        assert_eq!(c.probe(0, &ccpi_ir::Value::str("a")).len(), 1);
+        // …the original sees the same materialized index.
+        assert!(r.has_index(0));
+        assert!(r.shares_indexes_with(&c));
+    }
+
+    #[test]
+    fn mutating_one_clone_detaches_its_cache_and_preserves_the_others() {
+        let mut r = Relation::new(2);
+        r.insert(tuple!["a", 1]);
+        r.insert(tuple!["b", 2]);
+        let _ = r.probe(0, &ccpi_ir::Value::str("a"));
+        let mut c = r.clone();
+        c.insert(tuple!["a", 3]);
+        // The mutated clone detached (lazily rebuilds)…
+        assert!(!c.shares_indexes_with(&r));
+        assert_eq!(c.probe(0, &ccpi_ir::Value::str("a")).len(), 2);
+        // …while the original still answers from its intact cache.
+        assert!(r.has_index(0));
+        assert_eq!(r.probe(0, &ccpi_ir::Value::str("a")).len(), 1);
+        // And each side's answers agree with a fresh scan of its tuples.
+        assert_eq!(r.iter().filter(|t| t[0] == "a".into()).count(), 1);
+        assert_eq!(c.iter().filter(|t| t[0] == "a".into()).count(), 2);
+    }
+
+    #[test]
+    fn candidates_borrow_and_survive_source_mutation() {
+        let mut r = Relation::new(2);
+        r.insert(tuple!["a", 1]);
+        r.insert(tuple!["a", 2]);
+        let hits = r.probe(0, &ccpi_ir::Value::str("a"));
+        // Mutate while the handle is alive: the handle pins the old bucket.
+        r.insert(tuple!["a", 3]);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits.iter().count(), 2);
+        // A fresh probe sees the new state.
+        assert_eq!(r.probe(0, &ccpi_ir::Value::str("a")).len(), 3);
     }
 
     #[test]

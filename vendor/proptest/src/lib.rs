@@ -4,8 +4,8 @@
 //! vendors the subset of the proptest API its tests use: the [`Strategy`]
 //! trait (`prop_map`, `prop_filter`, `boxed`), integer-range and tuple
 //! strategies, [`strategy::Just`], `any::<T>()`, `prop::collection::{vec,
-//! btree_set}`, and the `proptest!` / `prop_oneof!` / `prop_assert!` /
-//! `prop_assert_eq!` macros.
+//! btree_set}`, `prop::option::of`, and the `proptest!` / `prop_oneof!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
 //!
 //! Differences from real proptest, by design:
 //! - **No shrinking.** A failing case panics with the generated inputs in
@@ -335,7 +335,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
     use std::collections::BTreeSet;
-    use std::ops::Range;
+    use std::ops::{Range, RangeInclusive};
 
     /// A half-open size range for generated collections.
     #[derive(Clone, Debug)]
@@ -350,6 +350,15 @@ pub mod collection {
             SizeRange {
                 lo: r.start,
                 hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
             }
         }
     }
@@ -421,6 +430,36 @@ pub mod collection {
                 out.insert(self.element.generate(rng));
             }
             out
+        }
+    }
+}
+
+pub mod option {
+    //! Optional-value strategies (mirrors `proptest::option`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`; `None` about a quarter of the
+    /// time (real proptest defaults to a 25% `None` weight too).
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { element }
+    }
+
+    /// See [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.element.generate(rng))
+            }
         }
     }
 }
@@ -528,6 +567,7 @@ pub mod prelude {
     /// The `prop::` shorthand module (`prop::collection::vec(…)`).
     pub mod prop {
         pub use crate::collection;
+        pub use crate::option;
     }
 }
 
@@ -573,6 +613,15 @@ mod tests {
         #[test]
         fn filters_apply(x in (0i64..100).prop_filter("even", |x| x % 2 == 0)) {
             prop_assert_eq!(x % 2, 0, "x = {}", x);
+        }
+
+        #[test]
+        fn options_and_inclusive_sizes(
+            o in prop::option::of(0i64..4),
+            v in prop::collection::vec(any::<bool>(), 1..=3),
+        ) {
+            prop_assert!(o.is_none() || (0..4).contains(&o.unwrap()));
+            prop_assert!((1..=3).contains(&v.len()));
         }
     }
 
