@@ -4,8 +4,11 @@
 //! Usage:
 //! ```text
 //! experiments                   # all tables
-//! experiments --table f21       # one table (f21|f41|f42|f61|examples|e1..e9)
+//! experiments --table f21       # one table (f21|f41|f42|f61|examples|e1..e10)
 //! experiments --table e9 --smoke  # E9 at tiny sizes, no BENCH_joins.json
+//! experiments --table e10 --smoke # E10 at tiny sizes, no BENCH_delta.json
+//! experiments --guard           # E9 @ 10k vs committed BENCH_joins.json;
+//!                               # exits nonzero on a >30% checks/sec regression
 //! ```
 
 use ccpi::prelude::*;
@@ -28,6 +31,9 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--guard") {
+        std::process::exit(run_guard());
+    }
     let table = args
         .iter()
         .position(|a| a == "--table")
@@ -77,6 +83,9 @@ fn main() {
     }
     if want("e9") {
         table_e9(args.iter().any(|a| a == "--smoke"));
+    }
+    if want("e10") {
+        table_e10(args.iter().any(|a| a == "--smoke"));
     }
 }
 
@@ -652,13 +661,157 @@ fn table_e9(smoke: bool) {
         },
         current: BenchRun {
             label: "this tree (compiled join plans + shared persistent indexes + \
-                    prepared stage-3 unions + parallel checking)",
+                    prepared stage-3 unions + parallel checking + seeded delta \
+                    plans + stage-4 verdict cache)",
             rows,
         },
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_joins.json");
     std::fs::write(path, serde::json::to_string(&file) + "\n").unwrap();
     println!("\nwrote {path}");
+}
+
+/// E10 — delta-seeded stage 4 vs snapshot rebuild, single and batched,
+/// with the report streams asserted equal. Writes `BENCH_delta.json` at
+/// the repo root unless running in `--smoke` mode.
+fn table_e10(smoke: bool) {
+    use ccpi_bench::delta_bench::{measure, DeltaRow};
+    use ccpi_bench::throughput::{FULL_SIZES, SMOKE_SIZES};
+
+    heading("E10  Delta-driven stage 4 vs snapshot rebuild (identical verdicts)");
+    let sizes: &[usize] = if smoke { &SMOKE_SIZES } else { &FULL_SIZES };
+    let rows = measure(sizes);
+    println!(
+        "{:<10} {:>15} {:>16} {:>9} {:>16} {:>10} {:>7} {:>6}",
+        "|emp|",
+        "delta (µs/chk)",
+        "snapshot (µs)",
+        "speedup",
+        "batch64 (µs/u)",
+        "batch spd",
+        "esc",
+        "same"
+    );
+    for row in &rows {
+        assert!(
+            row.reports_identical,
+            "delta and snapshot modes disagreed at {} tuples",
+            row.tuples
+        );
+        assert_eq!(row.full_checks_delta, row.full_checks_snapshot);
+        assert_eq!(row.violations_delta, row.violations_snapshot);
+        println!(
+            "{:<10} {:>15.1} {:>16.1} {:>8.1}x {:>16.1} {:>9.1}x {:>7} {:>6}",
+            row.tuples,
+            row.delta_check_us,
+            row.snapshot_check_us,
+            row.speedup,
+            row.batch64_us_per_update,
+            row.batch64_speedup,
+            row.full_checks_delta,
+            "yes"
+        );
+    }
+    if smoke {
+        println!("(--smoke: tiny sizes, BENCH_delta.json not written)");
+        return;
+    }
+
+    #[derive(serde::Serialize)]
+    struct BenchFile {
+        bench: &'static str,
+        unit: &'static str,
+        workload: &'static str,
+        label: &'static str,
+        rows: Vec<DeltaRow>,
+    }
+    let file = BenchFile {
+        bench: "E10 delta-vs-snapshot stage 4",
+        unit: "µs per all-escalate check through ConstraintManager::check_update",
+        workload: "ccpi-workload emp generator, 50 departments, E6 constraint set; \
+                   per-row A/B of the same distinct-probe sequence with the delta \
+                   path on vs set_delta_checking(Some(false)), plus a 64-probe \
+                   check_updates batch; report streams asserted equal",
+        label: "this tree (seeded delta plans + monotone-delete shortcut + \
+                stage-4 verdict cache + memoized post-update snapshot)",
+        rows,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_delta.json");
+    std::fs::write(path, serde::json::to_string(&file) + "\n").unwrap();
+    println!("\nwrote {path}");
+}
+
+/// `--guard`: re-measures E9 at 10k tuples (best of two runs) and fails
+/// if checks/sec regressed more than 30% against the committed
+/// `BENCH_joins.json` `current` numbers. Run by `suite/perf_guard.sh` in CI.
+fn run_guard() -> i32 {
+    use ccpi_bench::throughput::measure_size;
+
+    heading("PERF GUARD  E9 @ 10k tuples vs committed BENCH_joins.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_joins.json");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    // The vendored serde has no deserializer; the committed file is flat
+    // enough to anchor by substring: the `current` run, its 10k row, then
+    // the two per-check timings.
+    let Some(current) = text.find("\"current\"").map(|i| &text[i..]) else {
+        println!("{path}: no \"current\" run found");
+        return 2;
+    };
+    let Some(row) = current.find("\"tuples\":10000").map(|i| &current[i..]) else {
+        println!("{path}: no 10k row in the current run");
+        return 2;
+    };
+    let (Some(committed_full), Some(committed_ladder)) = (
+        json_number_after(row, "\"full_check_us\":"),
+        json_number_after(row, "\"ladder_check_us\":"),
+    ) else {
+        println!("{path}: could not parse per-check timings from the 10k row");
+        return 2;
+    };
+
+    // Best of two: CI machines are noisy and the guard must only catch
+    // real regressions, not scheduler hiccups.
+    let a = measure_size(10_000, 20, 40);
+    let b = measure_size(10_000, 20, 40);
+    let full = a.full_check_us.min(b.full_check_us);
+    let ladder = a.ladder_check_us.min(b.ladder_check_us);
+
+    let mut failed = false;
+    for (regime, measured, committed) in [
+        ("full", full, committed_full),
+        ("ladder", ladder, committed_ladder),
+    ] {
+        // checks/sec dropping >30% ⇔ µs/check growing beyond committed/0.7.
+        let limit = committed / 0.7;
+        let ratio = 1e6 / measured / (1e6 / committed);
+        let verdict = if measured <= limit { "ok" } else { "REGRESSED" };
+        println!(
+            "{regime:<8} measured {measured:>10.1} µs/chk  committed {committed:>10.1}  \
+             ({:.0}% of committed checks/sec, floor 70%)  [{verdict}]",
+            ratio * 100.0
+        );
+        failed |= measured > limit;
+    }
+    if failed {
+        println!("\nperf guard FAILED: checks/sec regressed >30% vs BENCH_joins.json");
+        1
+    } else {
+        println!("\nperf guard ok");
+        0
+    }
+}
+
+/// Parses the number following `key` in serde's no-whitespace JSON output.
+fn json_number_after(text: &str, key: &str) -> Option<f64> {
+    let rest = &text[text.find(key)? + key.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
 }
 
 const BASELINE_LABEL: &str =

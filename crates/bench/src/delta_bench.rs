@@ -1,0 +1,172 @@
+//! E10 — delta-driven stage 4 vs snapshot rebuilds (`BENCH_delta.json`).
+//!
+//! A/B-measures `ConstraintManager::check_update` in the all-escalate
+//! regime of E9 with the stage-4 delta path **on** (the default: seeded
+//! delta plans joined against the pre-update database plus a Δ overlay)
+//! and **off** (`set_delta_checking(Some(false))`: every escalation
+//! clones the database, applies the update, and runs the full engine).
+//! Both modes see the *same* probe sequence — each probe a distinct
+//! employee so the verdict cache never answers — and the harness asserts
+//! the two report streams are equal (outcomes, stage counters, violation
+//! sets), proving the speedup comes with zero behavioral difference.
+//!
+//! A third lane checks the batch API: 64 distinct escalating probes
+//! through `check_updates`, reported as microseconds per update.
+
+use crate::throughput::{config_at, escalating_update, manager_at, CONSTRAINTS};
+use ccpi::prelude::Update;
+use ccpi_workload::emp::update_stream;
+use ccpi_workload::rng;
+use std::time::Instant;
+
+/// One measured database size of the delta-vs-snapshot comparison.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct DeltaRow {
+    /// Employee tuples in the database.
+    pub tuples: usize,
+    /// Mean microseconds per all-escalate check, delta path on.
+    pub delta_check_us: f64,
+    /// Mean microseconds per all-escalate check, delta path disabled.
+    pub snapshot_check_us: f64,
+    /// `snapshot_check_us / delta_check_us`.
+    pub speedup: f64,
+    /// Mean microseconds per update for a 64-probe batch through
+    /// `check_updates` (delta path on).
+    pub batch64_us_per_update: f64,
+    /// `snapshot_check_us / batch64_us_per_update`.
+    pub batch64_speedup: f64,
+    /// Stage-4 escalations across the probe sequence, delta path on.
+    pub full_checks_delta: usize,
+    /// Stage-4 escalations across the probe sequence, delta path off.
+    pub full_checks_snapshot: usize,
+    /// Violations reported across the probe sequence, delta path on.
+    pub violations_delta: usize,
+    /// Violations reported across the probe sequence, delta path off.
+    pub violations_snapshot: usize,
+    /// Whether the two modes produced equal reports for every probe and
+    /// for a mixed insert/delete stream (outcome-for-outcome).
+    pub reports_identical: bool,
+}
+
+/// Measures one size: `reps` distinct all-escalate probes per mode plus a
+/// `stream_len`-update mixed stream replayed identically under both modes.
+pub fn measure_size(n: usize, reps: usize, stream_len: usize) -> DeltaRow {
+    let mut delta_mgr = manager_at(n);
+    let mut snap_mgr = manager_at(n);
+    snap_mgr.set_delta_checking(Some(false));
+
+    // Warm both managers (lazy index builds, first post-update snapshot)
+    // so the timed loops compare steady states.
+    delta_mgr.check_update(&escalating_update(0)).unwrap();
+    snap_mgr.check_update(&escalating_update(0)).unwrap();
+
+    let probes: Vec<Update> = (1..=reps).map(escalating_update).collect();
+
+    let start = Instant::now();
+    let delta_reports: Vec<_> = probes
+        .iter()
+        .map(|u| delta_mgr.check_update(u).unwrap())
+        .collect();
+    let delta_check_us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+    let start = Instant::now();
+    let snap_reports: Vec<_> = probes
+        .iter()
+        .map(|u| snap_mgr.check_update(u).unwrap())
+        .collect();
+    let snapshot_check_us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+    let full_checks_delta: usize = delta_reports.iter().map(|r| r.full_checks).sum();
+    let full_checks_snapshot: usize = snap_reports.iter().map(|r| r.full_checks).sum();
+    let violations_delta: usize = delta_reports.iter().map(|r| r.violations().len()).sum();
+    let violations_snapshot: usize = snap_reports.iter().map(|r| r.violations().len()).sum();
+
+    // `CheckReport` equality covers outcomes, methods, and stage counters
+    // (stage-4 *attribution* — delta-seeded vs snapshot — is excluded by
+    // design: it is the one thing allowed to differ).
+    let mut reports_identical = delta_reports == snap_reports;
+
+    // Replay a mixed stream (inserts *and* deletes on both relations)
+    // under both modes — this exercises the monotone-delete shortcut and
+    // the snapshot fallback, not just the insert-only seeded path.
+    // Violating updates are *rejected* (not applied): the §2 standing
+    // assumption — every constraint holds before each update — is the
+    // premise under which delta-seeded and snapshot evaluation coincide,
+    // and it is exactly what an enforcing manager maintains.
+    let stream = update_stream(&config_at(n), &mut rng(11), stream_len);
+    for update in &stream {
+        let a = delta_mgr.check_update(update).unwrap();
+        let b = snap_mgr.check_update(update).unwrap();
+        reports_identical &= a == b;
+        if a.violations().is_empty() {
+            delta_mgr.database_mut().apply(update).unwrap();
+            snap_mgr.database_mut().apply(update).unwrap();
+        }
+    }
+
+    // Batch lane: 64 distinct escalating probes in one `check_updates`
+    // call on a fresh manager (no cache residue from the single lane).
+    let mut batch_mgr = manager_at(n);
+    batch_mgr.check_update(&escalating_update(0)).unwrap();
+    let batch: Vec<Update> = (1..=64).map(|k| escalating_update(1_000_000 + k)).collect();
+    let start = Instant::now();
+    let batch_reports = batch_mgr.check_updates(&batch).unwrap();
+    let batch64_us_per_update = start.elapsed().as_secs_f64() * 1e6 / batch.len() as f64;
+    assert!(batch_reports
+        .iter()
+        .all(|r| r.full_checks == CONSTRAINTS.len()));
+
+    DeltaRow {
+        tuples: n,
+        delta_check_us,
+        snapshot_check_us,
+        speedup: snapshot_check_us / delta_check_us,
+        batch64_us_per_update,
+        batch64_speedup: snapshot_check_us / batch64_us_per_update,
+        full_checks_delta,
+        full_checks_snapshot,
+        violations_delta,
+        violations_snapshot,
+        reports_identical,
+    }
+}
+
+/// Runs the harness over `sizes`, scaling repetitions down as databases
+/// grow (the snapshot lane pays a full clone + evaluation per probe).
+pub fn measure(sizes: &[usize]) -> Vec<DeltaRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let (reps, stream) = if n <= 10_000 {
+                (30, 40)
+            } else if n <= 100_000 {
+                (10, 30)
+            } else {
+                (3, 10)
+            };
+            measure_size(n, reps, stream)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::SMOKE_SIZES;
+
+    /// The smoke run CI exercises: the identical code path as the
+    /// committed BENCH_delta.json numbers, at a tiny size.
+    #[test]
+    fn smoke_delta_bench_modes_agree() {
+        let row = measure_size(SMOKE_SIZES[0], 2, 8);
+        assert_eq!(row.tuples, SMOKE_SIZES[0]);
+        assert!(row.delta_check_us > 0.0);
+        assert!(row.snapshot_check_us > 0.0);
+        assert!(row.batch64_us_per_update > 0.0);
+        // Identical escalation counts and verdicts: the delta path is an
+        // optimization, not a semantics change.
+        assert_eq!(row.full_checks_delta, row.full_checks_snapshot);
+        assert_eq!(row.violations_delta, row.violations_snapshot);
+        assert!(row.reports_identical);
+    }
+}

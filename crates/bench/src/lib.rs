@@ -10,6 +10,7 @@ use ccpi_localtest::Cqc;
 use ccpi_parser::parse_cq;
 use ccpi_storage::{tuple, Database, Locality, Relation};
 
+pub mod delta_bench;
 pub mod throughput;
 
 /// The forbidden-intervals CQC of Example 5.3 (local predicate `l`).

@@ -68,7 +68,7 @@ pub fn manager_at(n: usize) -> ConstraintManager {
     mgr
 }
 
-fn config_at(n: usize) -> EmpConfig {
+pub fn config_at(n: usize) -> EmpConfig {
     EmpConfig {
         employees: n,
         departments: 50,
@@ -79,9 +79,12 @@ fn config_at(n: usize) -> EmpConfig {
 
 /// An update that defeats every stage but the full check: the department
 /// does not exist (referential violation) and the salary is below every
-/// range, so no reduction of the current local relation covers it.
-fn escalating_update() -> Update {
-    Update::insert("emp", tuple!["probe", "ghost", 5])
+/// range, so no reduction of the current local relation covers it. Each
+/// `k` yields a distinct employee, so repeated measurements exercise the
+/// stage-4 machinery instead of the verdict cache (which would answer a
+/// literally repeated update in O(1)).
+pub fn escalating_update(k: usize) -> Update {
+    Update::insert("emp", tuple![format!("probe{k}"), "ghost", 5])
 }
 
 /// Measures one size. `full_reps` repeated all-escalate checks and a
@@ -91,8 +94,7 @@ pub fn measure_size(n: usize, full_reps: usize, stream_len: usize) -> Throughput
 
     // Warm one check so first-touch costs (lazy index builds after this
     // PR; nothing before it) don't dominate the small-rep measurements.
-    let probe = escalating_update();
-    let warm = mgr.check_update(&probe).unwrap();
+    let warm = mgr.check_update(&escalating_update(0)).unwrap();
     assert_eq!(
         warm.full_checks,
         CONSTRAINTS.len(),
@@ -100,8 +102,8 @@ pub fn measure_size(n: usize, full_reps: usize, stream_len: usize) -> Throughput
     );
 
     let start = Instant::now();
-    for _ in 0..full_reps {
-        let report = mgr.check_update(&probe).unwrap();
+    for k in 1..=full_reps {
+        let report = mgr.check_update(&escalating_update(k)).unwrap();
         assert_eq!(report.full_checks, CONSTRAINTS.len());
     }
     let full_check_us = start.elapsed().as_secs_f64() * 1e6 / full_reps as f64;
@@ -132,11 +134,11 @@ pub fn measure(sizes: &[usize]) -> Vec<ThroughputRow> {
         .iter()
         .map(|&n| {
             let (reps, stream) = if n <= 10_000 {
-                (10, 40)
+                (100, 40)
             } else if n <= 100_000 {
-                (5, 40)
+                (50, 40)
             } else {
-                (2, 20)
+                (20, 20)
             };
             measure_size(n, reps, stream)
         })
@@ -169,7 +171,7 @@ mod tests {
     #[test]
     fn probe_update_escalates_every_constraint() {
         let mut mgr = manager_at(300);
-        let report = mgr.check_update(&escalating_update()).unwrap();
+        let report = mgr.check_update(&escalating_update(0)).unwrap();
         assert_eq!(report.full_checks, CONSTRAINTS.len());
         // And it is a genuine referential violation.
         assert!(report.violations().contains(&"referential"));

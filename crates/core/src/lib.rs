@@ -53,7 +53,9 @@ pub mod report;
 
 pub use manager::{ConstraintManager, ManagerError};
 pub use remote::{RemoteError, RemoteSource, UnreachableRemote};
-pub use report::{CheckReport, LocalTestKind, Method, Outcome, UnknownCause, WireStats};
+pub use report::{
+    CheckReport, LocalTestKind, Method, Outcome, Stage4Kind, UnknownCause, WireStats,
+};
 
 /// Convenient re-exports for applications.
 pub mod prelude {
@@ -61,9 +63,11 @@ pub mod prelude {
     pub use crate::distributed::{CostModel, SiteSplit};
     pub use crate::manager::{ConstraintManager, ManagerError};
     pub use crate::remote::{RemoteError, RemoteSource, UnreachableRemote};
-    pub use crate::report::{CheckReport, LocalTestKind, Method, Outcome, UnknownCause, WireStats};
+    pub use crate::report::{
+        CheckReport, LocalTestKind, Method, Outcome, Stage4Kind, UnknownCause, WireStats,
+    };
     pub use ccpi_arith::{Domain, Solver};
     pub use ccpi_ir::{Constraint, Cq, Program, Rule};
     pub use ccpi_parser::{parse_constraint, parse_cq, parse_program, parse_rule};
-    pub use ccpi_storage::{tuple, Database, Locality, Relation, Tuple, Update};
+    pub use ccpi_storage::{tuple, Database, DeltaSet, Locality, Relation, Tuple, Update};
 }

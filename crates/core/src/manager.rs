@@ -1,17 +1,18 @@
 //! The constraint manager and its checking pipeline.
 
 use crate::remote::RemoteSource;
-use crate::report::{CheckReport, LocalTestKind, Method, Outcome, UnknownCause};
+use crate::report::{CheckReport, LocalTestKind, Method, Outcome, Stage4Kind, UnknownCause};
 use ccpi_arith::Solver;
 use ccpi_containment::subsume::subsumes;
 use ccpi_containment::thm51::PreparedUnion;
-use ccpi_datalog::{DatalogError, Engine};
+use ccpi_datalog::{DatalogError, DeltaPlanSet, Engine};
 use ccpi_ir::class::{classify, ConstraintClass};
 use ccpi_ir::{Constraint, Cq};
 use ccpi_localtest::{compile_ra, extend_union, prepare_union, Cqc, IcqTest, LocalTestPlan};
 use ccpi_parser::ParseError;
 use ccpi_rewrite::independence::independent_of_update;
-use ccpi_storage::{Database, Locality, Relation, StorageError, TupleSnapshot, Update};
+use ccpi_storage::{Database, DeltaSet, Locality, Relation, StorageError, TupleSnapshot, Update};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Mutex;
 
@@ -71,12 +72,19 @@ struct Registered {
     icq: Option<IcqTest>,
     /// §3: subsumed by the other registered constraints.
     subsumed: bool,
+    /// Seeded delta plans plus the polarity analysis that decides, per
+    /// update, whether stage 4 can run from the Δ alone. Compiled once at
+    /// registration — the "static monotonicity analysis" of the delta path.
+    delta: DeltaPlanSet,
     /// Stage-3 cache: the Theorem 5.2 union (this constraint's reductions
     /// plus its siblings' over the shared local relation), prepared once
     /// per relation version and probed by every subsequent check. Interior
     /// mutability because checks take `&self`; under the parallel checker
     /// each scoped thread only ever touches its own constraint's slot.
     union_cache: Mutex<Option<UnionCache>>,
+    /// Stage-4 verdict cache: the last full-check verdict with its
+    /// validity key. Same interior-mutability discipline as `union_cache`.
+    stage4_cache: Mutex<Option<Stage4Cache>>,
 }
 
 /// One prepared Theorem 5.2 union plus its validity token.
@@ -89,6 +97,74 @@ struct UnionCache {
     union: PreparedUnion,
 }
 
+/// Validity pins: one entry per relevant relation — a snapshot of its
+/// tuple set, or `None` when the relation did not exist. All pins must
+/// still match the live database (pointer equality) for the pinned value
+/// to be reusable; every mutation path goes through copy-on-write, so a
+/// stale hit is impossible.
+type Pins = Vec<(String, Option<TupleSnapshot>)>;
+
+/// One memoized stage-4 verdict: valid while the update value and every
+/// relation the constraint reads are unchanged.
+struct Stage4Cache {
+    update: Update,
+    pins: Pins,
+    violated: bool,
+    /// Remote tuples/bytes accounting captured with the verdict, so a hit
+    /// reports the same costs the original computation did.
+    tuples: usize,
+    bytes: usize,
+}
+
+/// The memoized post-update snapshot shared by snapshot-path full checks:
+/// keyed on the update value plus pins over *every* relation, so any
+/// database mutation (applies, hydration, bulk loads) invalidates it
+/// automatically.
+struct PostSnapshot {
+    update: Update,
+    pins: Pins,
+    after: Database,
+}
+
+/// What stage 4 concluded for one constraint, and how.
+struct Stage4Result {
+    outcome: Outcome,
+    tuples: usize,
+    bytes: usize,
+    kind: Stage4Kind,
+    /// Δ-tuples pushed through seeded plans (0 off the delta path).
+    seeds: usize,
+}
+
+/// Phase A of a parallel check: everything decidable without the
+/// post-update snapshot.
+enum PhaseA {
+    /// Stages 1–3 settled it.
+    Cheap(Outcome),
+    /// Stage 4 settled it via the verdict cache or the delta path.
+    Settled(Stage4Result),
+    /// Needs the shared post-update snapshot (phase B).
+    NeedsSnapshot,
+}
+
+fn verdict_outcome(violated: bool) -> Outcome {
+    if violated {
+        Outcome::Violated
+    } else {
+        Outcome::Holds(Method::FullCheck)
+    }
+}
+
+/// Folds one stage-4 result into a report, in escalation order.
+fn push_stage4(report: &mut CheckReport, name: String, r: Stage4Result) {
+    report.remote_tuples_read += r.tuples;
+    report.remote_bytes_read += r.bytes;
+    report.full_checks += 1;
+    report.delta_tuples_joined += r.seeds;
+    report.stage4_kinds.push((name.clone(), r.kind));
+    report.outcomes.push((name, r.outcome));
+}
+
 /// The constraint manager: owns the database, registers constraints, and
 /// walks the paper's escalation ladder on every update.
 pub struct ConstraintManager {
@@ -98,6 +174,14 @@ pub struct ConstraintManager {
     /// `Some(v)` pins parallel checking on/off; `None` decides per call
     /// (more than one constraint, more than one core, no remote source).
     parallel_override: Option<bool>,
+    /// `Some(false)` disables the stage-4 delta path (every escalation
+    /// takes the snapshot fallback) — for A/B measurement and debugging.
+    delta_override: Option<bool>,
+    /// Memoized post-update snapshot (see [`PostSnapshot`]); survives
+    /// across checks so repeating an update never re-clones the database.
+    post_memo: Option<PostSnapshot>,
+    /// Lifetime count of snapshot (re)builds, for tests and diagnostics.
+    post_rebuilds: usize,
 }
 
 impl ConstraintManager {
@@ -105,12 +189,7 @@ impl ConstraintManager {
     /// local/remote split). Uses the dense-order solver, the paper's
     /// setting; see [`ConstraintManager::with_solver`].
     pub fn new(db: Database) -> Self {
-        ConstraintManager {
-            db,
-            solver: Solver::dense(),
-            constraints: Vec::new(),
-            parallel_override: None,
-        }
+        Self::with_solver(db, Solver::dense())
     }
 
     /// Creates a manager with an explicit solver domain (e.g.
@@ -121,7 +200,30 @@ impl ConstraintManager {
             solver,
             constraints: Vec::new(),
             parallel_override: None,
+            delta_override: None,
+            post_memo: None,
+            post_rebuilds: 0,
         }
+    }
+
+    /// Pins the stage-4 delta path on or off; `None` restores the default
+    /// (on whenever the registration-time analysis proves an update
+    /// eligible). Disabling forces every escalation through the snapshot
+    /// fallback — useful for A/B measurement; verdicts are identical.
+    pub fn set_delta_checking(&mut self, enabled: Option<bool>) {
+        self.delta_override = enabled;
+    }
+
+    /// Does this update take constraint `i`'s seeded delta path?
+    fn delta_eligible(&self, i: usize, delta: &DeltaSet) -> bool {
+        self.delta_override.unwrap_or(true) && self.constraints[i].delta.eligible(delta)
+    }
+
+    /// How many times the memoized post-update snapshot has been built
+    /// over this manager's lifetime. Checking the same update twice
+    /// against an unchanged database builds it at most once.
+    pub fn post_snapshot_rebuilds(&self) -> usize {
+        self.post_rebuilds
     }
 
     /// Pins parallel checking on or off; `None` restores the default
@@ -167,6 +269,10 @@ impl ConstraintManager {
         let ra_plan = cqc.as_ref().and_then(|c| compile_ra(c).ok());
         let domain = self.solver.domain;
         let icq = cqc.as_ref().and_then(|c| IcqTest::new(c, domain).ok());
+        // Registration-time monotonicity analysis + seeded delta plans:
+        // decides, per future update, whether stage 4 can run from the
+        // Δ alone instead of a post-update snapshot.
+        let delta = DeltaPlanSet::compile(constraint.program());
 
         self.constraints.push(Registered {
             name: name.to_string(),
@@ -177,7 +283,9 @@ impl ConstraintManager {
             ra_plan,
             icq,
             subsumed: false,
+            delta,
             union_cache: Mutex::new(None),
+            stage4_cache: Mutex::new(None),
         });
         // A new constraint can contribute reductions to its siblings'
         // stage-3 unions; any prepared union is now incomplete.
@@ -251,6 +359,185 @@ impl ConstraintManager {
         self.check_update_inner(update, Some(remote))
     }
 
+    /// Checks a batch of updates **without applying any of them**. Report
+    /// `k` has the same outcomes and counters as `check_update(&updates[k])`
+    /// — per-update semantics; the updates do not see each other — but the
+    /// batch shares machinery a sequential loop rebuilds per call: each
+    /// constraint's delta plans are seeded with the batch's Δ-tuples in
+    /// one pass over a single relation load, snapshot fallbacks share the
+    /// memoized post-update build per distinct update, and duplicate
+    /// updates hit the stage-4 verdict cache.
+    pub fn check_updates(&mut self, updates: &[Update]) -> Result<Vec<CheckReport>, ManagerError> {
+        self.check_updates_inner(updates, None)
+    }
+
+    /// Batch variant of
+    /// [`check_update_with_remote`](Self::check_update_with_remote): each
+    /// remote relation is hydrated (and each unreachable relation retried)
+    /// **at most once per batch** instead of once per update — the
+    /// transport saving is the point of batching, so per-report
+    /// [`CheckReport::wire`] stats attribute each fetch to the first
+    /// update that needed it rather than repeating per update. Outcomes
+    /// and read counters still match per-update checks.
+    pub fn check_updates_with_remote(
+        &mut self,
+        updates: &[Update],
+        remote: &mut dyn RemoteSource,
+    ) -> Result<Vec<CheckReport>, ManagerError> {
+        self.check_updates_inner(updates, Some(remote))
+    }
+
+    fn check_updates_inner(
+        &mut self,
+        updates: &[Update],
+        mut remote: Option<&mut dyn RemoteSource>,
+    ) -> Result<Vec<CheckReport>, ManagerError> {
+        /// Where update × constraint landed after the cheap stages.
+        enum Slot {
+            Done(Outcome),
+            Stage4,
+        }
+        let n = self.constraints.len();
+
+        // Pass 1, update-major: stages 1–3 and hydration. The `hydrated`
+        // map persists across the whole batch, so each remote relation is
+        // fetched at most once; the per-update wire delta attributes each
+        // fetch to the first update whose escalation needed it.
+        let mut slots: Vec<Vec<Slot>> = Vec::with_capacity(updates.len());
+        let mut wires = Vec::with_capacity(updates.len());
+        let mut hydrated: BTreeMap<String, bool> = BTreeMap::new();
+        for update in updates {
+            let stats_before = remote.as_deref().map(|r| r.wire_stats());
+            let mut row = Vec::with_capacity(n);
+            for i in 0..n {
+                if let Some(outcome) = self.try_cheap_stages(i, update) {
+                    row.push(Slot::Done(outcome));
+                    continue;
+                }
+                if let Some(src) = remote.as_deref_mut() {
+                    let preds: Vec<String> = self.constraints[i]
+                        .constraint
+                        .program()
+                        .edb_predicates()
+                        .into_iter()
+                        .filter(|p| self.db.locality(p.as_str()) == Some(Locality::Remote))
+                        .map(|p| p.as_str().to_string())
+                        .collect();
+                    let mut reachable = true;
+                    for pred in preds {
+                        let ok = match hydrated.get(&pred) {
+                            Some(&ok) => ok,
+                            None => {
+                                let ok = self.hydrate_remote(src, &pred);
+                                hydrated.insert(pred.clone(), ok);
+                                ok
+                            }
+                        };
+                        reachable &= ok;
+                    }
+                    if !reachable {
+                        row.push(Slot::Done(Outcome::Unknown(
+                            UnknownCause::RemoteUnavailable,
+                        )));
+                        continue;
+                    }
+                }
+                row.push(Slot::Stage4);
+            }
+            wires.push(match (&stats_before, remote.as_deref()) {
+                (Some(before), Some(src)) => src.wire_stats().delta_since(before),
+                _ => Default::default(),
+            });
+            slots.push(row);
+        }
+
+        // Pass 2, constraint-major: stage 4. Cache-missed eligible updates
+        // go through the constraint's delta plans in one batched pass over
+        // one relation load; the rest share the memoized post-update
+        // snapshot per distinct update.
+        let deltas: Vec<DeltaSet> = updates.iter().map(DeltaSet::from_update).collect();
+        let mut stage4: BTreeMap<(usize, usize), Stage4Result> = BTreeMap::new();
+        for i in 0..n {
+            let mut batched: Vec<usize> = Vec::new();
+            for (u, row) in slots.iter().enumerate() {
+                if !matches!(row[i], Slot::Stage4) {
+                    continue;
+                }
+                if let Some(hit) = self.stage4_probe(i, &updates[u]) {
+                    stage4.insert((u, i), hit);
+                } else if self.delta_eligible(i, &deltas[u]) {
+                    batched.push(u);
+                } else {
+                    self.ensure_post_snapshot(&updates[u])?;
+                    let after = &self.post_memo.as_ref().expect("just built").after;
+                    let violated = self.constraints[i].engine.run(after).derives_panic();
+                    let (tuples, bytes) = self.remote_cost(i);
+                    self.stage4_store(i, &updates[u], violated, tuples, bytes);
+                    stage4.insert(
+                        (u, i),
+                        Stage4Result {
+                            outcome: verdict_outcome(violated),
+                            tuples,
+                            bytes,
+                            kind: Stage4Kind::FullSnapshot,
+                            seeds: 0,
+                        },
+                    );
+                }
+            }
+            if batched.is_empty() {
+                continue;
+            }
+            let (tuples, bytes) = self.remote_cost(i);
+            let ds: Vec<DeltaSet> = batched.iter().map(|&u| deltas[u].clone()).collect();
+            let verdicts = self.constraints[i].delta.check_batch(&self.db, &ds);
+            for (&u, v) in batched.iter().zip(&verdicts) {
+                self.stage4_store(i, &updates[u], v.violated, tuples, bytes);
+                stage4.insert(
+                    (u, i),
+                    Stage4Result {
+                        outcome: verdict_outcome(v.violated),
+                        tuples,
+                        bytes,
+                        kind: Stage4Kind::DeltaSeeded,
+                        seeds: v.seeds_joined,
+                    },
+                );
+            }
+        }
+
+        // Assemble per-update reports in registration order, then restore
+        // the local view.
+        let mut reports = Vec::with_capacity(updates.len());
+        for (u, row) in slots.into_iter().enumerate() {
+            let mut report = CheckReport::default();
+            for (i, slot) in row.into_iter().enumerate() {
+                let name = self.constraints[i].name.clone();
+                match slot {
+                    Slot::Done(outcome) => report.outcomes.push((name, outcome)),
+                    Slot::Stage4 => {
+                        let r = stage4
+                            .remove(&(u, i))
+                            .expect("pass 2 covered every escalation");
+                        push_stage4(&mut report, name, r);
+                    }
+                }
+            }
+            report.wire = wires[u];
+            reports.push(report);
+        }
+        if remote.is_some() {
+            for (pred, ok) in &hydrated {
+                if *ok {
+                    if let Some(rel) = self.db.relation_mut(pred) {
+                        rel.clear();
+                    }
+                }
+            }
+        }
+        Ok(reports)
+    }
+
     fn check_update_inner(
         &mut self,
         update: &Update,
@@ -266,12 +553,7 @@ impl ConstraintManager {
         let mut report = CheckReport::default();
         let stats_before = remote.as_deref().map(|r| r.wire_stats());
         // Remote relations hydrated so far this call: pred → fetch ok?
-        let mut hydrated: std::collections::BTreeMap<String, bool> =
-            std::collections::BTreeMap::new();
-        // Post-update snapshot, built lazily on the first stage-4
-        // escalation and shared by the rest (reset when hydration changes
-        // the local view it was built from).
-        let mut after: Option<Database> = None;
+        let mut hydrated: BTreeMap<String, bool> = BTreeMap::new();
 
         let n = self.constraints.len();
         for i in 0..n {
@@ -300,11 +582,11 @@ impl ConstraintManager {
                     let ok = match hydrated.get(&pred) {
                         Some(&ok) => ok,
                         None => {
+                            // Hydration swaps the relation's tuple set,
+                            // so the memoized post-update snapshot's pins
+                            // go stale on their own — no manual reset.
                             let ok = self.hydrate_remote(src, &pred);
                             hydrated.insert(pred.clone(), ok);
-                            // The shared snapshot no longer reflects the
-                            // hydrated local view.
-                            after = None;
                             ok
                         }
                     };
@@ -318,13 +600,8 @@ impl ConstraintManager {
                     continue;
                 }
             }
-            let (outcome, tuples, bytes) = self.full_check(i, update, &mut after)?;
-            report.remote_tuples_read += tuples;
-            report.remote_bytes_read += bytes;
-            report.full_checks += 1;
-            report
-                .outcomes
-                .push((self.constraints[i].name.clone(), outcome));
+            let r4 = self.full_check(i, update)?;
+            push_stage4(&mut report, self.constraints[i].name.clone(), r4);
         }
 
         if let Some(src) = remote.as_deref() {
@@ -396,22 +673,21 @@ impl ConstraintManager {
         }
     }
 
-    /// Checks every constraint with stage 4 fanned out over scoped
-    /// threads. Outcomes are merged back **in registration order**, so the
-    /// report is byte-identical to the sequential path's.
+    /// Checks every constraint with the work fanned out over scoped
+    /// threads, in two phases. Phase A runs everything that needs no
+    /// post-update snapshot — stages 1–3, the stage-4 verdict cache, and
+    /// the seeded delta path — so an all-delta check never clones the
+    /// database at all. Phase B builds the memoized snapshot once for
+    /// whatever remains. Outcomes are merged back **in registration
+    /// order**, so the report equals the sequential path's.
     fn check_update_parallel(&mut self, update: &Update) -> Result<CheckReport, ManagerError> {
-        // One shared post-update snapshot; copy-on-write means only the
-        // updated relation's tuple set is physically copied, and the other
-        // relations keep sharing their index caches with `self.db`.
-        let mut after = self.db.clone();
-        after.apply(update)?;
-
         let n = self.constraints.len();
-        let results: Vec<(Outcome, usize, usize, bool)> = std::thread::scope(|scope| {
-            let after = &after;
+        let delta = DeltaSet::from_update(update);
+        let phase_a: Vec<PhaseA> = std::thread::scope(|scope| {
             let this = &*self;
+            let delta = &delta;
             let handles: Vec<_> = (0..n)
-                .map(|i| scope.spawn(move || this.check_one_readonly(i, update, after)))
+                .map(|i| scope.spawn(move || this.check_one_phase_a(i, update, delta)))
                 .collect();
             handles
                 .into_iter()
@@ -419,41 +695,87 @@ impl ConstraintManager {
                 .collect()
         });
 
+        let pending: Vec<usize> = phase_a
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, PhaseA::NeedsSnapshot))
+            .map(|(i, _)| i)
+            .collect();
+        let mut snapshot_results: BTreeMap<usize, Stage4Result> = BTreeMap::new();
+        if !pending.is_empty() {
+            self.ensure_post_snapshot(update)?;
+            let after = &self.post_memo.as_ref().expect("just built").after;
+            let this = &*self;
+            let verdicts: Vec<(usize, bool)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = pending
+                    .iter()
+                    .map(|&i| {
+                        scope.spawn(move || {
+                            (i, this.constraints[i].engine.run(after).derives_panic())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("constraint checker thread panicked"))
+                    .collect()
+            });
+            for (i, violated) in verdicts {
+                let (tuples, bytes) = self.remote_cost(i);
+                self.stage4_store(i, update, violated, tuples, bytes);
+                snapshot_results.insert(
+                    i,
+                    Stage4Result {
+                        outcome: verdict_outcome(violated),
+                        tuples,
+                        bytes,
+                        kind: Stage4Kind::FullSnapshot,
+                        seeds: 0,
+                    },
+                );
+            }
+        }
+
         let mut report = CheckReport::default();
-        for (i, (outcome, tuples, bytes, full)) in results.into_iter().enumerate() {
-            report.remote_tuples_read += tuples;
-            report.remote_bytes_read += bytes;
-            report.full_checks += usize::from(full);
-            report
-                .outcomes
-                .push((self.constraints[i].name.clone(), outcome));
+        for (i, a) in phase_a.into_iter().enumerate() {
+            let name = self.constraints[i].name.clone();
+            match a {
+                PhaseA::Cheap(outcome) => report.outcomes.push((name, outcome)),
+                PhaseA::Settled(r) => push_stage4(&mut report, name, r),
+                PhaseA::NeedsSnapshot => {
+                    let r = snapshot_results
+                        .remove(&i)
+                        .expect("phase B covered every pending constraint");
+                    push_stage4(&mut report, name, r);
+                }
+            }
         }
         Ok(report)
     }
 
-    /// One constraint's full ladder without mutating anything: stages 1–3
-    /// against the pre-update database, stage 4 against the shared
-    /// post-update snapshot. Returns the outcome, the remote tuples/bytes
-    /// consulted, and whether stage 4 ran.
-    fn check_one_readonly(
-        &self,
-        i: usize,
-        update: &Update,
-        after: &Database,
-    ) -> (Outcome, usize, usize, bool) {
+    /// One constraint's snapshot-free ladder: stages 1–3, then the
+    /// stage-4 verdict cache, then the seeded delta path. Read-only up to
+    /// this constraint's own cache slot.
+    fn check_one_phase_a(&self, i: usize, update: &Update, delta: &DeltaSet) -> PhaseA {
         if let Some(outcome) = self.try_cheap_stages(i, update) {
-            return (outcome, 0, 0, false);
+            return PhaseA::Cheap(outcome);
         }
-        // Remote cost accounting matches `full_check`: counted against the
-        // pre-update database.
-        let (tuples, bytes) = self.remote_cost(i);
-        let violated = self.constraints[i].engine.run(after).derives_panic();
-        let outcome = if violated {
-            Outcome::Violated
-        } else {
-            Outcome::Holds(Method::FullCheck)
-        };
-        (outcome, tuples, bytes, true)
+        if let Some(hit) = self.stage4_probe(i, update) {
+            return PhaseA::Settled(hit);
+        }
+        if self.delta_eligible(i, delta) {
+            let (tuples, bytes) = self.remote_cost(i);
+            let v = self.constraints[i].delta.check(&self.db, delta);
+            self.stage4_store(i, update, v.violated, tuples, bytes);
+            return PhaseA::Settled(Stage4Result {
+                outcome: verdict_outcome(v.violated),
+                tuples,
+                bytes,
+                kind: Stage4Kind::DeltaSeeded,
+                seeds: v.seeds_joined,
+            });
+        }
+        PhaseA::NeedsSnapshot
     }
 
     /// Remote tuples/bytes a full check of constraint `i` consults: every
@@ -685,41 +1007,146 @@ impl ConstraintManager {
         Some(UnionCache { snapshot, union })
     }
 
-    /// Full evaluation of the constraint on the post-update database.
+    /// Stage 4 — full evaluation of the constraint on the post-update
+    /// database, in cost order:
     ///
-    /// Evaluates against a copy-on-write snapshot rather than applying and
-    /// undoing in place: only the updated relation's tuple set is copied,
-    /// the others keep sharing storage and index caches with `self.db`,
-    /// and — crucially — the stage-3 union caches pinned to `self.db`'s
-    /// relations stay valid across the check. The snapshot is built into
-    /// `after` on first use so later escalations in the same check reuse it.
-    fn full_check(
-        &mut self,
-        i: usize,
-        update: &Update,
-        after: &mut Option<Database>,
-    ) -> Result<(Outcome, usize, usize), ManagerError> {
+    /// 1. **verdict cache** — same update, same version of every relation
+    ///    the constraint reads: return the memoized verdict;
+    /// 2. **delta path** — when the registration-time monotonicity
+    ///    analysis says the Δ decides the verdict, run the seeded plans
+    ///    over the *pre-update* relations (no snapshot is ever built);
+    /// 3. **snapshot fallback** — evaluate the engine against the
+    ///    memoized copy-on-write post-update snapshot.
+    ///
+    /// The delta path leans on the paper's standing assumption (§2): the
+    /// pre-update database satisfies the constraint, so a post-update
+    /// violation must have a derivation through a Δ-tuple.
+    fn full_check(&mut self, i: usize, update: &Update) -> Result<Stage4Result, ManagerError> {
+        if let Some(hit) = self.stage4_probe(i, update) {
+            return Ok(hit);
+        }
         // Remote cost: every remote relation the constraint mentions must
         // be consulted.
         let (tuples, bytes) = self.remote_cost(i);
-        let after = match after {
-            Some(db) => db,
-            None => {
-                let mut a = self.db.clone();
-                a.apply(update)?;
-                after.insert(a)
-            }
+        let delta = DeltaSet::from_update(update);
+        let (violated, kind, seeds) = if self.delta_eligible(i, &delta) {
+            let v = self.constraints[i].delta.check(&self.db, &delta);
+            (v.violated, Stage4Kind::DeltaSeeded, v.seeds_joined)
+        } else {
+            self.ensure_post_snapshot(update)?;
+            let after = &self.post_memo.as_ref().expect("just built").after;
+            let violated = self.constraints[i].engine.run(after).derives_panic();
+            (violated, Stage4Kind::FullSnapshot, 0)
         };
-        let violated = self.constraints[i].engine.run(after).derives_panic();
-        Ok((
-            if violated {
-                Outcome::Violated
-            } else {
-                Outcome::Holds(Method::FullCheck)
-            },
+        self.stage4_store(i, update, violated, tuples, bytes);
+        Ok(Stage4Result {
+            outcome: verdict_outcome(violated),
             tuples,
             bytes,
-        ))
+            kind,
+            seeds,
+        })
+    }
+
+    /// Probes constraint `i`'s stage-4 verdict cache.
+    fn stage4_probe(&self, i: usize, update: &Update) -> Option<Stage4Result> {
+        let slot = self.constraints[i]
+            .stage4_cache
+            .lock()
+            .expect("stage-4 cache lock poisoned");
+        let cache = slot.as_ref()?;
+        if cache.update != *update || !self.pins_current(&cache.pins) {
+            return None;
+        }
+        Some(Stage4Result {
+            outcome: verdict_outcome(cache.violated),
+            tuples: cache.tuples,
+            bytes: cache.bytes,
+            kind: Stage4Kind::CachedVerdict,
+            seeds: 0,
+        })
+    }
+
+    /// Records constraint `i`'s stage-4 verdict with its validity key:
+    /// the update value plus pins of every relation the constraint reads.
+    fn stage4_store(&self, i: usize, update: &Update, violated: bool, tuples: usize, bytes: usize) {
+        let pins = self.constraints[i]
+            .constraint
+            .program()
+            .edb_predicates()
+            .into_iter()
+            .map(|p| {
+                let snap = self.db.relation(p.as_str()).map(|r| r.snapshot());
+                (p.as_str().to_string(), snap)
+            })
+            .collect();
+        *self.constraints[i]
+            .stage4_cache
+            .lock()
+            .expect("stage-4 cache lock poisoned") = Some(Stage4Cache {
+            update: update.clone(),
+            pins,
+            violated,
+            tuples,
+            bytes,
+        });
+    }
+
+    /// Do all pins still match the live database? A relation that existed
+    /// must be the same tuple-set version; one that was absent must still
+    /// be absent.
+    fn pins_current(&self, pins: &Pins) -> bool {
+        pins.iter()
+            .all(|(pred, pin)| match (pin, self.db.relation(pred)) {
+                (Some(snap), Some(rel)) => snap.same_as(rel),
+                (None, None) => true,
+                _ => false,
+            })
+    }
+
+    /// Builds (or revalidates) the memoized post-update snapshot: the
+    /// copy-on-write clone of the database with `update` applied that
+    /// every snapshot-path full check of that update shares — across
+    /// constraints *and* across repeated checks of the same update. The
+    /// memo is keyed on the update value plus pins over every declared
+    /// relation, so any database mutation invalidates it automatically.
+    fn ensure_post_snapshot(&mut self, update: &Update) -> Result<(), ManagerError> {
+        let current = self
+            .post_memo
+            .as_ref()
+            .is_some_and(|m| m.update == *update && self.post_pins_current(&m.pins));
+        if current {
+            return Ok(());
+        }
+        // Copy-on-write: only the updated relation's tuple set is
+        // physically copied; the others keep sharing storage and index
+        // caches with `self.db`, and the stage-3 union caches pinned to
+        // `self.db`'s relations stay valid across the check.
+        let mut after = self.db.clone();
+        after.apply(update)?;
+        let pins = self
+            .db
+            .decls()
+            .map(|d| {
+                let name = d.name.as_str().to_string();
+                let snap = self.db.relation(&name).map(|r| r.snapshot());
+                (name, snap)
+            })
+            .collect();
+        self.post_memo = Some(PostSnapshot {
+            update: update.clone(),
+            pins,
+            after,
+        });
+        self.post_rebuilds += 1;
+        Ok(())
+    }
+
+    /// Pin currency for the post-update snapshot: every declared relation
+    /// unchanged, and no relations declared since (a new declaration
+    /// would be missing from the pinned snapshot).
+    fn post_pins_current(&self, pins: &Pins) -> bool {
+        pins.len() == self.db.decls().count() && self.pins_current(pins)
     }
 }
 
@@ -1111,7 +1538,7 @@ mod tests {
 
     /// A three-constraint employee schema with enough data that every
     /// ladder stage is reachable.
-    fn emp_mgr() -> ConstraintManager {
+    pub(super) fn emp_mgr() -> ConstraintManager {
         let mut db = Database::new();
         db.declare("emp", 3, Locality::Local).unwrap();
         db.declare("dept", 1, Locality::Remote).unwrap();
@@ -1198,6 +1625,248 @@ mod tests {
                 ccpi_parser::parse_constraint("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.").unwrap();
             let truth = constraint_violated(&c, &after).unwrap();
             assert_eq!(!outcome.holds(), truth, "insert ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn delta_path_decides_monotone_escalations_without_a_snapshot() {
+        let mut mgr = emp_mgr();
+        mgr.set_parallel_checking(Some(false));
+        // An uncovered emp insert escalates all three constraints; every
+        // body is positive in emp, so all three ride the delta path.
+        let u = Update::insert("emp", tuple!["dave", "ghost", 50]);
+        let report = mgr.check_update(&u).unwrap();
+        assert_eq!(report.violations(), vec!["referential"]);
+        assert_eq!(report.full_checks, 3);
+        for name in ["referential", "pay-floor", "pay-ceiling"] {
+            assert_eq!(report.stage4_kind(name), Some(Stage4Kind::DeltaSeeded));
+        }
+        assert!(report.delta_tuples_joined >= 3, "one seed per constraint");
+        assert_eq!(
+            mgr.post_snapshot_rebuilds(),
+            0,
+            "an all-delta check never clones the database"
+        );
+
+        // Re-checking the same update hits the verdict cache: same
+        // report, still no snapshot, nothing re-joined.
+        let again = mgr.check_update(&u).unwrap();
+        assert_eq!(again, report);
+        for name in ["referential", "pay-floor", "pay-ceiling"] {
+            assert_eq!(again.stage4_kind(name), Some(Stage4Kind::CachedVerdict));
+        }
+        assert_eq!(again.delta_tuples_joined, 0);
+        assert_eq!(mgr.post_snapshot_rebuilds(), 0);
+
+        // Deleting from a positively-read relation is monotone the other
+        // way: decided on the delta path with zero seeds.
+        let shrink = Update::delete("emp", tuple!["ann", "sales", 80]);
+        let report = mgr.check_update(&shrink).unwrap();
+        for (name, outcome) in &report.outcomes {
+            assert!(outcome.holds(), "{name} cannot break by shrinking emp");
+        }
+        assert_eq!(mgr.post_snapshot_rebuilds(), 0);
+    }
+
+    #[test]
+    fn post_update_snapshot_is_memoized_on_update_identity() {
+        let mut mgr = emp_mgr();
+        mgr.set_parallel_checking(Some(false));
+        // Deleting a department can *create* referential violations —
+        // a non-monotone case, so stage 4 takes the snapshot fallback.
+        let u = Update::delete("dept", tuple!["sales"]);
+        assert_eq!(mgr.post_snapshot_rebuilds(), 0);
+        let r1 = mgr.check_update(&u).unwrap();
+        assert_eq!(r1.outcome("referential"), Some(Outcome::Violated));
+        assert_eq!(
+            r1.stage4_kind("referential"),
+            Some(Stage4Kind::FullSnapshot)
+        );
+        assert_eq!(mgr.post_snapshot_rebuilds(), 1);
+
+        // Regression: the same update twice must not re-clone the
+        // database — the verdict cache answers outright.
+        let r2 = mgr.check_update(&u).unwrap();
+        assert_eq!(r2, r1);
+        assert_eq!(
+            r2.stage4_kind("referential"),
+            Some(Stage4Kind::CachedVerdict)
+        );
+        assert_eq!(mgr.post_snapshot_rebuilds(), 1);
+
+        // A newly registered snapshot-path constraint checking the same
+        // update reuses the memoized snapshot across calls.
+        mgr.add_constraint("strict", "panic :- emp(E,D,S) & not dept(D) & S > 90.")
+            .unwrap();
+        let r3 = mgr.check_update(&u).unwrap();
+        if r3.stage4_kind("strict") == Some(Stage4Kind::FullSnapshot) {
+            assert_eq!(mgr.post_snapshot_rebuilds(), 1, "memoized on identity");
+        }
+
+        // Any database mutation invalidates the memo.
+        mgr.database_mut()
+            .insert("emp", tuple!["zed", "sales", 50])
+            .unwrap();
+        let r4 = mgr.check_update(&u).unwrap();
+        assert_eq!(r4.outcome("referential"), Some(Outcome::Violated));
+        assert!(
+            mgr.post_snapshot_rebuilds() >= 2,
+            "stale pins force a rebuild"
+        );
+    }
+
+    #[test]
+    fn batch_check_matches_sequential_checks() {
+        let updates = [
+            Update::insert("emp", tuple!["carol", "sales", 50]), // holds
+            Update::insert("emp", tuple!["dave", "ghost", 50]),  // referential violation
+            Update::insert("emp", tuple!["erin", "toys", 5]),    // pay-floor violation
+            Update::insert("emp", tuple!["erin", "toys", 500]),  // pay-ceiling violation
+            Update::insert("dept", tuple!["garden"]),            // independent
+            Update::delete("emp", tuple!["ann", "sales", 80]),   // deletion
+            Update::delete("dept", tuple!["sales"]),             // snapshot fallback
+            Update::insert("emp", tuple!["dave", "ghost", 50]),  // duplicate → cache
+        ];
+        let mut seq = emp_mgr();
+        seq.set_parallel_checking(Some(false));
+        let want: Vec<CheckReport> = updates
+            .iter()
+            .map(|u| seq.check_update(u).unwrap())
+            .collect();
+
+        let mut batch = emp_mgr();
+        let before = batch.database().total_tuples();
+        let got = batch.check_updates(&updates).unwrap();
+        assert_eq!(got.len(), want.len());
+        for ((g, w), u) in got.iter().zip(&want).zip(&updates) {
+            assert_eq!(g, w, "batch diverges from sequential on {u:?}");
+        }
+        assert_eq!(
+            batch.database().total_tuples(),
+            before,
+            "checking a batch applies nothing"
+        );
+    }
+
+    #[test]
+    fn batch_hydrates_each_remote_relation_once() {
+        use crate::distributed::SiteSplit;
+        use crate::remote::{RemoteError, RemoteSource};
+        use crate::report::WireStats;
+
+        struct CountingSource {
+            remote: Database,
+            fetches: u64,
+        }
+        impl RemoteSource for CountingSource {
+            fn fetch_relation(
+                &mut self,
+                pred: &str,
+            ) -> Result<Vec<ccpi_storage::Tuple>, RemoteError> {
+                self.fetches += 1;
+                self.remote
+                    .relation(pred)
+                    .map(|r| r.iter().cloned().collect())
+                    .ok_or_else(|| RemoteError::Protocol(format!("unknown relation {pred}")))
+            }
+            fn wire_stats(&self) -> WireStats {
+                WireStats {
+                    requests: self.fetches,
+                    round_trips: self.fetches,
+                    ..WireStats::default()
+                }
+            }
+        }
+
+        let mut db = Database::new();
+        db.declare("l", 2, Locality::Local).unwrap();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        db.insert("l", tuple![3, 6]).unwrap();
+        db.insert("r", tuple![20]).unwrap();
+        let split = SiteSplit::of(&db);
+        let mut src = CountingSource {
+            remote: split.remote,
+            fetches: 0,
+        };
+        let mut mgr = ConstraintManager::new(SiteSplit::local_view(&db));
+        mgr.add_constraint("intervals", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+            .unwrap();
+
+        // Two escalating updates, one batch: the remote relation is
+        // fetched once, attributed to the first update that needed it.
+        let batch = [
+            Update::insert("l", tuple![15, 25]),
+            Update::insert("l", tuple![21, 30]),
+        ];
+        let reports = mgr.check_updates_with_remote(&batch, &mut src).unwrap();
+        assert_eq!(src.fetches, 1, "one hydration for the whole batch");
+        assert_eq!(reports[0].outcome("intervals"), Some(Outcome::Violated));
+        assert!(matches!(
+            reports[1].outcome("intervals"),
+            Some(Outcome::Holds(Method::FullCheck))
+        ));
+        assert_eq!(reports[0].wire.requests, 1);
+        assert_eq!(reports[1].wire.requests, 0);
+        assert!(reports[0].remote_tuples_read > 0);
+        // The local view is restored after the batch.
+        assert!(mgr.database().relation("r").unwrap().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use ccpi_storage::tuple;
+    use proptest::prelude::*;
+
+    /// Random updates over the employee schema, biased toward the
+    /// escalation-prone emp inserts but covering deletes and the remote
+    /// relations so every stage-4 path (delta, monotone-delete, snapshot
+    /// fallback, cached verdict) appears in batches.
+    fn update_strategy() -> impl Strategy<Value = Update> {
+        let name = prop_oneof![Just("ann"), Just("bob"), Just("carol"), Just("dave")];
+        let dept = prop_oneof![Just("sales"), Just("toys"), Just("ghost")];
+        prop_oneof![
+            (name.clone(), dept.clone(), 0i64..250)
+                .prop_map(|(e, d, s)| Update::insert("emp", tuple![e, d, s])),
+            (name.clone(), dept.clone(), 0i64..250)
+                .prop_map(|(e, d, s)| Update::insert("emp", tuple![e, d, s])),
+            (name.clone(), dept.clone(), 0i64..250)
+                .prop_map(|(e, d, s)| Update::insert("emp", tuple![e, d, s])),
+            (name, dept.clone(), 0i64..250)
+                .prop_map(|(e, d, s)| Update::delete("emp", tuple![e, d, s])),
+            dept.clone().prop_map(|d| Update::insert("dept", tuple![d])),
+            dept.clone().prop_map(|d| Update::delete("dept", tuple![d])),
+            (dept.clone(), 0i64..50, 100i64..300)
+                .prop_map(|(d, lo, hi)| Update::insert("salRange", tuple![d, lo, hi])),
+            (dept, 0i64..50, 100i64..300)
+                .prop_map(|(d, lo, hi)| Update::delete("salRange", tuple![d, lo, hi])),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        /// `check_updates` of N updates ≡ N `check_update` calls, on the
+        /// employee constraint set (the E6 workload's), across every
+        /// stage-4 path a batch can mix.
+        #[test]
+        fn batch_equals_sequential_on_the_employee_constraints(
+            updates in prop::collection::vec(update_strategy(), 1..8),
+        ) {
+            let mut seq = super::tests::emp_mgr();
+            seq.set_parallel_checking(Some(false));
+            let want: Vec<CheckReport> = updates
+                .iter()
+                .map(|u| seq.check_update(u).unwrap())
+                .collect();
+
+            let mut batch = super::tests::emp_mgr();
+            let got = batch.check_updates(&updates).unwrap();
+            prop_assert_eq!(got.len(), want.len());
+            for ((g, w), u) in got.iter().zip(&want).zip(&updates) {
+                prop_assert_eq!(g, w, "batch diverged from sequential on {:?}", u);
+            }
         }
     }
 }

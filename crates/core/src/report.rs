@@ -43,6 +43,34 @@ impl fmt::Display for Method {
     }
 }
 
+/// How a stage-4 full check was actually evaluated. Attribution only —
+/// the verdict is identical across kinds (the equivalence the delta-path
+/// proptests pin down), so these fields are deliberately excluded from
+/// [`CheckReport`]'s `PartialEq`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub enum Stage4Kind {
+    /// Delta plans seeded with the update's Δ-tuples joined over the
+    /// pre-update database — no post-update snapshot was built.
+    DeltaSeeded,
+    /// The classic path: evaluate the whole program over a copy-on-write
+    /// post-update snapshot.
+    FullSnapshot,
+    /// A previously computed verdict for the same update against the same
+    /// relation versions (certified by `TupleSnapshot` pins) was reused.
+    CachedVerdict,
+}
+
+impl fmt::Display for Stage4Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage4Kind::DeltaSeeded => write!(f, "delta-seeded"),
+            Stage4Kind::FullSnapshot => write!(f, "full-snapshot"),
+            Stage4Kind::CachedVerdict => write!(f, "cached-verdict"),
+        }
+    }
+}
+
 /// Why a constraint's status could not be determined.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
@@ -166,7 +194,7 @@ impl fmt::Display for WireStats {
 }
 
 /// The result of checking one update against every registered constraint.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct CheckReport {
     /// Per-constraint outcomes, in registration order.
@@ -180,7 +208,30 @@ pub struct CheckReport {
     pub full_checks: usize,
     /// Measured transport counters (all zeros without a remote source).
     pub wire: WireStats,
+    /// Per-constraint stage-4 evaluation kinds, in escalation order (only
+    /// constraints that reached stage 4 appear). Attribution, not outcome.
+    pub stage4_kinds: Vec<(String, Stage4Kind)>,
+    /// Total Δ-tuples instantiated into delta plans across all seeded
+    /// stage-4 evaluations of this check.
+    pub delta_tuples_joined: usize,
 }
+
+/// Equality ignores the stage-4 *attribution* fields (`stage4_kinds`,
+/// `delta_tuples_joined`): a warm manager answering from its verdict cache
+/// and a fresh manager re-deriving the same verdict report the same check —
+/// which is exactly the equivalence the delta path guarantees and the
+/// cached-vs-fresh stream tests assert.
+impl PartialEq for CheckReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.outcomes == other.outcomes
+            && self.remote_tuples_read == other.remote_tuples_read
+            && self.remote_bytes_read == other.remote_bytes_read
+            && self.full_checks == other.full_checks
+            && self.wire == other.wire
+    }
+}
+
+impl Eq for CheckReport {}
 
 impl CheckReport {
     /// The outcome for a constraint by name.
@@ -236,6 +287,29 @@ impl CheckReport {
             })
             .collect()
     }
+
+    /// How many stage-4 evaluations ran each way.
+    pub fn stage4_histogram(&self) -> Vec<(Stage4Kind, usize)> {
+        [
+            Stage4Kind::DeltaSeeded,
+            Stage4Kind::FullSnapshot,
+            Stage4Kind::CachedVerdict,
+        ]
+        .into_iter()
+        .map(|k| {
+            let n = self.stage4_kinds.iter().filter(|(_, x)| *x == k).count();
+            (k, n)
+        })
+        .collect()
+    }
+
+    /// The stage-4 kind recorded for a constraint, if it escalated.
+    pub fn stage4_kind(&self, name: &str) -> Option<Stage4Kind> {
+        self.stage4_kinds
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, k)| *k)
+    }
 }
 
 impl fmt::Display for CheckReport {
@@ -252,6 +326,19 @@ impl fmt::Display for CheckReport {
             "  remote reads: {} tuples / {} bytes; full checks: {}",
             self.remote_tuples_read, self.remote_bytes_read, self.full_checks
         )?;
+        if !self.stage4_kinds.is_empty() {
+            let parts: Vec<String> = self
+                .stage4_kinds
+                .iter()
+                .map(|(n, k)| format!("{n}={k}"))
+                .collect();
+            write!(
+                f,
+                "\n  stage 4: {} ({} delta tuples joined)",
+                parts.join(", "),
+                self.delta_tuples_joined
+            )?;
+        }
         if !self.wire.is_zero() {
             write!(f, "\n  wire: {}", self.wire)?;
         }
@@ -274,6 +361,7 @@ mod tests {
             remote_bytes_read: 80,
             full_checks: 1,
             wire: WireStats::default(),
+            ..CheckReport::default()
         };
         assert!(!r.all_hold());
         assert_eq!(r.violations(), vec!["b"]);
@@ -337,6 +425,8 @@ mod tests {
                     Outcome::Unknown(UnknownCause::RemoteUnavailable),
                 ),
             ],
+            stage4_kinds: vec![("b".into(), Stage4Kind::DeltaSeeded)],
+            delta_tuples_joined: 3,
             ..CheckReport::default()
         };
         let json = serde::json::to_string(&r);
@@ -344,6 +434,48 @@ mod tests {
         assert!(json.contains("LocalTest"), "{json}");
         assert!(json.contains("RemoteUnavailable"), "{json}");
         assert!(json.contains("\"wire\""), "{json}");
+        assert!(json.contains("\"stage4_kinds\""), "{json}");
+        assert!(json.contains("DeltaSeeded"), "{json}");
+        assert!(json.contains("\"delta_tuples_joined\""), "{json}");
+    }
+
+    #[test]
+    fn stage4_attribution_is_excluded_from_equality() {
+        let base = CheckReport {
+            outcomes: vec![("a".into(), Outcome::Holds(Method::FullCheck))],
+            full_checks: 1,
+            ..CheckReport::default()
+        };
+        let mut cached = base.clone();
+        cached.stage4_kinds = vec![("a".into(), Stage4Kind::CachedVerdict)];
+        let mut seeded = base.clone();
+        seeded.stage4_kinds = vec![("a".into(), Stage4Kind::DeltaSeeded)];
+        seeded.delta_tuples_joined = 2;
+        assert_eq!(base, cached);
+        assert_eq!(cached, seeded);
+        // ...but real differences still show.
+        let mut other = base.clone();
+        other.full_checks = 2;
+        assert_ne!(base, other);
+    }
+
+    #[test]
+    fn stage4_histogram_counts_kinds() {
+        let r = CheckReport {
+            stage4_kinds: vec![
+                ("a".into(), Stage4Kind::DeltaSeeded),
+                ("b".into(), Stage4Kind::DeltaSeeded),
+                ("c".into(), Stage4Kind::FullSnapshot),
+            ],
+            ..CheckReport::default()
+        };
+        let hist = r.stage4_histogram();
+        assert_eq!(hist[0], (Stage4Kind::DeltaSeeded, 2));
+        assert_eq!(hist[1], (Stage4Kind::FullSnapshot, 1));
+        assert_eq!(hist[2], (Stage4Kind::CachedVerdict, 0));
+        assert_eq!(r.stage4_kind("c"), Some(Stage4Kind::FullSnapshot));
+        assert_eq!(r.stage4_kind("zzz"), None);
+        assert!(r.to_string().contains("delta-seeded"));
     }
 
     #[test]

@@ -1,0 +1,682 @@
+//! Seeded delta plans: stage-4 checking whose cost tracks `|Δ|`, not `|DB|`.
+//!
+//! A snapshot full check evaluates a constraint's whole program over a
+//! copy-on-write post-update database. For the common case — an *insertion*
+//! into a relation the constraint's body uses only *positively* — that is
+//! wildly wasteful: a new violation, if any, must use the new tuple in at
+//! least one body occurrence (under the paper's §2 standing assumption that
+//! all constraints hold before the update, the old database derives no
+//! `panic`). So instead of re-joining everything, a [`DeltaPlanSet`]
+//! compiles, per rule and per body occurrence of each relation `R`, a
+//! variant of the rule's [`JoinPlan`] whose first level is pre-bound to a
+//! Δ-tuple of `R` ([`JoinPlan::compile_seeded`]); checking an update then
+//! means seeding those plans with the Δ-tuples and joining outward. A rule
+//! with k occurrences of `R` contributes k delta plans whose results are
+//! unioned — any post-update derivation that uses a Δ-tuple maps *some*
+//! occurrence to it, and the remaining occurrences read the post-update
+//! state through an [`Overlay`].
+//!
+//! **Eligibility** is decided statically by a polarity (monotonicity)
+//! analysis over the stratified program: `panic`'s derivability is monotone
+//! in relation `R` iff every path from an occurrence of `R` to `panic`
+//! crosses an even number of negations. Inserts into monotone relations
+//! can use the seeded path; deletions, occurrences under negation, and
+//! mixed-polarity relations fall back to the snapshot full check. The
+//! seeded *evaluation* is additionally restricted to flat programs (every
+//! body literal over an EDB relation) — the shape of every constraint the
+//! paper's examples use; deeper programs would need Δ-propagation through
+//! IDB relations and simply keep the snapshot path.
+
+use crate::join::Store;
+use crate::plan::{JoinPlan, Overlay};
+use ccpi_ir::{Program, Sym, PANIC};
+use ccpi_storage::{Database, DeltaSet, Relation, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a relation's tuples can affect `panic`: the sign of the occurrences
+/// on derivation paths from the relation to the goal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Polarity {
+    /// Every occurrence reaches `panic` through an even number of
+    /// negations: more tuples can only derive more `panic` facts.
+    Positive,
+    /// Every occurrence crosses an odd number of negations: more tuples
+    /// can only *retract* `panic` derivations.
+    Negative,
+    /// Occurrences of both signs — no monotonicity either way.
+    Mixed,
+}
+
+impl Polarity {
+    fn join(self, other: Polarity) -> Polarity {
+        if self == other {
+            self
+        } else {
+            Polarity::Mixed
+        }
+    }
+
+    fn flip(self) -> Polarity {
+        match self {
+            Polarity::Positive => Polarity::Negative,
+            Polarity::Negative => Polarity::Positive,
+            Polarity::Mixed => Polarity::Mixed,
+        }
+    }
+}
+
+/// The verdict of a seeded delta check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaVerdict {
+    /// `true` iff some delta plan derived `panic` — i.e. the post-update
+    /// database violates the constraint (given the standing assumption).
+    pub violated: bool,
+    /// Number of Δ-tuples instantiated into delta plans (a Δ-tuple seeding
+    /// k plans counts k times).
+    pub seeds_joined: usize,
+    /// Total `panic` derivations found across all plans.
+    pub derivations: usize,
+}
+
+/// Per-occurrence delta plans plus the static analysis that gates them,
+/// compiled once per constraint at registration time.
+#[derive(Clone, Debug)]
+pub struct DeltaPlanSet {
+    /// Polarity of each EDB relation w.r.t. `panic`, from the sign
+    /// propagation described in the module docs.
+    polarity: BTreeMap<Sym, Polarity>,
+    /// `true` when every rule body reads only EDB relations — the shape
+    /// the seeded evaluator supports.
+    flat: bool,
+    /// Seeded plans per EDB relation: one per (panic rule, occurrence).
+    /// Only populated for flat programs.
+    plans: BTreeMap<Sym, Vec<JoinPlan>>,
+    /// Arity of each EDB relation the program reads.
+    edb_sig: BTreeMap<Sym, usize>,
+}
+
+impl DeltaPlanSet {
+    /// Compiles the delta plans and polarity analysis for a program.
+    ///
+    /// The program must already be validated (consistent signature, safe
+    /// rules, stratifiable) — the manager builds its [`crate::Engine`]
+    /// first, which checks all three.
+    pub fn compile(program: &Program) -> DeltaPlanSet {
+        let idb = program.idb_predicates();
+        let edb = program.edb_predicates();
+        let sig = program.signature().expect("validated by Engine::new");
+        let edb_sig: BTreeMap<Sym, usize> =
+            sig.into_iter().filter(|(p, _)| edb.contains(p)).collect();
+
+        // Sign propagation to fixpoint: `pol[q][p]` is the polarity of EDB
+        // relation `p` in derivations of IDB predicate `q`. Terminates
+        // because the {Positive, Negative, Mixed} join-semilattice is
+        // finite and `join` only moves up.
+        let mut pol: BTreeMap<Sym, BTreeMap<Sym, Polarity>> = BTreeMap::new();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for rule in &program.rules {
+                let mut contributions: Vec<(Sym, Polarity)> = Vec::new();
+                for (atom, sign) in rule
+                    .positive_subgoals()
+                    .map(|a| (a, Polarity::Positive))
+                    .chain(rule.negated_subgoals().map(|a| (a, Polarity::Negative)))
+                {
+                    if idb.contains(&atom.pred) {
+                        if let Some(inner) = pol.get(&atom.pred) {
+                            for (p, &s) in inner {
+                                let s = if sign == Polarity::Negative {
+                                    s.flip()
+                                } else {
+                                    s
+                                };
+                                contributions.push((p.clone(), s));
+                            }
+                        }
+                    } else {
+                        contributions.push((atom.pred.clone(), sign));
+                    }
+                }
+                let head = pol.entry(rule.head.pred.clone()).or_default();
+                for (p, s) in contributions {
+                    let merged = match head.get(&p) {
+                        Some(&old) => old.join(s),
+                        None => s,
+                    };
+                    if head.insert(p, merged) != Some(merged) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let polarity = pol.remove(PANIC).unwrap_or_default();
+
+        let flat = program.rules.iter().all(|r| {
+            r.positive_subgoals()
+                .chain(r.negated_subgoals())
+                .all(|a| !idb.contains(&a.pred))
+        });
+
+        let mut plans: BTreeMap<Sym, Vec<JoinPlan>> = BTreeMap::new();
+        if flat {
+            for rule in program.rules.iter().filter(|r| r.head.pred == PANIC) {
+                for (occ, atom) in rule.positive_subgoals().enumerate() {
+                    plans
+                        .entry(atom.pred.clone())
+                        .or_default()
+                        .push(JoinPlan::compile_seeded(rule, occ));
+                }
+            }
+        }
+
+        DeltaPlanSet {
+            polarity,
+            flat,
+            plans,
+            edb_sig,
+        }
+    }
+
+    /// The polarity of `pred` w.r.t. `panic`, or `None` when the program
+    /// never reads it (its tuples cannot affect the verdict).
+    pub fn polarity(&self, pred: &str) -> Option<Polarity> {
+        self.polarity.get(pred).copied()
+    }
+
+    /// `true` when every rule body is EDB-only (see module docs).
+    pub fn is_flat(&self) -> bool {
+        self.flat
+    }
+
+    /// Number of seeded plans compiled for `pred` — one per (rule,
+    /// occurrence) pair.
+    pub fn plan_count(&self, pred: &str) -> usize {
+        self.plans.get(pred).map(Vec::len).unwrap_or(0)
+    }
+
+    /// `true` when the delta path decides this Δ exactly (given the
+    /// standing assumption). Every changed relation the program reads must
+    /// be positive w.r.t. `panic`; then:
+    ///
+    /// * **insert-only** Δ — a new violation must use a Δ-tuple, so the
+    ///   seeded plans decide it (requires a flat program for the plans to
+    ///   exist);
+    /// * **delete-only** Δ — shrinking positively-read relations can only
+    ///   retract `panic` derivations, so the constraint trivially still
+    ///   holds (no plans needed, any program shape);
+    /// * **mixed** inserts and deletes across read relations fall back: a
+    ///   seeded check over `pre ∪ Δ⁺` could report a violation whose
+    ///   derivation uses a deleted tuple.
+    pub fn eligible(&self, delta: &DeltaSet) -> bool {
+        let mut any_insert = false;
+        let mut any_delete = false;
+        for pred in delta.touched_preds() {
+            if !self.edb_sig.contains_key(pred) {
+                continue; // unread relations cannot affect the verdict
+            }
+            if self.polarity.get(pred) != Some(&Polarity::Positive) {
+                return false;
+            }
+            any_insert |= !delta.inserted(pred.as_str()).is_empty();
+            any_delete |= delta.deletes_from(pred.as_str());
+        }
+        if any_insert && any_delete {
+            return false;
+        }
+        !any_insert || self.flat
+    }
+
+    /// Runs the seeded delta check: seeds every plan of every changed
+    /// relation with the *fresh* Δ-tuples (inserts not already present in
+    /// `db`) and reports whether any plan derives `panic`.
+    ///
+    /// Callers must have established [`DeltaPlanSet::eligible`]; the
+    /// verdict then equals the snapshot full check's, by the standing
+    /// assumption that `db` itself satisfies the constraint.
+    pub fn check(&self, db: &Database, delta: &DeltaSet) -> DeltaVerdict {
+        self.check_loaded(&self.load(db), delta)
+    }
+
+    /// Batch variant: loads the pre-update EDB once and checks each Δ
+    /// independently against it. The Δs deliberately do *not* see each
+    /// other — every verdict matches a standalone [`DeltaPlanSet::check`]
+    /// of that Δ alone, so callers get per-update semantics while paying
+    /// the relation loading once per batch.
+    pub fn check_batch(&self, db: &Database, deltas: &[DeltaSet]) -> Vec<DeltaVerdict> {
+        let store = self.load(db);
+        deltas
+            .iter()
+            .map(|d| self.check_loaded(&store, d))
+            .collect()
+    }
+
+    /// Loads the pre-update EDB by O(1) copy-on-write clones.
+    fn load(&self, db: &Database) -> Store {
+        let mut store = Store::default();
+        for (pred, &arity) in &self.edb_sig {
+            let rel = db
+                .relation(pred.as_str())
+                .cloned()
+                .unwrap_or_else(|| Relation::new(arity));
+            store.rels.insert(pred.clone(), rel);
+        }
+        store
+    }
+
+    fn check_loaded(&self, store: &Store, delta: &DeltaSet) -> DeltaVerdict {
+        // Fresh seeds: inserted tuples the base does not already hold
+        // (re-inserting a present tuple leaves the database unchanged).
+        let fresh: BTreeMap<Sym, Vec<Tuple>> = delta
+            .inserts()
+            .filter(|(p, _)| self.edb_sig.contains_key(p.as_str()))
+            .map(|(p, ts)| {
+                let ts = ts
+                    .iter()
+                    .filter(|t| !store.contains(p, t))
+                    .cloned()
+                    .collect::<Vec<_>>();
+                (p.clone(), ts)
+            })
+            .collect();
+        let mut overlay = Overlay::default();
+        for (p, ts) in &fresh {
+            overlay.add(p.clone(), ts);
+        }
+
+        let mut verdict = DeltaVerdict::default();
+        for (pred, seeds) in &fresh {
+            if seeds.is_empty() {
+                continue;
+            }
+            for plan in self.plans.get(pred).map(Vec::as_slice).unwrap_or(&[]) {
+                verdict.seeds_joined += seeds.len();
+                plan.eval_seeded(store, &overlay, seeds, &mut |_| {
+                    verdict.derivations += 1;
+                });
+            }
+        }
+        verdict.violated = verdict.derivations > 0;
+        verdict
+    }
+}
+
+/// The set of EDB relations `program` reads only positively on every path
+/// to `panic` — the relations whose inserts the delta path can decide.
+pub fn positive_edb_preds(plans: &DeltaPlanSet) -> BTreeSet<Sym> {
+    plans
+        .polarity
+        .iter()
+        .filter(|(_, &s)| s == Polarity::Positive)
+        .map(|(p, _)| p.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_parser::parse_program;
+    use ccpi_storage::{tuple, Locality, Update};
+
+    fn emp_db() -> Database {
+        let mut db = Database::new();
+        db.declare("emp", 3, Locality::Local).unwrap();
+        db.declare("dept", 1, Locality::Local).unwrap();
+        db.insert("emp", tuple!["a", "toy", 10]).unwrap();
+        db.insert("dept", tuple!["toy"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn polarity_direct_occurrences() {
+        let p = parse_program("panic :- emp(E,D,S) & not dept(D).").unwrap();
+        let d = DeltaPlanSet::compile(&p);
+        assert_eq!(d.polarity("emp"), Some(Polarity::Positive));
+        assert_eq!(d.polarity("dept"), Some(Polarity::Negative));
+        assert_eq!(d.polarity("salRange"), None);
+        assert!(d.is_flat());
+    }
+
+    #[test]
+    fn polarity_propagates_through_idb_with_sign_flips() {
+        // bad is an IDB helper; dept reaches panic through one negation
+        // (inside bad) and emp through zero in one rule, one in the other.
+        let p = parse_program(
+            "bad(E) :- emp(E,D,S) & not dept(D).\n\
+             panic :- emp(E,D,S) & bad(E).",
+        )
+        .unwrap();
+        let d = DeltaPlanSet::compile(&p);
+        assert_eq!(d.polarity("emp"), Some(Polarity::Positive));
+        assert_eq!(d.polarity("dept"), Some(Polarity::Negative));
+        assert!(!d.is_flat());
+
+        // Negating the helper flips both signs.
+        let p = parse_program(
+            "ok(E) :- emp(E,D,S) & dept(D).\n\
+             panic :- emp(E,D,S) & not ok(E).",
+        )
+        .unwrap();
+        let d = DeltaPlanSet::compile(&p);
+        // emp occurs both positively (panic body) and under the negated
+        // helper: mixed.
+        assert_eq!(d.polarity("emp"), Some(Polarity::Mixed));
+        assert_eq!(d.polarity("dept"), Some(Polarity::Negative));
+    }
+
+    #[test]
+    fn k_occurrences_yield_k_plans() {
+        let p = parse_program("panic :- emp(E,D,S) & emp(F,D,T) & S < T & not dept(D).").unwrap();
+        let d = DeltaPlanSet::compile(&p);
+        assert_eq!(d.plan_count("emp"), 2);
+        assert_eq!(d.plan_count("dept"), 0, "negated occurrences never seed");
+        assert_eq!(positive_edb_preds(&d).len(), 1);
+    }
+
+    #[test]
+    fn eligibility_gates() {
+        let p = parse_program("panic :- emp(E,D,S) & not dept(D).").unwrap();
+        let d = DeltaPlanSet::compile(&p);
+        let ins = |pred, t| DeltaSet::from_update(&Update::insert(pred, t));
+        let del = |pred, t| DeltaSet::from_update(&Update::delete(pred, t));
+        assert!(d.eligible(&ins("emp", tuple!["a", "toy", 10])));
+        // Deleting from a positively-read relation only shrinks the set of
+        // panic derivations: eligible, decided with zero seeds.
+        let shrink = del("emp", tuple!["a", "toy", 10]);
+        assert!(d.eligible(&shrink));
+        let v = d.check(&emp_db(), &shrink);
+        assert!(!v.violated);
+        assert_eq!(v.seeds_joined, 0);
+        assert!(
+            !d.eligible(&ins("dept", tuple!["toy"])),
+            "negative polarity"
+        );
+        assert!(
+            !d.eligible(&del("dept", tuple!["toy"])),
+            "negative polarity"
+        );
+        assert!(
+            d.eligible(&del("salRange", tuple!["x"])),
+            "changes to unread relations are trivially decidable"
+        );
+        // A batch mixing an eligible insert with a read-relation delete is out.
+        let mixed = DeltaSet::from_updates(&[
+            Update::insert("emp", tuple!["a", "toy", 10]),
+            Update::delete("dept", tuple!["toy"]),
+        ]);
+        assert!(!d.eligible(&mixed));
+    }
+
+    #[test]
+    fn non_flat_programs_fall_back_unless_untouched() {
+        let p = parse_program(
+            "bad(E) :- emp(E,D,S) & not dept(D).\n\
+             panic :- bad(E).",
+        )
+        .unwrap();
+        let d = DeltaPlanSet::compile(&p);
+        assert!(!d.eligible(&DeltaSet::from_update(&Update::insert(
+            "emp",
+            tuple!["a", "toy", 10]
+        ))));
+        assert!(d.eligible(&DeltaSet::from_update(&Update::insert(
+            "unrelated",
+            tuple![1]
+        ))));
+    }
+
+    #[test]
+    fn seeded_check_finds_violations_through_the_new_tuple() {
+        let p = parse_program("panic :- emp(E,D,S) & not dept(D).").unwrap();
+        let d = DeltaPlanSet::compile(&p);
+        let db = emp_db();
+
+        // Dangling department: violation.
+        let bad = DeltaSet::from_update(&Update::insert("emp", tuple!["b", "ghost", 5]));
+        assert!(d.eligible(&bad));
+        let v = d.check(&db, &bad);
+        assert!(v.violated);
+        assert_eq!(v.seeds_joined, 1);
+
+        // Known department: fine.
+        let ok = DeltaSet::from_update(&Update::insert("emp", tuple!["b", "toy", 5]));
+        let v = d.check(&db, &ok);
+        assert!(!v.violated);
+        assert_eq!(v.seeds_joined, 1);
+
+        // Re-inserting a present tuple seeds nothing.
+        let noop = DeltaSet::from_update(&Update::insert("emp", tuple!["a", "toy", 10]));
+        let v = d.check(&db, &noop);
+        assert!(!v.violated);
+        assert_eq!(v.seeds_joined, 0);
+    }
+
+    #[test]
+    fn delta_and_snapshot_agree_on_the_running_example() {
+        // Example 2.1-shaped self-join plus the referential constraint,
+        // checked both ways over a small stream of inserts.
+        let p = parse_program("panic :- emp(E,D,S) & emp(E,F,T) & D <> F.").unwrap();
+        let d = DeltaPlanSet::compile(&p);
+        let engine = crate::Engine::new(p).unwrap();
+        let mut db = emp_db();
+        let stream = [
+            Update::insert("emp", tuple!["b", "toy", 7]),
+            Update::insert("emp", tuple!["a", "shoe", 9]), // a now in two depts
+            Update::insert("emp", tuple!["c", "toy", 1]),
+        ];
+        for u in stream {
+            let delta = DeltaSet::from_update(&u);
+            assert!(d.eligible(&delta));
+            let seeded = d.check(&db, &delta).violated;
+            let mut post = db.clone();
+            post.apply(&u).unwrap();
+            let snapshot = engine.run(&post).derives_panic();
+            let pre = engine.run(&db).derives_panic();
+            assert_eq!(pre || seeded, snapshot, "update {u}");
+            if !pre {
+                assert_eq!(seeded, snapshot, "standing assumption holds: {u}");
+            }
+            db = post;
+        }
+    }
+
+    #[test]
+    fn self_join_violations_need_the_overlay() {
+        // Two Δ-tuples that only violate *together*: the seed for one must
+        // see the other through the overlay, not the base store.
+        let p = parse_program("panic :- emp(E,D,S) & emp(F,D,T) & S < T.").unwrap();
+        let d = DeltaPlanSet::compile(&p);
+        let mut db = Database::new();
+        db.declare("emp", 3, Locality::Local).unwrap();
+        let batch = DeltaSet::from_updates(&[
+            Update::insert("emp", tuple!["a", "toy", 10]),
+            Update::insert("emp", tuple!["b", "toy", 20]),
+        ]);
+        assert!(d.eligible(&batch));
+        let v = d.check(&db, &batch);
+        assert!(v.violated);
+        assert_eq!(v.seeds_joined, 4, "2 seeds × 2 occurrence plans");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::join::{eval_rule, Store};
+    use ccpi_parser::{parse_program, parse_rule};
+    use ccpi_storage::{tuple, Locality, Update};
+    use proptest::prelude::*;
+
+    #[derive(Clone, Debug)]
+    enum Arg {
+        Var(usize),
+        Const(i64),
+    }
+
+    fn arg() -> impl Strategy<Value = Arg> {
+        prop_oneof![
+            (0usize..4).prop_map(Arg::Var),
+            (0usize..4).prop_map(Arg::Var),
+            (0usize..4).prop_map(Arg::Var),
+            (0i64..4).prop_map(Arg::Const),
+        ]
+    }
+
+    const VARS: [&str; 4] = ["X", "Y", "Z", "W"];
+    const OPS: [&str; 6] = ["<", "<=", ">", ">=", "=", "<>"];
+
+    fn render(a: &Arg) -> String {
+        match a {
+            Arg::Var(i) => VARS[*i].to_string(),
+            Arg::Const(c) => c.to_string(),
+        }
+    }
+
+    /// Renders a random safe body over `p/2` (the updated relation — the
+    /// first atom is forced to `p`, so every case has 1–3 occurrences),
+    /// `q/2`, an optional comparison, and an optional negated `n/2`.
+    fn body_src(
+        atoms: &[(bool, Arg, Arg)],
+        cmp: &Option<(usize, usize, usize)>,
+        neg: &Option<(usize, usize)>,
+    ) -> (String, Vec<String>) {
+        let mut bound: Vec<usize> = Vec::new();
+        let mut body: Vec<String> = Vec::new();
+        for (i, (q, a, b)) in atoms.iter().enumerate() {
+            for arg in [a, b] {
+                if let Arg::Var(v) = arg {
+                    if !bound.contains(v) {
+                        bound.push(*v);
+                    }
+                }
+            }
+            let pred = if i == 0 || !*q { "p" } else { "q" };
+            body.push(format!("{pred}({},{})", render(a), render(b)));
+        }
+        let pick = |i: usize| -> String {
+            if bound.is_empty() {
+                "0".to_string()
+            } else {
+                VARS[bound[i % bound.len()]].to_string()
+            }
+        };
+        if let Some((l, op, r)) = cmp {
+            body.push(format!("{} {} {}", pick(*l), OPS[op % OPS.len()], pick(*r)));
+        }
+        if let Some((a, b)) = neg {
+            body.push(format!("not n({},{})", pick(*a), pick(*b)));
+        }
+        let heads = vec![pick(0), pick(1)];
+        (body.join(" & "), heads)
+    }
+
+    fn load(store: &mut Store, entries: &[(&str, &std::collections::BTreeSet<(i64, i64)>)]) {
+        for (name, tuples) in entries {
+            let sym = Sym::new(name);
+            for (a, b) in tuples.iter() {
+                store.insert(&sym, 2, tuple![*a, *b]);
+            }
+            store.rels.entry(sym).or_insert_with(|| Relation::new(2));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        /// Over random flat constraints with 1–3 occurrences of the
+        /// updated relation `p`:
+        ///
+        /// 1. the seeded delta check and the snapshot full check give the
+        ///    same verdict whenever the pre-update database satisfies the
+        ///    constraint (the standing assumption), and never disagree
+        ///    beyond pre-existing violations (`pre ∨ delta = post`);
+        /// 2. per occurrence, the seeded plan derives exactly the tuples
+        ///    the reference interpreter derives on the *materialized*
+        ///    post-update store with that occurrence delta-designated —
+        ///    so the unioned panic-tuple sets coincide, not just the
+        ///    boolean verdicts.
+        #[test]
+        fn seeded_delta_check_equals_snapshot_full_check(
+            atoms in prop::collection::vec((any::<bool>(), arg(), arg()), 1..=3),
+            cmp in prop::option::of((0usize..8, 0usize..6, 0usize..8)),
+            neg in prop::option::of((0usize..8, 0usize..8)),
+            p_tuples in prop::collection::btree_set((0i64..4, 0i64..4), 0..8),
+            q_tuples in prop::collection::btree_set((0i64..4, 0i64..4), 0..8),
+            n_tuples in prop::collection::btree_set((0i64..4, 0i64..4), 0..6),
+            delta_tuples in prop::collection::btree_set((0i64..4, 0i64..4), 1..5),
+        ) {
+            let (body, heads) = body_src(&atoms, &cmp, &neg);
+
+            // --- Part 1: verdict equivalence through the public API. ---
+            let program = parse_program(&format!("panic :- {body}.")).unwrap();
+            let plans = DeltaPlanSet::compile(&program);
+            let engine = crate::Engine::new(program).unwrap();
+
+            let mut db = ccpi_storage::Database::new();
+            for name in ["p", "q", "n"] {
+                db.declare(name, 2, Locality::Local).unwrap();
+            }
+            for (name, tuples) in [("p", &p_tuples), ("q", &q_tuples), ("n", &n_tuples)] {
+                for (a, b) in tuples.iter() {
+                    db.insert(name, tuple![*a, *b]).unwrap();
+                }
+            }
+            let updates: Vec<Update> = delta_tuples
+                .iter()
+                .map(|(a, b)| Update::insert("p", tuple![*a, *b]))
+                .collect();
+            let delta = DeltaSet::from_updates(&updates);
+            prop_assert!(plans.eligible(&delta), "p occurs only positively");
+
+            let mut post = db.clone();
+            for u in &updates {
+                post.apply(u).unwrap();
+            }
+            let pre_violated = engine.run(&db).derives_panic();
+            let post_violated = engine.run(&post).derives_panic();
+            let seeded = plans.check(&db, &delta).violated;
+            prop_assert_eq!(pre_violated || seeded, post_violated, "body: {}", body);
+            if !pre_violated {
+                prop_assert_eq!(seeded, post_violated, "body: {}", body);
+            }
+
+            // --- Part 2: derivation-set equality per occurrence. ---
+            let h_rule = parse_rule(&format!("h({},{}) :- {body}.", heads[0], heads[1])).unwrap();
+            let mut base = Store::default();
+            load(&mut base, &[("p", &p_tuples), ("q", &q_tuples), ("n", &n_tuples)]);
+            let fresh: Vec<Tuple> = delta_tuples
+                .iter()
+                .filter(|(a, b)| !p_tuples.contains(&(*a, *b)))
+                .map(|(a, b)| tuple![*a, *b])
+                .collect();
+            let p_sym = Sym::new("p");
+            let mut post_store = base.clone();
+            let mut delta_store = Store::default();
+            delta_store.rels.insert(p_sym.clone(), Relation::new(2));
+            for t in &fresh {
+                post_store.insert(&p_sym, 2, t.clone());
+                delta_store.insert(&p_sym, 2, t.clone());
+            }
+            let mut overlay = Overlay::default();
+            overlay.add(p_sym.clone(), &fresh);
+
+            let mut seeded_union: Vec<Tuple> = Vec::new();
+            let mut reference_union: Vec<Tuple> = Vec::new();
+            for (occ, atom) in h_rule.positive_subgoals().enumerate() {
+                if atom.pred != p_sym {
+                    continue;
+                }
+                let plan = JoinPlan::compile_seeded(&h_rule, occ);
+                plan.eval_seeded(&base, &overlay, &fresh, &mut |t| seeded_union.push(t));
+                eval_rule(&h_rule, &post_store, Some((&delta_store, occ)), &mut |t| {
+                    reference_union.push(t)
+                });
+            }
+            seeded_union.sort();
+            seeded_union.dedup();
+            reference_union.sort();
+            reference_union.dedup();
+            prop_assert_eq!(seeded_union, reference_union, "body: {}", body);
+        }
+    }
+}

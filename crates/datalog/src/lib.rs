@@ -12,6 +12,10 @@
 //!   matching ([`Engine`]);
 //! * a deliberately simple **naive** evaluator ([`naive::run_naive`]) used
 //!   for differential testing and as the baseline in the `datalog` bench;
+//! * **seeded delta plans** ([`DeltaPlanSet`]): per-occurrence join plans
+//!   pre-bound to Δ-tuples, plus the polarity analysis that decides when
+//!   an update can be checked from its Δ alone (cost `O(|Δ|·join)`, not
+//!   `O(|DB|)`);
 //! * conveniences for constraints: [`constraint_violated`] runs a
 //!   constraint program and reports whether `panic` was derived.
 //!
@@ -30,11 +34,13 @@
 //! assert!(constraint_violated(&c, &db).unwrap());
 //! ```
 
+mod delta;
 mod engine;
 mod join;
 pub mod naive;
 mod plan;
 mod stratify;
 
+pub use delta::{positive_edb_preds, DeltaPlanSet, DeltaVerdict, Polarity};
 pub use engine::{constraint_violated, DatalogError, Engine, Output};
 pub use stratify::{stratify, Strata};

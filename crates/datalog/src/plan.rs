@@ -27,7 +27,7 @@
 use crate::join::Store;
 use ccpi_ir::{Atom, CompOp, Rule, Sym, Term, Value, Var};
 use ccpi_storage::{Relation, Tuple};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A term resolved against the slot numbering: either a constant or the
 /// slot of a variable that is bound by the time the spec is used.
@@ -71,14 +71,40 @@ enum Guard {
 }
 
 impl Guard {
-    fn holds(&self, env: &[Option<Value>], full: &Store) -> bool {
+    fn holds(&self, env: &[Option<Value>], full: &Store, overlay: Option<&Overlay<'_>>) -> bool {
         match self {
             Guard::Cmp { lhs, op, rhs } => op.eval(lhs.resolve(env), rhs.resolve(env)),
             Guard::Neg { pred, args } => {
                 let t: Tuple = args.iter().map(|s| s.resolve(env).clone()).collect();
-                !full.contains(pred, &t)
+                !full.contains(pred, &t) && !overlay.is_some_and(|o| o.contains(pred, &t))
             }
         }
+    }
+}
+
+/// Extra tuples overlaid on a base store: a read of relation `p` sees
+/// `base(p) ∪ extra(p)`. Seeded delta evaluation uses this to present the
+/// post-update database without materializing a copy-on-write snapshot —
+/// the whole point of the delta path is that its cost tracks `|Δ|`, not
+/// `|DB|`.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Overlay<'a> {
+    extra: BTreeMap<Sym, &'a [Tuple]>,
+}
+
+impl<'a> Overlay<'a> {
+    pub(crate) fn add(&mut self, pred: Sym, tuples: &'a [Tuple]) {
+        if !tuples.is_empty() {
+            self.extra.insert(pred, tuples);
+        }
+    }
+
+    fn tuples(&self, pred: &Sym) -> &'a [Tuple] {
+        self.extra.get(pred).copied().unwrap_or(&[])
+    }
+
+    fn contains(&self, pred: &Sym, t: &Tuple) -> bool {
+        self.tuples(pred).contains(t)
     }
 }
 
@@ -137,19 +163,38 @@ impl JoinPlan {
     /// negation variable occurs in some positive subgoal) — guaranteed by
     /// `Engine::new` validation before plans are built.
     pub(crate) fn compile(rule: &Rule) -> JoinPlan {
+        JoinPlan::compile_ordered(rule, None)
+    }
+
+    /// Compiles a **delta plan**: the positive subgoal at occurrence index
+    /// `seed` is forced into level 0, where [`JoinPlan::eval_seeded`] will
+    /// substitute Δ-tuples instead of reading the store. The remaining
+    /// subgoals are re-ordered by the same greedy bound-score heuristic,
+    /// now measured from the variables the seed binds, and every guard
+    /// re-hoists to its new earliest fully-bound level (comparisons over
+    /// seed variables become level-0 guards, pruning before any join).
+    pub(crate) fn compile_seeded(rule: &Rule, seed: usize) -> JoinPlan {
+        JoinPlan::compile_ordered(rule, Some(seed))
+    }
+
+    fn compile_ordered(rule: &Rule, forced_first: Option<usize>) -> JoinPlan {
         let positives: Vec<&Atom> = rule.positive_subgoals().collect();
         let negatives: Vec<&Atom> = rule.negated_subgoals().collect();
         let comparisons: Vec<_> = rule.comparisons().collect();
 
-        // Fix the level order: greedy bound-score over planned bindings.
+        // Fix the level order: greedy bound-score over planned bindings,
+        // with the seed occurrence (if any) pinned to the front.
         let mut slots: HashMap<Var, usize> = HashMap::new();
         let mut order: Vec<usize> = Vec::with_capacity(positives.len());
         let mut used = vec![false; positives.len()];
-        for _ in 0..positives.len() {
-            let next = (0..positives.len())
-                .filter(|&i| !used[i])
-                .max_by_key(|&i| bound_score(positives[i], &slots))
-                .expect("an unused subgoal exists");
+        for step in 0..positives.len() {
+            let next = match forced_first {
+                Some(f) if step == 0 => f,
+                _ => (0..positives.len())
+                    .filter(|&i| !used[i])
+                    .max_by_key(|&i| bound_score(positives[i], &slots))
+                    .expect("an unused subgoal exists"),
+            };
             used[next] = true;
             order.push(next);
             for v in positives[next].vars() {
@@ -275,19 +320,66 @@ impl JoinPlan {
         delta: Option<(&Store, usize)>,
         emit: &mut dyn FnMut(Tuple),
     ) {
+        self.eval_inner(
+            &EvalCx {
+                full,
+                delta,
+                seeds: None,
+                overlay: None,
+            },
+            emit,
+        );
+    }
+
+    /// Evaluates a plan built by [`JoinPlan::compile_seeded`] against the
+    /// *pre-update* store plus a Δ overlay:
+    ///
+    /// * level 0 (the seed level) iterates `seeds` — the Δ-tuples of the
+    ///   designated occurrence's relation — and never touches the store;
+    /// * every other level, and every negation guard, reads
+    ///   `full ∪ overlay`, i.e. the post-update state of each relation.
+    ///
+    /// The union over a rule's k seeded plans (one per occurrence of the
+    /// Δ relation) is exactly the set of head tuples derivable on the
+    /// post-update database *using at least one Δ-tuple*: any such
+    /// derivation maps some occurrence to a Δ-tuple and is found by that
+    /// occurrence's plan, because the remaining occurrences see the full
+    /// post-update contents.
+    pub(crate) fn eval_seeded(
+        &self,
+        full: &Store,
+        overlay: &Overlay<'_>,
+        seeds: &[Tuple],
+        emit: &mut dyn FnMut(Tuple),
+    ) {
+        self.eval_inner(
+            &EvalCx {
+                full,
+                delta: None,
+                seeds: Some(seeds),
+                overlay: Some(overlay),
+            },
+            emit,
+        );
+    }
+
+    fn eval_inner(&self, cx: &EvalCx<'_>, emit: &mut dyn FnMut(Tuple)) {
         let mut env: Vec<Option<Value>> = vec![None; self.slots];
-        if !self.preguards.iter().all(|g| g.holds(&env, full)) {
+        if !self
+            .preguards
+            .iter()
+            .all(|g| g.holds(&env, cx.full, cx.overlay))
+        {
             return;
         }
-        self.descend(0, &mut env, full, delta, emit);
+        self.descend(0, &mut env, cx, emit);
     }
 
     fn descend(
         &self,
         depth: usize,
         env: &mut Vec<Option<Value>>,
-        full: &Store,
-        delta: Option<(&Store, usize)>,
+        cx: &EvalCx<'_>,
         emit: &mut dyn FnMut(Tuple),
     ) {
         if depth == self.levels.len() {
@@ -296,37 +388,55 @@ impl JoinPlan {
             return;
         }
         let level = &self.levels[depth];
-        let rel: Option<&Relation> = match delta {
-            Some((d, pos)) if pos == level.subgoal => d.get(&level.pred),
-            _ => full.get(&level.pred),
-        };
-        let Some(rel) = rel else { return };
 
-        match &level.probe {
-            Some((col, key)) => {
-                let key = key.resolve(env).clone();
-                let candidates = rel.probe(*col, &key);
-                for t in &candidates {
-                    self.try_tuple(level, t, depth, env, full, delta, emit);
+        // Seeded plans: the seed level reads its Δ-tuples and nothing else.
+        if depth == 0 {
+            if let Some(seeds) = cx.seeds {
+                for t in seeds {
+                    self.try_tuple(level, t, depth, env, cx, emit);
+                }
+                return;
+            }
+        }
+
+        let rel: Option<&Relation> = match cx.delta {
+            Some((d, pos)) if pos == level.subgoal => d.get(&level.pred),
+            _ => cx.full.get(&level.pred),
+        };
+        if let Some(rel) = rel {
+            match &level.probe {
+                Some((col, key)) => {
+                    let key = key.resolve(env).clone();
+                    let candidates = rel.probe(*col, &key);
+                    for t in &candidates {
+                        self.try_tuple(level, t, depth, env, cx, emit);
+                    }
+                }
+                None => {
+                    for t in rel.iter() {
+                        self.try_tuple(level, t, depth, env, cx, emit);
+                    }
                 }
             }
-            None => {
-                for t in rel.iter() {
-                    self.try_tuple(level, t, depth, env, full, delta, emit);
-                }
+        }
+
+        // Overlay tuples are few (|Δ|); run them through the same action
+        // matcher rather than the probe path. The probe is an access-path
+        // optimization only — actions re-verify every column.
+        if let Some(overlay) = cx.overlay {
+            for t in overlay.tuples(&level.pred) {
+                self.try_tuple(level, t, depth, env, cx, emit);
             }
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn try_tuple(
         &self,
         level: &Level,
         t: &Tuple,
         depth: usize,
         env: &mut Vec<Option<Value>>,
-        full: &Store,
-        delta: Option<(&Store, usize)>,
+        cx: &EvalCx<'_>,
         emit: &mut dyn FnMut(Tuple),
     ) {
         debug_assert_eq!(level.actions.len(), t.arity());
@@ -338,13 +448,28 @@ impl JoinPlan {
                 true
             }
         });
-        if matched && level.guards.iter().all(|g| g.holds(env, full)) {
-            self.descend(depth + 1, env, full, delta, emit);
+        if matched
+            && level
+                .guards
+                .iter()
+                .all(|g| g.holds(env, cx.full, cx.overlay))
+        {
+            self.descend(depth + 1, env, cx, emit);
         }
         for &s in &level.binds {
             env[s] = None;
         }
     }
+}
+
+/// Evaluation context threaded through [`JoinPlan::descend`]: the base
+/// store, an optional semi-naive delta designation, and (for seeded delta
+/// plans) the seed tuples and Δ overlay.
+struct EvalCx<'a> {
+    full: &'a Store,
+    delta: Option<(&'a Store, usize)>,
+    seeds: Option<&'a [Tuple]>,
+    overlay: Option<&'a Overlay<'a>>,
 }
 
 #[cfg(test)]
@@ -485,6 +610,59 @@ mod tests {
         let rule = parse_rule("q(E) :- emp(E,sales).").unwrap();
         let plan = JoinPlan::compile(&rule);
         assert!(plan.levels[0].probe.is_some());
+    }
+
+    #[test]
+    fn seeded_plans_pin_the_seed_level_and_rehoist_guards() {
+        // Greedy order would start at emp (occurrence 0); force mgr
+        // (occurrence 1) first instead. M is then bound at level 0, so
+        // `M <> m1` re-hoists to the seed level; `S < 100` stays with emp.
+        let rule = parse_rule("q(E) :- emp(E,D,S) & mgr(D,M) & S < 100 & M <> m1.").unwrap();
+        let plan = JoinPlan::compile_seeded(&rule, 1);
+        assert_eq!(plan.levels[0].subgoal, 1);
+        assert_eq!(plan.levels[1].subgoal, 0);
+        assert_eq!(plan.levels[0].guards.len(), 1);
+        assert_eq!(plan.levels[1].guards.len(), 1);
+        // The re-ordered second level joins on D, bound by the seed.
+        assert!(plan.levels[1].probe.is_some());
+    }
+
+    #[test]
+    fn seeded_eval_equals_designated_interpreter_on_materialized_post() {
+        // Self-join: two occurrences of emp. For each occurrence, seeding
+        // the plan with Δ over the base store + overlay must derive exactly
+        // what the interpreter derives on the *materialized* post store
+        // with that occurrence delta-designated.
+        let base = store(&[(
+            "emp",
+            3,
+            vec![tuple!["a", "sales", 50], tuple!["b", "toys", 150]],
+        )]);
+        let fresh = vec![tuple!["c", "sales", 90], tuple!["d", "toys", 40]];
+        let mut post = base.clone();
+        let mut dstore = Store::default();
+        for t in &fresh {
+            post.insert(&Sym::new("emp"), 3, t.clone());
+            dstore.insert(&Sym::new("emp"), 3, t.clone());
+        }
+        let mut overlay = Overlay::default();
+        overlay.add(Sym::new("emp"), &fresh);
+
+        let rule = parse_rule("q(E,F) :- emp(E,D,S) & emp(F,D,T) & S < T.").unwrap();
+        for occ in 0..2 {
+            let plan = JoinPlan::compile_seeded(&rule, occ);
+            let mut seeded = Vec::new();
+            plan.eval_seeded(&base, &overlay, &fresh, &mut |t| seeded.push(t));
+            seeded.sort();
+            seeded.dedup();
+            let mut reference = Vec::new();
+            crate::join::eval_rule(&rule, &post, Some((&dstore, occ)), &mut |t| {
+                reference.push(t)
+            });
+            reference.sort();
+            reference.dedup();
+            assert_eq!(seeded, reference, "occurrence {occ}");
+        }
     }
 
     #[test]

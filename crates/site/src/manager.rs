@@ -49,6 +49,16 @@ impl DistributedManager {
         self.mgr.check_update_with_remote(update, &mut self.client)
     }
 
+    /// Checks a batch of updates without applying any of them. Per-update
+    /// outcomes match N [`check_update`](Self::check_update) calls, but
+    /// each remote relation crosses the wire **at most once per batch**
+    /// instead of once per escalating update — the transport saving of
+    /// batching (see [`ConstraintManager::check_updates_with_remote`]).
+    pub fn check_updates(&mut self, updates: &[Update]) -> Result<Vec<CheckReport>, ManagerError> {
+        self.mgr
+            .check_updates_with_remote(updates, &mut self.client)
+    }
+
     /// Checks, then applies the update to the local view (mirrors
     /// [`ConstraintManager::process`]: applies even on violation — the
     /// caller consults the report to reject).
@@ -56,6 +66,20 @@ impl DistributedManager {
         let report = self.check_update(update)?;
         self.mgr.database_mut().apply(update)?;
         Ok(report)
+    }
+
+    /// Checks a whole batch over one wire conversation, then applies
+    /// every update to the local view (violations included — callers
+    /// consult the reports to reject).
+    pub fn process_updates(
+        &mut self,
+        updates: &[Update],
+    ) -> Result<Vec<CheckReport>, ManagerError> {
+        let reports = self.check_updates(updates)?;
+        for update in updates {
+            self.mgr.database_mut().apply(update)?;
+        }
+        Ok(reports)
     }
 
     /// Cumulative transport counters since the client was created.
@@ -162,6 +186,42 @@ mod tests {
         );
         assert_eq!(report.wire.retries, 1);
         assert_eq!(report.wire.round_trips, 2);
+    }
+
+    #[test]
+    fn batch_crosses_the_wire_once() {
+        let db = full_db();
+        let site = RemoteSite::new(SiteSplit::of(&db).remote);
+        let (transport, end) = ChannelTransport::pair();
+        site.serve_channel(end);
+        let mut dmgr = DistributedManager::for_local_site(&db, SiteClient::new(transport));
+        dmgr.add_constraint("intervals", INTERVALS).unwrap();
+
+        // Three updates, two of which escalate: one fetch of `r` serves
+        // the whole batch (a sequential loop would fetch twice).
+        let batch = [
+            Update::insert("l", tuple![4, 8]),   // stage 3, wire-free
+            Update::insert("l", tuple![15, 25]), // violated, needs r
+            Update::insert("l", tuple![21, 30]), // holds, needs r
+        ];
+        let reports = dmgr.check_updates(&batch).unwrap();
+        assert!(matches!(
+            reports[0].outcome("intervals"),
+            Some(Outcome::Holds(Method::LocalTest(_)))
+        ));
+        assert_eq!(reports[1].outcome("intervals"), Some(Outcome::Violated));
+        assert!(matches!(
+            reports[2].outcome("intervals"),
+            Some(Outcome::Holds(Method::FullCheck))
+        ));
+        assert_eq!(dmgr.wire_totals().round_trips, 1);
+        assert_eq!(site.batches_served(), 1);
+        // The fetch is attributed to the first update that needed it.
+        assert_eq!(reports[1].wire.round_trips, 1);
+        assert!(reports[2].wire.is_zero());
+        // Nothing applied; the local view's remote half is still empty.
+        assert_eq!(dmgr.manager().database().relation("l").unwrap().len(), 2);
+        assert!(dmgr.manager().database().relation("r").unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Δ-sets: the net tuple changes carried by one update or one batch.
+//!
+//! A [`DeltaSet`] summarises a sequence of [`Update`]s per relation: which
+//! tuples were inserted and which relations saw any deletion. It is the
+//! currency of the delta-seeded stage-4 path — the datalog layer seeds its
+//! per-occurrence delta plans from the inserted tuples, and the manager's
+//! eligibility analysis consults the delete markers to decide when the
+//! seeded path is sound (inserts into positively-occurring relations) versus
+//! when it must fall back to a full post-update snapshot.
+
+use crate::tuple::Tuple;
+use crate::update::Update;
+use ccpi_ir::Sym;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The per-relation tuple changes of one update batch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaSet {
+    /// Inserted tuples per relation, deduplicated, in first-seen order.
+    inserts: BTreeMap<Sym, Vec<Tuple>>,
+    /// Relations with at least one deletion in the batch.
+    deleted: BTreeSet<Sym>,
+}
+
+impl DeltaSet {
+    /// An empty Δ-set.
+    pub fn new() -> Self {
+        DeltaSet::default()
+    }
+
+    /// The Δ-set of a single update.
+    pub fn from_update(update: &Update) -> Self {
+        let mut d = DeltaSet::new();
+        d.record(update);
+        d
+    }
+
+    /// The Δ-set of a batch, in order.
+    pub fn from_updates(updates: &[Update]) -> Self {
+        let mut d = DeltaSet::new();
+        for u in updates {
+            d.record(u);
+        }
+        d
+    }
+
+    /// Records one more update into the set.
+    pub fn record(&mut self, update: &Update) {
+        match update {
+            Update::Insert { pred, tuple } => {
+                let ts = self.inserts.entry(pred.clone()).or_default();
+                if !ts.contains(tuple) {
+                    ts.push(tuple.clone());
+                }
+            }
+            Update::Delete { pred, .. } => {
+                self.deleted.insert(pred.clone());
+            }
+        }
+    }
+
+    /// The tuples inserted into `pred` (empty slice if none).
+    pub fn inserted(&self, pred: &str) -> &[Tuple] {
+        self.inserts.get(pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Relations that received inserts, with their tuples.
+    pub fn inserts(&self) -> impl Iterator<Item = (&Sym, &[Tuple])> {
+        self.inserts.iter().map(|(p, ts)| (p, ts.as_slice()))
+    }
+
+    /// Every relation touched by the batch (inserts or deletes).
+    pub fn touched_preds(&self) -> BTreeSet<&Sym> {
+        self.inserts.keys().chain(self.deleted.iter()).collect()
+    }
+
+    /// `true` when the batch touches `pred` at all.
+    pub fn touches(&self, pred: &str) -> bool {
+        self.inserts.contains_key(pred) || self.deleted.contains(pred)
+    }
+
+    /// `true` when the batch deletes from `pred`.
+    pub fn deletes_from(&self, pred: &str) -> bool {
+        self.deleted.contains(pred)
+    }
+
+    /// `true` when no relation sees a deletion.
+    pub fn is_insert_only(&self) -> bool {
+        self.deleted.is_empty()
+    }
+
+    /// Number of distinct inserted tuples across all relations.
+    pub fn insert_count(&self) -> usize {
+        self.inserts.values().map(Vec::len).sum()
+    }
+
+    /// `true` when the batch recorded no changes at all.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deleted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn records_inserts_per_pred_and_dedups() {
+        let d = DeltaSet::from_updates(&[
+            Update::insert("emp", tuple!["a", "toy", 10]),
+            Update::insert("emp", tuple!["b", "toy", 20]),
+            Update::insert("emp", tuple!["a", "toy", 10]),
+            Update::insert("dept", tuple!["toy"]),
+        ]);
+        assert_eq!(d.inserted("emp").len(), 2);
+        assert_eq!(d.inserted("dept").len(), 1);
+        assert_eq!(d.inserted("salRange").len(), 0);
+        assert_eq!(d.insert_count(), 3);
+        assert!(d.is_insert_only());
+        assert!(d.touches("emp"));
+        assert!(!d.touches("salRange"));
+    }
+
+    #[test]
+    fn deletes_mark_the_pred_without_storing_tuples() {
+        let d = DeltaSet::from_updates(&[
+            Update::insert("emp", tuple!["a", "toy", 10]),
+            Update::delete("dept", tuple!["toy"]),
+        ]);
+        assert!(!d.is_insert_only());
+        assert!(d.deletes_from("dept"));
+        assert!(!d.deletes_from("emp"));
+        assert!(d.touches("dept"));
+        assert_eq!(d.touched_preds().len(), 2);
+    }
+
+    #[test]
+    fn empty_set() {
+        let d = DeltaSet::new();
+        assert!(d.is_empty());
+        assert!(d.is_insert_only());
+        assert_eq!(d.insert_count(), 0);
+    }
+}

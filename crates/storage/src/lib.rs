@@ -11,12 +11,14 @@
 //! experiment table in the workspace is deterministic.
 
 mod database;
+mod delta;
 mod relation;
 mod tuple;
 mod update;
 pub mod wirefmt;
 
 pub use database::{Database, Locality, RelationDecl, StorageError};
+pub use delta::DeltaSet;
 pub use relation::{Candidates, Relation, TupleSnapshot};
 pub use tuple::Tuple;
 pub use update::Update;

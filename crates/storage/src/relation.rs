@@ -311,6 +311,23 @@ impl TupleSnapshot {
     pub fn same_as(&self, rel: &Relation) -> bool {
         Arc::ptr_eq(&self.0, &rel.tuples)
     }
+
+    /// `true` iff both snapshots pin the same allocation (and therefore the
+    /// same contents).
+    pub fn same_snapshot(&self, other: &TupleSnapshot) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// An opaque token identifying the pinned tuple-set version.
+    ///
+    /// Two *live* snapshots have equal keys iff they pin the same version of
+    /// the same relation. The token is only meaningful while the snapshot is
+    /// held — once all pins of an allocation are dropped, the address may be
+    /// reused — so cache keys built from it must keep the snapshot alive
+    /// alongside the key.
+    pub fn key(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
 }
 
 impl PartialEq for Relation {

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Perf guard: re-measures the E9 check-throughput ladder at 10k tuples and
+# fails if checks/sec regressed more than 30% against the committed
+# BENCH_joins.json `current` numbers (best of two runs, so scheduler noise
+# does not trip it). Wired into CI after the test job; run it locally
+# before committing performance-sensitive changes:
+#
+#   suite/perf_guard.sh
+#
+# Exit codes: 0 ok, 1 regression, 2 harness/parse failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -p ccpi-bench --bin experiments -- --guard
