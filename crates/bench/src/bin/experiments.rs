@@ -7,8 +7,15 @@
 //! experiments --table f21       # one table (f21|f41|f42|f61|examples|e1..e10)
 //! experiments --table e9 --smoke  # E9 at tiny sizes, no BENCH_joins.json
 //! experiments --table e10 --smoke # E10 at tiny sizes, no BENCH_delta.json
-//! experiments --guard           # E9 @ 10k vs committed BENCH_joins.json;
+//! experiments --guard           # E9 @ 10k + E10 @ 10k vs the committed
+//!                               # BENCH_joins.json / BENCH_delta.json;
 //!                               # exits nonzero on a >30% checks/sec regression
+//! experiments --chaos           # E11 soak: 20 seeds x 250 steps against the
+//!                               # fault-free twin; writes target/chaos_events.log
+//! experiments --chaos --smoke   # CI variant: 8 fixed seeds x 60 steps, <60 s
+//! experiments --chaos --seeds N --steps M --seed-base B
+//!                               # custom soak (the nightly job randomizes B);
+//!                               # any failure prints the reproducing seed
 //! ```
 
 use ccpi::prelude::*;
@@ -33,6 +40,9 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--guard") {
         std::process::exit(run_guard());
+    }
+    if args.iter().any(|a| a == "--chaos") {
+        std::process::exit(run_chaos(&args));
     }
     let table = args
         .iter()
@@ -741,10 +751,95 @@ fn table_e10(smoke: bool) {
     println!("\nwrote {path}");
 }
 
-/// `--guard`: re-measures E9 at 10k tuples (best of two runs) and fails
-/// if checks/sec regressed more than 30% against the committed
-/// `BENCH_joins.json` `current` numbers. Run by `suite/perf_guard.sh` in CI.
+/// `--chaos`: the E11 soak. Runs [`ccpi_bench::chaos::soak`] over a seed
+/// range, printing one row per seed and writing every fired-fault event
+/// to `target/chaos_events.log` (uploaded as a CI artifact). Any
+/// soundness failure prints the reproducing seed and exits nonzero.
+fn run_chaos(args: &[String]) -> i32 {
+    use ccpi_bench::chaos::{soak, ChaosConfig};
+
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let num_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u64>().ok())
+    };
+    let seeds = num_after("--seeds").unwrap_or(if smoke { 8 } else { 20 });
+    let steps = num_after("--steps").unwrap_or(if smoke { 60 } else { 250 }) as usize;
+    let seed_base = num_after("--seed-base").unwrap_or(0xC0FFEE);
+    let cfg = ChaosConfig {
+        steps,
+        ..ChaosConfig::default()
+    };
+
+    heading(&format!(
+        "E11  Chaos soak: {seeds} seeds x {steps} steps, fault rate {:.2} (seed base {seed_base})",
+        cfg.fault_rate
+    ));
+    println!(
+        "{:<12} {:>7} {:>8} {:>9} {:>9} {:>8} {:>9} {:>8}",
+        "seed", "updates", "verdicts", "unknowns", "faults", "retries", "corrupt", "failed"
+    );
+
+    let log_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/chaos_events.log");
+    let mut log_lines: Vec<String> = Vec::new();
+    let mut totals = (0u64, 0u64, 0u64, 0u64); // updates, verdicts, unknowns, faults
+    for seed in seed_base..seed_base + seeds {
+        match soak(seed, &cfg) {
+            Ok(stats) => {
+                println!(
+                    "{:<12} {:>7} {:>8} {:>9} {:>9} {:>8} {:>9} {:>8}",
+                    format!("{seed:#x}"),
+                    stats.updates,
+                    stats.verdicts,
+                    stats.unknowns,
+                    stats.faults_fired,
+                    stats.wire.retries,
+                    stats.wire.corrupt_frames,
+                    stats.wire.failed_exchanges
+                );
+                totals.0 += stats.updates as u64;
+                totals.1 += stats.verdicts as u64;
+                totals.2 += stats.unknowns as u64;
+                totals.3 += stats.faults_fired as u64;
+                log_lines.push(format!("# seed {seed:#x} ({} events)", stats.events.len()));
+                log_lines.extend(stats.events);
+            }
+            Err(failure) => {
+                log_lines.push(format!("# seed {seed:#x} FAILED: {failure}"));
+                write_chaos_log(log_path, &log_lines);
+                eprintln!("\n{failure}");
+                eprintln!(
+                    "reproduce with: cargo run --release -p ccpi-bench --bin experiments -- \
+                     --chaos --seeds 1 --steps {steps} --seed-base {seed}"
+                );
+                return 1;
+            }
+        }
+    }
+    write_chaos_log(log_path, &log_lines);
+    println!(
+        "\nchaos soak ok: {} updates, {} verdicts (all sound), {} unknowns, \
+         {} faults fired; event log at {log_path}",
+        totals.0, totals.1, totals.2, totals.3
+    );
+    0
+}
+
+fn write_chaos_log(path: &str, lines: &[String]) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(path, lines.join("\n") + "\n").ok();
+}
+
+/// `--guard`: re-measures E9 and E10 at 10k tuples (best of two runs
+/// each) and fails if checks/sec regressed more than 30% against the
+/// committed `BENCH_joins.json` / `BENCH_delta.json` numbers. Run by
+/// `suite/perf_guard.sh` in CI.
 fn run_guard() -> i32 {
+    use ccpi_bench::delta_bench;
     use ccpi_bench::throughput::measure_size;
 
     heading("PERF GUARD  E9 @ 10k tuples vs committed BENCH_joins.json");
@@ -783,23 +878,59 @@ fn run_guard() -> i32 {
     let ladder = a.ladder_check_us.min(b.ladder_check_us);
 
     let mut failed = false;
-    for (regime, measured, committed) in [
-        ("full", full, committed_full),
-        ("ladder", ladder, committed_ladder),
-    ] {
+    let mut check = |regime: &str, measured: f64, committed: f64| {
         // checks/sec dropping >30% ⇔ µs/check growing beyond committed/0.7.
         let limit = committed / 0.7;
         let ratio = 1e6 / measured / (1e6 / committed);
         let verdict = if measured <= limit { "ok" } else { "REGRESSED" };
         println!(
-            "{regime:<8} measured {measured:>10.1} µs/chk  committed {committed:>10.1}  \
+            "{regime:<14} measured {measured:>10.1} µs/chk  committed {committed:>10.1}  \
              ({:.0}% of committed checks/sec, floor 70%)  [{verdict}]",
             ratio * 100.0
         );
         failed |= measured > limit;
-    }
+    };
+    check("full", full, committed_full);
+    check("ladder", ladder, committed_ladder);
+
+    heading("PERF GUARD  E10 @ 10k tuples vs committed BENCH_delta.json");
+    let delta_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_delta.json");
+    let delta_text = match std::fs::read_to_string(delta_path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("cannot read {delta_path}: {e}");
+            return 2;
+        }
+    };
+    let Some(delta_row) = delta_text
+        .find("\"tuples\":10000")
+        .map(|i| &delta_text[i..])
+    else {
+        println!("{delta_path}: no 10k row found");
+        return 2;
+    };
+    let (Some(committed_delta), Some(committed_batch)) = (
+        json_number_after(delta_row, "\"delta_check_us\":"),
+        json_number_after(delta_row, "\"batch64_us_per_update\":"),
+    ) else {
+        println!("{delta_path}: could not parse per-check timings from the 10k row");
+        return 2;
+    };
+    let a = delta_bench::measure_size(10_000, 20, 20);
+    let b = delta_bench::measure_size(10_000, 20, 20);
+    check(
+        "delta",
+        a.delta_check_us.min(b.delta_check_us),
+        committed_delta,
+    );
+    check(
+        "batch64",
+        a.batch64_us_per_update.min(b.batch64_us_per_update),
+        committed_batch,
+    );
+
     if failed {
-        println!("\nperf guard FAILED: checks/sec regressed >30% vs BENCH_joins.json");
+        println!("\nperf guard FAILED: checks/sec regressed >30% vs the committed BENCH numbers");
         1
     } else {
         println!("\nperf guard ok");

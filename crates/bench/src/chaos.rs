@@ -1,0 +1,474 @@
+//! E11 — the chaos soak harness: verdict soundness under injected faults.
+//!
+//! Runs the E6 constraint set through a [`DistributedManager`] whose
+//! transport is wrapped in a seeded [`FaultyTransport`], in lockstep with
+//! a fault-free **twin**: a plain [`ConstraintManager`] over the full
+//! (unsplit) database, which never answers `Unknown` and serves as ground
+//! truth. After every check the harness asserts the three soundness
+//! properties the paper's partial-information semantics promises:
+//!
+//! 1. **No wrong verdicts** — every `Holds`/`Violated` the subject
+//!    returns matches the twin's verdict exactly. Degradation may cost
+//!    *certainty*, never *correctness*.
+//! 2. **No spurious `Unknown`s** — the subject answers `Unknown` only
+//!    when a fault actually fired during that wire conversation (the
+//!    fault log grew). A clean exchange must produce a definite verdict.
+//! 3. **Counter reconciliation** — at the end of a soak the client's
+//!    [`WireStats`] failure counters agree with the fired-fault log
+//!    class by class, and the books balance:
+//!    `timeouts + disconnects + corrupt_frames == retries + failed_exchanges`.
+//!
+//! Everything is derived from one `u64` seed — the database, the update
+//! stream, and the fault schedule — so any failure reproduces exactly by
+//! re-running [`soak`] with the seed printed in the [`SoakFailure`].
+
+use crate::throughput::CONSTRAINTS;
+use ccpi::distributed::SiteSplit;
+use ccpi::manager::ConstraintManager;
+use ccpi::report::{CheckReport, Outcome, UnknownCause, WireStats};
+use ccpi_site::fault::{FaultClass, FaultLog, FaultPlan, FaultyTransport};
+use ccpi_site::prelude::{
+    ChannelTransport, DistributedManager, RemoteSite, RetryPolicy, SiteClient,
+};
+use ccpi_storage::{tuple, Tuple, Update};
+use ccpi_workload::emp::{database as emp_database, dept_name, EmpConfig};
+use ccpi_workload::rng;
+use rand::RngExt;
+use std::fmt;
+use std::time::Duration;
+
+/// Soak parameters. The defaults are one full-strength seed's worth of
+/// the local acceptance run (20 seeds × 250 steps = 5,000 checks).
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Update events (single checks or batches) per seed.
+    pub steps: usize,
+    /// Per-frame fault probability of the seeded [`FaultPlan`].
+    pub fault_rate: f64,
+    /// Employee tuples in the generated database.
+    pub employees: usize,
+    /// Departments in the generated database.
+    pub departments: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            steps: 250,
+            fault_rate: 0.25,
+            employees: 300,
+            departments: 10,
+        }
+    }
+}
+
+impl ChaosConfig {
+    fn emp_config(&self) -> EmpConfig {
+        EmpConfig {
+            employees: self.employees,
+            departments: self.departments,
+            dangling_fraction: 0.0,
+            salary_range: (10, 200),
+        }
+    }
+}
+
+/// What a completed soak observed (one seed).
+#[derive(Clone, Debug)]
+pub struct SoakStats {
+    /// The reproducing seed.
+    pub seed: u64,
+    /// Update events run.
+    pub steps: usize,
+    /// Individual updates checked (batches count each member).
+    pub updates: usize,
+    /// Per-constraint verdicts compared against the twin.
+    pub verdicts: usize,
+    /// Verdicts the subject degraded to `Unknown(RemoteUnavailable)`.
+    pub unknowns: usize,
+    /// Faults that observably fired on the wire.
+    pub faults_fired: usize,
+    /// The subject client's cumulative transport counters.
+    pub wire: WireStats,
+    /// Human-readable event log: every fired fault and every degraded
+    /// step, in order (written to the chaos log artifact in CI).
+    pub events: Vec<String>,
+}
+
+/// A soundness violation, carrying everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct SoakFailure {
+    /// The seed that replays the failure.
+    pub seed: u64,
+    /// Zero-based step the assertion tripped on (`usize::MAX` for
+    /// end-of-soak reconciliation failures).
+    pub step: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SoakFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.step == usize::MAX {
+            write!(
+                f,
+                "chaos soak failed at end-of-soak reconciliation \
+                 (reproduce with seed {}): {}",
+                self.seed, self.message
+            )
+        } else {
+            write!(
+                f,
+                "chaos soak failed at step {} (reproduce with seed {}): {}",
+                self.step, self.seed, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for SoakFailure {}
+
+/// Runs one seeded soak: builds the twin and the faulty subject from
+/// `seed`, streams `cfg.steps` update events through both, and checks the
+/// three soundness properties after every event plus the counter
+/// reconciliation at the end.
+pub fn soak(seed: u64, cfg: &ChaosConfig) -> Result<SoakStats, SoakFailure> {
+    let fail = |step: usize, message: String| SoakFailure {
+        seed,
+        step,
+        message,
+    };
+
+    // One seed derives everything: the database, the workload stream, and
+    // the fault schedule (each under its own stream-splitting constant so
+    // changing the step count never perturbs the database).
+    let full_db = emp_database(&cfg.emp_config(), &mut rng(seed));
+    let mut twin = ConstraintManager::new(full_db.clone());
+    let site = RemoteSite::new(SiteSplit::of(&full_db).remote);
+    let (transport, end) = ChannelTransport::pair();
+    site.serve_channel(end);
+    let faulty = FaultyTransport::new(transport, FaultPlan::seeded(seed, cfg.fault_rate));
+    let log: FaultLog = faulty.log();
+    let client = SiteClient::new(faulty)
+        // Injected delays stay in single-digit milliseconds, so a clean
+        // or delayed exchange never times out against this deadline and
+        // every timeout the client counts traces back to a dropped frame.
+        .with_deadline(Duration::from_millis(500))
+        .with_retry(RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        });
+    let mut subject = DistributedManager::for_local_site(&full_db, client);
+    for (name, src) in CONSTRAINTS {
+        twin.add_constraint(name, src)
+            .map_err(|e| fail(0, format!("twin constraint {name}: {e}")))?;
+        subject
+            .add_constraint(name, src)
+            .map_err(|e| fail(0, format!("subject constraint {name}: {e}")))?;
+    }
+
+    let mut wrng = rng(seed ^ 0x7570_6461_7465); // workload stream
+    let live: Vec<Tuple> = full_db
+        .relation("emp")
+        .expect("emp relation")
+        .iter()
+        .cloned()
+        .collect();
+    let mut next_id = cfg.employees;
+    let mut stats = SoakStats {
+        seed,
+        steps: 0,
+        updates: 0,
+        verdicts: 0,
+        unknowns: 0,
+        faults_fired: 0,
+        wire: WireStats::default(),
+        events: Vec::new(),
+    };
+
+    for step in 0..cfg.steps {
+        // Mostly single checks; every eighth step a small batch, so the
+        // per-update degradation path of `check_updates` gets hammered
+        // alongside the single-update path.
+        let batch_len = if step % 8 == 7 { 3 } else { 1 };
+        let updates: Vec<Update> = (0..batch_len)
+            .map(|_| next_update(cfg, &mut wrng, &mut next_id, &live))
+            .collect();
+
+        let log_before = log.len();
+        let subject_reports: Vec<CheckReport> = if batch_len == 1 {
+            vec![subject
+                .check_update(&updates[0])
+                .map_err(|e| fail(step, format!("subject check failed: {e}")))?]
+        } else {
+            subject
+                .check_updates(&updates)
+                .map_err(|e| fail(step, format!("subject batch check failed: {e}")))?
+        };
+        let twin_reports: Vec<CheckReport> = updates
+            .iter()
+            .map(|u| twin.check_update(u))
+            .collect::<Result<_, _>>()
+            .map_err(|e| fail(step, format!("twin check failed: {e}")))?;
+
+        let mut unknowns_this_step = 0usize;
+        for (i, (sub, tw)) in subject_reports.iter().zip(&twin_reports).enumerate() {
+            for (name, _) in CONSTRAINTS {
+                stats.verdicts += 1;
+                let subject_outcome = sub
+                    .outcome(name)
+                    .ok_or_else(|| fail(step, format!("subject lost constraint {name}")))?;
+                let twin_holds = tw
+                    .outcome(name)
+                    .ok_or_else(|| fail(step, format!("twin lost constraint {name}")))?
+                    .holds();
+                match subject_outcome {
+                    // Property 1: a definite verdict must agree with the
+                    // fault-free twin. This is the soundness claim.
+                    Outcome::Holds(_) if !twin_holds => {
+                        return Err(fail(
+                            step,
+                            format!(
+                                "UNSOUND: subject says {name} holds for {} but the \
+                                 fault-free twin sees a violation",
+                                updates[i]
+                            ),
+                        ));
+                    }
+                    Outcome::Violated if twin_holds => {
+                        return Err(fail(
+                            step,
+                            format!(
+                                "UNSOUND: subject says {name} is violated by {} but \
+                                 the fault-free twin says it holds",
+                                updates[i]
+                            ),
+                        ));
+                    }
+                    Outcome::Holds(_) | Outcome::Violated => {}
+                    Outcome::Unknown(UnknownCause::RemoteUnavailable) => {
+                        unknowns_this_step += 1;
+                    }
+                }
+            }
+        }
+
+        // Property 2: degradation must be *caused* — an Unknown with no
+        // fault fired in this conversation is a bug, not honesty.
+        let fired = log.len() - log_before;
+        if unknowns_this_step > 0 && fired == 0 {
+            return Err(fail(
+                step,
+                format!(
+                    "{unknowns_this_step} spurious Unknown(s): no fault fired \
+                     in this exchange"
+                ),
+            ));
+        }
+        if fired > 0 || unknowns_this_step > 0 {
+            let kinds: Vec<String> = log.events()[log_before..]
+                .iter()
+                .map(|e| format!("{}@{}", e.kind, e.frame))
+                .collect();
+            stats.events.push(format!(
+                "step {step}: batch={batch_len} faults=[{}] unknowns={unknowns_this_step}",
+                kinds.join(", ")
+            ));
+        }
+
+        // Keep the two worlds in lockstep: the *twin* (ground truth)
+        // decides what is applied, and both sides apply the same updates.
+        // Only accepted updates land, preserving the paper's standing
+        // assumption that all constraints hold before each change.
+        for (i, update) in updates.iter().enumerate() {
+            if !twin_reports[i].violations().is_empty() {
+                continue;
+            }
+            twin.database_mut()
+                .apply(update)
+                .map_err(|e| fail(step, format!("twin apply: {e}")))?;
+            subject
+                .manager_mut()
+                .database_mut()
+                .apply(update)
+                .map_err(|e| fail(step, format!("subject apply: {e}")))?;
+        }
+
+        stats.steps += 1;
+        stats.updates += batch_len;
+        stats.unknowns += unknowns_this_step;
+    }
+
+    // Property 3: the client's failure counters reconcile with the fired
+    // fault log, class by class, and the books balance.
+    stats.wire = subject.wire_totals();
+    stats.faults_fired = log.len();
+    let wire = &stats.wire;
+    let recon: [(&str, u64, u64); 4] = [
+        (
+            "timeouts vs dropped frames",
+            wire.timeouts,
+            log.count(FaultClass::Drop),
+        ),
+        (
+            "corrupt_frames vs corruption faults",
+            wire.corrupt_frames,
+            log.count(FaultClass::Corrupt),
+        ),
+        (
+            "disconnects vs disconnect faults",
+            wire.disconnects,
+            log.count(FaultClass::Disconnect),
+        ),
+        (
+            "redials vs corrupt_frames",
+            wire.redials,
+            wire.corrupt_frames,
+        ),
+    ];
+    for (what, counter, expected) in recon {
+        if counter != expected {
+            return Err(fail(
+                usize::MAX,
+                format!("{what}: counter {counter} != fault log {expected} ({wire})"),
+            ));
+        }
+    }
+    if wire.timeouts + wire.disconnects + wire.corrupt_frames
+        != wire.retries + wire.failed_exchanges
+    {
+        return Err(fail(
+            usize::MAX,
+            format!("failure counters do not balance: {wire}"),
+        ));
+    }
+
+    Ok(stats)
+}
+
+/// The next workload update: a fresh insert (usually clean, sometimes a
+/// dangling department or an out-of-range salary so the stream contains
+/// genuine violations) or the deletion of a currently-live employee.
+fn next_update(
+    cfg: &ChaosConfig,
+    wrng: &mut rand::rngs::StdRng,
+    next_id: &mut usize,
+    live: &[Tuple],
+) -> Update {
+    match wrng.random_range(0..10u8) {
+        // Delete an existing employee (always a no-violation update for
+        // this constraint set — deletions only shrink the emp relation).
+        0..=2 if !live.is_empty() => {
+            let victim = live[wrng.random_range(0..live.len())].clone();
+            Update::delete("emp", victim)
+        }
+        // Insert with a dangling department: referential violation.
+        3 => {
+            let id = *next_id;
+            *next_id += 1;
+            Update::insert(
+                "emp",
+                tuple![
+                    format!("e{id}").as_str(),
+                    "ghost",
+                    wrng.random_range(10..=200i64)
+                ],
+            )
+        }
+        // Insert with a wild salary: often outside the department range.
+        4 => {
+            let id = *next_id;
+            *next_id += 1;
+            let dept = dept_name(wrng.random_range(0..cfg.departments.max(1)));
+            Update::insert(
+                "emp",
+                tuple![
+                    format!("e{id}").as_str(),
+                    dept.as_str(),
+                    wrng.random_range(0..=400i64)
+                ],
+            )
+        }
+        // Clean insert inside the global salary band (may still trip a
+        // department's narrower range — that is the point of checking).
+        _ => {
+            let id = *next_id;
+            *next_id += 1;
+            let dept = dept_name(wrng.random_range(0..cfg.departments.max(1)));
+            Update::insert(
+                "emp",
+                tuple![
+                    format!("e{id}").as_str(),
+                    dept.as_str(),
+                    wrng.random_range(10..=200i64)
+                ],
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A short soak under real chaos: zero divergences, zero spurious
+    /// Unknowns, counters reconciled — and faults genuinely fired.
+    #[test]
+    fn smoke_soak_is_sound_and_reconciles() {
+        let cfg = ChaosConfig {
+            steps: 40,
+            ..ChaosConfig::default()
+        };
+        let stats = soak(0xBAD5EED, &cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(stats.steps, 40);
+        assert!(stats.updates >= 40);
+        assert!(stats.faults_fired > 0, "rate 0.25 must fire over 40 steps");
+        assert_eq!(stats.verdicts, stats.updates * CONSTRAINTS.len());
+    }
+
+    /// A fault-free plan degrades nothing: the subject and the twin agree
+    /// on every single verdict and the wire books show zero failures.
+    #[test]
+    fn zero_fault_rate_never_degrades() {
+        let cfg = ChaosConfig {
+            steps: 25,
+            fault_rate: 0.0,
+            ..ChaosConfig::default()
+        };
+        let stats = soak(7, &cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(stats.unknowns, 0);
+        assert_eq!(stats.faults_fired, 0);
+        assert_eq!(stats.wire.failed_exchanges, 0);
+        assert_eq!(stats.wire.retries, 0);
+    }
+
+    /// The same seed replays the same soak, observation for observation.
+    #[test]
+    fn soak_is_deterministic_per_seed() {
+        let cfg = ChaosConfig {
+            steps: 30,
+            ..ChaosConfig::default()
+        };
+        let a = soak(42, &cfg).unwrap_or_else(|f| panic!("{f}"));
+        let b = soak(42, &cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(a.unknowns, b.unknowns);
+        assert_eq!(a.faults_fired, b.faults_fired);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.wire, b.wire);
+    }
+
+    /// Failure messages carry the reproducing seed — the contract the CI
+    /// long-soak job relies on to make randomized failures actionable.
+    #[test]
+    fn failure_display_includes_the_seed() {
+        let f = SoakFailure {
+            seed: 0xDEADBEEF,
+            step: 17,
+            message: "synthetic".into(),
+        };
+        let msg = f.to_string();
+        assert!(msg.contains(&format!("seed {}", 0xDEADBEEFu64)), "{msg}");
+        assert!(msg.contains("step 17"), "{msg}");
+    }
+}

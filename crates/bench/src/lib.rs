@@ -10,6 +10,7 @@ use ccpi_localtest::Cqc;
 use ccpi_parser::parse_cq;
 use ccpi_storage::{tuple, Database, Locality, Relation};
 
+pub mod chaos;
 pub mod delta_bench;
 pub mod throughput;
 

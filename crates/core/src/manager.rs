@@ -373,12 +373,14 @@ impl ConstraintManager {
 
     /// Batch variant of
     /// [`check_update_with_remote`](Self::check_update_with_remote): each
-    /// remote relation is hydrated (and each unreachable relation retried)
-    /// **at most once per batch** instead of once per update — the
-    /// transport saving is the point of batching, so per-report
-    /// [`CheckReport::wire`] stats attribute each fetch to the first
-    /// update that needed it rather than repeating per update. Outcomes
-    /// and read counters still match per-update checks.
+    /// remote relation is hydrated **at most once per batch** instead of
+    /// once per update — the transport saving is the point of batching,
+    /// so per-report [`CheckReport::wire`] stats attribute each fetch to
+    /// the first update that needed it rather than repeating per update.
+    /// Degradation stays **per update**: an unreachable relation turns
+    /// only the updates that needed it while it was down to `Unknown`,
+    /// and later updates in the batch re-try the fetch. Outcomes and
+    /// read counters still match per-update checks.
     pub fn check_updates_with_remote(
         &mut self,
         updates: &[Update],
@@ -407,6 +409,12 @@ impl ConstraintManager {
         let mut wires = Vec::with_capacity(updates.len());
         let mut hydrated: BTreeMap<String, bool> = BTreeMap::new();
         for update in updates {
+            // Successful hydrations persist for the whole batch; *failed*
+            // ones are forgotten at each update boundary, so a transient
+            // fault degrades the update that hit it and the next update
+            // re-tries the fetch. One poisoned exchange must not flip an
+            // unrelated update's verdict to Unknown.
+            hydrated.retain(|_, ok| *ok);
             let stats_before = remote.as_deref().map(|r| r.wire_stats());
             let mut row = Vec::with_capacity(n);
             for i in 0..n {

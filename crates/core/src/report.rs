@@ -146,6 +146,18 @@ pub struct WireStats {
     pub retries: u64,
     /// Attempts abandoned because the per-request deadline expired.
     pub timeouts: u64,
+    /// Attempts whose reply was unusable: undecodable bytes, a failed
+    /// payload checksum, a stale/duplicated nonce, a response count that
+    /// does not match the batch, or a peer `BadFrame` report.
+    pub corrupt_frames: u64,
+    /// Attempts that found the peer gone mid-exchange.
+    pub disconnects: u64,
+    /// Connection resets forced by the client after a corrupt frame
+    /// (poison-and-redial, never reuse a desynchronised stream).
+    pub redials: u64,
+    /// Whole exchanges abandoned after the retry budget (or the exchange
+    /// deadline) ran out — each one surfaces as `RemoteUnavailable`.
+    pub failed_exchanges: u64,
 }
 
 impl WireStats {
@@ -159,6 +171,12 @@ impl WireStats {
             bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
             retries: self.retries.saturating_sub(earlier.retries),
             timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            corrupt_frames: self.corrupt_frames.saturating_sub(earlier.corrupt_frames),
+            disconnects: self.disconnects.saturating_sub(earlier.disconnects),
+            redials: self.redials.saturating_sub(earlier.redials),
+            failed_exchanges: self
+                .failed_exchanges
+                .saturating_sub(earlier.failed_exchanges),
         }
     }
 
@@ -170,6 +188,10 @@ impl WireStats {
         self.bytes_received += other.bytes_received;
         self.retries += other.retries;
         self.timeouts += other.timeouts;
+        self.corrupt_frames += other.corrupt_frames;
+        self.disconnects += other.disconnects;
+        self.redials += other.redials;
+        self.failed_exchanges += other.failed_exchanges;
     }
 
     /// `true` when nothing touched the wire.
@@ -189,7 +211,15 @@ impl fmt::Display for WireStats {
             self.bytes_received,
             self.retries,
             self.timeouts
-        )
+        )?;
+        if self.corrupt_frames + self.disconnects + self.redials + self.failed_exchanges > 0 {
+            write!(
+                f,
+                " / {} corrupt / {} disconnects / {} redials / {} failed",
+                self.corrupt_frames, self.disconnects, self.redials, self.failed_exchanges
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -487,6 +517,7 @@ mod tests {
             bytes_received: 900,
             retries: 1,
             timeouts: 0,
+            ..WireStats::default()
         };
         let b = WireStats {
             requests: 5,
@@ -495,12 +526,19 @@ mod tests {
             bytes_received: 1000,
             retries: 1,
             timeouts: 1,
+            corrupt_frames: 2,
+            disconnects: 1,
+            redials: 2,
+            failed_exchanges: 1,
         };
         let d = b.delta_since(&a);
         assert_eq!(d.requests, 2);
         assert_eq!(d.round_trips, 1);
         assert_eq!(d.bytes_sent, 60);
         assert_eq!(d.timeouts, 1);
+        assert_eq!(d.corrupt_frames, 2);
+        assert_eq!(d.redials, 2);
+        assert_eq!(d.failed_exchanges, 1);
         let mut acc = a;
         acc.absorb(&d);
         assert_eq!(acc, b);

@@ -7,6 +7,22 @@
 //! counted so [`CheckReport::wire`](ccpi::report::CheckReport) carries
 //! *measured* numbers, not the synthetic
 //! [`CostModel`](ccpi::distributed::CostModel) arithmetic.
+//!
+//! Failure taxonomy the retry loop enforces:
+//!
+//! * **Retryable** — timeout, disconnect: the request may simply not have
+//!   arrived; resend after backoff.
+//! * **Retryable with poison** — a corrupt frame (failed checksum, stale
+//!   nonce, undecodable bytes, peer `BadFrame`): the *connection* can no
+//!   longer be trusted, so [`Transport::reset`] forces a re-dial before
+//!   the resend. Never loop on a desynchronised stream.
+//! * **Fatal** — an application-level [`Response::Error`] (unknown
+//!   relation, bad column): the frame arrived intact and the answer is a
+//!   definite no; retrying cannot change it.
+//!
+//! The whole exchange — every attempt plus every backoff sleep — is
+//! bounded by one exchange deadline, so a caller's latency budget holds
+//! regardless of the retry schedule.
 
 use crate::transport::{Transport, TransportError};
 use crate::wire::{decode_responses, encode_requests, Request, Response};
@@ -15,7 +31,7 @@ use ccpi::report::WireStats;
 use ccpi_storage::Tuple;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Bounded retry with exponential backoff.
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +64,23 @@ impl RetryPolicy {
             max_backoff: Duration::ZERO,
         }
     }
+
+    /// The backoff slept before retry number `retry` (zero-based):
+    /// `base_backoff * 2^retry`, capped at `max_backoff`.
+    pub fn backoff_for(&self, retry: u32) -> Duration {
+        let doubled = 1u32.checked_shl(retry.min(31)).unwrap_or(u32::MAX);
+        self.base_backoff
+            .checked_mul(doubled)
+            .map_or(self.max_backoff, |d| d.min(self.max_backoff))
+    }
+
+    /// Sum of every backoff a full retry cycle can sleep — the fixed part
+    /// of the worst-case exchange latency.
+    pub fn total_backoff(&self) -> Duration {
+        (0..self.attempts.saturating_sub(1))
+            .map(|i| self.backoff_for(i))
+            .sum()
+    }
 }
 
 /// Cumulative transport counters, shared and thread-safe.
@@ -57,6 +90,13 @@ impl RetryPolicy {
 /// frames actually sent (so `round_trips - retries` is the number of
 /// distinct exchanges); bytes count framed payloads per attempt —
 /// retransmitted bytes are real bytes.
+///
+/// The failure counters reconcile: every failed attempt lands in exactly
+/// one of `timeouts`, `disconnects`, `corrupt_frames`, and is followed by
+/// either a retry or a failed exchange, so
+/// `timeouts + disconnects + corrupt_frames == retries + failed_exchanges`
+/// holds at every quiescent point. The chaos harness asserts this against
+/// its fault log.
 #[derive(Debug, Default)]
 pub struct SiteMetrics {
     requests: AtomicU64,
@@ -65,6 +105,10 @@ pub struct SiteMetrics {
     bytes_received: AtomicU64,
     retries: AtomicU64,
     timeouts: AtomicU64,
+    corrupt_frames: AtomicU64,
+    disconnects: AtomicU64,
+    redials: AtomicU64,
+    failed_exchanges: AtomicU64,
 }
 
 impl SiteMetrics {
@@ -77,6 +121,10 @@ impl SiteMetrics {
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+            redials: self.redials.load(Ordering::Relaxed),
+            failed_exchanges: self.failed_exchanges.load(Ordering::Relaxed),
         }
     }
 }
@@ -86,8 +134,14 @@ pub struct SiteClient {
     transport: Box<dyn Transport>,
     /// Per-round-trip deadline.
     deadline: Duration,
+    /// Whole-exchange deadline (attempts + backoffs). `None` derives one
+    /// from the per-attempt deadline and the retry policy.
+    exchange_deadline: Option<Duration>,
     retry: RetryPolicy,
     metrics: Arc<SiteMetrics>,
+    /// Monotonic per-exchange nonce; echoed by the server so stale or
+    /// duplicated replies are detectable.
+    nonce: u64,
 }
 
 impl SiteClient {
@@ -97,14 +151,25 @@ impl SiteClient {
         SiteClient {
             transport: Box::new(transport),
             deadline: Duration::from_secs(1),
+            exchange_deadline: None,
             retry: RetryPolicy::default(),
             metrics: Arc::new(SiteMetrics::default()),
+            nonce: 0,
         }
     }
 
     /// Sets the per-round-trip deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> SiteClient {
         self.deadline = deadline;
+        self
+    }
+
+    /// Bounds the **whole** exchange — every attempt and every backoff
+    /// sleep — by one deadline. Without it the bound is derived:
+    /// `deadline * attempts + total_backoff`, i.e. "let the retry policy
+    /// run to completion but not a microsecond longer".
+    pub fn with_exchange_deadline(mut self, deadline: Duration) -> SiteClient {
+        self.exchange_deadline = Some(deadline);
         self
     }
 
@@ -119,57 +184,111 @@ impl SiteClient {
         Arc::clone(&self.metrics)
     }
 
+    fn exchange_budget(&self) -> Duration {
+        self.exchange_deadline.unwrap_or_else(|| {
+            self.deadline * self.retry.attempts.max(1) + self.retry.total_backoff()
+        })
+    }
+
+    /// A corrupt frame poisons the connection: count it, force a re-dial,
+    /// let the retry loop resend on a fresh stream.
+    fn poison(&mut self) {
+        self.metrics.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+        self.metrics.redials.fetch_add(1, Ordering::Relaxed);
+        self.transport.reset();
+    }
+
     /// Sends one batch; returns one response per request, in order.
     ///
-    /// Retries the *whole batch* on timeout/disconnect (requests are
-    /// read-only, so replays are safe), sleeping an exponentially growing
-    /// backoff between attempts. When every attempt fails the batch
-    /// resolves to [`RemoteError::Unavailable`].
+    /// Retries the *whole batch* on timeout, disconnect, or corrupt frame
+    /// (requests are read-only, so replays are safe), sleeping an
+    /// exponentially growing backoff between attempts; corrupt frames
+    /// additionally poison the connection so the resend starts on a fresh
+    /// one. The exchange deadline bounds everything. When every attempt
+    /// fails the batch resolves to [`RemoteError::Unavailable`].
     pub fn exchange(&mut self, reqs: &[Request]) -> Result<Vec<Response>, RemoteError> {
-        let payload = encode_requests(reqs);
+        self.nonce = self.nonce.wrapping_add(1);
+        let nonce = self.nonce;
+        let payload = encode_requests(nonce, reqs);
         self.metrics
             .requests
             .fetch_add(reqs.len() as u64, Ordering::Relaxed);
-        let mut backoff = self.retry.base_backoff;
-        let mut last_err = TransportError::Disconnected("no attempts made".into());
+        let start = Instant::now();
+        let budget = self.exchange_budget();
+        let mut last_err = String::from("exchange deadline left no time for an attempt");
         for attempt in 0..self.retry.attempts.max(1) {
             if attempt > 0 {
-                self.metrics.retries.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(self.retry.max_backoff);
+                let Some(remaining) = budget.checked_sub(start.elapsed()) else {
+                    break;
+                };
+                std::thread::sleep(self.retry.backoff_for(attempt - 1).min(remaining));
             }
+            let Some(remaining) = budget.checked_sub(start.elapsed()) else {
+                break;
+            };
+            if attempt > 0 {
+                // Counted here, not at the sleep: a retry that the budget
+                // cancels before the frame goes out is not a retry.
+                self.metrics.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            let attempt_deadline = self.deadline.min(remaining).max(Duration::from_millis(1));
             self.metrics.round_trips.fetch_add(1, Ordering::Relaxed);
             self.metrics
                 .bytes_sent
                 .fetch_add(self.transport.framed_len(&payload), Ordering::Relaxed);
-            match self.transport.round_trip(&payload, self.deadline) {
+            match self.transport.round_trip(&payload, attempt_deadline) {
                 Ok(reply) => {
                     self.metrics
                         .bytes_received
                         .fetch_add(self.transport.framed_len(&reply), Ordering::Relaxed);
-                    let resps = decode_responses(&reply)
-                        .map_err(|e| RemoteError::Protocol(e.to_string()))?;
-                    if resps.len() != reqs.len() {
-                        return Err(RemoteError::Protocol(format!(
-                            "{} responses to {} requests",
-                            resps.len(),
-                            reqs.len()
-                        )));
+                    match decode_responses(&reply) {
+                        Ok((echo, resps)) => {
+                            let bad = resps.iter().find_map(|r| match r {
+                                Response::BadFrame { message } => Some(message.clone()),
+                                _ => None,
+                            });
+                            if let Some(message) = bad {
+                                last_err = format!("peer rejected our frame: {message}");
+                                self.poison();
+                            } else if echo != nonce {
+                                last_err = format!(
+                                    "stale or duplicated reply (nonce {echo}, expected {nonce})"
+                                );
+                                self.poison();
+                            } else if resps.len() != reqs.len() {
+                                last_err =
+                                    format!("{} responses to {} requests", resps.len(), reqs.len());
+                                self.poison();
+                            } else {
+                                return Ok(resps);
+                            }
+                        }
+                        Err(e) => {
+                            last_err = format!("undecodable reply: {e}");
+                            self.poison();
+                        }
                     }
-                    return Ok(resps);
                 }
                 Err(TransportError::Timeout) => {
                     self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
-                    last_err = TransportError::Timeout;
+                    last_err = "deadline expired".into();
+                }
+                Err(TransportError::Disconnected(m)) => {
+                    self.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+                    last_err = format!("disconnected: {m}");
                 }
                 Err(TransportError::Protocol(m)) => {
-                    // The peer speaks, but wrongly; retrying won't help.
-                    return Err(RemoteError::Protocol(m));
+                    // The bytes on the stream violate the framing — same
+                    // trust failure as a bad checksum.
+                    last_err = format!("framing violation: {m}");
+                    self.poison();
                 }
-                Err(e) => last_err = e,
             }
         }
-        Err(RemoteError::Unavailable(last_err.to_string()))
+        self.metrics
+            .failed_exchanges
+            .fetch_add(1, Ordering::Relaxed);
+        Err(RemoteError::Unavailable(last_err))
     }
 
     /// Round-trip probe.
@@ -197,6 +316,10 @@ impl SiteClient {
                 Response::Rows { rows, .. } => Ok(rows),
                 Response::Error { message } => Err(RemoteError::Protocol(message)),
                 Response::Pong => Err(RemoteError::Protocol("unexpected Pong".into())),
+                // `exchange` retries these away or fails the exchange.
+                Response::BadFrame { message } => Err(RemoteError::Protocol(format!(
+                    "unexpected BadFrame: {message}"
+                ))),
             })
             .collect()
     }
@@ -276,6 +399,13 @@ mod tests {
         let stats = client.wire_stats();
         assert_eq!(stats.round_trips, 3);
         assert_eq!(stats.retries, 2);
+        assert_eq!(stats.disconnects, 3);
+        assert_eq!(stats.failed_exchanges, 1);
+        // Reconciliation invariant at a quiescent point.
+        assert_eq!(
+            stats.timeouts + stats.disconnects + stats.corrupt_frames,
+            stats.retries + stats.failed_exchanges
+        );
     }
 
     #[test]
@@ -292,6 +422,7 @@ mod tests {
         let stats = client.wire_stats();
         assert_eq!(stats.timeouts, 2);
         assert_eq!(stats.retries, 1);
+        assert_eq!(stats.failed_exchanges, 1);
     }
 
     #[test]
@@ -299,5 +430,137 @@ mod tests {
         let (mut client, _site) = spawn_site();
         let err = client.fetch_relation("nope").unwrap_err();
         assert!(matches!(err, RemoteError::Protocol(_)), "{err:?}");
+        // An intact application-level refusal is not a wire failure.
+        assert_eq!(client.wire_stats().corrupt_frames, 0);
+        assert_eq!(client.wire_stats().retries, 0);
+    }
+
+    #[test]
+    fn corrupt_reply_poisons_then_recovers_on_retry() {
+        // A hand-rolled server that garbles its first reply and answers
+        // honestly afterwards.
+        let (transport, end) = ChannelTransport::pair();
+        let mut db = Database::new();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        db.insert("r", tuple![20]).unwrap();
+        let site = RemoteSite::new(db);
+        std::thread::spawn(move || {
+            let mut first = true;
+            while let Ok(frame) = end.requests.recv() {
+                let mut reply = site.handle_frame(&frame);
+                if first {
+                    first = false;
+                    let mid = reply.len() / 2;
+                    reply[mid] ^= 0xff; // silent corruption in transit
+                }
+                if end.replies.send(reply).is_err() {
+                    break;
+                }
+            }
+        });
+        let mut client = SiteClient::new(transport).with_retry(RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        });
+        // The corruption is detected (not believed), retried, and the
+        // second attempt succeeds.
+        let rows = client.fetch_relation("r").unwrap();
+        assert_eq!(rows, vec![tuple![20]]);
+        let stats = client.wire_stats();
+        assert_eq!(stats.corrupt_frames, 1);
+        assert_eq!(stats.redials, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.round_trips, 2);
+        assert_eq!(stats.failed_exchanges, 0);
+    }
+
+    #[test]
+    fn stale_reply_is_rejected_by_nonce() {
+        // The server replays its previous reply: decodes fine, checksum
+        // fine, but the nonce belongs to an older exchange.
+        let (transport, end) = ChannelTransport::pair();
+        let mut db = Database::new();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        db.insert("r", tuple![20]).unwrap();
+        let site = RemoteSite::new(db);
+        std::thread::spawn(move || {
+            let mut previous: Option<Vec<u8>> = None;
+            let mut served = 0u32;
+            while let Ok(frame) = end.requests.recv() {
+                let fresh = site.handle_frame(&frame);
+                served += 1;
+                let reply = if served == 2 {
+                    previous.clone().expect("one earlier reply")
+                } else {
+                    fresh.clone()
+                };
+                previous = Some(fresh);
+                if end.replies.send(reply).is_err() {
+                    break;
+                }
+            }
+        });
+        let mut client = SiteClient::new(transport).with_retry(RetryPolicy {
+            attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+        });
+        client.fetch_relation("r").unwrap(); // exchange 1, honest
+        client.fetch_relation("r").unwrap(); // exchange 2: stale, then retried
+        let stats = client.wire_stats();
+        assert_eq!(stats.corrupt_frames, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.failed_exchanges, 0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+        };
+        let schedule: Vec<u64> = (0..7)
+            .map(|i| p.backoff_for(i).as_millis() as u64)
+            .collect();
+        assert_eq!(schedule, vec![10, 20, 40, 80, 160, 200, 200]);
+        assert_eq!(p.total_backoff(), Duration::from_millis(710));
+        assert_eq!(RetryPolicy::none().total_backoff(), Duration::ZERO);
+    }
+
+    #[test]
+    fn exchange_deadline_bounds_total_wait() {
+        // A silent server and a generous retry policy: without the
+        // exchange deadline this would wait ~10 * (50ms + backoff). The
+        // deadline must cut the whole exchange off near 120 ms.
+        let (transport, _end) = ChannelTransport::pair();
+        let mut client = SiteClient::new(transport)
+            .with_deadline(Duration::from_millis(50))
+            .with_exchange_deadline(Duration::from_millis(120))
+            .with_retry(RetryPolicy {
+                attempts: 10,
+                base_backoff: Duration::from_millis(20),
+                max_backoff: Duration::from_millis(40),
+            });
+        let start = Instant::now();
+        let err = client.fetch_relation("r").unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(err, RemoteError::Unavailable(_)));
+        assert!(
+            elapsed < Duration::from_millis(400),
+            "exchange ran {elapsed:?}, deadline was 120ms"
+        );
+        let stats = client.wire_stats();
+        assert!(
+            stats.round_trips < 10,
+            "budget should cut attempts short, made {}",
+            stats.round_trips
+        );
+        assert_eq!(stats.failed_exchanges, 1);
+        assert_eq!(
+            stats.timeouts + stats.disconnects + stats.corrupt_frames,
+            stats.retries + stats.failed_exchanges
+        );
     }
 }

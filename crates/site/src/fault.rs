@@ -1,0 +1,599 @@
+//! Deterministic fault injection for any [`Transport`].
+//!
+//! The chaos machinery has two halves:
+//!
+//! * [`FaultPlan`] — a *schedule* of fault decisions, either drawn from a
+//!   seeded RNG (one decision per frame, reproducible from a single
+//!   `u64`) or scripted outright for targeted tests.
+//! * [`FaultyTransport`] — a decorator that replays the plan around an
+//!   inner transport and records every fault that actually *fired* in a
+//!   shared [`FaultLog`].
+//!
+//! Reproducibility is the whole point: a soak failure prints its seed,
+//! and rebuilding `FaultPlan::seeded(seed, rate)` replays the identical
+//! fault sequence against the identical workload. Nothing in this module
+//! consults wall-clock time or ambient randomness.
+//!
+//! The injected faults map onto the client's failure taxonomy:
+//!
+//! | fault                  | what the client sees                     |
+//! |------------------------|------------------------------------------|
+//! | [`FaultKind::DropRequest`]     | timeout (frame never left)       |
+//! | [`FaultKind::DropResponse`]    | timeout (reply discarded)        |
+//! | [`FaultKind::Delay`]           | a slower, otherwise clean reply  |
+//! | [`FaultKind::TruncateResponse`]| corrupt frame (checksum/decode)  |
+//! | [`FaultKind::Disconnect`]      | `Disconnected` after M frames    |
+//! | [`FaultKind::DuplicateResponse`]| stale reply (nonce mismatch)    |
+//! | [`FaultKind::CorruptRequest`]  | peer `BadFrame` report           |
+//! | [`FaultKind::CorruptResponse`] | corrupt frame (checksum)         |
+
+use crate::transport::{Transport, TransportError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One kind of injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The request frame never reaches the peer; the client times out.
+    DropRequest,
+    /// The exchange completes at the peer but the reply is discarded;
+    /// the client times out.
+    DropResponse,
+    /// The reply is delivered after an extra delay of this many
+    /// milliseconds (kept far below any sane deadline, so a delay alone
+    /// never fails an exchange).
+    Delay {
+        /// Extra latency in milliseconds.
+        ms: u64,
+    },
+    /// The reply is cut off after `at` bytes (always strictly inside the
+    /// frame, so the seal check must catch it).
+    TruncateResponse {
+        /// Byte offset the reply is cut at (taken modulo the frame size).
+        at: usize,
+    },
+    /// The connection dies `after` frames from now (0 = this one): that
+    /// frame fails with `Disconnected` and the inner transport is reset.
+    Disconnect {
+        /// Frames until the connection drops.
+        after: u32,
+    },
+    /// The previous exchange's reply is delivered instead of this one —
+    /// the stale-reply scenario the nonce exists for.
+    DuplicateResponse,
+    /// One request byte is flipped in transit; the peer's seal check
+    /// fails and it reports `BadFrame`.
+    CorruptRequest {
+        /// Byte offset flipped (taken modulo the frame size).
+        at: usize,
+    },
+    /// One reply byte is flipped in transit; the client's seal check
+    /// fails.
+    CorruptResponse {
+        /// Byte offset flipped (taken modulo the frame size).
+        at: usize,
+    },
+}
+
+/// Coarse classes for reconciling the log against [`WireStats`]
+/// counters (each class maps to exactly one client-side counter).
+///
+/// [`WireStats`]: ccpi::report::WireStats
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Surfaces as a client timeout.
+    Drop,
+    /// Surfaces as added latency only — never a failure.
+    Delay,
+    /// Surfaces as a corrupt frame (checksum, nonce, decode, `BadFrame`).
+    Corrupt,
+    /// Surfaces as a transport disconnect.
+    Disconnect,
+}
+
+impl FaultKind {
+    /// The reconciliation class of this fault.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            FaultKind::DropRequest | FaultKind::DropResponse => FaultClass::Drop,
+            FaultKind::Delay { .. } => FaultClass::Delay,
+            FaultKind::TruncateResponse { .. }
+            | FaultKind::DuplicateResponse
+            | FaultKind::CorruptRequest { .. }
+            | FaultKind::CorruptResponse { .. } => FaultClass::Corrupt,
+            FaultKind::Disconnect { .. } => FaultClass::Disconnect,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::DropRequest => write!(f, "drop-request"),
+            FaultKind::DropResponse => write!(f, "drop-response"),
+            FaultKind::Delay { ms } => write!(f, "delay {ms}ms"),
+            FaultKind::TruncateResponse { at } => write!(f, "truncate-response@{at}"),
+            FaultKind::Disconnect { after } => write!(f, "disconnect-after-{after}"),
+            FaultKind::DuplicateResponse => write!(f, "duplicate-response"),
+            FaultKind::CorruptRequest { at } => write!(f, "corrupt-request@{at}"),
+            FaultKind::CorruptResponse { at } => write!(f, "corrupt-response@{at}"),
+        }
+    }
+}
+
+/// A fault that actually fired, tagged with the frame it fired on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Zero-based index of the frame (round trip) the fault hit.
+    pub frame: u64,
+    /// What happened to it.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fault decisions, one per frame.
+pub struct FaultPlan {
+    seed: u64,
+    mode: PlanMode,
+}
+
+enum PlanMode {
+    Seeded {
+        rng: StdRng,
+        rate: f64,
+    },
+    Scripted {
+        faults: Vec<Option<FaultKind>>,
+        next: usize,
+    },
+}
+
+impl FaultPlan {
+    /// A plan that injects a fault on each frame with probability `rate`,
+    /// every decision derived from `seed`. The same `(seed, rate)` pair
+    /// replays the same schedule forever.
+    pub fn seeded(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            mode: PlanMode::Seeded {
+                rng: StdRng::seed_from_u64(seed ^ 0x0063_6861_6f73),
+                rate,
+            },
+        }
+    }
+
+    /// An explicit per-frame schedule for targeted tests; frames beyond
+    /// the script are fault-free.
+    pub fn scripted(faults: Vec<Option<FaultKind>>) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            mode: PlanMode::Scripted { faults, next: 0 },
+        }
+    }
+
+    /// A plan that never faults (a `FaultyTransport` with this plan is a
+    /// transparent wrapper — handy for twin comparisons).
+    pub fn none() -> FaultPlan {
+        FaultPlan::scripted(Vec::new())
+    }
+
+    /// The seed this plan replays from (0 for scripted plans).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The decision for the next frame.
+    fn draw(&mut self) -> Option<FaultKind> {
+        match &mut self.mode {
+            PlanMode::Scripted { faults, next } => {
+                let decision = faults.get(*next).copied().flatten();
+                *next += 1;
+                decision
+            }
+            PlanMode::Seeded { rng, rate } => {
+                if !rng.random_bool(*rate) {
+                    return None;
+                }
+                Some(match rng.random_range(0..8u8) {
+                    0 => FaultKind::DropRequest,
+                    1 => FaultKind::DropResponse,
+                    // Small against any deadline: a delayed reply must
+                    // still beat it, or assertion (b) would see phantom
+                    // Unknowns.
+                    2 => FaultKind::Delay {
+                        ms: rng.random_range(1..=4u64),
+                    },
+                    3 => FaultKind::TruncateResponse {
+                        at: rng.random_range(0..4096usize),
+                    },
+                    4 => FaultKind::Disconnect {
+                        after: rng.random_range(0..3u32),
+                    },
+                    5 => FaultKind::DuplicateResponse,
+                    6 => FaultKind::CorruptRequest {
+                        at: rng.random_range(0..4096usize),
+                    },
+                    _ => FaultKind::CorruptResponse {
+                        at: rng.random_range(0..4096usize),
+                    },
+                })
+            }
+        }
+    }
+}
+
+/// Shared, append-only record of the faults that fired.
+#[derive(Clone, Default)]
+pub struct FaultLog {
+    events: Arc<Mutex<Vec<FaultEvent>>>,
+}
+
+impl FaultLog {
+    /// Number of fired faults so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("fault log lock").len()
+    }
+
+    /// `true` when nothing has fired.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of every fired fault, in firing order.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.events.lock().expect("fault log lock").clone()
+    }
+
+    /// How many fired faults fall in `class`.
+    pub fn count(&self, class: FaultClass) -> u64 {
+        self.events
+            .lock()
+            .expect("fault log lock")
+            .iter()
+            .filter(|e| e.kind.class() == class)
+            .count() as u64
+    }
+
+    fn record(&self, frame: u64, kind: FaultKind) {
+        self.events
+            .lock()
+            .expect("fault log lock")
+            .push(FaultEvent { frame, kind });
+    }
+}
+
+/// A transport decorator that injects the plan's faults around an inner
+/// transport.
+///
+/// Only faults that *fire* (observably perturb an exchange) are logged:
+/// an armed disconnect is logged when the connection actually dies, and a
+/// duplicate whose stale reply is byte-identical to the fresh one (a
+/// retry of the same exchange) is a no-op and logged as nothing.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    plan: FaultPlan,
+    log: FaultLog,
+    /// Frames attempted so far (the fault schedule's clock).
+    frames: u64,
+    /// The previous delivered reply, for `DuplicateResponse`.
+    stale: Option<Vec<u8>>,
+    /// An armed `Disconnect { after }` counting down.
+    pending_disconnect: Option<u32>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: T, plan: FaultPlan) -> FaultyTransport<T> {
+        FaultyTransport {
+            inner,
+            plan,
+            log: FaultLog::default(),
+            frames: 0,
+            stale: None,
+            pending_disconnect: None,
+        }
+    }
+
+    /// Shared handle to the fired-fault log.
+    pub fn log(&self) -> FaultLog {
+        self.log.clone()
+    }
+
+    /// The plan's seed (0 for scripted plans).
+    pub fn seed(&self) -> u64 {
+        self.plan.seed()
+    }
+
+    fn forward(&mut self, payload: &[u8], deadline: Duration) -> Result<Vec<u8>, TransportError> {
+        let reply = self.inner.round_trip(payload, deadline)?;
+        self.stale = Some(reply.clone());
+        Ok(reply)
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn round_trip(
+        &mut self,
+        payload: &[u8],
+        deadline: Duration,
+    ) -> Result<Vec<u8>, TransportError> {
+        let frame = self.frames;
+        self.frames += 1;
+
+        // An armed disconnect trumps new faults until it goes off.
+        if let Some(countdown) = self.pending_disconnect {
+            if countdown == 0 {
+                self.pending_disconnect = None;
+                self.stale = None;
+                self.inner.reset();
+                self.log.record(frame, FaultKind::Disconnect { after: 0 });
+                return Err(TransportError::Disconnected("injected disconnect".into()));
+            }
+            self.pending_disconnect = Some(countdown - 1);
+            return self.forward(payload, deadline);
+        }
+
+        match self.plan.draw() {
+            None => self.forward(payload, deadline),
+            Some(FaultKind::DropRequest) => {
+                // The frame never leaves; the client's deadline expires.
+                // (No real sleep: a timeout is a timeout.)
+                self.log.record(frame, FaultKind::DropRequest);
+                Err(TransportError::Timeout)
+            }
+            Some(FaultKind::DropResponse) => {
+                // The peer serves the exchange, the reply evaporates.
+                let _ = self.inner.round_trip(payload, deadline);
+                self.stale = None;
+                self.log.record(frame, FaultKind::DropResponse);
+                Err(TransportError::Timeout)
+            }
+            Some(FaultKind::Delay { ms }) => {
+                self.log.record(frame, FaultKind::Delay { ms });
+                std::thread::sleep(Duration::from_millis(ms));
+                self.forward(payload, deadline)
+            }
+            Some(FaultKind::TruncateResponse { at }) => {
+                let mut reply = self.inner.round_trip(payload, deadline)?;
+                self.stale = None; // a cut frame is not a reusable reply
+                let cut = at % reply.len().max(1);
+                reply.truncate(cut);
+                self.log
+                    .record(frame, FaultKind::TruncateResponse { at: cut });
+                Ok(reply)
+            }
+            Some(FaultKind::Disconnect { after }) => {
+                if after == 0 {
+                    self.stale = None;
+                    self.inner.reset();
+                    self.log.record(frame, FaultKind::Disconnect { after: 0 });
+                    return Err(TransportError::Disconnected("injected disconnect".into()));
+                }
+                self.pending_disconnect = Some(after - 1);
+                self.forward(payload, deadline)
+            }
+            Some(FaultKind::DuplicateResponse) => {
+                let fresh = self.inner.round_trip(payload, deadline)?;
+                match self.stale.take() {
+                    // Delivering a byte-identical reply is no fault at
+                    // all; don't log what cannot be observed.
+                    Some(old) if old != fresh => {
+                        self.stale = Some(fresh);
+                        self.log.record(frame, FaultKind::DuplicateResponse);
+                        Ok(old)
+                    }
+                    _ => {
+                        self.stale = Some(fresh.clone());
+                        Ok(fresh)
+                    }
+                }
+            }
+            Some(FaultKind::CorruptRequest { at }) => {
+                let mut corrupted = payload.to_vec();
+                let idx = at % corrupted.len().max(1);
+                if let Some(byte) = corrupted.get_mut(idx) {
+                    *byte ^= 0xff;
+                }
+                self.log
+                    .record(frame, FaultKind::CorruptRequest { at: idx });
+                self.forward(&corrupted, deadline)
+            }
+            Some(FaultKind::CorruptResponse { at }) => {
+                let mut reply = self.inner.round_trip(payload, deadline)?;
+                self.stale = None;
+                let idx = at % reply.len().max(1);
+                if let Some(byte) = reply.get_mut(idx) {
+                    *byte ^= 0xff;
+                }
+                self.log
+                    .record(frame, FaultKind::CorruptResponse { at: idx });
+                Ok(reply)
+            }
+        }
+    }
+
+    fn framed_len(&self, payload: &[u8]) -> u64 {
+        self.inner.framed_len(payload)
+    }
+
+    fn reset(&mut self) {
+        // The client is poisoning the connection; drop our stale stash
+        // with it (a "previous reply" does not survive a re-dial).
+        self.stale = None;
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{RetryPolicy, SiteClient};
+    use crate::server::RemoteSite;
+    use crate::transport::ChannelTransport;
+    use ccpi::remote::RemoteSource;
+    use ccpi_storage::{tuple, Database, Locality};
+
+    fn served_transport() -> (ChannelTransport, RemoteSite) {
+        let mut db = Database::new();
+        db.declare("r", 1, Locality::Remote).unwrap();
+        db.insert("r", tuple![20]).unwrap();
+        db.insert("r", tuple![42]).unwrap();
+        let site = RemoteSite::new(db);
+        let (transport, end) = ChannelTransport::pair();
+        site.serve_channel(end);
+        (transport, site)
+    }
+
+    fn chaos_client(plan: FaultPlan) -> (SiteClient, FaultLog, RemoteSite) {
+        let (transport, site) = served_transport();
+        let faulty = FaultyTransport::new(transport, plan);
+        let log = faulty.log();
+        let client = SiteClient::new(faulty)
+            .with_deadline(Duration::from_millis(100))
+            .with_retry(RetryPolicy {
+                attempts: 4,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            });
+        (client, log, site)
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let draw_all = |seed| {
+            let mut plan = FaultPlan::seeded(seed, 0.5);
+            (0..200).map(|_| plan.draw()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw_all(7), draw_all(7));
+        assert_ne!(draw_all(7), draw_all(8));
+        // The schedule actually contains faults at rate 0.5.
+        assert!(draw_all(7).iter().flatten().count() > 50);
+    }
+
+    #[test]
+    fn scripted_faults_fire_in_order_then_stop() {
+        let (transport, _site) = served_transport();
+        let mut faulty = FaultyTransport::new(
+            transport,
+            FaultPlan::scripted(vec![Some(FaultKind::DropRequest), None]),
+        );
+        let log = faulty.log();
+        let payload = crate::wire::encode_requests(1, &[crate::wire::Request::Ping]);
+        assert_eq!(
+            faulty.round_trip(&payload, Duration::from_millis(100)),
+            Err(TransportError::Timeout)
+        );
+        assert!(faulty
+            .round_trip(&payload, Duration::from_millis(100))
+            .is_ok());
+        // Beyond the script: clean.
+        assert!(faulty
+            .round_trip(&payload, Duration::from_millis(100))
+            .is_ok());
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.events()[0].frame, 0);
+    }
+
+    #[test]
+    fn truncation_is_detected_and_retried() {
+        let (mut client, log, _site) = chaos_client(FaultPlan::scripted(vec![Some(
+            FaultKind::TruncateResponse { at: 11 },
+        )]));
+        let rows = client.fetch_relation("r").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(log.count(FaultClass::Corrupt), 1);
+        let stats = client.wire_stats();
+        assert_eq!(stats.corrupt_frames, 1);
+        assert_eq!(stats.redials, 1);
+        assert_eq!(stats.retries, 1);
+    }
+
+    #[test]
+    fn corrupt_request_bounces_off_the_server_as_bad_frame() {
+        let (mut client, log, site) =
+            chaos_client(FaultPlan::scripted(vec![Some(FaultKind::CorruptRequest {
+                at: 23,
+            })]));
+        let rows = client.fetch_relation("r").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(log.count(FaultClass::Corrupt), 1);
+        assert_eq!(client.wire_stats().corrupt_frames, 1);
+        // The server answered both the garbled and the clean attempt.
+        assert_eq!(site.batches_served(), 2);
+    }
+
+    #[test]
+    fn armed_disconnect_fires_later_and_is_logged_once() {
+        let (mut client, log, _site) =
+            chaos_client(FaultPlan::scripted(vec![Some(FaultKind::Disconnect {
+                after: 2,
+            })]));
+        client.fetch_relation("r").unwrap(); // frame 0: arms (after 2 → 1)
+        client.fetch_relation("r").unwrap(); // frame 1: countdown 1 → 0
+                                             // Frame 2: the connection dies, the retry (frame 3) succeeds.
+        let rows = client.fetch_relation("r").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.events()[0].frame, 2);
+        assert_eq!(log.count(FaultClass::Disconnect), 1);
+        assert_eq!(client.wire_stats().disconnects, 1);
+    }
+
+    #[test]
+    fn duplicate_of_a_different_exchange_is_caught_by_the_nonce() {
+        let (mut client, log, _site) = chaos_client(FaultPlan::scripted(vec![
+            None,
+            Some(FaultKind::DuplicateResponse),
+        ]));
+        client.fetch_relation("r").unwrap(); // exchange 1: stashes its reply
+        let rows = client.fetch_relation("r").unwrap(); // stale, then clean
+        assert_eq!(rows.len(), 2);
+        assert_eq!(log.count(FaultClass::Corrupt), 1);
+        assert_eq!(client.wire_stats().corrupt_frames, 1);
+    }
+
+    #[test]
+    fn duplicate_with_nothing_stashed_is_a_silent_noop() {
+        let (mut client, log, _site) = chaos_client(FaultPlan::scripted(vec![Some(
+            FaultKind::DuplicateResponse,
+        )]));
+        client.fetch_relation("r").unwrap();
+        assert!(log.is_empty());
+        assert_eq!(client.wire_stats().corrupt_frames, 0);
+    }
+
+    #[test]
+    fn seeded_chaos_reconciles_with_wire_stats() {
+        // A hundred exchanges under moderate chaos: every verdict the
+        // client *returns* is correct, and the counters reconcile with
+        // the fired-fault log exactly.
+        let (mut client, log, _site) = chaos_client(FaultPlan::seeded(0xC0FFEE, 0.3));
+        let mut failed = 0u64;
+        for _ in 0..100 {
+            match client.fetch_relation("r") {
+                Ok(rows) => assert_eq!(rows.len(), 2, "seed 0xC0FFEE: wrong data accepted"),
+                Err(e) => {
+                    assert!(
+                        matches!(e, ccpi::remote::RemoteError::Unavailable(_)),
+                        "seed 0xC0FFEE: unexpected error class {e:?}"
+                    );
+                    failed += 1;
+                }
+            }
+        }
+        let stats = client.wire_stats();
+        assert_eq!(stats.failed_exchanges, failed);
+        assert_eq!(
+            stats.timeouts + stats.disconnects + stats.corrupt_frames,
+            stats.retries + stats.failed_exchanges,
+            "seed 0xC0FFEE: counters do not reconcile ({stats})"
+        );
+        assert_eq!(stats.corrupt_frames, log.count(FaultClass::Corrupt));
+        assert_eq!(stats.disconnects, log.count(FaultClass::Disconnect));
+        assert_eq!(stats.redials, stats.corrupt_frames);
+        assert_eq!(stats.timeouts, log.count(FaultClass::Drop));
+        assert!(log.len() > 10, "rate 0.3 over 100+ frames must fire");
+    }
+}

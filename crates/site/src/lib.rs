@@ -49,12 +49,14 @@
 //! ```
 
 pub mod client;
+pub mod fault;
 pub mod manager;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
 pub use client::{RetryPolicy, SiteClient, SiteMetrics};
+pub use fault::{FaultClass, FaultEvent, FaultKind, FaultLog, FaultPlan, FaultyTransport};
 pub use manager::DistributedManager;
 pub use server::{RemoteSite, ServerHandle};
 pub use transport::{ChannelTransport, TcpTransport, Transport, TransportError};
@@ -62,6 +64,9 @@ pub use transport::{ChannelTransport, TcpTransport, Transport, TransportError};
 /// Convenient re-exports for applications.
 pub mod prelude {
     pub use crate::client::{RetryPolicy, SiteClient, SiteMetrics};
+    pub use crate::fault::{
+        FaultClass, FaultEvent, FaultKind, FaultLog, FaultPlan, FaultyTransport,
+    };
     pub use crate::manager::DistributedManager;
     pub use crate::server::{RemoteSite, ServerHandle};
     pub use crate::transport::{ChannelTransport, TcpTransport, Transport, TransportError};

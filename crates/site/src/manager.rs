@@ -225,6 +225,59 @@ mod tests {
     }
 
     #[test]
+    fn batch_degrades_per_update_not_per_batch() {
+        use crate::fault::{FaultKind, FaultLog, FaultPlan, FaultyTransport};
+
+        let db = full_db();
+        let site = RemoteSite::new(SiteSplit::of(&db).remote);
+        let (transport, end) = ChannelTransport::pair();
+        site.serve_channel(end);
+        // Both attempts of the first fetch are dropped; the wire is clean
+        // afterwards.
+        let faulty = FaultyTransport::new(
+            transport,
+            FaultPlan::scripted(vec![
+                Some(FaultKind::DropRequest),
+                Some(FaultKind::DropRequest),
+            ]),
+        );
+        let log: FaultLog = faulty.log();
+        let client = SiteClient::new(faulty)
+            .with_deadline(std::time::Duration::from_millis(50))
+            .with_retry(crate::client::RetryPolicy {
+                attempts: 2,
+                base_backoff: std::time::Duration::from_millis(1),
+                max_backoff: std::time::Duration::from_millis(1),
+            });
+        let mut dmgr = DistributedManager::for_local_site(&db, client);
+        dmgr.add_constraint("intervals", INTERVALS).unwrap();
+
+        // Both updates escalate and need `r`. The first hits the poisoned
+        // exchange and degrades; the second re-tries the fetch on a clean
+        // wire and gets a definite verdict — one bad exchange must not
+        // flip an unrelated update in the same batch to Unknown.
+        let batch = [
+            Update::insert("l", tuple![15, 25]), // violated, if r is reachable
+            Update::insert("l", tuple![18, 30]), // violated, if r is reachable
+        ];
+        let reports = dmgr.check_updates(&batch).unwrap();
+        assert_eq!(
+            reports[0].outcome("intervals"),
+            Some(Outcome::Unknown(UnknownCause::RemoteUnavailable))
+        );
+        assert_eq!(reports[1].outcome("intervals"), Some(Outcome::Violated));
+        // Exactly the two scripted faults fired, on the first exchange.
+        assert_eq!(log.len(), 2);
+        let totals = dmgr.wire_totals();
+        assert_eq!(totals.failed_exchanges, 1);
+        assert_eq!(totals.timeouts, 2);
+        assert_eq!(
+            totals.timeouts + totals.disconnects + totals.corrupt_frames,
+            totals.retries + totals.failed_exchanges
+        );
+    }
+
+    #[test]
     fn process_applies_to_the_local_view() {
         let db = full_db();
         let site = RemoteSite::new(SiteSplit::of(&db).remote);

@@ -44,20 +44,27 @@ impl RemoteSite {
     }
 
     /// Answers one request batch (decoded payload in, encoded payload
-    /// out). Malformed frames yield a single-`Error` response batch
-    /// rather than killing the connection.
+    /// out), echoing the client's exchange nonce. Malformed frames yield
+    /// a single-[`Response::BadFrame`] batch rather than killing the
+    /// connection — the client treats that as a transport-integrity
+    /// failure (poison and retry), unlike an application-level `Error`.
     pub fn handle_frame(&self, payload: &[u8]) -> Vec<u8> {
-        let responses = match decode_requests(payload) {
-            Ok(reqs) => {
+        let (nonce, responses) = match decode_requests(payload) {
+            Ok((nonce, reqs)) => {
                 let db = self.db.lock().expect("site db lock");
-                reqs.iter().map(|r| answer(&db, r)).collect()
+                (nonce, reqs.iter().map(|r| answer(&db, r)).collect())
             }
-            Err(e) => vec![Response::Error {
-                message: format!("bad request frame: {e}"),
-            }],
+            // The nonce lives inside the failed seal, so it cannot be
+            // trusted or echoed; zero marks the reply as a frame report.
+            Err(e) => (
+                0,
+                vec![Response::BadFrame {
+                    message: format!("bad request frame: {e}"),
+                }],
+            ),
         };
         self.batches_served.fetch_add(1, Ordering::Relaxed);
-        encode_responses(&responses)
+        encode_responses(nonce, &responses)
     }
 
     /// Serves one in-process channel on a background thread until the
@@ -111,8 +118,8 @@ impl RemoteSite {
         });
         Ok(ServerHandle {
             addr: local_addr,
-            stop,
-            join: Some(accept_loop),
+            stop_flag: stop,
+            join: Mutex::new(Some(accept_loop)),
         })
     }
 }
@@ -176,8 +183,11 @@ fn answer(db: &Database, req: &Request) -> Response {
 /// and all connection workers down.
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
-    join: Option<JoinHandle<()>>,
+    stop_flag: Arc<AtomicBool>,
+    // The join handle sits behind a mutex so concurrent `stop` calls (or
+    // a `stop`/drop race) serialize: exactly one caller joins the accept
+    // loop, the rest see `None` and return once the winner is done.
+    join: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ServerHandle {
@@ -188,14 +198,16 @@ impl ServerHandle {
 
     /// Signals shutdown and waits for the server threads to exit.
     /// Established connections are closed; this is how tests "kill the
-    /// remote mid-stream".
-    pub fn stop(mut self) {
-        self.shutdown();
-    }
-
-    fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(join) = self.join.take() {
+    /// remote mid-stream". Idempotent and safe to race: any number of
+    /// concurrent calls (including the implicit one in `Drop`) all
+    /// return only after the server is down.
+    pub fn stop(&self) {
+        self.stop_flag.store(true, Ordering::Relaxed);
+        // Taking the handle under the lock decides the single joiner;
+        // holding the lock across the join makes the losers *wait* for
+        // the shutdown rather than merely skip it.
+        let mut slot = self.join.lock().expect("server join lock");
+        if let Some(join) = slot.take() {
             join.join().ok();
         }
     }
@@ -203,7 +215,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shutdown();
+        self.stop();
     }
 }
 
@@ -222,17 +234,21 @@ mod tests {
     }
 
     #[test]
-    fn batch_answers_positionally() {
+    fn batch_answers_positionally_and_echoes_the_nonce() {
         let site = RemoteSite::new(remote_db());
-        let frame = encode_requests(&[
-            Request::Ping,
-            Request::Scan { pred: "r".into() },
-            Request::Scan {
-                pred: "nope".into(),
-            },
-        ]);
+        let frame = encode_requests(
+            42,
+            &[
+                Request::Ping,
+                Request::Scan { pred: "r".into() },
+                Request::Scan {
+                    pred: "nope".into(),
+                },
+            ],
+        );
         let reply = site.handle_frame(&frame);
-        let resps = crate::wire::decode_responses(&reply).unwrap();
+        let (nonce, resps) = crate::wire::decode_responses(&reply).unwrap();
+        assert_eq!(nonce, 42);
         assert_eq!(resps.len(), 3);
         assert_eq!(resps[0], Response::Pong);
         assert!(matches!(&resps[1], Response::Rows { rows, .. } if rows.len() == 2));
@@ -243,27 +259,67 @@ mod tests {
     #[test]
     fn filtered_fetch_and_bad_column() {
         let site = RemoteSite::new(remote_db());
-        let frame = encode_requests(&[
-            Request::FetchFiltered {
-                pred: "r".into(),
-                col: 0,
-                value: ccpi_ir::Value::int(20),
-            },
-            Request::FetchFiltered {
-                pred: "r".into(),
-                col: 7,
-                value: ccpi_ir::Value::int(20),
-            },
-        ]);
-        let resps = crate::wire::decode_responses(&site.handle_frame(&frame)).unwrap();
+        let frame = encode_requests(
+            1,
+            &[
+                Request::FetchFiltered {
+                    pred: "r".into(),
+                    col: 0,
+                    value: ccpi_ir::Value::int(20),
+                },
+                Request::FetchFiltered {
+                    pred: "r".into(),
+                    col: 7,
+                    value: ccpi_ir::Value::int(20),
+                },
+            ],
+        );
+        let (_, resps) = crate::wire::decode_responses(&site.handle_frame(&frame)).unwrap();
         assert!(matches!(&resps[0], Response::Rows { rows, .. } if rows == &vec![tuple![20]]));
         assert!(matches!(&resps[1], Response::Error { .. }));
     }
 
     #[test]
-    fn malformed_frame_yields_error_response() {
+    fn malformed_frame_yields_bad_frame_response() {
         let site = RemoteSite::new(remote_db());
-        let resps = crate::wire::decode_responses(&site.handle_frame(&[0xff, 0xff])).unwrap();
-        assert!(matches!(&resps[0], Response::Error { .. }));
+        let (nonce, resps) =
+            crate::wire::decode_responses(&site.handle_frame(&[0xff, 0xff])).unwrap();
+        assert_eq!(nonce, 0, "an unverifiable nonce must not be echoed");
+        assert!(matches!(&resps[0], Response::BadFrame { .. }));
+
+        // A corrupted-in-transit (checksum-failing) frame gets the same
+        // treatment as unparseable garbage.
+        let mut frame = encode_requests(9, &[Request::Ping]);
+        let mid = frame.len() / 2;
+        frame[mid] ^= 0xff;
+        let (_, resps) = crate::wire::decode_responses(&site.handle_frame(&frame)).unwrap();
+        assert!(matches!(&resps[0], Response::BadFrame { .. }));
+    }
+
+    #[test]
+    fn stop_is_idempotent_under_concurrent_callers() {
+        let site = RemoteSite::new(remote_db());
+        let handle = Arc::new(site.serve_tcp("127.0.0.1:0").unwrap());
+        let addr = handle.addr();
+
+        // Hammer connect/disconnect cycles while the server goes down.
+        let hammer = std::thread::spawn(move || {
+            for _ in 0..50 {
+                if let Ok(s) = std::net::TcpStream::connect(addr) {
+                    drop(s);
+                }
+            }
+        });
+
+        // Two racing stops plus a third after the dust settles; all must
+        // return cleanly and leave the server down exactly once.
+        let h2 = Arc::clone(&handle);
+        let racer = std::thread::spawn(move || h2.stop());
+        handle.stop();
+        racer.join().unwrap();
+        handle.stop();
+        hammer.join().unwrap();
+        // Drop of the Arc'd handle races nothing and double-joins nothing.
+        drop(handle);
     }
 }

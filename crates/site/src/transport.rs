@@ -61,6 +61,12 @@ pub trait Transport: Send {
     fn framed_len(&self, payload: &[u8]) -> u64 {
         payload.len() as u64 + 4
     }
+
+    /// Poisons any connection state so the next round trip starts from
+    /// scratch. Called by the client after a corrupt frame: a stream that
+    /// delivered garbage (or a channel with a stale reply in flight) can
+    /// no longer be trusted to pair requests with replies. Default: no-op.
+    fn reset(&mut self) {}
 }
 
 // ---------------------------------------------------------------------
@@ -117,6 +123,12 @@ impl Transport for ChannelTransport {
                 Err(TransportError::Disconnected("server end dropped".into()))
             }
         }
+    }
+
+    fn reset(&mut self) {
+        // Drain replies that arrived late (after a timeout abandoned their
+        // exchange); left queued, they would answer the *next* request.
+        while self.rx.try_recv().is_ok() {}
     }
 }
 
@@ -188,6 +200,11 @@ impl Transport for TcpTransport {
             self.stream = None;
         }
         result
+    }
+
+    fn reset(&mut self) {
+        // Re-dial on next use; the old stream may hold half a frame.
+        self.stream = None;
     }
 }
 
@@ -283,6 +300,62 @@ mod tests {
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         let mut cursor = std::io::Cursor::new(buf);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_is_invalid_data_not_allocation() {
+        // Exactly MAX_FRAME + 1 must be refused with InvalidData *before*
+        // the payload allocation is attempted.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_an_error_not_eof() {
+        // 1–3 bytes of length prefix: the peer died mid-prefix, which is
+        // different from a clean hang-up (0 bytes → Ok(None)).
+        for cut in 1..4usize {
+            let mut full = Vec::new();
+            write_frame(&mut full, b"abc").unwrap();
+            let mut cursor = std::io::Cursor::new(full[..cut].to_vec());
+            assert!(read_frame(&mut cursor).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut full = Vec::new();
+        write_frame(&mut full, b"abcdef").unwrap();
+        // Every cut inside the payload (after the 4-byte prefix) fails.
+        for cut in 4..full.len() {
+            let mut cursor = std::io::Cursor::new(full[..cut].to_vec());
+            assert!(read_frame(&mut cursor).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn write_frame_length_prefix_matches_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[7u8; 300]).unwrap();
+        assert_eq!(buf.len(), 304);
+        assert_eq!(u32::from_le_bytes(buf[..4].try_into().unwrap()), 300);
+    }
+
+    #[test]
+    fn channel_reset_drains_stale_replies() {
+        let (mut client, server) = ChannelTransport::pair();
+        // A late reply from an abandoned exchange sits in the queue.
+        server.replies.send(b"stale".to_vec()).unwrap();
+        client.reset();
+        // After the reset the next exchange pairs with *its own* reply.
+        server.replies.send(b"fresh".to_vec()).unwrap();
+        let reply = client
+            .round_trip(b"req", Duration::from_millis(100))
+            .unwrap();
+        assert_eq!(reply, b"fresh");
     }
 
     #[test]

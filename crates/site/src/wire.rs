@@ -11,20 +11,30 @@
 //! Payload grammar (on top of [`ccpi_storage::wirefmt`]):
 //!
 //! ```text
-//! request-batch  := u32 count, request*
+//! sealed         := u64 nonce, body, u64 fnv1a64(nonce ++ body)
+//! body (request) := u32 count, request*
 //! request        := 0x00                                  ; Ping
 //!                 | 0x01 str(pred)                        ; Scan
 //!                 | 0x02 str(pred) u32(col) value         ; FetchFiltered
-//! response-batch := u32 count, response*
+//! body (response):= u32 count, response*
 //! response       := 0x00                                  ; Pong
 //!                 | 0x01 str(pred) rows                   ; Rows
 //!                 | 0x02 str(message)                     ; Error
+//!                 | 0x03 str(message)                     ; BadFrame
 //! ```
+//!
+//! Every payload is **sealed**: a `u64` exchange nonce up front and an
+//! FNV-1a 64 checksum of everything before it at the end. The checksum
+//! turns silent corruption (a flipped byte that still decodes!) into a
+//! detectable — and therefore retryable — failure; the echoed nonce
+//! detects stale or duplicated replies from a desynchronised connection.
+//! Neither is cryptographic: the threat model is bit rot and software
+//! faults, not an adversary.
 
 use ccpi_ir::Value;
 use ccpi_storage::wirefmt::{
-    decode_rows, decode_str, decode_u32, decode_value, encode_rows, encode_str, encode_u32,
-    encode_value, WireError,
+    decode_rows, decode_str, decode_u32, decode_u64, decode_value, encode_rows, encode_str,
+    encode_u32, encode_u64, encode_value, fnv1a64, WireError,
 };
 use ccpi_storage::Tuple;
 
@@ -63,102 +73,151 @@ pub enum Response {
         rows: Vec<Tuple>,
     },
     /// The request could not be served (unknown relation, bad column).
+    /// An *application* failure: the frame arrived intact, the answer is
+    /// a definite no — retrying the same request cannot help.
     Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The request **frame** could not be decoded (failed checksum,
+    /// truncation, bad tag). A *transport-integrity* failure: the client
+    /// should poison the connection and retry, because a clean resend of
+    /// the same batch may well succeed.
+    BadFrame {
         /// Human-readable reason.
         message: String,
     },
 }
 
-/// Encodes a request batch into a frame payload.
-pub fn encode_requests(reqs: &[Request]) -> Vec<u8> {
-    let mut out = Vec::new();
-    encode_u32(reqs.len() as u32, &mut out);
-    for r in reqs {
-        match r {
-            Request::Ping => out.push(0),
-            Request::Scan { pred } => {
-                out.push(1);
-                encode_str(pred, &mut out);
-            }
-            Request::FetchFiltered { pred, col, value } => {
-                out.push(2);
-                encode_str(pred, &mut out);
-                encode_u32(*col, &mut out);
-                encode_value(value, &mut out);
-            }
-        }
-    }
+/// Wraps a body in the sealed envelope: nonce prefix, checksum trailer.
+fn seal(nonce: u64, body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 16);
+    encode_u64(nonce, &mut out);
+    out.extend_from_slice(&body);
+    let sum = fnv1a64(&out);
+    encode_u64(sum, &mut out);
     out
 }
 
-/// Decodes a request batch from a frame payload.
-pub fn decode_requests(buf: &[u8]) -> Result<Vec<Request>, WireError> {
+/// Verifies the checksum trailer and strips the envelope; returns the
+/// nonce and the body slice.
+fn unseal(buf: &[u8]) -> Result<(u64, &[u8]), WireError> {
+    if buf.len() < 16 {
+        return Err(WireError::Truncated);
+    }
+    let (covered, trailer) = buf.split_at(buf.len() - 8);
+    let expected = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    let actual = fnv1a64(covered);
+    if expected != actual {
+        return Err(WireError::Checksum { expected, actual });
+    }
     let mut pos = 0;
-    let count = decode_u32(buf, &mut pos)?;
+    let nonce = decode_u64(covered, &mut pos)?;
+    Ok((nonce, &covered[pos..]))
+}
+
+/// Encodes a request batch into a sealed frame payload.
+pub fn encode_requests(nonce: u64, reqs: &[Request]) -> Vec<u8> {
+    let mut body = Vec::new();
+    encode_u32(reqs.len() as u32, &mut body);
+    for r in reqs {
+        match r {
+            Request::Ping => body.push(0),
+            Request::Scan { pred } => {
+                body.push(1);
+                encode_str(pred, &mut body);
+            }
+            Request::FetchFiltered { pred, col, value } => {
+                body.push(2);
+                encode_str(pred, &mut body);
+                encode_u32(*col, &mut body);
+                encode_value(value, &mut body);
+            }
+        }
+    }
+    seal(nonce, body)
+}
+
+/// Decodes a sealed request batch; returns the client's nonce (to echo)
+/// and the requests.
+pub fn decode_requests(buf: &[u8]) -> Result<(u64, Vec<Request>), WireError> {
+    let (nonce, body) = unseal(buf)?;
+    let mut pos = 0;
+    let count = decode_u32(body, &mut pos)?;
     let mut reqs = Vec::with_capacity(count.min(1024) as usize);
     for _ in 0..count {
-        let tag = *buf.get(pos).ok_or(WireError::Truncated)?;
+        let tag = *body.get(pos).ok_or(WireError::Truncated)?;
         pos += 1;
         reqs.push(match tag {
             0 => Request::Ping,
             1 => Request::Scan {
-                pred: decode_str(buf, &mut pos)?,
+                pred: decode_str(body, &mut pos)?,
             },
             2 => Request::FetchFiltered {
-                pred: decode_str(buf, &mut pos)?,
-                col: decode_u32(buf, &mut pos)?,
-                value: decode_value(buf, &mut pos)?,
+                pred: decode_str(body, &mut pos)?,
+                col: decode_u32(body, &mut pos)?,
+                value: decode_value(body, &mut pos)?,
             },
             t => return Err(WireError::BadTag(t)),
         });
     }
-    expect_end(buf, pos)?;
-    Ok(reqs)
+    expect_end(body, pos)?;
+    Ok((nonce, reqs))
 }
 
-/// Encodes a response batch into a frame payload.
-pub fn encode_responses(resps: &[Response]) -> Vec<u8> {
-    let mut out = Vec::new();
-    encode_u32(resps.len() as u32, &mut out);
+/// Encodes a response batch into a sealed frame payload; `nonce` must be
+/// the one decoded from the request being answered.
+pub fn encode_responses(nonce: u64, resps: &[Response]) -> Vec<u8> {
+    let mut body = Vec::new();
+    encode_u32(resps.len() as u32, &mut body);
     for r in resps {
         match r {
-            Response::Pong => out.push(0),
+            Response::Pong => body.push(0),
             Response::Rows { pred, rows } => {
-                out.push(1);
-                encode_str(pred, &mut out);
-                encode_rows(rows.iter(), &mut out);
+                body.push(1);
+                encode_str(pred, &mut body);
+                encode_rows(rows.iter(), &mut body);
             }
             Response::Error { message } => {
-                out.push(2);
-                encode_str(message, &mut out);
+                body.push(2);
+                encode_str(message, &mut body);
+            }
+            Response::BadFrame { message } => {
+                body.push(3);
+                encode_str(message, &mut body);
             }
         }
     }
-    out
+    seal(nonce, body)
 }
 
-/// Decodes a response batch from a frame payload.
-pub fn decode_responses(buf: &[u8]) -> Result<Vec<Response>, WireError> {
+/// Decodes a sealed response batch; returns the echoed nonce and the
+/// responses. The caller must check the nonce against the one it sent.
+pub fn decode_responses(buf: &[u8]) -> Result<(u64, Vec<Response>), WireError> {
+    let (nonce, body) = unseal(buf)?;
     let mut pos = 0;
-    let count = decode_u32(buf, &mut pos)?;
+    let count = decode_u32(body, &mut pos)?;
     let mut resps = Vec::with_capacity(count.min(1024) as usize);
     for _ in 0..count {
-        let tag = *buf.get(pos).ok_or(WireError::Truncated)?;
+        let tag = *body.get(pos).ok_or(WireError::Truncated)?;
         pos += 1;
         resps.push(match tag {
             0 => Response::Pong,
             1 => Response::Rows {
-                pred: decode_str(buf, &mut pos)?,
-                rows: decode_rows(buf, &mut pos)?,
+                pred: decode_str(body, &mut pos)?,
+                rows: decode_rows(body, &mut pos)?,
             },
             2 => Response::Error {
-                message: decode_str(buf, &mut pos)?,
+                message: decode_str(body, &mut pos)?,
+            },
+            3 => Response::BadFrame {
+                message: decode_str(body, &mut pos)?,
             },
             t => return Err(WireError::BadTag(t)),
         });
     }
-    expect_end(buf, pos)?;
-    Ok(resps)
+    expect_end(body, pos)?;
+    Ok((nonce, resps))
 }
 
 fn expect_end(buf: &[u8], pos: usize) -> Result<(), WireError> {
@@ -186,8 +245,8 @@ mod tests {
                 value: Value::str("toy"),
             },
         ];
-        let buf = encode_requests(&reqs);
-        assert_eq!(decode_requests(&buf).unwrap(), reqs);
+        let buf = encode_requests(7, &reqs);
+        assert_eq!(decode_requests(&buf).unwrap(), (7, reqs));
     }
 
     #[test]
@@ -201,18 +260,63 @@ mod tests {
             Response::Error {
                 message: "unknown relation q".into(),
             },
+            Response::BadFrame {
+                message: "checksum mismatch".into(),
+            },
         ];
-        let buf = encode_responses(&resps);
-        assert_eq!(decode_responses(&buf).unwrap(), resps);
+        let buf = encode_responses(u64::MAX, &resps);
+        assert_eq!(decode_responses(&buf).unwrap(), (u64::MAX, resps));
     }
 
     #[test]
     fn garbage_frames_rejected() {
         assert!(decode_requests(&[]).is_err());
         assert!(decode_responses(&[9, 9, 9]).is_err());
-        // Valid batch with trailing garbage is rejected too.
-        let mut buf = encode_requests(&[Request::Ping]);
+        // Valid batch with trailing garbage is rejected too (the trailing
+        // byte shifts the checksum window, so the seal itself fails).
+        let mut buf = encode_requests(1, &[Request::Ping]);
         buf.push(0xaa);
         assert!(decode_requests(&buf).is_err());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let buf = encode_responses(
+            3,
+            &[Response::Rows {
+                pred: "r".into(),
+                rows: vec![tuple![20, "x"]],
+            }],
+        );
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0xff;
+            assert!(
+                decode_responses(&bad).is_err(),
+                "flipping byte {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let buf = encode_requests(9, &[Request::Scan { pred: "r".into() }]);
+        for cut in 0..buf.len() {
+            assert!(
+                decode_requests(&buf[..cut]).is_err(),
+                "truncating to {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_failure_is_reported_as_checksum() {
+        let mut buf = encode_requests(1, &[Request::Ping]);
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x01;
+        assert!(matches!(
+            decode_requests(&buf),
+            Err(WireError::Checksum { .. })
+        ));
     }
 }

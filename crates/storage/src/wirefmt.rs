@@ -33,6 +33,14 @@ pub enum WireError {
     /// A declared length exceeds the sanity limit (corrupt or hostile
     /// frame).
     OversizedLength(u64),
+    /// A payload checksum did not match its contents (bit rot, a
+    /// truncated write, or deliberate corruption in transit).
+    Checksum {
+        /// Checksum the payload claims.
+        expected: u64,
+        /// Checksum the bytes actually hash to.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -43,6 +51,12 @@ impl fmt::Display for WireError {
             WireError::BadUtf8 => write!(f, "string payload is not UTF-8"),
             WireError::OversizedLength(n) => {
                 write!(f, "declared length {n} exceeds sanity limit")
+            }
+            WireError::Checksum { expected, actual } => {
+                write!(
+                    f,
+                    "payload checksum mismatch (claims {expected:#018x}, bytes hash to {actual:#018x})"
+                )
             }
         }
     }
@@ -64,6 +78,29 @@ pub fn encode_u32(v: u32, out: &mut Vec<u8>) {
 pub fn decode_u32(buf: &[u8], pos: &mut usize) -> Result<u32, WireError> {
     let bytes = take(buf, pos, 4)?;
     Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+/// Appends a `u64` (little-endian).
+pub fn encode_u64(v: u64, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u64` (little-endian).
+pub fn decode_u64(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let bytes = take(buf, pos, 8)?;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+/// FNV-1a 64-bit hash — the payload checksum. Not cryptographic; it
+/// detects accidental corruption (flipped bytes, truncation), which is
+/// the fault model the site protocol defends against.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Appends a length-prefixed UTF-8 string.
@@ -216,6 +253,21 @@ mod tests {
         let buf = [1u8, 1, 0, 0, 0, 0xff];
         let mut pos = 0;
         assert_eq!(decode_value(&buf, &mut pos), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn u64_round_trip_and_fnv_vectors() {
+        let mut buf = Vec::new();
+        encode_u64(u64::MAX, &mut buf);
+        encode_u64(0, &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode_u64(&buf, &mut pos).unwrap(), u64::MAX);
+        assert_eq!(decode_u64(&buf, &mut pos).unwrap(), 0);
+        assert_eq!(pos, buf.len());
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Perf guard: re-measures the E9 check-throughput ladder at 10k tuples and
-# fails if checks/sec regressed more than 30% against the committed
-# BENCH_joins.json `current` numbers (best of two runs, so scheduler noise
+# Perf guard: re-measures the E9 check-throughput ladder and the E10
+# delta-vs-snapshot harness at 10k tuples and fails if checks/sec
+# regressed more than 30% against the committed BENCH_joins.json /
+# BENCH_delta.json numbers (best of two runs each, so scheduler noise
 # does not trip it). Wired into CI after the test job; run it locally
 # before committing performance-sensitive changes:
 #

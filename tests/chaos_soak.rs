@@ -1,0 +1,40 @@
+//! The repository-level chaos gate: a short seeded soak through the E11
+//! harness, proving the distributed pipeline's verdict soundness under
+//! injected faults on every `cargo test` (the CI `chaos` job and the
+//! nightly long soak run the same harness at larger scale through
+//! `experiments --chaos`).
+
+use ccpi_bench::chaos::{soak, ChaosConfig};
+
+/// Three fixed seeds of genuine chaos: every definite verdict matches the
+/// fault-free twin, every `Unknown` traces to a fired fault, counters
+/// reconcile. A failure message names the reproducing seed.
+#[test]
+fn seeded_soaks_stay_sound_under_chaos() {
+    let cfg = ChaosConfig {
+        steps: 80,
+        ..ChaosConfig::default()
+    };
+    let mut faults = 0usize;
+    for seed in [11, 12, 13] {
+        let stats = soak(seed, &cfg).unwrap_or_else(|failure| panic!("{failure}"));
+        assert_eq!(stats.steps, cfg.steps, "seed {seed}");
+        faults += stats.faults_fired;
+    }
+    assert!(faults > 0, "a 0.25 fault rate must fire across 3x80 steps");
+}
+
+/// The degenerate corner CI must also hold: at fault rate zero the
+/// decorated transport is transparent and nothing ever degrades.
+#[test]
+fn fault_free_soak_never_degrades() {
+    let cfg = ChaosConfig {
+        steps: 30,
+        fault_rate: 0.0,
+        ..ChaosConfig::default()
+    };
+    let stats = soak(99, &cfg).unwrap_or_else(|failure| panic!("{failure}"));
+    assert_eq!(stats.unknowns, 0);
+    assert_eq!(stats.wire.retries, 0);
+    assert_eq!(stats.wire.failed_exchanges, 0);
+}
