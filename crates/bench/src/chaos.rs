@@ -193,7 +193,7 @@ pub fn soak(seed: u64, cfg: &ChaosConfig) -> Result<SoakStats, SoakFailure> {
         // alongside the single-update path.
         let batch_len = if step % 8 == 7 { 3 } else { 1 };
         let updates: Vec<Update> = (0..batch_len)
-            .map(|_| next_update(cfg, &mut wrng, &mut next_id, &live))
+            .map(|_| next_update(cfg.departments, &mut wrng, &mut next_id, &live))
             .collect();
 
         let log_before = log.len();
@@ -350,8 +350,10 @@ pub fn soak(seed: u64, cfg: &ChaosConfig) -> Result<SoakStats, SoakFailure> {
 /// The next workload update: a fresh insert (usually clean, sometimes a
 /// dangling department or an out-of-range salary so the stream contains
 /// genuine violations) or the deletion of a currently-live employee.
-fn next_update(
-    cfg: &ChaosConfig,
+/// Shared with the crash soak ([`crate::crash`]), which drives the same
+/// workload through a durable manager.
+pub(crate) fn next_update(
+    departments: usize,
     wrng: &mut rand::rngs::StdRng,
     next_id: &mut usize,
     live: &[Tuple],
@@ -380,7 +382,7 @@ fn next_update(
         4 => {
             let id = *next_id;
             *next_id += 1;
-            let dept = dept_name(wrng.random_range(0..cfg.departments.max(1)));
+            let dept = dept_name(wrng.random_range(0..departments.max(1)));
             Update::insert(
                 "emp",
                 tuple![
@@ -395,7 +397,7 @@ fn next_update(
         _ => {
             let id = *next_id;
             *next_id += 1;
-            let dept = dept_name(wrng.random_range(0..cfg.departments.max(1)));
+            let dept = dept_name(wrng.random_range(0..departments.max(1)));
             Update::insert(
                 "emp",
                 tuple![

@@ -1,0 +1,517 @@
+//! E12 — the crash-injection soak: durability under deterministic kills.
+//!
+//! Drives the E6/E11 employee workload through a [`DurableManager`] whose
+//! disk guard is armed to die after a seeded byte budget, covering every
+//! phase of the durable pipeline: mid-WAL-record, between a record's
+//! write and its fsync, mid-checkpoint-staging, and between a
+//! checkpoint's staging and its rename. For each kill point the harness:
+//!
+//! 1. runs a **crash-free twin** of the whole workload first, recording
+//!    every report, admission decision, and post-update database state
+//!    (the byte clock of that run also bounds the kill offsets — the
+//!    durable byte stream is deterministic, so an offset names the same
+//!    pipeline position in every run);
+//! 2. replays the same stream into a fresh store with the guard armed at
+//!    the kill offset, recording the acknowledged prefix — every report
+//!    returned before the crash must equal the twin's, report for report;
+//! 3. recovers, which itself audits every constraint on the recovered
+//!    state (a violating recovery is an error, so "every recovered state
+//!    satisfies all constraints" is asserted by construction);
+//! 4. asserts the recovered database **is** a twin prefix state: exactly
+//!    the state after the acknowledged updates, or that plus the single
+//!    in-flight update that reached the log without being acknowledged.
+//!    Anything else — an acknowledged update missing, a never-logged
+//!    update present, a half-applied batch — fails the soak;
+//! 5. keeps processing the stream on the recovered manager and asserts
+//!    the continuation reports still match the twin's — the recompiled
+//!    plans and restored verdict cache answer exactly like the originals.
+//!
+//! Everything derives from one `u64` seed; failures print it.
+
+use crate::chaos::next_update;
+use crate::throughput::CONSTRAINTS;
+use ccpi::durable::DurableManager;
+use ccpi::report::CheckReport;
+use ccpi_storage::wal::scratch_dir;
+use ccpi_storage::{tuple, Database, Tuple, Update};
+use ccpi_workload::emp::{database as emp_database, EmpConfig};
+use ccpi_workload::rng;
+use rand::RngExt;
+use std::fmt;
+
+/// Soak parameters. Kill offsets are sampled over the *entire* durable
+/// byte stream of the crash-free run, so more steps and a shorter
+/// checkpoint interval mean more checkpoints (and checkpoint-crash
+/// coverage) per seed.
+#[derive(Clone, Debug)]
+pub struct CrashConfig {
+    /// Updates per run (each update is one admission decision).
+    pub steps: usize,
+    /// Kill offsets tried per seed (the first two are pinned to the
+    /// stream's first and last byte).
+    pub kill_points: usize,
+    /// Auto-checkpoint after this many admitted updates.
+    pub checkpoint_every: u64,
+    /// Employee tuples in the generated database.
+    pub employees: usize,
+    /// Departments in the generated database.
+    pub departments: usize,
+    /// Updates re-processed on the recovered manager per kill point.
+    pub continuation: usize,
+}
+
+impl Default for CrashConfig {
+    fn default() -> Self {
+        CrashConfig {
+            steps: 48,
+            kill_points: 50,
+            checkpoint_every: 7,
+            employees: 120,
+            departments: 8,
+            continuation: 8,
+        }
+    }
+}
+
+impl CrashConfig {
+    fn emp_config(&self) -> EmpConfig {
+        EmpConfig {
+            employees: self.employees,
+            departments: self.departments,
+            dangling_fraction: 0.0,
+            salary_range: (10, 200),
+        }
+    }
+}
+
+/// What a completed crash soak observed (one seed).
+#[derive(Clone, Debug)]
+pub struct CrashStats {
+    /// The reproducing seed.
+    pub seed: u64,
+    /// Kill points run.
+    pub kill_points: usize,
+    /// Kill points whose budget actually fired mid-run (the rest exhaust
+    /// at the stream's final byte and complete crash-free).
+    pub crashes: usize,
+    /// Crashes that dropped unsynced bytes (lost-page-cache model).
+    pub drops: usize,
+    /// Updates acknowledged across all kill points, pre-crash.
+    pub acked_total: usize,
+    /// WAL records replayed across all recoveries.
+    pub replayed_total: usize,
+    /// Stage-4 verdicts restored from checkpoints across all recoveries.
+    pub verdicts_restored: usize,
+    /// Recoveries that found and removed a staged checkpoint temp file.
+    pub tmp_cleaned: usize,
+    /// Recoveries that dropped a torn WAL tail.
+    pub torn_tails: usize,
+    /// Total bytes of the crash-free run's durable stream.
+    pub stream_bytes: u64,
+    /// Human-readable event log (written to the crash log artifact).
+    pub events: Vec<String>,
+}
+
+/// A durability violation, carrying everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct CrashFailure {
+    /// The seed that replays the failure.
+    pub seed: u64,
+    /// Byte offset of the kill point the assertion tripped on
+    /// (`u64::MAX` for failures outside any kill point).
+    pub kill_point: u64,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CrashFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.kill_point == u64::MAX {
+            write!(
+                f,
+                "crash soak failed (reproduce with seed {}): {}",
+                self.seed, self.message
+            )
+        } else {
+            write!(
+                f,
+                "crash soak failed at kill offset {} (reproduce with seed {}): {}",
+                self.kill_point, self.seed, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for CrashFailure {}
+
+/// Do two databases hold exactly the same relations?
+fn db_eq(a: &Database, b: &Database) -> bool {
+    a.decls().count() == b.decls().count()
+        && a.decls()
+            .all(|d| a.relation(d.name.as_str()) == b.relation(d.name.as_str()))
+}
+
+/// Builds a fresh durable store for the soak's workload in `dir`.
+fn build_store(
+    dir: &std::path::Path,
+    db: &Database,
+    cfg: &CrashConfig,
+) -> Result<DurableManager, String> {
+    let mut mgr = DurableManager::create(dir, db.clone()).map_err(|e| format!("create: {e}"))?;
+    for (name, src) in CONSTRAINTS {
+        mgr.add_constraint(name, src)
+            .map_err(|e| format!("constraint {name}: {e}"))?;
+    }
+    mgr.set_checkpoint_interval(Some(cfg.checkpoint_every));
+    // Reset the byte clock so kill offsets count from the first workload
+    // byte: setup (initial checkpoint + constraint registration) is
+    // identical in every run and is never a kill target.
+    mgr.set_crash_budget(None);
+    Ok(mgr)
+}
+
+/// Runs one seeded crash soak. See the module docs for what is asserted.
+pub fn soak(seed: u64, cfg: &CrashConfig) -> Result<CrashStats, CrashFailure> {
+    let fail = |kill_point: u64, message: String| CrashFailure {
+        seed,
+        kill_point,
+        message,
+    };
+
+    // The workload stream is a pure function of the seed: deletes target
+    // the *initial* employee set, so no step depends on prior admissions.
+    let full_db = emp_database(&cfg.emp_config(), &mut rng(seed));
+    let live: Vec<Tuple> = full_db
+        .relation("emp")
+        .expect("emp relation")
+        .iter()
+        .cloned()
+        .collect();
+    let mut wrng = rng(seed ^ 0x6372_6173_6800); // workload stream
+    let mut next_id = cfg.employees;
+    let updates: Vec<Update> = (0..cfg.steps)
+        .map(|_| next_update(cfg.departments, &mut wrng, &mut next_id, &live))
+        .collect();
+
+    // Crash-free twin: the ground truth for reports, admissions, states,
+    // and the durable byte clock.
+    let twin_dir = scratch_dir("crash-twin");
+    let mut twin = build_store(&twin_dir, &full_db, cfg).map_err(|m| fail(u64::MAX, m))?;
+    let mut ref_reports: Vec<(CheckReport, bool)> = Vec::with_capacity(updates.len());
+    let mut ref_states: Vec<Database> = Vec::with_capacity(updates.len() + 1);
+    ref_states.push(twin.database().clone());
+    for (j, u) in updates.iter().enumerate() {
+        let (r, a) = twin
+            .process(u)
+            .map_err(|e| fail(u64::MAX, format!("twin step {j}: {e}")))?;
+        ref_reports.push((r, a));
+        ref_states.push(twin.database().clone());
+    }
+    let stream_bytes = twin.bytes_written();
+    drop(twin);
+    let _ = std::fs::remove_dir_all(&twin_dir);
+    if stream_bytes == 0 {
+        return Err(fail(u64::MAX, "workload produced no durable bytes".into()));
+    }
+
+    // Kill offsets: the stream's first and last byte, then seeded draws
+    // over the whole stream. Odd-numbered kill points also drop unsynced
+    // bytes (the lost-page-cache model).
+    let mut krng = rng(seed ^ 0x6b69_6c6c); // kill schedule
+    let mut offsets: Vec<u64> = vec![1, stream_bytes];
+    while offsets.len() < cfg.kill_points.max(2) {
+        offsets.push(krng.random_range(1..=stream_bytes));
+    }
+    offsets.truncate(cfg.kill_points.max(1));
+
+    let mut stats = CrashStats {
+        seed,
+        kill_points: offsets.len(),
+        crashes: 0,
+        drops: 0,
+        acked_total: 0,
+        replayed_total: 0,
+        verdicts_restored: 0,
+        tmp_cleaned: 0,
+        torn_tails: 0,
+        stream_bytes,
+        events: Vec::new(),
+    };
+
+    for (i, &offset) in offsets.iter().enumerate() {
+        let drop_unsynced = i % 2 == 1;
+        let dir = scratch_dir("crash-kp");
+        let mut subject = build_store(&dir, &full_db, cfg).map_err(|m| fail(offset, m))?;
+        subject.set_crash_budget(Some((offset, drop_unsynced)));
+
+        // Replay the stream until the budget kills the pipeline. Every
+        // acknowledged report must match the twin's, in order.
+        let mut acked = 0usize;
+        let mut crashed = false;
+        for (j, u) in updates.iter().enumerate() {
+            match subject.process(u) {
+                Ok((r, a)) => {
+                    let (tr, ta) = &ref_reports[j];
+                    if r != *tr || a != *ta {
+                        return Err(fail(
+                            offset,
+                            format!(
+                                "pre-crash report {j} diverged from the twin \
+                                 (admitted {a} vs {ta})"
+                            ),
+                        ));
+                    }
+                    acked += 1;
+                }
+                Err(e) if e.is_injected_crash() => {
+                    crashed = true;
+                    break;
+                }
+                Err(e) => {
+                    return Err(fail(offset, format!("real failure at step {j}: {e}")));
+                }
+            }
+        }
+        if crashed {
+            stats.crashes += 1;
+            if drop_unsynced {
+                stats.drops += 1;
+            }
+        } else if acked != updates.len() {
+            return Err(fail(
+                offset,
+                format!(
+                    "no crash fired yet only {acked}/{} acknowledged",
+                    updates.len()
+                ),
+            ));
+        }
+        stats.acked_total += acked;
+        drop(subject);
+
+        // Recover. `recover` audits every constraint on the recovered
+        // state and refuses to serve a violating one, so soundness of the
+        // recovered state is asserted inside this call.
+        let (mut recovered, report) = DurableManager::recover(&dir)
+            .map_err(|e| fail(offset, format!("recovery after {acked} acks: {e}")))?;
+        stats.replayed_total += report.replayed;
+        stats.verdicts_restored += report.verdicts_restored;
+        if report.tmp_cleaned {
+            stats.tmp_cleaned += 1;
+        }
+        if report.dropped_bytes > 0 {
+            stats.torn_tails += 1;
+        }
+        if !report.plans_changed.is_empty() {
+            return Err(fail(
+                offset,
+                format!("recompiled plans diverged: {:?}", report.plans_changed),
+            ));
+        }
+
+        // Prefix consistency: the recovered database is the twin's state
+        // after the acknowledged updates — possibly plus the one update
+        // that reached the log without being acknowledged. An
+        // acknowledged update must never be missing.
+        let p = if db_eq(recovered.database(), &ref_states[acked]) {
+            acked
+        } else if acked < updates.len() && db_eq(recovered.database(), &ref_states[acked + 1]) {
+            acked + 1
+        } else {
+            return Err(fail(
+                offset,
+                format!(
+                    "recovered state after {acked} acks is not a twin prefix \
+                     state (checkpoint seq {}, {} replayed)",
+                    report.checkpoint_seq, report.replayed_applies
+                ),
+            ));
+        };
+
+        // Continuation: the recovered manager must keep answering exactly
+        // like the twin — recompiled plans and restored verdicts included.
+        let horizon = (p + cfg.continuation).min(updates.len());
+        for (j, u) in updates.iter().enumerate().take(horizon).skip(p) {
+            let (r, a) = recovered
+                .process(u)
+                .map_err(|e| fail(offset, format!("post-recovery step {j}: {e}")))?;
+            let (tr, ta) = &ref_reports[j];
+            if r != *tr || a != *ta {
+                return Err(fail(
+                    offset,
+                    format!("post-recovery report {j} diverged from the twin"),
+                ));
+            }
+        }
+
+        stats.events.push(format!(
+            "kill@{offset}{} acked={acked} resume@{p} ckpt_seq={} replayed={} \
+             verdicts={} tmp_cleaned={} torn={}",
+            if drop_unsynced { " drop" } else { "" },
+            report.checkpoint_seq,
+            report.replayed,
+            report.verdicts_restored,
+            report.tmp_cleaned,
+            report.dropped_bytes,
+        ));
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    Ok(stats)
+}
+
+/// One measured recovery size for E12 / `BENCH_recovery.json`.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct RecoveryRow {
+    /// Logged-but-uncheckpointed updates replayed by the recovery.
+    pub replayed: usize,
+    /// WAL size on disk, bytes.
+    pub wal_bytes: u64,
+    /// Wall-clock milliseconds for `DurableManager::recover` (checkpoint
+    /// load + plan recompilation + replay + audit).
+    pub recover_ms: f64,
+}
+
+/// Builds a store whose WAL holds `replayed` committed updates past the
+/// checkpoint — written directly through the storage-layer WAL API with
+/// a single sync, so the build is setup rather than 10k fsyncs — then
+/// times [`DurableManager::recover`] over it.
+pub fn measure_recovery(replayed: usize) -> RecoveryRow {
+    use ccpi::manager::ConstraintManager;
+    use ccpi_storage::wal::{
+        write_checkpoint, Checkpoint, ConstraintRecord, DiskGuard, WalRecord, WalWriter, WAL_FILE,
+    };
+    use std::time::Instant;
+
+    let cfg = EmpConfig {
+        employees: 1_000,
+        departments: 10,
+        dangling_fraction: 0.0,
+        salary_range: (10, 200),
+    };
+    let db = emp_database(&cfg, &mut rng(0xE12));
+    // Each logged insert lands at its department's salary floor, so the
+    // recovered state passes the audit by construction.
+    let floors: Vec<(String, i64)> = db
+        .relation("salRange")
+        .expect("salRange relation")
+        .iter()
+        .map(|t| {
+            let dept = match t.get(0) {
+                Some(ccpi_ir::Value::Str(s)) => s.as_str().to_string(),
+                other => unreachable!("salRange dept is a symbol, got {other:?}"),
+            };
+            let low = match t.get(1) {
+                Some(ccpi_ir::Value::Int(i)) => *i,
+                other => unreachable!("salRange low is an int, got {other:?}"),
+            };
+            (dept, low)
+        })
+        .collect();
+    let mut mgr = ConstraintManager::new(db.clone());
+    for (name, src) in CONSTRAINTS {
+        mgr.add_constraint(name, src).expect("bench constraint");
+    }
+    let constraints: Vec<ConstraintRecord> = mgr
+        .durable_constraints()
+        .into_iter()
+        .map(|(name, source, plan_sig)| ConstraintRecord {
+            name,
+            source,
+            plan_sig,
+        })
+        .collect();
+
+    let dir = scratch_dir("recovery-bench");
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let mut guard = DiskGuard::new();
+    let ckpt = Checkpoint {
+        version: db.version(),
+        last_seq: 0,
+        solver_domain: 0,
+        db,
+        constraints,
+        verdicts: Vec::new(),
+    };
+    write_checkpoint(&dir, &ckpt, &mut guard).expect("bench checkpoint");
+    let mut wal = WalWriter::create(&dir.join(WAL_FILE), &mut guard).expect("bench wal");
+    for i in 0..replayed {
+        let (dept, low) = &floors[i % floors.len()];
+        let update = Update::insert("emp", tuple![format!("r{i}").as_str(), dept.as_str(), *low]);
+        wal.append(
+            &WalRecord::Apply {
+                seq: (i + 1) as u64,
+                update,
+            },
+            &mut guard,
+        )
+        .expect("bench append");
+    }
+    wal.sync(&mut guard).expect("bench sync");
+    drop(wal);
+    let wal_bytes = std::fs::metadata(dir.join(WAL_FILE))
+        .expect("wal meta")
+        .len();
+
+    let start = Instant::now();
+    let (recovered, report) = DurableManager::recover(&dir).expect("bench recovery");
+    let recover_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.replayed_applies, replayed, "bench replay count");
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryRow {
+        replayed,
+        wal_bytes,
+        recover_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg() -> CrashConfig {
+        CrashConfig {
+            steps: 16,
+            kill_points: 8,
+            checkpoint_every: 5,
+            employees: 40,
+            departments: 4,
+            continuation: 4,
+        }
+    }
+
+    #[test]
+    fn smoke_soak_recovers_a_prefix_consistent_twin() {
+        let stats = soak(0xC0FFEE, &smoke_cfg()).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(stats.kill_points, 8);
+        assert!(stats.crashes > 0, "budgets must actually fire");
+        assert!(
+            stats.replayed_total > 0,
+            "some recoveries replay WAL records"
+        );
+        assert_eq!(stats.events.len(), 8);
+    }
+
+    #[test]
+    fn soak_is_deterministic_per_seed() {
+        let a = soak(7, &smoke_cfg()).unwrap_or_else(|f| panic!("{f}"));
+        let b = soak(7, &smoke_cfg()).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(a.stream_bytes, b.stream_bytes);
+        assert_eq!(a.acked_total, b.acked_total);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn failure_display_includes_the_seed() {
+        let f = CrashFailure {
+            seed: 0xFEED,
+            kill_point: 42,
+            message: "boom".into(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("seed 65261"), "{s}");
+        assert!(s.contains("offset 42"), "{s}");
+    }
+}

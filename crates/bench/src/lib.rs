@@ -11,6 +11,7 @@ use ccpi_parser::parse_cq;
 use ccpi_storage::{tuple, Database, Locality, Relation};
 
 pub mod chaos;
+pub mod crash;
 pub mod delta_bench;
 pub mod throughput;
 

@@ -47,10 +47,12 @@
 
 pub mod active;
 pub mod distributed;
+pub mod durable;
 pub mod manager;
 pub mod remote;
 pub mod report;
 
+pub use durable::{BatchResult, DurableError, DurableManager, RecoveryReport};
 pub use manager::{ConstraintManager, ManagerError};
 pub use remote::{RemoteError, RemoteSource, UnreachableRemote};
 pub use report::{
@@ -61,6 +63,7 @@ pub use report::{
 pub mod prelude {
     pub use crate::active::{ActiveRule, ActiveRuleSet};
     pub use crate::distributed::{CostModel, SiteSplit};
+    pub use crate::durable::{BatchResult, DurableError, DurableManager, RecoveryReport};
     pub use crate::manager::{ConstraintManager, ManagerError};
     pub use crate::remote::{RemoteError, RemoteSource, UnreachableRemote};
     pub use crate::report::{

@@ -61,6 +61,9 @@ impl From<StorageError> for ManagerError {
 /// A registered constraint and its precompiled artifacts.
 struct Registered {
     name: String,
+    /// Canonical source text (re-parses to `constraint`); what a
+    /// checkpoint persists so recovery can re-register and recompile.
+    source: String,
     constraint: Constraint,
     class: ConstraintClass,
     engine: Engine,
@@ -117,12 +120,18 @@ struct Stage4Cache {
 }
 
 /// The memoized post-update snapshot shared by snapshot-path full checks:
-/// keyed on the update value plus pins over *every* relation, so any
-/// database mutation (applies, hydration, bulk loads) invalidates it
-/// automatically.
+/// keyed on the update value plus the database's monotone
+/// [`Database::version`], so any committed mutation (applies, hydration,
+/// bulk loads, new declarations) invalidates it automatically. The
+/// version subsumes the per-relation pins an earlier revision kept here —
+/// this memo pinned *every* relation, so one global counter is exactly
+/// as precise and O(1) to compare. (The stage-3 union and stage-4 verdict
+/// caches keep per-relation `TupleSnapshot` pins instead: they must
+/// survive mutations to relations their constraint never reads, which a
+/// global counter cannot express.)
 struct PostSnapshot {
     update: Update,
-    pins: Pins,
+    version: u64,
     after: Database,
 }
 
@@ -247,11 +256,24 @@ impl ConstraintManager {
     /// Registers a constraint from source text.
     pub fn add_constraint(&mut self, name: &str, source: &str) -> Result<(), ManagerError> {
         let c = ccpi_parser::parse_constraint(source)?;
-        self.add(name, c)
+        self.add_with_source(name, c, source.to_string())
     }
 
-    /// Registers an already-built constraint.
+    /// Registers an already-built constraint. The persisted form is the
+    /// constraint's canonical rendering (it re-parses to the same
+    /// program for everything the grammar can express), so a checkpoint
+    /// of this manager can re-register it at recovery.
     pub fn add(&mut self, name: &str, constraint: Constraint) -> Result<(), ManagerError> {
+        let source = constraint.to_string();
+        self.add_with_source(name, constraint, source)
+    }
+
+    fn add_with_source(
+        &mut self,
+        name: &str,
+        constraint: Constraint,
+        source: String,
+    ) -> Result<(), ManagerError> {
         if self.constraints.iter().any(|r| r.name == name) {
             return Err(ManagerError::DuplicateName(name.to_string()));
         }
@@ -276,6 +298,7 @@ impl ConstraintManager {
 
         self.constraints.push(Registered {
             name: name.to_string(),
+            source,
             constraint,
             class,
             engine,
@@ -823,6 +846,16 @@ impl ConstraintManager {
     /// callers who want to reject can consult the report first).
     pub fn process(&mut self, update: &Update) -> Result<CheckReport, ManagerError> {
         let report = self.check_update(update)?;
+        self.apply_update(update)?;
+        Ok(report)
+    }
+
+    /// Applies the update **without checking it**, maintaining the
+    /// manager's incremental caches. Returns whether the database
+    /// changed. This is the apply half of [`process`](Self::process), for
+    /// callers (the durable admission pipeline, recovery replay) that
+    /// have already decided admission.
+    pub fn apply_update(&mut self, update: &Update) -> Result<bool, ManagerError> {
         // An insert extends each affected Theorem 5.2 union by the new
         // tuple's reductions, so a cache that is current at apply time can
         // be maintained incrementally instead of rebuilt from scratch on
@@ -839,7 +872,7 @@ impl ConstraintManager {
                 self.extend_union_caches(pred.as_str(), tuple, &current);
             }
         }
-        Ok(report)
+        Ok(changed)
     }
 
     /// Which constraints' union caches exist and match `pred`'s current
@@ -1112,6 +1145,105 @@ impl ConstraintManager {
             })
     }
 
+    /// The solver this manager was configured with.
+    pub fn solver(&self) -> Solver {
+        self.solver
+    }
+
+    /// Each registered constraint's name, canonical source, and compiled
+    /// delta-plan signature, in registration order — what a checkpoint
+    /// persists so recovery can re-register and recompile, then compare
+    /// fingerprints.
+    pub fn durable_constraints(&self) -> Vec<(String, String, u64)> {
+        self.constraints
+            .iter()
+            .map(|r| (r.name.clone(), r.source.clone(), r.delta.signature()))
+            .collect()
+    }
+
+    /// The delta-plan signature of a registered constraint.
+    pub fn plan_signature(&self, name: &str) -> Option<u64> {
+        self.constraints
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.delta.signature())
+    }
+
+    /// Stage-4 verdicts whose validity pins still match the live
+    /// database — the entries a checkpoint may carry across a restart
+    /// (`TupleSnapshot` pins are process-local pointers and cannot be
+    /// persisted themselves; validity is re-established at restore time
+    /// against the freshly loaded relations).
+    pub fn export_verdicts(&self) -> Vec<(String, Update, bool, usize, usize)> {
+        self.constraints
+            .iter()
+            .filter_map(|r| {
+                let slot = r.stage4_cache.lock().expect("stage-4 cache lock poisoned");
+                let c = slot.as_ref()?;
+                if !self.pins_current(&c.pins) {
+                    return None;
+                }
+                Some((
+                    r.name.clone(),
+                    c.update.clone(),
+                    c.violated,
+                    c.tuples,
+                    c.bytes,
+                ))
+            })
+            .collect()
+    }
+
+    /// Re-installs an exported stage-4 verdict, pinning it to the *live*
+    /// relations. Sound only when the relations the constraint reads
+    /// hold exactly the contents they held when the verdict was
+    /// exported — recovery establishes that by restoring verdicts
+    /// immediately after loading the checkpoint database and only when
+    /// WAL replay touched none of the constraint's relations. Returns
+    /// `false` for an unknown constraint name.
+    pub fn restore_verdict(
+        &self,
+        name: &str,
+        update: &Update,
+        violated: bool,
+        tuples: usize,
+        bytes: usize,
+    ) -> bool {
+        let Some(i) = self.constraints.iter().position(|r| r.name == name) else {
+            return false;
+        };
+        self.stage4_store(i, update, violated, tuples, bytes);
+        true
+    }
+
+    /// The EDB relations a registered constraint reads.
+    pub fn constraint_reads(&self, name: &str) -> Vec<String> {
+        self.constraints
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| {
+                r.constraint
+                    .program()
+                    .edb_predicates()
+                    .into_iter()
+                    .map(|p| p.as_str().to_string())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Ground truth for every registered constraint against the current
+    /// database: one full engine evaluation each, bypassing all caches
+    /// and local tests. Recovery runs this as its audit — the recovered
+    /// state must satisfy every constraint before the manager accepts
+    /// new traffic.
+    pub fn audit_full_check(&self) -> Vec<(String, bool)> {
+        self.constraints
+            .iter()
+            .map(|r| (r.name.clone(), r.engine.run(&self.db).derives_panic()))
+            .collect()
+    }
+
     /// Builds (or revalidates) the memoized post-update snapshot: the
     /// copy-on-write clone of the database with `update` applied that
     /// every snapshot-path full check of that update shares — across
@@ -1122,7 +1254,7 @@ impl ConstraintManager {
         let current = self
             .post_memo
             .as_ref()
-            .is_some_and(|m| m.update == *update && self.post_pins_current(&m.pins));
+            .is_some_and(|m| m.update == *update && m.version == self.db.version());
         if current {
             return Ok(());
         }
@@ -1132,29 +1264,13 @@ impl ConstraintManager {
         // `self.db`'s relations stay valid across the check.
         let mut after = self.db.clone();
         after.apply(update)?;
-        let pins = self
-            .db
-            .decls()
-            .map(|d| {
-                let name = d.name.as_str().to_string();
-                let snap = self.db.relation(&name).map(|r| r.snapshot());
-                (name, snap)
-            })
-            .collect();
         self.post_memo = Some(PostSnapshot {
             update: update.clone(),
-            pins,
+            version: self.db.version(),
             after,
         });
         self.post_rebuilds += 1;
         Ok(())
-    }
-
-    /// Pin currency for the post-update snapshot: every declared relation
-    /// unchanged, and no relations declared since (a new declaration
-    /// would be missing from the pinned snapshot).
-    fn post_pins_current(&self, pins: &Pins) -> bool {
-        pins.len() == self.db.decls().count() && self.pins_current(pins)
     }
 }
 

@@ -195,6 +195,23 @@ impl DeltaPlanSet {
         self.plans.get(pred).map(Vec::len).unwrap_or(0)
     }
 
+    /// A fingerprint of the compiled plan set: the polarity table, the
+    /// flatness flag, the EDB signature, and the full shape of every
+    /// seeded plan. Two plan sets with equal signatures behave
+    /// identically; a signature change after recompiling the same source
+    /// means the compiler (or schema) changed underneath a checkpoint,
+    /// and recovery reports it instead of trusting restored verdicts.
+    pub fn signature(&self) -> u64 {
+        // Every field is a BTreeMap or scalar, so the Debug rendering is
+        // deterministic; hashing it captures plan internals without
+        // coupling the checkpoint format to `JoinPlan`'s layout.
+        let rendered = format!(
+            "flat={:?} polarity={:?} edb={:?} plans={:?}",
+            self.flat, self.polarity, self.edb_sig, self.plans
+        );
+        ccpi_storage::wirefmt::fnv1a64(rendered.as_bytes())
+    }
+
     /// `true` when the delta path decides this Δ exactly (given the
     /// standing assumption). Every changed relation the program reads must
     /// be positive w.r.t. `panic`; then:
@@ -325,6 +342,16 @@ mod tests {
         db.insert("emp", tuple!["a", "toy", 10]).unwrap();
         db.insert("dept", tuple!["toy"]).unwrap();
         db
+    }
+
+    #[test]
+    fn signature_is_stable_per_source_and_distinguishes_programs() {
+        let src = "panic :- emp(E,D,S) & not dept(D).";
+        let a = DeltaPlanSet::compile(&parse_program(src).unwrap());
+        let b = DeltaPlanSet::compile(&parse_program(src).unwrap());
+        assert_eq!(a.signature(), b.signature());
+        let c = DeltaPlanSet::compile(&parse_program("panic :- emp(E,D,S) & S < 10.").unwrap());
+        assert_ne!(a.signature(), c.signature());
     }
 
     #[test]

@@ -73,12 +73,26 @@ impl std::error::Error for StorageError {}
 pub struct Database {
     decls: BTreeMap<Sym, RelationDecl>,
     relations: BTreeMap<Sym, Relation>,
+    /// Monotone mutation counter; see [`Database::version`].
+    version: u64,
 }
 
 impl Database {
     /// An empty database with no declarations.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// A monotone counter bumped on every committed mutation: an insert
+    /// or delete that changed the stored set, a relation replacement, a
+    /// new declaration — and, conservatively, every grant of write access
+    /// through [`Database::relation_mut`] (the caller may mutate through
+    /// it, and the counter must never under-report). Two reads of the
+    /// same version therefore saw identical contents; the converse does
+    /// not hold. Clones inherit the version and then advance
+    /// independently.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Declares a relation. Re-declaring with identical shape is a no-op;
@@ -101,6 +115,7 @@ impl Database {
             None => {
                 self.relations.insert(name.clone(), Relation::new(arity));
                 self.decls.insert(name, decl);
+                self.version += 1;
                 Ok(())
             }
         }
@@ -126,9 +141,14 @@ impl Database {
         self.relations.get(name)
     }
 
-    /// Write access to a relation instance.
+    /// Write access to a relation instance. Counts as a mutation for
+    /// [`Database::version`] even if the caller ends up not writing.
     pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
-        self.relations.get_mut(name)
+        let rel = self.relations.get_mut(name);
+        if rel.is_some() {
+            self.version += 1;
+        }
+        rel
     }
 
     /// Replaces the instance of a declared relation wholesale.
@@ -149,19 +169,28 @@ impl Database {
             });
         }
         self.relations.insert(decl.name.clone(), rel);
+        self.version += 1;
         Ok(())
     }
 
     /// Inserts a tuple, validating the declaration. Returns `true` if new.
     pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<bool, StorageError> {
         self.validate(name, &tuple)?;
-        Ok(self.relations.get_mut(name).unwrap().insert(tuple))
+        let changed = self.relations.get_mut(name).unwrap().insert(tuple);
+        if changed {
+            self.version += 1;
+        }
+        Ok(changed)
     }
 
     /// Deletes a tuple. Returns `true` if it was present.
     pub fn delete(&mut self, name: &str, tuple: &Tuple) -> Result<bool, StorageError> {
         self.validate(name, tuple)?;
-        Ok(self.relations.get_mut(name).unwrap().remove(tuple))
+        let changed = self.relations.get_mut(name).unwrap().remove(tuple);
+        if changed {
+            self.version += 1;
+        }
+        Ok(changed)
     }
 
     /// Applies an update. Returns `true` if the database changed.
@@ -180,6 +209,13 @@ impl Database {
     /// Total number of stored tuples.
     pub fn total_tuples(&self) -> usize {
         self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Overwrites the version counter — checkpoint decode only, so a
+    /// recovered database resumes the counter it was persisted with
+    /// instead of the replay-order artifact of rebuilding it.
+    pub(crate) fn force_version(&mut self, v: u64) {
+        self.version = v;
     }
 
     fn validate(&self, name: &str, tuple: &Tuple) -> Result<(), StorageError> {
@@ -286,6 +322,39 @@ mod tests {
     fn delete_missing_is_false() {
         let mut db = emp_db();
         assert!(!db.delete("dept", &tuple!["toy"]).unwrap());
+    }
+
+    #[test]
+    fn version_counts_committed_mutations_only() {
+        let mut db = Database::new();
+        assert_eq!(db.version(), 0);
+        db.declare("dept", 1, Locality::Remote).unwrap();
+        let v_decl = db.version();
+        assert!(v_decl > 0);
+        // Identical re-declaration commits nothing.
+        db.declare("dept", 1, Locality::Remote).unwrap();
+        assert_eq!(db.version(), v_decl);
+        assert!(db.insert("dept", tuple!["toy"]).unwrap());
+        let v_ins = db.version();
+        assert!(v_ins > v_decl);
+        // Duplicate insert and missing delete commit nothing.
+        assert!(!db.insert("dept", tuple!["toy"]).unwrap());
+        assert!(!db.delete("dept", &tuple!["shoe"]).unwrap());
+        assert_eq!(db.version(), v_ins);
+        assert!(db.delete("dept", &tuple!["toy"]).unwrap());
+        assert!(db.version() > v_ins);
+        // Failed operations commit nothing.
+        let v = db.version();
+        assert!(db.insert("nope", tuple![1]).is_err());
+        assert_eq!(db.version(), v);
+        // Write access is conservatively a mutation; a clone advances
+        // independently of its origin.
+        let mut snap = db.clone();
+        assert_eq!(snap.version(), db.version());
+        let _ = db.relation_mut("dept").unwrap();
+        assert!(db.version() > snap.version());
+        snap.insert("dept", tuple!["pen"]).unwrap();
+        assert!(snap.version() > v);
     }
 
     #[test]

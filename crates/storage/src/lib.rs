@@ -15,6 +15,7 @@ mod delta;
 mod relation;
 mod tuple;
 mod update;
+pub mod wal;
 pub mod wirefmt;
 
 pub use database::{Database, Locality, RelationDecl, StorageError};

@@ -3,8 +3,12 @@
 # delta-vs-snapshot harness at 10k tuples and fails if checks/sec
 # regressed more than 30% against the committed BENCH_joins.json /
 # BENCH_delta.json numbers (best of two runs each, so scheduler noise
-# does not trip it). Wired into CI after the test job; run it locally
-# before committing performance-sensitive changes:
+# does not trip it). A third lane times E12 crash recovery — checkpoint
+# load, constraint recompilation, replay of 10k logged updates, and the
+# audited full check — and fails beyond +30% wall clock against the
+# committed BENCH_recovery.json (regenerate it with `experiments
+# --crash`). Wired into CI after the test job; run it locally before
+# committing performance-sensitive changes:
 #
 #   suite/perf_guard.sh
 #
