@@ -17,8 +17,13 @@
 //!   re-registers every constraint from source — which *recompiles* its
 //!   engine, join plans, and delta plans — restores checkpointed stage-4
 //!   verdicts, replays the crash-consistent prefix of the WAL, and then
-//!   **audits**: one ground full evaluation per constraint must find the
-//!   recovered state violation-free before the manager accepts traffic.
+//!   **audits**: one ground full evaluation per locally judgeable
+//!   constraint must find the recovered state violation-free before the
+//!   manager accepts traffic. Constraints that read remote relations are
+//!   exempt from the audit and reported in
+//!   [`RecoveryReport::audit_skipped_remote`]: the recovered local view
+//!   holds no remote data, so a ground evaluation would judge contents
+//!   that were never there — their admission-time checks ran hydrated.
 //!
 //! ## Admission semantics
 //!
@@ -28,18 +33,33 @@
 //! update only when its check reports neither a violation nor an
 //! `Unknown` (an unverifiable update is not admissible). That is what makes
 //! the recovery audit an invariant rather than a hope — every state this
-//! manager ever persisted satisfied every registered constraint, which
+//! manager ever persisted satisfied every audited constraint, which
 //! is also the paper's §2 standing assumption that the incremental
 //! checks themselves rely on.
 //!
+//! Registering a constraint is itself an admission decision:
+//! [`DurableManager::add_constraint`] ground-evaluates the new
+//! constraint against the current database and refuses registration
+//! ([`DurableError::RegistrationRejected`]) when the data already
+//! violates it — otherwise the registration would durably commit a store
+//! whose every future recovery fails its audit. Remote-reading
+//! constraints are exempt here exactly as the audit exempts them.
+//!
 //! Batch admission ([`DurableManager::process_updates`] and the remote
-//! variant) decides acceptance per update against the pre-batch state —
-//! the same per-update semantics as [`ConstraintManager::check_updates`]
-//! — while durability remains strictly per update: each accepted
+//! variant) *checks* the whole batch against the pre-batch state — the
+//! reports keep [`ConstraintManager::check_updates`] semantics, and the
+//! remote variant keeps its one-hydration-per-batch transport saving —
+//! but *admits* against the evolving state: once an earlier update of
+//! the batch has been applied, each later clean-looking update is
+//! re-judged against the current database before its WAL record is
+//! written, so two individually-clean but jointly-violating updates can
+//! never both persist. A rejected update whose (pre-batch) report shows
+//! no violation was rejected by this evolving-state re-check. For a
+//! remote batch the re-check judges only constraints with no remote
+//! atoms; remote-reading constraints keep their hydrated pre-batch
+//! verdicts. Durability remains strictly per update: each admitted
 //! update's WAL record is fsync'd *before* it is applied, so a crash
-//! mid-batch never acknowledges an unlogged update. Callers whose
-//! batches may interact (one update masking another's violation) should
-//! loop [`DurableManager::process`] for sequential admission.
+//! mid-batch never acknowledges an unlogged update.
 //!
 //! ## Verdict-cache persistence
 //!
@@ -81,6 +101,11 @@ pub enum DurableError {
     /// The recovery audit found constraints violated on the recovered
     /// state. The store is corrupt or was mutated outside the pipeline.
     AuditFailed(Vec<String>),
+    /// [`DurableManager::add_constraint`] refused the registration: the
+    /// database this manager already persisted violates the new
+    /// constraint, so admitting it would make every future recovery fail
+    /// its audit. Nothing was registered or logged.
+    RegistrationRejected(String),
 }
 
 impl fmt::Display for DurableError {
@@ -97,6 +122,13 @@ impl fmt::Display for DurableError {
                     "recovery audit failed: constraints violated on the recovered \
                      state: {}",
                     names.join(", ")
+                )
+            }
+            DurableError::RegistrationRejected(name) => {
+                write!(
+                    f,
+                    "constraint `{name}` rejected: the current database already \
+                     violates it"
                 )
             }
         }
@@ -158,6 +190,10 @@ pub struct RecoveryReport {
     pub plans_changed: Vec<String>,
     /// Constraints audited (and found to hold) on the recovered state.
     pub audited: usize,
+    /// Constraints excluded from the recovery audit because they read
+    /// remote relations: the recovered local view holds no remote data to
+    /// judge them against (their admission-time checks ran hydrated).
+    pub audit_skipped_remote: Vec<String>,
 }
 
 /// Result of a durable batch: the acknowledged prefix, plus the error
@@ -317,20 +353,31 @@ impl DurableManager {
             }
         }
 
-        // The audit: ground truth for every constraint on the recovered
-        // state. The admission pipeline only ever persisted states
-        // satisfying all constraints, so a violation here means
-        // corruption — refuse to serve.
-        let audit = inner.audit_full_check();
-        let violated: Vec<String> = audit
+        // The audit: ground truth for every locally judgeable constraint
+        // on the recovered state. The admission pipeline only ever
+        // persisted states satisfying those, so a violation here means
+        // corruption — refuse to serve. Remote-reading constraints are
+        // skipped (and reported): their remote relations are empty in the
+        // recovered local view, so a ground evaluation would judge data
+        // that was never there.
+        let names: Vec<String> = inner
+            .constraints()
             .iter()
-            .filter(|(_, v)| *v)
-            .map(|(n, _)| n.clone())
+            .map(|(n, _)| n.to_string())
             .collect();
+        let mut violated = Vec::new();
+        for name in names {
+            if inner.reads_remote(&name) {
+                report.audit_skipped_remote.push(name);
+            } else if inner.audit_constraint(&name).unwrap_or(false) {
+                violated.push(name);
+            } else {
+                report.audited += 1;
+            }
+        }
         if !violated.is_empty() {
             return Err(DurableError::AuditFailed(violated));
         }
-        report.audited = audit.len();
 
         // Truncate any torn tail and reopen the log for appends.
         let mut guard = DiskGuard::new();
@@ -411,7 +458,12 @@ impl DurableManager {
             self.inner.database_mut().declare(name, arity, locality)?;
             return Ok(());
         }
-        self.inner.database_mut().declare(name, arity, locality)?;
+        // WAL-then-apply, like every other durable mutation: a fresh
+        // declaration cannot fail validation, so the record goes to the
+        // log first. If the append or fsync fails, memory is untouched
+        // and a torn record falls off the crash-consistent prefix; a
+        // record that made it durable despite the error is simply
+        // re-skipped if the caller retries the declaration.
         let rec = WalRecord::Declare {
             name: name.to_string(),
             arity,
@@ -419,19 +471,43 @@ impl DurableManager {
         };
         self.wal.append(&rec, &mut self.guard)?;
         self.wal.sync(&mut self.guard)?;
+        self.inner.database_mut().declare(name, arity, locality)?;
         Ok(())
     }
 
     /// Registers a constraint durably (logged and fsync'd before
-    /// returning).
+    /// returning). Registration is an admission decision: a constraint
+    /// the current database already violates is refused with
+    /// [`DurableError::RegistrationRejected`] — committing it would make
+    /// every future recovery fail its audit. Constraints that read
+    /// remote relations are exempt from that pre-check, exactly as the
+    /// recovery audit exempts them.
     pub fn add_constraint(&mut self, name: &str, source: &str) -> Result<(), DurableError> {
+        // Register first: this is also the validation (parse, engine
+        // compilation, duplicate detection). Any failure past this point
+        // rolls the registration back, so memory and log cannot diverge.
         self.inner.add_constraint(name, source)?;
+        if !self.inner.reads_remote(name) && self.inner.audit_constraint(name) == Some(true) {
+            self.inner.remove_constraint(name);
+            return Err(DurableError::RegistrationRejected(name.to_string()));
+        }
         let rec = WalRecord::AddConstraint {
             name: name.to_string(),
             source: source.to_string(),
         };
-        self.wal.append(&rec, &mut self.guard)?;
-        self.wal.sync(&mut self.guard)?;
+        let logged = match self.wal.append(&rec, &mut self.guard) {
+            Ok(()) => self.wal.sync(&mut self.guard),
+            Err(e) => Err(e),
+        };
+        if let Err(e) = logged {
+            // The registration never committed to the log: undo the
+            // in-memory half. (A record that reached the platter despite
+            // the error is re-skipped at replay only if re-registered;
+            // otherwise it re-registers the constraint at recovery — the
+            // log is the authority.)
+            self.inner.remove_constraint(name);
+            return Err(e.into());
+        }
         Ok(())
     }
 
@@ -458,7 +534,8 @@ impl DurableManager {
 
     /// Batch admission: checks the whole batch with
     /// [`ConstraintManager::check_updates`] semantics, then admits the
-    /// non-violating updates in order — each one logged and fsync'd
+    /// clean updates in order — re-judged against the evolving state once
+    /// earlier admissions have moved it, each one logged and fsync'd
     /// before it is applied. See the module docs for the semantics and
     /// [`BatchResult`] for mid-batch crash behavior.
     pub fn process_updates(&mut self, updates: &[Update]) -> BatchResult {
@@ -471,7 +548,7 @@ impl DurableManager {
                 }
             }
         };
-        self.admit_batch(updates, reports)
+        self.admit_batch(updates, reports, false)
     }
 
     /// Batch admission through a remote source: one hydration pass per
@@ -494,13 +571,52 @@ impl DurableManager {
                 }
             }
         };
-        self.admit_batch(updates, reports)
+        self.admit_batch(updates, reports, true)
     }
 
-    fn admit_batch(&mut self, updates: &[Update], reports: Vec<CheckReport>) -> BatchResult {
+    /// Admits a checked batch in order. `reports` were computed against
+    /// the pre-batch state; once an admission has moved the state past
+    /// it, each later clean-looking update is re-judged against the
+    /// evolving database before its WAL record is written — two
+    /// individually-clean but jointly-violating updates must never both
+    /// persist, or the next recovery audit would brick the store. With
+    /// `remote_batch`, constraints that read remote relations keep their
+    /// hydrated pre-batch verdicts (the local view cannot re-judge them);
+    /// only locally judgeable constraints — the ones the audit covers —
+    /// are re-checked.
+    fn admit_batch(
+        &mut self,
+        updates: &[Update],
+        reports: Vec<CheckReport>,
+        remote_batch: bool,
+    ) -> BatchResult {
+        let judged: Vec<String> = self
+            .inner
+            .constraints()
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .filter(|n| !remote_batch || !self.inner.reads_remote(n))
+            .collect();
         let mut completed = Vec::with_capacity(updates.len());
+        let mut dirty = false;
         for (update, report) in updates.iter().zip(reports) {
-            let admit = report.violations().is_empty() && report.unknowns().is_empty();
+            let mut admit = report.violations().is_empty() && report.unknowns().is_empty();
+            if admit && dirty && !judged.is_empty() {
+                match self.inner.check_update(update) {
+                    Ok(re) => {
+                        admit = re
+                            .outcomes
+                            .iter()
+                            .all(|(name, o)| !judged.contains(name) || o.holds());
+                    }
+                    Err(e) => {
+                        return BatchResult {
+                            completed,
+                            error: Some(e.into()),
+                        };
+                    }
+                }
+            }
             if admit {
                 if let Err(e) = self.log_and_apply(update) {
                     return BatchResult {
@@ -508,6 +624,7 @@ impl DurableManager {
                         error: Some(e),
                     };
                 }
+                dirty = true;
             }
             completed.push((report, admit));
             if admit {
@@ -768,6 +885,134 @@ mod tests {
                 "acknowledged update {i} lost"
             );
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn violated_constraint_registration_is_rejected_not_bricked() {
+        let dir = scratch_dir("durable-regadmit");
+        let mut mgr = build_store(&dir);
+        // emp(ann, sales, 80) already breaks a 70-ceiling: registering it
+        // would persist a store whose every recovery fails its audit.
+        let err = mgr
+            .add_constraint("ceiling", "panic :- emp(E,D,S) & S > 70.")
+            .expect_err("violated registration refused");
+        assert!(
+            matches!(err, DurableError::RegistrationRejected(ref n) if n == "ceiling"),
+            "{err}"
+        );
+        assert_eq!(mgr.manager().constraints().len(), 2, "not registered");
+        // The store keeps admitting and keeps recovering.
+        let (_, applied) = mgr
+            .process(&Update::insert("emp", tuple!["bob", "toys", 50]))
+            .unwrap();
+        assert!(applied);
+        drop(mgr);
+        let (rec, report) = DurableManager::recover(&dir).unwrap();
+        assert_eq!(rec.manager().constraints().len(), 2);
+        assert_eq!(report.audited, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_constraint_logging_rolls_back_the_registration() {
+        let dir = scratch_dir("durable-regroll");
+        let mut mgr = build_store(&dir);
+        // The pipeline dies mid-append of the AddConstraint record: the
+        // in-memory registration must roll back so memory and log agree.
+        mgr.set_crash_budget(Some((3, false)));
+        let err = mgr
+            .add_constraint("ceiling", "panic :- emp(E,D,S) & S > 500.")
+            .expect_err("crash fires");
+        assert!(err.is_injected_crash(), "{err}");
+        assert_eq!(mgr.manager().constraints().len(), 2, "rolled back");
+        drop(mgr);
+        let (rec, _) = DurableManager::recover(&dir).unwrap();
+        assert_eq!(rec.manager().constraints().len(), 2, "log agrees");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A remote source serving one relation, for the audit-exemption test.
+    struct DeptRemote;
+
+    impl crate::remote::RemoteSource for DeptRemote {
+        fn fetch_relation(
+            &mut self,
+            pred: &str,
+        ) -> Result<Vec<ccpi_storage::Tuple>, crate::remote::RemoteError> {
+            match pred {
+                "rdept" => Ok(vec![tuple!["sales"], tuple!["toys"]]),
+                other => Err(crate::remote::RemoteError::Unavailable(other.into())),
+            }
+        }
+
+        fn wire_stats(&self) -> crate::report::WireStats {
+            Default::default()
+        }
+    }
+
+    #[test]
+    fn remote_reading_constraint_is_exempt_from_the_recovery_audit() {
+        let dir = scratch_dir("durable-remoteaudit");
+        let mut db = Database::new();
+        db.declare("emp", 3, Locality::Local).unwrap();
+        db.declare("rdept", 1, Locality::Remote).unwrap();
+        db.insert("emp", tuple!["ann", "sales", 80]).unwrap();
+        let mut mgr = DurableManager::create(&dir, db).unwrap();
+        mgr.add_constraint("remote-ref", "panic :- emp(E,D,S) & not rdept(D).")
+            .unwrap();
+        let mut remote = DeptRemote;
+        let result = mgr.process_updates_with_remote(
+            &[Update::insert("emp", tuple!["bob", "toys", 50])],
+            &mut remote,
+        );
+        assert!(result.error.is_none());
+        assert!(result.completed[0].1, "hydrated check admits the update");
+        drop(mgr);
+        // The recovered local view has no rdept rows, so a ground audit
+        // of remote-ref would spuriously fail and brick the store. It
+        // must be skipped and reported, not judged.
+        let (rec, report) = DurableManager::recover(&dir).unwrap();
+        assert_eq!(
+            report.audit_skipped_remote,
+            vec!["remote-ref".to_string()]
+        );
+        assert_eq!(report.audited, 0);
+        assert!(rec
+            .database()
+            .relation("emp")
+            .unwrap()
+            .contains(&tuple!["bob", "toys", 50]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn jointly_violating_batch_updates_are_not_both_admitted() {
+        let dir = scratch_dir("durable-joint");
+        let mut mgr = build_store(&dir);
+        // Each update is clean against the pre-batch state; together they
+        // leave bob dangling. Admitting both would persist a state the
+        // next recovery audit must reject.
+        let updates = vec![
+            Update::insert("emp", tuple!["bob", "toys", 50]),
+            Update::delete("dept", tuple!["toys"]),
+        ];
+        let result = mgr.process_updates(&updates);
+        assert!(result.error.is_none());
+        let admitted: Vec<bool> = result.completed.iter().map(|(_, a)| *a).collect();
+        assert_eq!(
+            admitted,
+            vec![true, false],
+            "the delete is re-judged against the evolving state"
+        );
+        drop(mgr);
+        let (rec, report) = DurableManager::recover(&dir).unwrap();
+        assert_eq!(report.replayed_applies, 1);
+        assert!(rec
+            .database()
+            .relation("dept")
+            .unwrap()
+            .contains(&tuple!["toys"]));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1216,6 +1216,44 @@ impl ConstraintManager {
         true
     }
 
+    /// Does the named constraint read any relation declared `Remote`?
+    /// Such a constraint cannot be judged from the local view alone (its
+    /// remote relations are empty there), so the durable pipeline's
+    /// ground audits exempt it. `false` for an unknown name.
+    pub fn reads_remote(&self, name: &str) -> bool {
+        self.constraint_reads(name)
+            .iter()
+            .any(|p| self.db.locality(p) == Some(Locality::Remote))
+    }
+
+    /// Unregisters a constraint by name, undoing its registration-time
+    /// side effects (sibling union caches, subsumption). This is the
+    /// rollback half of a durable registration whose admission check or
+    /// WAL logging failed. Returns whether the constraint was present.
+    pub fn remove_constraint(&mut self, name: &str) -> bool {
+        let Some(i) = self.constraints.iter().position(|r| r.name == name) else {
+            return false;
+        };
+        self.constraints.remove(i);
+        // The removed constraint may have contributed reductions to its
+        // siblings' stage-3 unions; any prepared union is now stale.
+        for r in &mut self.constraints {
+            *r.union_cache.get_mut().expect("union cache lock poisoned") = None;
+        }
+        self.recompute_subsumption();
+        true
+    }
+
+    /// Ground truth for one registered constraint against the current
+    /// database: a full engine evaluation, bypassing all caches and local
+    /// tests. `None` for an unknown name.
+    pub fn audit_constraint(&self, name: &str) -> Option<bool> {
+        self.constraints
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.engine.run(&self.db).derives_panic())
+    }
+
     /// The EDB relations a registered constraint reads.
     pub fn constraint_reads(&self, name: &str) -> Vec<String> {
         self.constraints
@@ -1234,9 +1272,10 @@ impl ConstraintManager {
 
     /// Ground truth for every registered constraint against the current
     /// database: one full engine evaluation each, bypassing all caches
-    /// and local tests. Recovery runs this as its audit — the recovered
-    /// state must satisfy every constraint before the manager accepts
-    /// new traffic.
+    /// and local tests. The durable recovery audit runs the
+    /// [`audit_constraint`](Self::audit_constraint) form per constraint
+    /// so it can exempt remote-reading constraints, which a local ground
+    /// evaluation cannot judge.
     pub fn audit_full_check(&self) -> Vec<(String, bool)> {
         self.constraints
             .iter()

@@ -77,6 +77,12 @@ pub enum WalError {
     /// The injected crash budget ran out: the pipeline must abort exactly
     /// as if the process had died at this byte offset.
     CrashInjected,
+    /// A previous append or sync failed and may have left a torn frame on
+    /// disk; the writer refuses every further append until the log is
+    /// reopened through replay + [`WalWriter::resume`]. Without this,
+    /// records appended after the failure would sit past the torn frame —
+    /// acknowledged as durable, silently dropped at replay.
+    Poisoned,
 }
 
 impl fmt::Display for WalError {
@@ -86,6 +92,10 @@ impl fmt::Display for WalError {
             WalError::Wire(e) => write!(f, "wal decode error: {e}"),
             WalError::BadMagic => write!(f, "bad file magic"),
             WalError::CrashInjected => write!(f, "injected crash: disk budget exhausted"),
+            WalError::Poisoned => write!(
+                f,
+                "wal writer poisoned by an earlier write failure; reopen via recovery"
+            ),
         }
     }
 }
@@ -419,6 +429,12 @@ pub struct WalWriter {
     len: u64,
     /// Length known durable (covered by the last fsync).
     synced_len: u64,
+    /// Set when a failed append or sync may have left the on-disk tail in
+    /// an unknown state that could not be rolled back. A poisoned writer
+    /// refuses every further append/sync ([`WalError::Poisoned`]) so an
+    /// acknowledged record can never land past a torn frame, where replay
+    /// would silently drop it.
+    poisoned: bool,
 }
 
 impl WalWriter {
@@ -435,6 +451,7 @@ impl WalWriter {
             next_nonce: 0,
             len: 0,
             synced_len: 0,
+            poisoned: false,
         };
         w.write_guarded(WAL_MAGIC, guard)?;
         w.len = WAL_MAGIC.len() as u64;
@@ -462,6 +479,7 @@ impl WalWriter {
             next_nonce: replay.frames,
             len: replay.valid_len,
             synced_len: replay.valid_len,
+            poisoned: false,
         };
         w.file.seek(SeekFrom::End(0))?;
         w.file.sync_data()?;
@@ -475,6 +493,9 @@ impl WalWriter {
 
     /// Appends one record. Not durable until [`WalWriter::sync`].
     pub fn append(&mut self, rec: &WalRecord, guard: &mut DiskGuard) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Poisoned);
+        }
         let sealed = seal(self.next_nonce, &rec.encode());
         let mut frame = Vec::with_capacity(4 + sealed.len());
         wirefmt::encode_u32(sealed.len() as u32, &mut frame);
@@ -488,13 +509,23 @@ impl WalWriter {
     /// Forces everything appended so far to disk. Only after this returns
     /// may the corresponding updates be acknowledged.
     pub fn sync(&mut self, guard: &mut DiskGuard) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Poisoned);
+        }
         if guard.grant(1) == 0 {
             // Crash between write and fsync: the appended bytes may or
-            // may not have reached the platter.
+            // may not have reached the platter. The simulated process is
+            // dead — this writer must never accept another byte.
+            self.poisoned = true;
             self.crash_cleanup(guard);
             return Err(WalError::CrashInjected);
         }
-        self.file.sync_data()?;
+        if let Err(e) = self.file.sync_data() {
+            // Whether the appended bytes are durable is now unknowable;
+            // nothing may ever be acknowledged through this writer again.
+            self.poisoned = true;
+            return Err(WalError::Io(e));
+        }
         self.synced_len = self.len;
         Ok(())
     }
@@ -503,11 +534,27 @@ impl WalWriter {
     /// allowed prefix on disk (a torn write) and aborts.
     fn write_guarded(&mut self, bytes: &[u8], guard: &mut DiskGuard) -> Result<(), WalError> {
         let allowed = guard.grant(bytes.len() as u64) as usize;
-        self.file.write_all(&bytes[..allowed])?;
+        if let Err(e) = self.file.write_all(&bytes[..allowed]) {
+            // A real I/O failure: an unknown prefix of the frame may be on
+            // disk. Cut the file back to the last good length so a later
+            // append cannot land past a torn frame; if even that fails,
+            // poison the writer.
+            self.poisoned = self.truncate_to_len().is_err();
+            return Err(WalError::Io(e));
+        }
         if allowed < bytes.len() {
+            self.poisoned = true;
             self.crash_cleanup(guard);
             return Err(WalError::CrashInjected);
         }
+        Ok(())
+    }
+
+    /// Truncates the file back to the last successfully-appended length,
+    /// dropping a torn frame, and repositions for appends.
+    fn truncate_to_len(&mut self) -> std::io::Result<()> {
+        self.file.set_len(self.len)?;
+        self.file.seek(SeekFrom::Start(self.len))?;
         Ok(())
     }
 
@@ -927,6 +974,40 @@ mod tests {
         let replay = replay_wal(&path).unwrap();
         assert_eq!(replay.records, recs[..1]);
         assert_eq!(replay.tail, WalTail::Torn { dropped_bytes: 5 });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_is_poisoned_after_a_failed_append() {
+        let dir = scratch_dir("wal-poison");
+        let path = dir.join(WAL_FILE);
+        let mut guard = DiskGuard::new();
+        let mut w = WalWriter::create(&path, &mut guard).unwrap();
+        let recs = sample_records();
+        w.append(&recs[0], &mut guard).unwrap();
+        w.sync(&mut guard).unwrap();
+        // A failed append leaves a torn frame; the writer must refuse to
+        // put further (acknowledgeable) records past it.
+        let mut armed = DiskGuard::with_budget(5, false);
+        assert!(matches!(
+            w.append(&recs[1], &mut armed),
+            Err(WalError::CrashInjected)
+        ));
+        assert!(matches!(
+            w.append(&recs[2], &mut guard),
+            Err(WalError::Poisoned)
+        ));
+        assert!(matches!(w.sync(&mut guard), Err(WalError::Poisoned)));
+        // Recovery path: replay drops the torn frame, resume truncates it
+        // and reopens a usable writer.
+        let replay = replay_wal(&path).unwrap();
+        assert_eq!(replay.records, recs[..1]);
+        let mut w2 = WalWriter::resume(&path, &replay, &mut guard).unwrap();
+        w2.append(&recs[2], &mut guard).unwrap();
+        w2.sync(&mut guard).unwrap();
+        let replay2 = replay_wal(&path).unwrap();
+        assert_eq!(replay2.records, vec![recs[0].clone(), recs[2].clone()]);
+        assert_eq!(replay2.tail, WalTail::Clean);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
