@@ -25,6 +25,12 @@
 //! experiments --crash --seeds N --kills K --steps M --seed-base B
 //!                               # custom crash soak; any failure prints the
 //!                               # reproducing seed
+//! experiments --server          # E13 closed-loop admission service over TCP:
+//!                               # group-commit vs per-update fsync at 1/8/64
+//!                               # clients, concurrent snapshot reads, twin
+//!                               # cross-check; writes BENCH_server.json
+//! experiments --server --smoke  # CI variant: 4 clients, tiny run, no
+//!                               # BENCH_server.json rewrite
 //! ```
 
 use ccpi::prelude::*;
@@ -55,6 +61,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "--crash") {
         std::process::exit(run_crash(&args));
+    }
+    if args.iter().any(|a| a == "--server") {
+        std::process::exit(run_server(&args));
     }
     let table = args
         .iter()
@@ -978,6 +987,111 @@ fn write_chaos_log(path: &str, lines: &[String]) {
     std::fs::write(path, lines.join("\n") + "\n").ok();
 }
 
+/// `--server`: the E13 closed-loop admission-service benchmark. A fleet
+/// of TCP clients submits back-to-back against a live `ccpi-server` in
+/// both commit modes while a reader sustains MVCC snapshot queries; every
+/// cell replays its decision log through a single-threaded twin and must
+/// show zero verdict divergences. The full run rewrites
+/// `BENCH_server.json`; any divergence exits nonzero.
+fn run_server(args: &[String]) -> i32 {
+    use ccpi_bench::server_bench::{measure, ServerRow};
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    heading("E13  Concurrent admission: group-commit vs per-update fsync over TCP");
+    let (counts, per_total, batch): (&[usize], usize, usize) = if smoke {
+        (&[4], 64, 4)
+    } else {
+        (&[1, 8, 64], 12_800, 32)
+    };
+    println!(
+        "{:<8} {:<18} {:>6} {:>8} {:>10} {:>8} {:>8} {:>7} {:>7} {:>11} {:>7}",
+        "clients",
+        "mode",
+        "batch",
+        "updates",
+        "admits/s",
+        "p50 ms",
+        "p99 ms",
+        "groups",
+        "mean",
+        "snap reads",
+        "diverg"
+    );
+    let rows = measure(counts, per_total, batch);
+    let mut divergences = 0usize;
+    for row in &rows {
+        println!(
+            "{:<8} {:<18} {:>6} {:>8} {:>10.0} {:>8.2} {:>8.2} {:>7} {:>7.1} {:>11} {:>7}",
+            row.clients,
+            row.mode,
+            row.batch,
+            row.updates,
+            row.admissions_per_sec,
+            row.p50_ack_ms,
+            row.p99_ack_ms,
+            row.groups,
+            row.mean_group,
+            row.snapshot_reads,
+            row.twin_divergences
+        );
+        divergences += row.twin_divergences;
+    }
+
+    // The headline claim: group-commit amortization at the largest fleet.
+    let largest = counts.last().copied().unwrap_or(0);
+    let rate = |mode: &str| {
+        rows.iter()
+            .find(|r| r.clients == largest && r.mode == mode)
+            .map(|r| r.admissions_per_sec)
+    };
+    if let (Some(gc), Some(per)) = (rate("group-commit"), rate("per-update-fsync")) {
+        println!(
+            "\ngroup-commit at {largest} clients: {:.1}x the per-update-fsync admission rate",
+            gc / per
+        );
+    }
+    if divergences > 0 {
+        println!(
+            "\nE13 FAILED: {divergences} verdict divergence(s) between the concurrent \
+             server and the single-threaded twin"
+        );
+        return 1;
+    }
+    println!(
+        "soundness twin: zero divergences across {} cells",
+        rows.len()
+    );
+    if smoke {
+        println!("(--smoke: tiny fleet, BENCH_server.json not written)");
+        return 0;
+    }
+
+    #[derive(serde::Serialize)]
+    struct BenchFile {
+        bench: &'static str,
+        unit: &'static str,
+        workload: &'static str,
+        label: &'static str,
+        rows: Vec<ServerRow>,
+    }
+    let file = BenchFile {
+        bench: "E13 concurrent admission service",
+        unit: "acknowledged admissions per second over real TCP (closed loop, \
+               ack = fsync'd verdict); ack latencies in ms",
+        workload: "2-ary acct relation under one sign constraint; N closed-loop \
+                   clients submitting unique single-update batches (1 violation \
+                   per 16) plus one sustained snapshot-query reader; \
+                   single-threaded twin replays every decision",
+        label: "this tree (ccpi-server: group-commit WAL + MVCC snapshot reads + \
+                serialized admit stage)",
+        rows,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    std::fs::write(path, serde::json::to_string(&file) + "\n").unwrap();
+    println!("\nwrote {path}");
+    0
+}
+
 /// `--guard`: re-measures E9 and E10 at 10k tuples (best of two runs
 /// each) and fails if checks/sec regressed more than 30% against the
 /// committed `BENCH_joins.json` / `BENCH_delta.json` numbers. Run by
@@ -1107,6 +1221,53 @@ fn run_guard() -> i32 {
         "recovery"
     );
     failed |= recover_ms > rec_limit;
+
+    heading("PERF GUARD  E13 admissions @ 64 clients vs committed BENCH_server.json");
+    let srv_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    let srv_text = match std::fs::read_to_string(srv_path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("cannot read {srv_path}: {e}");
+            return 2;
+        }
+    };
+    let Some(srv_row) = srv_text
+        .find("\"clients\":64,\"mode\":\"group-commit\"")
+        .map(|i| &srv_text[i..])
+    else {
+        println!("{srv_path}: no 64-client group-commit row found");
+        return 2;
+    };
+    let Some(committed_rate) = json_number_after(srv_row, "\"admissions_per_sec\":") else {
+        println!("{srv_path}: could not parse admissions_per_sec from the 64-client row");
+        return 2;
+    };
+    // Best of two, and admissions/sec is a rate — higher is better, so
+    // the floor is 70% of the committed throughput (a >30% drop fails).
+    let a = ccpi_bench::server_bench::measure_cell(64, 3, 32, true);
+    let b = ccpi_bench::server_bench::measure_cell(64, 3, 32, true);
+    if a.twin_divergences + b.twin_divergences > 0 {
+        println!(
+            "{:<14} twin divergences during the guard run: {} — admission soundness broken",
+            "admissions",
+            a.twin_divergences + b.twin_divergences
+        );
+        failed = true;
+    }
+    let measured_rate = a.admissions_per_sec.max(b.admissions_per_sec);
+    let rate_floor = committed_rate * 0.7;
+    let verdict = if measured_rate >= rate_floor {
+        "ok"
+    } else {
+        "REGRESSED"
+    };
+    println!(
+        "{:<14} measured {measured_rate:>10.0} adm/s   committed {committed_rate:>10.0}  \
+         ({:.0}% of committed admissions/sec, floor 70%)  [{verdict}]",
+        "admissions",
+        measured_rate / committed_rate * 100.0
+    );
+    failed |= measured_rate < rate_floor;
 
     if failed {
         println!("\nperf guard FAILED: checks/sec regressed >30% vs the committed BENCH numbers");

@@ -61,6 +61,20 @@
 //! update's WAL record is fsync'd *before* it is applied, so a crash
 //! mid-batch never acknowledges an unlogged update.
 //!
+//! [`DurableManager::process_updates_grouped`] trades that per-update
+//! durability boundary for throughput: the whole batch is one *commit
+//! group* — every admitted record is appended (and applied in memory, so
+//! the evolving-state re-judgment above is unchanged) and a **single
+//! fsync** at the end covers the group. Acknowledgement moves to the
+//! group boundary: nothing in the batch is acknowledged until that
+//! shared fsync returns, and on any failure the caller must treat the
+//! *entire* group as unacknowledged ([`BatchResult::completed`] comes
+//! back empty). The admission service (`ccpi-server`) drives this path,
+//! merging the in-flight requests of concurrent clients into one group
+//! so N clients share one fsync; the group-commit invariant there —
+//! ack ⇒ fsync'd ⇒ admitted under the serialized re-judgment — is
+//! exactly this method's contract.
+//!
 //! ## Verdict-cache persistence
 //!
 //! Stage-4 verdict validity is pinned by [`TupleSnapshot`] pointer
@@ -551,6 +565,94 @@ impl DurableManager {
         self.admit_batch(updates, reports, false)
     }
 
+    /// Group-commit batch admission: same checking and evolving-state
+    /// re-judgment as [`DurableManager::process_updates`], but the whole
+    /// batch shares **one fsync**. Each admitted update's record is
+    /// appended and applied in memory as the batch progresses (so later
+    /// updates are re-judged against the evolving state exactly as in
+    /// the per-update path); the single sync at the end makes the group
+    /// durable, and only then is anything acknowledged.
+    ///
+    /// On any failure — append, re-judgment, apply, or the shared sync —
+    /// the **entire group is unacknowledged**: `completed` comes back
+    /// empty alongside the error, the writer is poisoned, and recovery
+    /// resolves what (if anything) reached the platter. A group that
+    /// returns `Ok` is durable as a unit; replay can never surface a
+    /// suffix of it without its prefix, because records were appended in
+    /// admission order.
+    pub fn process_updates_grouped(&mut self, updates: &[Update]) -> BatchResult {
+        let reports = match self.inner.check_updates(updates) {
+            Ok(r) => r,
+            Err(e) => {
+                return BatchResult {
+                    completed: Vec::new(),
+                    error: Some(e.into()),
+                }
+            }
+        };
+        let judged: Vec<String> = self
+            .inner
+            .constraints()
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect();
+        let mut completed = Vec::with_capacity(updates.len());
+        let mut dirty = false;
+        let mut admitted_any = false;
+        for (update, report) in updates.iter().zip(reports) {
+            let mut admit = report.violations().is_empty() && report.unknowns().is_empty();
+            if admit && dirty && !judged.is_empty() {
+                match self.inner.check_update(update) {
+                    Ok(re) => {
+                        admit = re
+                            .outcomes
+                            .iter()
+                            .all(|(name, o)| !judged.contains(name) || o.holds());
+                    }
+                    Err(e) => {
+                        return BatchResult {
+                            completed: Vec::new(),
+                            error: Some(e.into()),
+                        };
+                    }
+                }
+            }
+            if admit {
+                if let Err(e) = self.log_deferred_and_apply(update) {
+                    return BatchResult {
+                        completed: Vec::new(),
+                        error: Some(e),
+                    };
+                }
+                dirty = true;
+                admitted_any = true;
+            }
+            completed.push((report, admit));
+        }
+        if admitted_any {
+            // The shared group sync: the whole batch becomes durable (and
+            // acknowledgeable) here, or not at all.
+            if let Err(e) = self.wal.sync(&mut self.guard) {
+                return BatchResult {
+                    completed: Vec::new(),
+                    error: Some(e.into()),
+                };
+            }
+            // The group is durable once the sync returned: a checkpoint
+            // failure past this point does not retract the acks.
+            if let Err(e) = self.maybe_checkpoint() {
+                return BatchResult {
+                    completed,
+                    error: Some(e),
+                };
+            }
+        }
+        BatchResult {
+            completed,
+            error: None,
+        }
+    }
+
     /// Batch admission through a remote source: one hydration pass per
     /// batch (the transport saving of
     /// [`ConstraintManager::check_updates_with_remote`]), durability per
@@ -650,6 +752,21 @@ impl DurableManager {
         };
         self.wal.append(&rec, &mut self.guard)?;
         self.wal.sync(&mut self.guard)?;
+        self.inner.apply_update(update)?;
+        self.next_seq += 1;
+        self.since_checkpoint += 1;
+        Ok(())
+    }
+
+    /// The group-commit half of [`DurableManager::log_and_apply`]:
+    /// append and apply without the fsync. The caller owns the shared
+    /// group sync and must not acknowledge anything before it returns.
+    fn log_deferred_and_apply(&mut self, update: &Update) -> Result<(), DurableError> {
+        let rec = WalRecord::Apply {
+            seq: self.next_seq,
+            update: update.clone(),
+        };
+        self.wal.append(&rec, &mut self.guard)?;
         self.inner.apply_update(update)?;
         self.next_seq += 1;
         self.since_checkpoint += 1;
@@ -973,10 +1090,7 @@ mod tests {
         // of remote-ref would spuriously fail and brick the store. It
         // must be skipped and reported, not judged.
         let (rec, report) = DurableManager::recover(&dir).unwrap();
-        assert_eq!(
-            report.audit_skipped_remote,
-            vec!["remote-ref".to_string()]
-        );
+        assert_eq!(report.audit_skipped_remote, vec!["remote-ref".to_string()]);
         assert_eq!(report.audited, 0);
         assert!(rec
             .database()
@@ -1013,6 +1127,95 @@ mod tests {
             .relation("dept")
             .unwrap()
             .contains(&tuple!["toys"]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn grouped_admission_matches_per_update_decisions_with_fewer_fsyncs() {
+        let dir_g = scratch_dir("durable-group");
+        let dir_p = scratch_dir("durable-group-twin");
+        let mut grouped = build_store(&dir_g);
+        let mut per_update = build_store(&dir_p);
+        // Clean, violating, jointly-violating, clean — the decision
+        // pattern must be identical in both modes.
+        let updates = vec![
+            Update::insert("emp", tuple!["bob", "toys", 50]),
+            Update::insert("emp", tuple!["eve", "ghost", 50]), // violating
+            Update::delete("dept", tuple!["toys"]),            // jointly violating with bob
+            Update::insert("emp", tuple!["kim", "sales", 60]),
+        ];
+        let rg = grouped.process_updates_grouped(&updates);
+        let rp = per_update.process_updates(&updates);
+        assert!(rg.error.is_none() && rp.error.is_none());
+        let decisions =
+            |r: &BatchResult| -> Vec<bool> { r.completed.iter().map(|(_, a)| *a).collect() };
+        assert_eq!(decisions(&rg), vec![true, false, false, true]);
+        assert_eq!(decisions(&rg), decisions(&rp));
+        // Same byte stream of appends, but one shared fsync instead of
+        // one per admitted update: 2 admitted → exactly 1 fsync saved.
+        assert_eq!(
+            grouped.bytes_written() + 1,
+            per_update.bytes_written(),
+            "the group shares a single sync grant"
+        );
+        // The group is durable as a unit.
+        drop(grouped);
+        let (rec, report) = DurableManager::recover(&dir_g).unwrap();
+        assert_eq!(report.replayed_applies, 2);
+        let emp = rec.database().relation("emp").unwrap();
+        assert!(emp.contains(&tuple!["bob", "toys", 50]));
+        assert!(emp.contains(&tuple!["kim", "sales", 60]));
+        assert!(rec
+            .database()
+            .relation("dept")
+            .unwrap()
+            .contains(&tuple!["toys"]));
+        std::fs::remove_dir_all(&dir_g).unwrap();
+        std::fs::remove_dir_all(&dir_p).unwrap();
+    }
+
+    #[test]
+    fn grouped_crash_at_the_shared_sync_acknowledges_nothing() {
+        // Size the batch's byte stream with an unarmed probe run, then
+        // re-run with a budget that dies exactly at the shared sync: all
+        // appends land in the page cache, the group fsync never does.
+        let probe_dir = scratch_dir("durable-gcrash-probe");
+        let mut probe = build_store(&probe_dir);
+        let before = probe.bytes_written();
+        let updates = vec![
+            Update::insert("emp", tuple!["bob", "toys", 50]),
+            Update::insert("emp", tuple!["kim", "sales", 60]),
+            Update::insert("emp", tuple!["lee", "toys", 70]),
+        ];
+        let r = probe.process_updates_grouped(&updates);
+        assert!(r.error.is_none());
+        assert_eq!(r.completed.len(), 3);
+        let batch_bytes = probe.bytes_written() - before;
+        std::fs::remove_dir_all(&probe_dir).unwrap();
+
+        let dir = scratch_dir("durable-gcrash");
+        let mut mgr = build_store(&dir);
+        // Everything but the final sync grant fits the budget; the page
+        // cache is lost with the crash (`drop_unsynced`).
+        mgr.set_crash_budget(Some((batch_bytes - 1, true)));
+        let result = mgr.process_updates_grouped(&updates);
+        let err = result.error.expect("crash fires at the shared sync");
+        assert!(err.is_injected_crash(), "{err}");
+        assert!(
+            result.completed.is_empty(),
+            "a failed group acknowledges nothing"
+        );
+        drop(mgr);
+        let (rec, report) = DurableManager::recover(&dir).unwrap();
+        assert_eq!(
+            report.replayed_applies, 0,
+            "unsynced group vanished with the page cache"
+        );
+        assert!(!rec
+            .database()
+            .relation("emp")
+            .unwrap()
+            .contains(&tuple!["bob", "toys", 50]));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

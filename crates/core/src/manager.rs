@@ -681,13 +681,38 @@ impl ConstraintManager {
         }
 
         // Stage 3 — complete local test (insertions into the constraint's
-        // local relation).
+        // local relation). Cost-gated: the ladder prefers stage 3 because
+        // stage 4 normally pays wire traffic, but when the constraint
+        // reads no remote relation and the Δ is delta-eligible, stage 4
+        // decides the update exactly via the seeded plans in O(|Δ|) —
+        // strictly cheaper than the local test's O(|L|) pass — so
+        // escalate directly.
         if let Update::Insert { pred, tuple } = update {
-            if let Some(kind) = self.try_local_test(i, pred.as_str(), tuple) {
-                return Some(Outcome::Holds(Method::LocalTest(kind)));
+            if !self.stage4_beats_local_test(i, update) {
+                if let Some(kind) = self.try_local_test(i, pred.as_str(), tuple) {
+                    return Some(Outcome::Holds(Method::LocalTest(kind)));
+                }
             }
         }
         None
+    }
+
+    /// Would escalating constraint `i` straight to stage 4 be cheaper
+    /// than running its complete local test? True when the update is
+    /// delta-eligible (the seeded plans decide it in O(|Δ|), no snapshot)
+    /// *and* the constraint reads no remote relation (escalation costs no
+    /// wire traffic). Pinning the delta path off
+    /// ([`ConstraintManager::set_delta_checking`]) disables the gate with
+    /// it, so the ladder degrades to its paper order.
+    fn stage4_beats_local_test(&self, i: usize, update: &Update) -> bool {
+        let delta = DeltaSet::from_update(update);
+        self.delta_eligible(i, &delta)
+            && self.constraints[i]
+                .constraint
+                .program()
+                .edb_predicates()
+                .iter()
+                .all(|p| self.db.locality(p.as_str()) != Some(Locality::Remote))
     }
 
     /// Should this check fan out across threads?

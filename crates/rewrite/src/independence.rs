@@ -13,8 +13,9 @@ use crate::rules::{rewrite, RewriteError, RewriteStyle};
 use ccpi_arith::Solver;
 use ccpi_containment::subsume::{subsumes, SubsumeError};
 use ccpi_containment::Answer;
-use ccpi_ir::Constraint;
-use ccpi_storage::Update;
+use ccpi_ir::{Atom, Comparison, Constraint, Cq, Term, Value, Var};
+use ccpi_storage::{Tuple, Update};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Errors from the independence test.
@@ -61,6 +62,13 @@ pub fn independent_of_update(
     update: &Update,
     solver: Solver,
 ) -> Result<Answer, IndependenceError> {
+    // Ground prefilter: decide the common case without touching the
+    // rewrite/containment machinery (which costs ~10µs per call and sits
+    // on the admission hot path). Sound, never complete: `false` only
+    // falls through to the full test below.
+    if update_cannot_touch(c, update) {
+        return Ok(Answer::Yes);
+    }
     let mut assumed: Vec<Constraint> = Vec::with_capacity(others.len() + 1);
     assumed.push(c.clone());
     assumed.extend_from_slice(others);
@@ -82,6 +90,79 @@ pub fn independent_of_update(
         }
     }
     Ok(Answer::Unknown)
+}
+
+/// Sound constant-time-per-literal prefilter: `true` iff the updated
+/// tuple provably cannot participate in any new violation of `c`.
+///
+/// A rule of `c` fires on an assignment of its body. After an
+/// **insertion** of `t` into `p`, any assignment that did not exist
+/// before must map some *positive* subgoal over `p` onto `t` (subgoals
+/// over other relations are untouched, and `not p(…)` literals only lose
+/// assignments when `p` grows). Dually, after a **deletion** of `t` from
+/// `p`, any new assignment must newly satisfy some *negated* subgoal
+/// over `p` at exactly `t` (positive subgoals only lose assignments when
+/// `p` shrinks). So if `t` fails to *host* at every such subgoal — the
+/// terms don't unify with `t`'s constants, or the unifier falsifies a
+/// comparison whose variables it fully grounds — no rule can newly fire,
+/// and the update is independent on every database where `c` held.
+fn update_cannot_touch(c: &Constraint, update: &Update) -> bool {
+    let pred = update.pred().as_str();
+    let tuple = update.tuple();
+    for rule in &c.program().rules {
+        let cq = Cq::from_rule(rule);
+        let hosts = if update.is_insert() {
+            &cq.positives
+        } else {
+            &cq.negatives
+        };
+        for atom in hosts {
+            if atom.pred.as_str() == pred
+                && atom.arity() == tuple.arity()
+                && tuple_can_host(atom, tuple, &cq.comparisons)
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Can `tuple` be the image of `atom` in a body assignment? `true` when
+/// the atom's terms unify with the tuple (constants equal, repeated
+/// variables bound consistently) and no comparison that the resulting
+/// binding fully grounds evaluates to false.
+fn tuple_can_host(atom: &Atom, tuple: &Tuple, comparisons: &[Comparison]) -> bool {
+    let mut binding: BTreeMap<&Var, &Value> = BTreeMap::new();
+    for (term, value) in atom.args.iter().zip(tuple.iter()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return false;
+                }
+            }
+            Term::Var(v) => match binding.get(v) {
+                Some(&bound) if bound != value => return false,
+                _ => {
+                    binding.insert(v, value);
+                }
+            },
+        }
+    }
+    let resolve = |t: &Term| -> Option<Value> {
+        match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => binding.get(v).map(|&val| val.clone()),
+        }
+    };
+    for cmp in comparisons {
+        if let (Some(a), Some(b)) = (resolve(&cmp.lhs), resolve(&cmp.rhs)) {
+            if !cmp.op.eval(&a, &b) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -181,6 +262,76 @@ mod tests {
         assert!(!independent_of_update(&c0, &[stronger], &upd, dense())
             .unwrap()
             .is_yes());
+    }
+
+    /// The ground prefilter decides exactly the hot admission cases: an
+    /// inserted tuple whose constants falsify a bound comparison cannot
+    /// host a violation, while one that satisfies it must fall through to
+    /// the full test (and come back not-independent).
+    #[test]
+    fn ground_prefilter_matches_full_test_on_sign_constraint() {
+        let pos = c("panic :- acct(I,A) & A < 0.");
+        let clean = Update::insert("acct", tuple![7, 5]);
+        assert!(update_cannot_touch(&pos, &clean));
+        assert!(independent_of_update(&pos, &[], &clean, dense())
+            .unwrap()
+            .is_yes());
+        let dirty = Update::insert("acct", tuple![7, -5]);
+        assert!(!update_cannot_touch(&pos, &dirty));
+        assert!(!independent_of_update(&pos, &[], &dirty, dense())
+            .unwrap()
+            .is_yes());
+    }
+
+    /// Repeated variables and constants in the hosting atom both gate the
+    /// prefilter: `p(X,X)` rejects a (1,2) tuple, `p(0,Y)` rejects (1,2),
+    /// and a half-bound comparison (`A < B` with `B` free) must NOT let
+    /// the prefilter conclude independence.
+    #[test]
+    fn ground_prefilter_unification_and_partial_bindings() {
+        let rep = c("panic :- p(X,X).");
+        assert!(update_cannot_touch(
+            &rep,
+            &Update::insert("p", tuple![1, 2])
+        ));
+        assert!(!update_cannot_touch(
+            &rep,
+            &Update::insert("p", tuple![3, 3])
+        ));
+
+        let konst = c("panic :- p(0,Y).");
+        assert!(update_cannot_touch(
+            &konst,
+            &Update::insert("p", tuple![1, 2])
+        ));
+        assert!(!update_cannot_touch(
+            &konst,
+            &Update::insert("p", tuple![0, 2])
+        ));
+
+        // B is bound by another subgoal, not by the hosting atom: the
+        // comparison is only half-ground, so hosting stays possible.
+        let half = c("panic :- acct(I,A) & lim(B) & A > B.");
+        assert!(!update_cannot_touch(
+            &half,
+            &Update::insert("acct", tuple![1, 2])
+        ));
+    }
+
+    /// Deletions mirror insertions through the negated subgoals: deleting
+    /// from a predicate that occurs only positively is independent, while
+    /// deleting a tuple that a negated subgoal could newly match is not.
+    #[test]
+    fn ground_prefilter_deletion_side() {
+        let c1 = c("panic :- emp(E,D,S) & not dept(D).");
+        assert!(update_cannot_touch(
+            &c1,
+            &Update::delete("emp", tuple!["jones", "toy", 50])
+        ));
+        assert!(!update_cannot_touch(
+            &c1,
+            &Update::delete("dept", tuple!["toy"])
+        ));
     }
 
     #[test]

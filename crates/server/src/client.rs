@@ -1,0 +1,305 @@
+//! The admission client: one connection, sealed exchanges, no silent
+//! retries.
+//!
+//! [`AdmissionClient`] reuses the `ccpi-site` transport layer (the same
+//! length-prefixed TCP framing and deadline plumbing the distributed
+//! checker uses) but deliberately **does not retry**: a `Submit` is not
+//! idempotent. If an exchange dies after the frame left, the server may
+//! have admitted the batch without us seeing the ack — resending would
+//! risk applying it twice. The client therefore surfaces every failure
+//! and leaves reconciliation to the caller, who can `query` the
+//! authoritative snapshot to learn what actually landed. Read-only
+//! requests (`ping`, `query`, `version`) are safe to re-issue by simply
+//! calling again.
+//!
+//! Integrity failures keep the site-client taxonomy: an undecodable
+//! reply, a stale nonce, a response-count mismatch, or a peer
+//! [`BadFrame`](crate::proto::ServerResponse::BadFrame) all poison the
+//! connection ([`Transport::reset`]) so the next call starts on a fresh
+//! stream, and map to [`ClientError::Protocol`]. An intact
+//! application-level refusal maps to [`ClientError::Server`].
+
+use crate::proto::{decode_responses, encode_requests, AdmitResult, ServerRequest, ServerResponse};
+use ccpi_site::transport::{TcpTransport, Transport, TransportError};
+use ccpi_storage::{Tuple, Update};
+use std::fmt;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Why an exchange failed, in decreasing order of "the wire itself is
+/// fine".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// The transport failed (timeout, disconnect, framing violation).
+    /// For a `submit`, the batch may or may not have been admitted —
+    /// query the server to reconcile.
+    Transport(TransportError),
+    /// The bytes arrived but violated the protocol: corrupt frame, stale
+    /// nonce, wrong response shape or count. The connection is poisoned
+    /// and will re-dial on the next call.
+    Protocol(String),
+    /// The server answered with an application-level error; the exchange
+    /// itself was sound.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server(m) => write!(f, "server: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A client for one admission server.
+pub struct AdmissionClient {
+    transport: Box<dyn Transport>,
+    /// Per-exchange deadline. `Submit` exchanges wait for the group
+    /// commit (a real fsync), so this is more generous than the site
+    /// client's read-only default would need to be.
+    deadline: Duration,
+    /// Monotonic exchange nonce; the server echoes it, so a stale or
+    /// duplicated reply is detectable.
+    nonce: u64,
+}
+
+impl AdmissionClient {
+    /// A client that will connect to `addr` (lazily, on first use) over
+    /// TCP.
+    pub fn connect(addr: SocketAddr) -> AdmissionClient {
+        AdmissionClient::new(TcpTransport::new(addr))
+    }
+
+    /// A client over any transport with the default 5 s deadline.
+    pub fn new(transport: impl Transport + 'static) -> AdmissionClient {
+        AdmissionClient {
+            transport: Box::new(transport),
+            deadline: Duration::from_secs(5),
+            nonce: 0,
+        }
+    }
+
+    /// Sets the per-exchange deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> AdmissionClient {
+        self.deadline = deadline;
+        self
+    }
+
+    /// One sealed request/response exchange. No retries — see the module
+    /// docs for why.
+    pub fn exchange(&mut self, reqs: &[ServerRequest]) -> Result<Vec<ServerResponse>, ClientError> {
+        self.nonce = self.nonce.wrapping_add(1);
+        let nonce = self.nonce;
+        let payload = encode_requests(nonce, reqs);
+        let reply = self
+            .transport
+            .round_trip(&payload, self.deadline)
+            .map_err(ClientError::Transport)?;
+        let (echo, resps) = match decode_responses(&reply) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                self.transport.reset();
+                return Err(ClientError::Protocol(format!("undecodable reply: {e}")));
+            }
+        };
+        if let Some(ServerResponse::BadFrame { message }) = resps
+            .iter()
+            .find(|r| matches!(r, ServerResponse::BadFrame { .. }))
+        {
+            // Our frame arrived mangled; the stream can no longer be
+            // trusted to pair requests with replies.
+            let message = message.clone();
+            self.transport.reset();
+            return Err(ClientError::Protocol(format!(
+                "peer rejected our frame: {message}"
+            )));
+        }
+        if echo != nonce {
+            self.transport.reset();
+            return Err(ClientError::Protocol(format!(
+                "stale or duplicated reply (nonce {echo}, expected {nonce})"
+            )));
+        }
+        if resps.len() != reqs.len() {
+            self.transport.reset();
+            return Err(ClientError::Protocol(format!(
+                "{} responses to {} requests",
+                resps.len(),
+                reqs.len()
+            )));
+        }
+        Ok(resps)
+    }
+
+    /// Round-trip probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.exchange(&[ServerRequest::Ping])?.pop() {
+            Some(ServerResponse::Pong) => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected Pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits a batch of updates for admission; returns one verdict per
+    /// update, in order. When this returns `Ok`, every `admitted` verdict
+    /// is **durable**: the server acked only after the group fsync.
+    pub fn submit(&mut self, updates: &[Update]) -> Result<Vec<AdmitResult>, ClientError> {
+        let req = ServerRequest::Submit {
+            updates: updates.to_vec(),
+        };
+        match self.exchange(std::slice::from_ref(&req))?.pop() {
+            Some(ServerResponse::Admitted { results }) if results.len() == updates.len() => {
+                Ok(results)
+            }
+            Some(ServerResponse::Admitted { results }) => Err(ClientError::Protocol(format!(
+                "{} verdicts for {} updates",
+                results.len(),
+                updates.len()
+            ))),
+            Some(ServerResponse::Error { message }) => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Admitted, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Reads a whole relation from the server's latest published MVCC
+    /// snapshot; returns `(snapshot_version, rows)`. Never waits behind
+    /// the admission writer.
+    pub fn query(&mut self, pred: &str) -> Result<(u64, Vec<Tuple>), ClientError> {
+        let req = ServerRequest::Query {
+            pred: pred.to_string(),
+        };
+        match self.exchange(std::slice::from_ref(&req))?.pop() {
+            Some(ServerResponse::Rows { version, rows, .. }) => Ok((version, rows)),
+            Some(ServerResponse::Error { message }) => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Rows, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Reads the latest published snapshot's version counter.
+    pub fn version(&mut self) -> Result<u64, ClientError> {
+        match self.exchange(&[ServerRequest::Version])?.pop() {
+            Some(ServerResponse::Version { version }) => Ok(version),
+            Some(ServerResponse::Error { message }) => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Version, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{decode_requests, encode_responses};
+    use ccpi_site::transport::ChannelTransport;
+
+    /// Spawns an in-process responder that answers every request batch
+    /// with `f(nonce, reqs)`.
+    fn responder(
+        f: impl Fn(u64, Vec<ServerRequest>) -> Vec<u8> + Send + 'static,
+    ) -> AdmissionClient {
+        let (transport, end) = ChannelTransport::pair();
+        std::thread::spawn(move || {
+            while let Ok(frame) = end.requests.recv() {
+                let reply = match decode_requests(&frame) {
+                    Ok((nonce, reqs)) => f(nonce, reqs),
+                    Err(e) => encode_responses(
+                        0,
+                        &[ServerResponse::BadFrame {
+                            message: format!("bad request frame: {e}"),
+                        }],
+                    ),
+                };
+                if end.replies.send(reply).is_err() {
+                    break;
+                }
+            }
+        });
+        AdmissionClient::new(transport).with_deadline(Duration::from_millis(500))
+    }
+
+    #[test]
+    fn ping_round_trips() {
+        let mut client = responder(|nonce, reqs| {
+            assert_eq!(reqs, vec![ServerRequest::Ping]);
+            encode_responses(nonce, &[ServerResponse::Pong])
+        });
+        client.ping().unwrap();
+        client.ping().unwrap();
+    }
+
+    #[test]
+    fn stale_nonce_is_a_protocol_error() {
+        let mut client =
+            responder(|nonce, _| encode_responses(nonce.wrapping_add(7), &[ServerResponse::Pong]));
+        let err = client.ping().unwrap_err();
+        assert!(matches!(err, ClientError::Protocol(_)), "{err:?}");
+    }
+
+    #[test]
+    fn response_count_mismatch_is_a_protocol_error() {
+        let mut client = responder(|nonce, _| {
+            encode_responses(nonce, &[ServerResponse::Pong, ServerResponse::Pong])
+        });
+        let err = client.ping().unwrap_err();
+        assert!(matches!(err, ClientError::Protocol(_)), "{err:?}");
+    }
+
+    #[test]
+    fn server_error_is_surfaced_as_server_not_protocol() {
+        let mut client = responder(|nonce, _| {
+            encode_responses(
+                nonce,
+                &[ServerResponse::Error {
+                    message: "unknown relation `nope`".into(),
+                }],
+            )
+        });
+        let err = client.query("nope").unwrap_err();
+        assert!(matches!(err, ClientError::Server(_)), "{err:?}");
+    }
+
+    #[test]
+    fn peer_bad_frame_is_a_protocol_error() {
+        let mut client = responder(|_, _| {
+            encode_responses(
+                0,
+                &[ServerResponse::BadFrame {
+                    message: "checksum".into(),
+                }],
+            )
+        });
+        let err = client.ping().unwrap_err();
+        assert!(matches!(err, ClientError::Protocol(_)), "{err:?}");
+    }
+
+    #[test]
+    fn corrupt_reply_is_a_protocol_error() {
+        let mut client = responder(|nonce, _| {
+            let mut frame = encode_responses(nonce, &[ServerResponse::Pong]);
+            let mid = frame.len() / 2;
+            frame[mid] ^= 0xff;
+            frame
+        });
+        let err = client.ping().unwrap_err();
+        assert!(matches!(err, ClientError::Protocol(_)), "{err:?}");
+    }
+
+    #[test]
+    fn dead_server_is_a_transport_error() {
+        let (transport, end) = ChannelTransport::pair();
+        drop(end);
+        let mut client = AdmissionClient::new(transport).with_deadline(Duration::from_millis(50));
+        let err = client.ping().unwrap_err();
+        assert!(matches!(err, ClientError::Transport(_)), "{err:?}");
+    }
+}

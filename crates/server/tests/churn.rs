@@ -1,0 +1,224 @@
+//! Shutdown and client-churn soak: the admission server must go down
+//! cleanly under concurrent client traffic — no wedged clients, no torn
+//! WAL tail, and a store that recovers to exactly the acked state.
+
+use ccpi::durable::DurableManager;
+use ccpi_server::{serve, AdmissionClient, ClientError, ServerConfig};
+use ccpi_storage::wal::{replay_wal, scratch_dir, WalRecord, WalTail, WAL_FILE};
+use ccpi_storage::{tuple, Database, Locality, Tuple, Update};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build_store(dir: &std::path::Path) -> DurableManager {
+    let mut db = Database::new();
+    db.declare("acct", 2, Locality::Local).unwrap();
+    let mut mgr = DurableManager::create(dir, db).unwrap();
+    mgr.add_constraint("positive", "panic :- acct(I,A) & A < 0.")
+        .unwrap();
+    mgr
+}
+
+/// Clients submit continuously while the server is stopped out from
+/// under them. Every client must come back (wedging is the failure mode
+/// this guards), every ack it collected must survive recovery, and the
+/// WAL tail must be clean.
+#[test]
+fn shutdown_under_concurrent_submitters_leaves_no_wedged_client_and_no_torn_tail() {
+    const CLIENTS: usize = 8;
+    let dir = scratch_dir("server-churn-shutdown");
+    let server = serve(build_store(&dir), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+    let running = Arc::new(AtomicBool::new(true));
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let running = Arc::clone(&running);
+            std::thread::spawn(move || {
+                let mut client =
+                    AdmissionClient::connect(addr).with_deadline(Duration::from_secs(2));
+                let mut acked: Vec<Tuple> = Vec::new();
+                let mut i = 0i64;
+                while running.load(Ordering::Relaxed) {
+                    let row = tuple![c as i64, i];
+                    match client.submit(&[Update::insert("acct", row.clone())]) {
+                        Ok(results) => {
+                            if results[0].admitted {
+                                acked.push(row);
+                            }
+                        }
+                        // After stop: refused, disconnected, or timed
+                        // out — all fine, as long as we *return*.
+                        Err(_) => break,
+                    }
+                    i += 1;
+                }
+                acked
+            })
+        })
+        .collect();
+
+    // Let the swarm build up real WAL traffic, then pull the plug while
+    // submissions are in flight.
+    std::thread::sleep(Duration::from_millis(300));
+    server.stop();
+    running.store(false, Ordering::Relaxed);
+
+    // The whole point: every client returns promptly. A wedged client
+    // would hang the join (and the test timeout would flag it).
+    let mut acked_rows: BTreeSet<Tuple> = BTreeSet::new();
+    for w in workers {
+        acked_rows.extend(w.join().expect("client thread must not wedge"));
+    }
+    assert!(
+        !acked_rows.is_empty(),
+        "soak produced no acked submissions; server never served traffic"
+    );
+
+    // No torn tail: the server's final sync covered every appended byte.
+    let replay = replay_wal(&dir.join(WAL_FILE)).unwrap();
+    assert_eq!(replay.tail, WalTail::Clean, "WAL tail torn after stop");
+    let logged: BTreeSet<Tuple> = replay
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            WalRecord::Apply { update, .. } => Some(update.tuple().clone()),
+            _ => None,
+        })
+        .collect();
+    for row in &acked_rows {
+        assert!(
+            logged.contains(row),
+            "acked row {row:?} missing from the WAL — ack without durability"
+        );
+    }
+
+    // And recovery agrees: every acked row is in the recovered store.
+    let (rec, report) = DurableManager::recover(&dir).unwrap();
+    assert_eq!(report.dropped_bytes, 0);
+    let acct = rec.database().relation("acct").unwrap();
+    for row in &acked_rows {
+        assert!(acct.contains(row), "acked row {row:?} lost by recovery");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Clients that connect, do a little work, and hang up — over and over —
+/// must not destabilize the server or leak verdic soundness: what the
+/// survivors read matches what was admitted.
+#[test]
+fn client_churn_connect_submit_disconnect_cycles_stay_sound() {
+    let dir = scratch_dir("server-churn-cycles");
+    let server = serve(build_store(&dir), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let churners: Vec<_> = (0..4)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut admitted = 0u64;
+                for i in 0..25i64 {
+                    // A fresh connection every iteration: the server's
+                    // worker-per-connection model must absorb the churn.
+                    let mut client =
+                        AdmissionClient::connect(addr).with_deadline(Duration::from_secs(2));
+                    if i % 7 == 3 {
+                        // A malformed update (wrong arity) must come back
+                        // as *this* client's server-side error — and, per
+                        // the single-job fallback in the admit stage, must
+                        // not poison any concurrent client's group.
+                        let err = client
+                            .submit(&[Update::insert("acct", tuple![1, 2, 3])])
+                            .unwrap_err();
+                        assert!(matches!(err, ClientError::Server(_)), "{err:?}");
+                    }
+                    let amount = if i % 5 == 4 { -1 } else { i };
+                    let row = tuple![1000 * (c as i64 + 1) + i, amount];
+                    let results = client
+                        .submit(&[Update::insert("acct", row)])
+                        .unwrap_or_else(|e| panic!("client {c} iter {i}: {e}"));
+                    if results[0].admitted {
+                        admitted += 1;
+                    } else {
+                        assert_eq!(results[0].violations, vec!["positive".to_string()]);
+                    }
+                }
+                admitted
+            })
+        })
+        .collect();
+    let admitted: u64 = churners.into_iter().map(|c| c.join().unwrap()).sum();
+    // 5 of every 25 rows are negative and must be rejected.
+    assert_eq!(admitted, 4 * 20, "admission verdicts drifted under churn");
+
+    // A surviving reader sees exactly the admitted rows, none negative.
+    let mut client = AdmissionClient::connect(addr);
+    let (_, rows) = client.query("acct").unwrap();
+    assert_eq!(rows.len(), admitted as usize);
+    assert!(rows.iter().all(|t| t.arity() == 2));
+    server.stop();
+
+    let (rec, _) = DurableManager::recover(&dir).unwrap();
+    assert_eq!(
+        rec.database().relation("acct").unwrap().len(),
+        admitted as usize
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `stop` is idempotent and safe to race from many threads while clients
+/// are mid-exchange; late clients get refused, not wedged.
+#[test]
+fn concurrent_stop_callers_and_late_clients_all_return() {
+    let dir = scratch_dir("server-churn-stop");
+    let server =
+        Arc::new(serve(build_store(&dir), "127.0.0.1:0", ServerConfig::default()).unwrap());
+    let addr = server.addr();
+
+    // A client mid-conversation when the stop lands.
+    let talker = std::thread::spawn(move || {
+        let mut client = AdmissionClient::connect(addr).with_deadline(Duration::from_secs(2));
+        let mut outcomes = Vec::new();
+        for i in 0..200i64 {
+            match client.submit(&[Update::insert("acct", tuple![i, i])]) {
+                Ok(_) => outcomes.push(true),
+                Err(_) => {
+                    outcomes.push(false);
+                    break;
+                }
+            }
+        }
+        outcomes
+    });
+
+    std::thread::sleep(Duration::from_millis(100));
+    let stoppers: Vec<_> = (0..4)
+        .map(|_| {
+            let s = Arc::clone(&server);
+            std::thread::spawn(move || s.stop())
+        })
+        .collect();
+    server.stop();
+    for s in stoppers {
+        s.join().unwrap();
+    }
+    // A third stop after the dust settles is a no-op.
+    server.stop();
+
+    let outcomes = talker.join().expect("mid-exchange client must not wedge");
+    assert!(!outcomes.is_empty());
+
+    // A brand-new client against the dead server fails fast with a
+    // transport error instead of hanging.
+    let mut late = AdmissionClient::connect(addr).with_deadline(Duration::from_millis(500));
+    let err = late.ping().unwrap_err();
+    assert!(
+        matches!(err, ClientError::Transport(_)),
+        "late client should see a transport failure, got {err:?}"
+    );
+
+    drop(server);
+    let (_, report) = DurableManager::recover(&dir).unwrap();
+    assert_eq!(report.dropped_bytes, 0, "no torn WAL tail");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -6,6 +6,7 @@ use crate::update::Update;
 use ccpi_ir::Sym;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Where a relation's data lives, relative to the site processing updates
 /// (§5: "some 'local' predicates and some 'remote' predicates").
@@ -211,6 +212,31 @@ impl Database {
         self.relations.values().map(Relation::len).sum()
     }
 
+    /// Takes an immutable, versioned snapshot of the whole database.
+    ///
+    /// The snapshot is the MVCC read path: it pins the current contents
+    /// behind an [`Arc`], so clones of the snapshot are O(1), shareable
+    /// across threads, and never observe later mutations of the source
+    /// database. Capturing one is cheap — every [`Relation`] is itself
+    /// copy-on-write, so only the catalog is copied, never the tuples.
+    ///
+    /// ```
+    /// use ccpi_storage::{tuple, Database, Locality};
+    /// let mut db = Database::new();
+    /// db.declare("dept", 1, Locality::Local).unwrap();
+    /// db.insert("dept", tuple!["toys"]).unwrap();
+    /// let snap = db.snapshot();
+    /// db.delete("dept", &tuple!["toys"]).unwrap();
+    /// assert!(snap.relation("dept").unwrap().contains(&tuple!["toys"]));
+    /// assert!(snap.version() < db.version());
+    /// ```
+    pub fn snapshot(&self) -> DatabaseSnapshot {
+        DatabaseSnapshot {
+            version: self.version,
+            inner: Arc::new(self.clone()),
+        }
+    }
+
     /// Overwrites the version counter — checkpoint decode only, so a
     /// recovered database resumes the counter it was persisted with
     /// instead of the replay-order artifact of rebuilding it.
@@ -231,6 +257,49 @@ impl Database {
             });
         }
         Ok(())
+    }
+}
+
+/// An immutable, versioned view of a [`Database`] at a single point in
+/// time — the unit of the MVCC read path.
+///
+/// Produced by [`Database::snapshot`]. The view is pinned behind an
+/// [`Arc`]: cloning a snapshot is O(1), and a reader holding one can
+/// run queries (or stage 1–3 constraint judgments) concurrently with a
+/// writer mutating the source database, without locks and without ever
+/// seeing a torn state. [`DatabaseSnapshot::version`] reports the
+/// [`Database::version`] counter at capture time, so two snapshots with
+/// equal versions taken from the same lineage saw identical contents.
+#[derive(Clone, Debug)]
+pub struct DatabaseSnapshot {
+    version: u64,
+    inner: Arc<Database>,
+}
+
+impl DatabaseSnapshot {
+    /// The [`Database::version`] the snapshot was captured at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The pinned database view. [`DatabaseSnapshot`] also derefs to
+    /// [`Database`], so read accessors can be called directly.
+    pub fn database(&self) -> &Database {
+        &self.inner
+    }
+
+    /// Does `db` still carry the version this snapshot pinned? A `true`
+    /// answer means no committed mutation (and no conservative
+    /// write-access grant) has happened since the capture.
+    pub fn is_current(&self, db: &Database) -> bool {
+        self.version == db.version
+    }
+}
+
+impl std::ops::Deref for DatabaseSnapshot {
+    type Target = Database;
+    fn deref(&self) -> &Database {
+        &self.inner
     }
 }
 
@@ -355,6 +424,48 @@ mod tests {
         assert!(db.version() > snap.version());
         snap.insert("dept", tuple!["pen"]).unwrap();
         assert!(snap.version() > v);
+    }
+
+    #[test]
+    fn snapshot_pins_contents_and_version() {
+        let mut db = emp_db();
+        db.insert("dept", tuple!["toy"]).unwrap();
+        let snap = db.snapshot();
+        assert_eq!(snap.version(), db.version());
+        assert!(snap.is_current(&db));
+        // Mutations after the capture are invisible through the pin.
+        db.insert("dept", tuple!["pen"]).unwrap();
+        db.delete("dept", &tuple!["toy"]).unwrap();
+        assert!(!snap.is_current(&db));
+        assert!(snap.relation("dept").unwrap().contains(&tuple!["toy"]));
+        assert!(!snap.relation("dept").unwrap().contains(&tuple!["pen"]));
+        // Snapshot clones are cheap Arc bumps that share the same pin.
+        let other = snap.clone();
+        assert_eq!(other.version(), snap.version());
+        assert!(other
+            .database()
+            .relation("dept")
+            .unwrap()
+            .shares_storage_with(snap.database().relation("dept").unwrap()));
+    }
+
+    #[test]
+    fn snapshot_readable_from_other_threads() {
+        let mut db = emp_db();
+        db.insert("dept", tuple!["toy"]).unwrap();
+        let snap = db.snapshot();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = snap.clone();
+                std::thread::spawn(move || {
+                    assert!(s.relation("dept").unwrap().contains(&tuple!["toy"]));
+                    s.version()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), snap.version());
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ mod update;
 pub mod wal;
 pub mod wirefmt;
 
-pub use database::{Database, Locality, RelationDecl, StorageError};
+pub use database::{Database, DatabaseSnapshot, Locality, RelationDecl, StorageError};
 pub use delta::DeltaSet;
 pub use relation::{Candidates, Relation, TupleSnapshot};
 pub use tuple::Tuple;

@@ -3,12 +3,14 @@
 //!
 //! The warehouse site owns the interval table `l`; the remote site owns
 //! the forbidden points `r` and serves them over TCP. The example streams
-//! updates through a [`DistributedManager`] and demonstrates the two
+//! updates through a [`DistributedManager`] and demonstrates the three
 //! headline behaviours of the subsystem:
 //!
 //! 1. updates certified by stages 1–3 generate **zero** wire messages
-//!    (asserted against the measured transport counters), and
-//! 2. killing the remote site mid-stream degrades full-check outcomes to
+//!    (asserted against the measured transport counters),
+//! 2. a *batched* check hydrates each remote relation **once per batch**
+//!    — escalating updates share the fetch instead of repeating it — and
+//! 3. killing the remote site mid-stream degrades full-check outcomes to
 //!    `Unknown(RemoteUnavailable)` — with retries and timeouts visible in
 //!    the metrics — instead of failing the stream.
 //!
@@ -47,24 +49,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mgr.add_constraint("intervals", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")?;
 
     // --- Phase 1: locally certified updates → zero wire messages -----
-    println!("\n== phase 1: locally certified updates ==");
-    for (a, b) in [(4i64, 8i64), (3, 3), (6, 9), (5, 5)] {
-        let report = mgr.process(&Update::insert("l", tuple![a, b]))?;
+    // One batched conversation for the whole stream: the reports come
+    // back per update, and none of them touched the wire.
+    println!("\n== phase 1: locally certified updates (one batch) ==");
+    let stream: Vec<Update> = [(4i64, 8i64), (3, 3), (6, 9), (5, 5)]
+        .iter()
+        .map(|&(a, b)| Update::insert("l", tuple![a, b]))
+        .collect();
+    for (update, report) in stream.iter().zip(mgr.process_updates(&stream)?) {
         let outcome = report.outcome("intervals").unwrap();
-        println!("  insert l({a},{b}): {outcome:?}  wire: {}", report.wire);
+        println!("  {update}: {outcome:?}  wire: {}", report.wire);
         assert!(report.wire.is_zero(), "stage 1-3 outcome used the wire!");
     }
     assert!(mgr.wire_totals().is_zero());
     println!("  total wire messages: 0 (asserted)");
 
-    // --- Phase 2: a full check actually crosses the wire --------------
-    println!("\n== phase 2: full checks over TCP ==");
-    for (a, b) in [(15i64, 25i64), (30, 40)] {
-        let report = mgr.check_update(&Update::insert("l", tuple![a, b]))?;
+    // --- Phase 2: full checks share one hydration per batch -----------
+    // Both inserts escalate to stage 4, but the batched check fetches
+    // the remote `r` relation once: the fetch is attributed to the first
+    // report, and the second escalation reads the hydrated copy free.
+    println!("\n== phase 2: batched full checks over TCP ==");
+    let batch = [
+        Update::insert("l", tuple![15, 25]),
+        Update::insert("l", tuple![30, 40]),
+    ];
+    let reports = mgr.check_updates(&batch)?;
+    for (update, report) in batch.iter().zip(&reports) {
         let outcome = report.outcome("intervals").unwrap();
-        println!("  insert l({a},{b}): {outcome:?}  wire: {}", report.wire);
-        assert!(report.wire.round_trips >= 1);
+        println!("  {update}: {outcome:?}  wire: {}", report.wire);
     }
+    assert!(reports[0].wire.round_trips >= 1);
+    assert!(
+        reports[1].wire.is_zero(),
+        "second escalation must reuse the batch's hydration"
+    );
 
     // --- Phase 3: kill the remote mid-stream --------------------------
     println!("\n== phase 3: remote site killed mid-stream ==");

@@ -14,6 +14,7 @@ pub use ccpi_localtest as localtest;
 pub use ccpi_parser as parser;
 pub use ccpi_ra as ra;
 pub use ccpi_rewrite as rewrite;
+pub use ccpi_server as server;
 pub use ccpi_site as site;
 pub use ccpi_storage as storage;
 pub use ccpi_workload as workload;

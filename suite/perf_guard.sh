@@ -7,8 +7,11 @@
 # load, constraint recompilation, replay of 10k logged updates, and the
 # audited full check — and fails beyond +30% wall clock against the
 # committed BENCH_recovery.json (regenerate it with `experiments
-# --crash`). Wired into CI after the test job; run it locally before
-# committing performance-sensitive changes:
+# --crash`). A fourth lane re-runs the E13 64-client group-commit cell
+# over real TCP and fails below 70% of the committed BENCH_server.json
+# admission rate — or on any soundness-twin divergence (regenerate with
+# `experiments --server`). Wired into CI after the test job; run it
+# locally before committing performance-sensitive changes:
 #
 #   suite/perf_guard.sh
 #
