@@ -4,12 +4,16 @@
 //! Usage:
 //! ```text
 //! experiments                   # all tables
-//! experiments --table f21       # one table (f21|f41|f42|f61|examples|e1..e10)
+//! experiments --table f21       # one table (f21|f41|f42|f61|examples|e1..e10|e14)
 //! experiments --table e9 --smoke  # E9 at tiny sizes, no BENCH_joins.json
 //! experiments --table e10 --smoke # E10 at tiny sizes, no BENCH_delta.json
-//! experiments --guard           # E9 @ 10k + E10 @ 10k vs the committed
-//!                               # BENCH_joins.json / BENCH_delta.json;
-//!                               # exits nonzero on a >30% checks/sec regression
+//! experiments --table e14       # E14 compiled pre-tests vs legacy ladder;
+//!                               # writes BENCH_pretest.json
+//! experiments --table e14 --smoke # E14 at tiny sizes, no BENCH_pretest.json
+//! experiments --guard           # E9 @ 10k + E10 @ 10k + E14 @ 10k vs the
+//!                               # committed BENCH_joins.json / BENCH_delta.json
+//!                               # / BENCH_pretest.json; exits nonzero on a >30%
+//!                               # checks/sec or settled-rate regression
 //! experiments --chaos           # E11 soak: 20 seeds x 250 steps against the
 //!                               # fault-free twin; writes target/chaos_events.log
 //! experiments --chaos --smoke   # CI variant: 8 fixed seeds x 60 steps, <60 s
@@ -117,6 +121,9 @@ fn main() {
     }
     if want("e10") {
         table_e10(args.iter().any(|a| a == "--smoke"));
+    }
+    if want("e14") {
+        table_e14(args.iter().any(|a| a == "--smoke"));
     }
 }
 
@@ -772,6 +779,100 @@ fn table_e10(smoke: bool) {
     println!("\nwrote {path}");
 }
 
+/// E14 — compiled weakest-precondition pre-tests vs the legacy fixed
+/// ladder on the E6/E9 mixed stream plus an all-escalate probe tail, with
+/// the verdict-twin assertion, then one group-commit admission cell with
+/// the pipeline live in the admit thread. Writes `BENCH_pretest.json`
+/// unless running in `--smoke` mode.
+fn table_e14(smoke: bool) {
+    use ccpi_bench::pretest_bench::{measure, measure_size, FULL_SIZES};
+    use ccpi_bench::throughput::SMOKE_SIZES;
+
+    heading("E14  Compiled pre-tests vs legacy ladder (identical verdicts)");
+    println!(
+        "{:<10} {:>7} {:>9} {:>9} {:>9} {:>15} {:>15} {:>9} {:>8}",
+        "|emp|",
+        "stream",
+        "esc(old)",
+        "esc(new)",
+        "settled",
+        "legacy (µs/chk)",
+        "pipeline (µs)",
+        "speedup",
+        "diverg"
+    );
+    let print_row = |row: &ccpi_bench::pretest_bench::PretestRow| {
+        assert_eq!(
+            row.verdict_divergences, 0,
+            "pre-test pipeline diverged from the full ladder at {} tuples",
+            row.tuples
+        );
+        println!(
+            "{:<10} {:>7} {:>9} {:>9} {:>8.0}% {:>15.1} {:>15.1} {:>8.1}x {:>8}",
+            row.tuples,
+            row.stream_len,
+            row.escalations_legacy,
+            row.escalations_pipeline,
+            row.settled_fraction * 100.0,
+            row.legacy_check_us,
+            row.pipeline_check_us,
+            row.speedup,
+            row.verdict_divergences
+        );
+    };
+    if smoke {
+        for &n in &SMOKE_SIZES {
+            print_row(&measure_size(n, 12, 8));
+        }
+        println!("(--smoke: tiny sizes, no admission cell, BENCH_pretest.json not written)");
+        return;
+    }
+
+    let report = measure(&FULL_SIZES);
+    for row in &report.rows {
+        print_row(row);
+    }
+    assert_eq!(
+        report.admission.twin_divergences, 0,
+        "admission soundness twin diverged with the pipeline active"
+    );
+    println!(
+        "\nadmission cell ({} clients, {}): {:.0} admits/s, {} twin divergences",
+        report.admission.clients,
+        report.admission.mode,
+        report.admission.admissions_per_sec,
+        report.admission.twin_divergences
+    );
+
+    #[derive(serde::Serialize)]
+    struct BenchFile {
+        bench: &'static str,
+        unit: &'static str,
+        workload: &'static str,
+        label: &'static str,
+        rows: Vec<ccpi_bench::pretest_bench::PretestRow>,
+        admission: ccpi_bench::server_bench::ServerRow,
+    }
+    let file = BenchFile {
+        bench: "E14 compiled pre-tests vs legacy ladder",
+        unit: "µs per check through ConstraintManager::check_update; \
+               settled_fraction = share of previously-escalating \
+               (update, constraint) pairs settled before stage 4",
+        workload: "ccpi-workload emp generator, 50 departments, E6 constraint set; \
+                   mixed 4-kind stream + distinct all-escalate probe tail, \
+                   replayed under set_pretest_checking(false) vs the compiled \
+                   pipeline with verdict streams asserted equal; plus one \
+                   8-client group-commit E13 admission cell",
+        label: "this tree (registration-time weakest-precondition pre-tests + \
+                cost-ordered stage pipeline + per-stage timing counters)",
+        rows: report.rows,
+        admission: report.admission,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pretest.json");
+    std::fs::write(path, serde::json::to_string(&file) + "\n").unwrap();
+    println!("\nwrote {path}");
+}
+
 /// `--chaos`: the E11 soak. Runs [`ccpi_bench::chaos::soak`] over a seed
 /// range, printing one row per seed and writing every fired-fault event
 /// to `target/chaos_events.log` (uploaded as a CI artifact). Any
@@ -998,11 +1099,22 @@ fn run_server(args: &[String]) -> i32 {
     let smoke = args.iter().any(|a| a == "--smoke");
 
     heading("E13  Concurrent admission: group-commit vs per-update fsync over TCP");
+    // The full client-count matrix, and the explicit smoke cap: smoke
+    // must never inherit the full matrix (64 closed-loop TCP clients and
+    // 12.8k fsync'd updates per cell are a CI-killer), so it runs a
+    // single cell with the fleet clamped to SMOKE_MAX_CLIENTS.
+    const FULL_COUNTS: [usize; 3] = [1, 8, 64];
+    const SMOKE_MAX_CLIENTS: usize = 4;
+    let smoke_counts = [SMOKE_MAX_CLIENTS];
     let (counts, per_total, batch): (&[usize], usize, usize) = if smoke {
-        (&[4], 64, 4)
+        (&smoke_counts, 64, 4)
     } else {
-        (&[1, 8, 64], 12_800, 32)
+        (&FULL_COUNTS, 12_800, 32)
     };
+    assert!(
+        !smoke || counts.iter().all(|&c| c <= SMOKE_MAX_CLIENTS),
+        "--smoke must cap the client fleet"
+    );
     println!(
         "{:<8} {:<18} {:>6} {:>8} {:>10} {:>8} {:>8} {:>7} {:>7} {:>11} {:>7}",
         "clients",
@@ -1268,6 +1380,73 @@ fn run_guard() -> i32 {
         measured_rate / committed_rate * 100.0
     );
     failed |= measured_rate < rate_floor;
+
+    heading("PERF GUARD  E14 pre-tests @ 10k tuples vs committed BENCH_pretest.json");
+    let pre_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pretest.json");
+    let pre_text = match std::fs::read_to_string(pre_path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("cannot read {pre_path}: {e}");
+            return 2;
+        }
+    };
+    let Some(pre_row) = pre_text.find("\"tuples\":10000").map(|i| &pre_text[i..]) else {
+        println!("{pre_path}: no 10k row found");
+        return 2;
+    };
+    let (Some(committed_settled), Some(committed_pipeline_us)) = (
+        json_number_after(pre_row, "\"settled_fraction\":"),
+        json_number_after(pre_row, "\"pipeline_check_us\":"),
+    ) else {
+        println!("{pre_path}: could not parse settled_fraction / pipeline_check_us");
+        return 2;
+    };
+    // Best of two, same discipline as the lanes above. The settled rate
+    // is deterministic (same stream, same plans) but guarded at the same
+    // 70% floor so a pipeline change that silently stops settling trips
+    // the lane; divergences fail outright.
+    let a = ccpi_bench::pretest_bench::measure_size(10_000, 60, 40);
+    let b = ccpi_bench::pretest_bench::measure_size(10_000, 60, 40);
+    if a.verdict_divergences + b.verdict_divergences > 0 {
+        println!(
+            "{:<14} verdict divergences during the guard run: {} — pre-test soundness broken",
+            "pre-tests",
+            a.verdict_divergences + b.verdict_divergences
+        );
+        failed = true;
+    }
+    let measured_settled = a.settled_fraction.max(b.settled_fraction);
+    let settled_floor = committed_settled * 0.7;
+    let verdict = if measured_settled >= settled_floor {
+        "ok"
+    } else {
+        "REGRESSED"
+    };
+    println!(
+        "{:<14} measured {:>9.1}% settled  committed {:>9.1}%  (floor 70% of committed)  [{verdict}]",
+        "settled-rate",
+        measured_settled * 100.0,
+        committed_settled * 100.0
+    );
+    failed |= measured_settled < settled_floor;
+    // Same budget as the µs lanes: checks/sec dropping >30% ⇔ µs/check
+    // growing beyond committed/0.7. (Inlined rather than reusing `check`:
+    // the closure's mutable borrow of `failed` must not span the direct
+    // `failed |=` updates above.)
+    let measured_us = a.pipeline_check_us.min(b.pipeline_check_us);
+    let us_limit = committed_pipeline_us / 0.7;
+    let verdict = if measured_us <= us_limit {
+        "ok"
+    } else {
+        "REGRESSED"
+    };
+    println!(
+        "{:<14} measured {measured_us:>10.1} µs/chk  committed {committed_pipeline_us:>10.1}  \
+         ({:.0}% of committed checks/sec, floor 70%)  [{verdict}]",
+        "pipeline",
+        1e6 / measured_us / (1e6 / committed_pipeline_us) * 100.0
+    );
+    failed |= measured_us > us_limit;
 
     if failed {
         println!("\nperf guard FAILED: checks/sec regressed >30% vs the committed BENCH numbers");

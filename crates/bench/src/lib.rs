@@ -13,6 +13,7 @@ use ccpi_storage::{tuple, Database, Locality, Relation};
 pub mod chaos;
 pub mod crash;
 pub mod delta_bench;
+pub mod pretest_bench;
 pub mod server_bench;
 pub mod throughput;
 

@@ -97,6 +97,7 @@ pub fn measure_cell(clients: usize, batches: usize, batch: usize, group_commit: 
     let config = ServerConfig {
         group_commit,
         record_decisions: true,
+        ..ServerConfig::default()
     };
     let server = serve(build_store(&dir), "127.0.0.1:0", config).unwrap();
     let addr = server.addr();

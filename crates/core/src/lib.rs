@@ -49,14 +49,16 @@ pub mod active;
 pub mod distributed;
 pub mod durable;
 pub mod manager;
+pub mod pipeline;
 pub mod remote;
 pub mod report;
 
 pub use durable::{BatchResult, DurableError, DurableManager, RecoveryReport};
 pub use manager::{ConstraintManager, ManagerError};
+pub use pipeline::{Applicability, CompiledStage, CostClass, PlanShape, StageId, StagePlan};
 pub use remote::{RemoteError, RemoteSource, UnreachableRemote};
 pub use report::{
-    CheckReport, LocalTestKind, Method, Outcome, Stage4Kind, UnknownCause, WireStats,
+    CheckReport, LocalTestKind, Method, Outcome, Stage4Kind, StageTimes, UnknownCause, WireStats,
 };
 
 /// Convenient re-exports for applications.
@@ -65,12 +67,16 @@ pub mod prelude {
     pub use crate::distributed::{CostModel, SiteSplit};
     pub use crate::durable::{BatchResult, DurableError, DurableManager, RecoveryReport};
     pub use crate::manager::{ConstraintManager, ManagerError};
+    pub use crate::pipeline::{Applicability, CostClass, PlanShape, StageId};
     pub use crate::remote::{RemoteError, RemoteSource, UnreachableRemote};
     pub use crate::report::{
-        CheckReport, LocalTestKind, Method, Outcome, Stage4Kind, UnknownCause, WireStats,
+        CheckReport, LocalTestKind, Method, Outcome, Stage4Kind, StageTimes, UnknownCause,
+        WireStats,
     };
     pub use ccpi_arith::{Domain, Solver};
     pub use ccpi_ir::{Constraint, Cq, Program, Rule};
     pub use ccpi_parser::{parse_constraint, parse_cq, parse_program, parse_rule};
-    pub use ccpi_storage::{tuple, Database, DeltaSet, Locality, Relation, Tuple, Update};
+    pub use ccpi_storage::{
+        tuple, Database, DeltaSet, Locality, Relation, Tuple, Update, UpdateTemplate,
+    };
 }

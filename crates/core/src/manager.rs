@@ -1,7 +1,10 @@
 //! The constraint manager and its checking pipeline.
 
+use crate::pipeline::{Applicability, PlanShape, StageId, StagePipeline};
 use crate::remote::RemoteSource;
-use crate::report::{CheckReport, LocalTestKind, Method, Outcome, Stage4Kind, UnknownCause};
+use crate::report::{
+    CheckReport, LocalTestKind, Method, Outcome, Stage4Kind, StageTimes, UnknownCause,
+};
 use ccpi_arith::Solver;
 use ccpi_containment::subsume::subsumes;
 use ccpi_containment::thm51::PreparedUnion;
@@ -10,11 +13,15 @@ use ccpi_ir::class::{classify, ConstraintClass};
 use ccpi_ir::{Constraint, Cq};
 use ccpi_localtest::{compile_ra, extend_union, prepare_union, Cqc, IcqTest, LocalTestPlan};
 use ccpi_parser::ParseError;
-use ccpi_rewrite::independence::independent_of_update;
-use ccpi_storage::{Database, DeltaSet, Locality, Relation, StorageError, TupleSnapshot, Update};
+use ccpi_rewrite::independence::{independent_of_update, independent_of_update_rewrite};
+use ccpi_rewrite::pretest::{PreTestSet, PreVerdict};
+use ccpi_storage::{
+    Database, DeltaSet, Locality, Relation, StorageError, TupleSnapshot, Update, UpdateTemplate,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Errors from manager operations.
 #[derive(Debug)]
@@ -79,6 +86,12 @@ struct Registered {
     /// update, whether stage 4 can run from the Δ alone. Compiled once at
     /// registration — the "static monotonicity analysis" of the delta path.
     delta: DeltaPlanSet,
+    /// Compiled weakest-precondition pre-tests, one per update template
+    /// (flat constraints only — empty otherwise).
+    pretests: PreTestSet,
+    /// The data-driven cheap-stage pipeline compiled from the pre-tests,
+    /// the delta analysis and the locality declarations.
+    pipeline: StagePipeline,
     /// Stage-3 cache: the Theorem 5.2 union (this constraint's reductions
     /// plus its siblings' over the shared local relation), prepared once
     /// per relation version and probed by every subsequent check. Interior
@@ -145,11 +158,44 @@ struct Stage4Result {
     seeds: usize,
 }
 
+/// What the cheap stages concluded for one constraint, plus any reads
+/// the settling stage performed — pre-test residuals may probe
+/// remote-declared relations, and those reads are accounted exactly like
+/// the full check's.
+struct CheapOutcome {
+    outcome: Outcome,
+    tuples: usize,
+    bytes: usize,
+}
+
+impl CheapOutcome {
+    /// A conclusion that read nothing.
+    fn free(outcome: Outcome) -> CheapOutcome {
+        CheapOutcome {
+            outcome,
+            tuples: 0,
+            bytes: 0,
+        }
+    }
+}
+
+/// Runs `f`, adding its wall-clock microseconds to `acc`.
+fn timed<T>(acc: &mut f64, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let r = f();
+    *acc += t0.elapsed().as_secs_f64() * 1e6;
+    r
+}
+
+fn micros_since(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e6
+}
+
 /// Phase A of a parallel check: everything decidable without the
 /// post-update snapshot.
 enum PhaseA {
-    /// Stages 1–3 settled it.
-    Cheap(Outcome),
+    /// The cheap stages settled it.
+    Cheap(CheapOutcome),
     /// Stage 4 settled it via the verdict cache or the delta path.
     Settled(Stage4Result),
     /// Needs the shared post-update snapshot (phase B).
@@ -186,6 +232,10 @@ pub struct ConstraintManager {
     /// `Some(false)` disables the stage-4 delta path (every escalation
     /// takes the snapshot fallback) — for A/B measurement and debugging.
     delta_override: Option<bool>,
+    /// `Some(false)` disables the compiled pre-test pipeline (checks walk
+    /// the legacy subsumption → independence → local-test ladder) — for
+    /// A/B measurement; verdicts are identical.
+    pretest_override: Option<bool>,
     /// Memoized post-update snapshot (see [`PostSnapshot`]); survives
     /// across checks so repeating an update never re-clones the database.
     post_memo: Option<PostSnapshot>,
@@ -210,9 +260,34 @@ impl ConstraintManager {
             constraints: Vec::new(),
             parallel_override: None,
             delta_override: None,
+            pretest_override: None,
             post_memo: None,
             post_rebuilds: 0,
         }
+    }
+
+    /// Pins the compiled pre-test pipeline on or off; `None` restores the
+    /// default (on for every flat constraint). Disabling routes every
+    /// check through the legacy fixed-order ladder — verdicts are
+    /// identical either way; methods, read counters and timings differ.
+    pub fn set_pretest_checking(&mut self, enabled: Option<bool>) {
+        self.pretest_override = enabled;
+    }
+
+    /// Is the compiled pre-test pipeline active?
+    fn pretest_wanted(&self) -> bool {
+        self.pretest_override.unwrap_or(true)
+    }
+
+    /// The compiled plan shape for one (constraint, template) pair —
+    /// `None` for unknown names and for non-flat constraints (which keep
+    /// the legacy ladder). Inspection surface for benchmarks and tests.
+    pub fn plan_shape(&self, name: &str, template: &UpdateTemplate) -> Option<PlanShape> {
+        let reg = self.constraints.iter().find(|r| r.name == name)?;
+        if !reg.pretests.compiled() {
+            return None;
+        }
+        Some(reg.pipeline.plan(template).shape())
     }
 
     /// Pins the stage-4 delta path on or off; `None` restores the default
@@ -295,6 +370,16 @@ impl ConstraintManager {
         // decides, per future update, whether stage 4 can run from the
         // Δ alone instead of a post-update snapshot.
         let delta = DeltaPlanSet::compile(constraint.program());
+        // Compiled pre-tests and the per-template stage pipeline: which
+        // cheap stages run, in which order, for each update shape.
+        let pretests = PreTestSet::compile(&constraint);
+        let has_local_test = ra_plan.is_some() || icq.is_some() || cqc.is_some();
+        let pipeline = StagePipeline::compile(
+            &pretests,
+            &delta,
+            &|p| self.db.locality(p),
+            has_local_test,
+        );
 
         self.constraints.push(Registered {
             name: name.to_string(),
@@ -307,6 +392,8 @@ impl ConstraintManager {
             icq,
             subsumed: false,
             delta,
+            pretests,
+            pipeline,
             union_cache: Mutex::new(None),
             stage4_cache: Mutex::new(None),
         });
@@ -419,19 +506,21 @@ impl ConstraintManager {
     ) -> Result<Vec<CheckReport>, ManagerError> {
         /// Where update × constraint landed after the cheap stages.
         enum Slot {
-            Done(Outcome),
+            Done(CheapOutcome),
             Stage4,
         }
         let n = self.constraints.len();
 
-        // Pass 1, update-major: stages 1–3 and hydration. The `hydrated`
-        // map persists across the whole batch, so each remote relation is
-        // fetched at most once; the per-update wire delta attributes each
-        // fetch to the first update whose escalation needed it.
+        // Pass 1, update-major: the cheap stages and hydration. The
+        // `hydrated` map persists across the whole batch, so each remote
+        // relation is fetched at most once; the per-update wire delta
+        // attributes each fetch to the first update whose escalation
+        // needed it.
         let mut slots: Vec<Vec<Slot>> = Vec::with_capacity(updates.len());
         let mut wires = Vec::with_capacity(updates.len());
+        let mut times: Vec<StageTimes> = vec![StageTimes::default(); updates.len()];
         let mut hydrated: BTreeMap<String, bool> = BTreeMap::new();
-        for update in updates {
+        for (u, update) in updates.iter().enumerate() {
             // Successful hydrations persist for the whole batch; *failed*
             // ones are forgotten at each update boundary, so a transient
             // fault degrades the update that hit it and the next update
@@ -441,8 +530,10 @@ impl ConstraintManager {
             let stats_before = remote.as_deref().map(|r| r.wire_stats());
             let mut row = Vec::with_capacity(n);
             for i in 0..n {
-                if let Some(outcome) = self.try_cheap_stages(i, update) {
-                    row.push(Slot::Done(outcome));
+                if let Some(cheap) =
+                    self.try_cheap_stages(i, update, remote.is_some(), &mut times[u])
+                {
+                    row.push(Slot::Done(cheap));
                     continue;
                 }
                 if let Some(src) = remote.as_deref_mut() {
@@ -467,9 +558,9 @@ impl ConstraintManager {
                         reachable &= ok;
                     }
                     if !reachable {
-                        row.push(Slot::Done(Outcome::Unknown(
+                        row.push(Slot::Done(CheapOutcome::free(Outcome::Unknown(
                             UnknownCause::RemoteUnavailable,
-                        )));
+                        ))));
                         continue;
                     }
                 }
@@ -494,6 +585,7 @@ impl ConstraintManager {
                 if !matches!(row[i], Slot::Stage4) {
                     continue;
                 }
+                let t0 = Instant::now();
                 if let Some(hit) = self.stage4_probe(i, &updates[u]) {
                     stage4.insert((u, i), hit);
                 } else if self.delta_eligible(i, &deltas[u]) {
@@ -515,10 +607,12 @@ impl ConstraintManager {
                         },
                     );
                 }
+                times[u].stage4_us += micros_since(t0);
             }
             if batched.is_empty() {
                 continue;
             }
+            let t0 = Instant::now();
             let (tuples, bytes) = self.remote_cost(i);
             let ds: Vec<DeltaSet> = batched.iter().map(|&u| deltas[u].clone()).collect();
             let verdicts = self.constraints[i].delta.check_batch(&self.db, &ds);
@@ -535,6 +629,12 @@ impl ConstraintManager {
                     },
                 );
             }
+            // One timed pass decided the whole batch slice: attribute an
+            // equal share to each update it settled.
+            let share = micros_since(t0) / batched.len() as f64;
+            for &u in &batched {
+                times[u].stage4_us += share;
+            }
         }
 
         // Assemble per-update reports in registration order, then restore
@@ -545,7 +645,11 @@ impl ConstraintManager {
             for (i, slot) in row.into_iter().enumerate() {
                 let name = self.constraints[i].name.clone();
                 match slot {
-                    Slot::Done(outcome) => report.outcomes.push((name, outcome)),
+                    Slot::Done(cheap) => {
+                        report.outcomes.push((name, cheap.outcome));
+                        report.remote_tuples_read += cheap.tuples;
+                        report.remote_bytes_read += cheap.bytes;
+                    }
                     Slot::Stage4 => {
                         let r = stage4
                             .remove(&(u, i))
@@ -555,6 +659,7 @@ impl ConstraintManager {
                 }
             }
             report.wire = wires[u];
+            report.stage_times = times[u];
             reports.push(report);
         }
         if remote.is_some() {
@@ -582,17 +687,20 @@ impl ConstraintManager {
             return self.check_update_parallel(update);
         }
         let mut report = CheckReport::default();
+        let mut times = StageTimes::default();
         let stats_before = remote.as_deref().map(|r| r.wire_stats());
         // Remote relations hydrated so far this call: pred → fetch ok?
         let mut hydrated: BTreeMap<String, bool> = BTreeMap::new();
 
         let n = self.constraints.len();
         for i in 0..n {
-            // Stages 1–3 (subsumption, independence, complete local test).
-            if let Some(outcome) = self.try_cheap_stages(i, update) {
+            // The cheap stages (compiled pipeline or legacy ladder).
+            if let Some(cheap) = self.try_cheap_stages(i, update, remote.is_some(), &mut times) {
                 report
                     .outcomes
-                    .push((self.constraints[i].name.clone(), outcome));
+                    .push((self.constraints[i].name.clone(), cheap.outcome));
+                report.remote_tuples_read += cheap.tuples;
+                report.remote_bytes_read += cheap.bytes;
                 continue;
             }
 
@@ -631,9 +739,12 @@ impl ConstraintManager {
                     continue;
                 }
             }
+            let t0 = Instant::now();
             let r4 = self.full_check(i, update)?;
+            times.stage4_us += micros_since(t0);
             push_stage4(&mut report, self.constraints[i].name.clone(), r4);
         }
+        report.stage_times = times;
 
         if let Some(src) = remote.as_deref() {
             // Restore the local view: drop the hydrated remote contents.
@@ -651,33 +762,152 @@ impl ConstraintManager {
         Ok(report)
     }
 
-    /// Stages 1–3 of the escalation ladder for constraint `i`, all
-    /// read-only: §3 subsumption, §4 independence of the update, §5–6
-    /// complete local tests. `None` means escalate to a full check.
-    fn try_cheap_stages(&self, i: usize, update: &Update) -> Option<Outcome> {
-        // Stage 1 — subsumption.
-        if self.constraints[i].subsumed {
-            return Some(Outcome::Holds(Method::Subsumed));
-        }
-
-        // Stage 2 — query independent of update.
-        let others: Vec<Constraint> = self
-            .constraints
+    /// The sibling constraints of `i` (everything else, registration
+    /// order) — the `C₁ ∪ ⋯ ∪ Cₙ` of the §4 containment test.
+    fn siblings(&self, i: usize) -> Vec<Constraint> {
+        self.constraints
             .iter()
             .enumerate()
             .filter(|(j, _)| *j != i)
             .map(|(_, r)| r.constraint.clone())
-            .collect();
-        let independent = independent_of_update(
-            &self.constraints[i].constraint,
-            &others,
-            update,
-            self.solver,
-        )
-        .map(|a| a.is_yes())
-        .unwrap_or(false);
+            .collect()
+    }
+
+    /// The cheap stages for constraint `i`, all read-only. `None` means
+    /// escalate to a full check.
+    ///
+    /// Flat constraints walk their compiled [`StagePipeline`] plan for
+    /// the update's template — cheapest stage first, each stage skipped
+    /// when its declared applicability rules it out (`remote_in_play`
+    /// disables pre-tests whose residuals read remote-declared
+    /// relations: the local view holds those empty before hydration).
+    /// Non-flat constraints — and every constraint when
+    /// [`set_pretest_checking`](Self::set_pretest_checking) pins the
+    /// pipeline off — take the legacy fixed-order ladder instead.
+    fn try_cheap_stages(
+        &self,
+        i: usize,
+        update: &Update,
+        remote_in_play: bool,
+        times: &mut StageTimes,
+    ) -> Option<CheapOutcome> {
+        let reg = &self.constraints[i];
+        if !self.pretest_wanted() || !reg.pretests.compiled() {
+            return self.try_cheap_stages_legacy(i, update, times);
+        }
+        let template = UpdateTemplate::of(update);
+        for stage in reg.pipeline.plan(&template).stages() {
+            match stage.id {
+                StageId::Subsumption => {
+                    if timed(&mut times.subsumption_us, || reg.subsumed) {
+                        return Some(CheapOutcome::free(Outcome::Holds(Method::Subsumed)));
+                    }
+                }
+                StageId::Prefilter => {
+                    let v = timed(&mut times.prefilter_us, || {
+                        reg.pretests.prefilter(update, self.solver)
+                    });
+                    if v == PreVerdict::Untouched {
+                        return Some(CheapOutcome::free(Outcome::Holds(
+                            Method::IndependentOfUpdate,
+                        )));
+                    }
+                }
+                StageId::PreTest => {
+                    if stage.applicability == Applicability::SingleSiteOnly && remote_in_play {
+                        continue;
+                    }
+                    let eval = timed(&mut times.pretest_us, || {
+                        reg.pretests.eval(&self.db, update, self.solver, &|p| {
+                            self.db.locality(p) == Some(Locality::Remote)
+                        })
+                    });
+                    let outcome = match eval.verdict {
+                        PreVerdict::Untouched => Outcome::Holds(Method::IndependentOfUpdate),
+                        PreVerdict::Holds => Outcome::Holds(Method::PreTest),
+                        PreVerdict::Violated => Outcome::Violated,
+                        // Reads performed before the open host surfaced
+                        // are not charged — the full check re-derives the
+                        // verdict and charges its own remote cost.
+                        PreVerdict::Escalate => continue,
+                    };
+                    return Some(CheapOutcome {
+                        outcome,
+                        tuples: eval.tuples_read as usize,
+                        bytes: eval.bytes_read as usize,
+                    });
+                }
+                StageId::Independence => {
+                    // The compiled prefilter already ran (it precedes this
+                    // stage in every plan), so only the rewrite +
+                    // containment half remains.
+                    let independent = timed(&mut times.independence_us, || {
+                        independent_of_update_rewrite(
+                            &reg.constraint,
+                            &self.siblings(i),
+                            update,
+                            self.solver,
+                        )
+                        .map(|a| a.is_yes())
+                        .unwrap_or(false)
+                    });
+                    if independent {
+                        return Some(CheapOutcome::free(Outcome::Holds(
+                            Method::IndependentOfUpdate,
+                        )));
+                    }
+                }
+                StageId::LocalTest => {
+                    // Statically gated: the delta-seeded stage 4 decides
+                    // this template exactly in O(|Δ|) with zero wire cost
+                    // — unless the delta path is pinned off at runtime.
+                    if stage.delta_gated && self.delta_override.unwrap_or(true) {
+                        continue;
+                    }
+                    let Update::Insert { pred, tuple } = update else {
+                        continue;
+                    };
+                    let kind = timed(&mut times.local_test_us, || {
+                        self.try_local_test(i, pred.as_str(), tuple)
+                    });
+                    if let Some(kind) = kind {
+                        return Some(CheapOutcome::free(Outcome::Holds(Method::LocalTest(kind))));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The fixed-order ladder of earlier revisions: §3 subsumption, §4
+    /// independence of the update, §5–6 complete local tests. Used for
+    /// non-flat constraints and when the pre-test pipeline is pinned off.
+    fn try_cheap_stages_legacy(
+        &self,
+        i: usize,
+        update: &Update,
+        times: &mut StageTimes,
+    ) -> Option<CheapOutcome> {
+        // Stage 1 — subsumption.
+        if timed(&mut times.subsumption_us, || self.constraints[i].subsumed) {
+            return Some(CheapOutcome::free(Outcome::Holds(Method::Subsumed)));
+        }
+
+        // Stage 2 — query independent of update.
+        let independent = timed(&mut times.independence_us, || {
+            independent_of_update(
+                &self.constraints[i].constraint,
+                &self.siblings(i),
+                update,
+                self.solver,
+            )
+            .map(|a| a.is_yes())
+            .unwrap_or(false)
+        });
         if independent {
-            return Some(Outcome::Holds(Method::IndependentOfUpdate));
+            return Some(CheapOutcome::free(Outcome::Holds(
+                Method::IndependentOfUpdate,
+            )));
         }
 
         // Stage 3 — complete local test (insertions into the constraint's
@@ -689,8 +919,11 @@ impl ConstraintManager {
         // escalate directly.
         if let Update::Insert { pred, tuple } = update {
             if !self.stage4_beats_local_test(i, update) {
-                if let Some(kind) = self.try_local_test(i, pred.as_str(), tuple) {
-                    return Some(Outcome::Holds(Method::LocalTest(kind)));
+                let kind = timed(&mut times.local_test_us, || {
+                    self.try_local_test(i, pred.as_str(), tuple)
+                });
+                if let Some(kind) = kind {
+                    return Some(CheapOutcome::free(Outcome::Holds(Method::LocalTest(kind))));
                 }
             }
         }
@@ -739,7 +972,7 @@ impl ConstraintManager {
     fn check_update_parallel(&mut self, update: &Update) -> Result<CheckReport, ManagerError> {
         let n = self.constraints.len();
         let delta = DeltaSet::from_update(update);
-        let phase_a: Vec<PhaseA> = std::thread::scope(|scope| {
+        let phase_a: Vec<(PhaseA, StageTimes)> = std::thread::scope(|scope| {
             let this = &*self;
             let delta = &delta;
             let handles: Vec<_> = (0..n)
@@ -750,15 +983,20 @@ impl ConstraintManager {
                 .map(|h| h.join().expect("constraint checker thread panicked"))
                 .collect()
         });
+        let mut times = StageTimes::default();
+        for (_, t) in &phase_a {
+            times.absorb(t);
+        }
 
         let pending: Vec<usize> = phase_a
             .iter()
             .enumerate()
-            .filter(|(_, r)| matches!(r, PhaseA::NeedsSnapshot))
+            .filter(|(_, (r, _))| matches!(r, PhaseA::NeedsSnapshot))
             .map(|(i, _)| i)
             .collect();
         let mut snapshot_results: BTreeMap<usize, Stage4Result> = BTreeMap::new();
         if !pending.is_empty() {
+            let t0 = Instant::now();
             self.ensure_post_snapshot(update)?;
             let after = &self.post_memo.as_ref().expect("just built").after;
             let this = &*self;
@@ -790,13 +1028,18 @@ impl ConstraintManager {
                     },
                 );
             }
+            times.stage4_us += micros_since(t0);
         }
 
         let mut report = CheckReport::default();
-        for (i, a) in phase_a.into_iter().enumerate() {
+        for (i, (a, _)) in phase_a.into_iter().enumerate() {
             let name = self.constraints[i].name.clone();
             match a {
-                PhaseA::Cheap(outcome) => report.outcomes.push((name, outcome)),
+                PhaseA::Cheap(cheap) => {
+                    report.outcomes.push((name, cheap.outcome));
+                    report.remote_tuples_read += cheap.tuples;
+                    report.remote_bytes_read += cheap.bytes;
+                }
                 PhaseA::Settled(r) => push_stage4(&mut report, name, r),
                 PhaseA::NeedsSnapshot => {
                     let r = snapshot_results
@@ -806,32 +1049,42 @@ impl ConstraintManager {
                 }
             }
         }
+        report.stage_times = times;
         Ok(report)
     }
 
-    /// One constraint's snapshot-free ladder: stages 1–3, then the
+    /// One constraint's snapshot-free ladder: the cheap stages, then the
     /// stage-4 verdict cache, then the seeded delta path. Read-only up to
-    /// this constraint's own cache slot.
-    fn check_one_phase_a(&self, i: usize, update: &Update, delta: &DeltaSet) -> PhaseA {
-        if let Some(outcome) = self.try_cheap_stages(i, update) {
-            return PhaseA::Cheap(outcome);
+    /// this constraint's own cache slot. The parallel path never runs
+    /// with a remote source, so pre-tests are never suppressed here.
+    fn check_one_phase_a(&self, i: usize, update: &Update, delta: &DeltaSet) -> (PhaseA, StageTimes) {
+        let mut times = StageTimes::default();
+        if let Some(cheap) = self.try_cheap_stages(i, update, false, &mut times) {
+            return (PhaseA::Cheap(cheap), times);
         }
+        let t0 = Instant::now();
         if let Some(hit) = self.stage4_probe(i, update) {
-            return PhaseA::Settled(hit);
+            times.stage4_us += micros_since(t0);
+            return (PhaseA::Settled(hit), times);
         }
         if self.delta_eligible(i, delta) {
             let (tuples, bytes) = self.remote_cost(i);
             let v = self.constraints[i].delta.check(&self.db, delta);
             self.stage4_store(i, update, v.violated, tuples, bytes);
-            return PhaseA::Settled(Stage4Result {
-                outcome: verdict_outcome(v.violated),
-                tuples,
-                bytes,
-                kind: Stage4Kind::DeltaSeeded,
-                seeds: v.seeds_joined,
-            });
+            times.stage4_us += micros_since(t0);
+            return (
+                PhaseA::Settled(Stage4Result {
+                    outcome: verdict_outcome(v.violated),
+                    tuples,
+                    bytes,
+                    kind: Stage4Kind::DeltaSeeded,
+                    seeds: v.seeds_joined,
+                }),
+                times,
+            );
         }
-        PhaseA::NeedsSnapshot
+        times.stage4_us += micros_since(t0);
+        (PhaseA::NeedsSnapshot, times)
     }
 
     /// Remote tuples/bytes a full check of constraint `i` consults: every
@@ -1386,6 +1639,8 @@ mod tests {
     #[test]
     fn uncovered_but_unviolated_insert_passes_full_check() {
         let mut mgr = intervals_mgr();
+        // On the legacy ladder the uncovered insert escalates to stage 4.
+        mgr.set_pretest_checking(Some(false));
         let report = mgr
             .check_update(&Update::insert("l", tuple![15, 25]))
             .unwrap();
@@ -1394,6 +1649,35 @@ mod tests {
             Some(Outcome::Holds(Method::FullCheck))
         ));
         assert_eq!(report.full_checks, 1);
+    }
+
+    #[test]
+    fn pretest_settles_uncovered_inserts_without_a_full_check() {
+        let mut mgr = intervals_mgr();
+        // Same uncovered insert as above, compiled pipeline on (the
+        // default): the pre-test's filtered scan of `r` (empty) settles
+        // the check with zero full checks.
+        let report = mgr
+            .check_update(&Update::insert("l", tuple![15, 25]))
+            .unwrap();
+        assert!(matches!(
+            report.outcome("intervals"),
+            Some(Outcome::Holds(Method::PreTest))
+        ));
+        assert_eq!(report.full_checks, 0);
+        assert!(report.stage_times.pretest_us > 0.0);
+
+        // The plan shapes the pipeline compiled for `intervals`.
+        assert_eq!(
+            mgr.plan_shape("intervals", &UpdateTemplate::insert("l")),
+            Some(crate::pipeline::PlanShape::FullLadder),
+            "the scan residual reads remote r"
+        );
+        assert_eq!(
+            mgr.plan_shape("intervals", &UpdateTemplate::delete("l")),
+            Some(crate::pipeline::PlanShape::PrefilterOnly),
+            "deletes from a positively-read relation cannot violate"
+        );
     }
 
     #[test]
@@ -1519,6 +1803,9 @@ mod tests {
     #[test]
     fn process_insert_extends_the_union_cache() {
         let mut mgr = siblings_mgr(&[]);
+        // The union cache sits behind the stage-3 containment test; the
+        // compiled pre-tests would settle these inserts first.
+        mgr.set_pretest_checking(Some(false));
         // Build `a`'s cache over the empty relation: nothing covers [5,8],
         // so this escalates (and holds only because `r` is empty).
         let r = mgr
@@ -1549,6 +1836,8 @@ mod tests {
     #[test]
     fn process_delete_invalidates_the_union_cache() {
         let mut mgr = siblings_mgr(&[(3, 6)]);
+        // Same reason as the insert variant: reach the union cache.
+        mgr.set_pretest_checking(Some(false));
         // Warm `a`'s cache: [5,8] covered via sibling `b`'s [5,10].
         let r = mgr
             .check_update(&Update::insert("l", tuple![5, 8]))
@@ -1779,6 +2068,9 @@ mod tests {
     fn parallel_checking_leaves_the_database_untouched() {
         let mut mgr = emp_mgr();
         mgr.set_parallel_checking(Some(true));
+        // Force the escalations this test is about: with pre-tests on,
+        // every emp insert settles before stage 4.
+        mgr.set_pretest_checking(Some(false));
         let before = mgr.database().total_tuples();
         let report = mgr
             .check_update(&Update::insert("emp", tuple!["dave", "ghost", 50]))
@@ -1820,6 +2112,9 @@ mod tests {
     fn delta_path_decides_monotone_escalations_without_a_snapshot() {
         let mut mgr = emp_mgr();
         mgr.set_parallel_checking(Some(false));
+        // This test exercises the stage-4 delta path; the compiled
+        // pre-tests would settle these updates before it.
+        mgr.set_pretest_checking(Some(false));
         // An uncovered emp insert escalates all three constraints; every
         // body is positive in emp, so all three ride the delta path.
         let u = Update::insert("emp", tuple!["dave", "ghost", 50]);
@@ -1860,6 +2155,10 @@ mod tests {
     fn post_update_snapshot_is_memoized_on_update_identity() {
         let mut mgr = emp_mgr();
         mgr.set_parallel_checking(Some(false));
+        // Deleting a department settles via the exact pre-test (a local
+        // emp scan) when the pipeline is on; this test is about the
+        // snapshot fallback, so keep the legacy ladder.
+        mgr.set_pretest_checking(Some(false));
         // Deleting a department can *create* referential violations —
         // a non-monotone case, so stage 4 takes the snapshot fallback.
         let u = Update::delete("dept", tuple!["sales"]);
@@ -2032,8 +2331,70 @@ mod proptests {
         ]
     }
 
+    /// A pool of flat denial constraints mixing negation and arithmetic
+    /// over the employee schema. Every subset holds on the empty
+    /// database, so streams grown through admission keep the standing
+    /// assumption invariant.
+    const POOL: &[(&str, &str)] = &[
+        ("referential", "panic :- emp(E,D,S) & not dept(D)."),
+        ("floor", "panic :- emp(E,D,S) & salRange(D,L,H) & S < L."),
+        ("ceiling", "panic :- emp(E,D,S) & salRange(D,L,H) & S > H."),
+        ("non-negative", "panic :- emp(E,D,S) & S < 0."),
+        ("one-salary", "panic :- emp(E,D1,S1) & emp(E,D2,S2) & S1 < S2."),
+        ("sane-range", "panic :- salRange(D,L,H) & H < L."),
+        ("ranged-dept", "panic :- salRange(D,L,H) & not dept(D)."),
+    ];
+
+    /// Twin managers over the masked constraint subset: one on the
+    /// compiled pre-test pipeline (the default), one pinned to the
+    /// legacy ladder.
+    fn pool_managers(mask: u8) -> (ConstraintManager, ConstraintManager) {
+        let mut db = Database::new();
+        db.declare("emp", 3, Locality::Local).unwrap();
+        db.declare("dept", 1, Locality::Remote).unwrap();
+        db.declare("salRange", 3, Locality::Remote).unwrap();
+        let mut fast = ConstraintManager::new(db.clone());
+        let mut slow = ConstraintManager::new(db);
+        slow.set_pretest_checking(Some(false));
+        for (i, (name, src)) in POOL.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                fast.add_constraint(name, src).unwrap();
+                slow.add_constraint(name, src).unwrap();
+            }
+        }
+        (fast, slow)
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(200))]
+
+        /// The compiled pre-test pipeline reaches exactly the verdicts
+        /// the full escalation ladder reaches, on random subsets of
+        /// denial constraints × random update streams grown through
+        /// admission. Methods and read accounting legitimately differ
+        /// between the two ladders; holds/violated must not.
+        #[test]
+        fn pretest_pipeline_matches_the_legacy_ladder(
+            mask in 1u8..128,
+            updates in prop::collection::vec(update_strategy(), 1..12),
+        ) {
+            let (mut fast, mut slow) = pool_managers(mask);
+            for u in &updates {
+                let a = fast.check_update(u).unwrap();
+                let b = slow.check_update(u).unwrap();
+                let va: Vec<(String, bool)> =
+                    a.outcomes.iter().map(|(n, o)| (n.clone(), o.holds())).collect();
+                let vb: Vec<(String, bool)> =
+                    b.outcomes.iter().map(|(n, o)| (n.clone(), o.holds())).collect();
+                prop_assert_eq!(va, vb, "verdicts diverged on {:?}", u);
+                // Only admitted updates land, on both sides alike — the
+                // pre-test's Holds leans on the standing assumption.
+                if a.all_hold() {
+                    fast.apply_update(u).unwrap();
+                    slow.apply_update(u).unwrap();
+                }
+            }
+        }
 
         /// `check_updates` of N updates ≡ N `check_update` calls, on the
         /// employee constraint set (the E6 workload's), across every

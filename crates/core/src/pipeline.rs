@@ -1,0 +1,430 @@
+//! The compiled stage pipeline: which cheap ladder stages run, in which
+//! order, for one (constraint, update-template) pair.
+//!
+//! Earlier revisions hard-coded the ladder order in `try_cheap_stages`:
+//! §3 subsumption, then the §4 independence test, then the §5–6 local
+//! tests, then stage 4. Most of that order is knowable at *registration*
+//! time from the shape of the update alone — which body occurrences a
+//! `+p(t̄)`/`-p(t̄)` can enter, what the compiled pre-test's residual
+//! costs, whether the residual reads remote relations. This module turns
+//! the ladder into data:
+//!
+//! * a [`CompiledStage`] is one pluggable stage declaring *what it is*
+//!   ([`StageId`]), *what it costs* ([`CostClass`]) and *when it may
+//!   run* ([`Applicability`]);
+//! * a [`StagePlan`] is the ordered stage list compiled for one
+//!   [`UpdateTemplate`], sorted cheapest-first (stable on the paper's
+//!   ladder order within a cost class);
+//! * a [`StagePipeline`] holds one plan per template, compiled once at
+//!   registration from the constraint's [`PreTestSet`], its
+//!   [`DeltaPlanSet`] and the database's locality declarations.
+//!
+//! Three plan shapes fall out of the pre-test's residual classes:
+//!
+//! | shape | stages | when |
+//! |---|---|---|
+//! | [`PlanShape::PrefilterOnly`] | subsumption, prefilter | no body occurrence can host the template — the prefilter settles every such update as untouched |
+//! | [`PlanShape::PreTestExact`] | subsumption, pre-test | every host is decisive (verdict / ground probe / filtered scan) and the residual reads only local relations — the pre-test is an exact, zero-wire decision procedure |
+//! | [`PlanShape::FullLadder`] | subsumption, prefilter, local test, independence, pre-test | the residual may escalate or reads remote relations — the symbolic stages keep their chance to certify without any read at all, and the pre-test runs last as the cheap alternative to a full check |
+//!
+//! The manager walks the plan in order and escalates to stage 4 when no
+//! stage settles the update.
+
+use ccpi_datalog::DeltaPlanSet;
+use ccpi_rewrite::pretest::{PreTestSet, ResidualClass};
+use ccpi_storage::{Locality, UpdateTemplate};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identity of one pluggable cheap stage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StageId {
+    /// §3: the constraint is subsumed by its siblings.
+    Subsumption,
+    /// Compiled host filtering: unification with every hosting
+    /// occurrence, grounded comparisons, arithmetic satisfiability — the
+    /// §4 independence answer for free, with zero reads.
+    Prefilter,
+    /// Compiled pre-test residual evaluation (verdict, ground probes, or
+    /// one filtered scan through the Δ-adjusted post-view).
+    PreTest,
+    /// §4: the rewrite + containment independence test.
+    Independence,
+    /// §5–6: complete local tests (RA plan, interval, containment).
+    LocalTest,
+}
+
+impl StageId {
+    /// The paper's ladder position — the stable tiebreak when two stages
+    /// declare the same cost class.
+    fn ladder_rank(self) -> u8 {
+        match self {
+            StageId::Subsumption => 0,
+            StageId::Prefilter => 1,
+            StageId::Independence => 2,
+            StageId::LocalTest => 3,
+            StageId::PreTest => 4,
+        }
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StageId::Subsumption => "subsumption",
+            StageId::Prefilter => "prefilter",
+            StageId::PreTest => "pre-test",
+            StageId::Independence => "independence",
+            StageId::LocalTest => "local-test",
+        })
+    }
+}
+
+/// The static cost class a compiled stage declares. Plans run
+/// cheapest-first; the currency is the paper's — remote reads dominate
+/// everything local, symbolic containment work dominates scans.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum CostClass {
+    /// O(1): a flag or a handful of ground comparisons.
+    Constant,
+    /// Compiled unification plus a bounded number of index probes.
+    Probes,
+    /// One filtered scan of a single local relation.
+    Scan,
+    /// Symbolic work: rewrite construction, containment, union caches.
+    Symbolic,
+    /// The stage reads remote-declared relations — cheaper than a full
+    /// check, but the only cheap stage that costs wire traffic.
+    RemoteReads,
+}
+
+impl fmt::Display for CostClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CostClass::Constant => "constant",
+            CostClass::Probes => "probes",
+            CostClass::Scan => "scan",
+            CostClass::Symbolic => "symbolic",
+            CostClass::RemoteReads => "remote-reads",
+        })
+    }
+}
+
+/// When a compiled stage may run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Applicability {
+    /// Every check.
+    Always,
+    /// Insertions only (the §5–6 local tests certify inserts into the
+    /// constraint's local relation).
+    InsertOnly,
+    /// Only when no [`RemoteSource`](crate::remote::RemoteSource) is in
+    /// play: the stage reads relations whose live contents are remote,
+    /// and the local view holds them empty before hydration.
+    SingleSiteOnly,
+}
+
+/// One pluggable stage, compiled for a specific template.
+#[derive(Clone, Copy, Debug)]
+pub struct CompiledStage {
+    /// Which stage this is.
+    pub id: StageId,
+    /// Its declared cost class for this template.
+    pub cost: CostClass,
+    /// When it may run.
+    pub applicability: Applicability,
+    /// The delta-seeded stage 4 statically beats this stage for the
+    /// template (decides exactly in O(|Δ|) with zero wire cost), so the
+    /// stage is skipped unless delta checking is pinned off. Only ever
+    /// set on [`StageId::LocalTest`].
+    pub delta_gated: bool,
+}
+
+impl CompiledStage {
+    fn new(id: StageId, cost: CostClass) -> CompiledStage {
+        CompiledStage {
+            id,
+            cost,
+            applicability: Applicability::Always,
+            delta_gated: false,
+        }
+    }
+}
+
+/// Which design point a template's plan compiled to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlanShape {
+    /// No occurrence hosts the template: prefilter settles everything.
+    PrefilterOnly,
+    /// The pre-test is exact and reads only local relations: it replaces
+    /// the symbolic stages outright.
+    PreTestExact,
+    /// The pre-test may escalate or costs remote reads: the full cheap
+    /// ladder runs, pre-test last.
+    FullLadder,
+}
+
+impl fmt::Display for PlanShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlanShape::PrefilterOnly => "prefilter-only",
+            PlanShape::PreTestExact => "pre-test-exact",
+            PlanShape::FullLadder => "full-ladder",
+        })
+    }
+}
+
+/// The ordered cheap-stage list compiled for one update template.
+#[derive(Clone, Debug)]
+pub struct StagePlan {
+    shape: PlanShape,
+    stages: Vec<CompiledStage>,
+}
+
+impl StagePlan {
+    /// Sorts the stages cheapest-first, stable on ladder order within a
+    /// cost class — the "data-driven ordering" the pipeline promises.
+    fn new(shape: PlanShape, mut stages: Vec<CompiledStage>) -> StagePlan {
+        stages.sort_by_key(|s| (s.cost, s.id.ladder_rank()));
+        StagePlan { shape, stages }
+    }
+
+    /// The stages, in execution order.
+    pub fn stages(&self) -> &[CompiledStage] {
+        &self.stages
+    }
+
+    /// The compiled shape (for inspection and tests).
+    pub fn shape(&self) -> PlanShape {
+        self.shape
+    }
+}
+
+/// One [`StagePlan`] per update template, compiled at registration.
+#[derive(Clone, Debug)]
+pub struct StagePipeline {
+    plans: BTreeMap<UpdateTemplate, StagePlan>,
+    /// Plan for templates over predicates the constraint never reads:
+    /// the prefilter answers *untouched* immediately.
+    fallback: StagePlan,
+}
+
+impl StagePipeline {
+    /// Compiles a plan for every template of `pretests` (empty for
+    /// non-flat constraints — the manager keeps those on the legacy
+    /// ladder). `locality` answers from the database's declarations;
+    /// `has_local_test` says whether the constraint compiled any §5–6
+    /// artifact at all (no point scheduling a stage that cannot fire).
+    pub fn compile(
+        pretests: &PreTestSet,
+        delta: &DeltaPlanSet,
+        locality: &dyn Fn(&str) -> Option<Locality>,
+        has_local_test: bool,
+    ) -> StagePipeline {
+        // The seeded templates cover exactly the constraint's EDB
+        // predicates, so "does the constraint read any remote relation"
+        // falls out of the key set.
+        let all_local = pretests
+            .templates()
+            .all(|(t, _)| locality(t.pred.as_str()) != Some(Locality::Remote));
+        let mut plans = BTreeMap::new();
+        for (template, pre) in pretests.templates() {
+            let class = pre.residual_class();
+            let reads_remote = pre
+                .reads()
+                .iter()
+                .any(|p| locality(p.as_str()) == Some(Locality::Remote));
+            let plan = if class == ResidualClass::Untouchable {
+                prefilter_only()
+            } else if class <= ResidualClass::FilteredScan && !reads_remote {
+                StagePlan::new(
+                    PlanShape::PreTestExact,
+                    vec![
+                        CompiledStage::new(StageId::Subsumption, CostClass::Constant),
+                        CompiledStage::new(StageId::PreTest, pretest_cost(class, false)),
+                    ],
+                )
+            } else {
+                let mut stages = vec![
+                    CompiledStage::new(StageId::Subsumption, CostClass::Constant),
+                    CompiledStage::new(StageId::Prefilter, CostClass::Probes),
+                    CompiledStage::new(StageId::Independence, CostClass::Symbolic),
+                    CompiledStage {
+                        id: StageId::PreTest,
+                        cost: pretest_cost(class, reads_remote),
+                        applicability: if reads_remote {
+                            Applicability::SingleSiteOnly
+                        } else {
+                            Applicability::Always
+                        },
+                        delta_gated: false,
+                    },
+                ];
+                if template.insert && has_local_test {
+                    stages.push(CompiledStage {
+                        id: StageId::LocalTest,
+                        cost: CostClass::Scan,
+                        applicability: Applicability::InsertOnly,
+                        delta_gated: all_local && delta.template_eligible(template),
+                    });
+                }
+                StagePlan::new(PlanShape::FullLadder, stages)
+            };
+            plans.insert(template.clone(), plan);
+        }
+        StagePipeline {
+            plans,
+            fallback: prefilter_only(),
+        }
+    }
+
+    /// The plan for `template` — the fallback (prefilter-only) when the
+    /// constraint never reads the predicate.
+    pub fn plan(&self, template: &UpdateTemplate) -> &StagePlan {
+        self.plans.get(template).unwrap_or(&self.fallback)
+    }
+}
+
+fn prefilter_only() -> StagePlan {
+    StagePlan::new(
+        PlanShape::PrefilterOnly,
+        vec![
+            CompiledStage::new(StageId::Subsumption, CostClass::Constant),
+            CompiledStage::new(StageId::Prefilter, CostClass::Probes),
+        ],
+    )
+}
+
+/// The pre-test stage's cost class for a residual class.
+fn pretest_cost(class: ResidualClass, reads_remote: bool) -> CostClass {
+    if reads_remote {
+        return CostClass::RemoteReads;
+    }
+    match class {
+        ResidualClass::Untouchable | ResidualClass::Verdict => CostClass::Constant,
+        ResidualClass::GroundProbe => CostClass::Probes,
+        ResidualClass::FilteredScan => CostClass::Scan,
+        ResidualClass::Open => CostClass::Symbolic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccpi_parser::parse_constraint;
+
+    fn emp_locality(pred: &str) -> Option<Locality> {
+        match pred {
+            "emp" => Some(Locality::Local),
+            "dept" | "salRange" => Some(Locality::Remote),
+            _ => None,
+        }
+    }
+
+    fn pipeline_for(
+        src: &str,
+        locality: &dyn Fn(&str) -> Option<Locality>,
+        has_local_test: bool,
+    ) -> StagePipeline {
+        let c = parse_constraint(src).unwrap();
+        let pretests = PreTestSet::compile(&c);
+        let delta = DeltaPlanSet::compile(c.program());
+        StagePipeline::compile(&pretests, &delta, locality, has_local_test)
+    }
+
+    fn ids(plan: &StagePlan) -> Vec<StageId> {
+        plan.stages().iter().map(|s| s.id).collect()
+    }
+
+    #[test]
+    fn referential_compiles_the_three_shapes() {
+        // Negation in the body means no §5 form compiles.
+        let p = pipeline_for("panic :- emp(E,D,S) & not dept(D).", &emp_locality, false);
+        // +emp: residual probes remote dept → the full ladder, pre-test
+        // last (it is the only cheap stage that costs wire reads).
+        let plan = p.plan(&UpdateTemplate::insert("emp"));
+        assert_eq!(plan.shape(), PlanShape::FullLadder);
+        assert_eq!(
+            ids(plan),
+            vec![
+                StageId::Subsumption,
+                StageId::Prefilter,
+                StageId::Independence,
+                StageId::PreTest,
+            ],
+        );
+        let pretest = plan.stages().last().unwrap();
+        assert_eq!(pretest.cost, CostClass::RemoteReads);
+        assert_eq!(pretest.applicability, Applicability::SingleSiteOnly);
+
+        // -emp / +dept: no occurrence can host → prefilter settles.
+        for t in [UpdateTemplate::delete("emp"), UpdateTemplate::insert("dept")] {
+            assert_eq!(p.plan(&t).shape(), PlanShape::PrefilterOnly, "{t}");
+        }
+
+        // -dept: hosted at the negated occurrence, residual is one
+        // filtered scan of *local* emp — exact, zero wire: pre-test
+        // replaces the symbolic stages outright.
+        let plan = p.plan(&UpdateTemplate::delete("dept"));
+        assert_eq!(plan.shape(), PlanShape::PreTestExact);
+        assert_eq!(ids(plan), vec![StageId::Subsumption, StageId::PreTest]);
+        assert_eq!(plan.stages()[1].cost, CostClass::Scan);
+    }
+
+    #[test]
+    fn insert_templates_carry_the_gated_local_test() {
+        // Two residual atoms stay free after hosting at l → Open class →
+        // full ladder; everything local and monotone → the delta path
+        // statically beats the local test.
+        let local = |_: &str| Some(Locality::Local);
+        let p = pipeline_for(
+            "panic :- l(X,Y) & a(Z,W) & b(W,Q) & X < Z.",
+            &(&local as &dyn Fn(&str) -> Option<Locality>),
+            true,
+        );
+        let plan = p.plan(&UpdateTemplate::insert("l"));
+        assert_eq!(plan.shape(), PlanShape::FullLadder);
+        assert_eq!(
+            ids(plan),
+            vec![
+                StageId::Subsumption,
+                StageId::Prefilter,
+                StageId::LocalTest,
+                StageId::Independence,
+                StageId::PreTest,
+            ],
+            "cost order puts the local scan before the symbolic stages"
+        );
+        let local_test = &plan.stages()[2];
+        assert_eq!(local_test.applicability, Applicability::InsertOnly);
+        assert!(local_test.delta_gated);
+        // The open pre-test reads nothing remote but may escalate:
+        // symbolic cost, and still after independence (ladder order
+        // breaks the tie).
+        assert_eq!(plan.stages()[4].cost, CostClass::Symbolic);
+    }
+
+    #[test]
+    fn ground_arithmetic_guards_compile_to_constant_verdicts() {
+        let local = |_: &str| Some(Locality::Local);
+        let p = pipeline_for(
+            "panic :- acct(I,A) & A < 0.",
+            &(&local as &dyn Fn(&str) -> Option<Locality>),
+            true,
+        );
+        let plan = p.plan(&UpdateTemplate::insert("acct"));
+        assert_eq!(plan.shape(), PlanShape::PreTestExact);
+        assert_eq!(plan.stages()[1].cost, CostClass::Constant);
+        assert_eq!(
+            p.plan(&UpdateTemplate::delete("acct")).shape(),
+            PlanShape::PrefilterOnly
+        );
+    }
+
+    #[test]
+    fn unread_predicates_fall_back_to_the_prefilter_plan() {
+        let p = pipeline_for("panic :- emp(E,D,S) & not dept(D).", &emp_locality, false);
+        let plan = p.plan(&UpdateTemplate::insert("widgets"));
+        assert_eq!(plan.shape(), PlanShape::PrefilterOnly);
+    }
+}

@@ -22,6 +22,11 @@ pub enum Method {
     Subsumed,
     /// §4: the update provably cannot introduce a violation.
     IndependentOfUpdate,
+    /// A compiled weakest-precondition pre-test settled the update: the
+    /// body instantiated with the Δ-tuple left a residual the pre-test
+    /// could evaluate directly (comparisons only, ground probes, or one
+    /// filtered existence scan).
+    PreTest,
     /// §5–6: a complete local test succeeded (zero remote reads).
     LocalTest(LocalTestKind),
     /// Full evaluation touching remote data.
@@ -33,6 +38,7 @@ impl fmt::Display for Method {
         match self {
             Method::Subsumed => write!(f, "subsumed"),
             Method::IndependentOfUpdate => write!(f, "independent-of-update"),
+            Method::PreTest => write!(f, "pre-test"),
             Method::LocalTest(LocalTestKind::RaPlan) => write!(f, "local-test(ra)"),
             Method::LocalTest(LocalTestKind::Interval) => write!(f, "local-test(interval)"),
             Method::LocalTest(LocalTestKind::Containment) => {
@@ -223,6 +229,52 @@ impl fmt::Display for WireStats {
     }
 }
 
+/// Wall-clock microseconds spent in each pipeline stage during one
+/// check, summed across constraints (and across worker threads on the
+/// parallel path). Attribution only: timings vary run to run, so — like
+/// the stage-4 kinds — they are excluded from [`CheckReport`] equality.
+/// E14 uses these to say *where* a check's time went.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct StageTimes {
+    /// Stage 1, the subsumption flag test.
+    pub subsumption_us: f64,
+    /// The prefilter: compiled host filtering (unification + grounded
+    /// comparisons + arith satisfiability) without residual evaluation.
+    pub prefilter_us: f64,
+    /// Compiled pre-test residual evaluation.
+    pub pretest_us: f64,
+    /// The §4 rewrite+containment independence test.
+    pub independence_us: f64,
+    /// §5–6 complete local tests.
+    pub local_test_us: f64,
+    /// Stage 4: delta-seeded / snapshot full checks and verdict-cache
+    /// probes.
+    pub stage4_us: f64,
+}
+
+impl StageTimes {
+    /// Component-wise accumulation (merging per-thread timers).
+    pub fn absorb(&mut self, other: &StageTimes) {
+        self.subsumption_us += other.subsumption_us;
+        self.prefilter_us += other.prefilter_us;
+        self.pretest_us += other.pretest_us;
+        self.independence_us += other.independence_us;
+        self.local_test_us += other.local_test_us;
+        self.stage4_us += other.stage4_us;
+    }
+
+    /// Total microseconds across all stages.
+    pub fn total_us(&self) -> f64 {
+        self.subsumption_us
+            + self.prefilter_us
+            + self.pretest_us
+            + self.independence_us
+            + self.local_test_us
+            + self.stage4_us
+    }
+}
+
 /// The result of checking one update against every registered constraint.
 #[derive(Clone, Debug, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
@@ -244,13 +296,16 @@ pub struct CheckReport {
     /// Total Δ-tuples instantiated into delta plans across all seeded
     /// stage-4 evaluations of this check.
     pub delta_tuples_joined: usize,
+    /// Microseconds spent per pipeline stage (attribution, not outcome).
+    pub stage_times: StageTimes,
 }
 
-/// Equality ignores the stage-4 *attribution* fields (`stage4_kinds`,
-/// `delta_tuples_joined`): a warm manager answering from its verdict cache
-/// and a fresh manager re-deriving the same verdict report the same check —
-/// which is exactly the equivalence the delta path guarantees and the
-/// cached-vs-fresh stream tests assert.
+/// Equality ignores the *attribution* fields (`stage4_kinds`,
+/// `delta_tuples_joined`, `stage_times`): a warm manager answering from
+/// its verdict cache and a fresh manager re-deriving the same verdict
+/// report the same check — which is exactly the equivalence the delta
+/// path guarantees and the cached-vs-fresh stream tests assert — and
+/// wall-clock timings are never comparable across runs.
 impl PartialEq for CheckReport {
     fn eq(&self, other: &Self) -> bool {
         self.outcomes == other.outcomes
@@ -300,6 +355,7 @@ impl CheckReport {
         let methods = [
             Method::Subsumed,
             Method::IndependentOfUpdate,
+            Method::PreTest,
             Method::LocalTest(LocalTestKind::RaPlan),
             Method::LocalTest(LocalTestKind::Interval),
             Method::LocalTest(LocalTestKind::Containment),
@@ -467,6 +523,43 @@ mod tests {
         assert!(json.contains("\"stage4_kinds\""), "{json}");
         assert!(json.contains("DeltaSeeded"), "{json}");
         assert!(json.contains("\"delta_tuples_joined\""), "{json}");
+        assert!(json.contains("\"stage_times\""), "{json}");
+        assert!(json.contains("\"pretest_us\""), "{json}");
+    }
+
+    #[test]
+    fn stage_timing_is_excluded_from_equality() {
+        let base = CheckReport {
+            outcomes: vec![("a".into(), Outcome::Holds(Method::PreTest))],
+            ..CheckReport::default()
+        };
+        let mut timed = base.clone();
+        timed.stage_times.prefilter_us = 1.5;
+        timed.stage_times.pretest_us = 2.5;
+        assert_eq!(base, timed, "timings are attribution, not outcome");
+        assert!(timed.stage_times.total_us() > 3.9);
+        let mut acc = StageTimes::default();
+        acc.absorb(&timed.stage_times);
+        acc.absorb(&timed.stage_times);
+        assert_eq!(acc.pretest_us, 5.0);
+    }
+
+    #[test]
+    fn pretest_method_is_counted_and_displayed() {
+        let r = CheckReport {
+            outcomes: vec![
+                ("a".into(), Outcome::Holds(Method::PreTest)),
+                ("b".into(), Outcome::Holds(Method::Subsumed)),
+            ],
+            ..CheckReport::default()
+        };
+        let hist = r.method_histogram();
+        let pretest = hist
+            .iter()
+            .find(|(m, _)| *m == Method::PreTest)
+            .map(|(_, n)| *n);
+        assert_eq!(pretest, Some(1));
+        assert!(r.to_string().contains("pre-test"));
     }
 
     #[test]

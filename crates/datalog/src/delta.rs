@@ -225,6 +225,23 @@ impl DeltaPlanSet {
     /// * **mixed** inserts and deletes across read relations fall back: a
     ///   seeded check over `pre ∪ Δ⁺` could report a violation whose
     ///   derivation uses a deleted tuple.
+    /// Registration-time eligibility for a single-update *template*
+    /// (insert/delete × predicate): whether every concrete update with
+    /// that shape takes the delta path. Eligibility never depends on the
+    /// Δ-tuple's constants — only on the polarity of the touched relation
+    /// and the program's flatness — so the per-template answer is exact
+    /// and lets the stage pipeline pick its ordering once per
+    /// (constraint, template) instead of re-deriving it per update.
+    pub fn template_eligible(&self, template: &ccpi_storage::UpdateTemplate) -> bool {
+        if !self.edb_sig.contains_key(&template.pred) {
+            return true; // unread relations cannot affect the verdict
+        }
+        if self.polarity.get(&template.pred) != Some(&Polarity::Positive) {
+            return false;
+        }
+        !template.insert || self.flat
+    }
+
     pub fn eligible(&self, delta: &DeltaSet) -> bool {
         let mut any_insert = false;
         let mut any_delete = false;
@@ -352,6 +369,32 @@ mod tests {
         assert_eq!(a.signature(), b.signature());
         let c = DeltaPlanSet::compile(&parse_program("panic :- emp(E,D,S) & S < 10.").unwrap());
         assert_ne!(a.signature(), c.signature());
+    }
+
+    #[test]
+    fn template_eligibility_matches_concrete_single_updates() {
+        use ccpi_storage::UpdateTemplate;
+        let sources = [
+            "panic :- emp(E,D,S) & not dept(D).",
+            "panic :- emp(E,D,S) & S < 10.",
+            "bad(E) :- emp(E,D,S) & not dept(D).\npanic :- emp(E,D,S) & bad(E).",
+        ];
+        for src in sources {
+            let plans = DeltaPlanSet::compile(&parse_program(src).unwrap());
+            for pred in ["emp", "dept", "salRange"] {
+                let arity = if pred == "dept" { tuple!["x"] } else { tuple!["x", "y", 1] };
+                for update in [
+                    Update::insert(pred, arity.clone()),
+                    Update::delete(pred, arity.clone()),
+                ] {
+                    assert_eq!(
+                        plans.template_eligible(&UpdateTemplate::of(&update)),
+                        plans.eligible(&DeltaSet::from_update(&update)),
+                        "{src}: {update}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -69,6 +69,19 @@ pub fn independent_of_update(
     if update_cannot_touch(c, update) {
         return Ok(Answer::Yes);
     }
+    independent_of_update_rewrite(c, others, update, solver)
+}
+
+/// The rewrite+containment half of the independence test, without the
+/// ground prefilter. The stage pipeline calls this directly: its
+/// pre-test stage has already done the host filtering (the prefilter's
+/// exact logic), so re-running it here would be pure overhead.
+pub fn independent_of_update_rewrite(
+    c: &Constraint,
+    others: &[Constraint],
+    update: &Update,
+    solver: Solver,
+) -> Result<Answer, IndependenceError> {
     let mut assumed: Vec<Constraint> = Vec::with_capacity(others.len() + 1);
     assumed.push(c.clone());
     assumed.extend_from_slice(others);

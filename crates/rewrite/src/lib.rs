@@ -15,10 +15,16 @@
 //!   classifies where the figure says;
 //! * [`independence`] — the query-independent-of-update test (Elkan
 //!   \[1990\], Levy–Sagiv \[1993\]): `C′ ⊆ C ∪ C₁ ∪ ⋯ ∪ Cₙ` via the
-//!   containment stack.
+//!   containment stack;
+//! * [`pretest`] — compiled weakest-precondition pre-tests: per
+//!   (constraint, update-template), the body instantiated with the
+//!   Δ-tuple, bound comparisons partially evaluated through
+//!   `ccpi-arith`, emitting a verdict, a residual ground query, or
+//!   "escalate" (Martinenghi, arXiv 2412.20871; cs/0603053).
 
 pub mod closure;
 pub mod independence;
+pub mod pretest;
 mod rules;
 
 pub use rules::{rewrite, RewriteStyle, RewrittenConstraint};

@@ -12,6 +12,12 @@
 //! requests (`ping`, `query`, `version`) are safe to re-issue by simply
 //! calling again.
 //!
+//! The one exception is backpressure: a
+//! [`Busy`](crate::proto::ServerResponse::Busy) reply guarantees the
+//! batch was never enqueued, so
+//! [`AdmissionClient::submit_with_backoff`] retries on Busy — and on
+//! nothing else.
+//!
 //! Integrity failures keep the site-client taxonomy: an undecodable
 //! reply, a stale nonce, a response-count mismatch, or a peer
 //! [`BadFrame`](crate::proto::ServerResponse::BadFrame) all poison the
@@ -41,6 +47,11 @@ pub enum ClientError {
     /// The server answered with an application-level error; the exchange
     /// itself was sound.
     Server(String),
+    /// The server's admission queue was full and the batch was **not**
+    /// enqueued (the payload is the server's configured queue depth).
+    /// This is the one failure where resending the identical batch is
+    /// safe — see [`AdmissionClient::submit_with_backoff`].
+    Busy(u32),
 }
 
 impl fmt::Display for ClientError {
@@ -49,6 +60,9 @@ impl fmt::Display for ClientError {
             ClientError::Transport(e) => write!(f, "transport: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
             ClientError::Server(m) => write!(f, "server: {m}"),
+            ClientError::Busy(depth) => {
+                write!(f, "server busy: admission queue full (depth {depth})")
+            }
         }
     }
 }
@@ -162,10 +176,40 @@ impl AdmissionClient {
                 updates.len()
             ))),
             Some(ServerResponse::Error { message }) => Err(ClientError::Server(message)),
+            Some(ServerResponse::Busy { depth }) => Err(ClientError::Busy(depth)),
             other => Err(ClientError::Protocol(format!(
                 "expected Admitted, got {other:?}"
             ))),
         }
+    }
+
+    /// Like [`submit`](AdmissionClient::submit), but retries — with an
+    /// exponential backoff starting at `base_delay` — when the server
+    /// answers [`ClientError::Busy`]. Busy is the **only** retried
+    /// failure: a `Busy` reply guarantees the batch never entered the
+    /// admission queue, so resending cannot double-apply. Every other
+    /// error (transport, protocol, server) is surfaced immediately, for
+    /// the same non-idempotency reasons `submit` itself never retries.
+    ///
+    /// After `max_retries` sleeps the final attempt's error (normally
+    /// `Busy`) is returned.
+    pub fn submit_with_backoff(
+        &mut self,
+        updates: &[Update],
+        max_retries: usize,
+        base_delay: Duration,
+    ) -> Result<Vec<AdmitResult>, ClientError> {
+        let mut delay = base_delay;
+        for _ in 0..max_retries {
+            match self.submit(updates) {
+                Err(ClientError::Busy(_)) => {
+                    std::thread::sleep(delay);
+                    delay = delay.saturating_mul(2);
+                }
+                other => return other,
+            }
+        }
+        self.submit(updates)
     }
 
     /// Reads a whole relation from the server's latest published MVCC
@@ -292,6 +336,94 @@ mod tests {
         });
         let err = client.ping().unwrap_err();
         assert!(matches!(err, ClientError::Protocol(_)), "{err:?}");
+    }
+
+    #[test]
+    fn busy_reply_surfaces_as_busy() {
+        let mut client = responder(|nonce, _| {
+            encode_responses(nonce, &[ServerResponse::Busy { depth: 4 }])
+        });
+        let err = client
+            .submit(&[Update::insert("acct", ccpi_storage::tuple![1, 2])])
+            .unwrap_err();
+        assert_eq!(err, ClientError::Busy(4));
+    }
+
+    #[test]
+    fn backoff_retries_busy_until_admitted() {
+        use crate::proto::AdmitResult;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = std::sync::Arc::new(AtomicUsize::new(0));
+        let seen = std::sync::Arc::clone(&calls);
+        let mut client = responder(move |nonce, _| {
+            if seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                encode_responses(nonce, &[ServerResponse::Busy { depth: 1 }])
+            } else {
+                encode_responses(
+                    nonce,
+                    &[ServerResponse::Admitted {
+                        results: vec![AdmitResult {
+                            admitted: true,
+                            violations: vec![],
+                            unknowns: vec![],
+                        }],
+                    }],
+                )
+            }
+        });
+        let results = client
+            .submit_with_backoff(
+                &[Update::insert("acct", ccpi_storage::tuple![1, 2])],
+                5,
+                Duration::from_millis(1),
+            )
+            .unwrap();
+        assert!(results[0].admitted);
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "two Busy, one Admitted");
+    }
+
+    #[test]
+    fn backoff_gives_up_after_max_retries() {
+        let mut client = responder(|nonce, _| {
+            encode_responses(nonce, &[ServerResponse::Busy { depth: 1 }])
+        });
+        let err = client
+            .submit_with_backoff(
+                &[Update::insert("acct", ccpi_storage::tuple![1, 2])],
+                2,
+                Duration::from_millis(1),
+            )
+            .unwrap_err();
+        assert_eq!(err, ClientError::Busy(1));
+    }
+
+    #[test]
+    fn backoff_never_retries_non_busy_failures() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = std::sync::Arc::new(AtomicUsize::new(0));
+        let seen = std::sync::Arc::clone(&calls);
+        let mut client = responder(move |nonce, _| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            encode_responses(
+                nonce,
+                &[ServerResponse::Error {
+                    message: "pipeline down".into(),
+                }],
+            )
+        });
+        let err = client
+            .submit_with_backoff(
+                &[Update::insert("acct", ccpi_storage::tuple![1, 2])],
+                5,
+                Duration::from_millis(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Server(_)), "{err:?}");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "a non-Busy failure must not be resent"
+        );
     }
 
     #[test]

@@ -89,6 +89,14 @@ pub enum ServerResponse {
         /// Human-readable cause.
         message: String,
     },
+    /// The admission queue is at capacity. The submission was **not**
+    /// enqueued — no part of it will be judged or logged — so resending
+    /// the identical batch after a backoff is safe (unlike a transport
+    /// failure mid-`Submit`, which may have landed).
+    Busy {
+        /// The server's configured queue depth, for diagnostics.
+        depth: u32,
+    },
 }
 
 fn encode_update(u: &Update, out: &mut Vec<u8>) {
@@ -207,6 +215,10 @@ impl ServerResponse {
                 out.push(5);
                 wirefmt::encode_str(message, out);
             }
+            ServerResponse::Busy { depth } => {
+                out.push(6);
+                wirefmt::encode_u32(*depth, out);
+            }
         }
     }
 
@@ -243,6 +255,9 @@ impl ServerResponse {
             }),
             5 => Ok(ServerResponse::BadFrame {
                 message: wirefmt::decode_str(buf, pos)?,
+            }),
+            6 => Ok(ServerResponse::Busy {
+                depth: wirefmt::decode_u32(buf, pos)?,
             }),
             t => Err(WireError::BadTag(t)),
         }
@@ -378,6 +393,7 @@ mod tests {
             ServerResponse::BadFrame {
                 message: "bad request frame: checksum".into(),
             },
+            ServerResponse::Busy { depth: 1024 },
         ]
     }
 
@@ -527,6 +543,7 @@ mod proptests {
             any::<u64>().prop_map(|version| ServerResponse::Version { version }),
             ".{0,40}".prop_map(|message| ServerResponse::Error { message }),
             ".{0,40}".prop_map(|message| ServerResponse::BadFrame { message }),
+            any::<u32>().prop_map(|depth| ServerResponse::Busy { depth }),
         ]
     }
 

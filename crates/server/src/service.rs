@@ -37,6 +37,14 @@
 //! brief `RwLock` read — they never enqueue behind the admission writer,
 //! and a batch of reads in one frame sees one consistent version.
 //!
+//! **Backpressure.** The job queue is bounded by
+//! [`ServerConfig::queue_depth`]. A `Submit` arriving at a full queue is
+//! answered with [`ServerResponse::Busy`] *without* being enqueued, so
+//! the reply is an honest "nothing happened": the client can resend the
+//! identical batch after a backoff with no double-apply risk
+//! ([`AdmissionClient::submit_with_backoff`](crate::client::AdmissionClient::submit_with_backoff)
+//! does exactly that, and retries on no other error).
+//!
 //! ## Shutdown
 //!
 //! [`ServerHandle::stop`] (idempotent, safe to race, implied by `Drop`)
@@ -53,7 +61,7 @@ use ccpi_site::transport::{read_frame, write_frame};
 use ccpi_storage::{DatabaseSnapshot, Update};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -69,6 +77,13 @@ pub struct ServerConfig {
     /// readable via [`ServerHandle::decisions`]. Used by the soundness
     /// twin in the benchmark; costs a mutex push per update.
     pub record_decisions: bool,
+    /// Maximum `Submit` jobs (one per in-flight `Submit` request, however
+    /// many updates it carries) queued ahead of the admit thread. When
+    /// the queue is full the connection worker answers
+    /// [`ServerResponse::Busy`] immediately instead of enqueueing — the
+    /// job never enters the pipeline, so the client may safely resend
+    /// after a backoff. Clamped to at least 1.
+    pub queue_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +91,7 @@ impl Default for ServerConfig {
         ServerConfig {
             group_commit: true,
             record_decisions: false,
+            queue_depth: 1024,
         }
     }
 }
@@ -87,6 +103,7 @@ pub struct ServerStats {
     admitted: AtomicU64,
     groups: AtomicU64,
     snapshot_reads: AtomicU64,
+    busy_rejections: AtomicU64,
 }
 
 impl ServerStats {
@@ -110,6 +127,12 @@ impl ServerStats {
     pub fn snapshot_reads(&self) -> u64 {
         self.snapshot_reads.load(Ordering::Relaxed)
     }
+
+    /// `Submit` requests refused with [`ServerResponse::Busy`] because
+    /// the admission queue was at capacity.
+    pub fn busy_rejections(&self) -> u64 {
+        self.busy_rejections.load(Ordering::Relaxed)
+    }
 }
 
 /// One client's submission, queued for the admit thread.
@@ -120,7 +143,8 @@ struct Job {
 
 /// State shared by every connection worker.
 struct Shared {
-    jobs: Sender<Job>,
+    jobs: SyncSender<Job>,
+    queue_depth: u32,
     snapshot: Arc<RwLock<DatabaseSnapshot>>,
     stats: Arc<ServerStats>,
 }
@@ -142,7 +166,12 @@ pub fn serve(
     let stats = Arc::new(ServerStats::default());
     let decisions = Arc::new(Mutex::new(Vec::new()));
     let stop = Arc::new(AtomicBool::new(false));
-    let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
+    // A *bounded* queue: when `queue_depth` jobs are already waiting, the
+    // connection workers answer `Busy` instead of piling on — admission
+    // latency stays bounded and memory cannot grow without limit under a
+    // submit storm.
+    let queue_depth = config.queue_depth.max(1);
+    let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<Job>(queue_depth);
 
     let admit = {
         let snapshot = Arc::clone(&snapshot);
@@ -158,6 +187,7 @@ pub fn serve(
         let stop = Arc::clone(&stop);
         let shared = Shared {
             jobs: job_tx,
+            queue_depth: queue_depth as u32,
             snapshot: Arc::clone(&snapshot),
             stats: Arc::clone(&stats),
         };
@@ -433,10 +463,25 @@ fn answer(shared: &Shared, req: &ServerRequest) -> ServerResponse {
                 updates: updates.clone(),
                 reply: tx,
             };
-            if shared.jobs.send(job).is_err() {
-                return ServerResponse::Error {
-                    message: "admission pipeline is down".into(),
-                };
+            // `try_send` so a full queue refuses immediately: the job is
+            // returned to us untouched, which is what makes the `Busy`
+            // reply an honest "nothing happened, resend freely".
+            match shared.jobs.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    shared
+                        .stats
+                        .busy_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    return ServerResponse::Busy {
+                        depth: shared.queue_depth,
+                    };
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return ServerResponse::Error {
+                        message: "admission pipeline is down".into(),
+                    };
+                }
             }
             match rx.recv() {
                 Ok(Ok(results)) => ServerResponse::Admitted { results },
@@ -654,6 +699,7 @@ mod tests {
         let config = ServerConfig {
             group_commit: false,
             record_decisions: true,
+            ..ServerConfig::default()
         };
         let server = serve(build_store(&dir), "127.0.0.1:0", config).unwrap();
         let mut client = AdmissionClient::connect(server.addr());
@@ -671,6 +717,65 @@ mod tests {
                 (Update::insert("emp", tuple!["bob", "toys", 50]), true),
                 (Update::insert("emp", tuple!["low", "toys", 5]), false),
             ]
+        );
+        server.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Churn through a deliberately tiny admission queue: many clients
+    /// submitting concurrently against `queue_depth: 1`. Busy refusals
+    /// are expected and handled by the client backoff; the invariant is
+    /// that *every* batch eventually lands exactly once and the final
+    /// state contains every row.
+    #[test]
+    fn tiny_queue_backpressure_churn() {
+        let dir = scratch_dir("server-backpressure");
+        let config = ServerConfig {
+            queue_depth: 1,
+            ..ServerConfig::default()
+        };
+        let server = serve(build_store(&dir), "127.0.0.1:0", config).unwrap();
+        let addr = server.addr();
+
+        const CLIENTS: usize = 6;
+        const PER_CLIENT: usize = 5;
+        let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = AdmissionClient::connect(addr);
+                    barrier.wait();
+                    for k in 0..PER_CLIENT {
+                        let upd =
+                            Update::insert("emp", tuple![format!("w{c}x{k}"), "sales", 20 + k as i64]);
+                        let results = client
+                            .submit_with_backoff(&[upd], 64, Duration::from_millis(1))
+                            .unwrap();
+                        assert!(results[0].admitted, "clean insert w{c}x{k} refused");
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+
+        let mut client = AdmissionClient::connect(addr);
+        let (_, rows) = client.query("emp").unwrap();
+        for c in 0..CLIENTS {
+            for k in 0..PER_CLIENT {
+                assert!(
+                    rows.contains(&tuple![format!("w{c}x{k}"), "sales", 20 + k as i64]),
+                    "w{c}x{k} missing after churn"
+                );
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(
+            stats.submitted(),
+            (CLIENTS * PER_CLIENT) as u64,
+            "every batch must be judged exactly once (Busy refusals are not submissions)"
         );
         server.stop();
         std::fs::remove_dir_all(&dir).unwrap();

@@ -22,7 +22,7 @@ pub use database::{Database, DatabaseSnapshot, Locality, RelationDecl, StorageEr
 pub use delta::DeltaSet;
 pub use relation::{Candidates, Relation, TupleSnapshot};
 pub use tuple::Tuple;
-pub use update::Update;
+pub use update::{Update, UpdateTemplate};
 
 /// Builds a [`Tuple`] from a list of values convertible to
 /// [`ccpi_ir::Value`] (integers and `&str` work directly).

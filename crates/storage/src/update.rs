@@ -85,6 +85,55 @@ impl fmt::Display for Update {
     }
 }
 
+/// The *shape* of an update with the tuple abstracted away:
+/// insert-vs-delete × target predicate.
+///
+/// Everything compiled once per constraint at registration — delta-plan
+/// eligibility, weakest-precondition pre-tests, the stage pipeline's
+/// per-update plan selection — is keyed on this pair: two updates with the
+/// same template take exactly the same compiled path, only the Δ-tuple's
+/// constants differ at evaluation time.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct UpdateTemplate {
+    /// `true` for insertion templates.
+    pub insert: bool,
+    /// Target predicate.
+    pub pred: Sym,
+}
+
+impl UpdateTemplate {
+    /// The insertion template for `pred`.
+    pub fn insert(pred: impl AsRef<str>) -> Self {
+        UpdateTemplate {
+            insert: true,
+            pred: Sym::new(pred),
+        }
+    }
+
+    /// The deletion template for `pred`.
+    pub fn delete(pred: impl AsRef<str>) -> Self {
+        UpdateTemplate {
+            insert: false,
+            pred: Sym::new(pred),
+        }
+    }
+
+    /// The template a concrete update instantiates.
+    pub fn of(update: &Update) -> Self {
+        UpdateTemplate {
+            insert: update.is_insert(),
+            pred: update.pred().clone(),
+        }
+    }
+}
+
+impl fmt::Display for UpdateTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.insert { '+' } else { '-' };
+        write!(f, "{sign}{}(·)", self.pred)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +165,16 @@ mod tests {
             Update::delete("emp", tuple!["jones", "shoe", 50]).to_string(),
             "-emp(jones,shoe,50)"
         );
+    }
+
+    #[test]
+    fn templates_abstract_the_tuple() {
+        let a = Update::insert("emp", tuple!["jones", "shoe", 50]);
+        let b = Update::insert("emp", tuple!["smith", "toy", 90]);
+        assert_eq!(UpdateTemplate::of(&a), UpdateTemplate::of(&b));
+        assert_eq!(UpdateTemplate::of(&a), UpdateTemplate::insert("emp"));
+        assert_ne!(UpdateTemplate::of(&a), UpdateTemplate::delete("emp"));
+        assert_ne!(UpdateTemplate::of(&a), UpdateTemplate::insert("dept"));
+        assert_eq!(UpdateTemplate::of(&a.inverse()).to_string(), "-emp(·)");
     }
 }

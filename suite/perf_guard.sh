@@ -10,7 +10,12 @@
 # --crash`). A fourth lane re-runs the E13 64-client group-commit cell
 # over real TCP and fails below 70% of the committed BENCH_server.json
 # admission rate — or on any soundness-twin divergence (regenerate with
-# `experiments --server`). Wired into CI after the test job; run it
+# `experiments --server`). A fifth lane replays the E14 pre-test A/B at
+# 10k tuples and fails if the compiled pipeline settles less than 70% of
+# the committed BENCH_pretest.json settled fraction, if pipeline
+# checks/sec regress more than 30%, or on any legacy-vs-pipeline verdict
+# divergence (regenerate with `experiments --table e14`). Wired into CI
+# after the test job; run it
 # locally before committing performance-sensitive changes:
 #
 #   suite/perf_guard.sh
