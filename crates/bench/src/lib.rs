@@ -15,6 +15,7 @@ pub mod crash;
 pub mod delta_bench;
 pub mod pretest_bench;
 pub mod server_bench;
+pub mod shard_bench;
 pub mod throughput;
 
 /// The forbidden-intervals CQC of Example 5.3 (local predicate `l`).

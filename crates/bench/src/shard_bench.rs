@@ -1,0 +1,400 @@
+//! E15 — the partitioned scale curve behind `BENCH_shard.json`.
+//!
+//! An N-shard [`ShardedManager`] admits a mixed update stream (1 in 16
+//! violating) against the E6 employee constraint family, co-partitioned
+//! so every constraint compiles to `ShardScope::FragmentLocal`: `emp`
+//! hashed on its dept column, `dept` on its key, `salRange` replicated.
+//! Every admission therefore settles on the owning fragment alone — the
+//! row asserts **zero cross-shard wire traffic** and zero escalations.
+//!
+//! **How the curve is timed.** The host has one core, so shards run
+//! sequentially in-process; each update's admission cost is charged to
+//! its owning shard's clock. Because the constraints are fragment-closed
+//! and the run provably never touches the wire, the N shards are
+//! share-nothing — a real N-machine deployment would run the N
+//! substreams concurrently, finishing when the *slowest* shard finishes.
+//! The reported aggregate rate is exactly that model:
+//! `admitted_total / max_k(shard_k_busy_time)`. The zero-wire assertion
+//! is what licenses the extrapolation; a single escalation would break
+//! it, and the row would fail loudly.
+//!
+//! **Soundness twin.** Every run replays the identical stream, in the
+//! identical order, through a single-site [`ConstraintManager`] over the
+//! unpartitioned database with the same admission discipline (apply iff
+//! all constraints hold). Any admit/reject disagreement is a verdict
+//! divergence; the count must be zero, and the merged final fragments
+//! must equal the twin's final state row-for-row.
+//!
+//! A separate **escalation cell** measures the other side of the
+//! protocol: a unique-name audit (`emp` self-joined on the name column
+//! while routed by dept) is *not* fragment-closed, so duplicate-name
+//! inserts must consult peer fragments through the wire-v2 protocol.
+//! The cell records how many updates escalated, what they cost in round
+//! trips and bytes, and that the verdicts still match the twin exactly.
+
+use ccpi::{ConstraintManager, ShardScope};
+use ccpi_site::ShardedManager;
+use ccpi_storage::{tuple, Database, Locality, Partitioning, Update};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Departments in the generated database. Plenty per shard at every
+/// measured shard count, so hash routing stays balanced.
+const DEPARTMENTS: usize = 64;
+
+/// Salary band shared by every department (`salRange(d, LOW, HIGH)`).
+const SALARY: (i64, i64) = (10, 200);
+
+/// One measured (shards, tuples) cell of the scale curve.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ShardRow {
+    /// Shard count.
+    pub shards: usize,
+    /// Initial `emp` tuples (before fragmentation).
+    pub tuples: usize,
+    /// Updates admitted or rejected, in stream order.
+    pub updates: usize,
+    /// Updates admitted (all constraints held).
+    pub admitted: usize,
+    /// `admitted / updates`.
+    pub committed_rate: f64,
+    /// Modeled aggregate admissions per second: total admitted divided by
+    /// the busiest shard's accumulated admission time (share-nothing
+    /// substreams; see the module docs).
+    pub admits_per_sec: f64,
+    /// The busiest shard's accumulated admission time, milliseconds.
+    pub max_shard_busy_ms: f64,
+    /// Cross-shard wire round trips. Asserted zero: the constraint family
+    /// is fragment-closed under this partitioning.
+    pub wire_round_trips: u64,
+    /// Cross-shard bytes moved (sent + received). Asserted zero.
+    pub wire_bytes: u64,
+    /// Updates that needed the cross-shard protocol. Asserted zero.
+    pub escalations: u64,
+    /// Admit/reject decisions where the single-site twin disagreed.
+    /// Must be zero.
+    pub twin_divergences: usize,
+}
+
+/// The escalation cell: a deliberately non-closed constraint at 2 shards.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct EscalationRow {
+    /// Shard count.
+    pub shards: usize,
+    /// Initial `emp` tuples.
+    pub tuples: usize,
+    /// Updates admitted or rejected.
+    pub updates: usize,
+    /// Updates admitted.
+    pub admitted: usize,
+    /// Updates that consulted peer fragments over the wire.
+    pub escalations: u64,
+    /// Wire round trips across the run.
+    pub wire_round_trips: u64,
+    /// Wire bytes moved (sent + received).
+    pub wire_bytes: u64,
+    /// Mean admission cost over the whole stream, microseconds.
+    pub check_us: f64,
+    /// Admit/reject decisions where the single-site twin disagreed.
+    /// Must be zero.
+    pub twin_divergences: usize,
+}
+
+/// The full E15 report.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ShardReportFile {
+    pub rows: Vec<ShardRow>,
+    pub escalation: EscalationRow,
+}
+
+/// The co-partitioning every scale-curve cell runs under.
+fn partitioning(shards: usize) -> Partitioning {
+    Partitioning::new(shards)
+        .hash("emp", 1)
+        .hash("dept", 0)
+        .replicate("salRange")
+}
+
+/// The E6 constraint family. All three are fragment-closed under
+/// [`partitioning`]: `emp` and `dept` agree on the dept key, `salRange`
+/// is replicated.
+const CONSTRAINTS: [(&str, &str); 3] = [
+    ("ref", "panic :- emp(E,D,S) & not dept(D)."),
+    ("floor", "panic :- emp(E,D,S) & salRange(D,L,H) & S < L."),
+    ("ceiling", "panic :- emp(E,D,S) & salRange(D,L,H) & S > H."),
+];
+
+fn dept_name(d: usize) -> String {
+    format!("d{d}")
+}
+
+/// A consistent employee database: every `emp` row references a real
+/// department and sits inside its salary band, so the standing assumption
+/// ("all constraints hold before the most recent change") is true at
+/// stream start. All relations are `Local` — under sharding, "local"
+/// means "my fragment", and the partitioning decides what lives where.
+fn build_database(tuples: usize, rng: &mut StdRng) -> Database {
+    let mut db = Database::new();
+    db.declare("emp", 3, Locality::Local).unwrap();
+    db.declare("dept", 1, Locality::Local).unwrap();
+    db.declare("salRange", 3, Locality::Local).unwrap();
+    for d in 0..DEPARTMENTS {
+        db.insert("dept", tuple![dept_name(d).as_str()]).unwrap();
+        db.insert(
+            "salRange",
+            tuple![dept_name(d).as_str(), SALARY.0, SALARY.1],
+        )
+        .unwrap();
+    }
+    for e in 0..tuples {
+        let d = rng.random_range(0..DEPARTMENTS);
+        let s = rng.random_range(SALARY.0..=SALARY.1);
+        db.insert(
+            "emp",
+            tuple![format!("e{e}").as_str(), dept_name(d).as_str(), s],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// The mixed stream: `emp` inserts and deletes, with every 16th update a
+/// violation (alternating dangling-department and salary-band breaches).
+/// Identical for every shard count at a given seed — the curve varies
+/// only the partitioning.
+fn build_stream(tuples: usize, len: usize, rng: &mut StdRng) -> Vec<Update> {
+    (0..len)
+        .map(|k| {
+            if k % 16 == 15 {
+                // The violation mix: half dangling references, half
+                // out-of-band salaries (below floor / above ceiling).
+                match k % 32 {
+                    15 => Update::insert(
+                        "emp",
+                        tuple![
+                            format!("v{k}").as_str(),
+                            format!("ghost{}", k % 7).as_str(),
+                            SALARY.0
+                        ],
+                    ),
+                    _ => {
+                        let d = rng.random_range(0..DEPARTMENTS);
+                        let s = if k % 64 < 32 {
+                            SALARY.0 - 1
+                        } else {
+                            SALARY.1 + 1
+                        };
+                        Update::insert(
+                            "emp",
+                            tuple![format!("v{k}").as_str(), dept_name(d).as_str(), s],
+                        )
+                    }
+                }
+            } else if k % 5 == 4 {
+                // Deletes of (probably) existing employees: monotone for
+                // the referential constraint, band-safe for the ranges.
+                let e = rng.random_range(0..tuples.max(1));
+                let d = rng.random_range(0..DEPARTMENTS);
+                let s = rng.random_range(SALARY.0..=SALARY.1);
+                Update::delete(
+                    "emp",
+                    tuple![format!("e{e}").as_str(), dept_name(d).as_str(), s],
+                )
+            } else {
+                let d = rng.random_range(0..DEPARTMENTS);
+                let s = rng.random_range(SALARY.0..=SALARY.1);
+                Update::insert(
+                    "emp",
+                    tuple![format!("s{k}").as_str(), dept_name(d).as_str(), s],
+                )
+            }
+        })
+        .collect()
+}
+
+/// The single-site twin: same database, same constraints, same stream,
+/// same admission discipline, one unpartitioned manager. Returns the
+/// admit/reject decision sequence and the final state.
+fn run_twin(
+    db: &Database,
+    constraints: &[(&str, &str)],
+    stream: &[Update],
+) -> (Vec<bool>, Database) {
+    let mut twin = ConstraintManager::new(db.clone());
+    for (name, source) in constraints {
+        twin.add_constraint(name, source).unwrap();
+    }
+    let decisions = stream
+        .iter()
+        .map(|u| {
+            let ok = twin.check_update(u).unwrap().all_hold();
+            if ok {
+                twin.database_mut().apply(u).unwrap();
+            }
+            ok
+        })
+        .collect();
+    (decisions, twin.database().clone())
+}
+
+/// Measures one scale-curve cell.
+pub fn measure_cell(shards: usize, tuples: usize, stream_len: usize, seed: u64) -> ShardRow {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = build_database(tuples, &mut rng);
+    let stream = build_stream(tuples, stream_len, &mut rng);
+
+    let parts = partitioning(shards);
+    let mut mgr = ShardedManager::colocated(&db, parts).unwrap();
+    for (name, source) in &CONSTRAINTS {
+        let scope = mgr.add_constraint(name, source).unwrap();
+        assert_eq!(
+            scope,
+            ShardScope::FragmentLocal,
+            "constraint {name} must be fragment-closed under the E15 co-partitioning"
+        );
+    }
+
+    // Per-shard busy clocks: each admission is charged to its owner.
+    let mut busy = vec![Duration::ZERO; shards];
+    let mut decisions = Vec::with_capacity(stream.len());
+    let mut admitted = 0usize;
+    for u in &stream {
+        let owners = mgr.partitioning().owners(u.pred().as_str(), u.tuple());
+        let t = Instant::now();
+        let report = mgr.admit(u).unwrap();
+        let spent = t.elapsed();
+        // Partitioned predicates have one owner; a replicated update runs
+        // on every shard, so each shard's clock takes its share.
+        let share = spent / owners.len().max(1) as u32;
+        for k in owners {
+            busy[k] += share;
+        }
+        let ok = report.all_hold();
+        admitted += ok as usize;
+        decisions.push(ok);
+    }
+
+    let (twin_decisions, twin_db) = run_twin(&db, &CONSTRAINTS, &stream);
+    let mut twin_divergences = decisions
+        .iter()
+        .zip(&twin_decisions)
+        .filter(|(a, b)| a != b)
+        .count();
+    // The merged fragments must equal the twin's final state exactly.
+    let merged = mgr.merged().unwrap();
+    for rel in ["emp", "dept", "salRange"] {
+        let a = merged.relation(rel).unwrap();
+        let b = twin_db.relation(rel).unwrap();
+        if a.len() != b.len() || a.iter().any(|t| !b.contains(t)) {
+            twin_divergences += 1;
+        }
+    }
+
+    let wire = mgr.wire_totals();
+    let max_busy = busy.iter().max().copied().unwrap_or_default();
+    ShardRow {
+        shards,
+        tuples,
+        updates: stream.len(),
+        admitted,
+        committed_rate: admitted as f64 / stream.len().max(1) as f64,
+        admits_per_sec: admitted as f64 / max_busy.as_secs_f64().max(1e-9),
+        max_shard_busy_ms: max_busy.as_secs_f64() * 1e3,
+        wire_round_trips: wire.round_trips,
+        wire_bytes: wire.bytes_sent + wire.bytes_received,
+        escalations: mgr.escalations(),
+        twin_divergences,
+    }
+}
+
+/// Measures the escalation cell: the unique-name audit joins `emp` to
+/// itself on the *name* column while `emp` routes by dept, so duplicate
+/// names can span fragments and every name-colliding insert must consult
+/// the peers over the wire.
+pub fn measure_escalation(tuples: usize, stream_len: usize, seed: u64) -> EscalationRow {
+    let shards = 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = build_database(tuples, &mut rng);
+
+    // Half the inserts reuse an existing employee name in a *different*
+    // department (a genuine cross-fragment duplicate), half are fresh.
+    let stream: Vec<Update> = (0..stream_len)
+        .map(|k| {
+            let name = if k % 2 == 0 {
+                format!("e{}", rng.random_range(0..tuples.max(1)))
+            } else {
+                format!("n{k}")
+            };
+            let d = rng.random_range(0..DEPARTMENTS);
+            let s = rng.random_range(SALARY.0..=SALARY.1);
+            Update::insert("emp", tuple![name.as_str(), dept_name(d).as_str(), s])
+        })
+        .collect();
+
+    let uniq = [("uniq", "panic :- emp(E,D,S) & emp(E,D2,S2) & D < D2.")];
+    let parts = partitioning(shards);
+    let mut mgr = ShardedManager::colocated(&db, parts).unwrap();
+    let scope = mgr.add_constraint(uniq[0].0, uniq[0].1).unwrap();
+    assert_eq!(
+        scope,
+        ShardScope::CrossShard,
+        "the audit must not be closed"
+    );
+
+    let t = Instant::now();
+    let mut decisions = Vec::with_capacity(stream.len());
+    let mut admitted = 0usize;
+    for u in &stream {
+        let ok = mgr.admit(u).unwrap().all_hold();
+        admitted += ok as usize;
+        decisions.push(ok);
+    }
+    let elapsed = t.elapsed();
+
+    let (twin_decisions, _) = run_twin(&db, &uniq, &stream);
+    let twin_divergences = decisions
+        .iter()
+        .zip(&twin_decisions)
+        .filter(|(a, b)| a != b)
+        .count();
+
+    let wire = mgr.wire_totals();
+    EscalationRow {
+        shards,
+        tuples,
+        updates: stream.len(),
+        admitted,
+        escalations: mgr.escalations(),
+        wire_round_trips: wire.round_trips,
+        wire_bytes: wire.bytes_sent + wire.bytes_received,
+        check_us: elapsed.as_secs_f64() * 1e6 / stream.len().max(1) as f64,
+        twin_divergences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_cell_is_sound_and_wire_free() {
+        let row = measure_cell(4, 512, 160, 0xE15);
+        assert_eq!(row.twin_divergences, 0);
+        assert_eq!(row.escalations, 0);
+        assert_eq!(row.wire_round_trips, 0);
+        assert_eq!(row.wire_bytes, 0);
+        // 1-in-16 violation mix: the committed rate sits near 15/16.
+        assert!(row.committed_rate > 0.8, "rate {}", row.committed_rate);
+    }
+
+    #[test]
+    fn escalation_cell_pays_wire_and_stays_exact() {
+        let row = measure_escalation(128, 32, 0xE15);
+        assert_eq!(row.twin_divergences, 0);
+        assert!(row.escalations > 0, "duplicate names must escalate");
+        assert!(row.wire_round_trips > 0);
+        // Duplicate-name inserts are rejected, fresh ones admitted.
+        assert!(row.admitted > 0 && row.admitted < row.updates);
+    }
+}

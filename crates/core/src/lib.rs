@@ -52,6 +52,7 @@ pub mod manager;
 pub mod pipeline;
 pub mod remote;
 pub mod report;
+pub mod sharding;
 
 pub use durable::{BatchResult, DurableError, DurableManager, RecoveryReport};
 pub use manager::{ConstraintManager, ManagerError};
@@ -60,6 +61,7 @@ pub use remote::{RemoteError, RemoteSource, UnreachableRemote};
 pub use report::{
     CheckReport, LocalTestKind, Method, Outcome, Stage4Kind, StageTimes, UnknownCause, WireStats,
 };
+pub use sharding::{constraint_scope, fragment_verdict_final, ShardScope};
 
 /// Convenient re-exports for applications.
 pub mod prelude {
@@ -73,6 +75,7 @@ pub mod prelude {
         CheckReport, LocalTestKind, Method, Outcome, Stage4Kind, StageTimes, UnknownCause,
         WireStats,
     };
+    pub use crate::sharding::{constraint_scope, fragment_verdict_final, ShardScope};
     pub use ccpi_arith::{Domain, Solver};
     pub use ccpi_ir::{Constraint, Cq, Program, Rule};
     pub use ccpi_parser::{parse_constraint, parse_cq, parse_program, parse_rule};

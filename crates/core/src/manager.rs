@@ -374,12 +374,8 @@ impl ConstraintManager {
         // cheap stages run, in which order, for each update shape.
         let pretests = PreTestSet::compile(&constraint);
         let has_local_test = ra_plan.is_some() || icq.is_some() || cqc.is_some();
-        let pipeline = StagePipeline::compile(
-            &pretests,
-            &delta,
-            &|p| self.db.locality(p),
-            has_local_test,
-        );
+        let pipeline =
+            StagePipeline::compile(&pretests, &delta, &|p| self.db.locality(p), has_local_test);
 
         self.constraints.push(Registered {
             name: name.to_string(),
@@ -1057,7 +1053,12 @@ impl ConstraintManager {
     /// stage-4 verdict cache, then the seeded delta path. Read-only up to
     /// this constraint's own cache slot. The parallel path never runs
     /// with a remote source, so pre-tests are never suppressed here.
-    fn check_one_phase_a(&self, i: usize, update: &Update, delta: &DeltaSet) -> (PhaseA, StageTimes) {
+    fn check_one_phase_a(
+        &self,
+        i: usize,
+        update: &Update,
+        delta: &DeltaSet,
+    ) -> (PhaseA, StageTimes) {
         let mut times = StageTimes::default();
         if let Some(cheap) = self.try_cheap_stages(i, update, false, &mut times) {
             return (PhaseA::Cheap(cheap), times);
@@ -2340,7 +2341,10 @@ mod proptests {
         ("floor", "panic :- emp(E,D,S) & salRange(D,L,H) & S < L."),
         ("ceiling", "panic :- emp(E,D,S) & salRange(D,L,H) & S > H."),
         ("non-negative", "panic :- emp(E,D,S) & S < 0."),
-        ("one-salary", "panic :- emp(E,D1,S1) & emp(E,D2,S2) & S1 < S2."),
+        (
+            "one-salary",
+            "panic :- emp(E,D1,S1) & emp(E,D2,S2) & S1 < S2.",
+        ),
         ("sane-range", "panic :- salRange(D,L,H) & H < L."),
         ("ranged-dept", "panic :- salRange(D,L,H) & not dept(D)."),
     ];

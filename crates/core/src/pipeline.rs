@@ -358,7 +358,10 @@ mod tests {
         assert_eq!(pretest.applicability, Applicability::SingleSiteOnly);
 
         // -emp / +dept: no occurrence can host → prefilter settles.
-        for t in [UpdateTemplate::delete("emp"), UpdateTemplate::insert("dept")] {
+        for t in [
+            UpdateTemplate::delete("emp"),
+            UpdateTemplate::insert("dept"),
+        ] {
             assert_eq!(p.plan(&t).shape(), PlanShape::PrefilterOnly, "{t}");
         }
 

@@ -186,6 +186,24 @@ impl WireStats {
         }
     }
 
+    /// Aggregates independent per-client cumulative snapshots into one
+    /// total. This is the *stateless* way to report multi-shard wire
+    /// traffic: fold fresh snapshots every time totals are wanted.
+    ///
+    /// Do **not** `absorb` cumulative snapshots into a long-lived
+    /// accumulator across reporting rounds — a client whose counters were
+    /// already absorbed once gets its whole history (redials included)
+    /// counted again on every later round. `absorb` is for *deltas* (or a
+    /// one-shot fold like this one); `merged` makes the one-shot shape the
+    /// easy default.
+    pub fn merged<'a>(snapshots: impl IntoIterator<Item = &'a WireStats>) -> WireStats {
+        let mut total = WireStats::default();
+        for s in snapshots {
+            total.absorb(s);
+        }
+        total
+    }
+
     /// Component-wise accumulation.
     pub fn absorb(&mut self, other: &WireStats) {
         self.requests += other.requests;
@@ -455,6 +473,72 @@ mod tests {
         assert_eq!(r.outcome("missing"), None);
         let hist = r.method_histogram();
         assert_eq!(hist.iter().map(|(_, n)| n).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn merged_counts_each_client_once() {
+        // Two shard clients, each with one redial and one retry on its own
+        // cumulative counter: the fleet total must be 2 of each, not 4 —
+        // aggregation must not re-absorb a client's history.
+        let a = WireStats {
+            requests: 10,
+            round_trips: 5,
+            retries: 1,
+            redials: 1,
+            ..WireStats::default()
+        };
+        let b = WireStats {
+            requests: 4,
+            round_trips: 4,
+            retries: 1,
+            redials: 1,
+            ..WireStats::default()
+        };
+        let total = WireStats::merged([&a, &b]);
+        assert_eq!(total.requests, 14);
+        assert_eq!(total.round_trips, 9);
+        assert_eq!(total.retries, 2);
+        assert_eq!(total.redials, 2);
+
+        // Re-merging fresh snapshots is idempotent: the same inputs give
+        // the same totals, unlike absorbing into a long-lived accumulator
+        // (which double-counts every client's history per round).
+        assert_eq!(WireStats::merged([&a, &b]), total);
+        let mut stale_accumulator = total;
+        stale_accumulator.absorb(&a);
+        stale_accumulator.absorb(&b);
+        assert_eq!(
+            stale_accumulator.redials, 4,
+            "the anti-pattern double-counts"
+        );
+    }
+
+    #[test]
+    fn merged_of_deltas_matches_delta_of_merged() {
+        let before_a = WireStats {
+            requests: 3,
+            round_trips: 3,
+            ..WireStats::default()
+        };
+        let after_a = WireStats {
+            requests: 7,
+            round_trips: 6,
+            redials: 1,
+            ..WireStats::default()
+        };
+        let before_b = WireStats::default();
+        let after_b = WireStats {
+            requests: 2,
+            round_trips: 2,
+            ..WireStats::default()
+        };
+        let per_client = WireStats::merged([
+            &after_a.delta_since(&before_a),
+            &after_b.delta_since(&before_b),
+        ]);
+        let merged_then_delta = WireStats::merged([&after_a, &after_b])
+            .delta_since(&WireStats::merged([&before_a, &before_b]));
+        assert_eq!(per_client, merged_then_delta);
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Compile-time shard-locality analysis: can a constraint ever need remote
+//! fragments, or is every shard's fragment check exact on its own?
+//!
+//! The paper's local tests are sound for *any* local/remote split (§5: the
+//! tests never rely on what the remote relations contain). Under a
+//! [`Partitioning`], each shard's "local relation" is its fragment, and the
+//! question becomes: when is evaluating a constraint against a single
+//! fragment **exact** — every violation witnessed by rows of that fragment is
+//! found, and no violation spans two fragments?
+//!
+//! The answer is the classic co-partitioning closure condition. A rule is
+//! *fragment-closed* when every atom over a partitioned relation carries the
+//! same key term at its partition column (one shared variable, or equal
+//! constants) and the schemes involved route key values alike (hash↔hash, or
+//! range↔range with identical bounds); all other atoms must be replicated.
+//! Then any satisfying assignment of the rule body binds the shared key to
+//! one value, every participating partitioned row lives on that value's
+//! owner shard, and replicated rows are everywhere — so the whole witness is
+//! contained in one fragment, and the union of per-fragment evaluations
+//! equals the global evaluation.
+//!
+//! Constraints where every rule is fragment-closed get
+//! [`ShardScope::FragmentLocal`]: *all* fragment verdicts (including
+//! `Violated` and pre-test passes) are final, and the common path needs zero
+//! cross-shard traffic. Anything else is [`ShardScope::CrossShard`]: only
+//! data-independent or subset-sound stages may settle on the fragment
+//! ([`fragment_verdict_final`]), and the rest escalates to the cross-shard
+//! protocol.
+
+use ccpi_ir::{Constraint, Rule, Term};
+use ccpi_storage::Partitioning;
+
+use crate::report::{Method, Outcome};
+
+/// Whether a constraint's per-fragment evaluation is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardScope {
+    /// Every rule is fragment-closed under the partitioning: each shard's
+    /// verdicts are final and no check ever needs another shard's fragment.
+    FragmentLocal,
+    /// Some rule can join rows from different fragments (or the constraint
+    /// is recursive, where the closure argument does not apply): fragment
+    /// verdicts are only trusted when the deciding stage is sound for an
+    /// arbitrary subset of the local data.
+    CrossShard,
+}
+
+/// Classifies `constraint` under `parts`. Conservative: recursive programs
+/// and any rule that fails the closure test fall back to
+/// [`ShardScope::CrossShard`].
+pub fn constraint_scope(constraint: &Constraint, parts: &Partitioning) -> ShardScope {
+    let program = constraint.program();
+    // Derived predicates would need the closure argument lifted through rule
+    // composition; stay conservative beyond flat `panic`-only programs.
+    let flat = program
+        .idb_predicates()
+        .iter()
+        .all(|p| p.as_str() == "panic");
+    if program.is_recursive() || !flat {
+        return ShardScope::CrossShard;
+    }
+    if program.rules.iter().all(|r| rule_is_closed(r, parts)) {
+        ShardScope::FragmentLocal
+    } else {
+        ShardScope::CrossShard
+    }
+}
+
+/// One rule's co-partitioning closure test (see module docs).
+fn rule_is_closed(rule: &Rule, parts: &Partitioning) -> bool {
+    // (key term, scheme) per partitioned atom, positives and negatives alike:
+    // negation-as-absence also only consults rows co-located with the key.
+    let mut keyed: Vec<(&Term, &str)> = Vec::new();
+    for atom in rule.positive_subgoals().chain(rule.negated_subgoals()) {
+        let pred = atom.pred.as_str();
+        if !parts.is_partitioned(pred) {
+            continue;
+        }
+        let scheme = parts.scheme(pred);
+        let Some(col) = scheme.column() else {
+            return false;
+        };
+        let Some(key) = atom.args.get(col) else {
+            // Partition column beyond the atom's arity: routing falls back to
+            // whole-tuple hashing, which no join key can predict.
+            return false;
+        };
+        keyed.push((key, pred));
+    }
+    let Some(((first_key, first_pred), rest)) = keyed.split_first() else {
+        return true; // all atoms replicated: every fragment sees everything
+    };
+    let first_scheme = parts.scheme(first_pred);
+    rest.iter()
+        .all(|(key, pred)| key == first_key && parts.scheme(pred).routes_alike(first_scheme))
+}
+
+/// Is a verdict reached against a bare fragment final for a constraint of
+/// the given scope?
+///
+/// For [`ShardScope::FragmentLocal`] every verdict is final (fragment
+/// evaluation is exact). For [`ShardScope::CrossShard`] only stages that are
+/// sound for an **arbitrary subset** of the local relation may settle:
+/// subsumption and independence-of-update are data-independent, and the
+/// Theorem 5.2/5.3 local tests only ever conclude *safe* from rows that are
+/// present. A pre-test `Holds`, any `Violated`, or a full-check `Holds`
+/// reads absence from the fragment and could be contradicted by rows on
+/// another shard — those escalate. `Unknown` always escalates.
+pub fn fragment_verdict_final(scope: ShardScope, outcome: &Outcome) -> bool {
+    match scope {
+        ShardScope::FragmentLocal => true,
+        ShardScope::CrossShard => matches!(
+            outcome,
+            Outcome::Holds(Method::Subsumed)
+                | Outcome::Holds(Method::IndependentOfUpdate)
+                | Outcome::Holds(Method::LocalTest(_))
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::LocalTestKind;
+    use ccpi_parser::parse_constraint;
+
+    fn scope(src: &str, parts: &Partitioning) -> ShardScope {
+        constraint_scope(&parse_constraint(src).unwrap(), parts)
+    }
+
+    #[test]
+    fn copartitioned_referential_rule_is_fragment_local() {
+        // emp partitioned on its dept column, dept on its key: both keyed by
+        // the shared variable D under hash schemes.
+        let parts = Partitioning::new(4).hash("emp", 1).hash("dept", 0);
+        assert_eq!(
+            scope("panic :- emp(E,D,S) & not dept(D).", &parts),
+            ShardScope::FragmentLocal
+        );
+    }
+
+    #[test]
+    fn replicated_dimension_keeps_rule_local() {
+        let parts = Partitioning::new(4).hash("emp", 1).replicate("salRange");
+        assert_eq!(
+            scope(
+                "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.",
+                &parts
+            ),
+            ShardScope::FragmentLocal
+        );
+    }
+
+    #[test]
+    fn all_replicated_is_trivially_local() {
+        let parts = Partitioning::new(8);
+        assert_eq!(
+            scope("panic :- emp(E,D,S) & not dept(D).", &parts),
+            ShardScope::FragmentLocal
+        );
+    }
+
+    #[test]
+    fn mismatched_key_variables_cross_shards() {
+        // Self-join on E while emp routes by D: the two occurrences can live
+        // on different shards.
+        let parts = Partitioning::new(4).hash("emp", 1);
+        assert_eq!(
+            scope("panic :- emp(E,D,S) & emp(E,D2,S2) & D < D2.", &parts),
+            ShardScope::CrossShard
+        );
+    }
+
+    #[test]
+    fn hash_vs_range_schemes_cross_shards() {
+        use ccpi_ir::Value;
+        let parts = Partitioning::new(2)
+            .hash("emp", 1)
+            .range("dept", 0, vec![Value::Int(100)]);
+        assert_eq!(
+            scope("panic :- emp(E,D,S) & not dept(D).", &parts),
+            ShardScope::CrossShard
+        );
+    }
+
+    #[test]
+    fn equal_constant_keys_stay_local() {
+        let parts = Partitioning::new(4).hash("emp", 1).hash("dept", 0);
+        // Both partitioned atoms pin the key to the same constant: every
+        // witness row lives on that constant's owner shard.
+        assert_eq!(
+            scope("panic :- emp(E,sales,S) & not dept(sales).", &parts),
+            ShardScope::FragmentLocal
+        );
+        assert_eq!(
+            scope("panic :- emp(E,sales,S) & not dept(toys).", &parts),
+            ShardScope::CrossShard
+        );
+    }
+
+    #[test]
+    fn verdict_trust_matrix() {
+        use ShardScope::*;
+        let holds_pretest = Outcome::Holds(Method::PreTest);
+        let holds_sub = Outcome::Holds(Method::Subsumed);
+        let holds_local = Outcome::Holds(Method::LocalTest(LocalTestKind::Containment));
+        let violated = Outcome::Violated;
+        for o in [&holds_pretest, &holds_sub, &holds_local, &violated] {
+            assert!(fragment_verdict_final(FragmentLocal, o));
+        }
+        assert!(fragment_verdict_final(CrossShard, &holds_sub));
+        assert!(fragment_verdict_final(CrossShard, &holds_local));
+        assert!(!fragment_verdict_final(CrossShard, &holds_pretest));
+        assert!(!fragment_verdict_final(CrossShard, &violated));
+    }
+}

@@ -225,6 +225,7 @@ impl DeltaPlanSet {
     /// * **mixed** inserts and deletes across read relations fall back: a
     ///   seeded check over `pre ∪ Δ⁺` could report a violation whose
     ///   derivation uses a deleted tuple.
+    ///
     /// Registration-time eligibility for a single-update *template*
     /// (insert/delete × predicate): whether every concrete update with
     /// that shape takes the delta path. Eligibility never depends on the
@@ -382,7 +383,11 @@ mod tests {
         for src in sources {
             let plans = DeltaPlanSet::compile(&parse_program(src).unwrap());
             for pred in ["emp", "dept", "salRange"] {
-                let arity = if pred == "dept" { tuple!["x"] } else { tuple!["x", "y", 1] };
+                let arity = if pred == "dept" {
+                    tuple!["x"]
+                } else {
+                    tuple!["x", "y", 1]
+                };
                 for update in [
                     Update::insert(pred, arity.clone()),
                     Update::delete(pred, arity.clone()),

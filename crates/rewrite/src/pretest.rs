@@ -117,6 +117,11 @@ struct CompiledHost {
     /// Index into `positives` of the single non-groundable atom, for
     /// [`ResidualClass::FilteredScan`] hosts.
     scan: Option<usize>,
+    /// Indices into `positives` of atoms that keep free variables but are
+    /// fully grounded by each scan row — probed *after* the row extends the
+    /// binding. Non-empty only when a multi-free-atom residual downgraded to
+    /// `FilteredScan` because the scan atom covers every unbound variable.
+    late: Vec<usize>,
     /// This host's residual class (`Verdict`..`Open`).
     class: ResidualClass,
 }
@@ -189,11 +194,11 @@ impl PreTestSet {
             let cq = Cq::from_rule(rule);
             for insert in [true, false] {
                 let occurrences = if insert { &cq.positives } else { &cq.negatives };
-                for host_idx in 0..occurrences.len() {
+                for (host_idx, occurrence) in occurrences.iter().enumerate() {
                     let host = compile_host(&cq, insert, host_idx);
                     let key = UpdateTemplate {
                         insert,
-                        pred: occurrences[host_idx].pred.clone(),
+                        pred: occurrence.pred.clone(),
                     };
                     templates.entry(key).or_default().hosts.push(host);
                 }
@@ -299,16 +304,59 @@ fn compile_host(cq: &Cq, insert: bool, host_idx: usize) -> CompiledHost {
     let free: Vec<usize> = positives
         .iter()
         .enumerate()
-        .filter(|(_, a)| a.args.iter().filter_map(Term::as_var).any(|v| !bound.contains(v)))
+        .filter(|(_, a)| {
+            a.args
+                .iter()
+                .filter_map(Term::as_var)
+                .any(|v| !bound.contains(v))
+        })
         .map(|(i, _)| i)
         .collect();
-    let class = if positives.is_empty() && negatives.is_empty() {
-        ResidualClass::Verdict
+    let unbound_of = |i: usize| -> BTreeSet<&Var> {
+        positives[i]
+            .args
+            .iter()
+            .filter_map(Term::as_var)
+            .filter(|v| !bound.contains(*v))
+            .collect()
+    };
+    let (class, scan, late) = if positives.is_empty() && negatives.is_empty() {
+        (ResidualClass::Verdict, None, Vec::new())
+    } else if free.is_empty() {
+        (ResidualClass::GroundProbe, None, Vec::new())
+    } else if free.len() == 1 {
+        (ResidualClass::FilteredScan, Some(free[0]), Vec::new())
     } else {
-        match free.len() {
-            0 => ResidualClass::GroundProbe,
-            1 => ResidualClass::FilteredScan,
-            _ => ResidualClass::Open,
+        // Several atoms keep free variables — but if one of them mentions
+        // *every* unbound variable, a single scan of that atom grounds the
+        // whole residual and the other free atoms become per-row point
+        // probes ("late probes"). Deletes hit this shape constantly: the
+        // deleted tuple binds one column and the referencing relation
+        // carries the rest. Prefer a scan atom with a bound column so the
+        // scan is an index probe rather than a full pass.
+        let all: BTreeSet<&Var> = free.iter().flat_map(|&i| unbound_of(i)).collect();
+        let covering: Vec<usize> = free
+            .iter()
+            .copied()
+            .filter(|&i| unbound_of(i) == all)
+            .collect();
+        let has_bound_col = |i: &usize| {
+            positives[*i].args.iter().any(|t| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => bound.contains(v),
+            })
+        };
+        match covering
+            .iter()
+            .find(|i| has_bound_col(i))
+            .or_else(|| covering.first())
+        {
+            Some(&s) => (
+                ResidualClass::FilteredScan,
+                Some(s),
+                free.iter().copied().filter(|&i| i != s).collect(),
+            ),
+            None => (ResidualClass::Open, None, Vec::new()),
         }
     };
     CompiledHost {
@@ -316,11 +364,8 @@ fn compile_host(cq: &Cq, insert: bool, host_idx: usize) -> CompiledHost {
         positives,
         negatives,
         comparisons: cq.comparisons.clone(),
-        scan: if class == ResidualClass::FilteredScan {
-            free.first().copied()
-        } else {
-            None
-        },
+        scan,
+        late,
         class,
     }
 }
@@ -433,9 +478,10 @@ fn residual_fires(
     eval: &mut PreTestEval,
 ) -> bool {
     let subst = to_subst(binding);
-    // Ground positive probes: every one must be present post-update.
+    // Ground positive probes: every one must be present post-update. Late
+    // atoms wait for a scan row to ground them.
     for (i, atom) in host.positives.iter().enumerate() {
-        if host.scan == Some(i) {
+        if host.scan == Some(i) || host.late.contains(&i) {
             continue;
         }
         let t = ground_tuple(&subst.apply_atom(atom))
@@ -529,6 +575,22 @@ fn residual_fires(
             .iter()
             .all(|c| row_subst.apply_cmp(c).eval_ground().unwrap_or(false))
         {
+            continue;
+        }
+        // Late probes: free atoms the scan row just grounded. All must be
+        // present post-update for this row to witness a violation.
+        let mut late_missing = false;
+        for &li in &host.late {
+            let atom = &host.positives[li];
+            let t = ground_tuple(&row_subst.apply_atom(atom))
+                .expect("the scan atom covers every unbound variable of late probes");
+            account(eval, costed, atom.pred.as_str(), &t);
+            if !view.contains(atom.pred.as_str(), &t) {
+                late_missing = true;
+                break;
+            }
+        }
+        if late_missing {
             continue;
         }
         let mut negated_holds = false;
@@ -634,12 +696,24 @@ mod tests {
         let t = set.template(&UpdateTemplate::insert("emp")).unwrap();
         assert_eq!(t.residual_class(), ResidualClass::FilteredScan);
         let db = emp_db();
-        let ok = run(&floor(), &db, &Update::insert("emp", tuple!["bob", "sales", 80]));
+        let ok = run(
+            &floor(),
+            &db,
+            &Update::insert("emp", tuple!["bob", "sales", 80]),
+        );
         assert_eq!(ok.verdict, PreVerdict::Holds);
-        let bad = run(&floor(), &db, &Update::insert("emp", tuple!["eve", "sales", 5]));
+        let bad = run(
+            &floor(),
+            &db,
+            &Update::insert("emp", tuple!["eve", "sales", 5]),
+        );
         assert_eq!(bad.verdict, PreVerdict::Violated);
         // No salRange row for the department: the scan is empty, holds.
-        let none = run(&floor(), &db, &Update::insert("emp", tuple!["eve", "toys", 5]));
+        let none = run(
+            &floor(),
+            &db,
+            &Update::insert("emp", tuple!["eve", "toys", 5]),
+        );
         assert_eq!(none.verdict, PreVerdict::Holds);
     }
 
@@ -651,7 +725,11 @@ mod tests {
         assert_eq!(e.verdict, PreVerdict::Untouched);
         assert_eq!(e.tuples_read, 0);
         // A predicate the constraint never reads.
-        let e = run(&referential(), &db, &Update::insert("manager", tuple!["a", "b"]));
+        let e = run(
+            &referential(),
+            &db,
+            &Update::insert("manager", tuple!["a", "b"]),
+        );
         assert_eq!(e.verdict, PreVerdict::Untouched);
     }
 
@@ -662,7 +740,11 @@ mod tests {
         assert_eq!(t.residual_class(), ResidualClass::FilteredScan);
         let db = emp_db();
         // sales still employs ann: deleting it fires the residual scan.
-        let bad = run(&referential(), &db, &Update::delete("dept", tuple!["sales"]));
+        let bad = run(
+            &referential(),
+            &db,
+            &Update::delete("dept", tuple!["sales"]),
+        );
         assert_eq!(bad.verdict, PreVerdict::Violated);
         // toys employs nobody: the delete is clean.
         let ok = run(&referential(), &db, &Update::delete("dept", tuple!["toys"]));
@@ -719,7 +801,9 @@ mod tests {
 
     #[test]
     fn two_open_atoms_escalate() {
-        let c = parse_constraint("panic :- a(X) & p(X,Y) & q(Y,Z).").unwrap();
+        // p contributes Y, q contributes Z, and neither atom mentions both:
+        // no single scan grounds the residual, so this genuinely escalates.
+        let c = parse_constraint("panic :- a(X) & p(X,Y) & q(X,Z).").unwrap();
         let mut db = Database::new();
         db.declare("a", 1, Locality::Local).unwrap();
         db.declare("p", 2, Locality::Local).unwrap();
@@ -730,7 +814,7 @@ mod tests {
         let e = run(&c, &db, &Update::insert("a", tuple![1]));
         assert_eq!(e.verdict, PreVerdict::Escalate);
         // But the prefilter half still rules out non-hosting tuples.
-        let c2 = parse_constraint("panic :- a(X) & p(X,Y) & q(Y,Z) & X > 5.").unwrap();
+        let c2 = parse_constraint("panic :- a(X) & p(X,Y) & q(X,Z) & X > 5.").unwrap();
         let set2 = PreTestSet::compile(&c2);
         assert_eq!(
             set2.prefilter(&Update::insert("a", tuple![1]), solver()),
@@ -743,11 +827,123 @@ mod tests {
     }
 
     #[test]
+    fn covering_scan_atom_downgrades_open_to_filtered_scan() {
+        // q(Y,Z) mentions every unbound variable: scanning q grounds the
+        // whole residual and p(X,Y) becomes a per-row late probe. This
+        // shape used to escalate.
+        let c = parse_constraint("panic :- a(X) & p(X,Y) & q(Y,Z).").unwrap();
+        let set = PreTestSet::compile(&c);
+        let t = set.template(&UpdateTemplate::insert("a")).unwrap();
+        assert_eq!(t.residual_class(), ResidualClass::FilteredScan);
+
+        let mut db = Database::new();
+        db.declare("a", 1, Locality::Local).unwrap();
+        db.declare("p", 2, Locality::Local).unwrap();
+        db.declare("q", 2, Locality::Local).unwrap();
+        db.insert("p", tuple![1, 7]).unwrap();
+        db.insert("q", tuple![8, 9]).unwrap();
+        // No q row whose Y has a matching p(1,Y): holds.
+        assert_eq!(
+            run(&c, &db, &Update::insert("a", tuple![1])).verdict,
+            PreVerdict::Holds
+        );
+        // Now q(7,9) joins p(1,7): inserting a(1) completes the witness.
+        db.insert("q", tuple![7, 9]).unwrap();
+        assert_eq!(
+            run(&c, &db, &Update::insert("a", tuple![1])).verdict,
+            PreVerdict::Violated
+        );
+    }
+
+    #[test]
+    fn delete_with_joined_residual_settles_via_late_probes() {
+        // Referential shape with an extra join: deleting dept(D) violates
+        // iff some emp row references D *and* that emp is still active.
+        // The residual after hosting the delete keeps two free atoms
+        // (emp contributes E and S, active only E), but emp covers every
+        // unbound variable — FilteredScan with active as a late probe,
+        // where this previously fell through to the ladder.
+        let c = parse_constraint("panic :- emp(E,D,S) & active(E,D) & not dept(D).").unwrap();
+        let set = PreTestSet::compile(&c);
+        let t = set.template(&UpdateTemplate::delete("dept")).unwrap();
+        assert_eq!(t.residual_class(), ResidualClass::FilteredScan);
+
+        let mut db = Database::new();
+        db.declare("emp", 3, Locality::Local).unwrap();
+        db.declare("active", 2, Locality::Local).unwrap();
+        db.declare("dept", 1, Locality::Local).unwrap();
+        db.insert("emp", tuple!["jones", "shoe", 50]).unwrap();
+        db.insert("emp", tuple!["smith", "sales", 70]).unwrap();
+        db.insert("active", tuple!["jones", "shoe"]).unwrap();
+        db.insert("dept", tuple!["shoe"]).unwrap();
+        db.insert("dept", tuple!["sales"]).unwrap();
+
+        // shoe is referenced by an active emp: the delete trips the scan
+        // (index probe on D) plus the late probe on active.
+        assert_eq!(
+            run(&c, &db, &Update::delete("dept", tuple!["shoe"])).verdict,
+            PreVerdict::Violated
+        );
+        // sales is referenced but smith is not active: the late probe
+        // clears the row and the delete holds.
+        assert_eq!(
+            run(&c, &db, &Update::delete("dept", tuple!["sales"])).verdict,
+            PreVerdict::Holds
+        );
+    }
+
+    #[test]
+    fn monotone_and_ground_probe_deletes_settle() {
+        // Deleting a tuple of the *restricted* relation is monotone: the
+        // delete hosts no negated occurrence, the prefilter reports
+        // Untouched, and zero rows are read.
+        let c = referential();
+        let mut db = Database::new();
+        db.declare("emp", 3, Locality::Local).unwrap();
+        db.declare("dept", 1, Locality::Local).unwrap();
+        db.insert("emp", tuple!["jones", "shoe", 50]).unwrap();
+        db.insert("dept", tuple!["shoe"]).unwrap();
+        let e = run(&c, &db, &Update::delete("emp", tuple!["jones", "shoe", 50]));
+        assert_eq!(e.verdict, PreVerdict::Untouched);
+        assert_eq!(e.tuples_read, 0);
+
+        // Fully keyed referential shape: deleting an allowed(K,V) pair is a
+        // single ground probe of config — no scan at all.
+        let c2 = parse_constraint("panic :- config(K,V) & not allowed(K,V).").unwrap();
+        let set2 = PreTestSet::compile(&c2);
+        let t2 = set2.template(&UpdateTemplate::delete("allowed")).unwrap();
+        assert_eq!(t2.residual_class(), ResidualClass::GroundProbe);
+        let mut db2 = Database::new();
+        db2.declare("config", 2, Locality::Local).unwrap();
+        db2.declare("allowed", 2, Locality::Local).unwrap();
+        db2.insert("config", tuple!["mode", "fast"]).unwrap();
+        db2.insert("allowed", tuple!["mode", "fast"]).unwrap();
+        db2.insert("allowed", tuple!["mode", "slow"]).unwrap();
+        assert_eq!(
+            run(
+                &c2,
+                &db2,
+                &Update::delete("allowed", tuple!["mode", "fast"])
+            )
+            .verdict,
+            PreVerdict::Violated
+        );
+        assert_eq!(
+            run(
+                &c2,
+                &db2,
+                &Update::delete("allowed", tuple!["mode", "slow"])
+            )
+            .verdict,
+            PreVerdict::Holds
+        );
+    }
+
+    #[test]
     fn non_flat_constraints_compile_nothing() {
-        let c = parse_constraint(
-            "bad(E) :- emp(E,D,S) & not dept(D).\npanic :- emp(E,D,S) & bad(E).",
-        )
-        .unwrap();
+        let c =
+            parse_constraint("bad(E) :- emp(E,D,S) & not dept(D).\npanic :- emp(E,D,S) & bad(E).")
+                .unwrap();
         let set = PreTestSet::compile(&c);
         assert!(!set.compiled());
         let db = emp_db();

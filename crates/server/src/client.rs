@@ -340,9 +340,8 @@ mod tests {
 
     #[test]
     fn busy_reply_surfaces_as_busy() {
-        let mut client = responder(|nonce, _| {
-            encode_responses(nonce, &[ServerResponse::Busy { depth: 4 }])
-        });
+        let mut client =
+            responder(|nonce, _| encode_responses(nonce, &[ServerResponse::Busy { depth: 4 }]));
         let err = client
             .submit(&[Update::insert("acct", ccpi_storage::tuple![1, 2])])
             .unwrap_err();
@@ -384,9 +383,8 @@ mod tests {
 
     #[test]
     fn backoff_gives_up_after_max_retries() {
-        let mut client = responder(|nonce, _| {
-            encode_responses(nonce, &[ServerResponse::Busy { depth: 1 }])
-        });
+        let mut client =
+            responder(|nonce, _| encode_responses(nonce, &[ServerResponse::Busy { depth: 1 }]));
         let err = client
             .submit_with_backoff(
                 &[Update::insert("acct", ccpi_storage::tuple![1, 2])],

@@ -60,11 +60,11 @@ pub mod service;
 
 pub use client::{AdmissionClient, ClientError};
 pub use proto::{AdmitResult, ServerRequest, ServerResponse};
-pub use service::{serve, ServerConfig, ServerHandle, ServerStats};
+pub use service::{serve, ServerConfig, ServerHandle, ServerStats, ShardAssignment};
 
 /// Convenient re-exports for applications.
 pub mod prelude {
     pub use crate::client::{AdmissionClient, ClientError};
     pub use crate::proto::{AdmitResult, ServerRequest, ServerResponse};
-    pub use crate::service::{serve, ServerConfig, ServerHandle, ServerStats};
+    pub use crate::service::{serve, ServerConfig, ServerHandle, ServerStats, ShardAssignment};
 }

@@ -58,7 +58,7 @@
 use crate::proto::{self, AdmitResult, ServerRequest, ServerResponse};
 use ccpi::durable::DurableManager;
 use ccpi_site::transport::{read_frame, write_frame};
-use ccpi_storage::{DatabaseSnapshot, Update};
+use ccpi_storage::{DatabaseSnapshot, Partitioning, Update};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
@@ -66,8 +66,38 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// A shard's identity within a partitioned fleet: which shard this server
+/// is, under which [`Partitioning`]. With one in place, admission refuses
+/// updates that belong to another shard — a mis-routed update must bounce
+/// back to the router naming its true owner, never be judged against a
+/// fragment that cannot see the co-located rows its constraints join.
+#[derive(Clone, Debug)]
+pub struct ShardAssignment {
+    /// The fleet-wide partitioning (identical on every shard server).
+    pub parts: Partitioning,
+    /// This server's shard index.
+    pub shard: usize,
+}
+
+impl ShardAssignment {
+    /// `Err` when some update's owner shard is not this server; the
+    /// message names the true owner so the router can redirect.
+    fn admissible(&self, updates: &[Update]) -> Result<(), String> {
+        for u in updates {
+            let owners = self.parts.owners(u.pred().as_str(), u.tuple());
+            if !owners.contains(&self.shard) {
+                return Err(format!(
+                    "update {} belongs to shard {} (this server is shard {})",
+                    u, owners[0], self.shard
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// How the admission service commits and what it records.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Commit each admit window with one shared fsync (the default).
     /// `false` falls back to the per-update-fsync pipeline — functionally
@@ -84,6 +114,11 @@ pub struct ServerConfig {
     /// job never enters the pipeline, so the client may safely resend
     /// after a backoff. Clamped to at least 1.
     pub queue_depth: usize,
+    /// Shard identity for partitioned deployments: when set, updates
+    /// owned by another shard are refused at validation (before the WAL),
+    /// with an error naming the owner. `None` (the default) serves the
+    /// whole keyspace.
+    pub shard: Option<ShardAssignment>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +127,7 @@ impl Default for ServerConfig {
             group_commit: true,
             record_decisions: false,
             queue_depth: 1024,
+            shard: None,
         }
     }
 }
@@ -259,7 +295,7 @@ fn admit_loop(
         while let Ok(job) = jobs.try_recv() {
             window.push(job);
         }
-        commit_group(&mut mgr, window, config, &snapshot, &stats, &decisions);
+        commit_group(&mut mgr, window, &config, &snapshot, &stats, &decisions);
     }
     // Nothing past this point will ever be acked; say so instead of
     // leaving clients blocked on a reply that cannot come.
@@ -273,7 +309,7 @@ fn admit_loop(
 fn commit_group(
     mgr: &mut DurableManager,
     window: Vec<Job>,
-    config: ServerConfig,
+    config: &ServerConfig,
     snapshot: &RwLock<DatabaseSnapshot>,
     stats: &ServerStats,
     decisions: &Mutex<Vec<(Update, bool)>>,
@@ -286,7 +322,7 @@ fn commit_group(
     // malformed job is refused here, charged to its own client only.
     let mut valid = Vec::with_capacity(window.len());
     for job in window {
-        match validate(mgr, &job.updates) {
+        match validate(mgr, config.shard.as_ref(), &job.updates) {
             Ok(()) => valid.push(job),
             Err(m) => {
                 job.reply.send(Err(m)).ok();
@@ -370,8 +406,16 @@ fn commit_group(
     }
 }
 
-/// Rejects updates the durable pipeline could log but never apply.
-fn validate(mgr: &DurableManager, updates: &[Update]) -> Result<(), String> {
+/// Rejects updates the durable pipeline could log but never apply — and,
+/// on a shard server, updates another shard owns.
+fn validate(
+    mgr: &DurableManager,
+    shard: Option<&ShardAssignment>,
+    updates: &[Update],
+) -> Result<(), String> {
+    if let Some(assignment) = shard {
+        assignment.admissible(updates)?;
+    }
     for u in updates {
         match mgr.database().decl(u.pred().as_str()) {
             None => return Err(format!("unknown relation `{}`", u.pred())),
@@ -469,10 +513,7 @@ fn answer(shared: &Shared, req: &ServerRequest) -> ServerResponse {
             match shared.jobs.try_send(job) {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => {
-                    shared
-                        .stats
-                        .busy_rejections
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
                     return ServerResponse::Busy {
                         depth: shared.queue_depth,
                     };
@@ -747,8 +788,10 @@ mod tests {
                     let mut client = AdmissionClient::connect(addr);
                     barrier.wait();
                     for k in 0..PER_CLIENT {
-                        let upd =
-                            Update::insert("emp", tuple![format!("w{c}x{k}"), "sales", 20 + k as i64]);
+                        let upd = Update::insert(
+                            "emp",
+                            tuple![format!("w{c}x{k}"), "sales", 20 + k as i64],
+                        );
                         let results = client
                             .submit_with_backoff(&[upd], 64, Duration::from_millis(1))
                             .unwrap();
@@ -779,6 +822,81 @@ mod tests {
         );
         server.stop();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Two shard servers, each owning its own durable WAL over its own
+    /// fragment: a correctly-routed update is admitted; a mis-routed one
+    /// is refused before the WAL, with an error naming the true owner.
+    #[test]
+    fn shard_servers_refuse_misrouted_updates() {
+        let parts = Partitioning::new(2).hash("emp", 1).hash("dept", 0);
+        // Find two dept keys owned by different shards.
+        let mut key_for = [None::<i64>; 2];
+        for d in 0.. {
+            let k = parts.owner("dept", &tuple![d]).unwrap();
+            if key_for[k].is_none() {
+                key_for[k] = Some(d);
+                if key_for.iter().all(Option::is_some) {
+                    break;
+                }
+            }
+        }
+        let keys = [key_for[0].unwrap(), key_for[1].unwrap()];
+
+        let mut servers = Vec::new();
+        let mut dirs = Vec::new();
+        for (shard, &key) in keys.iter().enumerate() {
+            let mut db = Database::new();
+            db.declare("emp", 3, Locality::Local).unwrap();
+            db.declare("dept", 1, Locality::Local).unwrap();
+            // Each store holds only its fragment's dept rows.
+            db.insert("dept", tuple![key]).unwrap();
+            let dir = scratch_dir(&format!("server-shard-{shard}"));
+            let mut mgr = DurableManager::create(&dir, db).unwrap();
+            mgr.add_constraint("referential", "panic :- emp(E,D,S) & not dept(D).")
+                .unwrap();
+            let config = ServerConfig {
+                shard: Some(ShardAssignment {
+                    parts: parts.clone(),
+                    shard,
+                }),
+                ..ServerConfig::default()
+            };
+            servers.push(serve(mgr, "127.0.0.1:0", config).unwrap());
+            dirs.push(dir);
+        }
+
+        for shard in 0..2usize {
+            let mut client = AdmissionClient::connect(servers[shard].addr());
+            // Routed to its owner: admitted against the fragment.
+            let own = Update::insert("emp", tuple![format!("w{shard}"), keys[shard], 50]);
+            let results = client.submit(std::slice::from_ref(&own)).unwrap();
+            assert!(
+                results[0].admitted,
+                "routed update refused on shard {shard}"
+            );
+
+            // Mis-routed: refused with the owner named, nothing logged.
+            let other = Update::insert("emp", tuple!["stray", keys[1 - shard], 50]);
+            let err = client.submit(&[other]).unwrap_err();
+            match err {
+                ClientError::Server(m) => {
+                    assert!(
+                        m.contains(&format!("belongs to shard {}", 1 - shard)),
+                        "error must name the owner: {m}"
+                    );
+                }
+                other => panic!("expected a server refusal, got {other:?}"),
+            }
+        }
+
+        for (server, dir) in servers.into_iter().zip(dirs) {
+            server.stop();
+            // Only the routed update survives in each shard's WAL.
+            let (rec, _) = DurableManager::recover(&dir).unwrap();
+            assert_eq!(rec.database().relation("emp").unwrap().len(), 1);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
     }
 
     #[test]

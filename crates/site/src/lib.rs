@@ -52,6 +52,7 @@ pub mod client;
 pub mod fault;
 pub mod manager;
 pub mod server;
+pub mod shard;
 pub mod transport;
 pub mod wire;
 
@@ -59,6 +60,7 @@ pub use client::{RetryPolicy, SiteClient, SiteMetrics};
 pub use fault::{FaultClass, FaultEvent, FaultKind, FaultLog, FaultPlan, FaultyTransport};
 pub use manager::DistributedManager;
 pub use server::{RemoteSite, ServerHandle};
+pub use shard::{ShardError, ShardReport, ShardedManager};
 pub use transport::{ChannelTransport, TcpTransport, Transport, TransportError};
 
 /// Convenient re-exports for applications.
@@ -69,6 +71,7 @@ pub mod prelude {
     };
     pub use crate::manager::DistributedManager;
     pub use crate::server::{RemoteSite, ServerHandle};
+    pub use crate::shard::{ShardError, ShardReport, ShardedManager};
     pub use crate::transport::{ChannelTransport, TcpTransport, Transport, TransportError};
     pub use crate::wire::{Request, Response};
 }

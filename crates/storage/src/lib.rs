@@ -12,6 +12,7 @@
 
 mod database;
 mod delta;
+pub mod partition;
 mod relation;
 mod tuple;
 mod update;
@@ -20,6 +21,7 @@ pub mod wirefmt;
 
 pub use database::{Database, DatabaseSnapshot, Locality, RelationDecl, StorageError};
 pub use delta::DeltaSet;
+pub use partition::{PartitionScheme, Partitioning};
 pub use relation::{Candidates, Relation, TupleSnapshot};
 pub use tuple::Tuple;
 pub use update::{Update, UpdateTemplate};

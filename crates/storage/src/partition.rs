@@ -1,0 +1,467 @@
+//! Horizontal partitioning: split a [`Database`] into N shard fragments.
+//!
+//! The paper's §5 local tests are stated for *any* local/remote split of the
+//! database; a partitioning is just a family of such splits, one per shard.
+//! Each relation is assigned a [`PartitionScheme`]:
+//!
+//! * **Hash** — tuples route to `fnv64(value at column) % shards`. Any two
+//!   hash-partitioned relations with the same shard count route equal key
+//!   values to the same shard, regardless of which column carries the key.
+//! * **Range** — tuples route by binary search of the key value over a fixed
+//!   sorted bound list (`bounds.len() + 1 == shards`). Two range schemes
+//!   co-route only when their bound lists are identical.
+//! * **Replicated** — the full relation is present on every shard (the
+//!   small-relation option: dimension tables, range catalogs).
+//!
+//! Undeclared relations default to `Replicated`, which is always sound: a
+//! replicated relation's fragment is the whole relation.
+//!
+//! [`Partitioning::fragment`] builds one shard's view: partitioned relations
+//! filtered to owned tuples, replicated relations shared copy-on-write (the
+//! same `Arc`'d storage as the source, mirroring `SiteSplit::local_view`).
+//! [`Partitioning::merged`] unions fragments back; the property tests at the
+//! bottom pin down that this round-trips exactly.
+
+use std::collections::BTreeMap;
+
+use ccpi_ir::Value;
+
+use crate::{Database, Locality, StorageError, Tuple};
+
+/// How one relation's tuples are distributed over shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// `fnv64(tuple[column]) % shards`.
+    Hash {
+        /// Key column index.
+        column: usize,
+    },
+    /// Binary search of `tuple[column]` over `bounds`: shard `i` holds values
+    /// in `[bounds[i-1], bounds[i])` (first shard unbounded below, last
+    /// unbounded above). `bounds` must be strictly increasing with
+    /// `bounds.len() + 1` equal to the shard count.
+    Range {
+        /// Key column index.
+        column: usize,
+        /// Strictly increasing split points.
+        bounds: Vec<Value>,
+    },
+    /// Full copy on every shard.
+    Replicated,
+}
+
+impl PartitionScheme {
+    /// Key column, if the scheme routes by one.
+    pub fn column(&self) -> Option<usize> {
+        match self {
+            PartitionScheme::Hash { column } | PartitionScheme::Range { column, .. } => {
+                Some(*column)
+            }
+            PartitionScheme::Replicated => None,
+        }
+    }
+
+    /// True when `self` and `other` send every key value to the same shard,
+    /// so that equal join keys are guaranteed co-located. Hash schemes
+    /// co-route unconditionally (the shard is a function of the value alone);
+    /// range schemes co-route only with identical bounds.
+    pub fn routes_alike(&self, other: &PartitionScheme) -> bool {
+        match (self, other) {
+            (PartitionScheme::Hash { .. }, PartitionScheme::Hash { .. }) => true,
+            (
+                PartitionScheme::Range { bounds: a, .. },
+                PartitionScheme::Range { bounds: b, .. },
+            ) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// FNV-1a 64 over a canonical byte encoding of the value (tag byte plus
+/// little-endian integer bytes or UTF-8), so hashing is stable across runs
+/// and platforms.
+pub fn value_hash(v: &Value) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    };
+    match v {
+        Value::Int(i) => {
+            eat(0x01);
+            for b in i.to_le_bytes() {
+                eat(b);
+            }
+        }
+        Value::Str(s) => {
+            eat(0x02);
+            for b in s.as_str().as_bytes() {
+                eat(*b);
+            }
+        }
+    }
+    h
+}
+
+fn hash_tuple(t: &Tuple) -> u64 {
+    // Defensive fallback for a key column beyond the tuple's arity: route by
+    // the whole tuple so every tuple still has exactly one owner.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in t.iter() {
+        h ^= value_hash(v);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-relation partition schemes over a fixed shard count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    shards: usize,
+    schemes: BTreeMap<String, PartitionScheme>,
+}
+
+impl Partitioning {
+    /// A partitioning over `shards` shards (at least 1) where every relation
+    /// defaults to [`PartitionScheme::Replicated`] until declared otherwise.
+    pub fn new(shards: usize) -> Self {
+        Partitioning {
+            shards: shards.max(1),
+            schemes: BTreeMap::new(),
+        }
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Declares `pred` hash-partitioned on `column`.
+    pub fn hash(mut self, pred: &str, column: usize) -> Self {
+        self.schemes
+            .insert(pred.to_string(), PartitionScheme::Hash { column });
+        self
+    }
+
+    /// Declares `pred` range-partitioned on `column` with the given split
+    /// points. Panics unless `bounds` is strictly increasing with
+    /// `bounds.len() + 1 == shards` — a misdeclared range map would silently
+    /// leave shards empty or out of range.
+    pub fn range(mut self, pred: &str, column: usize, bounds: Vec<Value>) -> Self {
+        assert_eq!(
+            bounds.len() + 1,
+            self.shards,
+            "range partitioning of `{pred}` needs exactly shards-1 bounds"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "range bounds for `{pred}` must be strictly increasing"
+        );
+        self.schemes
+            .insert(pred.to_string(), PartitionScheme::Range { column, bounds });
+        self
+    }
+
+    /// Declares `pred` replicated on every shard (the default).
+    pub fn replicate(mut self, pred: &str) -> Self {
+        self.schemes
+            .insert(pred.to_string(), PartitionScheme::Replicated);
+        self
+    }
+
+    /// The scheme for `pred` (`Replicated` when undeclared).
+    pub fn scheme(&self, pred: &str) -> &PartitionScheme {
+        self.schemes
+            .get(pred)
+            .unwrap_or(&PartitionScheme::Replicated)
+    }
+
+    /// True when `pred` is hash- or range-partitioned (not replicated).
+    pub fn is_partitioned(&self, pred: &str) -> bool {
+        !matches!(self.scheme(pred), PartitionScheme::Replicated)
+    }
+
+    /// The single owning shard of `tuple` in `pred`, or `None` when the
+    /// relation is replicated (every shard holds it).
+    pub fn owner(&self, pred: &str, tuple: &Tuple) -> Option<usize> {
+        match self.scheme(pred) {
+            PartitionScheme::Replicated => None,
+            PartitionScheme::Hash { column } => Some(match tuple.get(*column) {
+                Some(v) => (value_hash(v) % self.shards as u64) as usize,
+                None => (hash_tuple(tuple) % self.shards as u64) as usize,
+            }),
+            PartitionScheme::Range { column, bounds } => Some(match tuple.get(*column) {
+                Some(v) => bounds.partition_point(|b| b <= v),
+                None => (hash_tuple(tuple) % self.shards as u64) as usize,
+            }),
+        }
+    }
+
+    /// Every shard that stores `tuple`: the single owner for partitioned
+    /// relations, all shards for replicated ones.
+    pub fn owners(&self, pred: &str, tuple: &Tuple) -> Vec<usize> {
+        match self.owner(pred, tuple) {
+            Some(k) => vec![k],
+            None => (0..self.shards).collect(),
+        }
+    }
+
+    /// Builds shard `shard`'s fragment of `db`: same catalog (names, arities,
+    /// localities), partitioned relations filtered to owned tuples,
+    /// replicated relations shared copy-on-write with the source.
+    pub fn fragment(&self, db: &Database, shard: usize) -> Result<Database, StorageError> {
+        assert!(shard < self.shards, "shard {shard} out of {}", self.shards);
+        let mut frag = Database::new();
+        for decl in db.decls() {
+            frag.declare(decl.name.as_str(), decl.arity, decl.locality)?;
+        }
+        // Collect names first: `decls()` borrows `db`, and CoW sharing wants
+        // the relation handle cloned, not rebuilt.
+        let names: Vec<String> = db.decls().map(|d| d.name.as_str().to_string()).collect();
+        for name in names {
+            let rel = db.relation(&name).expect("declared relation");
+            if self.is_partitioned(&name) {
+                let owned = rel
+                    .iter()
+                    .filter(|t| self.owner(&name, t) == Some(shard))
+                    .cloned();
+                frag.set_relation(&name, crate::Relation::from_tuples(rel.arity(), owned))?;
+            } else {
+                frag.set_relation(&name, rel.clone())?;
+            }
+        }
+        Ok(frag)
+    }
+
+    /// All shard fragments of `db`, in shard order.
+    pub fn fragments(&self, db: &Database) -> Result<Vec<Database>, StorageError> {
+        (0..self.shards).map(|k| self.fragment(db, k)).collect()
+    }
+
+    /// Unions fragments back into one database. Partitioned relations union
+    /// their per-shard tuples; replicated relations are taken from the first
+    /// fragment (every fragment holds the same copy). The catalog comes from
+    /// the first fragment.
+    pub fn merged(&self, fragments: &[Database]) -> Result<Database, StorageError> {
+        let first = fragments.first().expect("at least one fragment");
+        let mut out = Database::new();
+        for decl in first.decls() {
+            out.declare(decl.name.as_str(), decl.arity, decl.locality)?;
+        }
+        let names: Vec<String> = first.decls().map(|d| d.name.as_str().to_string()).collect();
+        for name in names {
+            if self.is_partitioned(&name) {
+                let arity = first.relation(&name).expect("declared").arity();
+                let all = fragments
+                    .iter()
+                    .flat_map(|f| f.relation(&name).expect("same catalog").iter().cloned());
+                out.set_relation(&name, crate::Relation::from_tuples(arity, all))?;
+            } else {
+                out.set_relation(&name, first.relation(&name).expect("declared").clone())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Builds the *escalation view* of shard `shard`: partitioned relations
+    /// are declared [`Locality::Remote`] and left empty (their global content
+    /// is only reachable by asking the other shards), replicated relations
+    /// stay [`Locality::Local`] with their full content. A manager over this
+    /// view plus a remote source that unions the peer fragments performs an
+    /// exact global check — the cross-shard escalation path.
+    pub fn escalation_view(&self, db: &Database, shard: usize) -> Result<Database, StorageError> {
+        assert!(shard < self.shards, "shard {shard} out of {}", self.shards);
+        let mut view = Database::new();
+        let names: Vec<(String, usize)> = db
+            .decls()
+            .map(|d| (d.name.as_str().to_string(), d.arity))
+            .collect();
+        for (name, arity) in &names {
+            let loc = if self.is_partitioned(name) {
+                Locality::Remote
+            } else {
+                Locality::Local
+            };
+            view.declare(name, *arity, loc)?;
+        }
+        for (name, _) in &names {
+            if !self.is_partitioned(name) {
+                view.set_relation(name, db.relation(name).expect("declared").clone())?;
+            }
+        }
+        Ok(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn demo_db() -> Database {
+        let mut db = Database::new();
+        db.declare("emp", 3, Locality::Local).unwrap();
+        db.declare("dept", 1, Locality::Local).unwrap();
+        for i in 0..64i64 {
+            db.insert("emp", tuple![format!("e{i}").as_str(), i % 8, 10 + i])
+                .unwrap();
+        }
+        for d in 0..8i64 {
+            db.insert("dept", tuple![d]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn hash_owner_is_stable_and_in_range() {
+        let parts = Partitioning::new(4).hash("emp", 1);
+        let t = tuple!["jones", 3, 50];
+        let k = parts.owner("emp", &t).unwrap();
+        assert!(k < 4);
+        assert_eq!(parts.owner("emp", &t).unwrap(), k);
+        // Same key value in a different relation/column co-routes.
+        let parts2 = parts.clone().hash("dept", 0);
+        assert_eq!(parts2.owner("dept", &tuple![3]).unwrap(), k);
+    }
+
+    #[test]
+    fn range_owner_respects_bounds() {
+        let parts = Partitioning::new(3).range("emp", 2, vec![Value::Int(100), Value::Int(200)]);
+        assert_eq!(parts.owner("emp", &tuple!["a", 0, 5]), Some(0));
+        assert_eq!(parts.owner("emp", &tuple!["a", 0, 100]), Some(1));
+        assert_eq!(parts.owner("emp", &tuple!["a", 0, 199]), Some(1));
+        assert_eq!(parts.owner("emp", &tuple!["a", 0, 200]), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "shards-1 bounds")]
+    fn range_bound_count_is_checked() {
+        let _ = Partitioning::new(4).range("emp", 0, vec![Value::Int(5)]);
+    }
+
+    #[test]
+    fn replicated_fragments_share_storage() {
+        let db = demo_db();
+        let parts = Partitioning::new(4).hash("emp", 1);
+        let frags = parts.fragments(&db).unwrap();
+        for f in &frags {
+            assert!(f
+                .relation("dept")
+                .unwrap()
+                .shares_storage_with(db.relation("dept").unwrap()));
+        }
+    }
+
+    #[test]
+    fn escalation_view_flips_partitioned_to_remote() {
+        let db = demo_db();
+        let parts = Partitioning::new(2).hash("emp", 1);
+        let view = parts.escalation_view(&db, 0).unwrap();
+        assert_eq!(view.locality("emp"), Some(Locality::Remote));
+        assert_eq!(view.locality("dept"), Some(Locality::Local));
+        assert!(view.relation("emp").unwrap().is_empty());
+        assert_eq!(view.relation("dept").unwrap().len(), 8);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_value() -> impl Strategy<Value = Value> {
+            prop_oneof![
+                any::<i64>().prop_map(Value::Int),
+                "[a-z]{0,6}".prop_map(|s| Value::str(&s)),
+            ]
+        }
+
+        fn arb_tuples(arity: usize) -> impl Strategy<Value = Vec<Tuple>> {
+            prop::collection::vec(
+                prop::collection::vec(arb_value(), arity).prop_map(Tuple::new),
+                0..64,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Hash and range partitioners assign every tuple to exactly one
+            /// shard: a single owner in range, and fragment membership
+            /// matches ownership exactly (no tuple lost, none duplicated).
+            #[test]
+            fn every_tuple_has_exactly_one_shard(
+                shards in 1usize..=8,
+                tuples in arb_tuples(2),
+                hash_scheme in any::<bool>(),
+            ) {
+                let parts = if hash_scheme {
+                    Partitioning::new(shards).hash("r", 0)
+                } else {
+                    let bounds = (1..shards as i64).map(|i| Value::Int(i * 100)).collect();
+                    Partitioning::new(shards).range("r", 0, bounds)
+                };
+                let mut db = Database::new();
+                db.declare("r", 2, Locality::Local).unwrap();
+                for t in &tuples {
+                    db.insert("r", t.clone()).unwrap();
+                }
+                let frags = parts.fragments(&db).unwrap();
+                for t in db.relation("r").unwrap().iter() {
+                    let owner = parts.owner("r", t).unwrap();
+                    prop_assert!(owner < shards);
+                    let holders: Vec<usize> = (0..shards)
+                        .filter(|&k| frags[k].relation("r").unwrap().contains(t))
+                        .collect();
+                    prop_assert_eq!(holders, vec![owner]);
+                }
+            }
+
+            /// Re-partitioning round-trips: fragments union back to the
+            /// original database, for arbitrary mixes of hash / range /
+            /// replicated schemes over several relations.
+            #[test]
+            fn fragments_union_back_to_original(
+                shards in 1usize..=6,
+                r_tuples in arb_tuples(2),
+                s_tuples in arb_tuples(3),
+                r_scheme_idx in 0usize..3,
+                s_scheme_idx in 0usize..3,
+            ) {
+                let pick = |parts: Partitioning, pred: &str, idx: usize, arity: usize| {
+                    match idx {
+                        0 => parts.hash(pred, arity - 1),
+                        1 => {
+                            let bounds =
+                                (1..parts.shards() as i64).map(|i| Value::Int(i * 100)).collect();
+                            parts.range(pred, 0, bounds)
+                        }
+                        _ => parts.replicate(pred),
+                    }
+                };
+                let parts = pick(
+                    pick(Partitioning::new(shards), "r", r_scheme_idx, 2),
+                    "s", s_scheme_idx, 3,
+                );
+                let mut db = Database::new();
+                db.declare("r", 2, Locality::Local).unwrap();
+                db.declare("s", 3, Locality::Remote).unwrap();
+                for t in &r_tuples {
+                    db.insert("r", t.clone()).unwrap();
+                }
+                for t in &s_tuples {
+                    db.insert("s", t.clone()).unwrap();
+                }
+
+                let frags = parts.fragments(&db).unwrap();
+                let back = parts.merged(&frags).unwrap();
+                for name in ["r", "s"] {
+                    let got: Vec<Tuple> = back.relation(name).unwrap().iter().cloned().collect();
+                    let want: Vec<Tuple> = db.relation(name).unwrap().iter().cloned().collect();
+                    prop_assert_eq!(got, want, "relation {} did not round-trip", name);
+                    prop_assert_eq!(back.locality(name), db.locality(name));
+                }
+            }
+        }
+    }
+}

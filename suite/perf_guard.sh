@@ -14,8 +14,13 @@
 # 10k tuples and fails if the compiled pipeline settles less than 70% of
 # the committed BENCH_pretest.json settled fraction, if pipeline
 # checks/sec regress more than 30%, or on any legacy-vs-pipeline verdict
-# divergence (regenerate with `experiments --table e14`). Wired into CI
-# after the test job; run it
+# divergence (regenerate with `experiments --table e14`). A sixth lane
+# re-measures the E15 4-shard/10k partitioned-admission cell and fails
+# below 70% of the committed BENCH_shard.json admission rate, below a
+# 70% absolute committed-update rate, on any cross-shard escalation or
+# wire traffic under the fragment-closed partitioning, or on any
+# single-site-twin divergence (regenerate with `experiments --shard`).
+# Wired into CI after the test job; run it
 # locally before committing performance-sensitive changes:
 #
 #   suite/perf_guard.sh
