@@ -1,0 +1,35 @@
+use ccpi::prelude::*;
+use ccpi_site::prelude::*;
+use ccpi_storage::{tuple, Locality, Partitioning};
+
+#[test]
+fn replicated_update_with_negated_partitioned_atom() {
+    let mut db = Database::new();
+    db.declare("dept", 1, Locality::Local).unwrap();
+    db.declare("salRange", 3, Locality::Local).unwrap();
+    for d in 0..8i64 {
+        db.insert("dept", tuple![d]).unwrap();
+    }
+    let parts = Partitioning::new(4).hash("dept", 0).replicate("salRange");
+    let mut sharded = ShardedManager::colocated(&db, parts).unwrap();
+    let mut twin = ConstraintManager::new(db);
+    let src = "panic :- salRange(D,L,H) & not dept(D).";
+    let scope = sharded.add_constraint("ranged-dept", src).unwrap();
+    twin.add_constraint("ranged-dept", src).unwrap();
+    eprintln!("scope = {scope:?}");
+    // dept(3) exists globally; single-site says Holds.
+    let u = Update::insert("salRange", tuple![3, 10, 100]);
+    let t = twin.check_update(&u).unwrap();
+    let s = sharded.admit(&u).unwrap();
+    eprintln!(
+        "twin = {:?}, sharded = {:?}, escalated = {:?}",
+        t.outcome("ranged-dept"),
+        s.outcome("ranged-dept"),
+        s.escalated
+    );
+    assert_eq!(
+        s.outcome("ranged-dept").unwrap().holds(),
+        t.outcome("ranged-dept").unwrap().holds(),
+        "verdict divergence vs single-site twin"
+    );
+}
